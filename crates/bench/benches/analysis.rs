@@ -1,0 +1,40 @@
+//! Criterion: frame analyzer cost — what one cell of the Figure 13 /
+//! Tables II–V sweep costs, and how it scales with window size (it
+//! shouldn't: the analyzer is O(W·H) by design).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sw_core::analysis::{analyze_frame, occupancy_trace};
+use sw_core::config::ArchConfig;
+use sw_image::ScenePreset;
+
+fn bench_analyzer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze_frame");
+    group.sample_size(20);
+    let img = ScenePreset::ALL[0].render(512, 512);
+    group.throughput(Throughput::Elements((512 * 512) as u64));
+    for n in [8usize, 64, 128] {
+        let cfg = ArchConfig::new(n, 512);
+        group.bench_with_input(BenchmarkId::new("lossless", n), &img, |b, img| {
+            b.iter(|| analyze_frame(img, &cfg).payload_bits())
+        });
+    }
+    let cfg = ArchConfig::new(64, 512).with_threshold(6);
+    group.bench_function("lossy_t6_n64", |b| {
+        b.iter(|| analyze_frame(&img, &cfg).payload_bits())
+    });
+    group.finish();
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("occupancy_trace");
+    group.sample_size(20);
+    let img = ScenePreset::ALL[0].render(512, 512);
+    let cfg = ArchConfig::new(64, 512);
+    group.bench_function("fig3_trace", |b| {
+        b.iter(|| occupancy_trace(&img, &cfg, 2).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyzer, bench_trace);
+criterion_main!(benches);

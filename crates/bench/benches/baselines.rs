@@ -1,0 +1,36 @@
+//! Criterion: related-work baseline costs — LOCO-I coding throughput (the
+//! "state of the art" comparator) and the block-buffering functional model.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sw_core::kernels::BoxFilter;
+use sw_image::ScenePreset;
+use sw_related::{locoi_decode, locoi_encode, BlockBufferPlan};
+
+fn bench_locoi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locoi");
+    group.sample_size(20);
+    let img = ScenePreset::ALL[0].render(256, 256);
+    group.throughput(Throughput::Elements((256 * 256) as u64));
+    group.bench_function("encode_256", |b| b.iter(|| locoi_encode(&img).len()));
+    let bytes = locoi_encode(&img);
+    group.bench_function("decode_256", |b| {
+        b.iter(|| locoi_decode(&bytes, 256, 256).pixels()[0])
+    });
+    group.finish();
+}
+
+fn bench_block_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_buffer");
+    group.sample_size(10);
+    let img = ScenePreset::ALL[1].render(256, 128);
+    group.throughput(Throughput::Elements((256 * 128) as u64));
+    let plan = BlockBufferPlan::new(8, 32, 256, 128);
+    let kernel = BoxFilter::new(8);
+    group.bench_function("process_frame_b32", |b| {
+        b.iter(|| plan.process_frame(&img, &kernel).pixels()[0])
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_locoi, bench_block_buffer);
+criterion_main!(benches);

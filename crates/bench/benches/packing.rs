@@ -1,0 +1,74 @@
+//! Criterion: bit packing / unpacking throughput — the column codec (the
+//! architecture's per-cycle work) and the register-level hardware models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sw_bitstream::nbits::min_bits_significant;
+use sw_bitstream::{column_cost, decode_column, encode_column, BitPackingUnit, Coeff};
+
+fn columns(n: usize, count: usize) -> Vec<Vec<Coeff>> {
+    (0..count)
+        .map(|c| {
+            (0..n)
+                .map(|r| {
+                    let v = (r * 37 + c * 11) % 41;
+                    (v as i16 - 20) / if r % 3 == 0 { 1 } else { 7 }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("column_codec");
+    for n in [4usize, 16, 64] {
+        let cols = columns(n, 256);
+        group.throughput(Throughput::Elements((256 * n) as u64));
+        group.bench_with_input(BenchmarkId::new("cost_only", n), &cols, |b, cols| {
+            b.iter(|| {
+                cols.iter()
+                    .map(|col| column_cost(col, 0).total_bits())
+                    .sum::<u64>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("encode", n), &cols, |b, cols| {
+            b.iter(|| {
+                cols.iter()
+                    .map(|col| encode_column(col, 0).payload_bits)
+                    .sum::<u64>()
+            })
+        });
+        let encoded: Vec<_> = cols.iter().map(|col| encode_column(col, 0)).collect();
+        group.bench_with_input(BenchmarkId::new("decode", n), &encoded, |b, encoded| {
+            b.iter(|| {
+                encoded
+                    .iter()
+                    .map(|e| decode_column(e).len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hardware_packer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hw_packer");
+    let cols = columns(16, 512);
+    group.throughput(Throughput::Elements((512 * 16) as u64));
+    group.bench_function("register_model", |b| {
+        b.iter(|| {
+            let mut packer = BitPackingUnit::new(0);
+            let mut bytes = 0usize;
+            for col in &cols {
+                let nbits = min_bits_significant(col, 0);
+                for &x in col {
+                    bytes += packer.clock(x, nbits).words.len();
+                }
+            }
+            bytes + packer.flush().map_or(0, |_| 1)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_hardware_packer);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion: the end-to-end evaluation sweep cost — scene rendering and a
+//! full Figure 13 row (all thresholds at one window size) at a reduced
+//! resolution, so harness regressions are caught by `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sw_bench::{analyze_dataset, savings_summary, scene_images};
+use sw_core::config::ThresholdPolicy;
+use sw_image::ScenePreset;
+
+fn bench_scene_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((256 * 256) as u64));
+    group.bench_function("render_one_scene_256", |b| {
+        b.iter(|| ScenePreset::ALL[0].render(256, 256))
+    });
+    group.finish();
+}
+
+fn bench_fig13_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_row");
+    group.sample_size(10);
+    let images = scene_images(256, 256, 10);
+    group.bench_function("window16_all_thresholds_10scenes_256", |b| {
+        b.iter(|| {
+            [0i16, 2, 4, 6]
+                .iter()
+                .map(|&t| {
+                    let analyses =
+                        analyze_dataset(&images, 16, t, ThresholdPolicy::DetailsOnly);
+                    savings_summary(&analyses).mean
+                })
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scene_render, bench_fig13_row);
+criterion_main!(benches);

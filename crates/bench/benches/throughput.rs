@@ -1,0 +1,59 @@
+//! Criterion: full-architecture throughput (experiment E14).
+//!
+//! The paper's claim is *hardware* throughput parity — both architectures
+//! consume one pixel per clock (verified by cycle counts in the test
+//! suite). This bench reports the *simulation* cost side by side: the
+//! compressed model does the real compression work per pixel, so its
+//! software slowdown factor is also a proxy for the paper's LUT overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sw_core::compressed::CompressedSlidingWindow;
+use sw_core::config::ArchConfig;
+use sw_core::kernels::{BoxFilter, Tap};
+use sw_core::traditional::TraditionalSlidingWindow;
+use sw_image::ScenePreset;
+
+fn bench_architectures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_throughput");
+    group.sample_size(20);
+    let img = ScenePreset::ALL[0].render(256, 256);
+    for n in [8usize, 32] {
+        let cfg = ArchConfig::new(n, img.width());
+        group.throughput(Throughput::Elements((img.width() * img.height()) as u64));
+        group.bench_with_input(BenchmarkId::new("traditional", n), &img, |b, img| {
+            let kernel = Tap::top_left(n);
+            let mut arch = TraditionalSlidingWindow::new(cfg);
+            b.iter(|| arch.process_frame(img, &kernel).stats.cycles)
+        });
+        group.bench_with_input(BenchmarkId::new("compressed_lossless", n), &img, |b, img| {
+            let kernel = Tap::top_left(n);
+            let mut arch = CompressedSlidingWindow::new(cfg);
+            b.iter(|| arch.process_frame(img, &kernel).stats.cycles)
+        });
+        group.bench_with_input(BenchmarkId::new("compressed_t4", n), &img, |b, img| {
+            let kernel = Tap::top_left(n);
+            let mut arch = CompressedSlidingWindow::new(cfg.with_threshold(4));
+            b.iter(|| arch.process_frame(img, &kernel).stats.cycles)
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_cost(c: &mut Criterion) {
+    // Kernel cost is identical across architectures; measure it separately
+    // so the architecture numbers above can be read as pure buffering cost.
+    let mut group = c.benchmark_group("kernel_cost");
+    group.sample_size(20);
+    let img = ScenePreset::ALL[0].render(256, 256);
+    let cfg = ArchConfig::new(8, img.width());
+    group.throughput(Throughput::Elements((img.width() * img.height()) as u64));
+    group.bench_function("box_8_traditional", |b| {
+        let kernel = BoxFilter::new(8);
+        let mut arch = TraditionalSlidingWindow::new(cfg);
+        b.iter(|| arch.process_frame(&img, &kernel).stats.cycles)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_architectures, bench_kernel_cost);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion: integer wavelet transform throughput (the IWT/IIWT blocks'
+//! software cost; the hardware runs one column per clock at 592 MHz).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sw_wavelet::haar2d::{forward_image, inverse_image, ColumnPairInverse, ColumnPairTransformer};
+use sw_wavelet::Coeff;
+
+fn column_data(n: usize, cols: usize) -> Vec<Vec<Coeff>> {
+    (0..cols)
+        .map(|c| (0..n).map(|r| ((r * 31 + c * 97) % 256) as Coeff).collect())
+        .collect()
+}
+
+fn bench_column_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("haar_column_stream");
+    for n in [8usize, 32, 128] {
+        let cols = column_data(n, 512);
+        group.throughput(Throughput::Elements((512 * n) as u64));
+        group.bench_with_input(BenchmarkId::new("forward", n), &cols, |b, cols| {
+            b.iter(|| {
+                let mut fwd = ColumnPairTransformer::new(n);
+                let mut acc = 0i64;
+                for col in cols {
+                    if let Some(pair) = fwd.push_column(col) {
+                        acc += pair.even.coeffs[0] as i64;
+                    }
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("roundtrip", n), &cols, |b, cols| {
+            b.iter(|| {
+                let mut fwd = ColumnPairTransformer::new(n);
+                let mut inv = ColumnPairInverse::new(n);
+                let mut acc = 0i64;
+                for col in cols {
+                    if let Some(pair) = fwd.push_column(col) {
+                        inv.push_column(pair.even);
+                        let (c0, c1) = inv.push_column(pair.odd).unwrap();
+                        acc += c0[0] as i64 + c1[0] as i64;
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_image_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("haar_image");
+    let (w, h) = (512usize, 512usize);
+    let pixels: Vec<Coeff> = (0..w * h).map(|i| ((i * 131) % 256) as Coeff).collect();
+    group.throughput(Throughput::Elements((w * h) as u64));
+    group.bench_function("forward_512", |b| b.iter(|| forward_image(&pixels, w, h)));
+    let planes = forward_image(&pixels, w, h);
+    group.bench_function("inverse_512", |b| b.iter(|| inverse_image(&planes)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_column_stream, bench_image_transform);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Run the complete evaluation: every table and figure in sequence.
+//!
+//! ```text
+//! cargo run --release -p sw-bench --bin all [--quick]
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let quick = sw_bench::quick_flag();
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    for bin in ["fig3", "fig13", "tables", "mse", "ablations", "related"] {
+        println!("\n================ {bin} ================\n");
+        let mut cmd = Command::new(exe_dir.join(bin));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().unwrap_or_else(|e| {
+            panic!("failed to launch {bin} (build with `cargo build --release -p sw-bench` first): {e}")
+        });
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,106 @@
+//! Figure 3 — memory required to buffer image rows, per sub-band, as a
+//! 64×64 window slides across a 512×512 image (lossless).
+//!
+//! ```text
+//! cargo run --release -p sw-bench --bin fig3 [--quick]
+//! ```
+
+use sw_bench::export::{out_dir_from_args, write_csv, write_svg, ChartMeta, Series};
+use sw_bench::paper;
+use sw_bench::table::render;
+use sw_core::analysis::occupancy_trace;
+use sw_core::config::ArchConfig;
+use sw_image::ScenePreset;
+
+fn main() {
+    let n = 64;
+    let res = 512;
+    let img = ScenePreset::ALL[0].render(res, res);
+    let cfg = ArchConfig::new(n, res);
+
+    // Middle strip, as a representative row position.
+    let strip = (res / n) / 2;
+    let trace = occupancy_trace(&img, &cfg, strip);
+
+    println!("Figure 3 — buffered bits per sub-band, window {n} @ {res}x{res} (scene: {})\n", ScenePreset::ALL[0].name);
+    let mut rows = Vec::new();
+    for (x, s) in trace.iter().enumerate().step_by(32) {
+        let [ll, lh, hl, hh] = s.per_band_bits;
+        rows.push(vec![
+            x.to_string(),
+            format!("{:.1}", ll as f64 / 1024.0),
+            format!("{:.1}", lh as f64 / 1024.0),
+            format!("{:.1}", hl as f64 / 1024.0),
+            format!("{:.1}", hh as f64 / 1024.0),
+            format!("{:.1}", s.total_bits() as f64 / 1024.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render(
+            &["position", "LL Kbit", "LH Kbit", "HL Kbit", "HH Kbit", "total Kbit"],
+            &rows
+        )
+    );
+
+    // Peaks, as the paper quotes them.
+    let peak = |f: &dyn Fn(&sw_core::analysis::OccupancySample) -> u64| {
+        trace.iter().map(f).max().unwrap() as f64 / 1024.0
+    };
+    let ll = peak(&|s| s.per_band_bits[0]);
+    let lh = peak(&|s| s.per_band_bits[1]);
+    let hl = peak(&|s| s.per_band_bits[2]);
+    let hh = peak(&|s| s.per_band_bits[3]);
+    let total = peak(&|s| s.total_bits());
+    let traditional = (cfg.fifo_depth() * n * 8) as f64 / 1024.0;
+
+    println!("peaks (Kbit):            measured   paper");
+    println!("  LL                     {ll:>8.1}   ~{:.0}", paper::FIG3_LL_KBITS);
+    println!(
+        "  details (LH/HL/HH)     {:>8.1}   ~{:.0} each",
+        (lh + hl + hh) / 3.0,
+        paper::FIG3_DETAIL_KBITS
+    );
+    println!(
+        "  total incl. mgmt       {total:>8.1}   ~{:.0}",
+        paper::FIG3_TOTAL_KBITS
+    );
+    println!(
+        "  traditional buffer     {traditional:>8.1}   ~{:.0}",
+        paper::FIG3_TRADITIONAL_KBITS
+    );
+    println!(
+        "\nshape check: LL dominates each detail band by {:.1}x (paper: ~2x)",
+        ll / ((lh + hl + hh) / 3.0)
+    );
+
+    // Optional file export (--out <dir>): CSV series + an SVG rendering of
+    // the figure.
+    if let Some(dir) = out_dir_from_args() {
+        let band = |i: usize| {
+            Series {
+                name: ["LL", "LH", "HL", "HH"][i].to_string(),
+                points: trace
+                    .iter()
+                    .enumerate()
+                    .map(|(x, s)| (x as f64, s.per_band_bits[i] as f64 / 1024.0))
+                    .collect(),
+            }
+        };
+        let series: Vec<Series> = (0..4).map(band).collect();
+        let csv = dir.join("fig3.csv");
+        let svg = dir.join("fig3.svg");
+        write_csv(&csv, &series).expect("write fig3.csv");
+        write_svg(
+            &svg,
+            &ChartMeta {
+                title: format!("Figure 3 - buffered Kbit per sub-band (window {n}, {res}x{res})"),
+                x_label: "window position".into(),
+                y_label: "Kbit".into(),
+            },
+            &series,
+        )
+        .expect("write fig3.svg");
+        println!("wrote {} and {}", csv.display(), svg.display());
+    }
+}

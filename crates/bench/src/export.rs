@@ -1,0 +1,293 @@
+//! Figure data export: CSV series and a minimal dependency-free SVG line
+//! chart, so `fig3`/`fig13` can regenerate the paper's figures as files
+//! (`--out <dir>`), not just terminal tables.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// One named line series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points, sorted by x.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Construct from y-values with implicit integer x.
+    pub fn from_ys(name: impl Into<String>, ys: impl IntoIterator<Item = f64>) -> Self {
+        Self {
+            name: name.into(),
+            points: ys
+                .into_iter()
+                .enumerate()
+                .map(|(i, y)| (i as f64, y))
+                .collect(),
+        }
+    }
+}
+
+/// Write series as CSV: `x, <name1>, <name2>, …` (series must share x).
+///
+/// # Panics
+///
+/// Panics if series lengths or x-grids disagree.
+pub fn write_csv(path: &Path, series: &[Series]) -> io::Result<()> {
+    assert!(!series.is_empty(), "no series to write");
+    let n = series[0].points.len();
+    for s in series {
+        assert_eq!(s.points.len(), n, "series length mismatch");
+    }
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "x")?;
+    for s in series {
+        write!(f, ",{}", s.name.replace(',', ";"))?;
+    }
+    writeln!(f)?;
+    for i in 0..n {
+        let x = series[0].points[i].0;
+        write!(f, "{x}")?;
+        for s in series {
+            assert_eq!(s.points[i].0, x, "x-grid mismatch");
+            write!(f, ",{}", s.points[i].1)?;
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+/// Chart labels.
+#[derive(Debug, Clone)]
+pub struct ChartMeta {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+}
+
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b",
+];
+const W: f64 = 720.0;
+const H: f64 = 440.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 130.0;
+const MARGIN_T: f64 = 46.0;
+const MARGIN_B: f64 = 52.0;
+
+/// Render a multi-series line chart to an SVG string.
+///
+/// # Panics
+///
+/// Panics on empty input.
+pub fn render_svg(meta: &ChartMeta, series: &[Series]) -> String {
+    assert!(
+        series.iter().any(|s| !s.points.is_empty()),
+        "nothing to plot"
+    );
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y) in &s.points {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    // Pad y a little and include zero when close.
+    if y0 > 0.0 && y0 < 0.25 * y1 {
+        y0 = 0.0;
+    }
+    let pad = (y1 - y0) * 0.06;
+    y1 += pad;
+
+    let plot_w = W - MARGIN_L - MARGIN_R;
+    let plot_h = H - MARGIN_T - MARGIN_B;
+    let sx = move |x: f64| MARGIN_L + (x - x0) / (x1 - x0) * plot_w;
+    let sy = move |y: f64| MARGIN_T + (1.0 - (y - y0) / (y1 - y0)) * plot_h;
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif">"#
+    ));
+    svg.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+    svg.push_str(&format!(
+        r#"<text x="{}" y="24" font-size="16" text-anchor="middle">{}</text>"#,
+        W / 2.0,
+        xml_escape(&meta.title)
+    ));
+
+    // Gridlines + ticks (5 divisions each axis).
+    for i in 0..=5 {
+        let t = i as f64 / 5.0;
+        let gx = MARGIN_L + t * plot_w;
+        let gy = MARGIN_T + t * plot_h;
+        let xv = x0 + t * (x1 - x0);
+        let yv = y1 - t * (y1 - y0);
+        svg.push_str(&format!(
+            r##"<line x1="{gx:.1}" y1="{MARGIN_T}" x2="{gx:.1}" y2="{:.1}" stroke="#eee"/>"##,
+            MARGIN_T + plot_h
+        ));
+        svg.push_str(&format!(
+            r##"<line x1="{MARGIN_L}" y1="{gy:.1}" x2="{:.1}" y2="{gy:.1}" stroke="#eee"/>"##,
+            MARGIN_L + plot_w
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{gx:.1}" y="{:.1}" font-size="11" text-anchor="middle">{}</text>"#,
+            MARGIN_T + plot_h + 18.0,
+            fmt_tick(xv)
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{:.1}" y="{gy:.1}" font-size="11" text-anchor="end" dominant-baseline="middle">{}</text>"#,
+            MARGIN_L - 8.0,
+            fmt_tick(yv)
+        ));
+    }
+    // Axes.
+    svg.push_str(&format!(
+        r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="#333"/>"##
+    ));
+    svg.push_str(&format!(
+        r#"<text x="{}" y="{}" font-size="13" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        H - 12.0,
+        xml_escape(&meta.x_label)
+    ));
+    svg.push_str(&format!(
+        r#"<text x="16" y="{}" font-size="13" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        xml_escape(&meta.y_label)
+    ));
+
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let mut d = String::new();
+        for (j, &(x, y)) in s.points.iter().enumerate() {
+            d.push_str(if j == 0 { "M" } else { "L" });
+            d.push_str(&format!("{:.2},{:.2} ", sx(x), sy(y)));
+        }
+        svg.push_str(&format!(
+            r#"<path d="{d}" fill="none" stroke="{color}" stroke-width="2"/>"#
+        ));
+        // Legend entry.
+        let ly = MARGIN_T + 16.0 + i as f64 * 20.0;
+        let lx = MARGIN_L + plot_w + 12.0;
+        svg.push_str(&format!(
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="3"/>"#,
+            lx + 18.0
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{}" y="{}" font-size="12">{}</text>"#,
+            lx + 24.0,
+            ly + 4.0,
+            xml_escape(&s.name)
+        ));
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Render and write an SVG chart.
+pub fn write_svg(path: &Path, meta: &ChartMeta, series: &[Series]) -> io::Result<()> {
+    std::fs::write(path, render_svg(meta, series))
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{:.0}k", v / 1000.0)
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{:.0}", v)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Parse `--out <dir>` from the command line, creating the directory.
+pub fn out_dir_from_args() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    let idx = args.iter().position(|a| a == "--out")?;
+    let dir = std::path::PathBuf::from(args.get(idx + 1)?);
+    std::fs::create_dir_all(&dir).ok()?;
+    Some(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sw_export_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn csv_roundtrips_textually() {
+        let series = vec![
+            Series::from_ys("a", [1.0, 2.0, 3.0]),
+            Series::from_ys("b", [4.0, 5.0, 6.0]),
+        ];
+        let path = tmp("test.csv");
+        write_csv(&path, &series).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(text, "x,a,b\n0,1,4\n1,2,5\n2,3,6\n");
+    }
+
+    #[test]
+    fn svg_contains_all_series_and_labels() {
+        let meta = ChartMeta {
+            title: "Memory & savings".into(),
+            x_label: "window".into(),
+            y_label: "Kbit".into(),
+        };
+        let series = vec![
+            Series::from_ys("LL", [65.0, 60.0, 58.0]),
+            Series::from_ys("HH", [20.0, 21.0, 19.0]),
+        ];
+        let svg = render_svg(&meta, &series);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("LL"));
+        assert!(svg.contains("HH"));
+        assert!(svg.contains("Memory &amp; savings"), "title escaped");
+        assert_eq!(svg.matches("<path").count(), 2);
+    }
+
+    #[test]
+    fn svg_handles_single_point_series() {
+        let meta = ChartMeta {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+        };
+        let svg = render_svg(&meta, &[Series::from_ys("s", [5.0])]);
+        assert!(svg.contains("<path"));
+    }
+
+    #[test]
+    #[should_panic(expected = "series length mismatch")]
+    fn csv_rejects_ragged_series() {
+        let series = vec![
+            Series::from_ys("a", [1.0]),
+            Series::from_ys("b", [1.0, 2.0]),
+        ];
+        write_csv(&tmp("ragged.csv"), &series).unwrap();
+    }
+}

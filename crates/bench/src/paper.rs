@@ -1,0 +1,116 @@
+//! The paper's published numbers, kept verbatim so every binary can print
+//! measured-vs-paper side by side (and EXPERIMENTS.md can cite one source
+//! of truth).
+
+/// Table I — traditional BRAMs: `[window][width ∈ {512,1024,2048,3840}]`.
+pub const TABLE1: [(usize, [u32; 4]); 5] = [
+    (8, [8, 8, 8, 16]),
+    (16, [16, 16, 16, 32]),
+    (32, [32, 32, 32, 64]),
+    (64, [64, 64, 64, 128]),
+    (128, [128, 128, 128, 256]),
+];
+
+/// One row of the paper's Tables II–V: packed-bit BRAMs at T = 0/2/4/6
+/// plus management BRAMs.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedRow {
+    /// Window size.
+    pub window: usize,
+    /// Packed-bit BRAM counts for thresholds 0, 2, 4, 6.
+    pub packed: [u32; 4],
+    /// Management BRAMs.
+    pub mgmt: u32,
+}
+
+/// Table II — resolution 512×512.
+pub const TABLE2: [PackedRow; 5] = [
+    PackedRow { window: 8, packed: [2, 2, 2, 1], mgmt: 2 },
+    PackedRow { window: 16, packed: [4, 4, 2, 2], mgmt: 2 },
+    PackedRow { window: 32, packed: [8, 8, 4, 4], mgmt: 2 },
+    PackedRow { window: 64, packed: [16, 16, 16, 8], mgmt: 3 },
+    PackedRow { window: 128, packed: [32, 32, 32, 16], mgmt: 5 },
+];
+
+/// Table III — resolution 1024×1024.
+pub const TABLE3: [PackedRow; 5] = [
+    PackedRow { window: 8, packed: [4, 4, 2, 2], mgmt: 2 },
+    PackedRow { window: 16, packed: [8, 8, 4, 4], mgmt: 2 },
+    PackedRow { window: 32, packed: [16, 16, 8, 8], mgmt: 3 },
+    PackedRow { window: 64, packed: [32, 32, 16, 16], mgmt: 5 },
+    PackedRow { window: 128, packed: [64, 64, 32, 32], mgmt: 9 },
+];
+
+/// Table IV — resolution 2048×2048.
+pub const TABLE4: [PackedRow; 5] = [
+    PackedRow { window: 8, packed: [4, 4, 4, 4], mgmt: 2 },
+    PackedRow { window: 16, packed: [8, 8, 8, 8], mgmt: 3 },
+    PackedRow { window: 32, packed: [16, 16, 16, 16], mgmt: 5 },
+    PackedRow { window: 64, packed: [32, 32, 32, 32], mgmt: 9 },
+    PackedRow { window: 128, packed: [64, 64, 64, 64], mgmt: 16 },
+];
+
+/// Table V — resolution 3840×3840.
+pub const TABLE5: [PackedRow; 5] = [
+    PackedRow { window: 8, packed: [8, 8, 8, 8], mgmt: 4 },
+    PackedRow { window: 16, packed: [16, 16, 16, 16], mgmt: 6 },
+    PackedRow { window: 32, packed: [32, 32, 32, 32], mgmt: 9 },
+    PackedRow { window: 64, packed: [64, 64, 64, 64], mgmt: 16 },
+    PackedRow { window: 128, packed: [128, 128, 128, 128], mgmt: 28 },
+];
+
+/// The paper table for a given width, if published.
+pub fn packed_table(width: usize) -> Option<&'static [PackedRow; 5]> {
+    match width {
+        512 => Some(&TABLE2),
+        1024 => Some(&TABLE3),
+        2048 => Some(&TABLE4),
+        3840 => Some(&TABLE5),
+        _ => None,
+    }
+}
+
+/// MSEs the paper reports for thresholds 2, 4, 6 (Section VI-A).
+pub const PAPER_MSE: [(i16, f64); 3] = [(2, 0.59), (4, 3.2), (6, 4.8)];
+
+/// Figure 13 headline bands (Section VI-A prose): lossless saving 26–34 %,
+/// T = 6 saving 41–54 % at 2048×2048.
+pub const FIG13_LOSSLESS_BAND: (f64, f64) = (26.0, 34.0);
+/// See [`FIG13_LOSSLESS_BAND`].
+pub const FIG13_T6_BAND: (f64, f64) = (41.0, 54.0);
+
+/// Figure 3 reference points (Section IV-B prose, window 64 @ 512×512):
+/// detail sub-bands ≈ 40 Kbit each, LL ≈ 65 Kbit, total ≈ 217 Kbit vs
+/// 230 Kbit traditional.
+pub const FIG3_DETAIL_KBITS: f64 = 40.0;
+/// See [`FIG3_DETAIL_KBITS`].
+pub const FIG3_LL_KBITS: f64 = 65.0;
+/// See [`FIG3_DETAIL_KBITS`].
+pub const FIG3_TOTAL_KBITS: f64 = 217.0;
+/// See [`FIG3_DETAIL_KBITS`].
+pub const FIG3_TRADITIONAL_KBITS: f64 = 230.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_five_rows_each_and_match_table1_windows() {
+        for (i, row) in TABLE2.iter().enumerate() {
+            assert_eq!(row.window, TABLE1[i].0);
+        }
+        assert!(packed_table(512).is_some());
+        assert!(packed_table(999).is_none());
+    }
+
+    #[test]
+    fn paper_t0_packed_counts_never_exceed_traditional() {
+        // Internal consistency of the transcription: compressed ≤ traditional.
+        for (table, width_idx) in [(&TABLE2, 0), (&TABLE3, 1), (&TABLE4, 2), (&TABLE5, 3)] {
+            for (row, &(n, trad)) in table.iter().zip(TABLE1.iter()) {
+                assert_eq!(row.window, n);
+                assert!(row.packed[0] <= trad[width_idx], "N={n}");
+            }
+        }
+    }
+}

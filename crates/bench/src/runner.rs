@@ -1,0 +1,89 @@
+//! Dataset construction and sweep plumbing shared by the binaries.
+
+use rayon::prelude::*;
+use sw_image::{ImageU8, ScenePreset};
+
+/// Render the first `count` scenes of the dataset at the given resolution,
+/// in parallel. Returns `(name, image)` pairs.
+pub fn scene_images(width: usize, height: usize, count: usize) -> Vec<(String, ImageU8)> {
+    ScenePreset::ALL
+        .par_iter()
+        .take(count)
+        .map(|p| (p.name.to_string(), p.render(width, height)))
+        .collect()
+}
+
+/// Whether `--quick` was passed on the command line (reduced dataset for
+/// smoke runs / CI).
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// A sweep configuration: which resolutions and how many scenes.
+#[derive(Debug, Clone, Copy)]
+pub struct Sweep {
+    /// Number of dataset scenes to use (paper: 10).
+    pub scenes: usize,
+    /// Evaluate the expensive 3840-wide resolution.
+    pub include_3840: bool,
+    /// Square-image resolution used for Figure 13 (paper: 2048).
+    pub fig13_resolution: usize,
+}
+
+impl Sweep {
+    /// The paper's full evaluation.
+    pub fn full() -> Self {
+        Self {
+            scenes: 10,
+            include_3840: true,
+            fig13_resolution: 2048,
+        }
+    }
+
+    /// Reduced smoke-run settings.
+    pub fn quick() -> Self {
+        Self {
+            scenes: 3,
+            include_3840: false,
+            fig13_resolution: 512,
+        }
+    }
+
+    /// Selected by `--quick`.
+    pub fn from_args() -> Self {
+        if quick_flag() {
+            Self::quick()
+        } else {
+            Self::full()
+        }
+    }
+
+    /// The table widths to evaluate.
+    pub fn widths(&self) -> Vec<usize> {
+        let mut w = vec![512, 1024, 2048];
+        if self.include_3840 {
+            w.push(3840);
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scene_images_renders_named_scenes() {
+        let imgs = scene_images(32, 16, 2);
+        assert_eq!(imgs.len(), 2);
+        assert_eq!(imgs[0].0, "forest_path");
+        assert_eq!(imgs[0].1.width(), 32);
+    }
+
+    #[test]
+    fn sweep_presets() {
+        assert_eq!(Sweep::full().scenes, 10);
+        assert_eq!(Sweep::quick().widths(), vec![512, 1024, 2048]);
+        assert!(Sweep::full().widths().contains(&3840));
+    }
+}

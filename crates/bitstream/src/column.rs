@@ -1,0 +1,247 @@
+//! The column codec: the unit of compression the architecture performs every
+//! clock cycle (paper Section IV-B).
+//!
+//! A *column* here is one sub-band column of the decomposed image — `N/2`
+//! coefficients belonging to a single sub-band (the architecture encodes the
+//! two sub-bands of a decomposed image column as two such codec columns).
+//!
+//! The encoded form is
+//!
+//! * `NBits` — the column's coefficient width (4-bit management field),
+//! * `BitMap` — one significance bit per coefficient,
+//! * payload — the low `NBits` bits of each significant coefficient,
+//!   LSB-first.
+//!
+//! [`column_cost`] computes the exact storage cost without materializing the
+//! encoding; it is the hot path of the memory analyzer that regenerates the
+//! paper's Figure 3, Figure 13 and Tables II–V.
+
+use crate::bitmap::Bitmap;
+use crate::nbits::min_bits_significant;
+use crate::writer::{BitReader, BitWriter};
+use crate::{is_significant, Coeff, NBITS_FIELD_BITS};
+
+/// A fully encoded sub-band column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedColumn {
+    /// Coefficient width used for every significant coefficient (1..=16).
+    pub nbits: u32,
+    /// Significance bitmap, one bit per input coefficient.
+    pub bitmap: Bitmap,
+    /// Packed payload bytes (zero-padded to a whole byte).
+    pub payload: Vec<u8>,
+    /// Exact number of payload bits (before padding).
+    pub payload_bits: u64,
+}
+
+impl EncodedColumn {
+    /// Number of coefficients in the column.
+    pub fn len(&self) -> usize {
+        self.bitmap.len()
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bitmap.is_empty()
+    }
+
+    /// Total cost in bits: payload + BitMap + NBits field.
+    pub fn total_bits(&self) -> u64 {
+        self.payload_bits + self.bitmap.len() as u64 + NBITS_FIELD_BITS as u64
+    }
+}
+
+/// Exact storage cost of a column without encoding it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ColumnCost {
+    /// Payload bits (`significant × nbits`).
+    pub payload_bits: u64,
+    /// BitMap management bits (one per coefficient).
+    pub bitmap_bits: u64,
+    /// NBits management bits (one 4-bit field).
+    pub nbits_bits: u64,
+    /// Number of significant coefficients.
+    pub significant: usize,
+    /// The column width the NBits block would report.
+    pub nbits: u32,
+}
+
+impl ColumnCost {
+    /// Payload + management.
+    #[inline]
+    pub fn total_bits(&self) -> u64 {
+        self.payload_bits + self.bitmap_bits + self.nbits_bits
+    }
+
+    /// Accumulate another column's cost (for per-sub-band totals).
+    pub fn accumulate(&mut self, other: &ColumnCost) {
+        self.payload_bits += other.payload_bits;
+        self.bitmap_bits += other.bitmap_bits;
+        self.nbits_bits += other.nbits_bits;
+        self.significant += other.significant;
+        self.nbits = self.nbits.max(other.nbits);
+    }
+}
+
+/// Compute the storage cost of one sub-band column under threshold `T`.
+///
+/// This is allocation-free and is what the sweep benchmarks call millions of
+/// times.
+pub fn column_cost(coeffs: &[Coeff], threshold: Coeff) -> ColumnCost {
+    let mut significant = 0usize;
+    let mut nbits = 1u32;
+    for &c in coeffs {
+        if is_significant(c, threshold) {
+            significant += 1;
+            nbits = nbits.max(crate::nbits::min_bits(c));
+        }
+    }
+    ColumnCost {
+        payload_bits: significant as u64 * nbits as u64,
+        bitmap_bits: coeffs.len() as u64,
+        nbits_bits: NBITS_FIELD_BITS as u64,
+        significant,
+        nbits,
+    }
+}
+
+/// Encode one sub-band column.
+///
+/// ```
+/// use sw_bitstream::{encode_column, decode_column};
+/// // The paper's Figure 2 HL column: width 5, all significant.
+/// let enc = encode_column(&[13, 12, -9, 7], 0);
+/// assert_eq!((enc.nbits, enc.payload_bits), (5, 20));
+/// assert_eq!(decode_column(&enc), vec![13, 12, -9, 7]);
+/// ```
+pub fn encode_column(coeffs: &[Coeff], threshold: Coeff) -> EncodedColumn {
+    let nbits = min_bits_significant(coeffs, threshold);
+    let mut bitmap = Bitmap::new();
+    let mut w = BitWriter::new();
+    for &c in coeffs {
+        let sig = is_significant(c, threshold);
+        bitmap.push(sig);
+        if sig {
+            w.write_signed(c, nbits);
+        }
+    }
+    let payload_bits = w.bit_len();
+    EncodedColumn {
+        nbits,
+        bitmap,
+        payload: w.into_bytes(),
+        payload_bits,
+    }
+}
+
+/// Decode an encoded column back to coefficients (insignificant ⇒ 0).
+///
+/// # Panics
+///
+/// Panics if the payload is truncated.
+pub fn decode_column(enc: &EncodedColumn) -> Vec<Coeff> {
+    let mut r = BitReader::new(&enc.payload);
+    enc.bitmap
+        .iter()
+        .map(|sig| {
+            if sig {
+                r.read_signed(enc.nbits).expect("truncated column payload")
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply_threshold;
+
+    #[test]
+    fn paper_figure2_hl_first_column() {
+        // (13, 12, -9, 7): NBits = 5, all significant, payload 20 bits,
+        // BitMap "1111".
+        let enc = encode_column(&[13, 12, -9, 7], 0);
+        assert_eq!(enc.nbits, 5);
+        assert_eq!(enc.payload_bits, 20);
+        assert_eq!(enc.bitmap.to_bit_string(), "1111");
+        assert_eq!(decode_column(&enc), vec![13, 12, -9, 7]);
+        assert_eq!(enc.total_bits(), 20 + 4 + 4);
+    }
+
+    #[test]
+    fn paper_figure2_last_column_with_zeros() {
+        // BitMap 0011: first two zero, zeros cost no payload.
+        let enc = encode_column(&[0, 0, 5, -6], 0);
+        assert_eq!(enc.bitmap.to_bit_string(), "0011");
+        assert_eq!(enc.nbits, 4);
+        assert_eq!(enc.payload_bits, 8);
+        assert_eq!(decode_column(&enc), vec![0, 0, 5, -6]);
+    }
+
+    #[test]
+    fn all_zero_column_costs_only_management() {
+        let enc = encode_column(&[0; 32], 0);
+        assert_eq!(enc.payload_bits, 0);
+        assert!(enc.payload.is_empty());
+        assert_eq!(enc.total_bits(), 32 + 4);
+        assert_eq!(decode_column(&enc), vec![0; 32]);
+    }
+
+    #[test]
+    fn lossy_decode_matches_thresholded_input() {
+        let coeffs: Vec<Coeff> = vec![9, -3, 2, 0, -11, 5, -5, 1];
+        for t in [0, 2, 4, 6, 100] {
+            let enc = encode_column(&coeffs, t);
+            let expect: Vec<Coeff> = coeffs.iter().map(|&c| apply_threshold(c, t)).collect();
+            assert_eq!(decode_column(&enc), expect, "threshold {t}");
+        }
+    }
+
+    #[test]
+    fn cost_matches_encoding_exactly() {
+        let coeffs: Vec<Coeff> = vec![0, 1, -1, 127, -128, 255, -255, 0, 33, -17];
+        for t in [0, 2, 4, 6, 30] {
+            let cost = column_cost(&coeffs, t);
+            let enc = encode_column(&coeffs, t);
+            assert_eq!(cost.payload_bits, enc.payload_bits, "T={t}");
+            assert_eq!(cost.nbits, enc.nbits, "T={t}");
+            assert_eq!(cost.bitmap_bits, enc.bitmap.len() as u64);
+            assert_eq!(
+                cost.total_bits(),
+                enc.total_bits(),
+                "T={t}: cost function must equal real encoding"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_threshold_never_costs_more() {
+        let coeffs: Vec<Coeff> = (0..64).map(|i| ((i * 37) % 23 - 11) as Coeff).collect();
+        let mut prev = u64::MAX;
+        for t in [0, 1, 2, 4, 6, 8, 16] {
+            let bits = column_cost(&coeffs, t).total_bits();
+            assert!(bits <= prev, "cost must be monotone in T");
+            prev = bits;
+        }
+    }
+
+    #[test]
+    fn accumulate_sums_and_maxes() {
+        let a = column_cost(&[1, 2, 3], 0);
+        let b = column_cost(&[100, 0], 0);
+        let mut acc = a;
+        acc.accumulate(&b);
+        assert_eq!(acc.payload_bits, a.payload_bits + b.payload_bits);
+        assert_eq!(acc.significant, 4);
+        assert_eq!(acc.nbits, 8); // 100 needs 8 bits
+    }
+
+    #[test]
+    fn wide_coefficients_supported() {
+        let enc = encode_column(&[-510, 510], 0);
+        assert_eq!(enc.nbits, 10);
+        assert_eq!(decode_column(&enc), vec![-510, 510]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Register-level model of the paper's **Bit Unpacking** unit (Figures 8–9).
+//!
+//! The block reconstructs coefficients from the packed stream. Its state:
+//!
+//! * `CBits` — count of valid bits remaining in the remainder register,
+//! * `Yout_rem` — the remainder register holding bits left over after each
+//!   extraction (16 bits in the paper: worst case is 7 leftover bits plus a
+//!   fresh 8-bit word; the generalized 16-bit datapath here needs up to 31,
+//!   modeled in a `u64`),
+//! * `Yout_Reg` — the sign-extended output register.
+//!
+//! Per output, the block reads one BitMap bit and the column's NBits value.
+//! BitMap 0 short-circuits to an output of zero without consuming payload
+//! bits; BitMap 1 extracts the next `NBits` payload bits and sign-extends
+//! them "to the pixel size" (paper Section IV-C). When `CBits < NBits` the
+//! block first pulls another word from the Pixel FIFO — modeled by
+//! [`BitUnpackingUnit::needs_word`] / [`BitUnpackingUnit::feed_word`].
+
+use crate::writer::sign_extend;
+use crate::Coeff;
+
+/// The Bit Unpacking unit.
+#[derive(Debug, Clone)]
+pub struct BitUnpackingUnit {
+    word_bits: u32,
+    /// `Yout_rem`: leftover payload bits, LSB-first.
+    rem: u64,
+    /// `CBits`: number of valid bits in `rem`.
+    cbits: u32,
+    /// Total payload bits consumed.
+    consumed_bits: u64,
+}
+
+impl BitUnpackingUnit {
+    /// New unpacker with the paper's 8-bit FIFO words.
+    pub fn new() -> Self {
+        Self::with_word_bits(8)
+    }
+
+    /// New unpacker with a custom FIFO word width (8 or 16).
+    pub fn with_word_bits(word_bits: u32) -> Self {
+        assert!(word_bits == 8 || word_bits == 16, "word width must be 8 or 16");
+        Self {
+            word_bits,
+            rem: 0,
+            cbits: 0,
+            consumed_bits: 0,
+        }
+    }
+
+    /// Bits currently available in `Yout_rem`.
+    #[inline]
+    pub fn available_bits(&self) -> u32 {
+        self.cbits
+    }
+
+    /// Total payload bits consumed since construction/reset.
+    #[inline]
+    pub fn consumed_bits(&self) -> u64 {
+        self.consumed_bits
+    }
+
+    /// Whether another FIFO word must be fed before an `nbits`-wide
+    /// extraction can proceed (the paper's `CBits < 8` comparator,
+    /// generalized to the exact requirement).
+    #[inline]
+    pub fn needs_word(&self, nbits: u32) -> bool {
+        self.cbits < nbits
+    }
+
+    /// Feed one word from the Pixel FIFO into `Yout_rem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the remainder register would overflow (the architecture
+    /// never feeds more than it needs — `Yout_rem` is sized for exactly one
+    /// starved extraction).
+    pub fn feed_word(&mut self, w: u8) {
+        assert!(
+            self.cbits + self.word_bits <= 48,
+            "Yout_rem overflow: the controller fed too many words"
+        );
+        self.rem |= (w as u64) << self.cbits;
+        self.cbits += self.word_bits;
+    }
+
+    /// Feed fewer than a full word of bits (the packer bypass path; see
+    /// `BitPackingUnit::drain_staged`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the remainder register would overflow or `n > 16`.
+    pub fn feed_bits(&mut self, bits: u32, n: u32) {
+        assert!(n <= 16, "at most one word of bypass bits");
+        assert!(self.cbits + n <= 48, "Yout_rem overflow");
+        self.rem |= ((bits & ((1u32 << n) - 1)) as u64) << self.cbits;
+        self.cbits += n;
+    }
+
+    /// One output cycle.
+    ///
+    /// * `bitmap_bit == false` ⇒ outputs `Some(0)` without consuming bits.
+    /// * `bitmap_bit == true` ⇒ extracts `nbits` bits, sign-extends, and
+    ///   returns the coefficient; returns `None` when starved (caller must
+    ///   [`feed_word`](Self::feed_word) and retry — in hardware this is the
+    ///   same-cycle FIFO read path through the big multiplexer).
+    pub fn clock(&mut self, bitmap_bit: bool, nbits: u32) -> Option<Coeff> {
+        assert!((1..=16).contains(&nbits), "NBits out of range");
+        if !bitmap_bit {
+            return Some(0);
+        }
+        if self.cbits < nbits {
+            return None;
+        }
+        let raw = (self.rem & ((1u64 << nbits) - 1)) as u32;
+        self.rem >>= nbits;
+        self.cbits -= nbits;
+        self.consumed_bits += nbits as u64;
+        Some(sign_extend(raw, nbits))
+    }
+
+    /// Discard any leftover bits (frame boundary / padded flush).
+    pub fn reset(&mut self) {
+        self.rem = 0;
+        self.cbits = 0;
+        self.consumed_bits = 0;
+    }
+
+    /// Drop up to `word_bits − 1` zero padding bits left by a packer flush.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leftover bits are not all zero (stream corruption) or if
+    /// a full word or more is left (controller bug).
+    pub fn consume_padding(&mut self) {
+        assert!(
+            self.cbits < self.word_bits,
+            "a full word remains: not padding"
+        );
+        assert_eq!(self.rem, 0, "non-zero padding bits: corrupt stream");
+        self.cbits = 0;
+    }
+}
+
+impl Default for BitUnpackingUnit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nbits::min_bits_significant;
+    use crate::packer::BitPackingUnit;
+    use crate::{is_significant, Coeff};
+
+    /// End-to-end: pack columns with the hardware packer, then unpack with
+    /// the hardware unpacker, driving the FIFO hand-shake exactly as the
+    /// architecture does.
+    fn roundtrip(columns: &[Vec<Coeff>], threshold: Coeff) -> Vec<Vec<Coeff>> {
+        let mut packer = BitPackingUnit::new(threshold);
+        let mut fifo: std::collections::VecDeque<u8> = Default::default();
+        let mut meta = Vec::new(); // (nbits, bitmap bits per column)
+        for col in columns {
+            let nbits = min_bits_significant(col, threshold);
+            let mut bits = Vec::new();
+            for &c in col {
+                let out = packer.clock(c, nbits);
+                bits.push(out.bitmap_bit);
+                fifo.extend(out.words);
+            }
+            meta.push((nbits, bits));
+        }
+        if let Some(w) = packer.flush() {
+            fifo.push_back(w);
+        }
+
+        let mut unpacker = BitUnpackingUnit::new();
+        let mut out = Vec::new();
+        for (nbits, bits) in &meta {
+            let mut col = Vec::new();
+            for &b in bits {
+                loop {
+                    match unpacker.clock(b, *nbits) {
+                        Some(c) => {
+                            col.push(c);
+                            break;
+                        }
+                        None => unpacker.feed_word(fifo.pop_front().expect("FIFO underrun")),
+                    }
+                }
+            }
+            out.push(col);
+        }
+        out
+    }
+
+    #[test]
+    fn lossless_roundtrip_restores_exactly() {
+        let columns = vec![
+            vec![13, 12, -9, 7],
+            vec![0, 0, 3, -3],
+            vec![0, 0, 0, 0],
+            vec![255, -255, 1, 0],
+            vec![-510, 510, -1, 1],
+        ];
+        assert_eq!(roundtrip(&columns, 0), columns);
+    }
+
+    #[test]
+    fn lossy_roundtrip_zeroes_sub_threshold() {
+        let columns = vec![vec![13, 1, -2, 7], vec![5, -5, 4, -4]];
+        let expect: Vec<Vec<Coeff>> = columns
+            .iter()
+            .map(|col| {
+                col.iter()
+                    .map(|&c| if is_significant(c, 4) { c } else { 0 })
+                    .collect()
+            })
+            .collect();
+        assert_eq!(roundtrip(&columns, 4), expect);
+    }
+
+    #[test]
+    fn paper_figure9_walkthrough() {
+        // Figure 9: the block reads 8 bits containing pixel A's bits and part
+        // of B's; extracts NBits, sign-extends, keeps the remainder. Model:
+        // A = -9 at 5 bits (10111), B = 13 at 5 bits (01101):
+        // first byte = 0b101_10111 (A in bits 0-4, B's low 3 bits above).
+        let mut u = BitUnpackingUnit::new();
+        assert!(u.needs_word(5));
+        u.feed_word(0b101_10111);
+        assert_eq!(u.clock(true, 5), Some(-9));
+        assert_eq!(u.available_bits(), 3); // B's low bits wait in Yout_rem
+        assert!(u.needs_word(5));
+        u.feed_word(0b0000_0001); // B's high bits
+        assert_eq!(u.clock(true, 5), Some(13));
+        assert_eq!(u.available_bits(), 6);
+    }
+
+    #[test]
+    fn bitmap_zero_outputs_zero_without_consuming() {
+        let mut u = BitUnpackingUnit::new();
+        u.feed_word(0xff);
+        assert_eq!(u.clock(false, 8), Some(0));
+        assert_eq!(u.available_bits(), 8);
+        assert_eq!(u.consumed_bits(), 0);
+    }
+
+    #[test]
+    fn starved_extraction_returns_none() {
+        let mut u = BitUnpackingUnit::new();
+        u.feed_word(0x0f);
+        assert_eq!(u.available_bits(), 8);
+        assert!(u.needs_word(9));
+        assert_eq!(u.clock(true, 9), None);
+        u.feed_word(0x00);
+        assert_eq!(u.clock(true, 9), Some(0x0f));
+    }
+
+    #[test]
+    fn consume_padding_accepts_zero_tail() {
+        let mut u = BitUnpackingUnit::new();
+        u.feed_word(0b0000_0101);
+        assert_eq!(u.clock(true, 3), Some(-3)); // 101 -> -3
+        u.consume_padding();
+        assert_eq!(u.available_bits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt")]
+    fn consume_padding_rejects_nonzero_tail() {
+        let mut u = BitUnpackingUnit::new();
+        u.feed_word(0b0100_0101);
+        let _ = u.clock(true, 3);
+        u.consume_padding();
+    }
+
+    #[test]
+    fn wide_coefficients_roundtrip_through_16bit_path() {
+        let columns = vec![vec![-510, 509, 255, -256]];
+        assert_eq!(roundtrip(&columns, 0), columns);
+    }
+}

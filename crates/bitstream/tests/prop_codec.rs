@@ -1,0 +1,139 @@
+//! Property tests for the bit-level codec: the software reference
+//! (BitWriter/BitReader), the column codec, and the hardware register models
+//! (BitPackingUnit/BitUnpackingUnit) must all agree, for any input and any
+//! threshold.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use sw_bitstream::nbits::{min_bits, min_bits_significant, NBitsCircuit};
+use sw_bitstream::{
+    apply_threshold, column_cost, decode_column, encode_column, is_significant, BitPackingUnit,
+    BitReader, BitUnpackingUnit, BitWriter, Coeff,
+};
+
+fn coeff_strategy() -> impl Strategy<Value = Coeff> {
+    // The full range a 2-D Haar of u8 pixels can produce, plus margin.
+    -512i16..=512
+}
+
+proptest! {
+    #[test]
+    fn min_bits_is_tight(v in coeff_strategy()) {
+        let b = min_bits(v);
+        // v fits in b bits...
+        let lo = -(1i32 << (b - 1));
+        let hi = (1i32 << (b - 1)) - 1;
+        prop_assert!((lo..=hi).contains(&(v as i32)));
+        // ...and not in b-1 bits (unless b == 1).
+        if b > 1 {
+            let lo = -(1i32 << (b - 2));
+            let hi = (1i32 << (b - 2)) - 1;
+            prop_assert!(!(lo..=hi).contains(&(v as i32)));
+        }
+    }
+
+    #[test]
+    fn circuit_equals_arithmetic(col in vec(-512i16..=512, 1..64)) {
+        let circuit = NBitsCircuit::new(11);
+        let expect = col.iter().map(|&v| min_bits(v)).max().unwrap();
+        prop_assert_eq!(circuit.evaluate(&col), expect);
+    }
+
+    #[test]
+    fn bitwriter_bitreader_roundtrip(fields in vec((any::<u32>(), 1u32..=32), 0..64)) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &fields {
+            w.write_bits(v, n);
+        }
+        let total: u64 = fields.iter().map(|&(_, n)| n as u64).sum();
+        prop_assert_eq!(w.bit_len(), total);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            let mask = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+            prop_assert_eq!(r.read_bits(n), Some(v & mask));
+        }
+    }
+
+    #[test]
+    fn column_roundtrip_is_thresholding(
+        col in vec(coeff_strategy(), 0..128),
+        t in 0i16..64,
+    ) {
+        let enc = encode_column(&col, t);
+        let decoded = decode_column(&enc);
+        let expect: Vec<Coeff> = col.iter().map(|&c| apply_threshold(c, t)).collect();
+        prop_assert_eq!(decoded, expect);
+    }
+
+    #[test]
+    fn lossless_column_roundtrip_is_exact(col in vec(coeff_strategy(), 1..128)) {
+        let enc = encode_column(&col, 0);
+        prop_assert_eq!(decode_column(&enc), col);
+    }
+
+    #[test]
+    fn cost_function_equals_real_encoding(
+        col in vec(coeff_strategy(), 0..128),
+        t in 0i16..64,
+    ) {
+        let cost = column_cost(&col, t);
+        let enc = encode_column(&col, t);
+        prop_assert_eq!(cost.total_bits(), enc.total_bits());
+        prop_assert_eq!(cost.payload_bits, enc.payload_bits);
+        prop_assert_eq!(cost.significant, enc.bitmap.count_ones());
+    }
+
+    #[test]
+    fn hardware_models_agree_with_reference(
+        cols in vec(vec(coeff_strategy(), 1..32), 1..16),
+        t in 0i16..16,
+    ) {
+        // Pack with the hardware packer.
+        let mut packer = BitPackingUnit::new(t);
+        let mut fifo: VecDeque<u8> = VecDeque::new();
+        let mut meta = Vec::new();
+        for col in &cols {
+            let nbits = min_bits_significant(col, t);
+            let mut bits = Vec::new();
+            for &c in col {
+                let out = packer.clock(c, nbits);
+                bits.push(out.bitmap_bit);
+                fifo.extend(out.words);
+            }
+            meta.push((nbits, bits));
+        }
+        if let Some(w) = packer.flush() {
+            fifo.push_back(w);
+        }
+
+        // The byte stream must equal the BitWriter reference.
+        let mut reference = BitWriter::new();
+        for col in &cols {
+            let nbits = min_bits_significant(col, t);
+            for &c in col {
+                if is_significant(c, t) {
+                    reference.write_signed(c, nbits);
+                }
+            }
+        }
+        let ref_bytes = reference.into_bytes();
+        let hw_bytes: Vec<u8> = fifo.iter().copied().collect();
+        prop_assert_eq!(&hw_bytes, &ref_bytes);
+
+        // And the hardware unpacker must reconstruct the thresholded input.
+        let mut unpacker = BitUnpackingUnit::new();
+        for (col, (nbits, bits)) in cols.iter().zip(&meta) {
+            for (&c, &b) in col.iter().zip(bits) {
+                let got = loop {
+                    match unpacker.clock(b, *nbits) {
+                        Some(v) => break v,
+                        None => unpacker.feed_word(fifo.pop_front().unwrap()),
+                    }
+                };
+                prop_assert_eq!(got, apply_threshold(c, t));
+            }
+        }
+    }
+}

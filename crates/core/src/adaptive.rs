@@ -1,0 +1,208 @@
+//! Adaptive threshold control — the paper's stated future work, implemented.
+//!
+//! "Our future work will investigate making this automatically adjustable at
+//! runtime based on the previous frame compression ratio" (Section VII), and
+//! Section V-E: "This can be fixed in the future by making threshold values
+//! automatically adjustable based on the available memory and the current
+//! frame compression ratio."
+//!
+//! [`AdaptiveThreshold`] is that controller: after each frame it compares
+//! the measured worst-case packed-bit occupancy against the provisioned
+//! BRAM budget and walks the threshold up (on overflow risk) or down (when
+//! there is comfortable headroom), with hysteresis so alternating scenes do
+//! not cause oscillation.
+
+use crate::Coeff;
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Provisioned packed-bit capacity in bits (e.g. from a
+    /// [`crate::planner::BramPlan`]).
+    pub budget_bits: u64,
+    /// Raise the threshold when occupancy exceeds this fraction of budget.
+    pub high_water: f64,
+    /// Lower the threshold when occupancy falls below this fraction.
+    pub low_water: f64,
+    /// Largest threshold the controller may select.
+    pub max_threshold: Coeff,
+}
+
+impl AdaptiveConfig {
+    /// Sensible defaults: react above 95 % of budget, relax below 60 %.
+    pub fn new(budget_bits: u64) -> Self {
+        Self {
+            budget_bits,
+            high_water: 0.95,
+            low_water: 0.60,
+            max_threshold: 16,
+        }
+    }
+}
+
+/// Outcome of one controller step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adjustment {
+    /// Threshold raised (compression tightened).
+    Raised,
+    /// Threshold lowered (quality recovered).
+    Lowered,
+    /// No change.
+    Held,
+    /// Already at the maximum threshold but still over budget — the frame
+    /// would overflow in hardware (the paper's unfixable "bad frame").
+    SaturatedOverBudget,
+}
+
+/// The per-frame threshold controller.
+///
+/// ```
+/// use sw_core::adaptive::{AdaptiveConfig, AdaptiveThreshold, Adjustment};
+/// let mut ctl = AdaptiveThreshold::new(AdaptiveConfig::new(10_000), 0);
+/// // A frame over budget raises the threshold immediately...
+/// assert_eq!(ctl.observe(12_000), Adjustment::Raised);
+/// assert_eq!(ctl.threshold(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveThreshold {
+    cfg: AdaptiveConfig,
+    threshold: Coeff,
+    /// Frames to hold after a change (hysteresis).
+    cooldown: u32,
+    frames: u64,
+    raises: u64,
+    lowers: u64,
+}
+
+impl AdaptiveThreshold {
+    /// Controller starting at the given threshold.
+    pub fn new(cfg: AdaptiveConfig, initial_threshold: Coeff) -> Self {
+        assert!(cfg.budget_bits > 0, "budget must be positive");
+        assert!(
+            cfg.low_water < cfg.high_water,
+            "low water must sit below high water"
+        );
+        Self {
+            cfg,
+            threshold: initial_threshold.clamp(0, cfg.max_threshold),
+            cooldown: 0,
+            frames: 0,
+            raises: 0,
+            lowers: 0,
+        }
+    }
+
+    /// The threshold to use for the next frame.
+    #[inline]
+    pub fn threshold(&self) -> Coeff {
+        self.threshold
+    }
+
+    /// Frames observed so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// `(raises, lowers)` counters.
+    pub fn adjustments(&self) -> (u64, u64) {
+        (self.raises, self.lowers)
+    }
+
+    /// Feed the previous frame's measured worst-case packed occupancy and
+    /// obtain the adjustment decision. Call once per frame.
+    pub fn observe(&mut self, occupancy_bits: u64) -> Adjustment {
+        self.frames += 1;
+        let occ = occupancy_bits as f64;
+        let budget = self.cfg.budget_bits as f64;
+        // Over budget overrides hysteresis: react immediately.
+        if occ > budget * self.cfg.high_water {
+            if self.threshold >= self.cfg.max_threshold {
+                return Adjustment::SaturatedOverBudget;
+            }
+            self.threshold += 1;
+            self.raises += 1;
+            self.cooldown = 2;
+            return Adjustment::Raised;
+        }
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return Adjustment::Held;
+        }
+        if occ < budget * self.cfg.low_water && self.threshold > 0 {
+            self.threshold -= 1;
+            self.lowers += 1;
+            self.cooldown = 2;
+            return Adjustment::Lowered;
+        }
+        Adjustment::Held
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(budget: u64) -> AdaptiveThreshold {
+        AdaptiveThreshold::new(AdaptiveConfig::new(budget), 0)
+    }
+
+    #[test]
+    fn raises_on_over_budget() {
+        let mut c = controller(10_000);
+        assert_eq!(c.observe(9_999), Adjustment::Raised); // > 95%
+        assert_eq!(c.threshold(), 1);
+    }
+
+    #[test]
+    fn lowers_after_cooldown_when_idle() {
+        let mut c = AdaptiveThreshold::new(AdaptiveConfig::new(10_000), 4);
+        // Well under budget, but hysteresis holds for two frames after
+        // construction? No cooldown initially: lowers immediately.
+        assert_eq!(c.observe(1_000), Adjustment::Lowered);
+        assert_eq!(c.threshold(), 3);
+        // Cooldown: held for two frames.
+        assert_eq!(c.observe(1_000), Adjustment::Held);
+        assert_eq!(c.observe(1_000), Adjustment::Held);
+        assert_eq!(c.observe(1_000), Adjustment::Lowered);
+    }
+
+    #[test]
+    fn holds_in_the_comfort_band() {
+        let mut c = AdaptiveThreshold::new(AdaptiveConfig::new(10_000), 2);
+        assert_eq!(c.observe(8_000), Adjustment::Held); // 60%..95%
+        assert_eq!(c.threshold(), 2);
+    }
+
+    #[test]
+    fn saturates_at_max_threshold() {
+        let cfg = AdaptiveConfig {
+            max_threshold: 2,
+            ..AdaptiveConfig::new(1_000)
+        };
+        let mut c = AdaptiveThreshold::new(cfg, 0);
+        assert_eq!(c.observe(5_000), Adjustment::Raised);
+        assert_eq!(c.observe(5_000), Adjustment::Raised);
+        assert_eq!(c.observe(5_000), Adjustment::SaturatedOverBudget);
+        assert_eq!(c.threshold(), 2);
+    }
+
+    #[test]
+    fn threshold_never_goes_negative() {
+        let mut c = controller(u64::MAX / 2);
+        for _ in 0..10 {
+            c.observe(0);
+        }
+        assert_eq!(c.threshold(), 0);
+    }
+
+    #[test]
+    fn counters_track_adjustments() {
+        let mut c = controller(10_000);
+        c.observe(20_000); // raise
+        c.observe(1); // cooldown hold
+        c.observe(1); // cooldown hold
+        c.observe(1); // lower
+        assert_eq!(c.adjustments(), (1, 1));
+        assert_eq!(c.frames(), 4);
+    }
+}

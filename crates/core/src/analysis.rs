@@ -1,0 +1,542 @@
+//! One-pass frame analyzer (paper Section IV-B, Figure 3; feeds Figure 13
+//! and Tables II–V).
+//!
+//! Computes, without running the full streaming architecture, the exact
+//! storage cost the compression algorithm would incur on a frame:
+//! per-sub-band payload bits, management bits, the worst-case memory-unit
+//! occupancy over a sliding span of `W − N` columns, and the paper's
+//! Equation 5 memory saving.
+//!
+//! ## Method
+//!
+//! The image is decomposed once with the single-level 2-D Haar transform;
+//! window strips are then costed against the shared coefficient planes.
+//! Strips are sampled at their natural vertical stride (`N` pixels,
+//! non-overlapping) with even alignment, which matches the streaming
+//! architecture's row pairing on even rows; odd-aligned strips differ only
+//! in which rows pair vertically and have statistically identical costs.
+//! This makes the analyzer O(W·H) regardless of window size, which is what
+//! lets the benchmark harness sweep the paper's full parameter grid.
+
+use crate::config::{ArchConfig, NBitsGranularity, ThresholdPolicy};
+use crate::Coeff;
+use sw_bitstream::nbits::min_bits;
+use sw_bitstream::{column_cost, is_significant};
+use sw_image::ImageU8;
+use sw_wavelet::haar2d::forward_image;
+use sw_wavelet::{SubBand, SubbandPlanes};
+
+/// Storage cost of one frame under one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameAnalysis {
+    /// Window size N.
+    pub window: usize,
+    /// Image width W.
+    pub width: usize,
+    /// Payload bits by sub-band `[LL, LH, HL, HH]`, summed over all
+    /// analyzed strips.
+    pub per_band_payload_bits: [u64; 4],
+    /// Management bits (NBits + BitMap) over the same columns.
+    pub mgmt_bits: u64,
+    /// Raw bits the same columns hold uncompressed (`columns × N × 8`).
+    pub raw_bits: u64,
+    /// Number of decomposed columns analyzed.
+    pub columns: u64,
+    /// Worst sliding-span payload occupancy (`W − N` consecutive columns).
+    pub worst_payload_occupancy: u64,
+    /// Strips analyzed.
+    pub strips: usize,
+}
+
+impl FrameAnalysis {
+    /// Total payload bits.
+    pub fn payload_bits(&self) -> u64 {
+        self.per_band_payload_bits.iter().sum()
+    }
+
+    /// Paper Equation 5 over the analyzed columns, management included:
+    /// `(1 − Compressed/Uncompressed) × 100`.
+    pub fn saving_pct(&self) -> f64 {
+        let compressed = self.payload_bits() + self.mgmt_bits;
+        (1.0 - compressed as f64 / self.raw_bits as f64) * 100.0
+    }
+
+    /// Compressed bits per pixel (payload + management).
+    pub fn bits_per_pixel(&self) -> f64 {
+        (self.payload_bits() + self.mgmt_bits) as f64
+            / (self.columns as f64 * self.window as f64)
+    }
+
+    /// Worst-case total occupancy of the memory unit, management included
+    /// (`W − N` columns of management ride alongside the payload).
+    pub fn worst_total_occupancy(&self) -> u64 {
+        let span = (self.width - self.window) as u64;
+        self.worst_payload_occupancy + span * (8 + self.window as u64)
+    }
+}
+
+/// One position of the Figure 3 occupancy curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancySample {
+    /// Buffered payload bits per sub-band `[LL, LH, HL, HH]`.
+    pub per_band_bits: [u64; 4],
+    /// Buffered management bits.
+    pub mgmt_bits: u64,
+}
+
+impl OccupancySample {
+    /// Total buffered bits at this position.
+    pub fn total_bits(&self) -> u64 {
+        self.per_band_bits.iter().sum::<u64>() + self.mgmt_bits
+    }
+}
+
+/// Per-column cost of one strip: payload bits per decomposed column and
+/// band.
+struct StripCosts {
+    /// `cols[x] = [LL, LH, HL, HH]` payload bits of decomposed column `x`.
+    cols: Vec<[u64; 4]>,
+}
+
+/// Cost of one sub-band column under the configured NBits granularity.
+fn sub_column_bits(
+    coeffs: &[Coeff],
+    t: Coeff,
+    granularity: NBitsGranularity,
+    band_nbits: u32,
+) -> u64 {
+    match granularity {
+        NBitsGranularity::PerColumn => column_cost(coeffs, t).payload_bits,
+        NBitsGranularity::PerCoefficient => coeffs
+            .iter()
+            .filter(|&&c| is_significant(c, t))
+            .map(|&c| min_bits(c) as u64 + 4) // width field per coefficient
+            .sum(),
+        NBitsGranularity::PerSubband => {
+            let sig = coeffs.iter().filter(|&&c| is_significant(c, t)).count() as u64;
+            sig * band_nbits as u64
+        }
+    }
+}
+
+/// Frame-wide per-band maximum widths (for [`NBitsGranularity::PerSubband`]).
+fn band_widths(planes: &SubbandPlanes, cfg: &ArchConfig) -> [u32; 4] {
+    let mut widths = [1u32; 4];
+    for band in SubBand::ALL {
+        let t = cfg.policy.threshold_for(band, cfg.threshold);
+        let w = planes
+            .plane(band)
+            .iter()
+            .copied()
+            .filter(|&c| is_significant(c, t))
+            .map(min_bits)
+            .max()
+            .unwrap_or(1);
+        widths[band.index()] = w;
+    }
+    widths
+}
+
+/// Compute per-column costs for the strip covering block rows
+/// `br0 .. br0 + n/2`.
+fn strip_costs(
+    planes: &SubbandPlanes,
+    cfg: &ArchConfig,
+    br0: usize,
+    widths: &[u32; 4],
+) -> StripCosts {
+    let half = cfg.window / 2;
+    let pw = planes.w;
+    let mut cols = Vec::with_capacity(pw * 2);
+    let mut buf: Vec<Coeff> = vec![0; half];
+    for bx in 0..pw {
+        // Even decomposed column: LL + LH. Odd: HL + HH.
+        let mut even = [0u64; 4];
+        let mut odd = [0u64; 4];
+        for band in SubBand::ALL {
+            let t = cfg.policy.threshold_for(band, cfg.threshold);
+            for (k, b) in buf.iter_mut().enumerate() {
+                *b = planes.get(band, bx, br0 + k);
+            }
+            let bits = sub_column_bits(&buf, t, cfg.granularity, widths[band.index()]);
+            match band {
+                SubBand::LL | SubBand::LH => even[band.index()] = bits,
+                SubBand::HL | SubBand::HH => odd[band.index()] = bits,
+            }
+        }
+        cols.push(even);
+        cols.push(odd);
+    }
+    StripCosts { cols }
+}
+
+/// Management bits of one decomposed column under the configured
+/// granularity.
+fn mgmt_bits_per_column(cfg: &ArchConfig) -> u64 {
+    match cfg.granularity {
+        // 2 sub-bands × 4-bit NBits + N BitMap bits.
+        NBitsGranularity::PerColumn => 8 + cfg.window as u64,
+        // Width fields are charged per coefficient inside the payload;
+        // only the BitMap remains as side-band management.
+        NBitsGranularity::PerCoefficient => cfg.window as u64,
+        // Per-frame NBits is negligible; BitMap remains.
+        NBitsGranularity::PerSubband => cfg.window as u64,
+    }
+}
+
+/// Analyze one frame under `cfg`.
+///
+/// ```
+/// use sw_core::analysis::analyze_frame;
+/// use sw_core::config::ArchConfig;
+/// use sw_image::ImageU8;
+///
+/// // A smooth gradient compresses well losslessly.
+/// let img = ImageU8::from_fn(128, 64, |x, _| (x * 2) as u8);
+/// let a = analyze_frame(&img, &ArchConfig::new(8, 128));
+/// assert!(a.saving_pct() > 30.0);
+/// assert!(a.bits_per_pixel() < 6.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the image width mismatches `cfg.width` or the image is shorter
+/// than the window.
+pub fn analyze_frame(img: &ImageU8, cfg: &ArchConfig) -> FrameAnalysis {
+    assert_eq!(img.width(), cfg.width, "image width mismatch");
+    assert!(img.height() >= cfg.window, "image shorter than the window");
+    let n = cfg.window;
+    let w = img.width() & !1; // even-crop
+    let h = img.height() & !1;
+    let pixels: Vec<Coeff> = if w == img.width() {
+        img.pixels()[..w * h].iter().map(|&p| p as Coeff).collect()
+    } else {
+        let mut v = Vec::with_capacity(w * h);
+        for y in 0..h {
+            v.extend(img.row(y)[..w].iter().map(|&p| p as Coeff));
+        }
+        v
+    };
+    let planes = forward_image(&pixels, w, h);
+    let widths = band_widths(&planes, cfg);
+
+    let half = n / 2;
+    let strips = planes.h / half;
+    assert!(strips > 0, "image shorter than the window");
+    let span = cfg.fifo_depth(); // sliding span in columns
+
+    let mut per_band = [0u64; 4];
+    let mut worst = 0u64;
+    let mut columns = 0u64;
+    let mut prev: Option<StripCosts> = None;
+    for s in 0..strips {
+        let cur = strip_costs(&planes, cfg, s * half, &widths);
+        for col in &cur.cols {
+            for (acc, b) in per_band.iter_mut().zip(col) {
+                *acc += b;
+            }
+        }
+        columns += cur.cols.len() as u64;
+        // Sliding occupancy across the strip boundary (the memory unit mixes
+        // the tail of the previous strip with the head of the current one).
+        let history = prev.as_ref().unwrap_or(&cur);
+        worst = worst.max(worst_span(&history.cols, &cur.cols, span));
+        prev = Some(cur);
+    }
+
+    FrameAnalysis {
+        window: n,
+        width: cfg.width,
+        per_band_payload_bits: per_band,
+        mgmt_bits: columns * mgmt_bits_per_column(cfg),
+        raw_bits: columns * n as u64 * cfg.pixel_bits as u64,
+        columns,
+        worst_payload_occupancy: worst,
+        strips,
+    }
+}
+
+/// Max sum over any `span` consecutive columns of `prev ++ cur`
+/// (windows ending inside `cur`).
+fn worst_span(prev: &[[u64; 4]], cur: &[[u64; 4]], span: usize) -> u64 {
+    let total = |c: &[u64; 4]| c.iter().sum::<u64>();
+    let w = cur.len();
+    debug_assert!(span < prev.len() + w);
+    // Running sum over the concatenation, windows ending at cur positions.
+    let mut sum: u64 = 0;
+    let at = |i: isize| -> u64 {
+        if i < 0 {
+            total(&prev[(prev.len() as isize + i) as usize])
+        } else {
+            total(&cur[i as usize])
+        }
+    };
+    for i in 0..span as isize {
+        sum += at(i - span as isize + 1);
+    }
+    let mut worst = sum;
+    for end in 1..w as isize {
+        sum += at(end);
+        sum -= at(end - span as isize);
+        worst = worst.max(sum);
+    }
+    worst
+}
+
+/// The Figure 3 occupancy curve: buffered bits per sub-band as the window
+/// slides across one strip of the image.
+///
+/// `strip` selects which window-row strip to trace (0 = top). Returns one
+/// sample per horizontal position (W samples).
+///
+/// # Panics
+///
+/// Panics if `strip` is out of range or the geometry is invalid.
+pub fn occupancy_trace(img: &ImageU8, cfg: &ArchConfig, strip: usize) -> Vec<OccupancySample> {
+    assert_eq!(img.width(), cfg.width, "image width mismatch");
+    assert!(
+        img.width().is_multiple_of(2) && img.height().is_multiple_of(2),
+        "occupancy_trace requires even image dimensions"
+    );
+    let n = cfg.window;
+    let w = img.width();
+    let h = img.height();
+    let pixels: Vec<Coeff> = img.pixels().iter().map(|&p| p as Coeff).collect();
+    let planes = forward_image(&pixels, w, h);
+    let widths = band_widths(&planes, cfg);
+    let half = n / 2;
+    let strips = planes.h / half;
+    assert!(strip < strips, "strip index out of range");
+
+    let cur = strip_costs(&planes, cfg, strip * half, &widths);
+    let prev = if strip > 0 {
+        strip_costs(&planes, cfg, (strip - 1) * half, &widths)
+    } else {
+        strip_costs(&planes, cfg, strip * half, &widths)
+    };
+    let span = cfg.fifo_depth();
+    let mgmt = span as u64 * mgmt_bits_per_column(cfg);
+
+    let ncols = cur.cols.len();
+    let mut out = Vec::with_capacity(ncols);
+    let at = |i: isize| -> [u64; 4] {
+        if i < 0 {
+            prev.cols[(prev.cols.len() as isize + i) as usize]
+        } else {
+            cur.cols[i as usize]
+        }
+    };
+    let mut window_sum = [0u64; 4];
+    for i in 0..span as isize {
+        let c = at(i - span as isize + 1);
+        for (acc, b) in window_sum.iter_mut().zip(&c) {
+            *acc += b;
+        }
+    }
+    out.push(OccupancySample {
+        per_band_bits: window_sum,
+        mgmt_bits: mgmt,
+    });
+    for end in 1..ncols as isize {
+        let add = at(end);
+        let sub = at(end - span as isize);
+        for ((acc, a), s) in window_sum.iter_mut().zip(&add).zip(&sub) {
+            *acc += a;
+            *acc -= s;
+        }
+        out.push(OccupancySample {
+            per_band_bits: window_sum,
+            mgmt_bits: mgmt,
+        });
+    }
+    out
+}
+
+/// Convenience: analysis at several thresholds (shares the forward
+/// transform cost would require caching planes; thresholds are cheap enough
+/// that clarity wins).
+pub fn analyze_thresholds(
+    img: &ImageU8,
+    window: usize,
+    thresholds: &[Coeff],
+    policy: ThresholdPolicy,
+) -> Vec<FrameAnalysis> {
+    thresholds
+        .iter()
+        .map(|&t| {
+            let cfg = ArchConfig::new(window, img.width())
+                .with_threshold(t)
+                .with_policy(policy);
+            analyze_frame(img, &cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_image(w: usize, h: usize) -> ImageU8 {
+        ImageU8::from_fn(w, h, |x, y| {
+            (128.0
+                + 80.0 * ((x as f64 / w as f64) * 2.7).sin()
+                + 40.0 * ((y as f64 / h as f64) * 1.9).cos()) as u8
+        })
+    }
+
+    #[test]
+    fn flat_image_costs_only_ll_and_mgmt() {
+        let img = ImageU8::filled(64, 32, 200);
+        let cfg = ArchConfig::new(8, 64);
+        let a = analyze_frame(&img, &cfg);
+        assert_eq!(a.per_band_payload_bits[1], 0);
+        assert_eq!(a.per_band_payload_bits[2], 0);
+        assert_eq!(a.per_band_payload_bits[3], 0);
+        assert!(a.per_band_payload_bits[0] > 0);
+        // LL of a flat 200 image: value 200 needs 9 two's-complement bits
+        // (sign bit + 8 magnitude bits). Each even column has N/2 = 4 LL
+        // coefficients: 32 even columns × 4 × 9 bits × 4 strips.
+        assert_eq!(a.per_band_payload_bits[0], 4 * 32 * 4 * 9);
+    }
+
+    #[test]
+    fn saving_improves_with_threshold() {
+        let img = smooth_image(128, 64);
+        let analyses = analyze_thresholds(&img, 8, &[0, 2, 4, 6], ThresholdPolicy::DetailsOnly);
+        for pair in analyses.windows(2) {
+            assert!(
+                pair[1].saving_pct() >= pair[0].saving_pct() - 1e-9,
+                "saving must not decrease with threshold"
+            );
+        }
+    }
+
+    #[test]
+    fn random_image_saves_little_or_nothing() {
+        let mut state = 7u32;
+        let img = ImageU8::from_fn(64, 64, |_, _| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 24) as u8
+        });
+        let cfg = ArchConfig::new(8, 64);
+        let a = analyze_frame(&img, &cfg);
+        assert!(
+            a.saving_pct() < 5.0,
+            "random image should barely compress: {:.1}%",
+            a.saving_pct()
+        );
+    }
+
+    #[test]
+    fn smooth_image_saves_substantially() {
+        let img = smooth_image(256, 128);
+        let cfg = ArchConfig::new(8, 256);
+        let a = analyze_frame(&img, &cfg);
+        assert!(
+            a.saving_pct() > 20.0,
+            "smooth image should save >20%: {:.1}%",
+            a.saving_pct()
+        );
+    }
+
+    #[test]
+    fn worst_occupancy_bounded_by_totals() {
+        let img = smooth_image(128, 64);
+        let cfg = ArchConfig::new(16, 128);
+        let a = analyze_frame(&img, &cfg);
+        // The worst span cannot exceed the densest strip's full payload plus
+        // the previous strip's contribution.
+        assert!(a.worst_payload_occupancy > 0);
+        assert!(a.worst_payload_occupancy <= a.payload_bits());
+        assert!(a.worst_total_occupancy() > a.worst_payload_occupancy);
+    }
+
+    #[test]
+    fn occupancy_trace_shape_and_consistency() {
+        let img = smooth_image(128, 64);
+        let cfg = ArchConfig::new(16, 128);
+        let trace = occupancy_trace(&img, &cfg, 1);
+        assert_eq!(trace.len(), 128);
+        let a = analyze_frame(&img, &cfg);
+        // Every trace sample's payload is ≤ the frame-wide worst occupancy.
+        let max_trace = trace
+            .iter()
+            .map(|s| s.per_band_bits.iter().sum::<u64>())
+            .max()
+            .unwrap();
+        assert!(max_trace <= a.worst_payload_occupancy);
+        // Management is constant along the trace.
+        assert!(trace.iter().all(|s| s.mgmt_bits == trace[0].mgmt_bits));
+    }
+
+    #[test]
+    fn granularities_trade_payload_for_management() {
+        // Natural-image statistics: smooth base, sensor grain (makes most
+        // detail coefficients significant), and sharp rectangles (drive the
+        // frame-wide NBits to the edge width). This is the regime where the
+        // paper's per-column choice wins.
+        let mut state = 17u32;
+        let mut img = smooth_image(128, 64);
+        for y in 0..64 {
+            for x in 0..128 {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                let grain = ((state >> 28) % 5) as i16 - 2;
+                let v = (img.get(x, y) as i16 + grain).clamp(0, 255) as u8;
+                img.set(x, y, v);
+            }
+        }
+        for y in 10..30 {
+            for x in 20..60 {
+                img.set(x, y, 235);
+            }
+        }
+        for y in 40..60 {
+            for x in 70..110 {
+                img.set(x, y, 10);
+            }
+        }
+        let mk = |g: NBitsGranularity| {
+            let cfg = ArchConfig::new(8, 128).with_granularity(g);
+            analyze_frame(&img, &cfg)
+        };
+        let per_col = mk(NBitsGranularity::PerColumn);
+        let per_coeff = mk(NBitsGranularity::PerCoefficient);
+        let per_band = mk(NBitsGranularity::PerSubband);
+        // Per-coefficient carries a 4-bit width field inside every packed
+        // coefficient: largest payload and largest total.
+        assert!(per_coeff.payload_bits() > per_col.payload_bits());
+        assert!(
+            per_coeff.payload_bits() + per_coeff.mgmt_bits
+                > per_col.payload_bits() + per_col.mgmt_bits
+        );
+        // A frame-wide width pays the edge width on every significant
+        // coefficient: larger payload than local per-column widths...
+        assert!(per_band.payload_bits() > per_col.payload_bits());
+        // ...but less side-band management (no per-column NBits fields).
+        assert!(per_band.mgmt_bits < per_col.mgmt_bits);
+        // (Note: per-subband can still win on *total* bits at small N; the
+        // paper's per-column choice is forced by streaming — a frame-wide
+        // width cannot be known before the frame has been packed. The E17
+        // ablation bench quantifies the totals across the dataset.)
+    }
+
+    #[test]
+    fn streaming_arch_and_analyzer_agree_on_scale() {
+        // The analyzer approximates the streaming architecture's occupancy
+        // (different strip alignment). They must agree within ~25%.
+        use crate::compressed::CompressedSlidingWindow;
+        use crate::kernels::BoxFilter;
+        let img = smooth_image(128, 64);
+        let cfg = ArchConfig::new(8, 128);
+        let a = analyze_frame(&img, &cfg);
+        let mut arch = CompressedSlidingWindow::new(cfg);
+        let out = arch.process_frame(&img, &BoxFilter::new(8));
+        let stream = out.stats.peak_payload_occupancy as f64;
+        let analytic = a.worst_payload_occupancy as f64;
+        let ratio = stream / analytic;
+        assert!(
+            (0.75..=1.35).contains(&ratio),
+            "stream {stream} vs analytic {analytic} (ratio {ratio:.2})"
+        );
+    }
+}

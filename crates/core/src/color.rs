@@ -1,0 +1,143 @@
+//! Color (24-bit) frame processing.
+//!
+//! The hardware replicates the single-plane datapath per channel
+//! ("assuming 8-bit pixels … 24-bit colored pixels" triple the line-buffer
+//! cost — paper Section III). This module wires three architectures in
+//! parallel over the R/G/B planes and totals the memory accounting, which
+//! is exactly how a color instantiation would be budgeted.
+
+use crate::compressed::{CompressedFrameStats, CompressedSlidingWindow};
+use crate::config::ArchConfig;
+use crate::kernels::WindowKernel;
+use crate::planner::{plan, BramPlan, MgmtAccounting};
+use sw_image::rgb::ImageRgb;
+
+/// Output of one color frame.
+#[derive(Debug, Clone)]
+pub struct ColorOutput {
+    /// Per-channel kernel outputs merged back into a color image.
+    pub image: ImageRgb,
+    /// Per-channel statistics `[R, G, B]`.
+    pub stats: [CompressedFrameStats; 3],
+}
+
+impl ColorOutput {
+    /// Total peak occupancy across channels (bits, management included).
+    pub fn peak_total_occupancy(&self) -> u64 {
+        self.stats.iter().map(|s| s.peak_total_occupancy).sum()
+    }
+
+    /// Total raw-buffer bits across channels.
+    pub fn raw_buffer_bits(&self) -> u64 {
+        self.stats.iter().map(|s| s.raw_buffer_bits).sum()
+    }
+
+    /// Memory saving across all three channels (paper Eq. 5).
+    pub fn memory_saving_pct(&self) -> f64 {
+        (1.0 - self.peak_total_occupancy() as f64 / self.raw_buffer_bits() as f64) * 100.0
+    }
+}
+
+/// Three per-channel compressed architectures.
+pub struct ColorCompressedSlidingWindow {
+    channels: [CompressedSlidingWindow; 3],
+}
+
+impl ColorCompressedSlidingWindow {
+    /// Build three channel datapaths with the same configuration.
+    pub fn new(cfg: ArchConfig) -> Self {
+        Self {
+            channels: std::array::from_fn(|_| CompressedSlidingWindow::new(cfg)),
+        }
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &ArchConfig {
+        self.channels[0].config()
+    }
+
+    /// Process a color frame: each plane flows through its own datapath
+    /// (as in hardware), outputs are re-interleaved.
+    pub fn process_frame(&mut self, img: &ImageRgb, kernel: &dyn WindowKernel) -> ColorOutput {
+        let planes = img.planes();
+        let mut outs = Vec::with_capacity(3);
+        for (arch, plane) in self.channels.iter_mut().zip(&planes) {
+            outs.push(arch.process_frame(plane, kernel));
+        }
+        let stats = [outs[0].stats, outs[1].stats, outs[2].stats];
+        let image = ImageRgb::from_planes(&outs[0].image, &outs[1].image, &outs[2].image);
+        ColorOutput { image, stats }
+    }
+
+    /// BRAM plans per channel for the last measured frame.
+    pub fn plan_brams(&self, out: &ColorOutput, accounting: MgmtAccounting) -> [BramPlan; 3] {
+        let cfg = self.config();
+        std::array::from_fn(|c| {
+            plan(
+                cfg.window,
+                cfg.width,
+                out.stats[c].peak_payload_occupancy,
+                accounting,
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{BoxFilter, Tap};
+    use crate::planner::traditional_brams;
+    use crate::traditional::TraditionalSlidingWindow;
+
+    fn color_scene(w: usize, h: usize) -> ImageRgb {
+        ImageRgb::from_fn(w, h, |x, y| {
+            let base = 90.0 + 70.0 * ((x + 2 * y) as f64 * 0.05).sin();
+            [
+                (base * 1.1).clamp(0.0, 255.0) as u8,
+                base.clamp(0.0, 255.0) as u8,
+                (base * 0.7 + 20.0).clamp(0.0, 255.0) as u8,
+            ]
+        })
+    }
+
+    #[test]
+    fn lossless_color_matches_per_plane_traditional() {
+        let img = color_scene(48, 24);
+        let cfg = ArchConfig::new(8, 48);
+        let kernel = BoxFilter::new(8);
+        let mut color = ColorCompressedSlidingWindow::new(cfg);
+        let got = color.process_frame(&img, &kernel);
+        for (c, plane) in img.planes().iter().enumerate() {
+            let mut trad = TraditionalSlidingWindow::new(cfg);
+            let expect = trad.process_frame(plane, &kernel);
+            let got_plane = &got.image.planes()[c];
+            assert_eq!(got_plane, &expect.image, "channel {c}");
+        }
+    }
+
+    #[test]
+    fn color_saving_aggregates_channels() {
+        let img = color_scene(96, 48);
+        let cfg = ArchConfig::new(8, 96);
+        let mut color = ColorCompressedSlidingWindow::new(cfg);
+        let got = color.process_frame(&img, &Tap::top_left(8));
+        assert!(got.memory_saving_pct() > 0.0);
+        assert_eq!(got.raw_buffer_bits(), 3 * got.stats[0].raw_buffer_bits);
+    }
+
+    #[test]
+    fn color_triples_bram_budget_but_compression_still_wins() {
+        let img = color_scene(512, 64);
+        let cfg = ArchConfig::new(16, 512);
+        let mut color = ColorCompressedSlidingWindow::new(cfg);
+        let out = color.process_frame(&img, &BoxFilter::new(16));
+        let plans = color.plan_brams(&out, MgmtAccounting::Structured);
+        let compressed_total: u32 = plans.iter().map(|p| p.total_brams()).sum();
+        let traditional_total = 3 * traditional_brams(16, 512);
+        assert!(
+            compressed_total < traditional_total,
+            "{compressed_total} vs {traditional_total}"
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! Architecture configuration.
+
+use crate::Coeff;
+
+/// Which sub-bands the threshold applies to.
+///
+/// The paper's Figure 2 shows thresholding on detail coefficients; zeroing
+/// the LL (approximation) band would corrupt dark image regions far beyond
+/// the paper's reported MSEs, so [`ThresholdPolicy::DetailsOnly`] is the
+/// default. [`ThresholdPolicy::AllSubbands`] is kept for the ablation
+/// benchmark (experiment E18). See `DESIGN.md` §3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThresholdPolicy {
+    /// Threshold LH / HL / HH only; LL is always kept exactly.
+    #[default]
+    DetailsOnly,
+    /// Threshold every sub-band including LL.
+    AllSubbands,
+}
+
+impl ThresholdPolicy {
+    /// Effective threshold for a sub-band under this policy.
+    #[inline]
+    pub fn threshold_for(self, band: sw_wavelet::SubBand, t: Coeff) -> Coeff {
+        match (self, band) {
+            (ThresholdPolicy::DetailsOnly, sw_wavelet::SubBand::LL) => 0,
+            _ => t,
+        }
+    }
+}
+
+/// Granularity at which the NBits field is computed (paper Section IV-C
+/// discusses this exact trade-off: "we find the minimum number of bits for
+/// each column in each sub-band instead of other options like for each
+/// coefficient or for each sub-band").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NBitsGranularity {
+    /// One NBits per sub-band column (the paper's choice; 4 mgmt bits per
+    /// column per sub-band).
+    #[default]
+    PerColumn,
+    /// One NBits per coefficient (best packing, 4 mgmt bits *per
+    /// coefficient*).
+    PerCoefficient,
+    /// One NBits per sub-band per frame (minimal management, poor packing).
+    PerSubband,
+}
+
+/// Coefficient datapath width mode.
+///
+/// The paper's hardware treats coefficients as 8-bit values (sign bit =
+/// bit 7, Figure 7), but exact Haar coefficients of 8-bit pixels span
+/// ±255 (first stage) and ±510 (HH) — see `DESIGN.md` §3. Two readings:
+///
+/// * [`CoeffMode::Exact`] (default): `i16` coefficients, NBits 1..=16.
+///   Lossless mode is genuinely lossless for any input.
+/// * [`CoeffMode::Saturating8`]: detail coefficients saturate to
+///   `[-128, 127]` as an 8-bit datapath would. Natural images are rarely
+///   affected (details are small); synthetic extremes (checkerboards,
+///   inverted edges) visibly clip — the tests quantify both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoeffMode {
+    /// Exact integer transform (wide datapath).
+    #[default]
+    Exact,
+    /// Paper-faithful 8-bit detail datapath with saturation.
+    Saturating8,
+}
+
+impl CoeffMode {
+    /// Apply the datapath width to a detail coefficient.
+    #[inline]
+    pub fn clamp_detail(self, c: crate::Coeff) -> crate::Coeff {
+        match self {
+            CoeffMode::Exact => c,
+            CoeffMode::Saturating8 => c.clamp(-128, 127),
+        }
+    }
+}
+
+/// Full parameter set of one architecture instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchConfig {
+    /// Window size `N` (the window is `N × N`). Must be even and ≥ 2.
+    pub window: usize,
+    /// Image width `W` in pixels. Must satisfy `W > N`.
+    pub width: usize,
+    /// Threshold `T` (0 = lossless).
+    pub threshold: Coeff,
+    /// Which sub-bands the threshold applies to.
+    pub policy: ThresholdPolicy,
+    /// NBits management granularity.
+    pub granularity: NBitsGranularity,
+    /// Pixel bit depth (the paper uses 8).
+    pub pixel_bits: u32,
+    /// Coefficient datapath width mode.
+    pub coeff_mode: CoeffMode,
+}
+
+impl ArchConfig {
+    /// Configuration with the paper's defaults (lossless, details-only
+    /// thresholding, per-column NBits, 8-bit pixels).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window` is even, ≥ 2, and `width > window`.
+    pub fn new(window: usize, width: usize) -> Self {
+        assert!(window >= 2 && window.is_multiple_of(2), "window must be even and >= 2");
+        assert!(width > window, "image width must exceed the window size");
+        Self {
+            window,
+            width,
+            threshold: 0,
+            policy: ThresholdPolicy::default(),
+            granularity: NBitsGranularity::default(),
+            pixel_bits: 8,
+            coeff_mode: CoeffMode::default(),
+        }
+    }
+
+    /// Set the coefficient datapath mode (builder style).
+    pub fn with_coeff_mode(mut self, m: CoeffMode) -> Self {
+        self.coeff_mode = m;
+        self
+    }
+
+    /// Set the threshold (builder style).
+    pub fn with_threshold(mut self, t: Coeff) -> Self {
+        assert!(t >= 0, "threshold must be non-negative");
+        self.threshold = t;
+        self
+    }
+
+    /// Set the threshold policy (builder style).
+    pub fn with_policy(mut self, p: ThresholdPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Set the NBits granularity (builder style).
+    pub fn with_granularity(mut self, g: NBitsGranularity) -> Self {
+        self.granularity = g;
+        self
+    }
+
+    /// Whether the configuration is lossless.
+    #[inline]
+    pub fn is_lossless(&self) -> bool {
+        self.threshold == 0
+    }
+
+    /// Line-buffer FIFO depth: `W − N` entries per buffered row
+    /// (Section III).
+    #[inline]
+    pub fn fifo_depth(&self) -> usize {
+        self.width - self.window
+    }
+
+    /// Raw on-chip bits the *traditional* architecture buffers:
+    /// `(W − N) × (N − 1) × pixel_bits` (Section III's formula, e.g.
+    /// `(512 − 3) × 2 × 8` for the 3×3/512 example).
+    #[inline]
+    pub fn traditional_buffer_bits(&self) -> u64 {
+        (self.fifo_depth() as u64) * (self.window as u64 - 1) * self.pixel_bits as u64
+    }
+
+    /// Management bits the *compressed* architecture needs:
+    /// `2 × 4 × (W − N)` for NBits plus `(W − N) × N` for BitMap
+    /// (Section IV-C).
+    #[inline]
+    pub fn management_bits(&self) -> u64 {
+        let cols = self.fifo_depth() as u64;
+        2 * 4 * cols + cols * self.window as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_wavelet::SubBand;
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = ArchConfig::new(8, 512)
+            .with_threshold(4)
+            .with_policy(ThresholdPolicy::AllSubbands)
+            .with_granularity(NBitsGranularity::PerCoefficient);
+        assert_eq!(c.window, 8);
+        assert_eq!(c.threshold, 4);
+        assert!(!c.is_lossless());
+        assert_eq!(c.policy, ThresholdPolicy::AllSubbands);
+        assert_eq!(c.granularity, NBitsGranularity::PerCoefficient);
+    }
+
+    #[test]
+    fn paper_section3_example() {
+        // 512×512 image, 3×3 window -> (512-3)×2×8 bits. Our windows are
+        // even, so verify the formula with the nearest even case by hand:
+        // the formula itself is the paper's.
+        let c = ArchConfig::new(4, 512);
+        assert_eq!(c.traditional_buffer_bits(), (512 - 4) * 3 * 8);
+        assert_eq!(c.fifo_depth(), 508);
+    }
+
+    #[test]
+    fn management_bits_formula() {
+        // Paper Fig 3 discussion: 512 width, window 64 -> ~32 Kbits of
+        // management (NBits 2×4×448 + BitMap 448×64 = 32256 bits).
+        let c = ArchConfig::new(64, 512);
+        assert_eq!(c.management_bits(), 32_256);
+    }
+
+    #[test]
+    fn details_only_policy_spares_ll() {
+        let p = ThresholdPolicy::DetailsOnly;
+        assert_eq!(p.threshold_for(SubBand::LL, 6), 0);
+        assert_eq!(p.threshold_for(SubBand::HH, 6), 6);
+        let p = ThresholdPolicy::AllSubbands;
+        assert_eq!(p.threshold_for(SubBand::LL, 6), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_window_rejected() {
+        ArchConfig::new(7, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn window_wider_than_image_rejected() {
+        ArchConfig::new(64, 64);
+    }
+}

@@ -1,0 +1,245 @@
+//! Generic convolution kernels: arbitrary N×N weight matrices and the
+//! separable fast path. These cover the paper's general claim that the
+//! architecture serves any "2D image filter [that] could multiply each
+//! pixel in the active window with a corresponding constant in the filter
+//! kernel" (Section V).
+
+use super::WindowKernel;
+use crate::window::WindowView;
+
+/// Full N×N convolution with arbitrary weights.
+#[derive(Debug, Clone)]
+pub struct Convolution {
+    n: usize,
+    weights: Vec<f64>,
+    bias: f64,
+    name: &'static str,
+}
+
+impl Convolution {
+    /// Kernel from a row-major weight matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != n * n`.
+    pub fn new(n: usize, weights: Vec<f64>, bias: f64) -> Self {
+        Self::named(n, weights, bias, "conv")
+    }
+
+    fn named(n: usize, weights: Vec<f64>, bias: f64, name: &'static str) -> Self {
+        assert!(n >= 2, "window too small");
+        assert_eq!(weights.len(), n * n, "weight matrix size mismatch");
+        Self {
+            n,
+            weights,
+            bias,
+            name,
+        }
+    }
+
+    /// Unsharp-mask sharpening: identity plus a scaled high-pass.
+    pub fn sharpen(n: usize, amount: f64) -> Self {
+        let count = (n * n) as f64;
+        let mut weights = vec![-amount / count; n * n];
+        let center = (n / 2) * n + n / 2;
+        weights[center] += 1.0 + amount;
+        Self::named(n, weights, 0.0, "sharpen")
+    }
+
+    /// Laplacian-of-Gaussian blob detector (difference-of-means
+    /// approximation: inner disk positive, outer ring negative), mapped to
+    /// mid-gray 128.
+    pub fn laplacian_of_gaussian(n: usize) -> Self {
+        let c = (n as f64 - 1.0) / 2.0;
+        let r_inner = n as f64 / 4.0;
+        let mut weights = vec![0.0; n * n];
+        let mut inner = 0usize;
+        let mut outer = 0usize;
+        for y in 0..n {
+            for x in 0..n {
+                let d = ((x as f64 - c).powi(2) + (y as f64 - c).powi(2)).sqrt();
+                if d <= r_inner {
+                    inner += 1;
+                } else {
+                    outer += 1;
+                }
+            }
+        }
+        for y in 0..n {
+            for x in 0..n {
+                let d = ((x as f64 - c).powi(2) + (y as f64 - c).powi(2)).sqrt();
+                weights[y * n + x] = if d <= r_inner {
+                    1.0 / inner as f64
+                } else {
+                    -1.0 / outer as f64
+                };
+            }
+        }
+        Self::named(n, weights, 128.0, "log")
+    }
+
+    /// Emboss (directional derivative) mapped to mid-gray.
+    pub fn emboss(n: usize) -> Self {
+        let mut weights = vec![0.0; n * n];
+        weights[0] = -1.0;
+        weights[n * n - 1] = 1.0;
+        Self::named(n, weights, 128.0, "emboss")
+    }
+}
+
+impl WindowKernel for Convolution {
+    fn window_size(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, win: &WindowView<'_>) -> u8 {
+        debug_assert_eq!(win.n(), self.n);
+        let mut acc = self.bias;
+        let mut i = 0;
+        for r in 0..self.n {
+            for c in 0..self.n {
+                acc += self.weights[i] * win.get(r, c) as f64;
+                i += 1;
+            }
+        }
+        acc.round().clamp(0.0, 255.0) as u8
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Separable convolution: outer product of a column and a row vector,
+/// evaluated in O(N²) adds but only 2N multiplies per output.
+#[derive(Debug, Clone)]
+pub struct SeparableConv {
+    col: Vec<f64>,
+    row: Vec<f64>,
+    bias: f64,
+}
+
+impl SeparableConv {
+    /// Kernel `col ⊗ row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors' lengths differ or are < 2.
+    pub fn new(col: Vec<f64>, row: Vec<f64>, bias: f64) -> Self {
+        assert_eq!(col.len(), row.len(), "separable factors must match");
+        assert!(col.len() >= 2, "window too small");
+        Self { col, row, bias }
+    }
+
+    /// The equivalent full [`Convolution`] (for cross-checking).
+    pub fn to_full(&self) -> Convolution {
+        let n = self.col.len();
+        let mut weights = Vec::with_capacity(n * n);
+        for r in 0..n {
+            for c in 0..n {
+                weights.push(self.col[r] * self.row[c]);
+            }
+        }
+        Convolution::new(n, weights, self.bias)
+    }
+}
+
+impl WindowKernel for SeparableConv {
+    fn window_size(&self) -> usize {
+        self.col.len()
+    }
+
+    fn apply(&self, win: &WindowView<'_>) -> u8 {
+        let n = self.col.len();
+        let mut acc = self.bias;
+        for r in 0..n {
+            let mut row_acc = 0.0;
+            for c in 0..n {
+                row_acc += self.row[c] * win.get(r, c) as f64;
+            }
+            acc += self.col[r] * row_acc;
+        }
+        acc.round().clamp(0.0, 255.0) as u8
+    }
+
+    fn name(&self) -> &'static str {
+        "separable-conv"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::test_support::window_from_patch;
+
+    #[test]
+    fn identity_convolution_is_center_passthrough() {
+        let n = 4;
+        let mut weights = vec![0.0; 16];
+        weights[2 * 4 + 2] = 1.0;
+        let k = Convolution::new(n, weights, 0.0);
+        let patch: Vec<u8> = (0..16).map(|i| (i * 13) as u8).collect();
+        let w = window_from_patch(n, &patch);
+        assert_eq!(k.apply(&w.view()), patch[10]);
+    }
+
+    #[test]
+    fn sharpen_preserves_flat_and_boosts_peaks() {
+        let k = Convolution::sharpen(4, 1.0);
+        let flat = window_from_patch(4, &[90; 16]);
+        assert_eq!(k.apply(&flat.view()), 90);
+        let mut spiky = vec![90u8; 16];
+        spiky[2 * 4 + 2] = 140;
+        let w = window_from_patch(4, &spiky);
+        assert!(k.apply(&w.view()) > 140, "peak must be amplified");
+    }
+
+    #[test]
+    fn log_responds_to_blobs_not_flats() {
+        let k = Convolution::laplacian_of_gaussian(8);
+        let flat = window_from_patch(8, &[70; 64]);
+        assert_eq!(k.apply(&flat.view()), 128, "flat maps to mid-gray");
+        // Bright centered blob.
+        let blob: Vec<u8> = (0..64)
+            .map(|i| {
+                let (x, y) = (i % 8, i / 8);
+                let d2 = (x - 3i32).pow(2) + (y - 3i32).pow(2);
+                if d2 <= 4 { 220 } else { 40 }
+            })
+            .collect();
+        let w = window_from_patch(8, &blob);
+        assert!(k.apply(&w.view()) > 180, "blob must excite LoG");
+    }
+
+    #[test]
+    fn separable_matches_full() {
+        let col = vec![0.25, 0.5, 0.25, 0.1];
+        let row = vec![0.1, 0.4, 0.4, 0.1];
+        let sep = SeparableConv::new(col, row, 3.0);
+        let full = sep.to_full();
+        let mut state = 5u32;
+        for _ in 0..20 {
+            let patch: Vec<u8> = (0..16)
+                .map(|_| {
+                    state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (state >> 24) as u8
+                })
+                .collect();
+            let w = window_from_patch(4, &patch);
+            assert_eq!(sep.apply(&w.view()), full.apply(&w.view()));
+        }
+    }
+
+    #[test]
+    fn emboss_flat_is_midgray() {
+        let k = Convolution::emboss(4);
+        let w = window_from_patch(4, &[200; 16]);
+        assert_eq!(k.apply(&w.view()), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn weight_matrix_size_checked() {
+        Convolution::new(4, vec![0.0; 15], 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Window processing kernels.
+//!
+//! The sliding-window architecture is kernel-agnostic: "a 2D image filter
+//! could multiply each pixel in the active window with a corresponding
+//! constant in the filter kernel" (paper Section V). These kernels exercise
+//! the architectures in the tests, examples and benchmarks, covering the
+//! application classes the paper's introduction motivates: image filters
+//! (Gaussian — including the "window at least 5× the standard deviation"
+//! guidance), object detection (template matching), and multi-stage
+//! pipelines (Sobel after Gaussian).
+
+mod conv;
+mod gradient;
+mod linear;
+mod nonlinear;
+mod texture;
+mod util;
+
+pub use conv::{Convolution, SeparableConv};
+pub use gradient::{HarrisResponse, SobelMagnitude};
+pub use linear::{BoxFilter, GaussianFilter};
+pub use nonlinear::{Dilate, Erode, MedianFilter};
+pub use texture::{CensusTransform, LocalBinaryPattern};
+pub use util::{Tap, TemplateSad};
+
+use crate::window::WindowView;
+
+/// A window operator: maps the N×N active window to one output pixel.
+pub trait WindowKernel {
+    /// The window size N this kernel expects.
+    fn window_size(&self) -> usize;
+
+    /// Compute the output for one window position.
+    fn apply(&self, win: &WindowView<'_>) -> u8;
+
+    /// Human-readable kernel name.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use crate::window::ActiveWindow;
+
+    /// Build an ActiveWindow whose natural view equals the given row-major
+    /// patch.
+    pub fn window_from_patch(n: usize, patch: &[u8]) -> ActiveWindow {
+        assert_eq!(patch.len(), n * n);
+        let mut w = ActiveWindow::new(n);
+        for col in 0..n {
+            let column: Vec<u8> = (0..n).map(|row| patch[row * n + col]).collect();
+            w.shift(&column);
+        }
+        w
+    }
+}

@@ -1,0 +1,151 @@
+//! Rank-order kernels: median and grayscale morphology.
+
+use super::WindowKernel;
+use crate::window::WindowView;
+
+/// N×N median filter.
+#[derive(Debug, Clone)]
+pub struct MedianFilter {
+    n: usize,
+}
+
+impl MedianFilter {
+    /// Median over an `n × n` window.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "window too small");
+        Self { n }
+    }
+}
+
+impl WindowKernel for MedianFilter {
+    fn window_size(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, win: &WindowView<'_>) -> u8 {
+        // Histogram select — O(N² + 256), no allocation beyond the stack.
+        let mut hist = [0u16; 256];
+        for p in win.iter() {
+            hist[p as usize] += 1;
+        }
+        let total = (self.n * self.n) as u16;
+        let target = total / 2; // lower median for even counts
+        let mut seen = 0u16;
+        for (v, &count) in hist.iter().enumerate() {
+            seen += count;
+            if seen > target {
+                return v as u8;
+            }
+        }
+        255
+    }
+
+    fn name(&self) -> &'static str {
+        "median"
+    }
+}
+
+/// Grayscale erosion: the window minimum.
+#[derive(Debug, Clone)]
+pub struct Erode {
+    n: usize,
+}
+
+impl Erode {
+    /// Erosion over an `n × n` window.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "window too small");
+        Self { n }
+    }
+}
+
+impl WindowKernel for Erode {
+    fn window_size(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, win: &WindowView<'_>) -> u8 {
+        win.iter().min().unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "erode"
+    }
+}
+
+/// Grayscale dilation: the window maximum.
+#[derive(Debug, Clone)]
+pub struct Dilate {
+    n: usize,
+}
+
+impl Dilate {
+    /// Dilation over an `n × n` window.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "window too small");
+        Self { n }
+    }
+}
+
+impl WindowKernel for Dilate {
+    fn window_size(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, win: &WindowView<'_>) -> u8 {
+        win.iter().max().unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "dilate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::test_support::window_from_patch;
+
+    #[test]
+    fn median_of_known_patch() {
+        let w = window_from_patch(2, &[10, 200, 30, 40]);
+        // Sorted: 10 30 40 200; lower median = element at index 2 -> 40.
+        assert_eq!(MedianFilter::new(2).apply(&w.view()), 40);
+    }
+
+    #[test]
+    fn median_rejects_salt_and_pepper() {
+        let mut patch = vec![100u8; 16];
+        patch[3] = 255;
+        patch[9] = 0;
+        let w = window_from_patch(4, &patch);
+        assert_eq!(MedianFilter::new(4).apply(&w.view()), 100);
+    }
+
+    #[test]
+    fn erode_dilate_are_min_max() {
+        let w = window_from_patch(2, &[9, 4, 250, 100]);
+        assert_eq!(Erode::new(2).apply(&w.view()), 4);
+        assert_eq!(Dilate::new(2).apply(&w.view()), 250);
+    }
+
+    #[test]
+    fn median_matches_sort_reference() {
+        // Cross-check the histogram select against a sort on pseudo-random
+        // patches.
+        let mut state = 123u32;
+        for _ in 0..50 {
+            let patch: Vec<u8> = (0..36)
+                .map(|_| {
+                    state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (state >> 24) as u8
+                })
+                .collect();
+            let w = window_from_patch(6, &patch);
+            let got = MedianFilter::new(6).apply(&w.view());
+            let mut sorted = patch.clone();
+            sorted.sort_unstable();
+            assert_eq!(got, sorted[36 / 2]);
+        }
+    }
+}

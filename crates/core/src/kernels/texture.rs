@@ -1,0 +1,167 @@
+//! Texture descriptors: census transform and local binary patterns — the
+//! stereo/feature workloads that motivate *large* sliding windows on FPGAs
+//! (census windows grow with disparity range, which is exactly the BRAM
+//! pressure the paper addresses).
+
+use super::WindowKernel;
+use crate::window::WindowView;
+
+/// Census transform: an 8-bit signature comparing the window center against
+/// eight ring samples at the window's quarter radius.
+///
+/// Bigger windows give wider rings and more robust signatures — the
+/// classic reason census stereo pipelines want windows the paper's
+/// traditional architecture cannot afford.
+#[derive(Debug, Clone)]
+pub struct CensusTransform {
+    n: usize,
+}
+
+impl CensusTransform {
+    /// Census over an `n × n` window (n ≥ 4).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 4, "census needs at least a 4-pixel window");
+        Self { n }
+    }
+
+    /// The eight ring sample offsets (dr, dc) at quarter radius.
+    fn ring(&self) -> [(isize, isize); 8] {
+        let r = (self.n / 4).max(1) as isize;
+        [
+            (-r, -r),
+            (-r, 0),
+            (-r, r),
+            (0, r),
+            (r, r),
+            (r, 0),
+            (r, -r),
+            (0, -r),
+        ]
+    }
+}
+
+impl WindowKernel for CensusTransform {
+    fn window_size(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, win: &WindowView<'_>) -> u8 {
+        let c = (self.n / 2) as isize;
+        let center = win.get(c as usize, c as usize);
+        let mut sig = 0u8;
+        for (bit, (dr, dc)) in self.ring().into_iter().enumerate() {
+            let v = win.get((c + dr) as usize, (c + dc) as usize);
+            if v > center {
+                sig |= 1 << bit;
+            }
+        }
+        sig
+    }
+
+    fn name(&self) -> &'static str {
+        "census"
+    }
+}
+
+/// Classic 3×3 local binary pattern around the window center.
+#[derive(Debug, Clone)]
+pub struct LocalBinaryPattern {
+    n: usize,
+}
+
+impl LocalBinaryPattern {
+    /// LBP within an `n × n` window (n ≥ 4 so the center has a full 3×3
+    /// neighbourhood).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 4, "LBP needs at least a 4-pixel window");
+        Self { n }
+    }
+}
+
+impl WindowKernel for LocalBinaryPattern {
+    fn window_size(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, win: &WindowView<'_>) -> u8 {
+        let c = self.n / 2;
+        let center = win.get(c, c);
+        // Clockwise from top-left, the standard LBP ordering.
+        let offsets: [(isize, isize); 8] = [
+            (-1, -1),
+            (-1, 0),
+            (-1, 1),
+            (0, 1),
+            (1, 1),
+            (1, 0),
+            (1, -1),
+            (0, -1),
+        ];
+        let mut code = 0u8;
+        for (bit, (dr, dc)) in offsets.into_iter().enumerate() {
+            let v = win.get(
+                (c as isize + dr) as usize,
+                (c as isize + dc) as usize,
+            );
+            if v >= center {
+                code |= 1 << bit;
+            }
+        }
+        code
+    }
+
+    fn name(&self) -> &'static str {
+        "lbp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::test_support::window_from_patch;
+
+    #[test]
+    fn census_flat_is_zero() {
+        let w = window_from_patch(8, &[55; 64]);
+        assert_eq!(CensusTransform::new(8).apply(&w.view()), 0);
+    }
+
+    #[test]
+    fn census_detects_bright_above() {
+        // Rows above center bright, below dark: the three top ring samples
+        // (bits 0..=2) fire.
+        let patch: Vec<u8> = (0..64)
+            .map(|i| if i / 8 < 4 { 200 } else { 20 })
+            .collect();
+        let w = window_from_patch(8, &patch);
+        let sig = CensusTransform::new(8).apply(&w.view());
+        assert_eq!(sig & 0b0000_0111, 0b0000_0111, "top samples set: {sig:08b}");
+        assert_eq!(sig & 0b0111_0000, 0, "bottom samples clear: {sig:08b}");
+    }
+
+    #[test]
+    fn census_is_illumination_invariant() {
+        // Adding a constant offset must not change the signature.
+        let base: Vec<u8> = (0..64).map(|i| ((i * 23) % 140) as u8).collect();
+        let brighter: Vec<u8> = base.iter().map(|&p| p + 100).collect();
+        let k = CensusTransform::new(8);
+        let a = k.apply(&window_from_patch(8, &base).view());
+        let b = k.apply(&window_from_patch(8, &brighter).view());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lbp_flat_is_all_ones() {
+        // >= comparison: equal neighbours set every bit.
+        let w = window_from_patch(4, &[99; 16]);
+        assert_eq!(LocalBinaryPattern::new(4).apply(&w.view()), 0xff);
+    }
+
+    #[test]
+    fn lbp_dark_neighbours_clear_bits() {
+        let mut patch = vec![10u8; 16];
+        patch[2 * 4 + 2] = 200; // bright center at (2, 2)
+        let w = window_from_patch(4, &patch);
+        assert_eq!(LocalBinaryPattern::new(4).apply(&w.view()), 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Multi-stage sliding-window pipelines.
+//!
+//! The paper's introduction motivates the BRAM problem with pipelines:
+//! "most image processing algorithms consists of 2-5 sequential sliding
+//! window operations, where the output of one operation is fed via line
+//! buffers to the following operation. These implementations require a high
+//! number of BRAMs for implementing multiple sets of buffer lines." This
+//! module chains stages, runs frames through them, and totals the BRAM cost
+//! under traditional vs compressed buffering.
+
+use crate::analysis::analyze_frame;
+use crate::compressed::CompressedSlidingWindow;
+use crate::config::ArchConfig;
+use crate::kernels::WindowKernel;
+use crate::planner::{plan, traditional_brams, BramPlan, MgmtAccounting};
+use crate::traditional::TraditionalSlidingWindow;
+use sw_image::ImageU8;
+
+/// Buffering mode of one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Buffering {
+    /// Raw line buffers (Section III).
+    Traditional,
+    /// Compressed line buffers (Section V) with the given threshold.
+    Compressed {
+        /// Threshold `T` for this stage (0 = lossless).
+        threshold: i16,
+    },
+}
+
+/// One pipeline stage: a kernel plus its buffering mode.
+pub struct Stage {
+    /// The window kernel.
+    pub kernel: Box<dyn WindowKernel>,
+    /// How this stage's line buffers are realized.
+    pub buffering: Buffering,
+}
+
+impl Stage {
+    /// Traditional-buffered stage.
+    pub fn traditional(kernel: Box<dyn WindowKernel>) -> Self {
+        Self {
+            kernel,
+            buffering: Buffering::Traditional,
+        }
+    }
+
+    /// Compressed-buffered stage.
+    pub fn compressed(kernel: Box<dyn WindowKernel>, threshold: i16) -> Self {
+        Self {
+            kernel,
+            buffering: Buffering::Compressed { threshold },
+        }
+    }
+}
+
+/// Result of running a frame through the pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// The final stage's output image.
+    pub image: ImageU8,
+    /// Per-stage BRAM plans (compressed stages sized from this frame's
+    /// measured occupancy; traditional stages from Table I).
+    pub stage_brams: Vec<u32>,
+    /// Total clock cycles across stages (stages pipeline in hardware; the
+    /// sum is the sequential-simulation cost).
+    pub cycles: u64,
+}
+
+impl PipelineOutput {
+    /// Total BRAMs across all stages.
+    pub fn total_brams(&self) -> u32 {
+        self.stage_brams.iter().sum()
+    }
+}
+
+/// A chain of sliding-window stages.
+pub struct Pipeline {
+    stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// Build a pipeline from stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty.
+    pub fn new(stages: Vec<Stage>) -> Self {
+        assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        Self { stages }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the pipeline is empty (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Run one frame through every stage, shrinking the valid region at
+    /// each step, and report per-stage BRAM costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an intermediate image becomes smaller than the next
+    /// stage's window.
+    pub fn run(&mut self, input: &ImageU8) -> PipelineOutput {
+        let mut img = input.clone();
+        let mut stage_brams = Vec::with_capacity(self.stages.len());
+        let mut cycles = 0u64;
+        for stage in &mut self.stages {
+            let n = stage.kernel.window_size();
+            assert!(
+                img.width() > n && img.height() >= n,
+                "intermediate image too small for a {n}-pixel window"
+            );
+            match stage.buffering {
+                Buffering::Traditional => {
+                    let cfg = ArchConfig::new(n, img.width());
+                    let mut arch = TraditionalSlidingWindow::new(cfg);
+                    let out = arch.process_frame(&img, stage.kernel.as_ref());
+                    stage_brams.push(traditional_brams(n, img.width()));
+                    cycles += out.stats.cycles;
+                    img = out.image;
+                }
+                Buffering::Compressed { threshold } => {
+                    let cfg = ArchConfig::new(n, img.width()).with_threshold(threshold);
+                    let mut arch = CompressedSlidingWindow::new(cfg);
+                    let out = arch.process_frame(&img, stage.kernel.as_ref());
+                    let p: BramPlan = plan(
+                        n,
+                        img.width(),
+                        out.stats.peak_payload_occupancy,
+                        MgmtAccounting::Structured,
+                    );
+                    stage_brams.push(p.total_brams());
+                    cycles += out.stats.cycles;
+                    img = out.image;
+                }
+            }
+        }
+        PipelineOutput {
+            image: img,
+            stage_brams,
+            cycles,
+        }
+    }
+
+    /// Static BRAM plan for the whole pipeline at a given input width,
+    /// sizing compressed stages from a representative frame.
+    pub fn plan_brams(&self, frame: &ImageU8) -> Vec<BramPlan> {
+        let mut width = frame.width();
+        let mut img = frame.clone();
+        let mut plans = Vec::new();
+        for stage in &self.stages {
+            let n = stage.kernel.window_size();
+            let t = match stage.buffering {
+                Buffering::Traditional => 0,
+                Buffering::Compressed { threshold } => threshold,
+            };
+            let cfg = ArchConfig::new(n, width).with_threshold(t);
+            let a = analyze_frame(&img, &cfg);
+            plans.push(plan(
+                n,
+                width,
+                a.worst_payload_occupancy,
+                MgmtAccounting::Structured,
+            ));
+            // Approximate the next stage's input geometry.
+            if width > n && img.height() > n {
+                img = img.crop(0, 0, width - n + 1, img.height() - n + 1);
+                width -= n - 1;
+            }
+        }
+        plans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{BoxFilter, GaussianFilter, SobelMagnitude};
+
+    fn scene(w: usize, h: usize) -> ImageU8 {
+        ImageU8::from_fn(w, h, |x, y| {
+            (100.0 + 70.0 * ((x + 2 * y) as f64 * 0.05).sin()) as u8
+        })
+    }
+
+    #[test]
+    fn two_stage_pipeline_shrinks_valid_region() {
+        let mut p = Pipeline::new(vec![
+            Stage::compressed(Box::new(GaussianFilter::new(8)), 0),
+            Stage::compressed(Box::new(SobelMagnitude::new(4)), 0),
+        ]);
+        let img = scene(64, 48);
+        let out = p.run(&img);
+        // 64 -> 57 -> 54 wide.
+        assert_eq!(out.image.width(), 54);
+        assert_eq!(out.image.height(), 38);
+        assert_eq!(out.stage_brams.len(), 2);
+        assert_eq!(out.cycles, 64 * 48 + 57 * 41);
+    }
+
+    #[test]
+    fn compressed_stages_use_fewer_brams_than_traditional() {
+        let img = scene(512, 64);
+        let mut trad = Pipeline::new(vec![
+            Stage::traditional(Box::new(GaussianFilter::new(16))),
+            Stage::traditional(Box::new(BoxFilter::new(8))),
+        ]);
+        let mut comp = Pipeline::new(vec![
+            Stage::compressed(Box::new(GaussianFilter::new(16)), 0),
+            Stage::compressed(Box::new(BoxFilter::new(8)), 0),
+        ]);
+        let t = trad.run(&img).total_brams();
+        let c = comp.run(&img).total_brams();
+        assert!(c < t, "compressed pipeline {c} vs traditional {t}");
+    }
+
+    #[test]
+    fn lossless_compressed_pipeline_matches_traditional_output() {
+        let img = scene(96, 48);
+        let mut a = Pipeline::new(vec![
+            Stage::traditional(Box::new(GaussianFilter::new(8))),
+            Stage::traditional(Box::new(SobelMagnitude::new(4))),
+        ]);
+        let mut b = Pipeline::new(vec![
+            Stage::compressed(Box::new(GaussianFilter::new(8)), 0),
+            Stage::compressed(Box::new(SobelMagnitude::new(4)), 0),
+        ]);
+        assert_eq!(a.run(&img).image, b.run(&img).image);
+    }
+
+    #[test]
+    fn plan_brams_covers_every_stage() {
+        let p = Pipeline::new(vec![
+            Stage::compressed(Box::new(GaussianFilter::new(8)), 2),
+            Stage::compressed(Box::new(BoxFilter::new(8)), 2),
+        ]);
+        let plans = p.plan_brams(&scene(256, 64));
+        assert_eq!(plans.len(), 2);
+        assert!(plans.iter().all(|p| p.fits));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_pipeline_rejected() {
+        Pipeline::new(vec![]);
+    }
+}

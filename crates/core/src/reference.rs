@@ -1,0 +1,83 @@
+//! Direct (non-streaming) golden model.
+//!
+//! Computes the sliding-window output by materializing every window — the
+//! obviously-correct implementation the streaming architectures are tested
+//! against. O(H·W·N²); use on small images.
+
+use crate::kernels::WindowKernel;
+use crate::window::ActiveWindow;
+use sw_image::ImageU8;
+
+/// Apply `kernel` at every fully-interior window position.
+///
+/// The output has size `(W − N + 1) × (H − N + 1)`: output `(x, y)`
+/// corresponds to the window whose top-left pixel is `(x, y)`.
+///
+/// # Panics
+///
+/// Panics if the image is smaller than the kernel's window.
+pub fn direct_sliding_window(img: &ImageU8, kernel: &dyn WindowKernel) -> ImageU8 {
+    let n = kernel.window_size();
+    assert!(
+        img.width() >= n && img.height() >= n,
+        "image smaller than the window"
+    );
+    let out_w = img.width() - n + 1;
+    let out_h = img.height() - n + 1;
+    let mut win = ActiveWindow::new(n);
+    let mut out = ImageU8::filled(out_w, out_h, 0);
+    let mut column = vec![0u8; n];
+    for y in 0..out_h {
+        // Prime the window with the first n columns of this strip.
+        for x in 0..img.width() {
+            for (r, c) in column.iter_mut().enumerate() {
+                *c = img.get(x, y + r);
+            }
+            win.shift(&column);
+            if x + 1 >= n {
+                out.set(x + 1 - n, y, kernel.apply(&win.view()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{BoxFilter, Tap};
+
+    #[test]
+    fn output_dimensions() {
+        let img = ImageU8::filled(20, 12, 5);
+        let out = direct_sliding_window(&img, &BoxFilter::new(4));
+        assert_eq!((out.width(), out.height()), (17, 9));
+    }
+
+    #[test]
+    fn tap_reproduces_shifted_image() {
+        let img = ImageU8::from_fn(10, 8, |x, y| (x * 10 + y) as u8);
+        // Top-left tap: output(x, y) = img(x, y).
+        let out = direct_sliding_window(&img, &Tap::top_left(4));
+        for y in 0..out.height() {
+            for x in 0..out.width() {
+                assert_eq!(out.get(x, y), img.get(x, y));
+            }
+        }
+        // Bottom-right tap: output(x, y) = img(x + n - 1, y + n - 1).
+        let out = direct_sliding_window(&img, &Tap::bottom_right(4));
+        for y in 0..out.height() {
+            for x in 0..out.width() {
+                assert_eq!(out.get(x, y), img.get(x + 3, y + 3));
+            }
+        }
+    }
+
+    #[test]
+    fn box_filter_hand_computed() {
+        let img = ImageU8::from_vec(3, 3, vec![0, 4, 8, 12, 16, 20, 24, 28, 32]);
+        let out = direct_sliding_window(&img, &BoxFilter::new(2));
+        // Windows: [0,4,12,16]=8, [4,8,16,20]=12, [12,16,24,28]=20, [16,20,28,32]=24
+        assert_eq!(out.pixels(), &[8, 12, 20, 24]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Small-sample statistics for the evaluation harness.
+//!
+//! The paper's Figure 13 reports mean memory savings over 10 images "with
+//! 90% confidence intervals"; with n = 10 the appropriate half-width uses
+//! Student's t (t₀.₉₅,₉ ≈ 1.833).
+
+/// Summary of a sample: mean, standard deviation, and a 90 % confidence
+/// half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator).
+    pub std_dev: f64,
+    /// Half-width of the 90 % confidence interval for the mean.
+    pub ci90_half_width: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+/// Two-sided 90 % Student-t critical values for small samples
+/// (df = 1..=30); larger samples fall back to the normal 1.645.
+fn t_crit_90(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796, 1.782,
+        1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711,
+        1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= 30 {
+        TABLE[df - 1]
+    } else {
+        1.645
+    }
+}
+
+/// Summarize a sample.
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+pub fn summarize(samples: &[f64]) -> Summary {
+    assert!(!samples.is_empty(), "cannot summarize an empty sample");
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let std_dev = var.sqrt();
+    let half = if n > 1 {
+        t_crit_90(n - 1) * std_dev / (n as f64).sqrt()
+    } else {
+        0.0
+    };
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Summary {
+        n,
+        mean,
+        std_dev,
+        ci90_half_width: half,
+        min,
+        max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sample_has_zero_spread() {
+        let s = summarize(&[5.0; 10]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci90_half_width, 0.0);
+        assert_eq!((s.min, s.max), (5.0, 5.0));
+    }
+
+    #[test]
+    fn known_sample_statistics() {
+        // Sample 1..=10: mean 5.5, sd = sqrt(82.5/9) ≈ 3.0277.
+        let data: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let s = summarize(&data);
+        assert_eq!(s.n, 10);
+        assert!((s.mean - 5.5).abs() < 1e-12);
+        assert!((s.std_dev - 3.02765).abs() < 1e-4);
+        // CI half-width = 1.833 * sd / sqrt(10) ≈ 1.7552.
+        assert!((s.ci90_half_width - 1.7552).abs() < 1e-3);
+    }
+
+    #[test]
+    fn single_observation_has_zero_interval() {
+        let s = summarize(&[42.0]);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.ci90_half_width, 0.0);
+    }
+
+    #[test]
+    fn large_samples_use_normal_quantile() {
+        let data: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let s = summarize(&data);
+        // t→z: the half-width should use 1.645.
+        let manual = 1.645 * s.std_dev / 10.0;
+        assert!((s.ci90_half_width - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        summarize(&[]);
+    }
+}

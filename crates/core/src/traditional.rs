@@ -1,0 +1,209 @@
+//! The traditional line-buffering sliding window architecture
+//! (paper Section III, Figure 1).
+//!
+//! `N − 1` row FIFOs of raw pixels feed an N×N shift-register window. The
+//! architecture has three phases — fill, process, drain — which this
+//! streaming model reproduces implicitly: outputs are only emitted once the
+//! window is fully inside the image, and a frame is fully processed after
+//! exactly `H × W` clock cycles (one input pixel per clock).
+
+use crate::config::ArchConfig;
+use crate::kernels::WindowKernel;
+use crate::window::ActiveWindow;
+use crate::Pixel;
+use std::collections::VecDeque;
+use sw_image::ImageU8;
+
+/// Statistics of one processed frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraditionalFrameStats {
+    /// Clock cycles consumed (always `H × W`: one pixel per clock).
+    pub cycles: u64,
+    /// On-chip bits the line buffers occupy:
+    /// `(N − 1) × (W − N) × pixel_bits`.
+    pub buffer_bits: u64,
+}
+
+/// Output of one frame.
+#[derive(Debug, Clone)]
+pub struct TraditionalOutput {
+    /// Kernel output over the valid region,
+    /// `(W − N + 1) × (H − N + 1)`.
+    pub image: ImageU8,
+    /// Frame statistics.
+    pub stats: TraditionalFrameStats,
+}
+
+/// The traditional architecture.
+#[derive(Debug, Clone)]
+pub struct TraditionalSlidingWindow {
+    cfg: ArchConfig,
+    window: ActiveWindow,
+    /// `fifos[k]` carries the exiting column's row `k + 1` pixel to the
+    /// entering column's row `k`, one image row later.
+    fifos: Vec<VecDeque<Pixel>>,
+    entering: Vec<Pixel>,
+    evicted: Vec<Pixel>,
+}
+
+impl TraditionalSlidingWindow {
+    /// Build the architecture for `cfg` (threshold fields are ignored —
+    /// this is the uncompressed baseline).
+    pub fn new(cfg: ArchConfig) -> Self {
+        let n = cfg.window;
+        Self {
+            cfg,
+            window: ActiveWindow::new(n),
+            fifos: vec![VecDeque::with_capacity(cfg.fifo_depth()); n - 1],
+            entering: vec![0; n],
+            evicted: vec![0; n],
+        }
+    }
+
+    /// The architecture's configuration.
+    pub fn config(&self) -> &ArchConfig {
+        &self.cfg
+    }
+
+    /// Process a full frame, returning the kernel output over the valid
+    /// region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image width differs from the configured width, the
+    /// image is shorter than the window, or the kernel's window size
+    /// mismatches.
+    pub fn process_frame(&mut self, img: &ImageU8, kernel: &dyn WindowKernel) -> TraditionalOutput {
+        let n = self.cfg.window;
+        assert_eq!(img.width(), self.cfg.width, "image width mismatch");
+        assert!(img.height() >= n, "image shorter than the window");
+        assert_eq!(kernel.window_size(), n, "kernel window size mismatch");
+        self.reset();
+
+        let w = img.width();
+        let h = img.height();
+        let delay = self.cfg.fifo_depth(); // W − N cycles inside the FIFOs
+        let mut out = ImageU8::filled(w - n + 1, h - n + 1, 0);
+        let mut cycles = 0u64;
+
+        for r in 0..h {
+            let row = img.row(r);
+            for (c, &input) in row.iter().enumerate() {
+                // (1) FIFO reads: the entering column's top n−1 pixels.
+                for (k, fifo) in self.fifos.iter_mut().enumerate() {
+                    self.entering[k] = if fifo.len() >= delay {
+                        fifo.pop_front().expect("non-empty by length check")
+                    } else {
+                        0 // fill phase: registers power up as zero
+                    };
+                }
+                // (2) The input pixel enters the bottom row.
+                self.entering[n - 1] = input;
+                // (3) Shift; capture the evicted (leftmost) column.
+                self.window.shift_into(&self.entering, &mut self.evicted);
+                // (4) FIFO writes: evicted rows 1..n re-enter one row up.
+                for (k, fifo) in self.fifos.iter_mut().enumerate() {
+                    fifo.push_back(self.evicted[k + 1]);
+                }
+                // (5) Kernel output once the window is fully interior.
+                if r + 1 >= n && c + 1 >= n {
+                    out.set(c + 1 - n, r + 1 - n, kernel.apply(&self.window.view()));
+                }
+                cycles += 1;
+            }
+        }
+
+        TraditionalOutput {
+            image: out,
+            stats: TraditionalFrameStats {
+                cycles,
+                buffer_bits: self.cfg.traditional_buffer_bits(),
+            },
+        }
+    }
+
+    /// Clear all state (frame boundary).
+    pub fn reset(&mut self) {
+        self.window.clear();
+        for f in &mut self.fifos {
+            f.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{BoxFilter, MedianFilter, Tap};
+    use crate::reference::direct_sliding_window;
+
+    fn test_image(w: usize, h: usize) -> ImageU8 {
+        ImageU8::from_fn(w, h, |x, y| ((x * 7 + y * 13 + (x * y) % 5) % 256) as u8)
+    }
+
+    #[test]
+    fn matches_direct_reference_box() {
+        let img = test_image(24, 16);
+        let kernel = BoxFilter::new(4);
+        let mut arch = TraditionalSlidingWindow::new(ArchConfig::new(4, 24));
+        let got = arch.process_frame(&img, &kernel);
+        let expect = direct_sliding_window(&img, &kernel);
+        assert_eq!(got.image, expect);
+        assert_eq!(got.stats.cycles, 24 * 16);
+    }
+
+    #[test]
+    fn matches_direct_reference_median_various_windows() {
+        for n in [2usize, 4, 6, 8] {
+            let img = test_image(20, 20);
+            let kernel = MedianFilter::new(n);
+            let mut arch = TraditionalSlidingWindow::new(ArchConfig::new(n, 20));
+            let got = arch.process_frame(&img, &kernel);
+            let expect = direct_sliding_window(&img, &kernel);
+            assert_eq!(got.image, expect, "window {n}");
+        }
+    }
+
+    #[test]
+    fn tap_verifies_exact_data_path() {
+        // The tap kernel exposes raw buffered pixels: any off-by-one in the
+        // FIFO delay shows up immediately.
+        let img = test_image(17, 11); // deliberately odd sizes
+        let kernel = Tap::top_left(4);
+        let mut arch = TraditionalSlidingWindow::new(ArchConfig::new(4, 17));
+        let got = arch.process_frame(&img, &kernel);
+        let expect = direct_sliding_window(&img, &kernel);
+        assert_eq!(got.image, expect);
+    }
+
+    #[test]
+    fn narrowest_legal_image_works() {
+        // W = N + 1: FIFO delay of exactly one cycle.
+        let img = test_image(5, 9);
+        let kernel = BoxFilter::new(4);
+        let mut arch = TraditionalSlidingWindow::new(ArchConfig::new(4, 5));
+        let got = arch.process_frame(&img, &kernel);
+        assert_eq!(got.image, direct_sliding_window(&img, &kernel));
+    }
+
+    #[test]
+    fn reusable_across_frames() {
+        let kernel = BoxFilter::new(4);
+        let mut arch = TraditionalSlidingWindow::new(ArchConfig::new(4, 16));
+        let a = test_image(16, 12);
+        let b = ImageU8::from_fn(16, 12, |x, y| (x * y % 251) as u8);
+        let first = arch.process_frame(&a, &kernel);
+        let second = arch.process_frame(&b, &kernel);
+        assert_eq!(second.image, direct_sliding_window(&b, &kernel));
+        assert_eq!(first.image, direct_sliding_window(&a, &kernel));
+    }
+
+    #[test]
+    fn buffer_bits_match_formula() {
+        let arch = TraditionalSlidingWindow::new(ArchConfig::new(8, 512));
+        let img = test_image(512, 16);
+        let mut arch2 = arch.clone();
+        let out = arch2.process_frame(&img, &BoxFilter::new(8));
+        assert_eq!(out.stats.buffer_bits, (512 - 8) * 7 * 8);
+    }
+}

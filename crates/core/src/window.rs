@@ -1,0 +1,190 @@
+//! The N×N active window of shift registers.
+//!
+//! Both architectures expose every pixel of the window to the processing
+//! kernel each clock (paper Section V: "The active window is implemented
+//! using shift registers so that a processing kernel can directly access all
+//! pixels of the active window each clock cycle").
+//!
+//! Orientation: the view is in natural image coordinates — row 0 is the top
+//! (oldest buffered image row), column 0 the left (oldest image column).
+//! Internally columns rotate through a ring buffer so a clock is O(N), not
+//! O(N²).
+
+use crate::Pixel;
+
+/// N×N pixel window with shift-register semantics.
+#[derive(Debug, Clone)]
+pub struct ActiveWindow {
+    n: usize,
+    /// Column-major storage: `cols[slot]` is one column, top to bottom.
+    cols: Vec<Vec<Pixel>>,
+    /// Ring index of the oldest (leftmost) column.
+    head: usize,
+}
+
+impl ActiveWindow {
+    /// A zero-filled N×N window.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "window too small");
+        Self {
+            n,
+            cols: vec![vec![0; n]; n],
+            head: 0,
+        }
+    }
+
+    /// Window size N.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Shift one clock: the oldest (leftmost) column is returned and
+    /// `incoming` becomes the newest (rightmost) column.
+    ///
+    /// `incoming` is top-to-bottom; its bottom element is the current input
+    /// pixel, the rest come from the buffering path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `incoming.len() != n`.
+    pub fn shift(&mut self, incoming: &[Pixel]) -> Vec<Pixel> {
+        assert_eq!(incoming.len(), self.n, "column height mismatch");
+        let evicted = std::mem::replace(&mut self.cols[self.head], incoming.to_vec());
+        self.head = (self.head + 1) % self.n;
+        evicted
+    }
+
+    /// Like [`shift`](Self::shift) but reuses the evicted buffer: copies the
+    /// evicted column into `evicted_out` and `incoming` into the freed slot.
+    pub fn shift_into(&mut self, incoming: &[Pixel], evicted_out: &mut Vec<Pixel>) {
+        assert_eq!(incoming.len(), self.n, "column height mismatch");
+        evicted_out.clear();
+        evicted_out.extend_from_slice(&self.cols[self.head]);
+        self.cols[self.head].copy_from_slice(incoming);
+        self.head = (self.head + 1) % self.n;
+    }
+
+    /// The column that will be evicted by the next shift (the leftmost /
+    /// oldest), top to bottom.
+    pub fn oldest_column(&self) -> &[Pixel] {
+        &self.cols[self.head]
+    }
+
+    /// Natural-orientation view for kernels.
+    pub fn view(&self) -> WindowView<'_> {
+        WindowView { win: self }
+    }
+
+    /// Reset all registers to zero.
+    pub fn clear(&mut self) {
+        for col in &mut self.cols {
+            col.fill(0);
+        }
+        self.head = 0;
+    }
+
+    /// Pixel at natural coordinates (row from top, col from left).
+    #[inline]
+    fn get(&self, row: usize, col: usize) -> Pixel {
+        debug_assert!(row < self.n && col < self.n);
+        let slot = (self.head + col) % self.n;
+        self.cols[slot][row]
+    }
+}
+
+/// Read-only natural-orientation view of an [`ActiveWindow`].
+#[derive(Debug, Clone, Copy)]
+pub struct WindowView<'a> {
+    win: &'a ActiveWindow,
+}
+
+impl<'a> WindowView<'a> {
+    /// Window size N.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.win.n
+    }
+
+    /// Pixel at `(row, col)` — row 0 = top (oldest image row), col 0 = left
+    /// (oldest image column).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on out-of-range coordinates.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Pixel {
+        assert!(row < self.win.n && col < self.win.n, "window coordinates out of range");
+        self.win.get(row, col)
+    }
+
+    /// Iterate all pixels row-major.
+    pub fn iter(&self) -> impl Iterator<Item = Pixel> + '_ {
+        let n = self.win.n;
+        (0..n).flat_map(move |r| (0..n).map(move |c| self.win.get(r, c)))
+    }
+
+    /// Copy the window into a row-major vector (for kernels that need random
+    /// access patterns like the median).
+    pub fn to_vec(&self) -> Vec<Pixel> {
+        self.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shifting_preserves_natural_orientation() {
+        let mut w = ActiveWindow::new(3);
+        // Push columns [1,2,3], [4,5,6], [7,8,9]: the last push is rightmost.
+        w.shift(&[1, 2, 3]);
+        w.shift(&[4, 5, 6]);
+        w.shift(&[7, 8, 9]);
+        let v = w.view();
+        // Row 0 (top) = firsts of each column, left to right.
+        assert_eq!([v.get(0, 0), v.get(0, 1), v.get(0, 2)], [1, 4, 7]);
+        assert_eq!([v.get(2, 0), v.get(2, 1), v.get(2, 2)], [3, 6, 9]);
+    }
+
+    #[test]
+    fn shift_evicts_oldest() {
+        let mut w = ActiveWindow::new(2);
+        w.shift(&[1, 2]);
+        w.shift(&[3, 4]);
+        let evicted = w.shift(&[5, 6]);
+        assert_eq!(evicted, vec![1, 2]);
+        assert_eq!(w.oldest_column(), &[3, 4]);
+    }
+
+    #[test]
+    fn shift_into_matches_shift() {
+        let mut a = ActiveWindow::new(4);
+        let mut b = ActiveWindow::new(4);
+        let mut evicted = Vec::new();
+        for i in 0..10u8 {
+            let col: Vec<u8> = (0..4).map(|r| i * 4 + r).collect();
+            let ev_a = a.shift(&col);
+            b.shift_into(&col, &mut evicted);
+            assert_eq!(ev_a, evicted);
+        }
+        assert_eq!(a.view().to_vec(), b.view().to_vec());
+    }
+
+    #[test]
+    fn view_iter_is_row_major() {
+        let mut w = ActiveWindow::new(2);
+        w.shift(&[1, 2]);
+        w.shift(&[3, 4]);
+        assert_eq!(w.view().to_vec(), vec![1, 3, 2, 4]);
+    }
+
+    #[test]
+    fn clear_zeroes_and_resets() {
+        let mut w = ActiveWindow::new(2);
+        w.shift(&[1, 2]);
+        w.clear();
+        assert_eq!(w.view().to_vec(), vec![0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests: architectural equivalences that must hold for *any*
+//! image, not just the curated test scenes.
+
+use proptest::prelude::*;
+use sw_core::compressed::CompressedSlidingWindow;
+use sw_core::compressed_ml::TwoLevelCompressedSlidingWindow;
+use sw_core::rtl::RtlCompressedSlidingWindow;
+use sw_core::config::{ArchConfig, ThresholdPolicy};
+use sw_core::kernels::{BoxFilter, Tap};
+use sw_core::reference::direct_sliding_window;
+use sw_core::traditional::TraditionalSlidingWindow;
+use sw_image::ImageU8;
+
+/// Deterministic pseudo-random image from a seed.
+fn image_from_seed(w: usize, h: usize, seed: u32, smooth: bool) -> ImageU8 {
+    let mut state = seed | 1;
+    ImageU8::from_fn(w, h, |x, y| {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        if smooth {
+            let base = 120.0
+                + 60.0 * ((x as f64 * 0.13) + (seed % 7) as f64).sin()
+                + 40.0 * (y as f64 * 0.09).cos();
+            (base + ((state >> 28) % 5) as f64).clamp(0.0, 255.0) as u8
+        } else {
+            (state >> 24) as u8
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lossless compressed == traditional == direct, for arbitrary content
+    /// (including incompressible random noise) and geometry.
+    #[test]
+    fn lossless_architectures_agree(
+        n in (1usize..4).prop_map(|k| k * 2),     // 2, 4, 6
+        extra_w in 2usize..20,
+        h in 8usize..24,
+        seed in any::<u32>(),
+        smooth in any::<bool>(),
+    ) {
+        let w = n + extra_w;
+        prop_assume!(h >= n);
+        let img = image_from_seed(w, h, seed, smooth);
+        let kernel = BoxFilter::new(n);
+        let cfg = ArchConfig::new(n, w);
+        let mut comp = CompressedSlidingWindow::new(cfg);
+        let mut trad = TraditionalSlidingWindow::new(cfg);
+        let a = comp.process_frame(&img, &kernel);
+        let b = trad.process_frame(&img, &kernel);
+        let c = direct_sliding_window(&img, &kernel);
+        prop_assert_eq!(&a.image, &b.image);
+        prop_assert_eq!(&b.image, &c);
+    }
+
+    /// The raw data path (tap kernel) round-trips exactly in lossless mode:
+    /// every buffered pixel survives N−1 compression trips.
+    #[test]
+    fn lossless_datapath_is_exact(
+        seed in any::<u32>(),
+        smooth in any::<bool>(),
+    ) {
+        let (n, w, h) = (4usize, 19usize, 13usize);
+        let img = image_from_seed(w, h, seed, smooth);
+        let kernel = Tap::top_left(n);
+        let mut comp = CompressedSlidingWindow::new(ArchConfig::new(n, w));
+        let got = comp.process_frame(&img, &kernel);
+        prop_assert_eq!(got.image, direct_sliding_window(&img, &kernel));
+    }
+
+    /// Payload occupancy never increases when the threshold rises
+    /// (per-frame peak, any content).
+    #[test]
+    fn occupancy_monotone_in_threshold(seed in any::<u32>()) {
+        let (n, w, h) = (8usize, 40usize, 24usize);
+        let img = image_from_seed(w, h, seed, true);
+        let mut prev = u64::MAX;
+        for t in [0i16, 2, 4, 6, 10] {
+            let cfg = ArchConfig::new(n, w).with_threshold(t);
+            let mut comp = CompressedSlidingWindow::new(cfg);
+            let got = comp.process_frame(&img, &BoxFilter::new(n));
+            prop_assert!(
+                got.stats.peak_payload_occupancy <= prev,
+                "occupancy must be monotone non-increasing in T"
+            );
+            prev = got.stats.peak_payload_occupancy;
+        }
+    }
+
+    /// Thresholding all sub-bands never stores more than details-only.
+    #[test]
+    fn all_subbands_policy_never_larger(seed in any::<u32>(), t in 1i16..8) {
+        let (n, w, h) = (8usize, 40usize, 24usize);
+        let img = image_from_seed(w, h, seed, true);
+        let run = |policy| {
+            let cfg = ArchConfig::new(n, w).with_threshold(t).with_policy(policy);
+            let mut comp = CompressedSlidingWindow::new(cfg);
+            comp.process_frame(&img, &BoxFilter::new(n))
+                .stats
+                .peak_payload_occupancy
+        };
+        prop_assert!(run(ThresholdPolicy::AllSubbands) <= run(ThresholdPolicy::DetailsOnly));
+    }
+
+    /// The analyzer's savings figure agrees in sign and rough magnitude
+    /// with the streaming architecture's measured savings.
+    #[test]
+    fn analyzer_tracks_streaming_savings(seed in any::<u32>()) {
+        let (n, w, h) = (8usize, 64usize, 32usize);
+        let img = image_from_seed(w, h, seed, true);
+        let cfg = ArchConfig::new(n, w);
+        let analytic = sw_core::analysis::analyze_frame(&img, &cfg);
+        let mut comp = CompressedSlidingWindow::new(cfg);
+        let streaming = comp.process_frame(&img, &BoxFilter::new(n));
+        let a = analytic.saving_pct();
+        let s = streaming.stats.memory_saving_pct();
+        prop_assert!(
+            (a - s).abs() < 25.0,
+            "analyzer {a:.1}% vs streaming {s:.1}%"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The RTL bit-stream datapath equals the functional model for any
+    /// content and threshold — including sparse images that exercise the
+    /// packer-bypass path.
+    #[test]
+    fn rtl_equals_functional(
+        seed in any::<u32>(),
+        t in 0i16..8,
+        sparse in any::<bool>(),
+    ) {
+        let (n, w, h) = (4usize, 26usize, 14usize);
+        let img = if sparse {
+            // Mostly black with occasional bright pixels: minimal payload,
+            // which starves the word-granular Pixel FIFO and forces the
+            // Yout_Current bypass.
+            let mut state = seed | 1;
+            ImageU8::from_fn(w, h, |_, _| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                if state >> 28 == 0 { (state >> 20) as u8 } else { 0 }
+            })
+        } else {
+            image_from_seed(w, h, seed, true)
+        };
+        let cfg = ArchConfig::new(n, w).with_threshold(t);
+        let kernel = Tap::top_left(n);
+        let mut rtl = RtlCompressedSlidingWindow::new(cfg);
+        let mut func = CompressedSlidingWindow::new(cfg);
+        prop_assert_eq!(
+            rtl.process_frame(&img, &kernel).image,
+            func.process_frame(&img, &kernel).image
+        );
+    }
+
+    /// The two-level extension stays exact in lossless mode for arbitrary
+    /// content and geometry.
+    #[test]
+    fn two_level_lossless_is_exact(
+        extra_w in 4usize..24,
+        h in 8usize..20,
+        seed in any::<u32>(),
+        smooth in any::<bool>(),
+    ) {
+        let n = 4usize;
+        let w = n + extra_w;
+        let img = image_from_seed(w, h, seed, smooth);
+        let kernel = Tap::top_left(n);
+        let mut two = TwoLevelCompressedSlidingWindow::new(ArchConfig::new(n, w));
+        prop_assert_eq!(
+            two.process_frame(&img, &kernel).image,
+            direct_sliding_window(&img, &kernel)
+        );
+    }
+}

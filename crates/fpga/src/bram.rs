@@ -1,0 +1,241 @@
+//! 18 Kb Block RAM model (Xilinx 7-series `RAMB18`).
+//!
+//! A 7-series 18 Kb BRAM holds 16 Kb of data plus 2 Kb of parity. The parity
+//! bits are only addressable in the ×9 / ×18 / ×36 aspect ratios, so the
+//! usable capacity depends on the configuration — exactly why the paper
+//! stores 8-bit pixels in `2k × 9` mode ("an 18Kb BRAM configured as 2k×9
+//! can fit up to 2048 pixels", Section VI-A).
+//!
+//! [`Bram18Config`] enumerates the aspect ratios, and the planning helpers
+//! compute how many BRAMs a buffer of a given geometry needs — the
+//! arithmetic behind the paper's Tables I–V.
+
+/// Usable bits of an 18 Kb BRAM in a parity-carrying aspect (×9/×18/×36).
+pub const BRAM18_BITS: u64 = 18 * 1024;
+
+/// Usable bits of an 18 Kb BRAM in a non-parity aspect (×1/×2/×4).
+pub const BRAM18_DATA_BITS: u64 = 16 * 1024;
+
+/// One aspect-ratio configuration of an 18 Kb BRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Bram18Config {
+    /// Addressable entries.
+    pub depth: u32,
+    /// Bits per entry.
+    pub width: u32,
+}
+
+impl Bram18Config {
+    /// `16k × 1` (no parity).
+    pub const X1: Self = Self { depth: 16384, width: 1 };
+    /// `8k × 2` (no parity).
+    pub const X2: Self = Self { depth: 8192, width: 2 };
+    /// `4k × 4` (no parity).
+    pub const X4: Self = Self { depth: 4096, width: 4 };
+    /// `2k × 9` — the paper's pixel and NBits configuration.
+    pub const X9: Self = Self { depth: 2048, width: 9 };
+    /// `1k × 18`.
+    pub const X18: Self = Self { depth: 1024, width: 18 };
+    /// `512 × 36`.
+    pub const X36: Self = Self { depth: 512, width: 36 };
+
+    /// All aspect ratios, narrowest first.
+    pub const ALL: [Self; 6] = [
+        Self::X1,
+        Self::X2,
+        Self::X4,
+        Self::X9,
+        Self::X18,
+        Self::X36,
+    ];
+
+    /// Usable capacity of this configuration in bits.
+    #[inline]
+    pub fn capacity_bits(&self) -> u64 {
+        self.depth as u64 * self.width as u64
+    }
+
+    /// Number of BRAM18s needed to present a `width_bits`-wide,
+    /// `depth_entries`-deep memory in this aspect:
+    /// `ceil(width / cfg.width) × ceil(depth / cfg.depth)`.
+    pub fn brams_for(&self, width_bits: u32, depth_entries: u32) -> u32 {
+        if width_bits == 0 || depth_entries == 0 {
+            return 0;
+        }
+        width_bits.div_ceil(self.width) * depth_entries.div_ceil(self.depth)
+    }
+
+    /// Human-readable name, e.g. `2k x 9`.
+    pub fn name(&self) -> String {
+        let depth = if self.depth.is_multiple_of(1024) {
+            format!("{}k", self.depth / 1024)
+        } else {
+            self.depth.to_string()
+        };
+        format!("{depth} x {}", self.width)
+    }
+}
+
+/// The best (fewest-BRAM) configuration for a `width_bits` × `depth_entries`
+/// memory, together with the BRAM count.
+///
+/// This is the "structured" accounting used by the paper's management-bit
+/// sizing in Tables II–IV (e.g. a 64-bit-wide BitMap buffer maps to
+/// `2 × (512 × 36)`). Ties prefer an aspect wide enough to avoid splitting
+/// the word across BRAMs, then the narrowest such aspect — matching the
+/// paper's picks (window 8 → `2k×9`, 16 → `1k×18`, 32 → `512×36`).
+pub fn best_config(width_bits: u32, depth_entries: u32) -> (Bram18Config, u32) {
+    Bram18Config::ALL
+        .iter()
+        .map(|cfg| (*cfg, cfg.brams_for(width_bits, depth_entries)))
+        .min_by_key(|&(cfg, count)| (count, cfg.width < width_bits, cfg.width))
+        .expect("config list is non-empty")
+}
+
+/// BRAM18 count by raw bit capacity only (`ceil(bits / 18 Kb)`).
+///
+/// The paper's Table V management column uses this looser accounting; see
+/// `EXPERIMENTS.md` for the discrepancy discussion.
+pub fn brams_for_bits(bits: u64) -> u32 {
+    bits.div_ceil(BRAM18_BITS) as u32
+}
+
+/// A behavioural BRAM18 in simple-dual-port mode: one write port, one read
+/// port, synchronous read (1-cycle latency is handled by the caller).
+///
+/// Stores `depth × width` bits; reads/writes move whole entries.
+#[derive(Debug, Clone)]
+pub struct Bram18 {
+    config: Bram18Config,
+    data: Vec<u64>,
+}
+
+impl Bram18 {
+    /// Zero-initialized BRAM in the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width exceeds 64 (not a valid BRAM18 aspect anyway).
+    pub fn new(config: Bram18Config) -> Self {
+        assert!(config.width <= 64, "entry width exceeds model limit");
+        Self {
+            config,
+            data: vec![0; config.depth as usize],
+        }
+    }
+
+    /// The configured aspect.
+    #[inline]
+    pub fn config(&self) -> Bram18Config {
+        self.config
+    }
+
+    /// Write `value` (low `width` bits) to `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range or `value` has bits above `width`.
+    pub fn write(&mut self, addr: u32, value: u64) {
+        assert!(addr < self.config.depth, "write address out of range");
+        assert!(
+            self.config.width == 64 || value < (1u64 << self.config.width),
+            "value wider than the configured port"
+        );
+        self.data[addr as usize] = value;
+    }
+
+    /// Read the entry at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn read(&self, addr: u32) -> u64 {
+        assert!(addr < self.config.depth, "read address out of range");
+        self.data[addr as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_match_datasheet() {
+        assert_eq!(Bram18Config::X9.capacity_bits(), 18432);
+        assert_eq!(Bram18Config::X18.capacity_bits(), 18432);
+        assert_eq!(Bram18Config::X36.capacity_bits(), 18432);
+        assert_eq!(Bram18Config::X1.capacity_bits(), 16384);
+        assert_eq!(Bram18Config::X4.capacity_bits(), 16384);
+    }
+
+    #[test]
+    fn paper_pixel_row_sizing() {
+        // "image rows of width 512, 1024 and 2048 can fit in one BRAM, while
+        //  image widths greater than 2048 require cascading" — 8-bit pixels
+        //  in 2k×9 mode.
+        for w in [512, 1024, 2048] {
+            assert_eq!(Bram18Config::X9.brams_for(8, w), 1, "width {w}");
+        }
+        assert_eq!(Bram18Config::X9.brams_for(8, 3840), 2);
+    }
+
+    #[test]
+    fn paper_bitmap_configurations() {
+        // Section V-E: window sizes 8,16,32,64,128 at image width 512 map
+        // BitMap to 2k×9, 1k×18, 512×36, 2×(512×36), 4×(512×36).
+        let depth = 512 - 8;
+        assert_eq!(best_config(8, depth), (Bram18Config::X9, 1));
+        let depth = 512 - 16;
+        assert_eq!(best_config(16, depth), (Bram18Config::X18, 1));
+        let depth = 512 - 32;
+        assert_eq!(best_config(32, depth), (Bram18Config::X36, 1));
+        let depth = 512 - 64;
+        assert_eq!(best_config(64, depth), (Bram18Config::X36, 2));
+        let depth = 512 - 128;
+        assert_eq!(best_config(128, depth), (Bram18Config::X36, 4));
+    }
+
+    #[test]
+    fn best_config_handles_deep_narrow_buffers() {
+        // NBits buffer for W=3840: 8 bits wide, 3832 deep -> two 2k×9.
+        let (cfg, count) = best_config(8, 3832);
+        assert_eq!(cfg, Bram18Config::X9);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn brams_for_bits_is_ceiling() {
+        assert_eq!(brams_for_bits(0), 0);
+        assert_eq!(brams_for_bits(1), 1);
+        assert_eq!(brams_for_bits(BRAM18_BITS), 1);
+        assert_eq!(brams_for_bits(BRAM18_BITS + 1), 2);
+    }
+
+    #[test]
+    fn zero_sized_requests_cost_nothing() {
+        assert_eq!(Bram18Config::X9.brams_for(0, 100), 0);
+        assert_eq!(Bram18Config::X9.brams_for(8, 0), 0);
+    }
+
+    #[test]
+    fn behavioural_bram_stores_entries() {
+        let mut b = Bram18::new(Bram18Config::X9);
+        b.write(0, 0x1ff);
+        b.write(2047, 0x0aa);
+        assert_eq!(b.read(0), 0x1ff);
+        assert_eq!(b.read(2047), 0x0aa);
+        assert_eq!(b.read(5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn behavioural_bram_rejects_wide_values() {
+        Bram18::new(Bram18Config::X9).write(0, 0x200);
+    }
+
+    #[test]
+    fn config_names_render() {
+        assert_eq!(Bram18Config::X9.name(), "2k x 9");
+        assert_eq!(Bram18Config::X36.name(), "512 x 36");
+    }
+}

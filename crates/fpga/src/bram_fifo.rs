@@ -1,0 +1,197 @@
+//! A FIFO realized on actual [`Bram18`] storage — the hardware form of the
+//! paper's line buffers ("each FIFO line is realized in hardware by one
+//! 18Kb BRAM", Section VI-A).
+//!
+//! Unlike [`crate::fifo::WordFifo`] (a behavioural deque), this FIFO owns
+//! cascaded [`Bram18`] instances and moves data through real addressed
+//! writes and reads, so the BRAM-count arithmetic used by the planner is
+//! backed by a storage model that actually holds the bits. The differential
+//! tests prove it behaves identically to the behavioural FIFO.
+
+use crate::bram::{Bram18, Bram18Config};
+use crate::fifo::FifoError;
+use crate::sim::Watermark;
+
+/// A word FIFO stored in cascaded 18 Kb BRAMs.
+#[derive(Debug, Clone)]
+pub struct BramFifo {
+    brams: Vec<Bram18>,
+    config: Bram18Config,
+    /// Total addressable entries across the cascade.
+    depth: u32,
+    /// Usable capacity (`depth` entries; one-slot-free disambiguation is
+    /// handled by an explicit length counter, as real FIFO wrappers do).
+    head: u32,
+    tail: u32,
+    len: u32,
+    watermark: Watermark,
+}
+
+impl BramFifo {
+    /// FIFO of at least `min_depth` entries of `config.width` bits,
+    /// cascading as many BRAM18s as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_depth == 0`.
+    pub fn new(config: Bram18Config, min_depth: u32) -> Self {
+        assert!(min_depth > 0, "FIFO needs at least one entry");
+        let cascade = min_depth.div_ceil(config.depth);
+        Self {
+            brams: (0..cascade).map(|_| Bram18::new(config)).collect(),
+            config,
+            depth: cascade * config.depth,
+            head: 0,
+            tail: 0,
+            len: 0,
+            watermark: Watermark::new(),
+        }
+    }
+
+    /// Number of BRAM18s the cascade uses.
+    pub fn brams_used(&self) -> u32 {
+        self.brams.len() as u32
+    }
+
+    /// Total entry capacity.
+    #[inline]
+    pub fn capacity(&self) -> u32 {
+        self.depth
+    }
+
+    /// Current occupancy.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether the FIFO is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Highest occupancy observed.
+    pub fn high_watermark(&self) -> u64 {
+        self.watermark.max()
+    }
+
+    /// Write one entry.
+    pub fn push(&mut self, word: u64) -> Result<(), FifoError> {
+        if self.len == self.depth {
+            return Err(FifoError::Overflow {
+                needed: self.len as u64 + 1,
+                capacity: self.depth as u64,
+            });
+        }
+        let bram = (self.head / self.config.depth) as usize;
+        let addr = self.head % self.config.depth;
+        self.brams[bram].write(addr, word);
+        self.head = (self.head + 1) % self.depth;
+        self.len += 1;
+        self.watermark.observe(self.len as u64);
+        Ok(())
+    }
+
+    /// Read the oldest entry.
+    pub fn pop(&mut self) -> Result<u64, FifoError> {
+        if self.len == 0 {
+            return Err(FifoError::Underrun);
+        }
+        let bram = (self.tail / self.config.depth) as usize;
+        let addr = self.tail % self.config.depth;
+        let word = self.brams[bram].read(addr);
+        self.tail = (self.tail + 1) % self.depth;
+        self.len -= 1;
+        Ok(word)
+    }
+
+    /// Empty the FIFO (pointers reset; stored bits remain in the BRAMs, as
+    /// in hardware).
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.tail = 0;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fifo::WordFifo;
+
+    #[test]
+    fn paper_line_buffer_geometry() {
+        // One image row of 512 8-bit pixels in 2k×9 mode: exactly one BRAM.
+        let fifo = BramFifo::new(Bram18Config::X9, 512);
+        assert_eq!(fifo.brams_used(), 1);
+        assert_eq!(fifo.capacity(), 2048);
+        // A 3840-pixel row needs a cascade of two (paper Table I).
+        let fifo = BramFifo::new(Bram18Config::X9, 3840);
+        assert_eq!(fifo.brams_used(), 2);
+    }
+
+    #[test]
+    fn fifo_order_and_wraparound() {
+        let mut fifo = BramFifo::new(Bram18Config::X9, 100);
+        // Push/pop more entries than the capacity to force wraparound.
+        for round in 0..3u64 {
+            for i in 0..1500u64 {
+                fifo.push((round * 1500 + i) % 512).unwrap();
+                let got = fifo.pop().unwrap();
+                assert_eq!(got, (round * 1500 + i) % 512);
+            }
+        }
+        assert!(fifo.is_empty());
+    }
+
+    #[test]
+    fn overflow_and_underrun_are_reported() {
+        let mut fifo = BramFifo::new(Bram18Config::X36, 4);
+        assert_eq!(fifo.capacity(), 512);
+        for i in 0..512 {
+            fifo.push(i).unwrap();
+        }
+        assert!(matches!(
+            fifo.push(0),
+            Err(FifoError::Overflow { .. })
+        ));
+        for _ in 0..512 {
+            fifo.pop().unwrap();
+        }
+        assert_eq!(fifo.pop(), Err(FifoError::Underrun));
+    }
+
+    #[test]
+    fn differential_against_behavioural_fifo() {
+        let mut hw = BramFifo::new(Bram18Config::X9, 64);
+        let mut sw = WordFifo::new(hw.capacity() as usize);
+        let mut state = 11u32;
+        for step in 0..5000 {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            if !state.is_multiple_of(3) {
+                let v = (state >> 16 & 0x1ff) as u64;
+                assert_eq!(hw.push(v).is_ok(), sw.push(v).is_ok(), "step {step}");
+            } else {
+                match (hw.pop(), sw.pop()) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "step {step}"),
+                    (Err(_), Err(_)) => {}
+                    (a, b) => panic!("divergence at {step}: {a:?} vs {b:?}"),
+                }
+            }
+            assert_eq!(hw.len() as usize, sw.len());
+        }
+        assert_eq!(hw.high_watermark(), sw.high_watermark());
+    }
+
+    #[test]
+    fn clear_resets_pointers() {
+        let mut fifo = BramFifo::new(Bram18Config::X9, 8);
+        fifo.push(1).unwrap();
+        fifo.push(2).unwrap();
+        fifo.clear();
+        assert!(fifo.is_empty());
+        fifo.push(9).unwrap();
+        assert_eq!(fifo.pop(), Ok(9));
+    }
+}

@@ -1,0 +1,94 @@
+//! Small FPGA device catalog for utilization reporting.
+//!
+//! The paper uses the Xilinx Zynq XC7Z020 ("It has a total of 53,200 LUTs and
+//! 106,400 registers" and "a total on-chip memory of 5,018Kb"). Two
+//! neighbouring Zynq parts are included so the examples can ask "which device
+//! does this configuration need?".
+
+/// Resource capacity of one FPGA device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Device {
+    /// Part name.
+    pub name: &'static str,
+    /// Total 6-input LUTs.
+    pub luts: u32,
+    /// Total flip-flop registers.
+    pub registers: u32,
+    /// Total Block RAM as 18 Kb units.
+    pub bram18: u32,
+}
+
+impl Device {
+    /// Zynq-7010.
+    pub const XC7Z010: Device = Device {
+        name: "XC7Z010",
+        luts: 17_600,
+        registers: 35_200,
+        bram18: 120,
+    };
+
+    /// Zynq-7020 — the paper's evaluation device.
+    pub const XC7Z020: Device = Device {
+        name: "XC7Z020",
+        luts: 53_200,
+        registers: 106_400,
+        bram18: 280,
+    };
+
+    /// Zynq-7045.
+    pub const XC7Z045: Device = Device {
+        name: "XC7Z045",
+        luts: 218_600,
+        registers: 437_200,
+        bram18: 1_090,
+    };
+
+    /// Catalog in ascending capacity order.
+    pub const CATALOG: [Device; 3] = [Device::XC7Z010, Device::XC7Z020, Device::XC7Z045];
+
+    /// Total on-chip BRAM capacity in Kbits.
+    pub fn bram_kbits(&self) -> u32 {
+        self.bram18 * 18
+    }
+
+    /// The smallest catalog device providing at least the given resources,
+    /// if any.
+    pub fn smallest_fitting(luts: u32, registers: u32, bram18: u32) -> Option<Device> {
+        Device::CATALOG
+            .into_iter()
+            .find(|d| d.luts >= luts && d.registers >= registers && d.bram18 >= bram18)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_device_numbers() {
+        let d = Device::XC7Z020;
+        assert_eq!(d.luts, 53_200);
+        assert_eq!(d.registers, 106_400);
+        // Paper: "total on-chip memory of 5,018Kb" — the 280×18 Kb model is
+        // the datasheet's 4.9 Mb rounded the same way (within 1%).
+        let kb = d.bram_kbits() as f64;
+        assert!((kb - 5018.0).abs() / 5018.0 < 0.011, "got {kb}");
+    }
+
+    #[test]
+    fn smallest_fitting_walks_catalog() {
+        assert_eq!(
+            Device::smallest_fitting(10_000, 10_000, 64),
+            Some(Device::XC7Z010)
+        );
+        assert_eq!(
+            Device::smallest_fitting(53_000, 10_000, 64),
+            Some(Device::XC7Z020)
+        );
+        assert_eq!(
+            Device::smallest_fitting(60_000, 10_000, 64),
+            Some(Device::XC7Z045)
+        );
+        assert_eq!(Device::smallest_fitting(1_000_000, 0, 0), None);
+    }
+}

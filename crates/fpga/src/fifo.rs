@@ -1,0 +1,362 @@
+//! FIFO models with occupancy tracking.
+//!
+//! [`WordFifo`] models the traditional architecture's pixel line buffers;
+//! [`BitFifo`] models the compressed architecture's packed-bit memory unit,
+//! whose occupancy is variable — the whole point of the paper. Both track a
+//! high-watermark so the planner can size BRAMs from worst-case occupancy,
+//! and both report overflow as a structured error instead of silently
+//! corrupting (the paper's "bad frames" limitation, Section V-E).
+
+use crate::sim::Watermark;
+use std::collections::VecDeque;
+
+/// Structured FIFO failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FifoError {
+    /// A push would exceed the provisioned capacity.
+    ///
+    /// Carries the occupancy the FIFO *would* have needed.
+    Overflow {
+        /// Bits (or words) that would have been stored.
+        needed: u64,
+        /// The provisioned capacity.
+        capacity: u64,
+    },
+    /// A pop found insufficient contents.
+    Underrun,
+}
+
+impl std::fmt::Display for FifoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FifoError::Overflow { needed, capacity } => {
+                write!(f, "FIFO overflow: needed {needed}, capacity {capacity}")
+            }
+            FifoError::Underrun => write!(f, "FIFO underrun"),
+        }
+    }
+}
+
+impl std::error::Error for FifoError {}
+
+/// A fixed-capacity FIFO of whole words (pixels, columns, …).
+#[derive(Debug, Clone)]
+pub struct WordFifo<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    watermark: Watermark,
+}
+
+impl<T> WordFifo<T> {
+    /// FIFO holding at most `capacity` words.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            watermark: Watermark::new(),
+        }
+    }
+
+    /// Current occupancy in words.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the FIFO is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the FIFO is at capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Provisioned capacity in words.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest occupancy ever observed.
+    #[inline]
+    pub fn high_watermark(&self) -> u64 {
+        self.watermark.max()
+    }
+
+    /// Push one word.
+    pub fn push(&mut self, v: T) -> Result<(), FifoError> {
+        if self.buf.len() >= self.capacity {
+            return Err(FifoError::Overflow {
+                needed: self.buf.len() as u64 + 1,
+                capacity: self.capacity as u64,
+            });
+        }
+        self.buf.push_back(v);
+        self.watermark.observe(self.buf.len() as u64);
+        Ok(())
+    }
+
+    /// Pop the oldest word.
+    pub fn pop(&mut self) -> Result<T, FifoError> {
+        self.buf.pop_front().ok_or(FifoError::Underrun)
+    }
+
+    /// Peek at the oldest word.
+    pub fn front(&self) -> Option<&T> {
+        self.buf.front()
+    }
+
+    /// Remove all contents, keeping the watermark history.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+/// A bit-granular FIFO: pushes and pops move arbitrary bit counts.
+///
+/// Backed by a byte deque plus partial-bit staging at both ends; capacity and
+/// occupancy are measured in bits. This models the compressed architecture's
+/// Pixel FIFO, where each entry is a packed byte but logical contents are
+/// variable-width coefficients.
+#[derive(Debug, Clone)]
+pub struct BitFifo {
+    bytes: VecDeque<u8>,
+    /// Staged bits not yet forming a whole byte at the push side.
+    head_acc: u32,
+    head_bits: u32,
+    /// Bits already consumed from the front byte at the pop side.
+    tail_consumed: u32,
+    capacity_bits: u64,
+    watermark: Watermark,
+}
+
+impl BitFifo {
+    /// FIFO holding at most `capacity_bits` bits.
+    pub fn new(capacity_bits: u64) -> Self {
+        Self {
+            bytes: VecDeque::new(),
+            head_acc: 0,
+            head_bits: 0,
+            tail_consumed: 0,
+            capacity_bits,
+            watermark: Watermark::new(),
+        }
+    }
+
+    /// An effectively unbounded FIFO (for measurement-only runs).
+    pub fn unbounded() -> Self {
+        Self::new(u64::MAX)
+    }
+
+    /// Current occupancy in bits.
+    #[inline]
+    pub fn len_bits(&self) -> u64 {
+        self.bytes.len() as u64 * 8 + self.head_bits as u64 - self.tail_consumed as u64
+    }
+
+    /// Whether no bits are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len_bits() == 0
+    }
+
+    /// Provisioned capacity in bits.
+    #[inline]
+    pub fn capacity_bits(&self) -> u64 {
+        self.capacity_bits
+    }
+
+    /// Highest bit occupancy ever observed.
+    #[inline]
+    pub fn high_watermark(&self) -> u64 {
+        self.watermark.max()
+    }
+
+    /// Push the low `nbits` of `value` (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbits > 32`.
+    pub fn push_bits(&mut self, value: u32, nbits: u32) -> Result<(), FifoError> {
+        assert!(nbits <= 32, "at most 32 bits per push");
+        let new_len = self.len_bits() + nbits as u64;
+        if new_len > self.capacity_bits {
+            return Err(FifoError::Overflow {
+                needed: new_len,
+                capacity: self.capacity_bits,
+            });
+        }
+        let masked = if nbits == 32 {
+            value as u64
+        } else {
+            (value & ((1u32 << nbits) - 1)) as u64
+        };
+        let mut v = masked;
+        let mut remaining = nbits;
+        while remaining > 0 {
+            let take = (8 - self.head_bits).min(remaining);
+            self.head_acc |= ((v & ((1 << take) - 1)) as u32) << self.head_bits;
+            self.head_bits += take;
+            v >>= take;
+            remaining -= take;
+            if self.head_bits == 8 {
+                self.bytes.push_back(self.head_acc as u8);
+                self.head_acc = 0;
+                self.head_bits = 0;
+            }
+        }
+        self.watermark.observe(self.len_bits());
+        Ok(())
+    }
+
+    /// Pop `nbits` bits (LSB first).
+    pub fn pop_bits(&mut self, nbits: u32) -> Result<u32, FifoError> {
+        assert!(nbits <= 32, "at most 32 bits per pop");
+        if self.len_bits() < nbits as u64 {
+            return Err(FifoError::Underrun);
+        }
+        let mut out: u64 = 0;
+        let mut got = 0u32;
+        while got < nbits {
+            if let Some(&front) = self.bytes.front() {
+                let avail = 8 - self.tail_consumed;
+                let take = avail.min(nbits - got);
+                let chunk = ((front as u64) >> self.tail_consumed) & ((1 << take) - 1);
+                out |= chunk << got;
+                got += take;
+                self.tail_consumed += take;
+                if self.tail_consumed == 8 {
+                    self.bytes.pop_front();
+                    self.tail_consumed = 0;
+                }
+            } else {
+                // Only the head staging register remains.
+                let take = nbits - got;
+                debug_assert!(take <= self.head_bits);
+                let chunk = (self.head_acc as u64) & ((1 << take) - 1);
+                out |= chunk << got;
+                self.head_acc >>= take;
+                self.head_bits -= take;
+                got = nbits;
+            }
+        }
+        Ok(out as u32)
+    }
+
+    /// Remove all contents, keeping the watermark history.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.head_acc = 0;
+        self.head_bits = 0;
+        self.tail_consumed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_fifo_order_and_capacity() {
+        let mut f = WordFifo::new(2);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        assert!(f.is_full());
+        assert_eq!(
+            f.push(3),
+            Err(FifoError::Overflow {
+                needed: 3,
+                capacity: 2
+            })
+        );
+        assert_eq!(f.pop(), Ok(1));
+        assert_eq!(f.front(), Some(&2));
+        assert_eq!(f.pop(), Ok(2));
+        assert_eq!(f.pop(), Err(FifoError::Underrun));
+        assert_eq!(f.high_watermark(), 2);
+    }
+
+    #[test]
+    fn bit_fifo_roundtrip_mixed_widths() {
+        let mut f = BitFifo::new(1024);
+        let fields: &[(u32, u32)] = &[(0b101, 3), (0xdead, 16), (0, 1), (0x7fffffff, 31)];
+        for &(v, n) in fields {
+            f.push_bits(v, n).unwrap();
+        }
+        assert_eq!(f.len_bits(), 51);
+        for &(v, n) in fields {
+            let mask = if n == 32 { u32::MAX } else { (1 << n) - 1 };
+            assert_eq!(f.pop_bits(n), Ok(v & mask), "field ({v},{n})");
+        }
+        assert!(f.is_empty());
+        assert_eq!(f.high_watermark(), 51);
+    }
+
+    #[test]
+    fn bit_fifo_pop_can_straddle_partial_head() {
+        let mut f = BitFifo::new(64);
+        f.push_bits(0b11, 2).unwrap();
+        // Pop 1 bit while the other still sits in the head register.
+        assert_eq!(f.pop_bits(1), Ok(1));
+        assert_eq!(f.pop_bits(1), Ok(1));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn bit_fifo_overflow_reports_needed_bits() {
+        let mut f = BitFifo::new(10);
+        f.push_bits(0x3ff, 10).unwrap();
+        assert_eq!(
+            f.push_bits(1, 1),
+            Err(FifoError::Overflow {
+                needed: 11,
+                capacity: 10
+            })
+        );
+        // Contents intact after the failed push.
+        assert_eq!(f.pop_bits(10), Ok(0x3ff));
+    }
+
+    #[test]
+    fn bit_fifo_underrun() {
+        let mut f = BitFifo::new(64);
+        f.push_bits(0xf, 4).unwrap();
+        assert_eq!(f.pop_bits(5), Err(FifoError::Underrun));
+        assert_eq!(f.pop_bits(4), Ok(0xf));
+    }
+
+    #[test]
+    fn bit_fifo_interleaved_push_pop_keeps_order() {
+        let mut f = BitFifo::new(4096);
+        let mut expected = VecDeque::new();
+        let mut state = 0x12345678u32;
+        for step in 0..500 {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            let n = (state >> 27) % 17 + 1; // 1..=17 bits
+            let v = state & ((1 << n) - 1);
+            f.push_bits(v, n).unwrap();
+            expected.push_back((v, n));
+            if step % 3 == 0 {
+                let (ev, en) = expected.pop_front().unwrap();
+                assert_eq!(f.pop_bits(en), Ok(ev), "step {step}");
+            }
+        }
+        while let Some((ev, en)) = expected.pop_front() {
+            assert_eq!(f.pop_bits(en), Ok(ev));
+        }
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_contents_not_watermark() {
+        let mut f = BitFifo::new(64);
+        f.push_bits(0xff, 8).unwrap();
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.high_watermark(), 8);
+    }
+}

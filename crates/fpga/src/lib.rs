@@ -1,0 +1,36 @@
+//! FPGA substrate models for the modified sliding window architecture.
+//!
+//! The paper evaluates its architecture on a Xilinx Zynq XC7Z020 using 18 Kb
+//! Block RAMs (Section V-E, Tables I–X). This crate provides the software
+//! stand-ins for that hardware ecosystem (see `DESIGN.md` §4 for the
+//! substitution rationale):
+//!
+//! * [`bram`] — the 18 Kb BRAM capacity/aspect-ratio model (2k×9, 1k×18,
+//!   512×36, …), cascading, and the "how many BRAMs does this stream need"
+//!   arithmetic that underlies Tables I–V.
+//! * [`fifo`] — bit-granular and word-granular FIFOs with occupancy
+//!   watermarks and structured overflow reporting (the paper's "bad frame"
+//!   limitation is observable instead of being undefined behaviour).
+//! * [`sim`] — minimal clocked-simulation bookkeeping: cycle counters,
+//!   watermark trackers and bounded traces used by the architecture models.
+//! * [`resources`] — the LUT / register / Fmax estimator calibrated against
+//!   the paper's post-synthesis Tables VI–X.
+//! * [`device`] — a small device catalog (XC7Z020 and friends) for
+//!   utilization reporting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bram;
+pub mod bram_fifo;
+pub mod device;
+pub mod fifo;
+pub mod resources;
+pub mod sim;
+
+pub use bram::{Bram18Config, BRAM18_BITS};
+pub use bram_fifo::BramFifo;
+pub use device::Device;
+pub use fifo::{BitFifo, FifoError, WordFifo};
+pub use resources::{ModuleKind, ResourceEstimate};
+pub use sim::{CycleCounter, Watermark};

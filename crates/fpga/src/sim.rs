@@ -1,0 +1,167 @@
+//! Minimal clocked-simulation bookkeeping.
+//!
+//! The architecture models in `sw-core` are streaming (one input pixel per
+//! logical clock). This module provides the shared instruments: cycle
+//! counters, maximum-value watermarks, and bounded traces for debugging and
+//! for regenerating the paper's Figure 3 occupancy curve.
+
+/// A monotonically increasing cycle counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleCounter {
+    cycle: u64,
+}
+
+impl CycleCounter {
+    /// Counter at cycle zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance one clock.
+    #[inline]
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+    }
+
+    /// Advance `n` clocks.
+    #[inline]
+    pub fn advance(&mut self, n: u64) {
+        self.cycle += n;
+    }
+
+    /// Current cycle number.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.cycle
+    }
+}
+
+/// Tracks the maximum of an observed quantity (FIFO occupancy, staged bits…).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Watermark {
+    max: u64,
+}
+
+impl Watermark {
+    /// Fresh watermark at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe a new sample.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// The maximum observed so far.
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Reset to zero.
+    pub fn reset(&mut self) {
+        self.max = 0;
+    }
+}
+
+/// A bounded trace: keeps every `stride`-th sample up to a maximum count,
+/// recording `(cycle, value)` pairs. Used to export occupancy curves
+/// (paper Figure 3) without unbounded memory.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    samples: Vec<(u64, u64)>,
+    stride: u64,
+    counter: u64,
+    max_samples: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Record every `stride`-th observation, keeping at most `max_samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0` or `max_samples == 0`.
+    pub fn new(stride: u64, max_samples: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(max_samples > 0, "must keep at least one sample");
+        Self {
+            samples: Vec::new(),
+            stride,
+            counter: 0,
+            max_samples,
+            dropped: 0,
+        }
+    }
+
+    /// Observe `value` at `cycle`.
+    pub fn observe(&mut self, cycle: u64, value: u64) {
+        if self.counter.is_multiple_of(self.stride) {
+            if self.samples.len() < self.max_samples {
+                self.samples.push((cycle, value));
+            } else {
+                self.dropped += 1;
+            }
+        }
+        self.counter += 1;
+    }
+
+    /// The recorded `(cycle, value)` samples.
+    pub fn samples(&self) -> &[(u64, u64)] {
+        &self.samples
+    }
+
+    /// How many would-be samples were dropped after `max_samples` filled up.
+    ///
+    /// Non-zero means the trace window was too small for the run — callers
+    /// should surface this rather than silently presenting a truncated curve.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_counter_advances() {
+        let mut c = CycleCounter::new();
+        c.tick();
+        c.advance(9);
+        assert_eq!(c.now(), 10);
+    }
+
+    #[test]
+    fn watermark_keeps_max() {
+        let mut w = Watermark::new();
+        for v in [3, 9, 1, 9, 4] {
+            w.observe(v);
+        }
+        assert_eq!(w.max(), 9);
+        w.reset();
+        assert_eq!(w.max(), 0);
+    }
+
+    #[test]
+    fn trace_strides_and_bounds() {
+        let mut t = Trace::new(2, 3);
+        for i in 0..10u64 {
+            t.observe(i, i * 100);
+        }
+        // Samples at counter 0, 2, 4 (then full) -> 3 samples, 2 dropped
+        // (counters 6 and 8).
+        assert_eq!(t.samples(), &[(0, 0), (2, 200), (4, 400)]);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        Trace::new(0, 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! 8-bit grayscale image container.
+//!
+//! The paper evaluates on 8-bit pixels ("assuming 8-bit pixels",
+//! Section III); color images are handled channel-by-channel, so a single
+//! plane container is the right substrate.
+
+/// An 8-bit grayscale image, row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageU8 {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl ImageU8 {
+    /// A `width × height` image filled with `fill`.
+    pub fn filled(width: usize, height: usize, fill: u8) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Self {
+            width,
+            height,
+            data: vec![fill; width * height],
+        }
+    }
+
+    /// Build from an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height`.
+    pub fn from_vec(width: usize, height: usize, data: Vec<u8>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        assert_eq!(data.len(), width * height, "buffer size mismatch");
+        Self {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Build by evaluating `f(x, y)` at every pixel.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> u8) -> Self {
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        Self::from_vec(width, height, data)
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw row-major pixel buffer.
+    #[inline]
+    pub fn pixels(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable raw pixel buffer.
+    #[inline]
+    pub fn pixels_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Set pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: u8) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x] = v;
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, y: usize) -> &[u8] {
+        assert!(y < self.height, "row out of bounds");
+        &self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Iterate rows top to bottom.
+    pub fn rows(&self) -> impl Iterator<Item = &[u8]> {
+        self.data.chunks_exact(self.width)
+    }
+
+    /// Clamped pixel read: coordinates outside the image are clamped to the
+    /// border (the usual sliding-window border policy).
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> u8 {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[cy * self.width + cx]
+    }
+
+    /// Copy a `w × h` sub-image anchored at `(x0, y0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region leaves the image.
+    pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> ImageU8 {
+        assert!(x0 + w <= self.width && y0 + h <= self.height, "crop out of bounds");
+        let mut data = Vec::with_capacity(w * h);
+        for y in y0..y0 + h {
+            data.extend_from_slice(&self.data[y * self.width + x0..y * self.width + x0 + w]);
+        }
+        ImageU8::from_vec(w, h, data)
+    }
+
+    /// The column at `x` as a fresh vector (top to bottom).
+    pub fn column(&self, x: usize) -> Vec<u8> {
+        assert!(x < self.width, "column out of bounds");
+        (0..self.height).map(|y| self.data[y * self.width + x]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_fills_row_major() {
+        let img = ImageU8::from_fn(3, 2, |x, y| (y * 3 + x) as u8);
+        assert_eq!(img.pixels(), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(img.get(2, 1), 5);
+        assert_eq!(img.row(1), &[3, 4, 5]);
+        assert_eq!(img.column(1), vec![1, 4]);
+    }
+
+    #[test]
+    fn clamped_reads_extend_borders() {
+        let img = ImageU8::from_fn(2, 2, |x, y| (y * 2 + x) as u8);
+        assert_eq!(img.get_clamped(-5, -5), 0);
+        assert_eq!(img.get_clamped(10, 0), 1);
+        assert_eq!(img.get_clamped(10, 10), 3);
+    }
+
+    #[test]
+    fn crop_extracts_subimage() {
+        let img = ImageU8::from_fn(4, 4, |x, y| (y * 4 + x) as u8);
+        let c = img.crop(1, 2, 2, 2);
+        assert_eq!(c.pixels(), &[9, 10, 13, 14]);
+    }
+
+    #[test]
+    fn set_and_rows_iterate() {
+        let mut img = ImageU8::filled(2, 3, 7);
+        img.set(1, 2, 9);
+        let rows: Vec<&[u8]> = img.rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[7, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer size mismatch")]
+    fn from_vec_checks_size() {
+        ImageU8::from_vec(2, 2, vec![0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "crop out of bounds")]
+    fn crop_checks_bounds() {
+        ImageU8::filled(4, 4, 0).crop(3, 3, 2, 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Image quality metrics.
+//!
+//! The paper quantifies lossiness with the mean square error: "thresholds of
+//! 2, 4 and 6 gives mean square errors (MSEs) of 0.59, 3.2 and 4.8
+//! respectively" (Section VI-A). Experiment E8 reproduces that sweep using
+//! these metrics.
+
+use crate::image::ImageU8;
+
+/// Mean square error between two equal-sized images.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+pub fn mse(a: &ImageU8, b: &ImageU8) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "image size mismatch"
+    );
+    let sum: u64 = a
+        .pixels()
+        .iter()
+        .zip(b.pixels())
+        .map(|(&x, &y)| {
+            let d = x as i64 - y as i64;
+            (d * d) as u64
+        })
+        .sum();
+    sum as f64 / a.pixels().len() as f64
+}
+
+/// Peak signal-to-noise ratio in dB (`∞` for identical images).
+pub fn psnr(a: &ImageU8, b: &ImageU8) -> f64 {
+    let e = mse(a, b);
+    if e == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / e).log10()
+    }
+}
+
+/// Largest absolute pixel difference.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ.
+pub fn max_abs_error(a: &ImageU8, b: &ImageU8) -> u8 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "image size mismatch"
+    );
+    a.pixels()
+        .iter()
+        .zip(b.pixels())
+        .map(|(&x, &y)| x.abs_diff(y))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Mean pixel value.
+pub fn mean(img: &ImageU8) -> f64 {
+    img.pixels().iter().map(|&p| p as u64).sum::<u64>() as f64 / img.pixels().len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_zero_error() {
+        let img = ImageU8::from_fn(8, 8, |x, y| (x * y) as u8);
+        assert_eq!(mse(&img, &img), 0.0);
+        assert_eq!(psnr(&img, &img), f64::INFINITY);
+        assert_eq!(max_abs_error(&img, &img), 0);
+    }
+
+    #[test]
+    fn mse_counts_squared_differences() {
+        let a = ImageU8::from_vec(2, 2, vec![0, 0, 0, 0]);
+        let b = ImageU8::from_vec(2, 2, vec![2, 0, 0, 0]);
+        assert_eq!(mse(&a, &b), 1.0); // 4 / 4
+        assert_eq!(max_abs_error(&a, &b), 2);
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        let a = ImageU8::filled(10, 10, 100);
+        let b = ImageU8::filled(10, 10, 105);
+        // MSE = 25, PSNR = 10 log10(255^2 / 25) ≈ 34.15 dB
+        assert!((psnr(&a, &b) - 34.1514).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mean_is_average() {
+        let a = ImageU8::from_vec(2, 2, vec![0, 100, 100, 200]);
+        assert_eq!(mean(&a), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mse_rejects_mismatched_sizes() {
+        mse(&ImageU8::filled(2, 2, 0), &ImageU8::filled(2, 3, 0));
+    }
+}

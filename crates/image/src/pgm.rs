@@ -1,0 +1,129 @@
+//! Binary PGM (P5) image I/O.
+//!
+//! Lets users run the examples and benches on their own images (e.g. actual
+//! MIT Places scenes, if they have them) and lets the examples dump
+//! before/after images for visual inspection.
+
+use crate::image::ImageU8;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Write `img` as a binary PGM (P5, maxval 255).
+pub fn write_pgm(img: &ImageU8, path: &Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    write!(w, "P5\n{} {}\n255\n", img.width(), img.height())?;
+    w.write_all(img.pixels())?;
+    w.flush()
+}
+
+/// Read a binary PGM (P5, maxval ≤ 255).
+pub fn read_pgm(path: &Path) -> io::Result<ImageU8> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+
+    let mut magic = [0u8; 2];
+    r.read_exact(&mut magic)?;
+    if &magic != b"P5" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a binary PGM (P5) file",
+        ));
+    }
+    let width = read_token(&mut r)?;
+    let height = read_token(&mut r)?;
+    let maxval = read_token(&mut r)?;
+    if maxval == 0 || maxval > 255 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "only 8-bit PGM supported",
+        ));
+    }
+    if width == 0 || height == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty image"));
+    }
+    let mut data = vec![0u8; width * height];
+    r.read_exact(&mut data)?;
+    Ok(ImageU8::from_vec(width, height, data))
+}
+
+/// Read one whitespace-delimited decimal token, skipping `#` comments.
+fn read_token<R: BufRead>(r: &mut R) -> io::Result<usize> {
+    let mut tok = String::new();
+    let mut in_comment = false;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let c = byte[0] as char;
+        if in_comment {
+            if c == '\n' {
+                in_comment = false;
+            }
+            continue;
+        }
+        match c {
+            '#' => in_comment = true,
+            c if c.is_ascii_whitespace() => {
+                if !tok.is_empty() {
+                    break;
+                }
+            }
+            c if c.is_ascii_digit() => tok.push(c),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unexpected character in PGM header",
+                ))
+            }
+        }
+    }
+    tok.parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad PGM header number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sw_image_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let img = ImageU8::from_fn(13, 7, |x, y| (x * 19 + y * 3) as u8);
+        let path = tmp("roundtrip.pgm");
+        write_pgm(&img, &path).unwrap();
+        let back = read_pgm(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn reads_headers_with_comments() {
+        let path = tmp("comment.pgm");
+        std::fs::write(&path, b"P5\n# a comment\n2 2\n255\n\x01\x02\x03\x04").unwrap();
+        let img = read_pgm(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(img.pixels(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rejects_non_p5() {
+        let path = tmp("ascii.pgm");
+        std::fs::write(&path, b"P2\n2 2\n255\n1 2 3 4\n").unwrap();
+        let err = read_pgm(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_data() {
+        let path = tmp("short.pgm");
+        std::fs::write(&path, b"P5\n4 4\n255\n\x01\x02").unwrap();
+        assert!(read_pgm(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,242 @@
+//! 24-bit RGB images and plane handling.
+//!
+//! The paper's motivating example uses "24-bit colored pixels" (Section III:
+//! the 120×120-window HD case needs 5,422 Kb — more BRAM than the whole
+//! XC7Z020). Color sliding-window hardware processes the three channels as
+//! independent planes, tripling the line-buffer cost; this module provides
+//! the container, plane split/merge, and PPM (P6) I/O so the architectures
+//! (which are single-plane by design, like the hardware) can be applied per
+//! channel.
+
+use crate::image::ImageU8;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::Path;
+
+/// An interleaved 24-bit RGB image, row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageRgb {
+    width: usize,
+    height: usize,
+    /// Interleaved `[r, g, b, r, g, b, …]`.
+    data: Vec<u8>,
+}
+
+impl ImageRgb {
+    /// A solid-color image.
+    pub fn filled(width: usize, height: usize, rgb: [u8; 3]) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        let mut data = Vec::with_capacity(width * height * 3);
+        for _ in 0..width * height {
+            data.extend_from_slice(&rgb);
+        }
+        Self {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Build by evaluating `f(x, y) -> [r, g, b]`.
+    pub fn from_fn(
+        width: usize,
+        height: usize,
+        mut f: impl FnMut(usize, usize) -> [u8; 3],
+    ) -> Self {
+        let mut data = Vec::with_capacity(width * height * 3);
+        for y in 0..height {
+            for x in 0..width {
+                data.extend_from_slice(&f(x, y));
+            }
+        }
+        Self {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Assemble from three equally-sized planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the planes disagree in size.
+    pub fn from_planes(r: &ImageU8, g: &ImageU8, b: &ImageU8) -> Self {
+        assert_eq!(
+            (r.width(), r.height()),
+            (g.width(), g.height()),
+            "plane size mismatch"
+        );
+        assert_eq!(
+            (r.width(), r.height()),
+            (b.width(), b.height()),
+            "plane size mismatch"
+        );
+        Self::from_fn(r.width(), r.height(), |x, y| {
+            [r.get(x, y), g.get(x, y), b.get(x, y)]
+        })
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let i = (y * self.width + x) * 3;
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    /// Set pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let i = (y * self.width + x) * 3;
+        self.data[i..i + 3].copy_from_slice(&rgb);
+    }
+
+    /// Split into `[R, G, B]` planes.
+    pub fn planes(&self) -> [ImageU8; 3] {
+        std::array::from_fn(|c| {
+            ImageU8::from_fn(self.width, self.height, |x, y| {
+                self.data[(y * self.width + x) * 3 + c]
+            })
+        })
+    }
+
+    /// ITU-R BT.601 luma plane (for single-plane processing of color
+    /// sources).
+    pub fn luma(&self) -> ImageU8 {
+        ImageU8::from_fn(self.width, self.height, |x, y| {
+            let [r, g, b] = self.get(x, y);
+            ((77 * r as u32 + 150 * g as u32 + 29 * b as u32) >> 8) as u8
+        })
+    }
+}
+
+/// Write as binary PPM (P6).
+pub fn write_ppm(img: &ImageRgb, path: &Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    write!(w, "P6\n{} {}\n255\n", img.width, img.height)?;
+    w.write_all(&img.data)?;
+    w.flush()
+}
+
+/// Read a binary PPM (P6, maxval ≤ 255).
+pub fn read_ppm(path: &Path) -> io::Result<ImageRgb> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    let header_err = || io::Error::new(io::ErrorKind::InvalidData, "bad PPM header");
+    let mut pos = 0usize;
+    let mut token = || -> io::Result<String> {
+        // Skip whitespace and comments.
+        while pos < bytes.len() {
+            if bytes[pos] == b'#' {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            } else if bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            } else {
+                break;
+            }
+        }
+        let start = pos;
+        while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if start == pos {
+            return Err(header_err());
+        }
+        Ok(String::from_utf8_lossy(&bytes[start..pos]).into_owned())
+    };
+    if token()? != "P6" {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a P6 PPM"));
+    }
+    let width: usize = token()?.parse().map_err(|_| header_err())?;
+    let height: usize = token()?.parse().map_err(|_| header_err())?;
+    let maxval: usize = token()?.parse().map_err(|_| header_err())?;
+    if maxval == 0 || maxval > 255 || width == 0 || height == 0 {
+        return Err(header_err());
+    }
+    pos += 1; // single whitespace after maxval
+    let need = width * height * 3;
+    if bytes.len() < pos + need {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated PPM"));
+    }
+    Ok(ImageRgb {
+        width,
+        height,
+        data: bytes[pos..pos + need].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planes_split_and_merge_roundtrip() {
+        let img = ImageRgb::from_fn(7, 5, |x, y| [(x * 9) as u8, (y * 17) as u8, (x + y) as u8]);
+        let [r, g, b] = img.planes();
+        assert_eq!(r.get(3, 2), 27);
+        assert_eq!(g.get(3, 2), 34);
+        assert_eq!(ImageRgb::from_planes(&r, &g, &b), img);
+    }
+
+    #[test]
+    fn luma_weights_green_highest() {
+        let red = ImageRgb::filled(2, 2, [255, 0, 0]).luma().get(0, 0);
+        let green = ImageRgb::filled(2, 2, [0, 255, 0]).luma().get(0, 0);
+        let blue = ImageRgb::filled(2, 2, [0, 0, 255]).luma().get(0, 0);
+        assert!(green > red && red > blue);
+        let white = ImageRgb::filled(2, 2, [255, 255, 255]).luma().get(0, 0);
+        assert_eq!(white, 255);
+    }
+
+    #[test]
+    fn ppm_roundtrip() {
+        let img = ImageRgb::from_fn(9, 4, |x, y| [(x * 20) as u8, (y * 50) as u8, 7]);
+        let mut path = std::env::temp_dir();
+        path.push(format!("sw_rgb_test_{}.ppm", std::process::id()));
+        write_ppm(&img, &path).unwrap();
+        let back = read_ppm(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn ppm_rejects_wrong_magic() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("sw_rgb_bad_{}.ppm", std::process::id()));
+        std::fs::write(&path, b"P5\n2 2\n255\n....").unwrap();
+        assert!(read_ppm(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "plane size mismatch")]
+    fn from_planes_checks_sizes() {
+        let a = ImageU8::filled(2, 2, 0);
+        let b = ImageU8::filled(3, 2, 0);
+        ImageRgb::from_planes(&a, &a, &b);
+    }
+}

@@ -1,0 +1,175 @@
+//! Image statistics: histogram, entropy, and gradient profiles.
+//!
+//! Used to *characterize* the synthetic dataset against the natural-image
+//! statistics the paper's compression exploits ("most natural images have
+//! smooth color variations with fine details in between these variations",
+//! Section I), and by the experiments write-up to justify the MIT Places
+//! substitution quantitatively.
+
+use crate::image::ImageU8;
+
+/// 256-bin intensity histogram.
+pub fn histogram(img: &ImageU8) -> [u64; 256] {
+    let mut h = [0u64; 256];
+    for &p in img.pixels() {
+        h[p as usize] += 1;
+    }
+    h
+}
+
+/// Zeroth-order intensity entropy in bits/pixel (≤ 8).
+pub fn entropy_bits(img: &ImageU8) -> f64 {
+    let h = histogram(img);
+    let total = img.pixels().len() as f64;
+    let mut e = 0.0;
+    for &count in &h {
+        if count > 0 {
+            let p = count as f64 / total;
+            e -= p * p.log2();
+        }
+    }
+    e
+}
+
+/// Entropy of the horizontal first difference in bits/pixel — the signal a
+/// predictive/wavelet coder actually pays for. Natural images have
+/// `diff_entropy ≪ entropy`; white noise has both near 8.
+pub fn diff_entropy_bits(img: &ImageU8) -> f64 {
+    let mut h = [0u64; 511];
+    let mut total = 0u64;
+    for y in 0..img.height() {
+        let row = img.row(y);
+        for x in 1..row.len() {
+            let d = row[x] as i32 - row[x - 1] as i32;
+            h[(d + 255) as usize] += 1;
+            total += 1;
+        }
+    }
+    let mut e = 0.0;
+    for &count in &h {
+        if count > 0 {
+            let p = count as f64 / total as f64;
+            e -= p * p.log2();
+        }
+    }
+    e
+}
+
+/// Summary of the absolute horizontal gradient distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradientProfile {
+    /// Mean |Δ| between horizontal neighbours.
+    pub mean_abs: f64,
+    /// Fraction of |Δ| that are zero.
+    pub zero_fraction: f64,
+    /// Fraction of |Δ| below 4 (the paper's mid threshold).
+    pub below_4_fraction: f64,
+    /// Maximum |Δ|.
+    pub max_abs: u8,
+}
+
+/// Compute the gradient profile.
+pub fn gradient_profile(img: &ImageU8) -> GradientProfile {
+    let mut sum = 0u64;
+    let mut zero = 0u64;
+    let mut below4 = 0u64;
+    let mut max = 0u8;
+    let mut count = 0u64;
+    for y in 0..img.height() {
+        let row = img.row(y);
+        for x in 1..row.len() {
+            let d = row[x].abs_diff(row[x - 1]);
+            sum += d as u64;
+            if d == 0 {
+                zero += 1;
+            }
+            if d < 4 {
+                below4 += 1;
+            }
+            max = max.max(d);
+            count += 1;
+        }
+    }
+    GradientProfile {
+        mean_abs: sum as f64 / count as f64,
+        zero_fraction: zero as f64 / count as f64,
+        below_4_fraction: below4 as f64 / count as f64,
+        max_abs: max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{degenerate_suite, ScenePreset};
+
+    #[test]
+    fn histogram_counts_pixels() {
+        let img = ImageU8::from_vec(2, 2, vec![5, 5, 7, 255]);
+        let h = histogram(&img);
+        assert_eq!(h[5], 2);
+        assert_eq!(h[7], 1);
+        assert_eq!(h[255], 1);
+        assert_eq!(h.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        let flat = ImageU8::filled(32, 32, 100);
+        assert_eq!(entropy_bits(&flat), 0.0);
+        // Uniform random approaches 8 bits.
+        let mut state = 7u32;
+        let noise = ImageU8::from_fn(64, 64, |_, _| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 24) as u8
+        });
+        assert!(entropy_bits(&noise) > 7.5);
+    }
+
+    #[test]
+    fn natural_scenes_have_low_diff_entropy() {
+        // The statistics the paper's compression depends on: intensity
+        // entropy high (scenes use the full range) but *difference* entropy
+        // low (smoothness).
+        for preset in ScenePreset::ALL.iter().take(3) {
+            let img = preset.render(256, 256);
+            let e = entropy_bits(&img);
+            let de = diff_entropy_bits(&img);
+            assert!(
+                de < e,
+                "{}: diff entropy {de:.2} must undercut intensity entropy {e:.2}",
+                preset.name
+            );
+            assert!(de < 6.0, "{}: diff entropy too high: {de:.2}", preset.name);
+        }
+    }
+
+    #[test]
+    fn noise_has_high_diff_entropy() {
+        let (_, noise) = &degenerate_suite(128, 128)[1];
+        assert!(diff_entropy_bits(noise) > 7.5);
+    }
+
+    #[test]
+    fn gradient_profile_flat_vs_checker() {
+        let flat = ImageU8::filled(16, 16, 9);
+        let p = gradient_profile(&flat);
+        assert_eq!(p.mean_abs, 0.0);
+        assert_eq!(p.zero_fraction, 1.0);
+        assert_eq!(p.max_abs, 0);
+
+        let (_, checker) = &degenerate_suite(16, 16)[2];
+        let p = gradient_profile(checker);
+        assert_eq!(p.mean_abs, 255.0);
+        assert_eq!(p.below_4_fraction, 0.0);
+        assert_eq!(p.max_abs, 255);
+    }
+
+    #[test]
+    fn scene_gradients_are_mostly_small() {
+        let img = ScenePreset::ALL[1].render(256, 256);
+        let p = gradient_profile(&img);
+        assert!(p.below_4_fraction > 0.6, "profile: {p:?}");
+        assert!(p.mean_abs < 6.0, "profile: {p:?}");
+    }
+}

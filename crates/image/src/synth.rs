@@ -1,0 +1,388 @@
+//! Synthetic natural-scene dataset — the stand-in for the paper's 10 MIT
+//! Places images (Section VI-A, Figure 12).
+//!
+//! Everything the paper measures (packed bits, BRAM counts, memory savings,
+//! MSE-vs-threshold) is a function of the images' *wavelet statistics*:
+//! natural scenes have "smooth color variations with fine details in between"
+//! (Section I), i.e. large low-frequency (LL) energy and small detail
+//! coefficients. Multi-octave value noise with persistence < 1 produces
+//! exactly that spectral profile, so the reproduction's memory numbers track
+//! the paper's (see `EXPERIMENTS.md` for the side-by-side).
+//!
+//! Two scene families mimic the paper's mix:
+//!
+//! * **outdoor** — smoother spectra (lower persistence), a vertical sky
+//!   gradient and a soft horizon edge;
+//! * **indoor** — extra man-made structure: axis-aligned rectangles with
+//!   sharp boundaries (furniture/walls) that inject genuine edges.
+//!
+//! A small amount of sensor grain is added to both so the lossless
+//! compression ratio is not unrealistically good.
+//!
+//! Scenes are sampled in **resolution-independent world coordinates**: at a
+//! higher resolution the same scene is locally smoother (as with a real
+//! camera), reproducing the paper's observation that "as image resolution
+//! increases so does the memory efficiency of this algorithm" (Section IV-B).
+//!
+//! The [`degenerate_suite`] provides the pathological inputs the paper
+//! discusses as limitations ("bad frames or random images", Section V-E).
+
+use crate::image::ImageU8;
+
+/// Scene family, controlling spectral and structural parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SceneKind {
+    /// Landscape-like: smooth, sky gradient, soft horizon.
+    Outdoor,
+    /// Room-like: smooth base plus rectangles with sharp edges.
+    Indoor,
+}
+
+/// A named, seeded synthetic scene.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenePreset {
+    /// Scene name (MIT-Places-style category).
+    pub name: &'static str,
+    /// Scene family.
+    pub kind: SceneKind,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Octave amplitude decay (smaller = smoother image).
+    pub persistence: f64,
+    /// Number of noise octaves.
+    pub octaves: u32,
+    /// Noise cells across the image at the coarsest octave.
+    pub base_cells: f64,
+    /// Rectangles overlaid for indoor scenes (0 for outdoor).
+    pub rects: usize,
+    /// Output contrast (fraction of full scale used).
+    pub contrast: f64,
+    /// Output brightness offset in pixel levels.
+    pub brightness: f64,
+    /// Amplitude (pixel levels) of sparse fine-scale speckle texture —
+    /// foliage/fabric-like detail with Laplacian statistics. Zero for
+    /// smooth scenes.
+    pub texture_amp: f64,
+    /// Fraction of pixels carrying speckle texture.
+    pub texture_density: f64,
+    /// Per-pixel micro-texture amplitude (pixel levels, triangular
+    /// distribution). Models content that stays fine-grained at any
+    /// resolution (dense foliage, bookshelves); zero for most scenes.
+    pub micro_amp: f64,
+}
+
+impl ScenePreset {
+    /// The 10-scene dataset (5 outdoor + 5 indoor, like the paper's mix of
+    /// "indoor and outdoor scenes").
+    pub const ALL: [ScenePreset; 10] = [
+        ScenePreset { name: "forest_path", kind: SceneKind::Outdoor, seed: 0xA1CE_0001, persistence: 0.55, octaves: 7, base_cells: 3.0, rects: 0, contrast: 0.82, brightness: 8.0, texture_amp: 12.0, texture_density: 0.4, micro_amp: 2.0 },
+        ScenePreset { name: "coast", kind: SceneKind::Outdoor, seed: 0xA1CE_0002, persistence: 0.45, octaves: 6, base_cells: 2.0, rects: 0, contrast: 0.75, brightness: 40.0, texture_amp: 0.0, texture_density: 0.0, micro_amp: 0.0 },
+        ScenePreset { name: "mountain", kind: SceneKind::Outdoor, seed: 0xA1CE_0003, persistence: 0.60, octaves: 7, base_cells: 3.0, rects: 0, contrast: 0.90, brightness: 5.0, texture_amp: 8.0, texture_density: 0.2, micro_amp: 0.0 },
+        ScenePreset { name: "field", kind: SceneKind::Outdoor, seed: 0xA1CE_0004, persistence: 0.42, octaves: 6, base_cells: 2.5, rects: 0, contrast: 0.70, brightness: 55.0, texture_amp: 5.0, texture_density: 0.15, micro_amp: 0.0 },
+        ScenePreset { name: "plaza", kind: SceneKind::Outdoor, seed: 0xA1CE_0005, persistence: 0.50, octaves: 6, base_cells: 4.0, rects: 3, contrast: 0.80, brightness: 25.0, texture_amp: 6.0, texture_density: 0.15, micro_amp: 0.0 },
+        ScenePreset { name: "kitchen", kind: SceneKind::Indoor, seed: 0xA1CE_0006, persistence: 0.48, octaves: 6, base_cells: 3.0, rects: 9, contrast: 0.78, brightness: 30.0, texture_amp: 10.0, texture_density: 0.3, micro_amp: 2.0 },
+        ScenePreset { name: "office", kind: SceneKind::Indoor, seed: 0xA1CE_0007, persistence: 0.45, octaves: 6, base_cells: 3.5, rects: 12, contrast: 0.72, brightness: 45.0, texture_amp: 6.0, texture_density: 0.2, micro_amp: 0.0 },
+        ScenePreset { name: "bedroom", kind: SceneKind::Indoor, seed: 0xA1CE_0008, persistence: 0.52, octaves: 6, base_cells: 2.5, rects: 7, contrast: 0.68, brightness: 35.0, texture_amp: 4.0, texture_density: 0.15, micro_amp: 0.0 },
+        ScenePreset { name: "corridor", kind: SceneKind::Indoor, seed: 0xA1CE_0009, persistence: 0.40, octaves: 5, base_cells: 3.0, rects: 6, contrast: 0.85, brightness: 15.0, texture_amp: 0.0, texture_density: 0.0, micro_amp: 0.0 },
+        ScenePreset { name: "library", kind: SceneKind::Indoor, seed: 0xA1CE_000A, persistence: 0.58, octaves: 7, base_cells: 4.0, rects: 14, contrast: 0.80, brightness: 20.0, texture_amp: 15.0, texture_density: 0.72, micro_amp: 1.0 },
+    ];
+
+    /// Render the scene at the requested resolution.
+    pub fn render(&self, width: usize, height: usize) -> ImageU8 {
+        assert!(width >= 8 && height >= 8, "scene too small to be meaningful");
+        let mut field = vec![0f64; width * height];
+
+        // Multi-octave value noise in world coordinates [0, base_cells).
+        let mut amplitude = 1.0;
+        let mut total_amp = 0.0;
+        let mut freq = self.base_cells;
+        for octave in 0..self.octaves {
+            let oct_seed = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(octave as u64 + 1));
+            for y in 0..height {
+                let fy = y as f64 / height as f64 * freq;
+                for x in 0..width {
+                    let fx = x as f64 / width as f64 * freq;
+                    field[y * width + x] += amplitude * value_noise(oct_seed, fx, fy);
+                }
+            }
+            total_amp += amplitude;
+            amplitude *= self.persistence;
+            freq *= 2.0;
+        }
+        for v in &mut field {
+            *v /= total_amp;
+        }
+
+        match self.kind {
+            SceneKind::Outdoor => self.overlay_outdoor(&mut field, width, height),
+            SceneKind::Indoor => {}
+        }
+        if self.rects > 0 {
+            self.overlay_rects(&mut field, width, height);
+        }
+
+        // Sensor grain (±1.7 levels, calibrated so the dataset's detail
+        // sub-band statistics track the paper's MIT Places measurements —
+        // see EXPERIMENTS.md E1/E2) + quantization.
+        let grain_seed = self.seed ^ 0x5EED_5EED_5EED_5EED;
+        let speckle_gate = self.seed ^ 0x7E87_7E87_7E87_7E87;
+        let speckle_val = self.seed ^ 0x0DD5_0DD5_0DD5_0DD5;
+        let micro_seed = self.seed ^ 0x3C40_3C40_3C40_3C40;
+        let scale = 255.0 * self.contrast;
+        ImageU8::from_fn(width, height, |x, y| {
+            let base = field[y * width + x] * scale + self.brightness;
+            let grain = (hash2(grain_seed, x as i64, y as i64) - 0.5) * 3.4;
+            // Sparse speckle: high-contrast fine structure on a fraction of
+            // *world-space* cells (foliage / fabric / book spines), giving
+            // the detail sub-bands Laplacian-like statistics. The cell size
+            // is fixed in world coordinates (~192 cells across the image),
+            // so at higher resolutions each speckle spans more pixels and
+            // compresses better — the paper's resolution trend holds.
+            let sx = (x as f64 * SPECKLE_CELLS / width as f64) as i64;
+            let sy = (y as f64 * SPECKLE_CELLS / height as f64) as i64;
+            let speckle = if self.texture_amp > 0.0
+                && hash2(speckle_gate, sx, sy) < self.texture_density
+            {
+                (hash2(speckle_val, sx, sy) - 0.5) * 2.0 * self.texture_amp
+            } else {
+                0.0
+            };
+            // Resolution-independent micro-texture (triangular noise).
+            let micro = if self.micro_amp > 0.0 {
+                (hash2(micro_seed, x as i64, y as i64)
+                    - hash2(micro_seed ^ 0xFFFF, x as i64, y as i64))
+                    * self.micro_amp
+            } else {
+                0.0
+            };
+            (base + grain + speckle + micro).round().clamp(0.0, 255.0) as u8
+        })
+    }
+
+    /// Sky gradient plus a soft horizon for outdoor scenes.
+    fn overlay_outdoor(&self, field: &mut [f64], width: usize, height: usize) {
+        let horizon = 0.3 + 0.25 * hash1(self.seed ^ 0x4852_5A4E, 17);
+        for y in 0..height {
+            let v = y as f64 / height as f64;
+            // Sky brightens toward the top; ground darkens slightly.
+            let sky = if v < horizon {
+                0.25 * (1.0 - v / horizon)
+            } else {
+                -0.08 * ((v - horizon) / (1.0 - horizon))
+            };
+            for x in 0..width {
+                field[y * width + x] = (field[y * width + x] * 0.75 + 0.125 + sky).clamp(0.0, 1.0);
+            }
+        }
+    }
+
+    /// Axis-aligned rectangles with sharp edges (indoor structure).
+    fn overlay_rects(&self, field: &mut [f64], width: usize, height: usize) {
+        for i in 0..self.rects {
+            let s = self.seed.wrapping_add(0xBEEF).wrapping_mul(i as u64 * 2 + 3);
+            let cx = hash1(s, 1);
+            let cy = hash1(s, 2);
+            let rw = 0.05 + 0.25 * hash1(s, 3);
+            let rh = 0.05 + 0.25 * hash1(s, 4);
+            let level = hash1(s, 5);
+            let blend = 0.55 + 0.3 * hash1(s, 6);
+            let x0 = ((cx - rw / 2.0) * width as f64).max(0.0) as usize;
+            let x1 = (((cx + rw / 2.0) * width as f64) as usize).min(width);
+            let y0 = ((cy - rh / 2.0) * height as f64).max(0.0) as usize;
+            let y1 = (((cy + rh / 2.0) * height as f64) as usize).min(height);
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    let v = &mut field[y * width + x];
+                    *v = *v * (1.0 - blend) + level * blend;
+                }
+            }
+        }
+    }
+}
+
+/// Render all 10 scenes at the requested resolution.
+pub fn dataset(width: usize, height: usize) -> Vec<ImageU8> {
+    ScenePreset::ALL
+        .iter()
+        .map(|p| p.render(width, height))
+        .collect()
+}
+
+/// Pathological inputs for limitation tests: the paper's "bad frames or
+/// random images" where "the compression ratio will be very low"
+/// (Section V-E), plus easy best cases.
+pub fn degenerate_suite(width: usize, height: usize) -> Vec<(&'static str, ImageU8)> {
+    vec![
+        ("constant", ImageU8::filled(width, height, 128)),
+        (
+            "uniform_random",
+            ImageU8::from_fn(width, height, |x, y| {
+                (hash2(0xBAD_F00D, x as i64, y as i64) * 256.0) as u8
+            }),
+        ),
+        (
+            "checkerboard",
+            ImageU8::from_fn(width, height, |x, y| if (x + y) % 2 == 0 { 0 } else { 255 }),
+        ),
+        (
+            "gradient_h",
+            ImageU8::from_fn(width, height, |x, _| (x * 255 / width.max(1)) as u8),
+        ),
+        (
+            "gradient_v",
+            ImageU8::from_fn(width, height, |_, y| (y * 255 / height.max(1)) as u8),
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic lattice noise (hash-based; no stored grids, no libm needs).
+// ---------------------------------------------------------------------------
+
+/// Speckle lattice resolution in world cells across the image.
+const SPECKLE_CELLS: f64 = 192.0;
+
+/// SplitMix64 — stateless integer hash.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform float in [0, 1) from a seed and one index.
+fn hash1(seed: u64, idx: u64) -> f64 {
+    (splitmix(seed ^ idx.wrapping_mul(0xD6E8_FEB8_6659_FD93)) >> 11) as f64
+        / (1u64 << 53) as f64
+}
+
+/// Uniform float in [0, 1) from a seed and two lattice coordinates.
+fn hash2(seed: u64, x: i64, y: i64) -> f64 {
+    let h = splitmix(
+        seed ^ (x as u64).wrapping_mul(0x8539_0CC1_85D8_6E4D)
+            ^ (y as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+    );
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Smoothstep fade for C1-continuous interpolation.
+#[inline]
+fn fade(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Bilinear value noise at world position `(fx, fy)`.
+fn value_noise(seed: u64, fx: f64, fy: f64) -> f64 {
+    let x0 = fx.floor() as i64;
+    let y0 = fy.floor() as i64;
+    let tx = fade(fx - x0 as f64);
+    let ty = fade(fy - y0 as f64);
+    let v00 = hash2(seed, x0, y0);
+    let v10 = hash2(seed, x0 + 1, y0);
+    let v01 = hash2(seed, x0, y0 + 1);
+    let v11 = hash2(seed, x0 + 1, y0 + 1);
+    let a = v00 + (v10 - v00) * tx;
+    let b = v01 + (v11 - v01) * tx;
+    a + (b - a) * ty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mean;
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let a = ScenePreset::ALL[0].render(64, 64);
+        let b = ScenePreset::ALL[0].render(64, 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scenes_differ_from_each_other() {
+        let imgs = dataset(32, 32);
+        assert_eq!(imgs.len(), 10);
+        for i in 0..imgs.len() {
+            for j in i + 1..imgs.len() {
+                assert_ne!(imgs[i], imgs[j], "scenes {i} and {j} are identical");
+            }
+        }
+    }
+
+    #[test]
+    fn scenes_use_a_reasonable_dynamic_range() {
+        for preset in &ScenePreset::ALL {
+            let img = preset.render(128, 128);
+            let m = mean(&img);
+            assert!((30.0..=225.0).contains(&m), "{}: mean {m}", preset.name);
+            let min = *img.pixels().iter().min().unwrap();
+            let max = *img.pixels().iter().max().unwrap();
+            assert!(max - min > 60, "{}: range too flat", preset.name);
+        }
+    }
+
+    #[test]
+    fn higher_resolution_is_locally_smoother() {
+        // Mean absolute horizontal gradient must shrink as resolution grows —
+        // the property that makes compression improve with resolution. Use a
+        // scene without per-pixel micro-texture (that component is
+        // resolution-independent by design, like sensor noise).
+        let preset = &ScenePreset::ALL[1];
+        let grad = |img: &ImageU8| {
+            let mut sum = 0u64;
+            let mut n = 0u64;
+            for y in 0..img.height() {
+                for x in 1..img.width() {
+                    sum += img.get(x, y).abs_diff(img.get(x - 1, y)) as u64;
+                    n += 1;
+                }
+            }
+            sum as f64 / n as f64
+        };
+        let g_small = grad(&preset.render(64, 64));
+        let g_large = grad(&preset.render(256, 256));
+        // The sensor grain imposes a resolution-independent gradient floor
+        // of E|g1−g2| ≈ 1.4 levels; the scene *structure* above that floor
+        // must smooth out substantially.
+        let floor = 1.4;
+        assert!(
+            g_large - floor < (g_small - floor) * 0.6,
+            "expected smoother at higher res: {g_small} -> {g_large}"
+        );
+    }
+
+    #[test]
+    fn degenerate_suite_has_expected_members() {
+        let suite = degenerate_suite(16, 16);
+        let names: Vec<_> = suite.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec!["constant", "uniform_random", "checkerboard", "gradient_h", "gradient_v"]
+        );
+        let constant = &suite[0].1;
+        assert!(constant.pixels().iter().all(|&p| p == 128));
+        let checker = &suite[2].1;
+        assert_eq!(checker.get(0, 0), 0);
+        assert_eq!(checker.get(1, 0), 255);
+    }
+
+    #[test]
+    fn value_noise_is_continuous() {
+        // Neighbouring samples differ by much less than distant ones.
+        let near = (value_noise(42, 1.50, 1.50) - value_noise(42, 1.51, 1.50)).abs();
+        assert!(near < 0.1, "noise jumped {near} over a tiny step");
+    }
+
+    #[test]
+    fn indoor_scenes_contain_sharp_edges() {
+        // The rectangle overlay must create at least some strong local
+        // gradients (man-made edges) that outdoor scenes mostly lack.
+        let office = ScenePreset::ALL[6].render(128, 128);
+        let max_grad = (1..128)
+            .flat_map(|y| (1..128).map(move |x| (x, y)))
+            .map(|(x, y)| office.get(x, y).abs_diff(office.get(x - 1, y)))
+            .max()
+            .unwrap();
+        assert!(max_grad > 40, "no sharp edges found: {max_grad}");
+    }
+}

@@ -1,0 +1,183 @@
+//! Synthetic video sequences for temporal experiments.
+//!
+//! The paper's future-work adaptive threshold ("automatically adjustable at
+//! runtime based on the previous frame compression ratio", Section VII) is
+//! inherently temporal: it needs frame *sequences* with controlled scene
+//! changes. This module provides deterministic camera motions over the
+//! scene dataset plus fault injection (the paper's "bad frames").
+
+use crate::image::ImageU8;
+use crate::synth::ScenePreset;
+
+/// Camera motion over a scene.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Motion {
+    /// Static camera.
+    Still,
+    /// Horizontal pan at `px_per_frame` pixels per frame.
+    Pan {
+        /// Horizontal speed in pixels per frame.
+        px_per_frame: usize,
+    },
+    /// Vertical tilt at `px_per_frame` pixels per frame.
+    Tilt {
+        /// Vertical speed in pixels per frame.
+        px_per_frame: usize,
+    },
+}
+
+/// Frame-level fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// No faults.
+    None,
+    /// Frames in `start..=end` are uniform sensor noise (the paper's
+    /// "bad frames or random images").
+    NoiseBurst {
+        /// First corrupted frame index.
+        start: usize,
+        /// Last corrupted frame index.
+        end: usize,
+    },
+}
+
+/// A deterministic synthetic video: a scene, a camera motion, a fault plan.
+#[derive(Debug, Clone)]
+pub struct VideoSequence {
+    scene: ScenePreset,
+    width: usize,
+    height: usize,
+    motion: Motion,
+    fault: Fault,
+    /// Pre-rendered world larger than the viewport (for pan/tilt).
+    world: ImageU8,
+}
+
+impl VideoSequence {
+    /// Margin rendered around the viewport for camera motion.
+    const MARGIN: usize = 128;
+
+    /// Build a sequence over `scene` with a `width × height` viewport.
+    pub fn new(
+        scene: ScenePreset,
+        width: usize,
+        height: usize,
+        motion: Motion,
+        fault: Fault,
+    ) -> Self {
+        let world = scene.render(width + Self::MARGIN, height + Self::MARGIN);
+        Self {
+            scene,
+            width,
+            height,
+            motion,
+            fault,
+            world,
+        }
+    }
+
+    /// Viewport width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Viewport height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Render frame `t`.
+    pub fn frame(&self, t: usize) -> ImageU8 {
+        if let Fault::NoiseBurst { start, end } = self.fault {
+            if (start..=end).contains(&t) {
+                let mut state = (self.scene.seed as u32) ^ (t as u32).wrapping_mul(0x9E37_79B9);
+                state |= 1;
+                return ImageU8::from_fn(self.width, self.height, |_, _| {
+                    state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (state >> 24) as u8
+                });
+            }
+        }
+        let (dx, dy) = match self.motion {
+            Motion::Still => (0, 0),
+            Motion::Pan { px_per_frame } => ((t * px_per_frame) % Self::MARGIN, 0),
+            Motion::Tilt { px_per_frame } => (0, (t * px_per_frame) % Self::MARGIN),
+        };
+        self.world.crop(dx, dy, self.width, self.height)
+    }
+
+    /// Iterate the first `count` frames.
+    pub fn frames(&self, count: usize) -> impl Iterator<Item = ImageU8> + '_ {
+        (0..count).map(move |t| self.frame(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mse;
+
+    fn seq(motion: Motion, fault: Fault) -> VideoSequence {
+        VideoSequence::new(ScenePreset::ALL[1], 96, 64, motion, fault)
+    }
+
+    #[test]
+    fn frames_are_deterministic() {
+        let v = seq(Motion::Pan { px_per_frame: 4 }, Fault::None);
+        assert_eq!(v.frame(3), v.frame(3));
+        assert_eq!(v.frame(3).width(), 96);
+    }
+
+    #[test]
+    fn still_camera_repeats_frames() {
+        let v = seq(Motion::Still, Fault::None);
+        assert_eq!(v.frame(0), v.frame(17));
+    }
+
+    #[test]
+    fn pan_moves_content_smoothly() {
+        let v = seq(Motion::Pan { px_per_frame: 4 }, Fault::None);
+        let a = v.frame(0);
+        let b = v.frame(1);
+        assert_ne!(a, b, "pan must change the frame");
+        // Consecutive frames overlap heavily: shifted content matches.
+        for y in 0..a.height() {
+            for x in 0..a.width() - 4 {
+                assert_eq!(a.get(x + 4, y), b.get(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn tilt_moves_content_vertically() {
+        let v = seq(Motion::Tilt { px_per_frame: 2 }, Fault::None);
+        let a = v.frame(0);
+        let b = v.frame(1);
+        for y in 0..a.height() - 2 {
+            for x in 0..a.width() {
+                assert_eq!(a.get(x, y + 2), b.get(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn noise_burst_injects_incompressible_frames() {
+        let v = seq(
+            Motion::Still,
+            Fault::NoiseBurst { start: 2, end: 3 },
+        );
+        let clean = v.frame(1);
+        let noisy = v.frame(2);
+        assert!(mse(&clean, &noisy) > 1000.0, "burst frame must differ wildly");
+        // Different burst frames use different noise.
+        assert_ne!(v.frame(2), v.frame(3));
+        // After the burst, the scene returns.
+        assert_eq!(v.frame(4), clean);
+    }
+
+    #[test]
+    fn frames_iterator_counts() {
+        let v = seq(Motion::Still, Fault::None);
+        assert_eq!(v.frames(5).count(), 5);
+    }
+}

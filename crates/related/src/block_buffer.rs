@@ -1,0 +1,208 @@
+//! Block-buffering baseline (paper refs \[5], \[6] — Yu & Leeser).
+//!
+//! Instead of buffering full image rows, read a `B × B` pixel block
+//! (`B > N`), compute every window fully contained in it, and prefetch the
+//! next block while processing (double buffering). Adjacent blocks must
+//! overlap by `N − 1` pixels in both axes, so every off-chip pixel in the
+//! overlap region is fetched more than once — the paper's criticism: "its
+//! average number of off-chip accesses is greater than 1 pixel per window
+//! operation".
+
+use sw_core::kernels::WindowKernel;
+use sw_core::reference::direct_sliding_window;
+use sw_fpga::bram::brams_for_bits;
+use sw_image::ImageU8;
+
+/// Cost model of a block-buffering configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockBufferPlan {
+    /// Window size N.
+    pub window: usize,
+    /// Block size B (must exceed N).
+    pub block: usize,
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+}
+
+impl BlockBufferPlan {
+    /// New plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `block > window` and the image holds at least one
+    /// window.
+    pub fn new(window: usize, block: usize, width: usize, height: usize) -> Self {
+        assert!(block > window, "block must exceed the window");
+        assert!(width >= window && height >= window, "image too small");
+        Self {
+            window,
+            block,
+            width,
+            height,
+        }
+    }
+
+    /// Horizontal/vertical block stride: `B − N + 1` fresh windows per axis.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.block - self.window + 1
+    }
+
+    /// Number of blocks fetched for the whole frame.
+    pub fn blocks(&self) -> usize {
+        let out_w = self.width - self.window + 1;
+        let out_h = self.height - self.window + 1;
+        out_w.div_ceil(self.stride()) * out_h.div_ceil(self.stride())
+    }
+
+    /// Output windows per frame.
+    pub fn windows(&self) -> usize {
+        (self.width - self.window + 1) * (self.height - self.window + 1)
+    }
+
+    /// Total off-chip pixel reads per frame (every block is a full `B × B`
+    /// fetch).
+    pub fn offchip_reads(&self) -> u64 {
+        self.blocks() as u64 * (self.block * self.block) as u64
+    }
+
+    /// Average off-chip reads per output window — the paper's headline
+    /// criticism (> 1; the line-buffer architectures achieve exactly 1 read
+    /// per *pixel*, i.e. ≈ 1 per window).
+    pub fn reads_per_window(&self) -> f64 {
+        self.offchip_reads() as f64 / self.windows() as f64
+    }
+
+    /// On-chip bits: two `B × B` 8-bit blocks (double buffering).
+    pub fn onchip_bits(&self) -> u64 {
+        2 * (self.block * self.block) as u64 * 8
+    }
+
+    /// 18 Kb BRAMs by raw capacity.
+    pub fn brams(&self) -> u32 {
+        brams_for_bits(self.onchip_bits())
+    }
+
+    /// The block size minimizing off-chip traffic under an on-chip bit
+    /// budget (larger blocks amortize the overlap better).
+    pub fn best_block_for_budget(
+        window: usize,
+        width: usize,
+        height: usize,
+        budget_bits: u64,
+    ) -> Option<BlockBufferPlan> {
+        (window + 1..=width.min(height))
+            .map(|b| BlockBufferPlan::new(window, b, width, height))
+            .take_while(|p| p.onchip_bits() <= budget_bits)
+            .last()
+    }
+
+    /// Functional model: process the frame block by block. Produces output
+    /// identical to the direct sliding window (proves the cost model
+    /// corresponds to a correct architecture).
+    pub fn process_frame(&self, img: &ImageU8, kernel: &dyn WindowKernel) -> ImageU8 {
+        assert_eq!(img.width(), self.width, "image width mismatch");
+        assert_eq!(img.height(), self.height, "image height mismatch");
+        assert_eq!(kernel.window_size(), self.window, "kernel size mismatch");
+        let n = self.window;
+        let out_w = self.width - n + 1;
+        let out_h = self.height - n + 1;
+        let mut out = ImageU8::filled(out_w, out_h, 0);
+        let stride = self.stride();
+        let mut by = 0;
+        while by < out_h {
+            let mut bx = 0;
+            while bx < out_w {
+                // Fetch one block (clamped to the image edge).
+                let bw = self.block.min(self.width - bx);
+                let bh = self.block.min(self.height - by);
+                let block = img.crop(bx, by, bw, bh);
+                // Process every window inside it.
+                if bw >= n && bh >= n {
+                    let sub = direct_sliding_window(&block, kernel);
+                    for y in 0..sub.height().min(stride) {
+                        for x in 0..sub.width().min(stride) {
+                            if bx + x < out_w && by + y < out_h {
+                                out.set(bx + x, by + y, sub.get(x, y));
+                            }
+                        }
+                    }
+                }
+                bx += stride;
+            }
+            by += stride;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_core::kernels::{BoxFilter, MedianFilter};
+
+    #[test]
+    fn output_matches_direct_reference() {
+        let img = ImageU8::from_fn(40, 28, |x, y| ((x * 7 + y * 13) % 256) as u8);
+        for (n, b) in [(4usize, 8usize), (4, 11), (8, 12)] {
+            let kernel = BoxFilter::new(n);
+            let plan = BlockBufferPlan::new(n, b, 40, 28);
+            let got = plan.process_frame(&img, &kernel);
+            assert_eq!(got, direct_sliding_window(&img, &kernel), "N={n} B={b}");
+        }
+    }
+
+    #[test]
+    fn output_matches_for_nonlinear_kernel() {
+        let img = ImageU8::from_fn(30, 30, |x, y| ((x * x + y * 3) % 256) as u8);
+        let kernel = MedianFilter::new(4);
+        let plan = BlockBufferPlan::new(4, 9, 30, 30);
+        assert_eq!(
+            plan.process_frame(&img, &kernel),
+            direct_sliding_window(&img, &kernel)
+        );
+    }
+
+    #[test]
+    fn reads_per_window_exceed_one() {
+        // The paper's criticism, quantified: for any finite block size the
+        // overlap forces > 1 off-chip read per window.
+        for b in [9usize, 16, 32, 64] {
+            let plan = BlockBufferPlan::new(8, b, 512, 512);
+            assert!(
+                plan.reads_per_window() > 1.0,
+                "B={b}: {}",
+                plan.reads_per_window()
+            );
+        }
+        // And it approaches 1 as the block grows.
+        let small = BlockBufferPlan::new(8, 9, 512, 512).reads_per_window();
+        let large = BlockBufferPlan::new(8, 64, 512, 512).reads_per_window();
+        assert!(large < small / 4.0, "{small} -> {large}");
+    }
+
+    #[test]
+    fn onchip_cost_is_two_blocks() {
+        let plan = BlockBufferPlan::new(8, 32, 512, 512);
+        assert_eq!(plan.onchip_bits(), 2 * 32 * 32 * 8);
+        assert_eq!(plan.brams(), 1);
+    }
+
+    #[test]
+    fn best_block_respects_budget() {
+        let budget = 4 * 18 * 1024; // 4 BRAMs
+        let plan = BlockBufferPlan::best_block_for_budget(8, 512, 512, budget).unwrap();
+        assert!(plan.onchip_bits() <= budget);
+        // The next size up must exceed the budget.
+        let bigger = BlockBufferPlan::new(8, plan.block + 1, 512, 512);
+        assert!(bigger.onchip_bits() > budget);
+    }
+
+    #[test]
+    #[should_panic(expected = "block must exceed")]
+    fn block_must_exceed_window() {
+        BlockBufferPlan::new(8, 8, 64, 64);
+    }
+}

@@ -1,0 +1,183 @@
+//! Segment-partitioning baseline (paper ref \[7] — Dong et al.).
+//!
+//! The image is split into vertical segments of width `S`; each segment is
+//! processed with ordinary line buffers that only span `S` pixels instead of
+//! the full width `W`, cutting BRAM. Adjacent segments must overlap by
+//! `N − 1` columns (to produce the border windows), so overlap columns are
+//! fetched from off-chip memory once per adjacent segment — and the whole
+//! frame must reside off-chip, which is the paper's criticism: "not
+//! efficient for streaming applications when pixels come directly from a
+//! camera sensor".
+
+use sw_core::config::ArchConfig;
+use sw_core::kernels::WindowKernel;
+use sw_core::traditional::TraditionalSlidingWindow;
+use sw_fpga::bram::{best_config, brams_for_bits};
+use sw_image::ImageU8;
+
+/// Cost model of a segmented configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentedPlan {
+    /// Window size N.
+    pub window: usize,
+    /// Segment width S (window < S ≤ image width).
+    pub segment: usize,
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+}
+
+impl SegmentedPlan {
+    /// New plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window < segment <= width`.
+    pub fn new(window: usize, segment: usize, width: usize, height: usize) -> Self {
+        assert!(segment > window, "segment must exceed the window");
+        assert!(segment <= width, "segment wider than the image");
+        Self {
+            window,
+            segment,
+            width,
+            height,
+        }
+    }
+
+    /// Fresh output columns per segment.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.segment - self.window + 1
+    }
+
+    /// Number of segments per frame.
+    pub fn segments(&self) -> usize {
+        (self.width - self.window + 1).div_ceil(self.stride())
+    }
+
+    /// Total off-chip pixel reads per frame (each segment re-reads its full
+    /// `S × H` span).
+    pub fn offchip_reads(&self) -> u64 {
+        self.segments() as u64 * (self.segment * self.height) as u64
+    }
+
+    /// Off-chip reads per input pixel (1.0 would be streaming-optimal).
+    pub fn reads_per_pixel(&self) -> f64 {
+        self.offchip_reads() as f64 / (self.width * self.height) as f64
+    }
+
+    /// On-chip line-buffer bits: `(N − 1)` rows of `S − N` pixels.
+    pub fn onchip_bits(&self) -> u64 {
+        (self.window as u64 - 1) * (self.segment - self.window) as u64 * 8
+    }
+
+    /// 18 Kb BRAM count, width-aware (one FIFO line per buffered row, as in
+    /// the traditional architecture but `S` wide).
+    pub fn brams(&self) -> u32 {
+        let per_line = best_config(8, (self.segment - self.window) as u32).1;
+        (self.window as u32 - 1) * per_line
+    }
+
+    /// 18 Kb BRAM count by raw capacity (lower bound).
+    pub fn brams_capacity(&self) -> u32 {
+        brams_for_bits(self.onchip_bits())
+    }
+
+    /// Functional model: process each segment independently and stitch the
+    /// outputs; identical to the direct sliding window over the full frame.
+    pub fn process_frame(&self, img: &ImageU8, kernel: &dyn WindowKernel) -> ImageU8 {
+        assert_eq!(img.width(), self.width, "image width mismatch");
+        assert_eq!(img.height(), self.height, "image height mismatch");
+        let n = self.window;
+        let out_w = self.width - n + 1;
+        let out_h = self.height - n + 1;
+        let mut out = ImageU8::filled(out_w, out_h, 0);
+        let mut x0 = 0;
+        while x0 < out_w {
+            let seg_w = self.segment.min(self.width - x0);
+            let segment = img.crop(x0, 0, seg_w, self.height);
+            if seg_w > n {
+                let cfg = ArchConfig::new(n, seg_w);
+                let mut arch = TraditionalSlidingWindow::new(cfg);
+                let sub = arch.process_frame(&segment, kernel);
+                for y in 0..sub.image.height() {
+                    for x in 0..sub.image.width().min(self.stride()) {
+                        if x0 + x < out_w {
+                            out.set(x0 + x, y, sub.image.get(x, y));
+                        }
+                    }
+                }
+            } else {
+                // Edge remainder narrower than the architecture minimum:
+                // fall back to direct computation for the last columns.
+                let sub =
+                    sw_core::reference::direct_sliding_window(&segment, kernel);
+                for y in 0..sub.height() {
+                    for x in 0..sub.width() {
+                        out.set(x0 + x, y, sub.get(x, y));
+                    }
+                }
+            }
+            x0 += self.stride();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_core::kernels::{BoxFilter, Dilate};
+    use sw_core::reference::direct_sliding_window;
+
+    #[test]
+    fn output_matches_direct_reference() {
+        let img = ImageU8::from_fn(48, 20, |x, y| ((x * 11 + y * 29) % 256) as u8);
+        for (n, s) in [(4usize, 12usize), (4, 17), (8, 16)] {
+            let kernel = BoxFilter::new(n);
+            let plan = SegmentedPlan::new(n, s, 48, 20);
+            let got = plan.process_frame(&img, &kernel);
+            assert_eq!(got, direct_sliding_window(&img, &kernel), "N={n} S={s}");
+        }
+    }
+
+    #[test]
+    fn output_matches_for_morphology() {
+        let img = ImageU8::from_fn(37, 19, |x, y| ((x * y + 3) % 256) as u8);
+        let plan = SegmentedPlan::new(4, 10, 37, 19);
+        let kernel = Dilate::new(4);
+        assert_eq!(
+            plan.process_frame(&img, &kernel),
+            direct_sliding_window(&img, &kernel)
+        );
+    }
+
+    #[test]
+    fn brams_shrink_with_segment_width_but_traffic_grows() {
+        let full = SegmentedPlan::new(64, 512, 512, 512);
+        let half = SegmentedPlan::new(64, 256, 512, 512);
+        let quarter = SegmentedPlan::new(64, 128, 512, 512);
+        assert!(half.onchip_bits() < full.onchip_bits());
+        assert!(quarter.onchip_bits() < half.onchip_bits());
+        // One segment == the traditional architecture == streaming optimal.
+        assert_eq!(full.segments(), 1);
+        assert!((full.reads_per_pixel() - 1.0).abs() < 1e-9);
+        assert!(half.reads_per_pixel() > 1.0);
+        assert!(quarter.reads_per_pixel() > half.reads_per_pixel());
+    }
+
+    #[test]
+    fn bram_counts_match_traditional_formula_at_full_width() {
+        // A single full-width segment degenerates to the traditional
+        // architecture (N−1 lines, one BRAM each at width 512).
+        let plan = SegmentedPlan::new(8, 512, 512, 512);
+        assert_eq!(plan.brams(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment must exceed")]
+    fn segment_must_exceed_window() {
+        SegmentedPlan::new(8, 8, 64, 64);
+    }
+}

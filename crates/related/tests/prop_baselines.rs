@@ -1,0 +1,81 @@
+//! Property tests for the related-work baselines: correctness of the
+//! functional models and losslessness of the LOCO-I comparator on arbitrary
+//! inputs.
+
+use proptest::prelude::*;
+use sw_core::kernels::BoxFilter;
+use sw_core::reference::direct_sliding_window;
+use sw_image::ImageU8;
+use sw_related::{locoi_decode, locoi_encode, BlockBufferPlan, SegmentedPlan};
+
+fn image_from_seed(w: usize, h: usize, seed: u32, smooth: bool) -> ImageU8 {
+    let mut state = seed | 1;
+    ImageU8::from_fn(w, h, |x, y| {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        if smooth {
+            (100.0 + 60.0 * ((x + 2 * y) as f64 * 0.08).sin() + ((state >> 29) as f64))
+                .clamp(0.0, 255.0) as u8
+        } else {
+            (state >> 24) as u8
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn locoi_roundtrip_any_image(
+        w in 2usize..40,
+        h in 2usize..24,
+        seed in any::<u32>(),
+        smooth in any::<bool>(),
+    ) {
+        let img = image_from_seed(w, h, seed, smooth);
+        let bytes = locoi_encode(&img);
+        prop_assert_eq!(locoi_decode(&bytes, w, h), img);
+    }
+
+    #[test]
+    fn block_buffer_matches_reference(
+        n in (2usize..4).prop_map(|k| k * 2),      // 4, 6
+        extra in 1usize..12,
+        seed in any::<u32>(),
+    ) {
+        let b = n + extra;
+        let (w, h) = (b + 13, b + 9);
+        let img = image_from_seed(w, h, seed, true);
+        let kernel = BoxFilter::new(n);
+        let plan = BlockBufferPlan::new(n, b, w, h);
+        prop_assert_eq!(
+            plan.process_frame(&img, &kernel),
+            direct_sliding_window(&img, &kernel)
+        );
+    }
+
+    #[test]
+    fn segmented_matches_reference(
+        n in (2usize..4).prop_map(|k| k * 2),
+        extra in 2usize..12,
+        seed in any::<u32>(),
+    ) {
+        let s = n + extra;
+        let (w, h) = (s + 17, n + 11);
+        let img = image_from_seed(w, h, seed, false);
+        let kernel = BoxFilter::new(n);
+        let plan = SegmentedPlan::new(n, s, w, h);
+        prop_assert_eq!(
+            plan.process_frame(&img, &kernel),
+            direct_sliding_window(&img, &kernel)
+        );
+    }
+
+    #[test]
+    fn block_buffer_traffic_always_exceeds_streaming(
+        n in (2usize..9).prop_map(|k| k * 2),
+        extra in 1usize..40,
+    ) {
+        let plan = BlockBufferPlan::new(n, n + extra, 512, 512);
+        prop_assert!(plan.reads_per_window() > 1.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! LeGall 5/3 reversible integer wavelet (the JPEG 2000 lossless filter).
+//!
+//! The paper rejects 5/3 (and 9/7) in favour of Haar because the longer
+//! filters complicate the column-streaming hardware without improving the
+//! compression ratio enough (Section IV-C). This module exists so the
+//! ablation benchmark (`sw-bench --bin ablations`, experiment E16) can put a
+//! number on that claim: it computes the same sub-band statistics with 5/3
+//! so the two transforms' packed-bit totals can be compared on the same
+//! images.
+//!
+//! Lifting form (symmetric half-sample extension at the borders):
+//!
+//! ```text
+//! d[k] = x[2k+1] − floor((x[2k] + x[2k+2]) / 2)
+//! s[k] = x[2k]   + floor((d[k−1] + d[k] + 2) / 4)
+//! ```
+
+use crate::subband::{SubBand, SubbandPlanes};
+use crate::Coeff;
+
+#[inline]
+fn ext(x: &[Coeff], i: isize) -> Coeff {
+    // Symmetric (mirror, non-repeating edge) extension: ... x2 x1 | x0 x1 x2 ...
+    let n = x.len() as isize;
+    let j = if i < 0 {
+        -i
+    } else if i >= n {
+        2 * n - 2 - i
+    } else {
+        i
+    };
+    x[j as usize]
+}
+
+/// Forward 1-D 5/3 transform of an even-length signal.
+///
+/// Writes `len/2` approximation coefficients into `low` and `len/2` detail
+/// coefficients into `high`.
+///
+/// # Panics
+///
+/// Panics if `x.len()` is odd, shorter than 2, or the outputs are too short.
+pub fn legall53_forward(x: &[Coeff], low: &mut [Coeff], high: &mut [Coeff]) {
+    assert!(x.len() >= 2 && x.len().is_multiple_of(2), "need even length >= 2");
+    let half = x.len() / 2;
+    assert!(low.len() >= half && high.len() >= half, "outputs too short");
+    // Predict step (details).
+    for k in 0..half {
+        let left = x[2 * k] as i32;
+        let right = ext(x, 2 * k as isize + 2) as i32;
+        high[k] = (x[2 * k + 1] as i32 - ((left + right) >> 1)) as Coeff;
+    }
+    // Update step (approximations).
+    for k in 0..half {
+        let dm1 = if k == 0 { high[0] } else { high[k - 1] } as i32;
+        let d = high[k] as i32;
+        low[k] = (x[2 * k] as i32 + ((dm1 + d + 2) >> 2)) as Coeff;
+    }
+}
+
+/// Exact inverse of [`legall53_forward`].
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+pub fn legall53_inverse(low: &[Coeff], high: &[Coeff], x: &mut [Coeff]) {
+    assert_eq!(low.len(), high.len(), "sub-band length mismatch");
+    assert_eq!(x.len(), 2 * low.len(), "output length mismatch");
+    let half = low.len();
+    // Undo update step.
+    for k in 0..half {
+        let dm1 = if k == 0 { high[0] } else { high[k - 1] } as i32;
+        let d = high[k] as i32;
+        x[2 * k] = (low[k] as i32 - ((dm1 + d + 2) >> 2)) as Coeff;
+    }
+    // Undo predict step (even samples are now final).
+    for k in 0..half {
+        let left = x[2 * k] as i32;
+        let right = if 2 * k + 2 < x.len() {
+            x[2 * k + 2]
+        } else {
+            // mirror extension refers to x[2n-2-i] = x[len-2] = x[2k]
+            x[2 * k]
+        } as i32;
+        x[2 * k + 1] = (high[k] as i32 + ((left + right) >> 1)) as Coeff;
+    }
+}
+
+/// Whole-image single-level separable 5/3 transform.
+///
+/// Rows first, then columns; both dimensions must be even. Output planes are
+/// quadrants of size `w/2 × h/2`, same layout as
+/// [`crate::haar2d::forward_image`].
+pub fn legall53_forward_image(pixels: &[Coeff], w: usize, h: usize) -> SubbandPlanes {
+    assert_eq!(pixels.len(), w * h, "pixel buffer size mismatch");
+    assert!(w.is_multiple_of(2) && h.is_multiple_of(2), "image dimensions must be even");
+    let (pw, ph) = (w / 2, h / 2);
+
+    // Horizontal pass: each row -> [low | high].
+    let mut inter = vec![0 as Coeff; w * h];
+    let mut low = vec![0 as Coeff; pw.max(ph)];
+    let mut high = vec![0 as Coeff; pw.max(ph)];
+    for y in 0..h {
+        let row = &pixels[y * w..(y + 1) * w];
+        legall53_forward(row, &mut low, &mut high);
+        inter[y * w..y * w + pw].copy_from_slice(&low[..pw]);
+        inter[y * w + pw..(y + 1) * w].copy_from_slice(&high[..pw]);
+    }
+
+    // Vertical pass: each column -> planes.
+    let mut planes = SubbandPlanes::new(pw, ph);
+    let mut col = vec![0 as Coeff; h];
+    for x in 0..w {
+        for (y, c) in col.iter_mut().enumerate() {
+            *c = inter[y * w + x];
+        }
+        legall53_forward(&col, &mut low, &mut high);
+        let (horiz_band_lo, horiz_band_hi, px) = if x < pw {
+            (SubBand::LL, SubBand::HL, x)
+        } else {
+            (SubBand::LH, SubBand::HH, x - pw)
+        };
+        for y in 0..ph {
+            planes.set(horiz_band_lo, px, y, low[y]);
+            planes.set(horiz_band_hi, px, y, high[y]);
+        }
+    }
+    planes
+}
+
+/// Exact inverse of [`legall53_forward_image`].
+pub fn legall53_inverse_image(planes: &SubbandPlanes) -> Vec<Coeff> {
+    let (pw, ph) = (planes.w, planes.h);
+    let (w, h) = (pw * 2, ph * 2);
+
+    // Undo vertical pass.
+    let mut inter = vec![0 as Coeff; w * h];
+    let mut low = vec![0 as Coeff; ph];
+    let mut high = vec![0 as Coeff; ph];
+    let mut col = vec![0 as Coeff; h];
+    for x in 0..w {
+        let (band_lo, band_hi, px) = if x < pw {
+            (SubBand::LL, SubBand::HL, x)
+        } else {
+            (SubBand::LH, SubBand::HH, x - pw)
+        };
+        for y in 0..ph {
+            low[y] = planes.get(band_lo, px, y);
+            high[y] = planes.get(band_hi, px, y);
+        }
+        legall53_inverse(&low, &high, &mut col);
+        for (y, &c) in col.iter().enumerate() {
+            inter[y * w + x] = c;
+        }
+    }
+
+    // Undo horizontal pass.
+    let mut pixels = vec![0 as Coeff; w * h];
+    let mut lo = vec![0 as Coeff; pw];
+    let mut hi = vec![0 as Coeff; pw];
+    for y in 0..h {
+        lo.copy_from_slice(&inter[y * w..y * w + pw]);
+        hi.copy_from_slice(&inter[y * w + pw..(y + 1) * w]);
+        legall53_inverse(&lo, &hi, &mut pixels[y * w..(y + 1) * w]);
+    }
+    pixels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_dim_roundtrip() {
+        let x: Vec<Coeff> = (0..64).map(|i| ((i * 97 + 13) % 256) as Coeff).collect();
+        let mut low = vec![0; 32];
+        let mut high = vec![0; 32];
+        legall53_forward(&x, &mut low, &mut high);
+        let mut out = vec![0; 64];
+        legall53_inverse(&low, &high, &mut out);
+        assert_eq!(out, x);
+    }
+
+    #[test]
+    fn one_dim_roundtrip_short_signals() {
+        for len in [2usize, 4, 6, 8] {
+            let x: Vec<Coeff> = (0..len).map(|i| (i as Coeff * 51) % 200 - 100).collect();
+            let mut low = vec![0; len / 2];
+            let mut high = vec![0; len / 2];
+            legall53_forward(&x, &mut low, &mut high);
+            let mut out = vec![0; len];
+            legall53_inverse(&low, &high, &mut out);
+            assert_eq!(out, x, "len {len}");
+        }
+    }
+
+    #[test]
+    fn smooth_ramp_has_tiny_details() {
+        // A linear ramp is perfectly predicted by the 5/3 filter: details
+        // should be 0 or ±1 (edge effects only).
+        let x: Vec<Coeff> = (0..128).map(|i| i as Coeff).collect();
+        let mut low = vec![0; 64];
+        let mut high = vec![0; 64];
+        legall53_forward(&x, &mut low, &mut high);
+        assert!(high.iter().all(|d| d.abs() <= 1), "details {high:?}");
+    }
+
+    #[test]
+    fn image_roundtrip() {
+        let (w, h) = (24, 16);
+        let pixels: Vec<Coeff> = (0..w * h)
+            .map(|i| ((i * 53 + 11) % 256) as Coeff)
+            .collect();
+        let planes = legall53_forward_image(&pixels, w, h);
+        assert_eq!(legall53_inverse_image(&planes), pixels);
+    }
+
+    #[test]
+    fn flat_image_has_zero_details() {
+        let planes = legall53_forward_image(&vec![100; 16 * 16], 16, 16);
+        for band in [SubBand::LH, SubBand::HL, SubBand::HH] {
+            assert_eq!(planes.max_abs(band), 0);
+        }
+        assert!(planes.plane(SubBand::LL).iter().all(|&c| c == 100));
+    }
+}

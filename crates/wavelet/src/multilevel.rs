@@ -1,0 +1,151 @@
+//! Multi-level 2-D Haar decomposition.
+//!
+//! The paper settled on a **single** decomposition level: "adding more levels
+//! complicates the architecture ... using 2 or 3 levels of decomposition did
+//! not increase the compression ratio significantly" (Section IV-C). This
+//! module implements the 1-, 2- and 3-level decompositions so the ablation
+//! benchmark (experiment E15) can reproduce that design-space measurement.
+
+use crate::haar2d::{forward_image, inverse_image};
+use crate::subband::{SubBand, SubbandPlanes};
+use crate::Coeff;
+
+/// One level of detail planes (the LL plane recurses into the next level).
+#[derive(Debug, Clone)]
+pub struct DetailLevel {
+    /// Plane width in coefficients at this level.
+    pub w: usize,
+    /// Plane height in coefficients at this level.
+    pub h: usize,
+    /// Horizontal detail (LH) plane, row-major `w × h`.
+    pub lh: Vec<Coeff>,
+    /// Vertical detail (HL) plane.
+    pub hl: Vec<Coeff>,
+    /// Diagonal detail (HH) plane.
+    pub hh: Vec<Coeff>,
+}
+
+/// A complete `levels`-deep Haar pyramid of an image.
+#[derive(Debug, Clone)]
+pub struct HaarPyramid {
+    /// Original image width.
+    pub width: usize,
+    /// Original image height.
+    pub height: usize,
+    /// Detail planes, finest (level 1) first.
+    pub details: Vec<DetailLevel>,
+    /// Final approximation plane (`width >> levels` × `height >> levels`).
+    pub top_ll: Vec<Coeff>,
+}
+
+impl HaarPyramid {
+    /// Number of decomposition levels.
+    pub fn levels(&self) -> usize {
+        self.details.len()
+    }
+
+    /// Total number of coefficients (equals `width * height`).
+    pub fn coeff_count(&self) -> usize {
+        self.top_ll.len() + self.details.iter().map(|d| 3 * d.w * d.h).sum::<usize>()
+    }
+}
+
+/// Decompose `pixels` (`w × h`, row-major) into a `levels`-deep Haar pyramid.
+///
+/// ```
+/// use sw_wavelet::multilevel::{decompose, reconstruct};
+/// let img: Vec<i16> = (0..64 * 64).map(|i| (i % 251) as i16).collect();
+/// let pyramid = decompose(&img, 64, 64, 3);
+/// assert_eq!(pyramid.coeff_count(), 64 * 64); // critically sampled
+/// assert_eq!(reconstruct(&pyramid), img);     // exactly reversible
+/// ```
+///
+/// # Panics
+///
+/// Panics if `levels == 0` or either dimension is not divisible by
+/// `2^levels`.
+pub fn decompose(pixels: &[Coeff], w: usize, h: usize, levels: usize) -> HaarPyramid {
+    assert!(levels >= 1, "need at least one level");
+    assert!(
+        w.is_multiple_of(1 << levels) && h.is_multiple_of(1 << levels),
+        "dimensions must be divisible by 2^levels"
+    );
+    let mut details = Vec::with_capacity(levels);
+    let mut current = pixels.to_vec();
+    let (mut cw, mut ch) = (w, h);
+    for _ in 0..levels {
+        let planes = forward_image(&current, cw, ch);
+        details.push(DetailLevel {
+            w: planes.w,
+            h: planes.h,
+            lh: planes.plane(SubBand::LH).to_vec(),
+            hl: planes.plane(SubBand::HL).to_vec(),
+            hh: planes.plane(SubBand::HH).to_vec(),
+        });
+        current = planes.plane(SubBand::LL).to_vec();
+        cw /= 2;
+        ch /= 2;
+    }
+    HaarPyramid {
+        width: w,
+        height: h,
+        details,
+        top_ll: current,
+    }
+}
+
+/// Exact inverse of [`decompose`].
+pub fn reconstruct(pyr: &HaarPyramid) -> Vec<Coeff> {
+    let mut current = pyr.top_ll.clone();
+    for level in pyr.details.iter().rev() {
+        let mut planes = SubbandPlanes::new(level.w, level.h);
+        planes.plane_mut(SubBand::LL).copy_from_slice(&current);
+        planes.plane_mut(SubBand::LH).copy_from_slice(&level.lh);
+        planes.plane_mut(SubBand::HL).copy_from_slice(&level.hl);
+        planes.plane_mut(SubBand::HH).copy_from_slice(&level.hh);
+        current = inverse_image(&planes);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_image(w: usize, h: usize) -> Vec<Coeff> {
+        (0..w * h)
+            .map(|i| {
+                let (x, y) = (i % w, i / w);
+                ((x * 3 + y * 7) % 256) as Coeff
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_level_matches_single_forward() {
+        let (w, h) = (16, 16);
+        let img = test_image(w, h);
+        let pyr = decompose(&img, w, h, 1);
+        let planes = forward_image(&img, w, h);
+        assert_eq!(pyr.top_ll, planes.plane(SubBand::LL));
+        assert_eq!(pyr.details[0].hh, planes.plane(SubBand::HH));
+    }
+
+    #[test]
+    fn roundtrip_levels_1_2_3() {
+        let (w, h) = (64, 32);
+        let img = test_image(w, h);
+        for levels in 1..=3 {
+            let pyr = decompose(&img, w, h, levels);
+            assert_eq!(pyr.levels(), levels);
+            assert_eq!(pyr.coeff_count(), w * h, "pyramid is critically sampled");
+            assert_eq!(reconstruct(&pyr), img, "levels={levels}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn rejects_indivisible_dimensions() {
+        decompose(&test_image(12, 12), 12, 12, 3);
+    }
+}

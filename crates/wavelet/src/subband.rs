@@ -1,0 +1,165 @@
+//! Sub-band naming and plane bookkeeping for 2-D decompositions.
+
+use crate::Coeff;
+
+/// The four sub-bands of a single-level 2-D wavelet decomposition.
+///
+/// Naming follows the paper (Section IV-A): the first letter is the vertical
+/// filter, the second the horizontal filter applied to a 2×2 pixel block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SubBand {
+    /// Approximation (low/low) — carries most of the image energy.
+    LL,
+    /// Horizontal details (low vertical, high horizontal).
+    LH,
+    /// Vertical details (high vertical, low horizontal).
+    HL,
+    /// Diagonal details (high/high).
+    HH,
+}
+
+impl SubBand {
+    /// All four sub-bands in canonical order `[LL, LH, HL, HH]`.
+    pub const ALL: [SubBand; 4] = [SubBand::LL, SubBand::LH, SubBand::HL, SubBand::HH];
+
+    /// Whether this is a detail (high-frequency) sub-band.
+    ///
+    /// The default threshold policy of the compression algorithm only zeroes
+    /// coefficients in detail sub-bands (see `sw-core`).
+    #[inline]
+    pub fn is_detail(self) -> bool {
+        !matches!(self, SubBand::LL)
+    }
+
+    /// Stable index 0..4 for array-indexed per-sub-band accounting.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            SubBand::LL => 0,
+            SubBand::LH => 1,
+            SubBand::HL => 2,
+            SubBand::HH => 3,
+        }
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SubBand::LL => "LL",
+            SubBand::LH => "LH",
+            SubBand::HL => "HL",
+            SubBand::HH => "HH",
+        }
+    }
+}
+
+impl std::fmt::Display for SubBand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Dense storage for the four sub-band planes of one decomposition level.
+///
+/// Each plane is `w × h` coefficients stored row-major. For a single-level
+/// decomposition of a `2w × 2h` image, each plane is a quadrant of the
+/// classic wavelet layout (paper Figure 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubbandPlanes {
+    /// Plane width in coefficients.
+    pub w: usize,
+    /// Plane height in coefficients.
+    pub h: usize,
+    planes: [Vec<Coeff>; 4],
+}
+
+impl SubbandPlanes {
+    /// Allocate zeroed planes of `w × h` coefficients each.
+    pub fn new(w: usize, h: usize) -> Self {
+        Self {
+            w,
+            h,
+            planes: std::array::from_fn(|_| vec![0; w * h]),
+        }
+    }
+
+    /// Immutable view of one sub-band plane (row-major, `w × h`).
+    #[inline]
+    pub fn plane(&self, band: SubBand) -> &[Coeff] {
+        &self.planes[band.index()]
+    }
+
+    /// Mutable view of one sub-band plane.
+    #[inline]
+    pub fn plane_mut(&mut self, band: SubBand) -> &mut [Coeff] {
+        &mut self.planes[band.index()]
+    }
+
+    /// Coefficient accessor.
+    #[inline]
+    pub fn get(&self, band: SubBand, x: usize, y: usize) -> Coeff {
+        debug_assert!(x < self.w && y < self.h);
+        self.planes[band.index()][y * self.w + x]
+    }
+
+    /// Coefficient setter.
+    #[inline]
+    pub fn set(&mut self, band: SubBand, x: usize, y: usize, v: Coeff) {
+        debug_assert!(x < self.w && y < self.h);
+        self.planes[band.index()][y * self.w + x] = v;
+    }
+
+    /// Maximum absolute coefficient value in one sub-band (0 for empty).
+    pub fn max_abs(&self, band: SubBand) -> Coeff {
+        self.plane(band)
+            .iter()
+            .map(|c| c.unsigned_abs() as Coeff)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Count of coefficients in `band` with magnitude below `threshold`.
+    pub fn count_below(&self, band: SubBand, threshold: Coeff) -> usize {
+        self.plane(band)
+            .iter()
+            .filter(|c| c.abs() < threshold)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_indices_are_distinct_and_ordered() {
+        let idx: Vec<usize> = SubBand::ALL.iter().map(|b| b.index()).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn only_ll_is_not_detail() {
+        assert!(!SubBand::LL.is_detail());
+        assert!(SubBand::LH.is_detail());
+        assert!(SubBand::HL.is_detail());
+        assert!(SubBand::HH.is_detail());
+    }
+
+    #[test]
+    fn planes_store_and_report_stats() {
+        let mut p = SubbandPlanes::new(4, 2);
+        p.set(SubBand::HH, 3, 1, -9);
+        p.set(SubBand::HH, 0, 0, 4);
+        assert_eq!(p.get(SubBand::HH, 3, 1), -9);
+        assert_eq!(p.max_abs(SubBand::HH), 9);
+        assert_eq!(p.max_abs(SubBand::LL), 0);
+        // 7 coefficients are 0 or 4 < 5... |4| < 5 and six zeros: 7 below.
+        assert_eq!(p.count_below(SubBand::HH, 5), 7);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SubBand::LL.to_string(), "LL");
+        assert_eq!(SubBand::HH.to_string(), "HH");
+    }
+}

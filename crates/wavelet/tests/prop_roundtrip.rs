@@ -1,0 +1,122 @@
+//! Property tests: every transform in the crate is exactly reversible over
+//! its full supported input range — the precondition for the paper's
+//! "lossless" compression mode to be genuinely lossless.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sw_wavelet::haar::HaarLifter;
+use sw_wavelet::haar2d::{
+    forward_image, haar2d_fwd_quad, haar2d_inv_quad, inverse_image, ColumnPairInverse,
+    ColumnPairTransformer,
+};
+use sw_wavelet::legall::{legall53_forward, legall53_inverse};
+use sw_wavelet::multilevel::{decompose, reconstruct};
+use sw_wavelet::{haar_fwd_pair, haar_inv_pair, Coeff};
+
+proptest! {
+    #[test]
+    fn haar_pair_roundtrip_full_i16_safe_range(a in -8192i16..8192, b in -8192i16..8192) {
+        let (l, h) = haar_fwd_pair(a, b);
+        prop_assert_eq!(haar_inv_pair(l, h), (a, b));
+    }
+
+    #[test]
+    fn haar_pair_low_is_floor_mean(a in -8192i16..8192, b in -8192i16..8192) {
+        let (l, _) = haar_fwd_pair(a, b);
+        prop_assert_eq!(l as i32, (a as i32 + b as i32).div_euclid(2));
+    }
+
+    #[test]
+    fn haar_slice_roundtrip(data in vec(-4096i16..4096, 2..256).prop_map(|mut v| {
+        if v.len() % 2 == 1 { v.pop(); }
+        v
+    })) {
+        prop_assume!(!data.is_empty());
+        let lifter = HaarLifter;
+        let half = data.len() / 2;
+        let mut low = vec![0 as Coeff; half];
+        let mut high = vec![0 as Coeff; half];
+        lifter.forward(&data, &mut low, &mut high);
+        let mut out = vec![0 as Coeff; data.len()];
+        lifter.inverse(&low, &high, &mut out);
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn quad_roundtrip_u8_range(a in 0i16..256, b in 0i16..256, c in 0i16..256, d in 0i16..256) {
+        let q = haar2d_fwd_quad(a, b, c, d);
+        prop_assert_eq!(haar2d_inv_quad(q), (a, b, c, d));
+        // LL stays inside the pixel range for u8 inputs.
+        prop_assert!((0..256).contains(&q.ll));
+        prop_assert!(q.hh.abs() <= 510);
+    }
+
+    #[test]
+    fn streaming_column_pairs_roundtrip(
+        n in (1usize..9).prop_map(|k| k * 2),
+        ncols in (1usize..13).prop_map(|k| k * 2),
+        seed in any::<u32>(),
+    ) {
+        let columns: Vec<Vec<Coeff>> = (0..ncols)
+            .map(|c| (0..n).map(|r| {
+                // Cheap deterministic pseudo-pixels from the seed.
+                let v = seed
+                    .wrapping_mul(2654435761)
+                    .wrapping_add((c * 131 + r * 31) as u32);
+                (v >> 8 & 0xff) as Coeff
+            }).collect())
+            .collect();
+        let mut fwd = ColumnPairTransformer::new(n);
+        let mut inv = ColumnPairInverse::new(n);
+        let mut out = Vec::new();
+        for col in &columns {
+            if let Some(pair) = fwd.push_column(col) {
+                prop_assert!(inv.push_column(pair.even).is_none());
+                let (c0, c1) = inv.push_column(pair.odd).unwrap();
+                out.push(c0);
+                out.push(c1);
+            }
+        }
+        prop_assert_eq!(out, columns);
+    }
+
+    #[test]
+    fn image_roundtrip(
+        w in (2usize..17).prop_map(|k| k * 2),
+        h in (2usize..17).prop_map(|k| k * 2),
+        seed in any::<u32>(),
+    ) {
+        let pixels: Vec<Coeff> = (0..w * h)
+            .map(|i| ((seed as usize).wrapping_mul(97).wrapping_add(i * 41) % 256) as Coeff)
+            .collect();
+        let planes = forward_image(&pixels, w, h);
+        prop_assert_eq!(inverse_image(&planes), pixels);
+    }
+
+    #[test]
+    fn legall53_roundtrip(data in vec(0i16..256, 1..128).prop_map(|mut v| {
+        if v.len() % 2 == 1 { v.push(0); }
+        v
+    })) {
+        let half = data.len() / 2;
+        let mut low = vec![0 as Coeff; half];
+        let mut high = vec![0 as Coeff; half];
+        legall53_forward(&data, &mut low, &mut high);
+        let mut out = vec![0 as Coeff; data.len()];
+        legall53_inverse(&low, &high, &mut out);
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn multilevel_roundtrip(
+        seed in any::<u32>(),
+        levels in 1usize..4,
+    ) {
+        let (w, h) = (32usize, 32usize);
+        let pixels: Vec<Coeff> = (0..w * h)
+            .map(|i| ((seed as usize).wrapping_add(i * 73) % 256) as Coeff)
+            .collect();
+        let pyr = decompose(&pixels, w, h, levels);
+        prop_assert_eq!(reconstruct(&pyr), pixels);
+    }
+}

@@ -1,0 +1,87 @@
+//! 24-bit color processing — the paper's Section III motivation: "an image
+//! of HD resolution (2048×2048), and 24-bit colored pixels, the required
+//! on-chip memory is at least (2048−120)×120×24 bits = 5,422Kb. While FPGAs
+//! like the XC7Z020 has a total on-chip memory of 5,018Kb."
+//!
+//! Builds a color scene, sharpens it through three per-channel compressed
+//! datapaths, totals the tripled BRAM budget against the traditional
+//! architecture, and shows the large-window color case that only fits the
+//! device *with* compression.
+//!
+//! ```text
+//! cargo run --release --example color_filter [output-dir]
+//! ```
+
+use modified_sliding_window::image::rgb::write_ppm;
+use modified_sliding_window::prelude::*;
+
+/// Tint three renders of related seeds into a color scene.
+fn color_scene(w: usize, h: usize) -> ImageRgb {
+    let r = ScenePreset::ALL[2].render(w, h);
+    let g = ScenePreset::ALL[0].render(w, h);
+    let b = ScenePreset::ALL[1].render(w, h);
+    ImageRgb::from_fn(w, h, |x, y| {
+        [
+            ((r.get(x, y) as u32 * 3 + g.get(x, y) as u32) / 4) as u8,
+            g.get(x, y),
+            ((b.get(x, y) as u32 * 3 + g.get(x, y) as u32) / 4) as u8,
+        ]
+    })
+}
+
+fn main() {
+    let n = 16;
+    let img = color_scene(512, 256);
+    println!("color image {}x{} (24-bit), window {n}x{n}", img.width(), img.height());
+
+    let cfg = ArchConfig::new(n, img.width());
+    let mut arch = ColorCompressedSlidingWindow::new(cfg);
+    let kernel = Convolution::sharpen(n, 0.8);
+    let out = arch.process_frame(&img, &kernel);
+
+    println!(
+        "per-channel peak occupancy: {:?} bits",
+        out.stats.map(|s| s.peak_total_occupancy)
+    );
+    println!("aggregate saving (Eq. 5): {:.1} %", out.memory_saving_pct());
+
+    let plans = arch.plan_brams(&out, MgmtAccounting::Structured);
+    let compressed: u32 = plans.iter().map(|p| p.total_brams()).sum();
+    let traditional = 3 * traditional_brams(n, img.width());
+    println!("BRAMs: traditional {traditional} (3 channels) vs compressed {compressed}");
+
+    // The paper's headline case: window 120 (we use the nearest power-of-2
+    // geometry, 128) at 2048 width, 24-bit color — raw line buffers exceed
+    // the whole XC7Z020.
+    let big_n = 128;
+    let big_w = 2048;
+    let raw_bits = 3u64 * (big_w as u64 - big_n as u64) * big_n as u64 * 8;
+    let device = Device::XC7Z020;
+    println!(
+        "\nwindow {big_n} @ {big_w} x 24-bit: raw buffers need {} Kb vs {} Kb on {}",
+        raw_bits / 1024,
+        device.bram_kbits(),
+        device.name
+    );
+    assert!(raw_bits / 1024 > device.bram_kbits() as u64);
+    // With the measured lossless ratio (~30 % saving incl. management) the
+    // same buffers fit with room to spare.
+    let plan_1ch = plan(big_n, big_w, 64 * 18 * 1024, MgmtAccounting::Structured);
+    let compressed_brams = 3 * plan_1ch.total_brams();
+    println!(
+        "compressed (2 rows/BRAM, as Table IV): {} BRAM18 = {} Kb -> fits: {}",
+        compressed_brams,
+        compressed_brams * 18,
+        compressed_brams <= device.bram18
+    );
+
+    let dir: std::path::PathBuf = std::env::args()
+        .nth(1)
+        .map(Into::into)
+        .unwrap_or_else(std::env::temp_dir);
+    let path = dir.join("color_sharpened.ppm");
+    match write_ppm(&out.image, &path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: run a Gaussian blur through both sliding-window
+//! architectures and compare outputs and BRAM budgets.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use modified_sliding_window::prelude::*;
+
+fn main() {
+    // A synthetic outdoor scene standing in for an MIT Places image.
+    let img = ScenePreset::ALL[0].render(512, 512);
+    let n = 16;
+    println!("image: {}x{}  window: {n}x{n}", img.width(), img.height());
+
+    let kernel = GaussianFilter::new(n);
+    let cfg = ArchConfig::new(n, img.width()); // threshold 0 = lossless
+
+    // Traditional raw line buffers.
+    let mut trad = TraditionalSlidingWindow::new(cfg);
+    let t_out = trad.process_frame(&img, &kernel);
+
+    // Compressed line buffers.
+    let mut comp = CompressedSlidingWindow::new(cfg);
+    let c_out = comp.process_frame(&img, &kernel);
+
+    assert_eq!(
+        t_out.image, c_out.image,
+        "lossless mode is bit-identical to the traditional architecture"
+    );
+    println!("outputs identical: yes ({} cycles each)", c_out.stats.cycles);
+
+    // Memory comparison.
+    let s = &c_out.stats;
+    println!("\n-- on-chip memory --");
+    println!("traditional buffer:     {:>8} bits", s.raw_buffer_bits);
+    println!(
+        "compressed peak:        {:>8} bits  (payload {} + mgmt {})",
+        s.peak_total_occupancy, s.peak_payload_occupancy, s.management_bits
+    );
+    println!("memory saving (Eq. 5):  {:>7.1} %", s.memory_saving_pct());
+
+    // BRAM plan (paper Tables I-V machinery).
+    let p = plan(
+        n,
+        img.width(),
+        s.peak_payload_occupancy,
+        MgmtAccounting::Structured,
+    );
+    println!("\n-- 18Kb BRAMs --");
+    println!("traditional:  {}", traditional_brams(n, img.width()));
+    println!(
+        "compressed:   {} packed ({} rows/BRAM) + {} management = {}",
+        p.packed_brams,
+        p.rows_per_bram,
+        p.mgmt_brams(),
+        p.total_brams()
+    );
+    println!("BRAM saving:  {:.1} %", p.total_saving_pct());
+
+    // Estimated logic cost of the compression machinery (paper Table X).
+    let overall = estimate(ModuleKind::Overall, n);
+    let dev = Device::XC7Z020;
+    let (lut_pct, reg_pct) = overall.utilization(&dev);
+    println!(
+        "\nlogic cost on {}: {} LUTs ({lut_pct:.0}%), {} registers ({reg_pct:.0}%), Fmax {:.1} MHz",
+        dev.name, overall.luts, overall.registers, overall.fmax_mhz
+    );
+}

@@ -1,0 +1,266 @@
+//! `swc` — sliding-window compression analyzer CLI.
+//!
+//! Answers the practical question a hardware designer brings to this work:
+//! *"for my images, window size and threshold, how many BRAMs does the
+//! modified architecture need, and what does lossy mode cost in quality?"*
+//!
+//! ```text
+//! swc analyze  <image.pgm> --window 16 [--threshold 4] [--policy all]
+//! swc plan     <image.pgm> --window 16 [--threshold 4]
+//! swc sweep    <image.pgm> --window 16
+//! swc scene    <name|index> <out.pgm> [--size 512x512]   # dataset export
+//! ```
+
+use modified_sliding_window::core::analysis::analyze_frame;
+use modified_sliding_window::core::compressed::CompressedSlidingWindow;
+use modified_sliding_window::core::kernels::Tap;
+use modified_sliding_window::image::pgm::{read_pgm, write_pgm};
+use modified_sliding_window::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  swc analyze <image.pgm> --window N [--threshold T] [--policy details|all]
+  swc plan    <image.pgm> --window N [--threshold T]
+  swc sweep   <image.pgm> --window N
+  swc scene   <name|index> <out.pgm> [--size WxH]
+
+The image must be a binary PGM (P5). `swc scene` writes one of the built-in
+synthetic dataset scenes instead of reading an input.";
+
+struct Opts {
+    window: usize,
+    threshold: i16,
+    policy: ThresholdPolicy,
+    size: (usize, usize),
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        window: 0,
+        threshold: 0,
+        policy: ThresholdPolicy::DetailsOnly,
+        size: (512, 512),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--window" => {
+                o.window = next(args, &mut i)?.parse().map_err(|_| "bad --window")?;
+            }
+            "--threshold" => {
+                o.threshold = next(args, &mut i)?.parse().map_err(|_| "bad --threshold")?;
+            }
+            "--policy" => {
+                o.policy = match next(args, &mut i)?.as_str() {
+                    "details" => ThresholdPolicy::DetailsOnly,
+                    "all" => ThresholdPolicy::AllSubbands,
+                    other => return Err(format!("unknown policy '{other}'")),
+                };
+            }
+            "--size" => {
+                let v = next(args, &mut i)?;
+                let (w, h) = v
+                    .split_once('x')
+                    .ok_or_else(|| format!("bad --size '{v}', expected WxH"))?;
+                o.size = (
+                    w.parse().map_err(|_| "bad width")?,
+                    h.parse().map_err(|_| "bad height")?,
+                );
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn next<'a>(args: &'a [String], i: &mut usize) -> Result<&'a String, String> {
+    *i += 1;
+    args.get(*i).ok_or_else(|| "missing option value".into())
+}
+
+fn load(path: &str) -> Result<ImageU8, String> {
+    read_pgm(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "analyze" => {
+            let path = args.get(1).ok_or("missing image path")?;
+            let o = parse_opts(&args[2..])?;
+            require_window(&o)?;
+            analyze(&load(path)?, &o)
+        }
+        "plan" => {
+            let path = args.get(1).ok_or("missing image path")?;
+            let o = parse_opts(&args[2..])?;
+            require_window(&o)?;
+            plan_cmd(&load(path)?, &o)
+        }
+        "sweep" => {
+            let path = args.get(1).ok_or("missing image path")?;
+            let o = parse_opts(&args[2..])?;
+            require_window(&o)?;
+            sweep(&load(path)?, &o)
+        }
+        "scene" => {
+            let which = args.get(1).ok_or("missing scene name or index")?;
+            let out = args.get(2).ok_or("missing output path")?;
+            let o = parse_opts(&args[3..])?;
+            scene(which, out, &o)
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn require_window(o: &Opts) -> Result<(), String> {
+    if o.window < 2 || !o.window.is_multiple_of(2) {
+        return Err("--window must be an even integer >= 2".into());
+    }
+    Ok(())
+}
+
+fn config(img: &ImageU8, o: &Opts) -> Result<ArchConfig, String> {
+    if img.width() <= o.window + 1 {
+        return Err(format!(
+            "image width {} too small for window {}",
+            img.width(),
+            o.window
+        ));
+    }
+    Ok(ArchConfig::new(o.window, img.width())
+        .with_threshold(o.threshold)
+        .with_policy(o.policy))
+}
+
+fn analyze(img: &ImageU8, o: &Opts) -> Result<(), String> {
+    let cfg = config(img, o)?;
+    let a = analyze_frame(img, &cfg);
+    println!(
+        "image {}x{}  window {}  threshold {}",
+        img.width(),
+        img.height(),
+        o.window,
+        o.threshold
+    );
+    println!("payload bits/pixel:   {:.3}", a.bits_per_pixel());
+    let [ll, lh, hl, hh] = a.per_band_payload_bits;
+    let total = a.payload_bits().max(1) as f64;
+    println!(
+        "band shares:          LL {:.0}%  LH {:.0}%  HL {:.0}%  HH {:.0}%",
+        100.0 * ll as f64 / total,
+        100.0 * lh as f64 / total,
+        100.0 * hl as f64 / total,
+        100.0 * hh as f64 / total,
+    );
+    println!("memory saving (Eq 5): {:.1}%", a.saving_pct());
+    println!(
+        "worst-case occupancy: {} bits payload + {} bits mgmt",
+        a.worst_payload_occupancy,
+        a.worst_total_occupancy() - a.worst_payload_occupancy
+    );
+    if o.threshold > 0 {
+        // Lossy quality: run the actual datapath, most-recirculated tap.
+        let mut arch = CompressedSlidingWindow::new(cfg);
+        let out = arch.process_frame(img, &Tap::top_left(o.window));
+        let crop = img.crop(0, 0, out.image.width(), out.image.height());
+        println!(
+            "delivered quality:    MSE {:.2}  PSNR {:.1} dB (compounded, worst window row)",
+            mse(&out.image, &crop),
+            psnr(&out.image, &crop)
+        );
+    }
+    Ok(())
+}
+
+fn plan_cmd(img: &ImageU8, o: &Opts) -> Result<(), String> {
+    let cfg = config(img, o)?;
+    let a = analyze_frame(img, &cfg);
+    let p = plan(
+        o.window,
+        img.width(),
+        a.worst_payload_occupancy,
+        MgmtAccounting::Structured,
+    );
+    let trad = traditional_brams(o.window, img.width());
+    println!("traditional:  {trad} BRAM18");
+    println!(
+        "compressed:   {} packed ({} rows/BRAM) + {} mgmt = {} BRAM18  ({:.0}% saved)",
+        p.packed_brams,
+        p.rows_per_bram,
+        p.mgmt_brams(),
+        p.total_brams(),
+        p.total_saving_pct()
+    );
+    if !p.fits {
+        println!("warning: payload exceeds every row mapping — this frame would overflow");
+    }
+    let logic = estimate(ModuleKind::Overall, o.window);
+    match Device::smallest_fitting(logic.luts, logic.registers, p.total_brams()) {
+        Some(d) => println!(
+            "smallest device: {} ({} LUTs for the compression logic)",
+            d.name, logic.luts
+        ),
+        None => println!("no catalog device fits the compression logic at this window size"),
+    }
+    Ok(())
+}
+
+fn sweep(img: &ImageU8, o: &Opts) -> Result<(), String> {
+    println!("T   saving%   worst payload bits   delivered MSE");
+    for t in [0i16, 2, 4, 6, 8] {
+        let cfg = config(img, o)?.with_threshold(t);
+        let a = analyze_frame(img, &cfg);
+        let e = if t == 0 {
+            0.0
+        } else {
+            let mut arch = CompressedSlidingWindow::new(cfg);
+            let out = arch.process_frame(img, &Tap::top_left(o.window));
+            let crop = img.crop(0, 0, out.image.width(), out.image.height());
+            mse(&out.image, &crop)
+        };
+        println!(
+            "{t:<3} {:>7.1}   {:>18}   {e:>13.2}",
+            a.saving_pct(),
+            a.worst_payload_occupancy
+        );
+    }
+    Ok(())
+}
+
+fn scene(which: &str, out: &str, o: &Opts) -> Result<(), String> {
+    let preset = ScenePreset::ALL
+        .iter()
+        .find(|p| p.name == which)
+        .or_else(|| which.parse::<usize>().ok().and_then(|i| ScenePreset::ALL.get(i)))
+        .ok_or_else(|| {
+            format!(
+                "unknown scene '{which}' (names: {})",
+                ScenePreset::ALL
+                    .iter()
+                    .map(|p| p.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?;
+    let img = preset.render(o.size.0, o.size.1);
+    write_pgm(&img, &PathBuf::from(out)).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {} ({}x{}, scene '{}')", out, o.size.0, o.size.1, preset.name);
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! # Modified Sliding Window — compressed line buffers for FPGA image pipelines
+//!
+//! A complete software reproduction of Qasaimeh, Zambreno & Jones,
+//! *"A Modified Sliding Window Architecture for Efficient BRAM Resource
+//! Utilization"* (IPDPS RAW 2017).
+//!
+//! Sliding-window image operators on FPGAs buffer `N − 1` image rows in
+//! on-chip Block RAM. This crate reproduces the paper's alternative: buffer
+//! the rows *compressed* — integer Haar wavelet decomposition, per-column
+//! minimum-width bit packing with a significance bitmap, and a configurable
+//! threshold for lossless or lossy operation — cutting BRAM usage by
+//! 25–70 % lossless and up to ~84 % lossy, at unchanged 1-pixel-per-clock
+//! throughput.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`wavelet`] — integer Haar (S-transform) and LeGall 5/3 wavelets.
+//! * [`bitstream`] — NBits logic, bit packing/unpacking units, column codec.
+//! * [`fpga`] — BRAM18 model, FIFOs, resource estimator, device catalog.
+//! * [`image`] — image container, metrics, PGM I/O, synthetic scene dataset.
+//! * [`core`] — the architectures (traditional and compressed), analyzer,
+//!   BRAM planner, kernels, pipelines, adaptive threshold control.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use modified_sliding_window::prelude::*;
+//!
+//! // A synthetic "natural" scene (the dataset substitutes MIT Places).
+//! let img = ScenePreset::ALL[0].render(128, 128);
+//!
+//! // Lossless compressed line buffers, 8×8 window.
+//! let cfg = ArchConfig::new(8, img.width());
+//! let mut arch = CompressedSlidingWindow::new(cfg);
+//! let out = arch.process_frame(&img, &GaussianFilter::new(8));
+//!
+//! // Identical output to the raw-buffer architecture...
+//! let mut baseline = TraditionalSlidingWindow::new(cfg);
+//! assert_eq!(out.image, baseline.process_frame(&img, &GaussianFilter::new(8)).image);
+//!
+//! // ...with fewer BRAMs.
+//! let plan = plan(8, img.width(), out.stats.peak_payload_occupancy, MgmtAccounting::Structured);
+//! assert!(plan.total_brams() < traditional_brams(8, img.width()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sw_bitstream as bitstream;
+pub use sw_core as core;
+pub use sw_fpga as fpga;
+pub use sw_image as image;
+pub use sw_wavelet as wavelet;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use sw_core::adaptive::{AdaptiveConfig, AdaptiveThreshold, Adjustment};
+    pub use sw_core::analysis::{analyze_frame, occupancy_trace, FrameAnalysis};
+    pub use sw_core::compressed::{CompressedOutput, CompressedSlidingWindow};
+    pub use sw_core::config::{ArchConfig, NBitsGranularity, ThresholdPolicy};
+    pub use sw_core::color::{ColorCompressedSlidingWindow, ColorOutput};
+    pub use sw_core::kernels::{
+        BoxFilter, CensusTransform, Convolution, Dilate, Erode, GaussianFilter, HarrisResponse,
+        LocalBinaryPattern, MedianFilter, SeparableConv, SobelMagnitude, Tap, TemplateSad,
+        WindowKernel,
+    };
+    pub use sw_core::rtl::RtlCompressedSlidingWindow;
+    pub use sw_core::pipeline::{Buffering, Pipeline, PipelineOutput, Stage};
+    pub use sw_core::planner::{plan, traditional_brams, BramPlan, MgmtAccounting};
+    pub use sw_core::reference::direct_sliding_window;
+    pub use sw_core::stats::summarize;
+    pub use sw_core::traditional::TraditionalSlidingWindow;
+    pub use sw_fpga::device::Device;
+    pub use sw_fpga::resources::{estimate, ModuleKind, ResourceEstimate};
+    pub use sw_image::{dataset, degenerate_suite, mse, psnr, ImageRgb, ImageU8, ScenePreset};
+}

@@ -1,0 +1,67 @@
+//! Dataset freeze pin.
+//!
+//! Every number in EXPERIMENTS.md was measured on the calibrated synthetic
+//! dataset (see the "Dataset caveat" there). This test pins the generator's
+//! output with content hashes so an accidental change to the scene
+//! parameters or noise functions is caught immediately — if you change the
+//! generator *deliberately*, re-run the evaluation binaries, update
+//! EXPERIMENTS.md, and refresh these hashes.
+
+use modified_sliding_window::prelude::*;
+
+/// FNV-1a over the pixel bytes — stable, dependency-free.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn scene_hashes_are_frozen() {
+    // 64×64 renders of every scene: small enough to be fast, content-
+    // complete enough to involve every generator component.
+    let expected: [(&str, u64); 10] = [
+        ("forest_path", 0x20cc6ef57ad39cc6),
+        ("coast", 0x52f792b18907db80),
+        ("mountain", 0x9fcc16011e939710),
+        ("field", 0x6538aebe8a07a650),
+        ("plaza", 0x534a40d704f4145e),
+        ("kitchen", 0x86e77f5ca66a8101),
+        ("office", 0x18b0764f8fb493dc),
+        ("bedroom", 0xbe705a5a353f3703),
+        ("corridor", 0x2091d992e6f23669),
+        ("library", 0x42a6721aa8fc335f),
+    ];
+    for (preset, (name, want)) in ScenePreset::ALL.iter().zip(expected) {
+        assert_eq!(preset.name, name, "scene order changed");
+        let img = preset.render(64, 64);
+        let got = fnv1a(img.pixels());
+        assert_eq!(
+            got, want,
+            "scene '{name}' changed (hash {got:#018x}); if intentional, \
+             re-run the evaluation and update EXPERIMENTS.md + this pin"
+        );
+    }
+}
+
+#[test]
+fn degenerate_suite_hashes_are_frozen() {
+    let suite = degenerate_suite(64, 64);
+    let expected: [u64; 5] = [
+        fnv1a(&[128u8; 64 * 64][..]), // constant, derived not hard-coded
+        0x2f7562abdb81277c,           // uniform_random
+        0x4bc9c32e447f2325,           // checkerboard
+        0x26ab2a1424528325,           // gradient_h
+        0x0b9a87a6108bc965,           // gradient_v
+    ];
+    for ((name, img), want) in suite.iter().zip(expected) {
+        assert_eq!(
+            fnv1a(img.pixels()),
+            want,
+            "degenerate image '{name}' changed"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Integration tests pinning the paper's quantitative claims that are
+//! independent of the evaluation dataset (Tables I, VI–X, formulas) and the
+//! qualitative claims we can assert on the synthetic dataset.
+
+use modified_sliding_window::prelude::*;
+
+#[test]
+fn table1_reproduced_exactly() {
+    // Paper Table I: BRAMs of the traditional architecture.
+    let table: &[(usize, &[(usize, u32)])] = &[
+        (8, &[(512, 8), (1024, 8), (2048, 8), (3840, 16)]),
+        (16, &[(512, 16), (1024, 16), (2048, 16), (3840, 32)]),
+        (32, &[(512, 32), (1024, 32), (2048, 32), (3840, 64)]),
+        (64, &[(512, 64), (1024, 64), (2048, 64), (3840, 128)]),
+        (128, &[(512, 128), (1024, 128), (2048, 128), (3840, 256)]),
+    ];
+    for &(n, row) in table {
+        for &(w, want) in row {
+            assert_eq!(traditional_brams(n, w), want, "N={n}, W={w}");
+        }
+    }
+}
+
+#[test]
+fn tables_6_to_10_anchor_values() {
+    // Resource estimator returns the paper's post-synthesis values at the
+    // published window sizes.
+    let cases: &[(ModuleKind, usize, u32, u32, f64)] = &[
+        (ModuleKind::ForwardIwt, 8, 386, 166, 592.1),
+        (ModuleKind::ForwardIwt, 128, 6146, 2566, 592.1),
+        (ModuleKind::BitPacking, 32, 4047, 801, 538.6),
+        (ModuleKind::BitPacking, 128, 17179, 3712, 538.6),
+        (ModuleKind::BitUnpacking, 8, 2130, 203, 343.1),
+        (ModuleKind::BitUnpacking, 64, 15660, 1637, 343.1),
+        (ModuleKind::InverseIwt, 16, 770, 258, 592.1),
+        (ModuleKind::InverseIwt, 128, 6146, 2108, 592.1),
+        (ModuleKind::Overall, 8, 4994, 1643, 230.3),
+        (ModuleKind::Overall, 64, 35751, 9680, 230.3),
+    ];
+    for &(kind, n, luts, regs, fmax) in cases {
+        let e = estimate(kind, n);
+        assert_eq!(e.luts, luts, "{kind:?} N={n} LUTs");
+        assert_eq!(e.registers, regs, "{kind:?} N={n} registers");
+        assert_eq!(e.fmax_mhz, fmax, "{kind:?} N={n} Fmax");
+    }
+}
+
+#[test]
+fn window_128_exceeds_the_papers_device() {
+    // Table X leaves window 128 blank: "the LUTs exceed this device
+    // resources."
+    let e = estimate(ModuleKind::Overall, 128);
+    assert!(e.luts > Device::XC7Z020.luts);
+}
+
+#[test]
+fn paper_section3_memory_example() {
+    // "for a window of size 120×120, an image of HD resolution (2048×2048),
+    // and 24-bit colored pixels, the required on-chip memory is at least
+    // (2048 − 120) × 120 × 24 bits = 5,422Kb. While FPGAs like the XC7Z020
+    // has a total on-chip memory of 5,018Kb."
+    let bits_per_channel = (2048u64 - 120) * 120 * 8;
+    let total_kb = bits_per_channel * 3 / 1024;
+    assert_eq!(total_kb, 5422); // ≈ the paper's 5,422 Kb
+    assert!(total_kb > Device::XC7Z020.bram_kbits() as u64);
+}
+
+#[test]
+fn throughput_parity_claim() {
+    // "fully pipelined, giving similar performance to the traditional
+    // architecture": both consume exactly one pixel per clock.
+    let img = ScenePreset::ALL[0].render(128, 64);
+    let cfg = ArchConfig::new(8, 128);
+    let mut comp = CompressedSlidingWindow::new(cfg);
+    let mut trad = TraditionalSlidingWindow::new(cfg);
+    let a = comp.process_frame(&img, &BoxFilter::new(8));
+    let b = trad.process_frame(&img, &BoxFilter::new(8));
+    assert_eq!(a.stats.cycles, 128 * 64);
+    assert_eq!(b.stats.cycles, 128 * 64);
+}
+
+#[test]
+fn mse_thresholds_land_in_the_papers_band() {
+    // Paper: thresholds 2, 4, 6 give MSEs of 0.59, 3.2, 4.8. Those are
+    // single-pass numbers; the architecture recirculates each buffered
+    // pixel N−1 times, compounding the error. Assert both regimes: the
+    // single-pass MSE lands near the paper's band, and the compounded MSE
+    // stays within a small multiple of it.
+    use modified_sliding_window::bitstream::apply_threshold;
+    use modified_sliding_window::wavelet::haar2d::{forward_image, inverse_image};
+    use modified_sliding_window::wavelet::SubBand;
+
+    let one_shot = |img: &ImageU8, t: i16| -> f64 {
+        let (w, h) = (img.width(), img.height());
+        let pixels: Vec<i16> = img.pixels().iter().map(|&p| p as i16).collect();
+        let mut planes = forward_image(&pixels, w, h);
+        for band in [SubBand::LH, SubBand::HL, SubBand::HH] {
+            for c in planes.plane_mut(band) {
+                *c = apply_threshold(*c, t);
+            }
+        }
+        let back = inverse_image(&planes);
+        let rec = ImageU8::from_vec(
+            w,
+            h,
+            back.into_iter().map(|v| v.clamp(0, 255) as u8).collect(),
+        );
+        mse(img, &rec)
+    };
+
+    let mut single2 = Vec::new();
+    let mut single6 = Vec::new();
+    let mut comp2 = Vec::new();
+    let mut comp6 = Vec::new();
+    for preset in ScenePreset::ALL.iter().take(4) {
+        let img = preset.render(128, 96);
+        single2.push(one_shot(&img, 2));
+        single6.push(one_shot(&img, 6));
+        let n = 8;
+        for (t, acc) in [(2i16, &mut comp2), (6i16, &mut comp6)] {
+            let cfg = ArchConfig::new(n, 128).with_threshold(t);
+            let mut arch = CompressedSlidingWindow::new(cfg);
+            let out = arch.process_frame(&img, &Tap::top_left(n));
+            let crop = img.crop(0, 0, out.image.width(), out.image.height());
+            acc.push(mse(&out.image, &crop));
+        }
+    }
+    let (s2, s6) = (summarize(&single2).mean, summarize(&single6).mean);
+    let (c2, c6) = (summarize(&comp2).mean, summarize(&comp6).mean);
+    // Single-pass: same band as the paper (0.59 and 4.8 on their images).
+    assert!(s2 < 1.5, "single-pass T=2 MSE {s2:.2} out of band (paper 0.59)");
+    assert!(s6 < 8.0, "single-pass T=6 MSE {s6:.2} out of band (paper 4.8)");
+    assert!(s2 < s6, "T=2 must beat T=6 single-pass");
+    // Compounded: bounded by a small multiple of single-pass.
+    assert!(c2 < s2 * 16.0, "compounded T=2 MSE {c2:.2} vs single {s2:.2}");
+    assert!(c6 < s6 * 16.0, "compounded T=6 MSE {c6:.2} vs single {s6:.2}");
+    assert!(c2 < c6, "T=2 must beat T=6 compounded");
+}
+
+#[test]
+fn figure3_shape_ll_dominates_details() {
+    // Paper Figure 3: the LL sub-band needs roughly twice the memory of
+    // each detail sub-band on natural images (window 64, image 512).
+    let img = ScenePreset::ALL[0].render(512, 128);
+    let cfg = ArchConfig::new(64, 512);
+    let trace = occupancy_trace(&img, &cfg, 0);
+    let peak = trace
+        .iter()
+        .max_by_key(|s| s.per_band_bits.iter().sum::<u64>())
+        .unwrap();
+    let [ll, lh, hl, hh] = peak.per_band_bits;
+    for (name, d) in [("LH", lh), ("HL", hl), ("HH", hh)] {
+        assert!(
+            ll as f64 > 1.5 * d as f64,
+            "LL ({ll}) must dominate {name} ({d})"
+        );
+    }
+}
+
+#[test]
+fn memory_saving_improves_with_resolution() {
+    // Paper Section IV-B: "As image resolution increases so does the memory
+    // efficiency of this algorithm."
+    let preset = &ScenePreset::ALL[2];
+    let mut savings = Vec::new();
+    for res in [128usize, 256, 512] {
+        let img = preset.render(res, res / 2);
+        let cfg = ArchConfig::new(8, res);
+        savings.push(analyze_frame(&img, &cfg).saving_pct());
+    }
+    assert!(
+        savings[2] > savings[0],
+        "saving must grow with resolution: {savings:?}"
+    );
+}

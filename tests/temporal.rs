@@ -1,0 +1,101 @@
+//! Temporal integration tests: the adaptive threshold controller driving
+//! the real architecture over synthetic video (the paper's future work,
+//! exercised end to end).
+
+use modified_sliding_window::image::video::{Fault, Motion, VideoSequence};
+use modified_sliding_window::prelude::*;
+
+const N: usize = 8;
+const W: usize = 128;
+const H: usize = 96;
+
+fn run_sequence(
+    video: &VideoSequence,
+    frames: usize,
+    budget: u64,
+) -> (AdaptiveThreshold, Vec<u64>, usize) {
+    let mut ctl = AdaptiveThreshold::new(
+        AdaptiveConfig {
+            max_threshold: 8,
+            ..AdaptiveConfig::new(budget)
+        },
+        0,
+    );
+    let mut occupancies = Vec::new();
+    let mut overflow_frames = 0;
+    for frame in video.frames(frames) {
+        let cfg = ArchConfig::new(N, W).with_threshold(ctl.threshold());
+        let mut arch = CompressedSlidingWindow::new(cfg).with_capacity_bits(budget);
+        let out = arch.process_frame(&frame, &BoxFilter::new(N));
+        if out.stats.overflow_events > 0 {
+            overflow_frames += 1;
+        }
+        occupancies.push(out.stats.peak_payload_occupancy);
+        ctl.observe(out.stats.peak_payload_occupancy);
+    }
+    (ctl, occupancies, overflow_frames)
+}
+
+fn typical_occupancy(video: &VideoSequence) -> u64 {
+    let cfg = ArchConfig::new(N, W);
+    let mut arch = CompressedSlidingWindow::new(cfg);
+    arch.process_frame(&video.frame(0), &BoxFilter::new(N))
+        .stats
+        .peak_payload_occupancy
+}
+
+#[test]
+fn steady_scene_with_headroom_stays_lossless() {
+    let video = VideoSequence::new(
+        ScenePreset::ALL[1],
+        W,
+        H,
+        Motion::Pan { px_per_frame: 4 },
+        Fault::None,
+    );
+    let budget = typical_occupancy(&video) * 3 / 2;
+    let (ctl, _, overflows) = run_sequence(&video, 12, budget);
+    assert_eq!(ctl.threshold(), 0, "no reason to leave lossless mode");
+    assert_eq!(overflows, 0);
+}
+
+#[test]
+fn noise_burst_forces_raises_then_recovery() {
+    let video = VideoSequence::new(
+        ScenePreset::ALL[1],
+        W,
+        H,
+        Motion::Pan { px_per_frame: 4 },
+        Fault::NoiseBurst { start: 4, end: 7 },
+    );
+    let budget = typical_occupancy(&video) + typical_occupancy(&video) / 8;
+    let (ctl, occupancies, _) = run_sequence(&video, 30, budget);
+    let (raises, lowers) = ctl.adjustments();
+    assert!(raises >= 2, "burst must force threshold raises ({raises})");
+    assert!(lowers >= 1, "controller must relax after the burst ({lowers})");
+    assert!(
+        ctl.threshold() < 8,
+        "threshold must recover from the burst peak"
+    );
+    // After recovery, occupancy sits within budget again.
+    assert!(*occupancies.last().unwrap() <= budget);
+}
+
+#[test]
+fn motion_does_not_destabilize_the_controller() {
+    for motion in [
+        Motion::Still,
+        Motion::Pan { px_per_frame: 8 },
+        Motion::Tilt { px_per_frame: 8 },
+    ] {
+        let video = VideoSequence::new(ScenePreset::ALL[3], W, H, motion, Fault::None);
+        let budget = typical_occupancy(&video) * 5 / 4;
+        let (ctl, _, overflows) = run_sequence(&video, 16, budget);
+        let (raises, _) = ctl.adjustments();
+        assert!(
+            raises <= 1,
+            "{motion:?}: camera motion alone should not trigger raises ({raises})"
+        );
+        assert_eq!(overflows, 0, "{motion:?}");
+    }
+}
