@@ -26,9 +26,8 @@ fn bench_fig13_row(c: &mut Criterion) {
             [0i16, 2, 4, 6]
                 .iter()
                 .map(|&t| {
-                    let analyses =
-                        analyze_dataset(&images, 16, t, ThresholdPolicy::DetailsOnly);
-                    savings_summary(&analyses).mean
+                    let analyses = analyze_dataset(&images, 16, t, ThresholdPolicy::DetailsOnly);
+                    savings_summary(&analyses).expect("non-empty dataset").mean
                 })
                 .sum::<f64>()
         })

@@ -12,6 +12,7 @@ use sw_core::config::ArchConfig;
 use sw_core::kernels::{BoxFilter, Tap};
 use sw_core::traditional::TraditionalSlidingWindow;
 use sw_image::ScenePreset;
+use sw_telemetry::TelemetryHandle;
 
 fn bench_architectures(c: &mut Criterion) {
     let mut group = c.benchmark_group("frame_throughput");
@@ -25,11 +26,15 @@ fn bench_architectures(c: &mut Criterion) {
             let mut arch = TraditionalSlidingWindow::new(cfg);
             b.iter(|| arch.process_frame(img, &kernel).stats.cycles)
         });
-        group.bench_with_input(BenchmarkId::new("compressed_lossless", n), &img, |b, img| {
-            let kernel = Tap::top_left(n);
-            let mut arch = CompressedSlidingWindow::new(cfg);
-            b.iter(|| arch.process_frame(img, &kernel).stats.cycles)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("compressed_lossless", n),
+            &img,
+            |b, img| {
+                let kernel = Tap::top_left(n);
+                let mut arch = CompressedSlidingWindow::new(cfg);
+                b.iter(|| arch.process_frame(img, &kernel).stats.cycles)
+            },
+        );
         group.bench_with_input(BenchmarkId::new("compressed_t4", n), &img, |b, img| {
             let kernel = Tap::top_left(n);
             let mut arch = CompressedSlidingWindow::new(cfg.with_threshold(4));
@@ -55,5 +60,42 @@ fn bench_kernel_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_architectures, bench_kernel_cost);
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // Acceptance check for the observability layer: with telemetry disabled
+    // (the default — every instrument is a no-op) the datapath must run
+    // within ~2 % of a build that never heard of telemetry; the three cases
+    // below make the cost visible. "unbound" is the plain constructor,
+    // "disabled" binds instruments from a disabled handle, "enabled" pays
+    // the full atomic-counter + histogram + trace-ring price.
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(20);
+    let img = ScenePreset::ALL[0].render(256, 256);
+    let cfg = ArchConfig::new(8, img.width()).with_threshold(4);
+    group.throughput(Throughput::Elements((img.width() * img.height()) as u64));
+    group.bench_function("unbound", |b| {
+        let kernel = Tap::top_left(8);
+        let mut arch = CompressedSlidingWindow::new(cfg);
+        b.iter(|| arch.process_frame(&img, &kernel).stats.cycles)
+    });
+    group.bench_function("disabled_handle", |b| {
+        let kernel = Tap::top_left(8);
+        let mut arch =
+            CompressedSlidingWindow::new(cfg).with_telemetry(&TelemetryHandle::disabled());
+        b.iter(|| arch.process_frame(&img, &kernel).stats.cycles)
+    });
+    group.bench_function("enabled_handle", |b| {
+        let kernel = Tap::top_left(8);
+        let tele = TelemetryHandle::new();
+        let mut arch = CompressedSlidingWindow::new(cfg).with_telemetry(&tele);
+        b.iter(|| arch.process_frame(&img, &kernel).stats.cycles)
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_architectures,
+    bench_kernel_cost,
+    bench_telemetry_overhead
+);
 criterion_main!(benches);

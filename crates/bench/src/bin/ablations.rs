@@ -60,12 +60,7 @@ fn levels_ablation(images: &[(String, ImageU8)]) {
                 let (w, h) = (img.width(), img.height());
                 let pixels: Vec<Coeff> = img.pixels().iter().map(|&p| p as Coeff).collect();
                 let pyr = decompose(&pixels, w, h, levels);
-                let mut bits = plane_bits(
-                    &pyr.top_ll,
-                    w >> levels,
-                    h >> levels,
-                    0,
-                );
+                let mut bits = plane_bits(&pyr.top_ll, w >> levels, h >> levels, 0);
                 for d in &pyr.details {
                     bits += plane_bits(&d.lh, d.w, d.h, 0);
                     bits += plane_bits(&d.hl, d.w, d.h, 0);
@@ -74,17 +69,14 @@ fn levels_ablation(images: &[(String, ImageU8)]) {
                 bits as f64 / (w * h * 8) as f64
             })
             .collect();
-        let s = summarize(&ratios);
+        let s = summarize(&ratios).expect("non-empty dataset");
         rows.push(vec![
             levels.to_string(),
             format!("{:.4}", s.mean),
             format!("{:.1}%", (1.0 - s.mean) * 100.0),
         ]);
     }
-    println!(
-        "{}",
-        render(&["levels", "compressed/raw", "saving"], &rows)
-    );
+    println!("{}", render(&["levels", "compressed/raw", "saving"], &rows));
     println!("(paper: extra levels \"did not increase the compression ratio significantly\")\n");
 }
 
@@ -109,7 +101,7 @@ fn wavelet_ablation(images: &[(String, ImageU8)]) {
                 bits as f64 / (w * h * 8) as f64
             })
             .collect();
-        let s = summarize(&ratios);
+        let s = summarize(&ratios).expect("non-empty dataset");
         rows.push(vec![
             name.to_string(),
             format!("{:.4}", s.mean),
@@ -135,12 +127,11 @@ fn granularity_ablation(images: &[(String, ImageU8)]) {
             let savings: Vec<f64> = images
                 .par_iter()
                 .map(|(_, img)| {
-                    let cfg = sw_core::config::ArchConfig::new(n, img.width())
-                        .with_granularity(g);
+                    let cfg = sw_core::config::ArchConfig::new(n, img.width()).with_granularity(g);
                     sw_core::analysis::analyze_frame(img, &cfg).saving_pct()
                 })
                 .collect();
-            let s = summarize(&savings);
+            let s = summarize(&savings).expect("non-empty dataset");
             rows.push(vec![
                 n.to_string(),
                 name.to_string(),
@@ -148,10 +139,7 @@ fn granularity_ablation(images: &[(String, ImageU8)]) {
             ]);
         }
     }
-    println!(
-        "{}",
-        render(&["window", "granularity", "saving %"], &rows)
-    );
+    println!("{}", render(&["window", "granularity", "saving %"], &rows));
     println!("(the paper chose per-column as the streaming-friendly compromise)\n");
 }
 
@@ -164,7 +152,8 @@ fn policy_ablation(images: &[(String, ImageU8)]) {
             ("all sub-bands", ThresholdPolicy::AllSubbands),
         ] {
             let analyses = analyze_dataset(images, 8, t, policy);
-            let s = summarize(&analyses.iter().map(|a| a.saving_pct()).collect::<Vec<_>>());
+            let s = summarize(&analyses.iter().map(|a| a.saving_pct()).collect::<Vec<_>>())
+                .expect("non-empty dataset");
             rows.push(vec![
                 t.to_string(),
                 name.to_string(),
@@ -193,8 +182,10 @@ fn streaming_levels(images: &[(String, ImageU8)]) {
                 (s1, s2)
             })
             .collect();
-        let one = summarize(&results.iter().map(|r| r.0).collect::<Vec<_>>());
-        let two = summarize(&results.iter().map(|r| r.1).collect::<Vec<_>>());
+        let one =
+            summarize(&results.iter().map(|r| r.0).collect::<Vec<_>>()).expect("non-empty dataset");
+        let two =
+            summarize(&results.iter().map(|r| r.1).collect::<Vec<_>>()).expect("non-empty dataset");
         rows.push(vec![
             n.to_string(),
             format!("{:.1} ± {:.1}", one.mean, one.ci90_half_width),

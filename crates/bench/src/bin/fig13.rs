@@ -2,15 +2,19 @@
 //! intervals, versus window size and threshold, at 2048×2048.
 //!
 //! ```text
-//! cargo run --release -p sw-bench --bin fig13 [--quick]
+//! cargo run --release -p sw-bench --bin fig13 [--quick] [--telemetry-out <path>]
 //! ```
 
 use sw_bench::export::{out_dir_from_args, write_csv, write_svg, ChartMeta, Series};
 use sw_bench::table::render;
-use sw_bench::{analyze_dataset, paper, savings_summary, scene_images, Sweep, THRESHOLDS, WINDOWS};
+use sw_bench::{
+    analyze_dataset, paper, savings_summary, scene_images, telemetry_from_args,
+    write_telemetry_report, Sweep, THRESHOLDS, WINDOWS,
+};
 use sw_core::config::ThresholdPolicy;
 
 fn main() {
+    let (tele, tele_path) = telemetry_from_args();
     let sweep = Sweep::from_args();
     let res = sweep.fig13_resolution;
     eprintln!("rendering {} scenes at {res}x{res}...", sweep.scenes);
@@ -36,8 +40,11 @@ fn main() {
         }
         let mut row = vec![n.to_string()];
         for &t in &THRESHOLDS {
+            let _span = tele.span(&format!("fig13.n{n}.t{t}"));
             let analyses = analyze_dataset(&images, n, t, ThresholdPolicy::DetailsOnly);
-            let s = savings_summary(&analyses);
+            let s = savings_summary(&analyses).expect("non-empty dataset");
+            tele.counter("fig13.frames_analyzed")
+                .add(analyses.len() as u64);
             row.push(format!("{:.1} ± {:.1}", s.mean, s.ci90_half_width));
             series[THRESHOLDS.iter().position(|&x| x == t).unwrap()]
                 .points
@@ -51,18 +58,21 @@ fn main() {
         }
         rows.push(row);
     }
-    println!(
-        "{}",
-        render(&["window", "T=0", "T=2", "T=4", "T=6"], &rows)
-    );
+    println!("{}", render(&["window", "T=0", "T=2", "T=4", "T=6"], &rows));
 
     println!(
         "measured lossless saving range: {:.0}–{:.0}%   (paper: {:.0}–{:.0}%)",
-        lossless_range.0, lossless_range.1, paper::FIG13_LOSSLESS_BAND.0, paper::FIG13_LOSSLESS_BAND.1
+        lossless_range.0,
+        lossless_range.1,
+        paper::FIG13_LOSSLESS_BAND.0,
+        paper::FIG13_LOSSLESS_BAND.1
     );
     println!(
         "measured T=6 saving range:      {:.0}–{:.0}%   (paper: {:.0}–{:.0}%)",
-        t6_range.0, t6_range.1, paper::FIG13_T6_BAND.0, paper::FIG13_T6_BAND.1
+        t6_range.0,
+        t6_range.1,
+        paper::FIG13_T6_BAND.0,
+        paper::FIG13_T6_BAND.1
     );
 
     if let Some(dir) = out_dir_from_args() {
@@ -80,5 +90,8 @@ fn main() {
         )
         .expect("write fig13.svg");
         println!("wrote {} and {}", csv.display(), svg.display());
+    }
+    if let Some(path) = tele_path {
+        write_telemetry_report(&tele, &path).expect("write telemetry report");
     }
 }

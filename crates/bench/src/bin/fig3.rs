@@ -22,7 +22,10 @@ fn main() {
     let strip = (res / n) / 2;
     let trace = occupancy_trace(&img, &cfg, strip);
 
-    println!("Figure 3 — buffered bits per sub-band, window {n} @ {res}x{res} (scene: {})\n", ScenePreset::ALL[0].name);
+    println!(
+        "Figure 3 — buffered bits per sub-band, window {n} @ {res}x{res} (scene: {})\n",
+        ScenePreset::ALL[0].name
+    );
     let mut rows = Vec::new();
     for (x, s) in trace.iter().enumerate().step_by(32) {
         let [ll, lh, hl, hh] = s.per_band_bits;
@@ -38,7 +41,14 @@ fn main() {
     println!(
         "{}",
         render(
-            &["position", "LL Kbit", "LH Kbit", "HL Kbit", "HH Kbit", "total Kbit"],
+            &[
+                "position",
+                "LL Kbit",
+                "LH Kbit",
+                "HL Kbit",
+                "HH Kbit",
+                "total Kbit"
+            ],
             &rows
         )
     );
@@ -55,7 +65,10 @@ fn main() {
     let traditional = (cfg.fifo_depth() * n * 8) as f64 / 1024.0;
 
     println!("peaks (Kbit):            measured   paper");
-    println!("  LL                     {ll:>8.1}   ~{:.0}", paper::FIG3_LL_KBITS);
+    println!(
+        "  LL                     {ll:>8.1}   ~{:.0}",
+        paper::FIG3_LL_KBITS
+    );
     println!(
         "  details (LH/HL/HH)     {:>8.1}   ~{:.0} each",
         (lh + hl + hh) / 3.0,
@@ -77,15 +90,13 @@ fn main() {
     // Optional file export (--out <dir>): CSV series + an SVG rendering of
     // the figure.
     if let Some(dir) = out_dir_from_args() {
-        let band = |i: usize| {
-            Series {
-                name: ["LL", "LH", "HL", "HH"][i].to_string(),
-                points: trace
-                    .iter()
-                    .enumerate()
-                    .map(|(x, s)| (x as f64, s.per_band_bits[i] as f64 / 1024.0))
-                    .collect(),
-            }
+        let band = |i: usize| Series {
+            name: ["LL", "LH", "HL", "HH"][i].to_string(),
+            points: trace
+                .iter()
+                .enumerate()
+                .map(|(x, s)| (x as f64, s.per_band_bits[i] as f64 / 1024.0))
+                .collect(),
         };
         let series: Vec<Series> = (0..4).map(band).collect();
         let csv = dir.join("fig3.csv");

@@ -6,12 +6,12 @@
 //! `N − 1` times, so we report both regimes.
 //!
 //! ```text
-//! cargo run --release -p sw-bench --bin mse [--quick]
+//! cargo run --release -p sw-bench --bin mse [--quick] [--telemetry-out <path>]
 //! ```
 
 use rayon::prelude::*;
 use sw_bench::table::render;
-use sw_bench::{paper, scene_images, Sweep};
+use sw_bench::{paper, scene_images, telemetry_from_args, write_telemetry_report, Sweep};
 use sw_bitstream::apply_threshold;
 use sw_core::compressed::CompressedSlidingWindow;
 use sw_core::config::ArchConfig;
@@ -39,16 +39,25 @@ fn one_shot_mse(img: &ImageU8, t: i16) -> f64 {
 }
 
 /// Compounded MSE: the real datapath, measured at the most-recirculated
-/// window position (N − 1 compression trips).
-fn compounded_mse(img: &ImageU8, n: usize, t: i16) -> f64 {
+/// window position (N − 1 compression trips). Datapath activity lands in
+/// `telemetry` under `stage.mse_t<t>.*` (shared across the parallel scenes;
+/// the instruments are atomic).
+fn compounded_mse(
+    img: &ImageU8,
+    n: usize,
+    t: i16,
+    telemetry: &sw_telemetry::TelemetryHandle,
+) -> f64 {
     let cfg = ArchConfig::new(n, img.width()).with_threshold(t);
-    let mut arch = CompressedSlidingWindow::new(cfg);
+    let mut arch =
+        CompressedSlidingWindow::new(cfg).with_named_telemetry(telemetry, &format!("mse_t{t}"));
     let out = arch.process_frame(img, &Tap::top_left(n));
     let crop = img.crop(0, 0, out.image.width(), out.image.height());
     mse(&out.image, &crop)
 }
 
 fn main() {
+    let (tele, tele_path) = telemetry_from_args();
     let sweep = Sweep::from_args();
     let res = if sweep.scenes >= 10 { 512 } else { 256 };
     eprintln!("rendering {} scenes at {res}x{res}...", sweep.scenes);
@@ -61,13 +70,14 @@ fn main() {
     );
     let mut rows = Vec::new();
     for &(t, paper_mse) in &paper::PAPER_MSE {
+        let _span = tele.span(&format!("mse.t{t}"));
         let single: Vec<f64> = images.par_iter().map(|(_, i)| one_shot_mse(i, t)).collect();
         let comp: Vec<f64> = images
             .par_iter()
-            .map(|(_, i)| compounded_mse(i, n, t))
+            .map(|(_, i)| compounded_mse(i, n, t, &tele))
             .collect();
-        let s = summarize(&single);
-        let c = summarize(&comp);
+        let s = summarize(&single).expect("non-empty dataset");
+        let c = summarize(&comp).expect("non-empty dataset");
         rows.push(vec![
             t.to_string(),
             format!("{:.2} ± {:.2}", s.mean, s.ci90_half_width),
@@ -83,4 +93,7 @@ fn main() {
         )
     );
     println!("(paper values are single-pass on MIT Places scenes; ours is a synthetic dataset)");
+    if let Some(path) = tele_path {
+        write_telemetry_report(&tele, &path).expect("write telemetry report");
+    }
 }

@@ -55,8 +55,12 @@ fn compression_ratio(images: &[(String, sw_image::ImageU8)], res: usize) {
             format!("{:.2}x", ours / loco),
         ]);
     }
-    let ours_mean = summarize(&rows.iter().map(|r| r.1).collect::<Vec<_>>()).mean;
-    let loco_mean = summarize(&rows.iter().map(|r| r.2).collect::<Vec<_>>()).mean;
+    let ours_mean = summarize(&rows.iter().map(|r| r.1).collect::<Vec<_>>())
+        .expect("non-empty table")
+        .mean;
+    let loco_mean = summarize(&rows.iter().map(|r| r.2).collect::<Vec<_>>())
+        .expect("non-empty table")
+        .mean;
     table.push(vec![
         "mean".into(),
         format!("{ours_mean:.2}"),
@@ -110,7 +114,10 @@ fn block_buffering(images: &[(String, sw_image::ImageU8)], res: usize) {
     ]);
     println!(
         "{}",
-        render(&["architecture", "18Kb BRAMs", "off-chip reads / window"], &rows)
+        render(
+            &["architecture", "18Kb BRAMs", "off-chip reads / window"],
+            &rows
+        )
     );
     println!(
         "Block buffering can undercut our BRAM count only by paying multiple\n\
@@ -152,7 +159,12 @@ fn segmented(images: &[(String, sw_image::ImageU8)], res: usize) {
     println!(
         "{}",
         render(
-            &["architecture", "18Kb BRAMs", "reads / pixel", "camera streaming"],
+            &[
+                "architecture",
+                "18Kb BRAMs",
+                "reads / pixel",
+                "camera streaming"
+            ],
             &rows
         )
     );

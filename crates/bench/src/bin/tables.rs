@@ -6,29 +6,48 @@
 //! * Tables VI–X — LUT/register/Fmax estimates (calibrated model).
 //!
 //! ```text
-//! cargo run --release -p sw-bench --bin tables [--quick] [table1|table2|...|table10|resources|all]
+//! cargo run --release -p sw-bench --bin tables [--quick] [--telemetry-out <path>] [table1|table2|...|table10|resources|all]
 //! ```
 
 use sw_bench::table::render;
-use sw_bench::{analyze_dataset, paper, scene_images, worst_occupancy, Sweep, THRESHOLDS, WINDOWS};
+use sw_bench::{
+    analyze_dataset, paper, scene_images, telemetry_from_args, worst_occupancy,
+    write_telemetry_report, Sweep, THRESHOLDS, WINDOWS,
+};
 use sw_core::config::ThresholdPolicy;
 use sw_core::planner::{plan, traditional_brams, MgmtAccounting};
 use sw_fpga::device::Device;
 use sw_fpga::resources::{estimate, ModuleKind};
 
 fn main() {
+    let (tele, tele_path) = telemetry_from_args();
     let sweep = Sweep::from_args();
-    let which: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| a != "--quick")
-        .collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--telemetry-out" {
+            skip_next = true;
+            continue;
+        }
+        if a != "--quick" {
+            which.push(a.clone());
+        }
+    }
     let want = |name: &str| {
-        which.is_empty() || which.iter().any(|w| w == name || w == "all")
-            || (name.starts_with("table") && which.iter().any(|w| w == "resources")
+        which.is_empty()
+            || which.iter().any(|w| w == name || w == "all")
+            || (name.starts_with("table")
+                && which.iter().any(|w| w == "resources")
                 && matches!(name, "table6" | "table7" | "table8" | "table9" | "table10"))
     };
 
     if want("table1") {
+        let _span = tele.span("tables.table1");
         table1();
     }
     for (idx, width) in [(2usize, 512usize), (3, 1024), (4, 2048), (5, 3840)] {
@@ -39,6 +58,7 @@ fn main() {
             println!("(skipping table5 / 3840x3840 in --quick mode)\n");
             continue;
         }
+        let _span = tele.span(&format!("tables.table{idx}"));
         packed_table(width, sweep.scenes);
     }
     for (idx, kind) in [
@@ -49,8 +69,12 @@ fn main() {
         (10, ModuleKind::Overall),
     ] {
         if want(&format!("table{idx}")) {
+            let _span = tele.span(&format!("tables.table{idx}"));
             resource_table(idx, kind);
         }
+    }
+    if let Some(path) = tele_path {
+        write_telemetry_report(&tele, &path).expect("write telemetry report");
     }
 }
 

@@ -24,7 +24,7 @@ pub mod paper;
 pub mod runner;
 pub mod table;
 
-pub use runner::{quick_flag, scene_images, Sweep};
+pub use runner::{quick_flag, scene_images, telemetry_from_args, write_telemetry_report, Sweep};
 
 use rayon::prelude::*;
 use sw_core::analysis::{analyze_frame, FrameAnalysis};
@@ -58,7 +58,8 @@ pub fn analyze_dataset(
 }
 
 /// Summary of memory savings across a dataset (the Figure 13 statistic).
-pub fn savings_summary(analyses: &[FrameAnalysis]) -> Summary {
+/// `None` when `analyses` is empty.
+pub fn savings_summary(analyses: &[FrameAnalysis]) -> Option<Summary> {
     let savings: Vec<f64> = analyses.iter().map(|a| a.saving_pct()).collect();
     summarize(&savings)
 }
@@ -92,9 +93,10 @@ mod tests {
     fn savings_summary_aggregates() {
         let images = scene_images(64, 64, 4);
         let analyses = analyze_dataset(&images, 8, 0, ThresholdPolicy::DetailsOnly);
-        let s = savings_summary(&analyses);
+        let s = savings_summary(&analyses).unwrap();
         assert_eq!(s.n, 4);
         assert!(s.min <= s.mean && s.mean <= s.max);
         assert!(worst_occupancy(&analyses) > 0);
+        assert!(savings_summary(&[]).is_none());
     }
 }

@@ -25,38 +25,118 @@ pub struct PackedRow {
 
 /// Table II — resolution 512×512.
 pub const TABLE2: [PackedRow; 5] = [
-    PackedRow { window: 8, packed: [2, 2, 2, 1], mgmt: 2 },
-    PackedRow { window: 16, packed: [4, 4, 2, 2], mgmt: 2 },
-    PackedRow { window: 32, packed: [8, 8, 4, 4], mgmt: 2 },
-    PackedRow { window: 64, packed: [16, 16, 16, 8], mgmt: 3 },
-    PackedRow { window: 128, packed: [32, 32, 32, 16], mgmt: 5 },
+    PackedRow {
+        window: 8,
+        packed: [2, 2, 2, 1],
+        mgmt: 2,
+    },
+    PackedRow {
+        window: 16,
+        packed: [4, 4, 2, 2],
+        mgmt: 2,
+    },
+    PackedRow {
+        window: 32,
+        packed: [8, 8, 4, 4],
+        mgmt: 2,
+    },
+    PackedRow {
+        window: 64,
+        packed: [16, 16, 16, 8],
+        mgmt: 3,
+    },
+    PackedRow {
+        window: 128,
+        packed: [32, 32, 32, 16],
+        mgmt: 5,
+    },
 ];
 
 /// Table III — resolution 1024×1024.
 pub const TABLE3: [PackedRow; 5] = [
-    PackedRow { window: 8, packed: [4, 4, 2, 2], mgmt: 2 },
-    PackedRow { window: 16, packed: [8, 8, 4, 4], mgmt: 2 },
-    PackedRow { window: 32, packed: [16, 16, 8, 8], mgmt: 3 },
-    PackedRow { window: 64, packed: [32, 32, 16, 16], mgmt: 5 },
-    PackedRow { window: 128, packed: [64, 64, 32, 32], mgmt: 9 },
+    PackedRow {
+        window: 8,
+        packed: [4, 4, 2, 2],
+        mgmt: 2,
+    },
+    PackedRow {
+        window: 16,
+        packed: [8, 8, 4, 4],
+        mgmt: 2,
+    },
+    PackedRow {
+        window: 32,
+        packed: [16, 16, 8, 8],
+        mgmt: 3,
+    },
+    PackedRow {
+        window: 64,
+        packed: [32, 32, 16, 16],
+        mgmt: 5,
+    },
+    PackedRow {
+        window: 128,
+        packed: [64, 64, 32, 32],
+        mgmt: 9,
+    },
 ];
 
 /// Table IV — resolution 2048×2048.
 pub const TABLE4: [PackedRow; 5] = [
-    PackedRow { window: 8, packed: [4, 4, 4, 4], mgmt: 2 },
-    PackedRow { window: 16, packed: [8, 8, 8, 8], mgmt: 3 },
-    PackedRow { window: 32, packed: [16, 16, 16, 16], mgmt: 5 },
-    PackedRow { window: 64, packed: [32, 32, 32, 32], mgmt: 9 },
-    PackedRow { window: 128, packed: [64, 64, 64, 64], mgmt: 16 },
+    PackedRow {
+        window: 8,
+        packed: [4, 4, 4, 4],
+        mgmt: 2,
+    },
+    PackedRow {
+        window: 16,
+        packed: [8, 8, 8, 8],
+        mgmt: 3,
+    },
+    PackedRow {
+        window: 32,
+        packed: [16, 16, 16, 16],
+        mgmt: 5,
+    },
+    PackedRow {
+        window: 64,
+        packed: [32, 32, 32, 32],
+        mgmt: 9,
+    },
+    PackedRow {
+        window: 128,
+        packed: [64, 64, 64, 64],
+        mgmt: 16,
+    },
 ];
 
 /// Table V — resolution 3840×3840.
 pub const TABLE5: [PackedRow; 5] = [
-    PackedRow { window: 8, packed: [8, 8, 8, 8], mgmt: 4 },
-    PackedRow { window: 16, packed: [16, 16, 16, 16], mgmt: 6 },
-    PackedRow { window: 32, packed: [32, 32, 32, 32], mgmt: 9 },
-    PackedRow { window: 64, packed: [64, 64, 64, 64], mgmt: 16 },
-    PackedRow { window: 128, packed: [128, 128, 128, 128], mgmt: 28 },
+    PackedRow {
+        window: 8,
+        packed: [8, 8, 8, 8],
+        mgmt: 4,
+    },
+    PackedRow {
+        window: 16,
+        packed: [16, 16, 16, 16],
+        mgmt: 6,
+    },
+    PackedRow {
+        window: 32,
+        packed: [32, 32, 32, 32],
+        mgmt: 9,
+    },
+    PackedRow {
+        window: 64,
+        packed: [64, 64, 64, 64],
+        mgmt: 16,
+    },
+    PackedRow {
+        window: 128,
+        packed: [128, 128, 128, 128],
+        mgmt: 28,
+    },
 ];
 
 /// The paper table for a given width, if published.

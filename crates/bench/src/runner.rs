@@ -1,7 +1,9 @@
 //! Dataset construction and sweep plumbing shared by the binaries.
 
 use rayon::prelude::*;
+use std::path::{Path, PathBuf};
 use sw_image::{ImageU8, ScenePreset};
+use sw_telemetry::TelemetryHandle;
 
 /// Render the first `count` scenes of the dataset at the given resolution,
 /// in parallel. Returns `(name, image)` pairs.
@@ -17,6 +19,31 @@ pub fn scene_images(width: usize, height: usize, count: usize) -> Vec<(String, I
 /// smoke runs / CI).
 pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// Parse `--telemetry-out <path>` from the command line. When present the
+/// returned handle is enabled and the binary should finish with
+/// [`write_telemetry_report`]; otherwise the handle is disabled and every
+/// instrument bound from it is a no-op.
+pub fn telemetry_from_args() -> (TelemetryHandle, Option<PathBuf>) {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--telemetry-out") {
+        Some(i) => {
+            let path = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("--telemetry-out needs a file path"));
+            (TelemetryHandle::new(), Some(PathBuf::from(path)))
+        }
+        None => (TelemetryHandle::disabled(), None),
+    }
+}
+
+/// Write the handle's metrics report as JSON — the same schema that
+/// `swc --metrics-out` emits, so one consumer parses both.
+pub fn write_telemetry_report(telemetry: &TelemetryHandle, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, telemetry.report().to_json())?;
+    eprintln!("wrote telemetry report: {}", path.display());
+    Ok(())
 }
 
 /// A sweep configuration: which resolutions and how many scenes.
@@ -78,6 +105,25 @@ mod tests {
         assert_eq!(imgs.len(), 2);
         assert_eq!(imgs[0].0, "forest_path");
         assert_eq!(imgs[0].1.width(), 32);
+    }
+
+    #[test]
+    fn telemetry_defaults_to_disabled_without_the_flag() {
+        let (tele, path) = telemetry_from_args();
+        assert!(!tele.is_enabled());
+        assert!(path.is_none());
+    }
+
+    #[test]
+    fn telemetry_report_lands_on_disk() {
+        let tele = TelemetryHandle::new();
+        tele.counter("bench.runs").inc();
+        let path = std::env::temp_dir().join(format!("sw_runner_tele_{}.json", std::process::id()));
+        write_telemetry_report(&tele, &path).unwrap();
+        let report =
+            sw_telemetry::Report::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(report.counters["bench.runs"], 1);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`column`] — the column codec tying it all together: encode one sub-band
 //!   column into `(NBits, BitMap, packed payload)` and decode it back. This
 //!   is the unit of work the architecture performs every clock cycle.
+//! * [`telemetry`] — per-codec observability: packed byte/bit counters, the
+//!   NBits width distribution and bitmap density, feeding `sw-telemetry`.
 //!
 //! # Bit order
 //!
@@ -40,6 +42,7 @@ pub mod bitmap;
 pub mod column;
 pub mod nbits;
 pub mod packer;
+pub mod telemetry;
 pub mod unpacker;
 pub mod writer;
 
@@ -47,6 +50,7 @@ pub use bitmap::Bitmap;
 pub use column::{column_cost, decode_column, encode_column, ColumnCost, EncodedColumn};
 pub use nbits::{min_bits, min_bits_column, NBitsCircuit};
 pub use packer::BitPackingUnit;
+pub use telemetry::CodecTelemetry;
 pub use unpacker::BitUnpackingUnit;
 pub use writer::{BitReader, BitWriter};
 

@@ -97,7 +97,11 @@ impl NBitsCircuit {
     pub fn xor_stage(&self, v: Coeff) -> u32 {
         let bits = (v as u16) as u32;
         let sign = (bits >> (self.width - 1)) & 1;
-        let sign_mask = if sign == 1 { (1 << (self.width - 1)) - 1 } else { 0 };
+        let sign_mask = if sign == 1 {
+            (1 << (self.width - 1)) - 1
+        } else {
+            0
+        };
         (bits & ((1 << (self.width - 1)) - 1)) ^ sign_mask
     }
 

@@ -93,7 +93,10 @@ impl BitPackingUnit {
 
     /// New packer with a custom output word width (8 or 16).
     pub fn with_word_bits(threshold: Coeff, word_bits: u32) -> Self {
-        assert!(word_bits == 8 || word_bits == 16, "word width must be 8 or 16");
+        assert!(
+            word_bits == 8 || word_bits == 16,
+            "word width must be 8 or 16"
+        );
         Self {
             threshold,
             word_bits,
@@ -265,7 +268,7 @@ mod tests {
         let (bytes, bitmap) = pack_columns(&[vec![13, 12, -9, 7]], 0);
         assert_eq!(bitmap, vec![true; 4]);
         assert_eq!(bytes.len(), 3); // ceil(20/8)
-        // Decode back with the reference reader to be sure.
+                                    // Decode back with the reference reader to be sure.
         let mut r = crate::writer::BitReader::new(&bytes);
         assert_eq!(r.read_signed(5), Some(13));
         assert_eq!(r.read_signed(5), Some(12));

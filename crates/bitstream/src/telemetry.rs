@@ -1,0 +1,127 @@
+//! Codec-side telemetry: counters and distributions for the bit packing and
+//! unpacking units.
+//!
+//! One [`CodecTelemetry`] bundle covers one codec instance (e.g. one
+//! sub-band's packer). The default bundle is a no-op, so architecture models
+//! embed it unconditionally and the hot encode path stays allocation-free
+//! when telemetry is disabled.
+
+use crate::{EncodedColumn, NBITS_FIELD_BITS};
+use sw_telemetry::{Counter, Histogram, TelemetryHandle};
+
+/// Inclusive bucket bounds for the NBits distribution: one bucket per legal
+/// coefficient width (the 4-bit management field covers 1..=16).
+pub const NBITS_BOUNDS: [u64; 16] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16];
+
+/// Instruments describing what one column codec packed and unpacked.
+#[derive(Debug, Clone, Default)]
+pub struct CodecTelemetry {
+    columns: Counter,
+    payload_bits: Counter,
+    payload_bytes: Counter,
+    mgmt_bits: Counter,
+    significant: Counter,
+    coefficients: Counter,
+    nbits: Histogram,
+    decoded_columns: Counter,
+    decoded_bits: Counter,
+}
+
+impl CodecTelemetry {
+    /// A bundle that records nothing.
+    pub fn noop() -> Self {
+        Self::default()
+    }
+
+    /// Bind to `telemetry` under `<prefix>.packer.*` / `<prefix>.unpacker.*`:
+    ///
+    /// * `<prefix>.packer.columns` — encoded columns
+    /// * `<prefix>.packer.payload_bits` — exact packed payload bits
+    /// * `<prefix>.packer.payload_bytes` — byte-padded payload size
+    /// * `<prefix>.packer.mgmt_bits` — BitMap + NBits management bits
+    /// * `<prefix>.packer.significant` / `.coefficients` — bitmap density
+    /// * `<prefix>.packer.nbits` — histogram of column widths (1..=16)
+    /// * `<prefix>.unpacker.columns` / `.bits` — decode traffic
+    pub fn attach(telemetry: &TelemetryHandle, prefix: &str) -> Self {
+        Self {
+            columns: telemetry.counter(&format!("{prefix}.packer.columns")),
+            payload_bits: telemetry.counter(&format!("{prefix}.packer.payload_bits")),
+            payload_bytes: telemetry.counter(&format!("{prefix}.packer.payload_bytes")),
+            mgmt_bits: telemetry.counter(&format!("{prefix}.packer.mgmt_bits")),
+            significant: telemetry.counter(&format!("{prefix}.packer.significant")),
+            coefficients: telemetry.counter(&format!("{prefix}.packer.coefficients")),
+            nbits: telemetry.histogram(&format!("{prefix}.packer.nbits"), &NBITS_BOUNDS),
+            decoded_columns: telemetry.counter(&format!("{prefix}.unpacker.columns")),
+            decoded_bits: telemetry.counter(&format!("{prefix}.unpacker.bits")),
+        }
+    }
+
+    /// Record one encoded column.
+    #[inline]
+    pub fn record_encoded(&self, col: &EncodedColumn) {
+        self.columns.inc();
+        self.payload_bits.add(col.payload_bits);
+        self.payload_bytes.add(col.payload.len() as u64);
+        self.mgmt_bits
+            .add(col.bitmap.len() as u64 + NBITS_FIELD_BITS as u64);
+        self.significant.add(col.bitmap.count_ones() as u64);
+        self.coefficients.add(col.len() as u64);
+        self.nbits.observe(col.nbits as u64);
+    }
+
+    /// Record one decoded column.
+    #[inline]
+    pub fn record_decoded(&self, col: &EncodedColumn) {
+        self.decoded_columns.inc();
+        self.decoded_bits.add(col.total_bits());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode_column;
+
+    #[test]
+    fn noop_bundle_records_nothing() {
+        let tele = CodecTelemetry::noop();
+        tele.record_encoded(&encode_column(&[1, 2, 3, 4], 0));
+        // No registry backs the bundle; nothing to assert beyond "no panic".
+    }
+
+    #[test]
+    fn encoded_columns_feed_every_series() {
+        let t = TelemetryHandle::new();
+        let tele = CodecTelemetry::attach(&t, "band.hl");
+        // Figure 2 HL column: width 5, all 4 coefficients significant.
+        let col = encode_column(&[13, 12, -9, 7], 0);
+        tele.record_encoded(&col);
+        tele.record_decoded(&col);
+
+        let r = t.report();
+        assert_eq!(r.counters["band.hl.packer.columns"], 1);
+        assert_eq!(r.counters["band.hl.packer.payload_bits"], 20);
+        assert_eq!(r.counters["band.hl.packer.payload_bytes"], 3);
+        assert_eq!(
+            r.counters["band.hl.packer.mgmt_bits"],
+            4 + NBITS_FIELD_BITS as u64
+        );
+        assert_eq!(r.counters["band.hl.packer.significant"], 4);
+        assert_eq!(r.counters["band.hl.packer.coefficients"], 4);
+        let h = &r.histograms["band.hl.packer.nbits"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.max, 5);
+        assert_eq!(r.counters["band.hl.unpacker.columns"], 1);
+        assert_eq!(r.counters["band.hl.unpacker.bits"], col.total_bits());
+    }
+
+    #[test]
+    fn thresholded_column_reports_reduced_density() {
+        let t = TelemetryHandle::new();
+        let tele = CodecTelemetry::attach(&t, "c");
+        tele.record_encoded(&encode_column(&[13, 3, -2, 7], 8));
+        let r = t.report();
+        assert_eq!(r.counters["c.packer.significant"], 1);
+        assert_eq!(r.counters["c.packer.coefficients"], 4);
+    }
+}

@@ -39,7 +39,10 @@ impl BitUnpackingUnit {
 
     /// New unpacker with a custom FIFO word width (8 or 16).
     pub fn with_word_bits(word_bits: u32) -> Self {
-        assert!(word_bits == 8 || word_bits == 16, "word width must be 8 or 16");
+        assert!(
+            word_bits == 8 || word_bits == 16,
+            "word width must be 8 or 16"
+        );
         Self {
             word_bits,
             rem: 0,

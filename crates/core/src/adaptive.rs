@@ -13,6 +13,7 @@
 //! not cause oscillation.
 
 use crate::Coeff;
+use sw_telemetry::{Counter, Gauge, TelemetryHandle, TraceEvent, TraceKind};
 
 /// Controller configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +73,12 @@ pub struct AdaptiveThreshold {
     frames: u64,
     raises: u64,
     lowers: u64,
+    // --- telemetry (no-ops unless `with_telemetry` was called) ---
+    telemetry: TelemetryHandle,
+    g_threshold: Gauge,
+    m_raises: Counter,
+    m_lowers: Counter,
+    m_saturated: Counter,
 }
 
 impl AdaptiveThreshold {
@@ -89,7 +96,26 @@ impl AdaptiveThreshold {
             frames: 0,
             raises: 0,
             lowers: 0,
+            telemetry: TelemetryHandle::disabled(),
+            g_threshold: Gauge::noop(),
+            m_raises: Counter::noop(),
+            m_lowers: Counter::noop(),
+            m_saturated: Counter::noop(),
         }
+    }
+
+    /// Record controller activity into `telemetry` under `adaptive.*`
+    /// (`threshold` gauge, `raises`/`lowers`/`saturated` counters) and emit
+    /// a `threshold_change` trace event per adjustment (stamped with the
+    /// frame number as the cycle).
+    pub fn with_telemetry(mut self, telemetry: &TelemetryHandle) -> Self {
+        self.g_threshold = telemetry.gauge("adaptive.threshold");
+        self.m_raises = telemetry.counter("adaptive.raises");
+        self.m_lowers = telemetry.counter("adaptive.lowers");
+        self.m_saturated = telemetry.counter("adaptive.saturated");
+        self.g_threshold.set(self.threshold.max(0) as u64);
+        self.telemetry = telemetry.clone();
+        self
     }
 
     /// The threshold to use for the next frame.
@@ -117,11 +143,14 @@ impl AdaptiveThreshold {
         // Over budget overrides hysteresis: react immediately.
         if occ > budget * self.cfg.high_water {
             if self.threshold >= self.cfg.max_threshold {
+                self.m_saturated.inc();
                 return Adjustment::SaturatedOverBudget;
             }
             self.threshold += 1;
             self.raises += 1;
             self.cooldown = 2;
+            self.record_change(self.threshold - 1);
+            self.m_raises.inc();
             return Adjustment::Raised;
         }
         if self.cooldown > 0 {
@@ -132,9 +161,22 @@ impl AdaptiveThreshold {
             self.threshold -= 1;
             self.lowers += 1;
             self.cooldown = 2;
+            self.record_change(self.threshold + 1);
+            self.m_lowers.inc();
             return Adjustment::Lowered;
         }
         Adjustment::Held
+    }
+
+    /// Emit the gauge update and trace event for a threshold move.
+    fn record_change(&self, old: Coeff) {
+        self.g_threshold.set(self.threshold.max(0) as u64);
+        self.telemetry.trace(TraceEvent::new(
+            self.frames,
+            TraceKind::ThresholdChange,
+            self.threshold.max(0) as u64,
+            old.max(0) as u64,
+        ));
     }
 }
 
@@ -204,5 +246,24 @@ mod tests {
         c.observe(1); // lower
         assert_eq!(c.adjustments(), (1, 1));
         assert_eq!(c.frames(), 4);
+    }
+
+    #[test]
+    fn telemetry_mirrors_controller_state() {
+        let t = sw_telemetry::TelemetryHandle::new();
+        let mut c = controller(10_000).with_telemetry(&t);
+        c.observe(20_000); // raise
+        c.observe(1); // hold
+        c.observe(1); // hold
+        c.observe(1); // lower
+        let r = t.report();
+        assert_eq!(r.counters["adaptive.raises"], 1);
+        assert_eq!(r.counters["adaptive.lowers"], 1);
+        assert_eq!(r.gauges["adaptive.threshold"], c.threshold() as u64);
+        // Each adjustment left a threshold_change trace event.
+        let mut buf = Vec::new();
+        assert_eq!(t.write_trace_jsonl(&mut buf).unwrap(), 2);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"event\":\"threshold_change\""));
     }
 }

@@ -63,8 +63,7 @@ impl FrameAnalysis {
 
     /// Compressed bits per pixel (payload + management).
     pub fn bits_per_pixel(&self) -> f64 {
-        (self.payload_bits() + self.mgmt_bits) as f64
-            / (self.columns as f64 * self.window as f64)
+        (self.payload_bits() + self.mgmt_bits) as f64 / (self.columns as f64 * self.window as f64)
     }
 
     /// Worst-case total occupancy of the memory unit, management included

@@ -31,11 +31,20 @@ use crate::kernels::WindowKernel;
 use crate::window::ActiveWindow;
 use crate::{Coeff, Pixel};
 use std::collections::VecDeque;
-use sw_bitstream::{decode_column, encode_column, EncodedColumn};
+use sw_bitstream::{decode_column, encode_column, CodecTelemetry, EncodedColumn};
 use sw_fpga::sim::Watermark;
 use sw_image::ImageU8;
+use sw_telemetry::{Counter, Gauge, Histogram, TelemetryHandle, TraceEvent, TraceKind};
 use sw_wavelet::haar2d::{ColumnPairInverse, ColumnPairTransformer, SubbandColumn};
 use sw_wavelet::SubBand;
+
+/// Inclusive histogram bounds splitting `[1, max]` into eighths (deduplicated
+/// for tiny ranges). Shared shape for occupancy histograms.
+pub(crate) fn occupancy_bounds(max: u64) -> Vec<u64> {
+    let mut bounds: Vec<u64> = (1..=8).map(|i| (max * i / 8).max(1)).collect();
+    bounds.dedup();
+    bounds
+}
 
 /// One compressed column pair in flight through the memory unit.
 #[derive(Debug, Clone)]
@@ -111,6 +120,17 @@ pub struct CompressedSlidingWindow {
     overflow_events: usize,
     entering: Vec<Pixel>,
     evicted: Vec<Pixel>,
+    // --- telemetry (no-ops unless `with_telemetry` was called) ---
+    telemetry: TelemetryHandle,
+    m_cycles: Counter,
+    m_window_shifts: Counter,
+    m_iwt_pairs: Counter,
+    m_unpack_pairs: Counter,
+    m_overflow: Counter,
+    m_threshold: Gauge,
+    occ_hist: Histogram,
+    occ_gauge: Gauge,
+    codec: CodecTelemetry,
 }
 
 impl CompressedSlidingWindow {
@@ -141,6 +161,16 @@ impl CompressedSlidingWindow {
             overflow_events: 0,
             entering: vec![0; n],
             evicted: vec![0; n],
+            telemetry: TelemetryHandle::disabled(),
+            m_cycles: Counter::noop(),
+            m_window_shifts: Counter::noop(),
+            m_iwt_pairs: Counter::noop(),
+            m_unpack_pairs: Counter::noop(),
+            m_overflow: Counter::noop(),
+            m_threshold: Gauge::noop(),
+            occ_hist: Histogram::noop(),
+            occ_gauge: Gauge::noop(),
+            codec: CodecTelemetry::noop(),
         }
     }
 
@@ -150,6 +180,36 @@ impl CompressedSlidingWindow {
     /// frames" limitation).
     pub fn with_capacity_bits(mut self, bits: u64) -> Self {
         self.capacity_bits = Some(bits);
+        self
+    }
+
+    /// Bind instruments to `telemetry` under the default stage name
+    /// `compressed`.
+    pub fn with_telemetry(self, telemetry: &TelemetryHandle) -> Self {
+        self.with_named_telemetry(telemetry, "compressed")
+    }
+
+    /// Bind instruments to `telemetry` under `stage.<name>.*` (per-stage
+    /// cycles, shifts, IWT pairs, unpack pairs, overflow events, threshold,
+    /// codec traffic) and `fifo.<name>.*` (memory-unit occupancy histogram
+    /// and high-water mark, in bits).
+    pub fn with_named_telemetry(mut self, telemetry: &TelemetryHandle, name: &str) -> Self {
+        let raw_bits =
+            self.cfg.fifo_depth() as u64 * self.cfg.window as u64 * self.cfg.pixel_bits as u64;
+        self.m_cycles = telemetry.counter(&format!("stage.{name}.cycles"));
+        self.m_window_shifts = telemetry.counter(&format!("stage.{name}.window_shifts"));
+        self.m_iwt_pairs = telemetry.counter(&format!("stage.{name}.iwt_pairs"));
+        self.m_unpack_pairs = telemetry.counter(&format!("stage.{name}.unpack_pairs"));
+        self.m_overflow = telemetry.counter(&format!("stage.{name}.overflow_events"));
+        self.m_threshold = telemetry.gauge(&format!("stage.{name}.threshold"));
+        self.m_threshold.set(self.cfg.threshold.max(0) as u64);
+        self.occ_hist = telemetry.histogram(
+            &format!("fifo.{name}.occupancy_bits"),
+            &occupancy_bounds(raw_bits.max(1)),
+        );
+        self.occ_gauge = telemetry.gauge(&format!("fifo.{name}.high_water_bits"));
+        self.codec = CodecTelemetry::attach(telemetry, &format!("stage.{name}"));
+        self.telemetry = telemetry.clone();
         self
     }
 
@@ -177,6 +237,12 @@ impl CompressedSlidingWindow {
         let mut out = ImageU8::filled(w - n + 1, h - n + 1, 0);
         let mut coeff_col: Vec<Coeff> = vec![0; n];
         let mut cycle: u64 = 0;
+        self.telemetry.trace(TraceEvent::new(
+            0,
+            TraceKind::FrameStart,
+            w as u64,
+            h as u64,
+        ));
 
         for r in 0..h {
             let row = img.row(r);
@@ -216,6 +282,11 @@ impl CompressedSlidingWindow {
             }
         }
 
+        self.m_cycles.add(cycle);
+        self.m_window_shifts.add(cycle); // one shift per input pixel
+        self.telemetry
+            .trace(TraceEvent::new(cycle, TraceKind::FrameEnd, cycle, 0));
+
         let stats = CompressedFrameStats {
             cycles: cycle,
             payload_bits_total: self.per_band_bits.iter().sum(),
@@ -223,9 +294,7 @@ impl CompressedSlidingWindow {
             peak_payload_occupancy: self.occupancy_watermark.max(),
             peak_total_occupancy: self.occupancy_watermark.max() + self.cfg.management_bits(),
             management_bits: self.cfg.management_bits(),
-            raw_buffer_bits: self.cfg.fifo_depth() as u64
-                * n as u64
-                * self.cfg.pixel_bits as u64,
+            raw_buffer_bits: self.cfg.fifo_depth() as u64 * n as u64 * self.cfg.pixel_bits as u64,
             overflow_events: self.overflow_events,
         };
         CompressedOutput { image: out, stats }
@@ -240,8 +309,7 @@ impl CompressedSlidingWindow {
             if band.is_detail() {
                 // The configured datapath width saturates detail
                 // coefficients (LL fits any mode: it stays in pixel range).
-                let clamped: Vec<Coeff> =
-                    half.iter().map(|&c| mode.clamp_detail(c)).collect();
+                let clamped: Vec<Coeff> = half.iter().map(|&c| mode.clamp_detail(c)).collect();
                 encode_column(&clamped, t_band)
             } else {
                 encode_column(half, t_band)
@@ -256,15 +324,37 @@ impl CompressedSlidingWindow {
         for (i, e) in encoded.iter().enumerate() {
             self.per_band_bits[i] += e.payload_bits;
         }
-        let entry = PairEntry { first_exit, encoded };
+        self.m_iwt_pairs.inc();
+        for e in &encoded {
+            self.codec.record_encoded(e);
+        }
+        let entry = PairEntry {
+            first_exit,
+            encoded,
+        };
         let bits = entry.payload_bits();
         if let Some(cap) = self.capacity_bits {
             if self.payload_occupancy + bits > cap {
                 self.overflow_events += 1;
+                self.m_overflow.inc();
+                self.telemetry.trace(TraceEvent::new(
+                    first_exit,
+                    TraceKind::Overflow,
+                    self.payload_occupancy + bits,
+                    cap,
+                ));
             }
         }
         self.payload_occupancy += bits;
         self.occupancy_watermark.observe(self.payload_occupancy);
+        self.occ_hist.observe(self.payload_occupancy);
+        self.occ_gauge.observe_max(self.payload_occupancy);
+        self.telemetry.trace(TraceEvent::new(
+            first_exit,
+            TraceKind::Pack,
+            bits,
+            self.payload_occupancy,
+        ));
         self.queue.push_back(entry);
     }
 
@@ -276,6 +366,12 @@ impl CompressedSlidingWindow {
             // The front pair is fully consumed: retire it.
             let entry = self.queue.pop_front().expect("front pair exists");
             self.payload_occupancy -= entry.payload_bits();
+            self.telemetry.trace(TraceEvent::new(
+                tag,
+                TraceKind::FifoPop,
+                self.payload_occupancy,
+                entry.payload_bits(),
+            ));
             return Some(col);
         }
         let front = self.queue.front_mut()?;
@@ -290,6 +386,16 @@ impl CompressedSlidingWindow {
         }
         // Bit-unpack + inverse IWT.
         let n = self.cfg.window;
+        self.m_unpack_pairs.inc();
+        for e in &front.encoded {
+            self.codec.record_decoded(e);
+        }
+        self.telemetry.trace(TraceEvent::new(
+            tag,
+            TraceKind::Unpack,
+            front.encoded.iter().map(|e| e.payload_bits).sum(),
+            0,
+        ));
         let ll = decode_column(&front.encoded[0]);
         let lh = decode_column(&front.encoded[1]);
         let hl = decode_column(&front.encoded[2]);
@@ -489,6 +595,56 @@ mod tests {
         let (bits_a, mse_a) = run(ThresholdPolicy::AllSubbands);
         assert!(bits_a <= bits_d, "thresholding LL can only shrink payload");
         assert!(mse_a >= mse_d, "thresholding LL can only hurt quality");
+    }
+
+    #[test]
+    fn telemetry_reports_stage_and_fifo_series() {
+        let img = test_image(32, 20);
+        let t = sw_telemetry::TelemetryHandle::new();
+        let cfg = ArchConfig::new(4, 32).with_threshold(2);
+        let mut comp = CompressedSlidingWindow::new(cfg).with_named_telemetry(&t, "s0");
+        let out = comp.process_frame(&img, &BoxFilter::new(4));
+
+        let r = t.report();
+        assert_eq!(r.counters["stage.s0.cycles"], out.stats.cycles);
+        assert_eq!(r.counters["stage.s0.window_shifts"], 32 * 20);
+        assert!(r.counters["stage.s0.iwt_pairs"] > 0);
+        assert_eq!(
+            r.counters["stage.s0.iwt_pairs"],
+            r.counters["stage.s0.packer.columns"] / 4,
+            "four sub-band columns per pair"
+        );
+        assert_eq!(
+            r.counters["stage.s0.packer.payload_bits"], out.stats.payload_bits_total,
+            "codec telemetry must agree with frame stats"
+        );
+        assert_eq!(r.gauges["stage.s0.threshold"], 2);
+        assert_eq!(
+            r.gauges["fifo.s0.high_water_bits"], out.stats.peak_payload_occupancy,
+            "telemetry high-water must equal the stats watermark"
+        );
+        assert!(r.histograms["fifo.s0.occupancy_bits"].count > 0);
+        // The trace saw frame boundaries and pack events.
+        assert!(t.trace_len() > 2);
+        let mut buf = Vec::new();
+        t.write_trace_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"event\":\"frame_start\""));
+        assert!(text.contains("\"event\":\"pack\""));
+        assert!(text.contains("\"event\":\"unpack\""));
+    }
+
+    #[test]
+    fn telemetry_disabled_changes_nothing() {
+        let img = test_image(32, 20);
+        let cfg = ArchConfig::new(4, 32).with_threshold(2);
+        let mut plain = CompressedSlidingWindow::new(cfg);
+        let mut wired = CompressedSlidingWindow::new(cfg)
+            .with_telemetry(&sw_telemetry::TelemetryHandle::disabled());
+        let a = plain.process_frame(&img, &BoxFilter::new(4));
+        let b = wired.process_frame(&img, &BoxFilter::new(4));
+        assert_eq!(a.image, b.image);
+        assert_eq!(a.stats, b.stats);
     }
 
     #[test]

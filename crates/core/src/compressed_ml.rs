@@ -287,9 +287,7 @@ impl TwoLevelCompressedSlidingWindow {
 
         // Level-1 inverse for (c0, c1) and (c2, c3).
         let mut raws = Vec::with_capacity(4);
-        for (ll1, lh_idx, hl_idx, hh_idx) in
-            [(ll1_c0, 0usize, 1, 2), (ll1_c2, 3, 4, 5)]
-        {
+        for (ll1, lh_idx, hl_idx, hh_idx) in [(ll1_c0, 0usize, 1, 2), (ll1_c2, 3, 4, 5)] {
             let even1 = SubbandColumn {
                 bands: (SubBand::LL, SubBand::LH),
                 coeffs: ll1
@@ -390,8 +388,14 @@ mod tests {
         let mut one = CompressedSlidingWindow::new(cfg);
         let mut two = TwoLevelCompressedSlidingWindow::new(cfg);
         let kernel = BoxFilter::new(8);
-        let p1 = one.process_frame(&img, &kernel).stats.peak_payload_occupancy;
-        let p2 = two.process_frame(&img, &kernel).stats.peak_payload_occupancy;
+        let p1 = one
+            .process_frame(&img, &kernel)
+            .stats
+            .peak_payload_occupancy;
+        let p2 = two
+            .process_frame(&img, &kernel)
+            .stats
+            .peak_payload_occupancy;
         assert!(
             (p2 as f64) < (p1 as f64) * 0.9,
             "two-level {p2} should beat single-level {p1} by >10%"

@@ -105,7 +105,10 @@ impl ArchConfig {
     ///
     /// Panics unless `window` is even, ≥ 2, and `width > window`.
     pub fn new(window: usize, width: usize) -> Self {
-        assert!(window >= 2 && window.is_multiple_of(2), "window must be even and >= 2");
+        assert!(
+            window >= 2 && window.is_multiple_of(2),
+            "window must be even and >= 2"
+        );
         assert!(width > window, "image width must exceed the window size");
         Self {
             window,

@@ -204,7 +204,11 @@ mod tests {
             .map(|i| {
                 let (x, y) = (i % 8, i / 8);
                 let d2 = (x - 3i32).pow(2) + (y - 3i32).pow(2);
-                if d2 <= 4 { 220 } else { 40 }
+                if d2 <= 4 {
+                    220
+                } else {
+                    40
+                }
             })
             .collect();
         let w = window_from_patch(8, &blob);

@@ -35,10 +35,7 @@ impl WindowKernel for SobelMagnitude {
     fn apply(&self, win: &WindowView<'_>) -> u8 {
         let c = self.center();
         let p = |dr: isize, dc: isize| {
-            win.get(
-                (c as isize + dr) as usize,
-                (c as isize + dc) as usize,
-            ) as i32
+            win.get((c as isize + dr) as usize, (c as isize + dc) as usize) as i32
         };
         let gx = -p(-1, -1) - 2 * p(0, -1) - p(1, -1) + p(-1, 1) + 2 * p(0, 1) + p(1, 1);
         let gy = -p(-1, -1) - 2 * p(-1, 0) - p(-1, 1) + p(1, -1) + 2 * p(1, 0) + p(1, 1);
@@ -121,9 +118,7 @@ mod tests {
     #[test]
     fn sobel_responds_to_vertical_edge() {
         // Left half dark, right half bright.
-        let patch: Vec<u8> = (0..16)
-            .map(|i| if i % 4 < 2 { 0 } else { 200 })
-            .collect();
+        let patch: Vec<u8> = (0..16).map(|i| if i % 4 < 2 { 0 } else { 200 }).collect();
         let w = window_from_patch(4, &patch);
         assert!(SobelMagnitude::new(4).apply(&w.view()) > 100);
     }

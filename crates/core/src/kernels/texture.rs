@@ -99,10 +99,7 @@ impl WindowKernel for LocalBinaryPattern {
         ];
         let mut code = 0u8;
         for (bit, (dr, dc)) in offsets.into_iter().enumerate() {
-            let v = win.get(
-                (c as isize + dr) as usize,
-                (c as isize + dc) as usize,
-            );
+            let v = win.get((c as isize + dr) as usize, (c as isize + dc) as usize);
             if v >= center {
                 code |= 1 << bit;
             }
@@ -130,9 +127,7 @@ mod tests {
     fn census_detects_bright_above() {
         // Rows above center bright, below dark: the three top ring samples
         // (bits 0..=2) fire.
-        let patch: Vec<u8> = (0..64)
-            .map(|i| if i / 8 < 4 { 200 } else { 20 })
-            .collect();
+        let patch: Vec<u8> = (0..64).map(|i| if i / 8 < 4 { 200 } else { 20 }).collect();
         let w = window_from_patch(8, &patch);
         let sig = CensusTransform::new(8).apply(&w.view());
         assert_eq!(sig & 0b0000_0111, 0b0000_0111, "top samples set: {sig:08b}");

@@ -125,10 +125,9 @@ pub fn plan(
 
     let depth = (width - window) as u32;
     let (nbits_brams, bitmap_brams) = match accounting {
-        MgmtAccounting::Structured => (
-            best_config(8, depth).1,
-            best_config(window as u32, depth).1,
-        ),
+        MgmtAccounting::Structured => {
+            (best_config(8, depth).1, best_config(window as u32, depth).1)
+        }
         MgmtAccounting::PureCapacity => (
             brams_for_bits(8 * depth as u64),
             brams_for_bits(window as u64 * depth as u64),

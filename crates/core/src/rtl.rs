@@ -207,8 +207,7 @@ impl RtlCompressedSlidingWindow {
             let coeffs = &col.coeffs[idx * half..(idx + 1) * half];
             // Hardware computes NBits combinationally over the thresholded
             // column (the NBits circuit sees post-threshold values).
-            let thresholded: Vec<Coeff> =
-                coeffs.iter().map(|&c| apply_threshold(c, t)).collect();
+            let thresholded: Vec<Coeff> = coeffs.iter().map(|&c| apply_threshold(c, t)).collect();
             let width = min_bits_significant(&thresholded, 0).max(
                 // The gate-level circuit agrees; evaluate it to keep the
                 // model honest (debug builds assert equality).
@@ -227,7 +226,9 @@ impl RtlCompressedSlidingWindow {
                     .push_bits(outp.bitmap_bit as u32, 1)
                     .expect("unbounded");
                 for word in outp.words {
-                    self.pixel_fifo.push_bits(word as u32, 8).expect("unbounded");
+                    self.pixel_fifo
+                        .push_bits(word as u32, 8)
+                        .expect("unbounded");
                     self.wen_words += 1;
                 }
             }
@@ -267,11 +268,8 @@ impl RtlCompressedSlidingWindow {
                             Some(v) => break v,
                             None => {
                                 if self.pixel_fifo.len_bits() >= 8 {
-                                    let word = self
-                                        .pixel_fifo
-                                        .pop_bits(8)
-                                        .expect("checked above")
-                                        as u8;
+                                    let word =
+                                        self.pixel_fifo.pop_bits(8).expect("checked above") as u8;
                                     self.unpacker.feed_word(word);
                                 } else {
                                     // Bypass path: the bits we need are
@@ -279,17 +277,12 @@ impl RtlCompressedSlidingWindow {
                                     // Yout_Current (sparsely coded stretch).
                                     let avail = self.pixel_fifo.len_bits() as u32;
                                     if avail > 0 {
-                                        let bits = self
-                                            .pixel_fifo
-                                            .pop_bits(avail)
-                                            .expect("checked above");
+                                        let bits =
+                                            self.pixel_fifo.pop_bits(avail).expect("checked above");
                                         self.unpacker.feed_bits(bits, avail);
                                     }
                                     let (bits, count) = self.packer.drain_staged();
-                                    assert!(
-                                        count > 0,
-                                        "Pixel FIFO underrun with empty packer"
-                                    );
+                                    assert!(count > 0, "Pixel FIFO underrun with empty packer");
                                     self.unpacker.feed_bits(bits, count);
                                 }
                             }

@@ -26,9 +26,9 @@ pub struct Summary {
 /// (df = 1..=30); larger samples fall back to the normal 1.645.
 fn t_crit_90(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796, 1.782,
-        1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711,
-        1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796, 1.782, 1.771,
+        1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706,
+        1.703, 1.701, 1.699, 1.697,
     ];
     if df == 0 {
         f64::INFINITY
@@ -39,13 +39,13 @@ fn t_crit_90(df: usize) -> f64 {
     }
 }
 
-/// Summarize a sample.
-///
-/// # Panics
-///
-/// Panics on an empty sample.
-pub fn summarize(samples: &[f64]) -> Summary {
-    assert!(!samples.is_empty(), "cannot summarize an empty sample");
+/// Summarize a sample. Returns `None` for an empty sample — there is no
+/// meaningful mean to report, and the evaluation binaries would previously
+/// panic deep inside a sweep when a filter left zero frames.
+pub fn summarize(samples: &[f64]) -> Option<Summary> {
+    if samples.is_empty() {
+        return None;
+    }
     let n = samples.len();
     let mean = samples.iter().sum::<f64>() / n as f64;
     let var = if n > 1 {
@@ -61,14 +61,14 @@ pub fn summarize(samples: &[f64]) -> Summary {
     };
     let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
     let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    Summary {
+    Some(Summary {
         n,
         mean,
         std_dev,
         ci90_half_width: half,
         min,
         max,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -77,7 +77,7 @@ mod tests {
 
     #[test]
     fn constant_sample_has_zero_spread() {
-        let s = summarize(&[5.0; 10]);
+        let s = summarize(&[5.0; 10]).unwrap();
         assert_eq!(s.mean, 5.0);
         assert_eq!(s.std_dev, 0.0);
         assert_eq!(s.ci90_half_width, 0.0);
@@ -88,7 +88,7 @@ mod tests {
     fn known_sample_statistics() {
         // Sample 1..=10: mean 5.5, sd = sqrt(82.5/9) ≈ 3.0277.
         let data: Vec<f64> = (1..=10).map(|i| i as f64).collect();
-        let s = summarize(&data);
+        let s = summarize(&data).unwrap();
         assert_eq!(s.n, 10);
         assert!((s.mean - 5.5).abs() < 1e-12);
         assert!((s.std_dev - 3.02765).abs() < 1e-4);
@@ -98,23 +98,25 @@ mod tests {
 
     #[test]
     fn single_observation_has_zero_interval() {
-        let s = summarize(&[42.0]);
+        let s = summarize(&[42.0]).unwrap();
+        assert_eq!(s.n, 1);
         assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_dev, 0.0);
         assert_eq!(s.ci90_half_width, 0.0);
+        assert_eq!((s.min, s.max), (42.0, 42.0));
     }
 
     #[test]
     fn large_samples_use_normal_quantile() {
         let data: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
-        let s = summarize(&data);
+        let s = summarize(&data).unwrap();
         // t→z: the half-width should use 1.645.
         let manual = 1.645 * s.std_dev / 10.0;
         assert!((s.ci90_half_width - manual).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn empty_sample_panics() {
-        summarize(&[]);
+    fn empty_sample_yields_none() {
+        assert_eq!(summarize(&[]), None);
     }
 }

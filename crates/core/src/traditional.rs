@@ -7,12 +7,14 @@
 //! window is fully inside the image, and a frame is fully processed after
 //! exactly `H × W` clock cycles (one input pixel per clock).
 
+use crate::compressed::occupancy_bounds;
 use crate::config::ArchConfig;
 use crate::kernels::WindowKernel;
 use crate::window::ActiveWindow;
 use crate::Pixel;
 use std::collections::VecDeque;
 use sw_image::ImageU8;
+use sw_telemetry::{Counter, Gauge, Histogram, TelemetryHandle, TraceEvent, TraceKind};
 
 /// Statistics of one processed frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +46,14 @@ pub struct TraditionalSlidingWindow {
     fifos: Vec<VecDeque<Pixel>>,
     entering: Vec<Pixel>,
     evicted: Vec<Pixel>,
+    /// Pixels currently in the line buffers (all FIFOs combined).
+    buffered_pixels: u64,
+    // --- telemetry (no-ops unless `with_telemetry` was called) ---
+    telemetry: TelemetryHandle,
+    m_cycles: Counter,
+    m_window_shifts: Counter,
+    occ_hist: Histogram,
+    occ_gauge: Gauge,
 }
 
 impl TraditionalSlidingWindow {
@@ -57,7 +67,34 @@ impl TraditionalSlidingWindow {
             fifos: vec![VecDeque::with_capacity(cfg.fifo_depth()); n - 1],
             entering: vec![0; n],
             evicted: vec![0; n],
+            buffered_pixels: 0,
+            telemetry: TelemetryHandle::disabled(),
+            m_cycles: Counter::noop(),
+            m_window_shifts: Counter::noop(),
+            occ_hist: Histogram::noop(),
+            occ_gauge: Gauge::noop(),
         }
+    }
+
+    /// Bind instruments to `telemetry` under the default stage name
+    /// `traditional`.
+    pub fn with_telemetry(self, telemetry: &TelemetryHandle) -> Self {
+        self.with_named_telemetry(telemetry, "traditional")
+    }
+
+    /// Bind instruments to `telemetry` under `stage.<name>.*` (cycles,
+    /// window shifts) and `fifo.<name>.*` (line-buffer occupancy histogram
+    /// and high-water mark, in bits).
+    pub fn with_named_telemetry(mut self, telemetry: &TelemetryHandle, name: &str) -> Self {
+        self.m_cycles = telemetry.counter(&format!("stage.{name}.cycles"));
+        self.m_window_shifts = telemetry.counter(&format!("stage.{name}.window_shifts"));
+        self.occ_hist = telemetry.histogram(
+            &format!("fifo.{name}.occupancy_bits"),
+            &occupancy_bounds(self.cfg.traditional_buffer_bits().max(1)),
+        );
+        self.occ_gauge = telemetry.gauge(&format!("fifo.{name}.high_water_bits"));
+        self.telemetry = telemetry.clone();
+        self
     }
 
     /// The architecture's configuration.
@@ -85,6 +122,13 @@ impl TraditionalSlidingWindow {
         let delay = self.cfg.fifo_depth(); // W − N cycles inside the FIFOs
         let mut out = ImageU8::filled(w - n + 1, h - n + 1, 0);
         let mut cycles = 0u64;
+        let pixel_bits = self.cfg.pixel_bits as u64;
+        self.telemetry.trace(TraceEvent::new(
+            0,
+            TraceKind::FrameStart,
+            w as u64,
+            h as u64,
+        ));
 
         for r in 0..h {
             let row = img.row(r);
@@ -92,6 +136,7 @@ impl TraditionalSlidingWindow {
                 // (1) FIFO reads: the entering column's top n−1 pixels.
                 for (k, fifo) in self.fifos.iter_mut().enumerate() {
                     self.entering[k] = if fifo.len() >= delay {
+                        self.buffered_pixels -= 1;
                         fifo.pop_front().expect("non-empty by length check")
                     } else {
                         0 // fill phase: registers power up as zero
@@ -105,6 +150,10 @@ impl TraditionalSlidingWindow {
                 for (k, fifo) in self.fifos.iter_mut().enumerate() {
                     fifo.push_back(self.evicted[k + 1]);
                 }
+                self.buffered_pixels += self.fifos.len() as u64;
+                self.occ_hist.observe(self.buffered_pixels * pixel_bits);
+                self.occ_gauge
+                    .observe_max(self.buffered_pixels * pixel_bits);
                 // (5) Kernel output once the window is fully interior.
                 if r + 1 >= n && c + 1 >= n {
                     out.set(c + 1 - n, r + 1 - n, kernel.apply(&self.window.view()));
@@ -112,6 +161,11 @@ impl TraditionalSlidingWindow {
                 cycles += 1;
             }
         }
+
+        self.m_cycles.add(cycles);
+        self.m_window_shifts.add(cycles); // one shift per input pixel
+        self.telemetry
+            .trace(TraceEvent::new(cycles, TraceKind::FrameEnd, cycles, 0));
 
         TraditionalOutput {
             image: out,
@@ -128,6 +182,7 @@ impl TraditionalSlidingWindow {
         for f in &mut self.fifos {
             f.clear();
         }
+        self.buffered_pixels = 0;
     }
 }
 
@@ -196,6 +251,23 @@ mod tests {
         let second = arch.process_frame(&b, &kernel);
         assert_eq!(second.image, direct_sliding_window(&b, &kernel));
         assert_eq!(first.image, direct_sliding_window(&a, &kernel));
+    }
+
+    #[test]
+    fn telemetry_high_water_matches_steady_state_occupancy() {
+        let t = sw_telemetry::TelemetryHandle::new();
+        let img = test_image(24, 16);
+        let cfg = ArchConfig::new(4, 24);
+        let mut arch = TraditionalSlidingWindow::new(cfg).with_named_telemetry(&t, "base");
+        let out = arch.process_frame(&img, &BoxFilter::new(4));
+        let r = t.report();
+        assert_eq!(r.counters["stage.base.cycles"], out.stats.cycles);
+        // Steady state fills every FIFO: occupancy equals buffer_bits.
+        assert_eq!(r.gauges["fifo.base.high_water_bits"], out.stats.buffer_bits);
+        assert_eq!(
+            r.histograms["fifo.base.occupancy_bits"].count,
+            out.stats.cycles
+        );
     }
 
     #[test]

@@ -114,7 +114,10 @@ impl<'a> WindowView<'a> {
     /// Panics (debug) on out-of-range coordinates.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> Pixel {
-        assert!(row < self.win.n && col < self.win.n, "window coordinates out of range");
+        assert!(
+            row < self.win.n && col < self.win.n,
+            "window coordinates out of range"
+        );
         self.win.get(row, col)
     }
 

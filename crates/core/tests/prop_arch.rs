@@ -4,10 +4,10 @@
 use proptest::prelude::*;
 use sw_core::compressed::CompressedSlidingWindow;
 use sw_core::compressed_ml::TwoLevelCompressedSlidingWindow;
-use sw_core::rtl::RtlCompressedSlidingWindow;
 use sw_core::config::{ArchConfig, ThresholdPolicy};
 use sw_core::kernels::{BoxFilter, Tap};
 use sw_core::reference::direct_sliding_window;
+use sw_core::rtl::RtlCompressedSlidingWindow;
 use sw_core::traditional::TraditionalSlidingWindow;
 use sw_image::ImageU8;
 

@@ -27,27 +27,38 @@ pub struct Bram18Config {
 
 impl Bram18Config {
     /// `16k × 1` (no parity).
-    pub const X1: Self = Self { depth: 16384, width: 1 };
+    pub const X1: Self = Self {
+        depth: 16384,
+        width: 1,
+    };
     /// `8k × 2` (no parity).
-    pub const X2: Self = Self { depth: 8192, width: 2 };
+    pub const X2: Self = Self {
+        depth: 8192,
+        width: 2,
+    };
     /// `4k × 4` (no parity).
-    pub const X4: Self = Self { depth: 4096, width: 4 };
+    pub const X4: Self = Self {
+        depth: 4096,
+        width: 4,
+    };
     /// `2k × 9` — the paper's pixel and NBits configuration.
-    pub const X9: Self = Self { depth: 2048, width: 9 };
+    pub const X9: Self = Self {
+        depth: 2048,
+        width: 9,
+    };
     /// `1k × 18`.
-    pub const X18: Self = Self { depth: 1024, width: 18 };
+    pub const X18: Self = Self {
+        depth: 1024,
+        width: 18,
+    };
     /// `512 × 36`.
-    pub const X36: Self = Self { depth: 512, width: 36 };
+    pub const X36: Self = Self {
+        depth: 512,
+        width: 36,
+    };
 
     /// All aspect ratios, narrowest first.
-    pub const ALL: [Self; 6] = [
-        Self::X1,
-        Self::X2,
-        Self::X4,
-        Self::X9,
-        Self::X18,
-        Self::X36,
-    ];
+    pub const ALL: [Self; 6] = [Self::X1, Self::X2, Self::X4, Self::X9, Self::X18, Self::X36];
 
     /// Usable capacity of this configuration in bits.
     #[inline]

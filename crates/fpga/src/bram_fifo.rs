@@ -11,6 +11,7 @@
 use crate::bram::{Bram18, Bram18Config};
 use crate::fifo::FifoError;
 use crate::sim::Watermark;
+use sw_telemetry::{Counter, Gauge, Histogram, TelemetryHandle};
 
 /// A word FIFO stored in cascaded 18 Kb BRAMs.
 #[derive(Debug, Clone)]
@@ -25,6 +26,11 @@ pub struct BramFifo {
     tail: u32,
     len: u32,
     watermark: Watermark,
+    // Telemetry instruments — no-ops unless `attach_telemetry` was called.
+    occupancy_hist: Histogram,
+    high_water_gauge: Gauge,
+    pushes: Counter,
+    pops: Counter,
 }
 
 impl BramFifo {
@@ -45,7 +51,24 @@ impl BramFifo {
             tail: 0,
             len: 0,
             watermark: Watermark::new(),
+            occupancy_hist: Histogram::noop(),
+            high_water_gauge: Gauge::noop(),
+            pushes: Counter::noop(),
+            pops: Counter::noop(),
         }
+    }
+
+    /// Bind this FIFO's instruments to `telemetry` under
+    /// `fifo.<name>.{occupancy,high_water,pushes,pops}`. The occupancy
+    /// histogram buckets occupancy into eighths of the FIFO's capacity.
+    pub fn attach_telemetry(&mut self, telemetry: &TelemetryHandle, name: &str) {
+        self.occupancy_hist = telemetry.histogram(
+            &format!("fifo.{name}.occupancy"),
+            &occupancy_bounds(self.depth),
+        );
+        self.high_water_gauge = telemetry.gauge(&format!("fifo.{name}.high_water"));
+        self.pushes = telemetry.counter(&format!("fifo.{name}.pushes"));
+        self.pops = telemetry.counter(&format!("fifo.{name}.pops"));
     }
 
     /// Number of BRAM18s the cascade uses.
@@ -90,6 +113,9 @@ impl BramFifo {
         self.head = (self.head + 1) % self.depth;
         self.len += 1;
         self.watermark.observe(self.len as u64);
+        self.pushes.inc();
+        self.occupancy_hist.observe(self.len as u64);
+        self.high_water_gauge.observe_max(self.len as u64);
         Ok(())
     }
 
@@ -103,6 +129,7 @@ impl BramFifo {
         let word = self.brams[bram].read(addr);
         self.tail = (self.tail + 1) % self.depth;
         self.len -= 1;
+        self.pops.inc();
         Ok(word)
     }
 
@@ -113,6 +140,15 @@ impl BramFifo {
         self.tail = 0;
         self.len = 0;
     }
+}
+
+/// Inclusive histogram bounds splitting `[1, depth]` into eighths of the
+/// FIFO's capacity (deduplicated for tiny FIFOs).
+fn occupancy_bounds(depth: u32) -> Vec<u64> {
+    let depth = depth as u64;
+    let mut bounds: Vec<u64> = (1..=8).map(|i| (depth * i / 8).max(1)).collect();
+    bounds.dedup();
+    bounds
 }
 
 #[cfg(test)]
@@ -152,10 +188,7 @@ mod tests {
         for i in 0..512 {
             fifo.push(i).unwrap();
         }
-        assert!(matches!(
-            fifo.push(0),
-            Err(FifoError::Overflow { .. })
-        ));
+        assert!(matches!(fifo.push(0), Err(FifoError::Overflow { .. })));
         for _ in 0..512 {
             fifo.pop().unwrap();
         }
@@ -182,6 +215,35 @@ mod tests {
             assert_eq!(hw.len() as usize, sw.len());
         }
         assert_eq!(hw.high_watermark(), sw.high_watermark());
+    }
+
+    #[test]
+    fn attached_telemetry_tracks_traffic_and_occupancy() {
+        let t = sw_telemetry::TelemetryHandle::new();
+        let mut fifo = BramFifo::new(Bram18Config::X9, 8);
+        fifo.attach_telemetry(&t, "lh");
+        for i in 0..100u64 {
+            fifo.push(i % 512).unwrap();
+            if i % 2 == 1 {
+                fifo.pop().unwrap();
+            }
+        }
+        let r = t.report();
+        assert_eq!(r.counters["fifo.lh.pushes"], 100);
+        assert_eq!(r.counters["fifo.lh.pops"], 50);
+        assert_eq!(r.gauges["fifo.lh.high_water"], fifo.high_watermark());
+        assert_eq!(r.histograms["fifo.lh.occupancy"].count, 100);
+        assert_eq!(r.histograms["fifo.lh.occupancy"].max, fifo.high_watermark());
+    }
+
+    #[test]
+    fn occupancy_bounds_are_strictly_increasing() {
+        for depth in [1u32, 2, 7, 8, 2048, 4096] {
+            let b = occupancy_bounds(depth);
+            assert!(!b.is_empty());
+            assert!(b.windows(2).all(|w| w[0] < w[1]), "depth {depth}: {b:?}");
+            assert_eq!(*b.last().unwrap(), u64::from(depth).max(1));
+        }
     }
 
     #[test]

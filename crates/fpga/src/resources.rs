@@ -135,7 +135,10 @@ fn interp_anchors(values: &[f64], n: usize) -> f64 {
     } else if x >= xs[xs.len() - 1] {
         xs.len() - 2
     } else {
-        xs.iter().rposition(|&xi| xi <= x).unwrap().min(xs.len() - 2)
+        xs.iter()
+            .rposition(|&xi| xi <= x)
+            .unwrap()
+            .min(xs.len() - 2)
     };
     let t = (x - xs[seg]) / (xs[seg + 1] - xs[seg]);
     (ys[seg] + t * (ys[seg + 1] - ys[seg])).exp()
@@ -180,13 +183,9 @@ pub fn estimate(kind: ModuleKind, window: usize) -> ResourceEstimate {
         ModuleKind::BitUnpacking,
         ModuleKind::InverseIwt,
     ];
-    let sum =
-        |f: &dyn Fn(ResourceEstimate) -> u32, w: usize| -> f64 {
-            components
-                .iter()
-                .map(|&k| f(estimate(k, w)) as f64)
-                .sum()
-        };
+    let sum = |f: &dyn Fn(ResourceEstimate) -> u32, w: usize| -> f64 {
+        components.iter().map(|&k| f(estimate(k, w)) as f64).sum()
+    };
     let lut_overhead = OVERALL_LUTS[3] / sum(&|e| e.luts, 64);
     let reg_overhead = OVERALL_REGS[3] / sum(&|e| e.registers, 64);
     ResourceEstimate {
@@ -271,7 +270,10 @@ mod tests {
             let structural = structural_iwt_luts(w);
             let calibrated = estimate(ModuleKind::ForwardIwt, w).luts;
             let diff = structural.abs_diff(calibrated);
-            assert!(diff <= 2, "window {w}: structural {structural} vs {calibrated}");
+            assert!(
+                diff <= 2,
+                "window {w}: structural {structural} vs {calibrated}"
+            );
         }
     }
 

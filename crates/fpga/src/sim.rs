@@ -5,6 +5,8 @@
 //! counters, maximum-value watermarks, and bounded traces for debugging and
 //! for regenerating the paper's Figure 3 occupancy curve.
 
+use sw_telemetry::{Gauge, Histogram};
+
 /// A monotonically increasing cycle counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CycleCounter {
@@ -33,6 +35,11 @@ impl CycleCounter {
     #[inline]
     pub fn now(&self) -> u64 {
         self.cycle
+    }
+
+    /// Mirror the current cycle into a telemetry gauge.
+    pub fn export_to(&self, gauge: &Gauge) {
+        gauge.set(self.cycle);
     }
 }
 
@@ -66,18 +73,32 @@ impl Watermark {
     pub fn reset(&mut self) {
         self.max = 0;
     }
+
+    /// Raise a telemetry gauge to this watermark's maximum (high-water-mark
+    /// semantics: the gauge only ever grows).
+    pub fn export_to(&self, gauge: &Gauge) {
+        gauge.observe_max(self.max);
+    }
 }
 
 /// A bounded trace: keeps every `stride`-th sample up to a maximum count,
 /// recording `(cycle, value)` pairs. Used to export occupancy curves
 /// (paper Figure 3) without unbounded memory.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     samples: Vec<(u64, u64)>,
     stride: u64,
     counter: u64,
     max_samples: usize,
     dropped: u64,
+}
+
+impl Default for Trace {
+    /// Every observation, up to 4096 samples — enough resolution for a
+    /// per-row occupancy curve at the paper's widest image.
+    fn default() -> Self {
+        Self::new(1, 4096)
+    }
 }
 
 impl Trace {
@@ -122,6 +143,13 @@ impl Trace {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Replay the recorded sample values into a telemetry histogram.
+    pub fn export_to(&self, histogram: &Histogram) {
+        for &(_, v) in &self.samples {
+            histogram.observe(v);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +191,42 @@ mod tests {
     #[should_panic(expected = "stride")]
     fn zero_stride_rejected() {
         Trace::new(0, 1);
+    }
+
+    #[test]
+    fn default_constructions_match_new() {
+        assert_eq!(CycleCounter::default(), CycleCounter::new());
+        assert_eq!(Watermark::default(), Watermark::new());
+        let mut tr = Trace::default();
+        tr.observe(0, 5);
+        assert_eq!(tr.samples(), &[(0, 5)]);
+    }
+
+    #[test]
+    fn primitives_export_to_telemetry() {
+        let t = sw_telemetry::TelemetryHandle::new();
+
+        let mut c = CycleCounter::new();
+        c.advance(42);
+        c.export_to(&t.gauge("sim.cycles"));
+
+        let mut w = Watermark::new();
+        w.observe(7);
+        w.observe(3);
+        w.export_to(&t.gauge("sim.high_water"));
+        // A later, lower watermark must not shrink the gauge.
+        Watermark::new().export_to(&t.gauge("sim.high_water"));
+
+        let mut tr = Trace::new(1, 16);
+        for v in [10u64, 20, 300] {
+            tr.observe(0, v);
+        }
+        tr.export_to(&t.histogram("sim.occupancy", &[64, 256]));
+
+        let r = t.report();
+        assert_eq!(r.gauges["sim.cycles"], 42);
+        assert_eq!(r.gauges["sim.high_water"], 7);
+        assert_eq!(r.histograms["sim.occupancy"].count, 3);
+        assert_eq!(r.histograms["sim.occupancy"].counts, vec![2, 0, 1]);
     }
 }

@@ -122,7 +122,10 @@ impl ImageU8 {
     ///
     /// Panics if the region leaves the image.
     pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> ImageU8 {
-        assert!(x0 + w <= self.width && y0 + h <= self.height, "crop out of bounds");
+        assert!(
+            x0 + w <= self.width && y0 + h <= self.height,
+            "crop out of bounds"
+        );
         let mut data = Vec::with_capacity(w * h);
         for y in y0..y0 + h {
             data.extend_from_slice(&self.data[y * self.width + x0..y * self.width + x0 + w]);
@@ -133,7 +136,9 @@ impl ImageU8 {
     /// The column at `x` as a fresh vector (top to bottom).
     pub fn column(&self, x: usize) -> Vec<u8> {
         assert!(x < self.width, "column out of bounds");
-        (0..self.height).map(|y| self.data[y * self.width + x]).collect()
+        (0..self.height)
+            .map(|y| self.data[y * self.width + x])
+            .collect()
     }
 }
 

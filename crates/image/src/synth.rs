@@ -75,21 +75,154 @@ impl ScenePreset {
     /// The 10-scene dataset (5 outdoor + 5 indoor, like the paper's mix of
     /// "indoor and outdoor scenes").
     pub const ALL: [ScenePreset; 10] = [
-        ScenePreset { name: "forest_path", kind: SceneKind::Outdoor, seed: 0xA1CE_0001, persistence: 0.55, octaves: 7, base_cells: 3.0, rects: 0, contrast: 0.82, brightness: 8.0, texture_amp: 12.0, texture_density: 0.4, micro_amp: 2.0 },
-        ScenePreset { name: "coast", kind: SceneKind::Outdoor, seed: 0xA1CE_0002, persistence: 0.45, octaves: 6, base_cells: 2.0, rects: 0, contrast: 0.75, brightness: 40.0, texture_amp: 0.0, texture_density: 0.0, micro_amp: 0.0 },
-        ScenePreset { name: "mountain", kind: SceneKind::Outdoor, seed: 0xA1CE_0003, persistence: 0.60, octaves: 7, base_cells: 3.0, rects: 0, contrast: 0.90, brightness: 5.0, texture_amp: 8.0, texture_density: 0.2, micro_amp: 0.0 },
-        ScenePreset { name: "field", kind: SceneKind::Outdoor, seed: 0xA1CE_0004, persistence: 0.42, octaves: 6, base_cells: 2.5, rects: 0, contrast: 0.70, brightness: 55.0, texture_amp: 5.0, texture_density: 0.15, micro_amp: 0.0 },
-        ScenePreset { name: "plaza", kind: SceneKind::Outdoor, seed: 0xA1CE_0005, persistence: 0.50, octaves: 6, base_cells: 4.0, rects: 3, contrast: 0.80, brightness: 25.0, texture_amp: 6.0, texture_density: 0.15, micro_amp: 0.0 },
-        ScenePreset { name: "kitchen", kind: SceneKind::Indoor, seed: 0xA1CE_0006, persistence: 0.48, octaves: 6, base_cells: 3.0, rects: 9, contrast: 0.78, brightness: 30.0, texture_amp: 10.0, texture_density: 0.3, micro_amp: 2.0 },
-        ScenePreset { name: "office", kind: SceneKind::Indoor, seed: 0xA1CE_0007, persistence: 0.45, octaves: 6, base_cells: 3.5, rects: 12, contrast: 0.72, brightness: 45.0, texture_amp: 6.0, texture_density: 0.2, micro_amp: 0.0 },
-        ScenePreset { name: "bedroom", kind: SceneKind::Indoor, seed: 0xA1CE_0008, persistence: 0.52, octaves: 6, base_cells: 2.5, rects: 7, contrast: 0.68, brightness: 35.0, texture_amp: 4.0, texture_density: 0.15, micro_amp: 0.0 },
-        ScenePreset { name: "corridor", kind: SceneKind::Indoor, seed: 0xA1CE_0009, persistence: 0.40, octaves: 5, base_cells: 3.0, rects: 6, contrast: 0.85, brightness: 15.0, texture_amp: 0.0, texture_density: 0.0, micro_amp: 0.0 },
-        ScenePreset { name: "library", kind: SceneKind::Indoor, seed: 0xA1CE_000A, persistence: 0.58, octaves: 7, base_cells: 4.0, rects: 14, contrast: 0.80, brightness: 20.0, texture_amp: 15.0, texture_density: 0.72, micro_amp: 1.0 },
+        ScenePreset {
+            name: "forest_path",
+            kind: SceneKind::Outdoor,
+            seed: 0xA1CE_0001,
+            persistence: 0.55,
+            octaves: 7,
+            base_cells: 3.0,
+            rects: 0,
+            contrast: 0.82,
+            brightness: 8.0,
+            texture_amp: 12.0,
+            texture_density: 0.4,
+            micro_amp: 2.0,
+        },
+        ScenePreset {
+            name: "coast",
+            kind: SceneKind::Outdoor,
+            seed: 0xA1CE_0002,
+            persistence: 0.45,
+            octaves: 6,
+            base_cells: 2.0,
+            rects: 0,
+            contrast: 0.75,
+            brightness: 40.0,
+            texture_amp: 0.0,
+            texture_density: 0.0,
+            micro_amp: 0.0,
+        },
+        ScenePreset {
+            name: "mountain",
+            kind: SceneKind::Outdoor,
+            seed: 0xA1CE_0003,
+            persistence: 0.60,
+            octaves: 7,
+            base_cells: 3.0,
+            rects: 0,
+            contrast: 0.90,
+            brightness: 5.0,
+            texture_amp: 8.0,
+            texture_density: 0.2,
+            micro_amp: 0.0,
+        },
+        ScenePreset {
+            name: "field",
+            kind: SceneKind::Outdoor,
+            seed: 0xA1CE_0004,
+            persistence: 0.42,
+            octaves: 6,
+            base_cells: 2.5,
+            rects: 0,
+            contrast: 0.70,
+            brightness: 55.0,
+            texture_amp: 5.0,
+            texture_density: 0.15,
+            micro_amp: 0.0,
+        },
+        ScenePreset {
+            name: "plaza",
+            kind: SceneKind::Outdoor,
+            seed: 0xA1CE_0005,
+            persistence: 0.50,
+            octaves: 6,
+            base_cells: 4.0,
+            rects: 3,
+            contrast: 0.80,
+            brightness: 25.0,
+            texture_amp: 6.0,
+            texture_density: 0.15,
+            micro_amp: 0.0,
+        },
+        ScenePreset {
+            name: "kitchen",
+            kind: SceneKind::Indoor,
+            seed: 0xA1CE_0006,
+            persistence: 0.48,
+            octaves: 6,
+            base_cells: 3.0,
+            rects: 9,
+            contrast: 0.78,
+            brightness: 30.0,
+            texture_amp: 10.0,
+            texture_density: 0.3,
+            micro_amp: 2.0,
+        },
+        ScenePreset {
+            name: "office",
+            kind: SceneKind::Indoor,
+            seed: 0xA1CE_0007,
+            persistence: 0.45,
+            octaves: 6,
+            base_cells: 3.5,
+            rects: 12,
+            contrast: 0.72,
+            brightness: 45.0,
+            texture_amp: 6.0,
+            texture_density: 0.2,
+            micro_amp: 0.0,
+        },
+        ScenePreset {
+            name: "bedroom",
+            kind: SceneKind::Indoor,
+            seed: 0xA1CE_0008,
+            persistence: 0.52,
+            octaves: 6,
+            base_cells: 2.5,
+            rects: 7,
+            contrast: 0.68,
+            brightness: 35.0,
+            texture_amp: 4.0,
+            texture_density: 0.15,
+            micro_amp: 0.0,
+        },
+        ScenePreset {
+            name: "corridor",
+            kind: SceneKind::Indoor,
+            seed: 0xA1CE_0009,
+            persistence: 0.40,
+            octaves: 5,
+            base_cells: 3.0,
+            rects: 6,
+            contrast: 0.85,
+            brightness: 15.0,
+            texture_amp: 0.0,
+            texture_density: 0.0,
+            micro_amp: 0.0,
+        },
+        ScenePreset {
+            name: "library",
+            kind: SceneKind::Indoor,
+            seed: 0xA1CE_000A,
+            persistence: 0.58,
+            octaves: 7,
+            base_cells: 4.0,
+            rects: 14,
+            contrast: 0.80,
+            brightness: 20.0,
+            texture_amp: 15.0,
+            texture_density: 0.72,
+            micro_amp: 1.0,
+        },
     ];
 
     /// Render the scene at the requested resolution.
     pub fn render(&self, width: usize, height: usize) -> ImageU8 {
-        assert!(width >= 8 && height >= 8, "scene too small to be meaningful");
+        assert!(
+            width >= 8 && height >= 8,
+            "scene too small to be meaningful"
+        );
         let mut field = vec![0f64; width * height];
 
         // Multi-octave value noise in world coordinates [0, base_cells).
@@ -97,7 +230,9 @@ impl ScenePreset {
         let mut total_amp = 0.0;
         let mut freq = self.base_cells;
         for octave in 0..self.octaves {
-            let oct_seed = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(octave as u64 + 1));
+            let oct_seed = self
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(octave as u64 + 1));
             for y in 0..height {
                 let fy = y as f64 / height as f64 * freq;
                 for x in 0..width {
@@ -140,13 +275,12 @@ impl ScenePreset {
             // compresses better — the paper's resolution trend holds.
             let sx = (x as f64 * SPECKLE_CELLS / width as f64) as i64;
             let sy = (y as f64 * SPECKLE_CELLS / height as f64) as i64;
-            let speckle = if self.texture_amp > 0.0
-                && hash2(speckle_gate, sx, sy) < self.texture_density
-            {
-                (hash2(speckle_val, sx, sy) - 0.5) * 2.0 * self.texture_amp
-            } else {
-                0.0
-            };
+            let speckle =
+                if self.texture_amp > 0.0 && hash2(speckle_gate, sx, sy) < self.texture_density {
+                    (hash2(speckle_val, sx, sy) - 0.5) * 2.0 * self.texture_amp
+                } else {
+                    0.0
+                };
             // Resolution-independent micro-texture (triangular noise).
             let micro = if self.micro_amp > 0.0 {
                 (hash2(micro_seed, x as i64, y as i64)
@@ -179,7 +313,10 @@ impl ScenePreset {
     /// Axis-aligned rectangles with sharp edges (indoor structure).
     fn overlay_rects(&self, field: &mut [f64], width: usize, height: usize) {
         for i in 0..self.rects {
-            let s = self.seed.wrapping_add(0xBEEF).wrapping_mul(i as u64 * 2 + 3);
+            let s = self
+                .seed
+                .wrapping_add(0xBEEF)
+                .wrapping_mul(i as u64 * 2 + 3);
             let cx = hash1(s, 1);
             let cy = hash1(s, 2);
             let rw = 0.05 + 0.25 * hash1(s, 3);
@@ -252,8 +389,7 @@ fn splitmix(mut z: u64) -> u64 {
 
 /// Uniform float in [0, 1) from a seed and one index.
 fn hash1(seed: u64, idx: u64) -> f64 {
-    (splitmix(seed ^ idx.wrapping_mul(0xD6E8_FEB8_6659_FD93)) >> 11) as f64
-        / (1u64 << 53) as f64
+    (splitmix(seed ^ idx.wrapping_mul(0xD6E8_FEB8_6659_FD93)) >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// Uniform float in [0, 1) from a seed and two lattice coordinates.
@@ -357,7 +493,13 @@ mod tests {
         let names: Vec<_> = suite.iter().map(|(n, _)| *n).collect();
         assert_eq!(
             names,
-            vec!["constant", "uniform_random", "checkerboard", "gradient_h", "gradient_v"]
+            vec![
+                "constant",
+                "uniform_random",
+                "checkerboard",
+                "gradient_h",
+                "gradient_v"
+            ]
         );
         let constant = &suite[0].1;
         assert!(constant.pixels().iter().all(|&p| p == 128));

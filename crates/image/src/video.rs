@@ -162,13 +162,13 @@ mod tests {
 
     #[test]
     fn noise_burst_injects_incompressible_frames() {
-        let v = seq(
-            Motion::Still,
-            Fault::NoiseBurst { start: 2, end: 3 },
-        );
+        let v = seq(Motion::Still, Fault::NoiseBurst { start: 2, end: 3 });
         let clean = v.frame(1);
         let noisy = v.frame(2);
-        assert!(mse(&clean, &noisy) > 1000.0, "burst frame must differ wildly");
+        assert!(
+            mse(&clean, &noisy) > 1000.0,
+            "burst frame must differ wildly"
+        );
         // Different burst frames use different noise.
         assert_ne!(v.frame(2), v.frame(3));
         // After the burst, the scene returns.

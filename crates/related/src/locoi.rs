@@ -259,9 +259,7 @@ mod tests {
 
     fn natural(w: usize, h: usize) -> ImageU8 {
         ImageU8::from_fn(w, h, |x, y| {
-            let s = 120.0
-                + 70.0 * ((x as f64) * 0.05).sin()
-                + 40.0 * ((y as f64) * 0.07).cos();
+            let s = 120.0 + 70.0 * ((x as f64) * 0.05).sin() + 40.0 * ((y as f64) * 0.07).cos();
             s.clamp(0.0, 255.0) as u8
         })
     }

@@ -111,8 +111,7 @@ impl SegmentedPlan {
             } else {
                 // Edge remainder narrower than the architecture minimum:
                 // fall back to direct computation for the last columns.
-                let sub =
-                    sw_core::reference::direct_sliding_window(&segment, kernel);
+                let sub = sw_core::reference::direct_sliding_window(&segment, kernel);
                 for y in 0..sub.height() {
                     for x in 0..sub.width() {
                         out.set(x0 + x, y, sub.get(x, y));

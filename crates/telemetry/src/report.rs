@@ -1,0 +1,347 @@
+//! Point-in-time metric snapshots and their export formats.
+
+use crate::json::{self, write_escaped, Json, JsonError};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Snapshot of one histogram's buckets and aggregates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bucket bounds (strictly increasing).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one entry per bound plus a final overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, if any observations were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+/// A point-in-time snapshot of every metric in a registry, exportable as a
+/// human-readable table, JSON (round-trippable), or Prometheus text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Report {
+    /// Whether the report holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serialize as a single JSON document:
+    ///
+    /// ```json
+    /// {"version":1,
+    ///  "counters":{"name":123},
+    ///  "gauges":{"name":45},
+    ///  "histograms":{"name":{"bounds":[..],"counts":[..],
+    ///                        "count":N,"sum":N,"max":N}}}
+    /// ```
+    pub fn to_json(&self) -> String {
+        fn num_map(out: &mut String, map: &BTreeMap<String, u64>) {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                let _ = write!(out, ":{v}");
+            }
+            out.push('}');
+        }
+        fn num_arr(out: &mut String, vals: &[u64]) {
+            out.push('[');
+            for (i, v) in vals.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{v}");
+            }
+            out.push(']');
+        }
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"version\":1,\"counters\":");
+        num_map(&mut out, &self.counters);
+        out.push_str(",\"gauges\":");
+        num_map(&mut out, &self.gauges);
+        out.push_str(",\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(&mut out, name);
+            out.push_str(":{\"bounds\":");
+            num_arr(&mut out, &h.bounds);
+            out.push_str(",\"counts\":");
+            num_arr(&mut out, &h.counts);
+            let _ = write!(
+                out,
+                ",\"count\":{},\"sum\":{},\"max\":{}}}",
+                h.count, h.sum, h.max
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parse a document produced by [`Report::to_json`]. Round-trips
+    /// exactly: `Report::from_json(&r.to_json()).unwrap() == r`.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let bad = |message: &str| JsonError {
+            message: message.to_string(),
+            offset: 0,
+        };
+        let doc = json::parse(text)?;
+        let obj = doc
+            .as_obj()
+            .ok_or_else(|| bad("report must be an object"))?;
+        match obj.get("version").and_then(Json::as_u64) {
+            Some(1) => {}
+            _ => return Err(bad("unsupported report version")),
+        }
+        let num_map = |key: &str| -> Result<BTreeMap<String, u64>, JsonError> {
+            let mut out = BTreeMap::new();
+            if let Some(m) = obj.get(key).and_then(Json::as_obj) {
+                for (k, v) in m {
+                    let v = v
+                        .as_u64()
+                        .ok_or_else(|| bad(&format!("{key}.{k} must be a u64")))?;
+                    out.insert(k.clone(), v);
+                }
+            }
+            Ok(out)
+        };
+        let num_arr = |v: &Json, what: &str| -> Result<Vec<u64>, JsonError> {
+            v.as_arr()
+                .ok_or_else(|| bad(&format!("{what} must be an array")))?
+                .iter()
+                .map(|x| {
+                    x.as_u64()
+                        .ok_or_else(|| bad(&format!("{what} must hold u64s")))
+                })
+                .collect()
+        };
+        let mut histograms = BTreeMap::new();
+        if let Some(m) = obj.get("histograms").and_then(Json::as_obj) {
+            for (name, v) in m {
+                let h = v
+                    .as_obj()
+                    .ok_or_else(|| bad(&format!("histogram {name} must be an object")))?;
+                let field = |key: &str| -> Result<u64, JsonError> {
+                    h.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad(&format!("histogram {name}.{key} must be a u64")))
+                };
+                histograms.insert(
+                    name.clone(),
+                    HistogramSnapshot {
+                        bounds: num_arr(
+                            h.get("bounds").unwrap_or(&Json::Null),
+                            &format!("histogram {name}.bounds"),
+                        )?,
+                        counts: num_arr(
+                            h.get("counts").unwrap_or(&Json::Null),
+                            &format!("histogram {name}.counts"),
+                        )?,
+                        count: field("count")?,
+                        sum: field("sum")?,
+                        max: field("max")?,
+                    },
+                );
+            }
+        }
+        Ok(Report {
+            counters: num_map("counters")?,
+            gauges: num_map("gauges")?,
+            histograms,
+        })
+    }
+
+    /// Render as an aligned human-readable table.
+    pub fn to_table(&self) -> String {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0)
+            .max(6);
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<width$}  {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "  {k:<width$}  {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (k, h) in &self.histograms {
+                let mean = h
+                    .mean()
+                    .map_or_else(|| "-".to_string(), |m| format!("{m:.1}"));
+                let _ = writeln!(
+                    out,
+                    "  {k:<width$}  count={} mean={mean} max={}",
+                    h.count, h.max
+                );
+                for (i, c) in h.counts.iter().enumerate() {
+                    if *c == 0 {
+                        continue;
+                    }
+                    let label = match h.bounds.get(i) {
+                        Some(b) => format!("<= {b}"),
+                        None => format!("> {}", h.bounds.last().copied().unwrap_or(0)),
+                    };
+                    let _ = writeln!(out, "  {:<width$}    {label:>12}  {c}", "");
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// Render as Prometheus text exposition (metric names have `.` and any
+    /// other non-`[a-zA-Z0-9_:]` characters replaced by `_`).
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        }
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let n = sanitize(k);
+            let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let n = sanitize(k);
+            let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let n = sanitize(k);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for (i, c) in h.counts.iter().enumerate() {
+                cumulative += c;
+                let le = match h.bounds.get(i) {
+                    Some(b) => b.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{n}_sum {}\n{n}_count {}", h.sum, h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::default();
+        r.counters.insert("stage.s0.cycles".into(), 4096);
+        r.counters.insert("packer.bytes".into(), 512);
+        r.gauges.insert("fifo.lh.high_water_bits".into(), 900);
+        r.histograms.insert(
+            "packer.nbits".into(),
+            HistogramSnapshot {
+                bounds: vec![4, 8, 12],
+                counts: vec![10, 5, 1, 0],
+                count: 16,
+                sum: 80,
+                max: 11,
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let r = sample();
+        let parsed = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let r = Report::default();
+        assert!(r.is_empty());
+        assert_eq!(Report::from_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_version() {
+        let err = Report::from_json("{\"version\":2,\"counters\":{}}").unwrap_err();
+        assert!(err.message.contains("version"));
+    }
+
+    #[test]
+    fn from_json_rejects_non_integer_counter() {
+        let doc = "{\"version\":1,\"counters\":{\"x\":1.5},\"gauges\":{},\"histograms\":{}}";
+        assert!(Report::from_json(doc).is_err());
+    }
+
+    #[test]
+    fn table_lists_every_metric() {
+        let t = sample().to_table();
+        assert!(t.contains("stage.s0.cycles"));
+        assert!(t.contains("fifo.lh.high_water_bits"));
+        assert!(t.contains("packer.nbits"));
+        assert!(t.contains("count=16"));
+        assert!(t.contains("<= 4"));
+    }
+
+    #[test]
+    fn prometheus_output_is_sanitized_and_cumulative() {
+        let p = sample().to_prometheus();
+        assert!(p.contains("# TYPE stage_s0_cycles counter"));
+        assert!(p.contains("packer_nbits_bucket{le=\"4\"} 10"));
+        assert!(p.contains("packer_nbits_bucket{le=\"8\"} 15"));
+        assert!(p.contains("packer_nbits_bucket{le=\"+Inf\"} 16"));
+        assert!(p.contains("packer_nbits_sum 80"));
+    }
+
+    #[test]
+    fn histogram_mean() {
+        assert_eq!(sample().histograms["packer.nbits"].mean(), Some(5.0));
+        assert_eq!(HistogramSnapshot::default().mean(), None);
+    }
+}

@@ -1,0 +1,63 @@
+//! Wall-clock span timers.
+
+use crate::metrics::Counter;
+use std::time::Instant;
+
+/// A scoped wall-clock timer. On drop, an active span adds its elapsed
+/// nanoseconds to one counter and bumps a call counter; a no-op span does
+/// nothing. Obtain spans from [`crate::TelemetryHandle::span`].
+#[derive(Debug)]
+pub struct Span {
+    started: Option<(Instant, Counter, Counter)>,
+}
+
+impl Span {
+    /// A span that records nothing on drop.
+    pub fn noop() -> Self {
+        Self { started: None }
+    }
+
+    /// Start timing now; on drop, `ns_total` gains the elapsed nanoseconds
+    /// and `calls` gains one.
+    pub fn started(ns_total: Counter, calls: Counter) -> Self {
+        Self {
+            started: Some((Instant::now(), ns_total, calls)),
+        }
+    }
+
+    /// Whether this span will record on drop.
+    pub fn is_active(&self) -> bool {
+        self.started.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((t0, ns_total, calls)) = self.started.take() {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            ns_total.add(ns);
+            calls.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn noop_span_is_inactive() {
+        assert!(!Span::noop().is_active());
+    }
+
+    #[test]
+    fn active_span_records_on_drop() {
+        let r = MetricsRegistry::new();
+        {
+            let _s = Span::started(r.counter("w.ns_total"), r.counter("w.calls"));
+            assert!(_s.is_active());
+        }
+        assert_eq!(r.counter("w.calls").get(), 1);
+    }
+}

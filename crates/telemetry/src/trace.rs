@@ -1,0 +1,222 @@
+//! Cycle-domain trace events and the bounded ring that stores them.
+//!
+//! Simulated hardware emits one [`TraceEvent`] per interesting transition
+//! (window shift, IWT column decompose, pack/unpack, FIFO push/pop,
+//! threshold change, …). Events carry the simulation cycle plus two
+//! free-form operands whose meaning depends on the kind — e.g. a
+//! `FifoPush` records `(occupancy_bits_after, bits_pushed)`.
+//!
+//! The ring is bounded: once full it overwrites the oldest event and counts
+//! the loss, so tracing a multi-megapixel run costs O(capacity) memory.
+
+use crate::json::write_escaped;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+/// What a [`TraceEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// A new pixel column entered the sliding window. `a` = column index.
+    WindowShift,
+    /// A forward IWT decomposed a column pair. `a` = tag/cycle of the pair.
+    IwtDecompose,
+    /// A coefficient column was packed. `a` = packed bits, `b` = NBits.
+    Pack,
+    /// A packed column was decoded. `a` = packed bits, `b` = NBits.
+    Unpack,
+    /// Bits entered a FIFO. `a` = occupancy after, `b` = bits pushed.
+    FifoPush,
+    /// Bits left a FIFO. `a` = occupancy after, `b` = bits popped.
+    FifoPop,
+    /// The adaptive threshold moved. `a` = new threshold, `b` = old.
+    ThresholdChange,
+    /// A column exceeded the memory budget. `a` = occupancy, `b` = capacity.
+    Overflow,
+    /// A frame began. `a` = width, `b` = height.
+    FrameStart,
+    /// A frame completed. `a` = total cycles.
+    FrameEnd,
+}
+
+impl TraceKind {
+    /// Stable snake_case label used in the JSONL export.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::WindowShift => "window_shift",
+            TraceKind::IwtDecompose => "iwt_decompose",
+            TraceKind::Pack => "pack",
+            TraceKind::Unpack => "unpack",
+            TraceKind::FifoPush => "fifo_push",
+            TraceKind::FifoPop => "fifo_pop",
+            TraceKind::ThresholdChange => "threshold_change",
+            TraceKind::Overflow => "overflow",
+            TraceKind::FrameStart => "frame_start",
+            TraceKind::FrameEnd => "frame_end",
+        }
+    }
+}
+
+/// One cycle-stamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation cycle at which the event occurred.
+    pub cycle: u64,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// First operand; meaning depends on `kind`.
+    pub a: u64,
+    /// Second operand; meaning depends on `kind`.
+    pub b: u64,
+}
+
+impl TraceEvent {
+    /// Build an event.
+    pub fn new(cycle: u64, kind: TraceKind, a: u64, b: u64) -> Self {
+        Self { cycle, kind, a, b }
+    }
+
+    /// Serialize as one JSON object (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(64);
+        s.push_str("{\"cycle\":");
+        s.push_str(&self.cycle.to_string());
+        s.push_str(",\"event\":");
+        write_escaped(&mut s, self.kind.label());
+        s.push_str(",\"a\":");
+        s.push_str(&self.a.to_string());
+        s.push_str(",\"b\":");
+        s.push_str(&self.b.to_string());
+        s.push('}');
+        s
+    }
+}
+
+/// A bounded ring of trace events: pushing onto a full ring evicts the
+/// oldest event and increments the drop counter.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Maximum events held before eviction starts.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Write every held event as a JSON line, oldest first; returns how
+    /// many lines were written.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<usize> {
+        for e in &self.events {
+            writeln!(w, "{}", e.to_json_line())?;
+        }
+        Ok(self.events.len())
+    }
+
+    /// Remove all events (the drop counter is preserved).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut r = TraceRing::new(2);
+        for cycle in 0..5 {
+            r.push(TraceEvent::new(cycle, TraceKind::WindowShift, cycle, 0));
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 3);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![3, 4]);
+    }
+
+    #[test]
+    fn jsonl_line_shape() {
+        let e = TraceEvent::new(7, TraceKind::FifoPush, 100, 12);
+        assert_eq!(
+            e.to_json_line(),
+            "{\"cycle\":7,\"event\":\"fifo_push\",\"a\":100,\"b\":12}"
+        );
+    }
+
+    #[test]
+    fn write_jsonl_is_chronological() {
+        let mut r = TraceRing::new(8);
+        r.push(TraceEvent::new(1, TraceKind::FrameStart, 64, 64));
+        r.push(TraceEvent::new(2, TraceKind::Pack, 33, 4));
+        let mut buf = Vec::new();
+        assert_eq!(r.write_jsonl(&mut buf).unwrap(), 2);
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("frame_start"));
+        assert!(lines[1].contains("\"event\":\"pack\""));
+    }
+
+    #[test]
+    fn every_label_is_snake_case_and_unique() {
+        let kinds = [
+            TraceKind::WindowShift,
+            TraceKind::IwtDecompose,
+            TraceKind::Pack,
+            TraceKind::Unpack,
+            TraceKind::FifoPush,
+            TraceKind::FifoPop,
+            TraceKind::ThresholdChange,
+            TraceKind::Overflow,
+            TraceKind::FrameStart,
+            TraceKind::FrameEnd,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for k in kinds {
+            let l = k.label();
+            assert!(l.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+            assert!(seen.insert(l), "duplicate label {l}");
+        }
+    }
+}

@@ -69,7 +69,10 @@ impl HaarLifter {
     /// Panics if `input.len()` is odd or the output slices are shorter than
     /// `input.len() / 2`.
     pub fn forward(&self, input: &[Coeff], low: &mut [Coeff], high: &mut [Coeff]) {
-        assert!(input.len().is_multiple_of(2), "Haar forward needs an even length");
+        assert!(
+            input.len().is_multiple_of(2),
+            "Haar forward needs an even length"
+        );
         let n = input.len() / 2;
         assert!(low.len() >= n && high.len() >= n, "output slices too short");
         for (k, pair) in input.chunks_exact(2).enumerate() {
@@ -97,7 +100,10 @@ impl HaarLifter {
     /// In-place forward transform: `data` is replaced by
     /// `[low half | high half]`.
     pub fn forward_in_place(&self, data: &mut [Coeff], scratch: &mut Vec<Coeff>) {
-        assert!(data.len().is_multiple_of(2), "Haar forward needs an even length");
+        assert!(
+            data.len().is_multiple_of(2),
+            "Haar forward needs an even length"
+        );
         let n = data.len() / 2;
         scratch.clear();
         scratch.resize(data.len(), 0);
@@ -109,7 +115,10 @@ impl HaarLifter {
     /// In-place inverse transform: `data` holds `[low half | high half]` and
     /// is replaced by the reconstructed samples.
     pub fn inverse_in_place(&self, data: &mut [Coeff], scratch: &mut Vec<Coeff>) {
-        assert!(data.len().is_multiple_of(2), "Haar inverse needs an even length");
+        assert!(
+            data.len().is_multiple_of(2),
+            "Haar inverse needs an even length"
+        );
         let n = data.len() / 2;
         scratch.clear();
         scratch.resize(data.len(), 0);

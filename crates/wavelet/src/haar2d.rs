@@ -132,7 +132,10 @@ pub struct ColumnPairTransformer {
 impl ColumnPairTransformer {
     /// Create a transformer for window height `n` (even, ≥ 2).
     pub fn new(n: usize) -> Self {
-        assert!(n >= 2 && n.is_multiple_of(2), "window height must be even and >= 2");
+        assert!(
+            n >= 2 && n.is_multiple_of(2),
+            "window height must be even and >= 2"
+        );
         Self { n, pending: None }
     }
 
@@ -220,7 +223,10 @@ pub struct ColumnPairInverse {
 impl ColumnPairInverse {
     /// Create an inverse transformer for window height `n` (even, ≥ 2).
     pub fn new(n: usize) -> Self {
-        assert!(n >= 2 && n.is_multiple_of(2), "window height must be even and >= 2");
+        assert!(
+            n >= 2 && n.is_multiple_of(2),
+            "window height must be even and >= 2"
+        );
         Self { n, pending: None }
     }
 
@@ -286,7 +292,10 @@ impl ColumnPairInverse {
 /// four quadrant planes of size `w/2 × h/2`.
 pub fn forward_image(pixels: &[Coeff], w: usize, h: usize) -> SubbandPlanes {
     assert_eq!(pixels.len(), w * h, "pixel buffer size mismatch");
-    assert!(w.is_multiple_of(2) && h.is_multiple_of(2), "image dimensions must be even");
+    assert!(
+        w.is_multiple_of(2) && h.is_multiple_of(2),
+        "image dimensions must be even"
+    );
     let (pw, ph) = (w / 2, h / 2);
     let mut planes = SubbandPlanes::new(pw, ph);
     for by in 0..ph {

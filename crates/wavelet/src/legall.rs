@@ -41,7 +41,10 @@ fn ext(x: &[Coeff], i: isize) -> Coeff {
 ///
 /// Panics if `x.len()` is odd, shorter than 2, or the outputs are too short.
 pub fn legall53_forward(x: &[Coeff], low: &mut [Coeff], high: &mut [Coeff]) {
-    assert!(x.len() >= 2 && x.len().is_multiple_of(2), "need even length >= 2");
+    assert!(
+        x.len() >= 2 && x.len().is_multiple_of(2),
+        "need even length >= 2"
+    );
     let half = x.len() / 2;
     assert!(low.len() >= half && high.len() >= half, "outputs too short");
     // Predict step (details).
@@ -93,7 +96,10 @@ pub fn legall53_inverse(low: &[Coeff], high: &[Coeff], x: &mut [Coeff]) {
 /// [`crate::haar2d::forward_image`].
 pub fn legall53_forward_image(pixels: &[Coeff], w: usize, h: usize) -> SubbandPlanes {
     assert_eq!(pixels.len(), w * h, "pixel buffer size mismatch");
-    assert!(w.is_multiple_of(2) && h.is_multiple_of(2), "image dimensions must be even");
+    assert!(
+        w.is_multiple_of(2) && h.is_multiple_of(2),
+        "image dimensions must be even"
+    );
     let (pw, ph) = (w / 2, h / 2);
 
     // Horizontal pass: each row -> [low | high].
@@ -208,9 +214,7 @@ mod tests {
     #[test]
     fn image_roundtrip() {
         let (w, h) = (24, 16);
-        let pixels: Vec<Coeff> = (0..w * h)
-            .map(|i| ((i * 53 + 11) % 256) as Coeff)
-            .collect();
+        let pixels: Vec<Coeff> = (0..w * h).map(|i| ((i * 53 + 11) % 256) as Coeff).collect();
         let planes = legall53_forward_image(&pixels, w, h);
         assert_eq!(legall53_inverse_image(&planes), pixels);
     }

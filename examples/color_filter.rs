@@ -32,7 +32,11 @@ fn color_scene(w: usize, h: usize) -> ImageRgb {
 fn main() {
     let n = 16;
     let img = color_scene(512, 256);
-    println!("color image {}x{} (24-bit), window {n}x{n}", img.width(), img.height());
+    println!(
+        "color image {}x{} (24-bit), window {n}x{n}",
+        img.width(),
+        img.height()
+    );
 
     let cfg = ArchConfig::new(n, img.width());
     let mut arch = ColorCompressedSlidingWindow::new(cfg);

@@ -28,7 +28,10 @@ fn main() {
         t_out.image, c_out.image,
         "lossless mode is bit-identical to the traditional architecture"
     );
-    println!("outputs identical: yes ({} cycles each)", c_out.stats.cycles);
+    println!(
+        "outputs identical: yes ({} cycles each)",
+        c_out.stats.cycles
+    );
 
     // Memory comparison.
     let s = &c_out.stats;

@@ -6,16 +6,24 @@
 //!
 //! ```text
 //! swc analyze  <image.pgm> --window 16 [--threshold 4] [--policy all]
+//!              [--metrics-out m.json] [--trace t.jsonl]
 //! swc plan     <image.pgm> --window 16 [--threshold 4]
-//! swc sweep    <image.pgm> --window 16
+//! swc sweep    <image.pgm> --window 16 [--metrics-out m.json]
 //! swc scene    <name|index> <out.pgm> [--size 512x512]   # dataset export
 //! ```
+//!
+//! `--metrics-out` writes the run's full telemetry report (per-stage cycle
+//! counts, FIFO occupancy histograms and high-water marks, packer byte
+//! counters, the NBits width distribution) as machine-readable JSON;
+//! `--trace` writes the cycle-domain event trace as JSON lines.
 
 use modified_sliding_window::core::analysis::analyze_frame;
 use modified_sliding_window::core::compressed::CompressedSlidingWindow;
 use modified_sliding_window::core::kernels::Tap;
 use modified_sliding_window::image::pgm::{read_pgm, write_pgm};
 use modified_sliding_window::prelude::*;
+use modified_sliding_window::telemetry::TelemetryHandle;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -35,18 +43,33 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   swc analyze <image.pgm> --window N [--threshold T] [--policy details|all]
+              [--metrics-out FILE.json] [--trace FILE.jsonl]
   swc plan    <image.pgm> --window N [--threshold T]
-  swc sweep   <image.pgm> --window N
+  swc sweep   <image.pgm> --window N [--metrics-out FILE.json]
   swc scene   <name|index> <out.pgm> [--size WxH]
 
 The image must be a binary PGM (P5). `swc scene` writes one of the built-in
-synthetic dataset scenes instead of reading an input.";
+synthetic dataset scenes instead of reading an input.
+
+--metrics-out runs the full datapath with telemetry enabled and writes the
+metrics report (stage cycles, FIFO occupancy, packer counters, NBits
+distribution) as JSON; --trace writes the cycle-domain event trace as JSON
+lines.";
 
 struct Opts {
     window: usize,
     threshold: i16,
     policy: ThresholdPolicy,
     size: (usize, usize),
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+}
+
+impl Opts {
+    /// Whether any telemetry output was requested.
+    fn wants_telemetry(&self) -> bool {
+        self.metrics_out.is_some() || self.trace_out.is_some()
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -55,6 +78,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         threshold: 0,
         policy: ThresholdPolicy::DetailsOnly,
         size: (512, 512),
+        metrics_out: None,
+        trace_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -81,6 +106,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     w.parse().map_err(|_| "bad width")?,
                     h.parse().map_err(|_| "bad height")?,
                 );
+            }
+            "--metrics-out" => {
+                o.metrics_out = Some(PathBuf::from(next(args, &mut i)?));
+            }
+            "--trace" => {
+                o.trace_out = Some(PathBuf::from(next(args, &mut i)?));
             }
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -111,6 +142,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let path = args.get(1).ok_or("missing image path")?;
             let o = parse_opts(&args[2..])?;
             require_window(&o)?;
+            reject_telemetry(&o, "plan")?;
             plan_cmd(&load(path)?, &o)
         }
         "sweep" => {
@@ -123,10 +155,20 @@ fn run(args: &[String]) -> Result<(), String> {
             let which = args.get(1).ok_or("missing scene name or index")?;
             let out = args.get(2).ok_or("missing output path")?;
             let o = parse_opts(&args[3..])?;
+            reject_telemetry(&o, "scene")?;
             scene(which, out, &o)
         }
         other => Err(format!("unknown command '{other}'")),
     }
+}
+
+fn reject_telemetry(o: &Opts, cmd: &str) -> Result<(), String> {
+    if o.wants_telemetry() {
+        return Err(format!(
+            "--metrics-out/--trace are not supported by '{cmd}' (use analyze or sweep)"
+        ));
+    }
+    Ok(())
 }
 
 fn require_window(o: &Opts) -> Result<(), String> {
@@ -175,16 +217,51 @@ fn analyze(img: &ImageU8, o: &Opts) -> Result<(), String> {
         a.worst_payload_occupancy,
         a.worst_total_occupancy() - a.worst_payload_occupancy
     );
-    if o.threshold > 0 {
-        // Lossy quality: run the actual datapath, most-recirculated tap.
-        let mut arch = CompressedSlidingWindow::new(cfg);
+    if o.threshold > 0 || o.wants_telemetry() {
+        // Run the actual datapath: for lossy quality numbers, for
+        // telemetry, or both (most-recirculated tap kernel).
+        let tele = if o.wants_telemetry() {
+            TelemetryHandle::new()
+        } else {
+            TelemetryHandle::disabled()
+        };
+        let mut arch = CompressedSlidingWindow::new(cfg).with_telemetry(&tele);
         let out = arch.process_frame(img, &Tap::top_left(o.window));
-        let crop = img.crop(0, 0, out.image.width(), out.image.height());
-        println!(
-            "delivered quality:    MSE {:.2}  PSNR {:.1} dB (compounded, worst window row)",
-            mse(&out.image, &crop),
-            psnr(&out.image, &crop)
-        );
+        if o.threshold > 0 {
+            let crop = img.crop(0, 0, out.image.width(), out.image.height());
+            println!(
+                "delivered quality:    MSE {:.2}  PSNR {:.1} dB (compounded, worst window row)",
+                mse(&out.image, &crop),
+                psnr(&out.image, &crop)
+            );
+        }
+        write_telemetry(&tele, o)?;
+    }
+    Ok(())
+}
+
+/// Write the requested telemetry outputs (metrics JSON, trace JSONL).
+fn write_telemetry(tele: &TelemetryHandle, o: &Opts) -> Result<(), String> {
+    if let Some(path) = &o.metrics_out {
+        std::fs::write(path, tele.report().to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote metrics report: {}", path.display());
+    }
+    if let Some(path) = &o.trace_out {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        let mut w = std::io::BufWriter::new(file);
+        let n = tele
+            .write_trace_jsonl(&mut w)
+            .and_then(|n| w.flush().map(|()| n))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        match tele.trace_dropped() {
+            0 => println!("wrote trace: {} ({n} events)", path.display()),
+            d => println!(
+                "wrote trace: {} ({n} events, {d} older events dropped by the ring)",
+                path.display()
+            ),
+        }
     }
     Ok(())
 }
@@ -223,14 +300,21 @@ fn plan_cmd(img: &ImageU8, o: &Opts) -> Result<(), String> {
 }
 
 fn sweep(img: &ImageU8, o: &Opts) -> Result<(), String> {
+    let tele = if o.wants_telemetry() {
+        TelemetryHandle::new()
+    } else {
+        TelemetryHandle::disabled()
+    };
     println!("T   saving%   worst payload bits   delivered MSE");
     for t in [0i16, 2, 4, 6, 8] {
         let cfg = config(img, o)?.with_threshold(t);
         let a = analyze_frame(img, &cfg);
-        let e = if t == 0 {
+        let e = if t == 0 && !o.wants_telemetry() {
             0.0
         } else {
-            let mut arch = CompressedSlidingWindow::new(cfg);
+            // Each threshold reports as its own stage in the telemetry.
+            let mut arch =
+                CompressedSlidingWindow::new(cfg).with_named_telemetry(&tele, &format!("t{t}"));
             let out = arch.process_frame(img, &Tap::top_left(o.window));
             let crop = img.crop(0, 0, out.image.width(), out.image.height());
             mse(&out.image, &crop)
@@ -241,14 +325,19 @@ fn sweep(img: &ImageU8, o: &Opts) -> Result<(), String> {
             a.worst_payload_occupancy
         );
     }
-    Ok(())
+    write_telemetry(&tele, o)
 }
 
 fn scene(which: &str, out: &str, o: &Opts) -> Result<(), String> {
     let preset = ScenePreset::ALL
         .iter()
         .find(|p| p.name == which)
-        .or_else(|| which.parse::<usize>().ok().and_then(|i| ScenePreset::ALL.get(i)))
+        .or_else(|| {
+            which
+                .parse::<usize>()
+                .ok()
+                .and_then(|i| ScenePreset::ALL.get(i))
+        })
         .ok_or_else(|| {
             format!(
                 "unknown scene '{which}' (names: {})",
@@ -261,6 +350,9 @@ fn scene(which: &str, out: &str, o: &Opts) -> Result<(), String> {
         })?;
     let img = preset.render(o.size.0, o.size.1);
     write_pgm(&img, &PathBuf::from(out)).map_err(|e| format!("cannot write {out}: {e}"))?;
-    println!("wrote {} ({}x{}, scene '{}')", out, o.size.0, o.size.1, preset.name);
+    println!(
+        "wrote {} ({}x{}, scene '{}')",
+        out, o.size.0, o.size.1, preset.name
+    );
     Ok(())
 }

@@ -20,6 +20,8 @@
 //! * [`image`] — image container, metrics, PGM I/O, synthetic scene dataset.
 //! * [`core`] — the architectures (traditional and compressed), analyzer,
 //!   BRAM planner, kernels, pipelines, adaptive threshold control.
+//! * [`telemetry`] — the observability substrate: metrics registry, span
+//!   timers, cycle-domain trace ring, machine-readable run reports.
 //!
 //! ## Quick start
 //!
@@ -50,27 +52,29 @@ pub use sw_bitstream as bitstream;
 pub use sw_core as core;
 pub use sw_fpga as fpga;
 pub use sw_image as image;
+pub use sw_telemetry as telemetry;
 pub use sw_wavelet as wavelet;
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use sw_core::adaptive::{AdaptiveConfig, AdaptiveThreshold, Adjustment};
     pub use sw_core::analysis::{analyze_frame, occupancy_trace, FrameAnalysis};
+    pub use sw_core::color::{ColorCompressedSlidingWindow, ColorOutput};
     pub use sw_core::compressed::{CompressedOutput, CompressedSlidingWindow};
     pub use sw_core::config::{ArchConfig, NBitsGranularity, ThresholdPolicy};
-    pub use sw_core::color::{ColorCompressedSlidingWindow, ColorOutput};
     pub use sw_core::kernels::{
         BoxFilter, CensusTransform, Convolution, Dilate, Erode, GaussianFilter, HarrisResponse,
         LocalBinaryPattern, MedianFilter, SeparableConv, SobelMagnitude, Tap, TemplateSad,
         WindowKernel,
     };
-    pub use sw_core::rtl::RtlCompressedSlidingWindow;
     pub use sw_core::pipeline::{Buffering, Pipeline, PipelineOutput, Stage};
     pub use sw_core::planner::{plan, traditional_brams, BramPlan, MgmtAccounting};
     pub use sw_core::reference::direct_sliding_window;
+    pub use sw_core::rtl::RtlCompressedSlidingWindow;
     pub use sw_core::stats::summarize;
     pub use sw_core::traditional::TraditionalSlidingWindow;
     pub use sw_fpga::device::Device;
     pub use sw_fpga::resources::{estimate, ModuleKind, ResourceEstimate};
     pub use sw_image::{dataset, degenerate_suite, mse, psnr, ImageRgb, ImageU8, ScenePreset};
+    pub use sw_telemetry::{Report, TelemetryHandle};
 }

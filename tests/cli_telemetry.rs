@@ -1,0 +1,128 @@
+//! End-to-end test of the `swc` telemetry flags: the binary must emit a
+//! metrics report that parses back into an identical [`Report`] and carries
+//! the series the observability layer promises (stage cycles, FIFO
+//! occupancy, packer counters, NBits distribution), plus a JSONL trace.
+
+use modified_sliding_window::prelude::*;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("swc-telemetry-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn write_scene(dir: &std::path::Path) -> PathBuf {
+    let img = ScenePreset::ALL[0].render(64, 48);
+    let path = dir.join("scene.pgm");
+    modified_sliding_window::image::pgm::write_pgm(&img, &path).expect("write pgm");
+    path
+}
+
+#[test]
+fn analyze_metrics_out_round_trips() {
+    let dir = temp_dir("analyze");
+    let pgm = write_scene(&dir);
+    let metrics = dir.join("metrics.json");
+    let trace = dir.join("trace.jsonl");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_swc"))
+        .args([
+            "analyze",
+            pgm.to_str().unwrap(),
+            "--window",
+            "8",
+            "--threshold",
+            "4",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .status()
+        .expect("run swc");
+    assert!(status.success(), "swc analyze failed");
+
+    // The metrics file is valid JSON that round-trips through Report.
+    let text = std::fs::read_to_string(&metrics).expect("read metrics");
+    let report = Report::from_json(&text).expect("parse metrics JSON");
+    assert_eq!(Report::from_json(&report.to_json()).unwrap(), report);
+
+    // The promised series are present.
+    let img_pixels = 64 * 48;
+    assert_eq!(report.counters["stage.compressed.cycles"], img_pixels);
+    assert!(report.counters["stage.compressed.packer.payload_bytes"] > 0);
+    assert!(report.counters["stage.compressed.packer.payload_bits"] > 0);
+    assert!(report.gauges["fifo.compressed.high_water_bits"] > 0);
+    let occ = &report.histograms["fifo.compressed.occupancy_bits"];
+    assert!(occ.count > 0, "occupancy histogram must have samples");
+    assert_eq!(occ.counts.len(), occ.bounds.len() + 1);
+    let nbits = &report.histograms["stage.compressed.packer.nbits"];
+    assert!(nbits.count > 0, "NBits distribution must have samples");
+    assert!(nbits.max <= 16, "NBits field is 4 bits wide");
+    assert_eq!(report.gauges["stage.compressed.threshold"], 4);
+
+    // The trace is JSONL with frame boundaries.
+    let trace_text = std::fs::read_to_string(&trace).expect("read trace");
+    assert!(trace_text.lines().count() > 2);
+    assert!(trace_text.contains("\"event\":\"frame_start\""));
+    assert!(trace_text
+        .lines()
+        .all(|l| l.starts_with('{') && l.ends_with('}')));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_metrics_out_reports_every_threshold() {
+    let dir = temp_dir("sweep");
+    let pgm = write_scene(&dir);
+    let metrics = dir.join("metrics.json");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_swc"))
+        .args([
+            "sweep",
+            pgm.to_str().unwrap(),
+            "--window",
+            "8",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .status()
+        .expect("run swc");
+    assert!(status.success(), "swc sweep failed");
+
+    let report = Report::from_json(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    for t in [0u64, 2, 4, 6, 8] {
+        assert!(
+            report.counters.contains_key(&format!("stage.t{t}.cycles")),
+            "missing stage for threshold {t}"
+        );
+        assert_eq!(report.gauges[&format!("stage.t{t}.threshold")], t);
+    }
+    // Higher thresholds pack fewer payload bits.
+    let bits = |t: u64| report.counters[&format!("stage.t{t}.packer.payload_bits")];
+    assert!(bits(8) < bits(0), "T=8 must pack fewer bits than lossless");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plan_rejects_telemetry_flags() {
+    let dir = temp_dir("reject");
+    let pgm = write_scene(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_swc"))
+        .args([
+            "plan",
+            pgm.to_str().unwrap(),
+            "--window",
+            "8",
+            "--metrics-out",
+            dir.join("m.json").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run swc");
+    assert!(!out.status.success(), "plan must reject --metrics-out");
+    std::fs::remove_dir_all(&dir).ok();
+}

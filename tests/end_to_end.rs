@@ -84,7 +84,12 @@ fn window_scaling_matches_paper_trend() {
     for n in [8usize, 16, 32, 64] {
         let cfg = ArchConfig::new(n, 256);
         let a = analyze_frame(&img, &cfg);
-        let p = plan(n, 256, a.worst_payload_occupancy, MgmtAccounting::Structured);
+        let p = plan(
+            n,
+            256,
+            a.worst_payload_occupancy,
+            MgmtAccounting::Structured,
+        );
         assert!(p.fits, "window {n} must fit a feasible mapping");
         assert!(
             p.total_brams() < traditional_brams(n, 256),
@@ -109,7 +114,10 @@ fn lossy_quality_or_paper_mse_band() {
         let fresh = arch.process_frame(&img, &Tap::bottom_right(n));
         // Bottom-right pixels were never buffered: exact.
         let crop = img.crop(n - 1, n - 1, W - n + 1, H - n + 1);
-        assert_eq!(fresh.image, crop, "unbuffered pixels must be exact at T={t}");
+        assert_eq!(
+            fresh.image, crop,
+            "unbuffered pixels must be exact at T={t}"
+        );
 
         let mut arch = CompressedSlidingWindow::new(cfg);
         let aged = arch.process_frame(&img, &Tap::top_left(n));
@@ -132,7 +140,12 @@ fn planner_resource_estimator_device_fit_story() {
     let n = 32;
     let cfg = ArchConfig::new(n, 512);
     let a = analyze_frame(&img, &cfg);
-    let p = plan(n, 512, a.worst_payload_occupancy, MgmtAccounting::Structured);
+    let p = plan(
+        n,
+        512,
+        a.worst_payload_occupancy,
+        MgmtAccounting::Structured,
+    );
     let logic = estimate(ModuleKind::Overall, n);
     let device = Device::smallest_fitting(logic.luts, logic.registers, p.total_brams())
         .expect("some device fits");
@@ -173,7 +186,7 @@ fn adaptive_controller_protects_a_tight_budget() {
 fn umbrella_prelude_exposes_the_documented_api() {
     // Compile-time check that the README snippets' imports exist; minimal
     // runtime sanity.
-    let s = summarize(&[1.0, 2.0, 3.0]);
+    let s = summarize(&[1.0, 2.0, 3.0]).unwrap();
     assert_eq!(s.n, 3);
     let img = ImageU8::filled(16, 16, 9);
     assert_eq!(psnr(&img, &img), f64::INFINITY);

@@ -125,15 +125,33 @@ fn mse_thresholds_land_in_the_papers_band() {
             acc.push(mse(&out.image, &crop));
         }
     }
-    let (s2, s6) = (summarize(&single2).mean, summarize(&single6).mean);
-    let (c2, c6) = (summarize(&comp2).mean, summarize(&comp6).mean);
+    let (s2, s6) = (
+        summarize(&single2).unwrap().mean,
+        summarize(&single6).unwrap().mean,
+    );
+    let (c2, c6) = (
+        summarize(&comp2).unwrap().mean,
+        summarize(&comp6).unwrap().mean,
+    );
     // Single-pass: same band as the paper (0.59 and 4.8 on their images).
-    assert!(s2 < 1.5, "single-pass T=2 MSE {s2:.2} out of band (paper 0.59)");
-    assert!(s6 < 8.0, "single-pass T=6 MSE {s6:.2} out of band (paper 4.8)");
+    assert!(
+        s2 < 1.5,
+        "single-pass T=2 MSE {s2:.2} out of band (paper 0.59)"
+    );
+    assert!(
+        s6 < 8.0,
+        "single-pass T=6 MSE {s6:.2} out of band (paper 4.8)"
+    );
     assert!(s2 < s6, "T=2 must beat T=6 single-pass");
     // Compounded: bounded by a small multiple of single-pass.
-    assert!(c2 < s2 * 16.0, "compounded T=2 MSE {c2:.2} vs single {s2:.2}");
-    assert!(c6 < s6 * 16.0, "compounded T=6 MSE {c6:.2} vs single {s6:.2}");
+    assert!(
+        c2 < s2 * 16.0,
+        "compounded T=2 MSE {c2:.2} vs single {s2:.2}"
+    );
+    assert!(
+        c6 < s6 * 16.0,
+        "compounded T=6 MSE {c6:.2} vs single {s6:.2}"
+    );
     assert!(c2 < c6, "T=2 must beat T=6 compounded");
 }
 

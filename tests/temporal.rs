@@ -72,7 +72,10 @@ fn noise_burst_forces_raises_then_recovery() {
     let (ctl, occupancies, _) = run_sequence(&video, 30, budget);
     let (raises, lowers) = ctl.adjustments();
     assert!(raises >= 2, "burst must force threshold raises ({raises})");
-    assert!(lowers >= 1, "controller must relax after the burst ({lowers})");
+    assert!(
+        lowers >= 1,
+        "controller must relax after the burst ({lowers})"
+    );
     assert!(
         ctl.threshold() < 8,
         "threshold must recover from the burst peak"

@@ -1,0 +1,304 @@
+//! A minimal, dependency-free re-implementation of the slice of the
+//! [criterion](https://crates.io/crates/criterion) API this workspace uses.
+//!
+//! The build environment is offline (no crates.io access), so the real
+//! criterion cannot be vendored. This shim keeps `cargo bench` working with
+//! real wall-clock measurements and comparable per-iteration output, but
+//! without criterion's statistical machinery (no outlier rejection, no
+//! HTML reports, no saved baselines). Each benchmark runs a short warmup
+//! and then measures a fixed wall-clock window, reporting mean ns/iter and
+//! throughput. Swapping the real crate back in requires no source changes.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (forwards to
+/// [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier of the form `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier combining a function name with a parameter display.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    measure_window: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(measure_window: Duration) -> Self {
+        Self {
+            measure_window,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Run `f` repeatedly for the measurement window and record the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: let caches/allocators settle and get a cost estimate.
+        let warm_start = Instant::now();
+        black_box(f());
+        let one = warm_start.elapsed().max(Duration::from_nanos(1));
+        let mut warm = 1u32;
+        while warm < 3 && warm_start.elapsed() < self.measure_window {
+            black_box(f());
+            warm += 1;
+        }
+        // Measure whole-loop wall time for a bounded window.
+        let budget = self.measure_window;
+        let max_iters = (budget.as_nanos() / one.as_nanos()).clamp(1, 5_000_000) as u64;
+        let start = Instant::now();
+        let mut n = 0u64;
+        while n < max_iters && (n < 5 || start.elapsed() < budget) {
+            black_box(f());
+            n += 1;
+        }
+        self.total = start.elapsed();
+        self.iters = n;
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.iters == 0 {
+            return f64::NAN;
+        }
+        self.total.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let ns = b.mean_ns();
+    let mut line = format!("{name:<50} time: [{}]  iters: {}", format_time(ns), b.iters);
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let per_sec = count as f64 / (ns / 1e9);
+        let scaled = if per_sec >= 1e9 {
+            format!("{:.3} G{unit}", per_sec / 1e9)
+        } else if per_sec >= 1e6 {
+            format!("{:.3} M{unit}", per_sec / 1e6)
+        } else if per_sec >= 1e3 {
+            format!("{:.3} K{unit}", per_sec / 1e3)
+        } else {
+            format!("{per_sec:.1} {unit}")
+        };
+        line.push_str(&format!("  thrpt: [{scaled}]"));
+    }
+    println!("{line}");
+}
+
+/// The benchmark manager (shim).
+pub struct Criterion {
+    filter: Option<String>,
+    measure_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Accept and ignore cargo-bench CLI flags; honour a bare positional
+        // argument as a substring filter like real criterion does.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Self {
+            filter,
+            measure_window: Duration::from_millis(60),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, None, f);
+        self
+    }
+
+    fn enabled(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+
+    fn run_one<F>(&mut self, full_name: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.enabled(full_name) {
+            return;
+        }
+        let mut b = Bencher::new(self.measure_window);
+        f(&mut b);
+        report(full_name, &b, throughput);
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample count (accepted for API parity; the
+    /// shim sizes its measurement window by wall clock instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let t = self.throughput;
+        self.criterion.run_one(&full, t, f);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let t = self.throughput;
+        self.criterion.run_one(&full, t, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function list (API-compatible with criterion).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define the benchmark entry point (API-compatible with criterion).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+        });
+        assert!(b.iters >= 1);
+        assert!(b.mean_ns() >= 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("packing", 16).to_string(), "packing/16");
+        assert_eq!(BenchmarkId::from_parameter(512).to_string(), "512");
+    }
+
+    #[test]
+    fn groups_run_without_panicking() {
+        let mut c = Criterion {
+            filter: None,
+            measure_window: Duration::from_millis(2),
+        };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("noop", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+}

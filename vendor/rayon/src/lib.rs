@@ -1,0 +1,64 @@
+//! A minimal, dependency-free shim of the [rayon](https://crates.io/crates/rayon)
+//! API surface this workspace uses.
+//!
+//! The build environment is offline (no crates.io access), so the real rayon
+//! cannot be vendored. `par_iter()` here returns the *sequential* slice
+//! iterator — every standard `Iterator` combinator the callers use
+//! (`map`, `take`, `collect`, …) keeps working, results are identical, and
+//! swapping the real crate back in requires no source changes. The only
+//! difference is that work runs on one thread.
+
+/// The usual glob import, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::iter::IntoParallelRefIterator;
+}
+
+/// Parallel-iterator entry points (sequential fallback).
+pub mod iter {
+    /// `&collection -> par_iter()`, mirroring rayon's trait of the same
+    /// name. The shim's "parallel" iterator is the plain sequential slice
+    /// iterator, which supports a superset of the combinators used here.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type `par_iter` returns.
+        type Iter: Iterator;
+
+        /// Iterate (sequentially, in this shim) over `&self`.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync, const N: usize> IntoParallelRefIterator<'data> for [T; N] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let arr = [10u8, 20, 30];
+        let taken: Vec<u8> = arr.par_iter().take(2).copied().collect();
+        assert_eq!(taken, vec![10, 20]);
+    }
+}
