@@ -10,8 +10,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use sw_core::compressed::CompressedSlidingWindow;
 use sw_core::config::ArchConfig;
 use sw_core::kernels::{BoxFilter, Tap};
+use sw_core::pipeline::Buffering;
+use sw_core::shard::ShardedFrameRunner;
 use sw_core::traditional::TraditionalSlidingWindow;
 use sw_image::ScenePreset;
+use sw_pool::ThreadPool;
 use sw_telemetry::TelemetryHandle;
 
 fn bench_architectures(c: &mut Criterion) {
@@ -92,10 +95,41 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sharded_vs_sequential(c: &mut Criterion) {
+    // Scaling of the halo-sharded frame runner vs the plain sequential
+    // architecture. The strip count is fixed (so output is identical in
+    // every row of this table); only the pool size varies. jobs=1 exposes
+    // the pure sharding overhead (halo rows are recomputed per strip),
+    // jobs>1 the parallel speedup available on multi-core hosts.
+    let mut group = c.benchmark_group("sharded_vs_sequential");
+    group.sample_size(10);
+    for size in [512usize, 2048] {
+        let img = ScenePreset::ALL[0].render(size, size);
+        let cfg = ArchConfig::new(8, img.width()).with_threshold(4);
+        let kernel = Tap::top_left(8);
+        group.throughput(Throughput::Elements((size * size) as u64));
+        group.bench_with_input(BenchmarkId::new("sequential", size), &img, |b, img| {
+            let mut arch = CompressedSlidingWindow::new(cfg);
+            b.iter(|| arch.process_frame(img, &kernel).stats.cycles)
+        });
+        for jobs in [1usize, 2, 4] {
+            let pool = ThreadPool::new(jobs);
+            let runner = ShardedFrameRunner::new(cfg, Buffering::Compressed { threshold: 4 });
+            group.bench_with_input(
+                BenchmarkId::new(format!("sharded_jobs{jobs}"), size),
+                &img,
+                |b, img| b.iter(|| runner.run(img, &kernel, &pool).cycles),
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_architectures,
     bench_kernel_cost,
-    bench_telemetry_overhead
+    bench_telemetry_overhead,
+    bench_sharded_vs_sequential
 );
 criterion_main!(benches);

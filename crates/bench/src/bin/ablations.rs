@@ -200,6 +200,17 @@ fn streaming_levels(images: &[(String, ImageU8)]) {
 }
 
 fn main() {
+    match sw_bench::jobs_from_args() {
+        Ok(Some(jobs)) => sw_pool::configure_global(jobs).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
     let sweep = Sweep::from_args();
     let res = if sweep.scenes >= 10 { 512 } else { 256 };
     eprintln!("rendering {} scenes at {res}x{res}...", sweep.scenes);

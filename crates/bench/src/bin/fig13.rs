@@ -8,13 +8,13 @@
 use sw_bench::export::{out_dir_from_args, write_csv, write_svg, ChartMeta, Series};
 use sw_bench::table::render;
 use sw_bench::{
-    analyze_dataset, paper, savings_summary, scene_images, telemetry_from_args,
-    write_telemetry_report, Sweep, THRESHOLDS, WINDOWS,
+    analyze_dataset, cli_setup, paper, savings_summary, scene_images, write_telemetry_report,
+    Sweep, THRESHOLDS, WINDOWS,
 };
 use sw_core::config::ThresholdPolicy;
 
 fn main() {
-    let (tele, tele_path) = telemetry_from_args();
+    let (tele, tele_path) = cli_setup();
     let sweep = Sweep::from_args();
     let res = sweep.fig13_resolution;
     eprintln!("rendering {} scenes at {res}x{res}...", sweep.scenes);

@@ -11,7 +11,7 @@
 
 use rayon::prelude::*;
 use sw_bench::table::render;
-use sw_bench::{paper, scene_images, telemetry_from_args, write_telemetry_report, Sweep};
+use sw_bench::{cli_setup, paper, scene_images, write_telemetry_report, Sweep};
 use sw_bitstream::apply_threshold;
 use sw_core::compressed::CompressedSlidingWindow;
 use sw_core::config::ArchConfig;
@@ -57,7 +57,7 @@ fn compounded_mse(
 }
 
 fn main() {
-    let (tele, tele_path) = telemetry_from_args();
+    let (tele, tele_path) = cli_setup();
     let sweep = Sweep::from_args();
     let res = if sweep.scenes >= 10 { 512 } else { 256 };
     eprintln!("rendering {} scenes at {res}x{res}...", sweep.scenes);

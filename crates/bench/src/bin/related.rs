@@ -25,6 +25,17 @@ use sw_core::stats::summarize;
 use sw_related::{locoi_compressed_bits, BlockBufferPlan, SegmentedPlan};
 
 fn main() {
+    match sw_bench::jobs_from_args() {
+        Ok(Some(jobs)) => sw_pool::configure_global(jobs).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
     let sweep = Sweep::from_args();
     let res = if sweep.scenes >= 10 { 512 } else { 256 };
     eprintln!("rendering {} scenes at {res}x{res}...", sweep.scenes);

@@ -11,8 +11,8 @@
 
 use sw_bench::table::render;
 use sw_bench::{
-    analyze_dataset, paper, scene_images, telemetry_from_args, worst_occupancy,
-    write_telemetry_report, Sweep, THRESHOLDS, WINDOWS,
+    analyze_dataset, cli_setup, paper, scene_images, worst_occupancy, write_telemetry_report,
+    Sweep, THRESHOLDS, WINDOWS,
 };
 use sw_core::config::ThresholdPolicy;
 use sw_core::planner::{plan, traditional_brams, MgmtAccounting};
@@ -20,7 +20,7 @@ use sw_fpga::device::Device;
 use sw_fpga::resources::{estimate, ModuleKind};
 
 fn main() {
-    let (tele, tele_path) = telemetry_from_args();
+    let (tele, tele_path) = cli_setup();
     let sweep = Sweep::from_args();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = Vec::new();

@@ -24,7 +24,10 @@ pub mod paper;
 pub mod runner;
 pub mod table;
 
-pub use runner::{quick_flag, scene_images, telemetry_from_args, write_telemetry_report, Sweep};
+pub use runner::{
+    cli_setup, jobs_from_args, quick_flag, scene_images, telemetry_from_args,
+    write_telemetry_report, Sweep,
+};
 
 use rayon::prelude::*;
 use sw_core::analysis::{analyze_frame, FrameAnalysis};

@@ -25,16 +25,56 @@ pub fn quick_flag() -> bool {
 /// returned handle is enabled and the binary should finish with
 /// [`write_telemetry_report`]; otherwise the handle is disabled and every
 /// instrument bound from it is a no-op.
-pub fn telemetry_from_args() -> (TelemetryHandle, Option<PathBuf>) {
+///
+/// Errs (instead of panicking) when the flag is present without a value,
+/// or when the "value" is the next flag.
+pub fn telemetry_from_args() -> Result<(TelemetryHandle, Option<PathBuf>), String> {
     let args: Vec<String> = std::env::args().collect();
     match args.iter().position(|a| a == "--telemetry-out") {
-        Some(i) => {
-            let path = args
-                .get(i + 1)
-                .unwrap_or_else(|| panic!("--telemetry-out needs a file path"));
-            (TelemetryHandle::new(), Some(PathBuf::from(path)))
+        Some(i) => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+            Some(path) => Ok((TelemetryHandle::new(), Some(PathBuf::from(path)))),
+            None => Err(
+                "--telemetry-out needs a file path (e.g. --telemetry-out report.json)".to_string(),
+            ),
+        },
+        None => Ok((TelemetryHandle::disabled(), None)),
+    }
+}
+
+/// Parse `--jobs <n>` from the command line. `Ok(None)` when absent;
+/// friendly errors for a missing value, `0`, or a non-numeric value.
+pub fn jobs_from_args() -> Result<Option<usize>, String> {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--jobs") {
+        Some(i) => match args.get(i + 1) {
+            Some(v) => sw_pool::parse_jobs(v).map(Some),
+            None => Err("--jobs needs a value (e.g. --jobs 4)".to_string()),
+        },
+        None => Ok(None),
+    }
+}
+
+/// Shared CLI setup for the bench binaries: validate `--jobs` (sizing the
+/// global pool that `par_iter` uses) and `--telemetry-out`, exiting with a
+/// friendly message on malformed flags. Call this before any dataset work
+/// so argument errors surface instantly.
+pub fn cli_setup() -> (TelemetryHandle, Option<PathBuf>) {
+    let fail = |e: String| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    };
+    match jobs_from_args() {
+        Ok(Some(jobs)) => {
+            if let Err(e) = sw_pool::configure_global(jobs) {
+                fail(e);
+            }
         }
-        None => (TelemetryHandle::disabled(), None),
+        Ok(None) => {}
+        Err(e) => fail(e),
+    }
+    match telemetry_from_args() {
+        Ok(pair) => pair,
+        Err(e) => fail(e),
     }
 }
 
@@ -109,9 +149,14 @@ mod tests {
 
     #[test]
     fn telemetry_defaults_to_disabled_without_the_flag() {
-        let (tele, path) = telemetry_from_args();
+        let (tele, path) = telemetry_from_args().expect("no flag, no error");
         assert!(!tele.is_enabled());
         assert!(path.is_none());
+    }
+
+    #[test]
+    fn jobs_defaults_to_none_without_the_flag() {
+        assert_eq!(jobs_from_args(), Ok(None));
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! CLI argument-error handling of the bench binaries: malformed
+//! `--telemetry-out` / `--jobs` must produce a friendly diagnostic and a
+//! non-zero exit, never a panic. These paths run before any dataset work,
+//! so each invocation returns instantly.
+
+use std::process::{Command, Output};
+
+fn run_fig13(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fig13"))
+        .args(args)
+        .output()
+        .expect("launch fig13")
+}
+
+fn assert_friendly_failure(out: &Output, expect: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "expected failure, got {out:?}");
+    assert!(
+        stderr.contains(expect),
+        "stderr should mention {expect:?}: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "must be a friendly error, not a panic: {stderr}"
+    );
+}
+
+#[test]
+fn telemetry_out_without_a_value_is_a_friendly_error() {
+    let out = run_fig13(&["--quick", "--telemetry-out"]);
+    assert_friendly_failure(&out, "--telemetry-out needs a file path");
+}
+
+#[test]
+fn telemetry_out_swallowing_the_next_flag_is_rejected() {
+    let out = run_fig13(&["--telemetry-out", "--quick"]);
+    assert_friendly_failure(&out, "--telemetry-out needs a file path");
+}
+
+#[test]
+fn jobs_zero_is_a_friendly_error() {
+    let out = run_fig13(&["--quick", "--jobs", "0"]);
+    assert_friendly_failure(&out, "at least 1");
+}
+
+#[test]
+fn jobs_non_numeric_is_a_friendly_error() {
+    let out = run_fig13(&["--quick", "--jobs", "fast"]);
+    assert_friendly_failure(&out, "positive integer");
+}
+
+#[test]
+fn jobs_without_a_value_is_a_friendly_error() {
+    let out = run_fig13(&["--quick", "--jobs"]);
+    assert_friendly_failure(&out, "--jobs needs a value");
+}

@@ -202,34 +202,14 @@ fn mgmt_bits_per_column(cfg: &ArchConfig) -> u64 {
 /// Panics if the image width mismatches `cfg.width` or the image is shorter
 /// than the window.
 pub fn analyze_frame(img: &ImageU8, cfg: &ArchConfig) -> FrameAnalysis {
-    assert_eq!(img.width(), cfg.width, "image width mismatch");
-    assert!(img.height() >= cfg.window, "image shorter than the window");
-    let n = cfg.window;
-    let w = img.width() & !1; // even-crop
-    let h = img.height() & !1;
-    let pixels: Vec<Coeff> = if w == img.width() {
-        img.pixels()[..w * h].iter().map(|&p| p as Coeff).collect()
-    } else {
-        let mut v = Vec::with_capacity(w * h);
-        for y in 0..h {
-            v.extend(img.row(y)[..w].iter().map(|&p| p as Coeff));
-        }
-        v
-    };
-    let planes = forward_image(&pixels, w, h);
-    let widths = band_widths(&planes, cfg);
-
-    let half = n / 2;
-    let strips = planes.h / half;
-    assert!(strips > 0, "image shorter than the window");
-    let span = cfg.fifo_depth(); // sliding span in columns
+    let prep = FramePrep::new(img, cfg);
 
     let mut per_band = [0u64; 4];
     let mut worst = 0u64;
     let mut columns = 0u64;
     let mut prev: Option<StripCosts> = None;
-    for s in 0..strips {
-        let cur = strip_costs(&planes, cfg, s * half, &widths);
+    for s in 0..prep.strips {
+        let cur = strip_costs(&prep.planes, cfg, s * prep.half, &prep.widths);
         for col in &cur.cols {
             for (acc, b) in per_band.iter_mut().zip(col) {
                 *acc += b;
@@ -239,19 +219,124 @@ pub fn analyze_frame(img: &ImageU8, cfg: &ArchConfig) -> FrameAnalysis {
         // Sliding occupancy across the strip boundary (the memory unit mixes
         // the tail of the previous strip with the head of the current one).
         let history = prev.as_ref().unwrap_or(&cur);
-        worst = worst.max(worst_span(&history.cols, &cur.cols, span));
+        worst = worst.max(worst_span(&history.cols, &cur.cols, prep.span));
         prev = Some(cur);
     }
 
-    FrameAnalysis {
-        window: n,
-        width: cfg.width,
-        per_band_payload_bits: per_band,
-        mgmt_bits: columns * mgmt_bits_per_column(cfg),
-        raw_bits: columns * n as u64 * cfg.pixel_bits as u64,
-        columns,
-        worst_payload_occupancy: worst,
-        strips,
+    prep.finish(cfg, per_band, columns, worst)
+}
+
+/// [`analyze_frame`] with the per-strip costing fanned out over `pool`.
+///
+/// Bit-identical to the sequential analyzer for any pool size: each strip
+/// recomputes its predecessor's costs locally (the forward transform is
+/// shared read-only), so no cross-strip ordering enters the result — the
+/// per-band sums are folded in strip order and the worst span is a
+/// scheduling-independent maximum. The ~2× per-strip costing work is
+/// repaid as soon as two threads participate; `tests/determinism.rs`
+/// enforces the equality.
+///
+/// # Panics
+///
+/// Panics if the image width mismatches `cfg.width` or the image is shorter
+/// than the window.
+pub fn analyze_frame_par(
+    img: &ImageU8,
+    cfg: &ArchConfig,
+    pool: &sw_pool::ThreadPool,
+) -> FrameAnalysis {
+    let prep = FramePrep::new(img, cfg);
+    let planes = &prep.planes;
+    let widths = &prep.widths;
+
+    let per_strip = pool.par_map_indexed(prep.strips, |s| {
+        let cur = strip_costs(planes, cfg, s * prep.half, widths);
+        let history = if s == 0 {
+            None
+        } else {
+            Some(strip_costs(planes, cfg, (s - 1) * prep.half, widths))
+        };
+        let history_cols = history.as_ref().map_or(&cur.cols, |h| &h.cols);
+        let worst = worst_span(history_cols, &cur.cols, prep.span);
+        let mut band = [0u64; 4];
+        for col in &cur.cols {
+            for (acc, b) in band.iter_mut().zip(col) {
+                *acc += b;
+            }
+        }
+        (band, cur.cols.len() as u64, worst)
+    });
+
+    let mut per_band = [0u64; 4];
+    let mut worst = 0u64;
+    let mut columns = 0u64;
+    for (band, cols, strip_worst) in per_strip {
+        for (acc, b) in per_band.iter_mut().zip(&band) {
+            *acc += b;
+        }
+        columns += cols;
+        worst = worst.max(strip_worst);
+    }
+
+    prep.finish(cfg, per_band, columns, worst)
+}
+
+/// Shared front/back half of the frame analyzers: the even-cropped forward
+/// transform, frame-wide band widths, and strip geometry.
+struct FramePrep {
+    planes: SubbandPlanes,
+    widths: [u32; 4],
+    half: usize,
+    strips: usize,
+    span: usize,
+}
+
+impl FramePrep {
+    fn new(img: &ImageU8, cfg: &ArchConfig) -> Self {
+        assert_eq!(img.width(), cfg.width, "image width mismatch");
+        assert!(img.height() >= cfg.window, "image shorter than the window");
+        let w = img.width() & !1; // even-crop
+        let h = img.height() & !1;
+        let pixels: Vec<Coeff> = if w == img.width() {
+            img.pixels()[..w * h].iter().map(|&p| p as Coeff).collect()
+        } else {
+            let mut v = Vec::with_capacity(w * h);
+            for y in 0..h {
+                v.extend(img.row(y)[..w].iter().map(|&p| p as Coeff));
+            }
+            v
+        };
+        let planes = forward_image(&pixels, w, h);
+        let widths = band_widths(&planes, cfg);
+        let half = cfg.window / 2;
+        let strips = planes.h / half;
+        assert!(strips > 0, "image shorter than the window");
+        Self {
+            planes,
+            widths,
+            half,
+            strips,
+            span: cfg.fifo_depth(), // sliding span in columns
+        }
+    }
+
+    fn finish(
+        &self,
+        cfg: &ArchConfig,
+        per_band: [u64; 4],
+        columns: u64,
+        worst: u64,
+    ) -> FrameAnalysis {
+        FrameAnalysis {
+            window: cfg.window,
+            width: cfg.width,
+            per_band_payload_bits: per_band,
+            mgmt_bits: columns * mgmt_bits_per_column(cfg),
+            raw_bits: columns * cfg.window as u64 * cfg.pixel_bits as u64,
+            columns,
+            worst_payload_occupancy: worst,
+            strips: self.strips,
+        }
     }
 }
 

@@ -26,7 +26,11 @@ pub use util::{Tap, TemplateSad};
 use crate::window::WindowView;
 
 /// A window operator: maps the N×N active window to one output pixel.
-pub trait WindowKernel {
+///
+/// Kernels are `Send + Sync`: the halo-sharded runner ([`crate::shard`])
+/// applies one kernel from several pool threads at once, so kernels must
+/// be immutable value types (all of the ones here are plain data).
+pub trait WindowKernel: Send + Sync {
     /// The window size N this kernel expects.
     fn window_size(&self) -> usize;
 

@@ -30,6 +30,9 @@
 //! * [`pipeline`] — chains of sliding-window stages sharing the compressed
 //!   buffering (the paper's "2–5 sequential sliding window operations"
 //!   motivation).
+//! * [`shard`] — halo-sharded frame execution: `K` row strips with
+//!   `N − 1`-row halos processed concurrently on a work-stealing pool and
+//!   stitched deterministically (byte-identical for any `--jobs`).
 //! * [`adaptive`] — the paper's *future work*: a per-frame threshold
 //!   controller that keeps packed bits within a BRAM budget.
 //! * [`stats`] — small-sample statistics (mean, 90 % confidence intervals)
@@ -66,6 +69,7 @@ pub mod pipeline;
 pub mod planner;
 pub mod reference;
 pub mod rtl;
+pub mod shard;
 pub mod stats;
 pub mod traditional;
 pub mod window;

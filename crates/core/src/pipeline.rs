@@ -166,6 +166,51 @@ impl Pipeline {
         }
     }
 
+    /// [`Pipeline::run`] with every stage executed strip-parallel on
+    /// `pool` via the halo-sharded runner ([`crate::shard`]).
+    ///
+    /// The strip count is fixed by `strips` (not by the pool size), so the
+    /// output is byte-identical for any `--jobs` value. Compressed stages
+    /// size their BRAM plan from the maximum per-strip peak occupancy —
+    /// the capacity one strip datapath must provision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an intermediate image becomes smaller than the next
+    /// stage's window.
+    pub fn run_sharded(
+        &self,
+        input: &ImageU8,
+        pool: &sw_pool::ThreadPool,
+        strips: usize,
+    ) -> PipelineOutput {
+        let mut img = input.clone();
+        let mut stage_brams = Vec::with_capacity(self.stages.len());
+        let mut cycles = 0u64;
+        for (i, stage) in self.stages.iter().enumerate() {
+            let n = stage.kernel.window_size();
+            assert!(
+                img.width() > n && img.height() >= n,
+                "intermediate image too small for a {n}-pixel window"
+            );
+            let stage_name = format!("stage{i}");
+            let _span = self.telemetry.span(&format!("pipeline.{stage_name}"));
+            let cfg = ArchConfig::new(n, img.width());
+            let runner = crate::shard::ShardedFrameRunner::new(cfg, stage.buffering)
+                .with_strips(strips)
+                .with_named_telemetry(&self.telemetry, &stage_name);
+            let out = runner.run(&img, stage.kernel.as_ref(), pool);
+            stage_brams.push(out.brams);
+            cycles += out.cycles;
+            img = out.image;
+        }
+        PipelineOutput {
+            image: img,
+            stage_brams,
+            cycles,
+        }
+    }
+
     /// Static BRAM plan for the whole pipeline at a given input width,
     /// sizing compressed stages from a representative frame.
     pub fn plan_brams(&self, frame: &ImageU8) -> Vec<BramPlan> {

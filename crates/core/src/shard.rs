@@ -1,0 +1,409 @@
+//! Halo-sharded frame execution: split a frame into `K` row strips, run an
+//! architecture per strip on a thread pool, and stitch the outputs.
+//!
+//! Ehsan et al.'s parallel integral-image engine and Silva & Bampi's
+//! pipelined DWT architectures both scale line-buffered operators by
+//! splitting frames into independently processed strips. The software
+//! analogue implemented here: output rows `[g0, g1)` of an N-window
+//! operator depend only on input rows `[g0, g1 + N − 1)`, so each strip
+//! carries an `N − 1`-row *halo* below its output range and can be
+//! processed by a private architecture instance with no cross-strip
+//! communication.
+//!
+//! # Determinism contract
+//!
+//! The strip decomposition ([`ShardPlan`]) is a pure function of
+//! `(window, height, strips)` — it never depends on the pool size — and
+//! each strip is processed by its own architecture instance, so the
+//! stitched output is **byte-identical for any `--jobs` value**, including
+//! `jobs = 1`. The determinism test suite (`tests/determinism.rs`)
+//! enforces this for every kernel, lossless and lossy.
+//!
+//! Relative to the *unsharded* sequential run there are two regimes:
+//!
+//! * **Lossless (`T = 0`)**: reconstruction is exact, so every strip
+//!   reproduces the full-frame output rows bit-for-bit and the stitched
+//!   frame equals the unsharded frame exactly (also enforced by the
+//!   suite).
+//! * **Lossy (`T > 0`)**: the compressed datapath recirculates
+//!   *reconstructed* rows, so a pixel's value depends on the thresholding
+//!   history of every row above it. A strip replays only its halo, not
+//!   that full history, making sharded lossy output a deterministic
+//!   approximation of the unsharded run (same threshold semantics, error
+//!   of the same magnitude) rather than a bit-exact reproduction. Callers
+//!   comparing lossy numbers across machines must therefore hold `strips`
+//!   fixed — which this module's defaults do.
+//!
+//! The same reasoning applies to BRAM sizing: each strip observes its own
+//! peak memory-unit occupancy and the runner aggregates the maximum, in
+//! strip order, independent of scheduling.
+
+use crate::compressed::CompressedSlidingWindow;
+use crate::config::ArchConfig;
+use crate::kernels::WindowKernel;
+use crate::pipeline::Buffering;
+use crate::planner::{plan, traditional_brams, BramPlan, MgmtAccounting};
+use crate::traditional::TraditionalSlidingWindow;
+use sw_image::ImageU8;
+use sw_pool::ThreadPool;
+use sw_telemetry::TelemetryHandle;
+
+/// Default strip count. Fixed (rather than derived from the pool size) so
+/// results are identical whatever `--jobs` says; 8 strips keep 8 or fewer
+/// threads busy while costing only 7 halo replays per frame.
+pub const DEFAULT_STRIPS: usize = 8;
+
+/// One strip's geometry: which input rows it reads (output range plus the
+/// `N − 1`-row halo) and which output rows it produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripSpan {
+    /// Strip index, top to bottom.
+    pub index: usize,
+    /// First input row this strip reads.
+    pub input_row0: usize,
+    /// Input rows read (`output_rows + N − 1`).
+    pub input_rows: usize,
+    /// First output row this strip produces.
+    pub output_row0: usize,
+    /// Output rows produced.
+    pub output_rows: usize,
+}
+
+/// The full strip decomposition of one frame height.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Window size N.
+    pub window: usize,
+    /// Input frame height H.
+    pub height: usize,
+    /// The strips, in output order. Always non-empty; covers every output
+    /// row exactly once.
+    pub spans: Vec<StripSpan>,
+}
+
+impl ShardPlan {
+    /// Split the `H − N + 1` output rows of an N-window pass over an
+    /// `H`-row frame into (up to) `strips` contiguous, near-equal strips.
+    /// When the rows don't divide evenly the first `rows % strips` strips
+    /// take one extra row, so ragged tails land on the *last* strip.
+    /// `strips` is clamped to `[1, output_rows]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height < window`.
+    pub fn new(window: usize, height: usize, strips: usize) -> Self {
+        assert!(height >= window, "frame shorter than the window");
+        let out_rows = height - window + 1;
+        let k = strips.clamp(1, out_rows);
+        let base = out_rows / k;
+        let extra = out_rows % k;
+        let mut spans = Vec::with_capacity(k);
+        let mut row0 = 0usize;
+        for index in 0..k {
+            let output_rows = base + usize::from(index < extra);
+            spans.push(StripSpan {
+                index,
+                input_row0: row0,
+                input_rows: output_rows + window - 1,
+                output_row0: row0,
+                output_rows,
+            });
+            row0 += output_rows;
+        }
+        debug_assert_eq!(row0, out_rows);
+        Self {
+            window,
+            height,
+            spans,
+        }
+    }
+
+    /// Number of strips.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the plan has no strips (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+/// Per-strip execution record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripStats {
+    /// The strip's geometry.
+    pub span: StripSpan,
+    /// Clock cycles the strip's architecture consumed.
+    pub cycles: u64,
+    /// The strip's peak memory-unit payload occupancy (0 for traditional
+    /// buffering).
+    pub peak_payload_occupancy: u64,
+}
+
+/// Result of one sharded frame.
+#[derive(Debug, Clone)]
+pub struct ShardedOutput {
+    /// Stitched kernel output over the valid region,
+    /// `(W − N + 1) × (H − N + 1)` — identical geometry to the sequential
+    /// architectures.
+    pub image: ImageU8,
+    /// Per-strip records, in strip order.
+    pub strip_stats: Vec<StripStats>,
+    /// Total clock cycles across strips (strips run concurrently in
+    /// hardware terms; the sum is the work metric, accumulated in strip
+    /// order).
+    pub cycles: u64,
+    /// Maximum per-strip peak payload occupancy (compressed buffering
+    /// only; 0 for traditional).
+    pub peak_payload_occupancy: u64,
+    /// BRAMs one strip datapath needs: the compressed plan sized from the
+    /// aggregated peak, or Table I for traditional buffering.
+    pub brams: u32,
+    /// The compressed BRAM plan (`None` for traditional buffering).
+    pub bram_plan: Option<BramPlan>,
+}
+
+/// Runs frames strip-parallel over a [`ThreadPool`].
+///
+/// The runner itself is immutable (`run` takes `&self`): every strip
+/// builds a private architecture instance, so one runner can be shared
+/// across threads and frames.
+#[derive(Debug, Clone)]
+pub struct ShardedFrameRunner {
+    cfg: ArchConfig,
+    buffering: Buffering,
+    strips: usize,
+    telemetry: TelemetryHandle,
+    name: String,
+}
+
+impl ShardedFrameRunner {
+    /// Runner for `cfg` with the given buffering mode and
+    /// [`DEFAULT_STRIPS`] strips. For [`Buffering::Compressed`] the
+    /// stage threshold overrides `cfg.threshold`.
+    pub fn new(cfg: ArchConfig, buffering: Buffering) -> Self {
+        Self {
+            cfg,
+            buffering,
+            strips: DEFAULT_STRIPS,
+            telemetry: TelemetryHandle::disabled(),
+            name: "frame".to_string(),
+        }
+    }
+
+    /// Override the strip count. Fix this (not `--jobs`) to keep outputs
+    /// comparable across machines; it is clamped per-frame to the number
+    /// of output rows.
+    pub fn with_strips(mut self, strips: usize) -> Self {
+        assert!(strips >= 1, "at least one strip is required");
+        self.strips = strips;
+        self
+    }
+
+    /// Bind telemetry under the default name `frame`.
+    pub fn with_telemetry(self, telemetry: &TelemetryHandle) -> Self {
+        self.with_named_telemetry(telemetry, "frame")
+    }
+
+    /// Bind telemetry under `shard.<name>.*`: per-strip wall-clock spans
+    /// (`shard.<name>.strip<i>.{ns_total,calls}`), per-strip cycle
+    /// counters, the strip count, and the pool's scheduling gauges
+    /// (`pool.{workers,steals,items,queue_depth_high_water}`).
+    pub fn with_named_telemetry(mut self, telemetry: &TelemetryHandle, name: &str) -> Self {
+        self.telemetry = telemetry.clone();
+        self.name = name.to_string();
+        self
+    }
+
+    /// The configured strip count (before per-frame clamping).
+    pub fn strips(&self) -> usize {
+        self.strips
+    }
+
+    /// Process one frame strip-parallel on `pool` and stitch the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image width differs from the configured width, the
+    /// image is shorter than the window, or the kernel's window size
+    /// mismatches.
+    pub fn run(
+        &self,
+        img: &ImageU8,
+        kernel: &dyn WindowKernel,
+        pool: &ThreadPool,
+    ) -> ShardedOutput {
+        let n = self.cfg.window;
+        assert_eq!(img.width(), self.cfg.width, "image width mismatch");
+        assert!(img.height() >= n, "image shorter than the window");
+        assert_eq!(kernel.window_size(), n, "kernel window size mismatch");
+
+        let shard_plan = ShardPlan::new(n, img.height(), self.strips);
+        let spans = &shard_plan.spans;
+        let results = pool.par_map_indexed(spans.len(), |i| {
+            let span = spans[i];
+            let _timer = self
+                .telemetry
+                .span(&format!("shard.{}.strip{}", self.name, span.index));
+            let sub = img.crop(0, span.input_row0, img.width(), span.input_rows);
+            match self.buffering {
+                Buffering::Traditional => {
+                    let mut arch = TraditionalSlidingWindow::new(self.cfg);
+                    let out = arch.process_frame(&sub, kernel);
+                    (out.image, out.stats.cycles, 0u64)
+                }
+                Buffering::Compressed { threshold } => {
+                    let mut arch = CompressedSlidingWindow::new(self.cfg.with_threshold(threshold));
+                    let out = arch.process_frame(&sub, kernel);
+                    (
+                        out.image,
+                        out.stats.cycles,
+                        out.stats.peak_payload_occupancy,
+                    )
+                }
+            }
+        });
+
+        // Stitch in strip order; all aggregation is scheduling-independent.
+        let ow = img.width() - n + 1;
+        let oh = img.height() - n + 1;
+        let mut image = ImageU8::filled(ow, oh, 0);
+        let mut strip_stats = Vec::with_capacity(spans.len());
+        let mut cycles = 0u64;
+        let mut peak = 0u64;
+        for (span, (strip_img, strip_cycles, strip_peak)) in spans.iter().zip(&results) {
+            debug_assert_eq!(strip_img.height(), span.output_rows);
+            debug_assert_eq!(strip_img.width(), ow);
+            for r in 0..span.output_rows {
+                let y = span.output_row0 + r;
+                image.pixels_mut()[y * ow..(y + 1) * ow].copy_from_slice(strip_img.row(r));
+            }
+            cycles += strip_cycles;
+            peak = peak.max(*strip_peak);
+            strip_stats.push(StripStats {
+                span: *span,
+                cycles: *strip_cycles,
+                peak_payload_occupancy: *strip_peak,
+            });
+            self.telemetry
+                .counter(&format!("shard.{}.strip{}.cycles", self.name, span.index))
+                .add(*strip_cycles);
+        }
+
+        let (brams, bram_plan) = match self.buffering {
+            Buffering::Traditional => (traditional_brams(n, self.cfg.width), None),
+            Buffering::Compressed { .. } => {
+                let p = plan(n, self.cfg.width, peak, MgmtAccounting::Structured);
+                (p.total_brams(), Some(p))
+            }
+        };
+
+        let pool_stats = pool.stats();
+        self.telemetry
+            .gauge(&format!("shard.{}.strips", self.name))
+            .set(spans.len() as u64);
+        self.telemetry
+            .gauge("pool.workers")
+            .set(pool_stats.workers as u64);
+        self.telemetry.gauge("pool.steals").set(pool_stats.steals);
+        self.telemetry.gauge("pool.items").set(pool_stats.items);
+        self.telemetry
+            .gauge("pool.queue_depth_high_water")
+            .observe_max(pool_stats.queue_depth_high_water);
+        self.telemetry
+            .counter(&format!("shard.{}.cycles", self.name))
+            .add(cycles);
+
+        ShardedOutput {
+            image,
+            strip_stats,
+            cycles,
+            peak_payload_occupancy: peak,
+            brams,
+            bram_plan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{BoxFilter, Tap};
+    use crate::reference::direct_sliding_window;
+
+    fn test_image(w: usize, h: usize) -> ImageU8 {
+        ImageU8::from_fn(w, h, |x, y| ((x * 7 + y * 13 + (x * y) % 5) % 256) as u8)
+    }
+
+    #[test]
+    fn plan_partitions_output_rows_exactly() {
+        for (h, n, k) in [(67, 4, 4), (67, 8, 5), (16, 8, 3), (64, 8, 8), (9, 8, 4)] {
+            let p = ShardPlan::new(n, h, k);
+            let out_rows = h - n + 1;
+            assert!(p.len() <= k && !p.is_empty());
+            let mut next = 0usize;
+            for s in &p.spans {
+                assert_eq!(s.output_row0, next, "contiguous strips");
+                assert_eq!(s.input_row0, s.output_row0);
+                assert_eq!(s.input_rows, s.output_rows + n - 1);
+                assert!(s.input_row0 + s.input_rows <= h, "halo stays in frame");
+                next += s.output_rows;
+            }
+            assert_eq!(next, out_rows, "strips cover every output row once");
+            // Near-equal split: sizes differ by at most one row.
+            let sizes: Vec<_> = p.spans.iter().map(|s| s.output_rows).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "ragged split {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn plan_clamps_strip_count_to_output_rows() {
+        let p = ShardPlan::new(8, 10, 64); // only 3 output rows
+        assert_eq!(p.len(), 3);
+        assert!(p.spans.iter().all(|s| s.output_rows == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the window")]
+    fn plan_rejects_undersized_frames() {
+        ShardPlan::new(8, 7, 4);
+    }
+
+    #[test]
+    fn sharded_traditional_matches_direct_reference() {
+        let img = test_image(24, 19); // ragged: 16 output rows over 5 strips
+        let kernel = BoxFilter::new(4);
+        let pool = ThreadPool::new(2);
+        let runner =
+            ShardedFrameRunner::new(ArchConfig::new(4, 24), Buffering::Traditional).with_strips(5);
+        let got = runner.run(&img, &kernel, &pool);
+        assert_eq!(got.image, direct_sliding_window(&img, &kernel));
+        assert!(got.bram_plan.is_none());
+        assert_eq!(got.strip_stats.len(), 5);
+    }
+
+    #[test]
+    fn telemetry_records_strips_and_pool_gauges() {
+        let t = TelemetryHandle::new();
+        let img = test_image(24, 16);
+        let pool = ThreadPool::new(2);
+        let runner = ShardedFrameRunner::new(
+            ArchConfig::new(4, 24),
+            Buffering::Compressed { threshold: 0 },
+        )
+        .with_strips(4)
+        .with_named_telemetry(&t, "f0");
+        let out = runner.run(&img, &Tap::top_left(4), &pool);
+        let r = t.report();
+        assert_eq!(r.gauges["shard.f0.strips"], 4);
+        assert_eq!(r.gauges["pool.workers"], 1);
+        assert_eq!(r.counters["shard.f0.cycles"], out.cycles);
+        let strip_sum: u64 = (0..4)
+            .map(|i| r.counters[&format!("shard.f0.strip{i}.cycles")])
+            .sum();
+        assert_eq!(strip_sum, out.cycles);
+        assert_eq!(r.counters["shard.f0.strip0.calls"], 1);
+    }
+}

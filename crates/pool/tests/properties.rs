@@ -1,0 +1,74 @@
+//! Scheduler-independent properties of the work-stealing pool: exactly-once
+//! execution, input-order results, panic propagation, and nested batches
+//! that never deadlock — for arbitrary pool sizes and batch shapes.
+
+use proptest::prelude::*;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use sw_pool::ThreadPool;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every item is processed exactly once, whatever the jobs/len mix.
+    #[test]
+    fn every_item_processed_exactly_once(jobs in 1usize..9, len in 0usize..200) {
+        let pool = ThreadPool::new(jobs);
+        let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        pool.par_map_indexed(len, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            prop_assert_eq!(h.load(Ordering::SeqCst), 1, "item {} ran a wrong number of times", i);
+        }
+        prop_assert_eq!(pool.stats().items, len as u64);
+    }
+
+    /// Collected output preserves the input order regardless of which
+    /// thread ran which item.
+    #[test]
+    fn output_preserves_input_order(jobs in 1usize..9, len in 0usize..200, salt in any::<u32>()) {
+        let pool = ThreadPool::new(jobs);
+        let items: Vec<u64> = (0..len as u64).map(|i| i ^ u64::from(salt)).collect();
+        let out = pool.par_map(&items, |&x| x.wrapping_mul(3));
+        let expect: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(3)).collect();
+        prop_assert_eq!(out, expect);
+    }
+
+    /// A panicking item reaches the caller as a panic (never a silent
+    /// drop), and the pool keeps working afterwards.
+    #[test]
+    fn worker_panics_propagate(jobs in 1usize..9, len in 1usize..64, which in 0usize..64) {
+        let victim = which % len;
+        let pool = ThreadPool::new(jobs);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map_indexed(len, |i| {
+                if i == victim {
+                    panic!("deliberate failure in item {i}");
+                }
+                i
+            })
+        }));
+        prop_assert!(result.is_err(), "panic in item {} was swallowed", victim);
+        // The batch drained fully before re-raising: nothing is stuck.
+        let after = pool.par_map_indexed(len, |i| i * 2);
+        prop_assert_eq!(after, (0..len).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    /// Nested `par_map` calls on the same pool complete (the caller helps
+    /// drain its own batch, so blocking on a child cannot starve it).
+    #[test]
+    fn nested_batches_terminate(jobs in 1usize..5, outer in 1usize..9, inner in 1usize..9) {
+        let pool = ThreadPool::new(jobs);
+        let pool = &pool;
+        let out = pool.par_map_indexed(outer, |i| {
+            pool.par_map_indexed(inner, move |j| i * inner + j)
+                .into_iter()
+                .sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..outer)
+            .map(|i| (0..inner).map(|j| i * inner + j).sum())
+            .collect();
+        prop_assert_eq!(out, expect);
+    }
+}

@@ -1,0 +1,50 @@
+//! Scheduler stress: many more tasks than workers, uneven task costs, and
+//! repeated batches on one pool. CI runs this under `RUST_TEST_THREADS=1`
+//! as a sanitizer-style smoke job so scheduler races fail loudly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use sw_pool::ThreadPool;
+
+/// The ISSUE's headline stress shape: 64 tasks × 8 workers (9 jobs = the
+/// caller + 8 spawned workers), with deliberately skewed task costs so the
+/// fast threads must steal the stragglers' queued work.
+#[test]
+fn stress_64_tasks_on_8_workers() {
+    let pool = ThreadPool::new(9);
+    assert_eq!(pool.workers(), 8);
+    let total = AtomicU64::new(0);
+    for round in 0..10u64 {
+        let out = pool.par_map_indexed(64, |i| {
+            // Skewed cost: item 0 spins the longest, later items are cheap.
+            let spin = (64 - i as u64) * 1_000;
+            let mut acc = round;
+            for k in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            total.fetch_add(1, Ordering::Relaxed);
+            (i as u64) ^ (acc & 1)
+        });
+        assert_eq!(out.len(), 64, "round {round} lost items");
+    }
+    assert_eq!(total.load(Ordering::Relaxed), 640);
+    let stats = pool.stats();
+    assert_eq!(stats.items, 640);
+    assert_eq!(stats.batches, 10);
+    assert!(
+        stats.queue_depth_high_water >= 1,
+        "tickets never reached the queues"
+    );
+}
+
+/// Many small batches in a row reuse the same workers without leaking
+/// queued tickets between batches.
+#[test]
+fn repeated_small_batches_stay_clean() {
+    let pool = ThreadPool::new(4);
+    for len in [1usize, 2, 3, 5, 8, 13, 21, 34] {
+        let out = pool.par_map_indexed(len, |i| i + 1);
+        assert_eq!(out, (1..=len).collect::<Vec<_>>());
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.items, 1 + 2 + 3 + 5 + 8 + 13 + 21 + 34);
+}

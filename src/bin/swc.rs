@@ -6,9 +6,9 @@
 //!
 //! ```text
 //! swc analyze  <image.pgm> --window 16 [--threshold 4] [--policy all]
-//!              [--metrics-out m.json] [--trace t.jsonl]
+//!              [--metrics-out m.json] [--trace t.jsonl] [--jobs N]
 //! swc plan     <image.pgm> --window 16 [--threshold 4]
-//! swc sweep    <image.pgm> --window 16 [--metrics-out m.json]
+//! swc sweep    <image.pgm> --window 16 [--metrics-out m.json] [--jobs N]
 //! swc scene    <name|index> <out.pgm> [--size 512x512]   # dataset export
 //! ```
 //!
@@ -16,10 +16,15 @@
 //! counts, FIFO occupancy histograms and high-water marks, packer byte
 //! counters, the NBits width distribution) as machine-readable JSON;
 //! `--trace` writes the cycle-domain event trace as JSON lines.
+//!
+//! `--jobs N` runs the analyzer and the datapath strip-parallel on an
+//! N-thread pool. The strip decomposition is fixed (8 strips), so every
+//! number printed is identical for any `N` — see `tests/determinism.rs`.
 
-use modified_sliding_window::core::analysis::analyze_frame;
+use modified_sliding_window::core::analysis::{analyze_frame, analyze_frame_par};
 use modified_sliding_window::core::compressed::CompressedSlidingWindow;
 use modified_sliding_window::core::kernels::Tap;
+use modified_sliding_window::core::shard::{ShardedFrameRunner, DEFAULT_STRIPS};
 use modified_sliding_window::image::pgm::{read_pgm, write_pgm};
 use modified_sliding_window::prelude::*;
 use modified_sliding_window::telemetry::TelemetryHandle;
@@ -43,9 +48,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   swc analyze <image.pgm> --window N [--threshold T] [--policy details|all]
-              [--metrics-out FILE.json] [--trace FILE.jsonl]
+              [--metrics-out FILE.json] [--trace FILE.jsonl] [--jobs N]
   swc plan    <image.pgm> --window N [--threshold T]
-  swc sweep   <image.pgm> --window N [--metrics-out FILE.json]
+  swc sweep   <image.pgm> --window N [--metrics-out FILE.json] [--jobs N]
   swc scene   <name|index> <out.pgm> [--size WxH]
 
 The image must be a binary PGM (P5). `swc scene` writes one of the built-in
@@ -54,7 +59,10 @@ synthetic dataset scenes instead of reading an input.
 --metrics-out runs the full datapath with telemetry enabled and writes the
 metrics report (stage cycles, FIFO occupancy, packer counters, NBits
 distribution) as JSON; --trace writes the cycle-domain event trace as JSON
-lines.";
+lines.
+
+--jobs N processes the frame as 8 row strips (with window-height halos) on
+an N-thread work-stealing pool; output is byte-identical for any N.";
 
 struct Opts {
     window: usize,
@@ -63,6 +71,7 @@ struct Opts {
     size: (usize, usize),
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
+    jobs: Option<usize>,
 }
 
 impl Opts {
@@ -80,6 +89,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         size: (512, 512),
         metrics_out: None,
         trace_out: None,
+        jobs: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -113,6 +123,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--trace" => {
                 o.trace_out = Some(PathBuf::from(next(args, &mut i)?));
             }
+            "--jobs" => {
+                o.jobs = Some(parse_jobs(next(args, &mut i)?)?);
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
@@ -143,6 +156,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let o = parse_opts(&args[2..])?;
             require_window(&o)?;
             reject_telemetry(&o, "plan")?;
+            reject_jobs(&o, "plan")?;
             plan_cmd(&load(path)?, &o)
         }
         "sweep" => {
@@ -156,6 +170,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let out = args.get(2).ok_or("missing output path")?;
             let o = parse_opts(&args[3..])?;
             reject_telemetry(&o, "scene")?;
+            reject_jobs(&o, "scene")?;
             scene(which, out, &o)
         }
         other => Err(format!("unknown command '{other}'")),
@@ -166,6 +181,15 @@ fn reject_telemetry(o: &Opts, cmd: &str) -> Result<(), String> {
     if o.wants_telemetry() {
         return Err(format!(
             "--metrics-out/--trace are not supported by '{cmd}' (use analyze or sweep)"
+        ));
+    }
+    Ok(())
+}
+
+fn reject_jobs(o: &Opts, cmd: &str) -> Result<(), String> {
+    if o.jobs.is_some() {
+        return Err(format!(
+            "--jobs is not supported by '{cmd}' (use analyze or sweep)"
         ));
     }
     Ok(())
@@ -193,7 +217,12 @@ fn config(img: &ImageU8, o: &Opts) -> Result<ArchConfig, String> {
 
 fn analyze(img: &ImageU8, o: &Opts) -> Result<(), String> {
     let cfg = config(img, o)?;
-    let a = analyze_frame(img, &cfg);
+    let pool = o.jobs.map(ThreadPool::new);
+    let a = match &pool {
+        // Bit-identical to the sequential analyzer for any pool size.
+        Some(p) => analyze_frame_par(img, &cfg, p),
+        None => analyze_frame(img, &cfg),
+    };
     println!(
         "image {}x{}  window {}  threshold {}",
         img.width(),
@@ -225,14 +254,31 @@ fn analyze(img: &ImageU8, o: &Opts) -> Result<(), String> {
         } else {
             TelemetryHandle::disabled()
         };
-        let mut arch = CompressedSlidingWindow::new(cfg).with_telemetry(&tele);
-        let out = arch.process_frame(img, &Tap::top_left(o.window));
+        let kernel = Tap::top_left(o.window);
+        let out_image = match &pool {
+            Some(p) => {
+                ShardedFrameRunner::new(
+                    cfg,
+                    Buffering::Compressed {
+                        threshold: o.threshold,
+                    },
+                )
+                .with_strips(DEFAULT_STRIPS)
+                .with_named_telemetry(&tele, "analyze")
+                .run(img, &kernel, p)
+                .image
+            }
+            None => {
+                let mut arch = CompressedSlidingWindow::new(cfg).with_telemetry(&tele);
+                arch.process_frame(img, &kernel).image
+            }
+        };
         if o.threshold > 0 {
-            let crop = img.crop(0, 0, out.image.width(), out.image.height());
+            let crop = img.crop(0, 0, out_image.width(), out_image.height());
             println!(
                 "delivered quality:    MSE {:.2}  PSNR {:.1} dB (compounded, worst window row)",
-                mse(&out.image, &crop),
-                psnr(&out.image, &crop)
+                mse(&out_image, &crop),
+                psnr(&out_image, &crop)
             );
         }
         write_telemetry(&tele, o)?;
@@ -305,19 +351,34 @@ fn sweep(img: &ImageU8, o: &Opts) -> Result<(), String> {
     } else {
         TelemetryHandle::disabled()
     };
+    let pool = o.jobs.map(ThreadPool::new);
     println!("T   saving%   worst payload bits   delivered MSE");
     for t in [0i16, 2, 4, 6, 8] {
         let cfg = config(img, o)?.with_threshold(t);
-        let a = analyze_frame(img, &cfg);
+        let a = match &pool {
+            Some(p) => analyze_frame_par(img, &cfg, p),
+            None => analyze_frame(img, &cfg),
+        };
         let e = if t == 0 && !o.wants_telemetry() {
             0.0
         } else {
             // Each threshold reports as its own stage in the telemetry.
-            let mut arch =
-                CompressedSlidingWindow::new(cfg).with_named_telemetry(&tele, &format!("t{t}"));
-            let out = arch.process_frame(img, &Tap::top_left(o.window));
-            let crop = img.crop(0, 0, out.image.width(), out.image.height());
-            mse(&out.image, &crop)
+            let out_image = match &pool {
+                Some(p) => {
+                    ShardedFrameRunner::new(cfg, Buffering::Compressed { threshold: t })
+                        .with_strips(DEFAULT_STRIPS)
+                        .with_named_telemetry(&tele, &format!("t{t}"))
+                        .run(img, &Tap::top_left(o.window), p)
+                        .image
+                }
+                None => {
+                    let mut arch = CompressedSlidingWindow::new(cfg)
+                        .with_named_telemetry(&tele, &format!("t{t}"));
+                    arch.process_frame(img, &Tap::top_left(o.window)).image
+                }
+            };
+            let crop = img.crop(0, 0, out_image.width(), out_image.height());
+            mse(&out_image, &crop)
         };
         println!(
             "{t:<3} {:>7.1}   {:>18}   {e:>13.2}",

@@ -19,7 +19,10 @@
 //! * [`fpga`] — BRAM18 model, FIFOs, resource estimator, device catalog.
 //! * [`image`] — image container, metrics, PGM I/O, synthetic scene dataset.
 //! * [`core`] — the architectures (traditional and compressed), analyzer,
-//!   BRAM planner, kernels, pipelines, adaptive threshold control.
+//!   BRAM planner, kernels, pipelines, halo-sharded frame runner, adaptive
+//!   threshold control.
+//! * [`pool`] — the work-stealing thread pool behind `par_iter` and the
+//!   sharded runner (`--jobs` / `SWC_JOBS` select its size).
 //! * [`telemetry`] — the observability substrate: metrics registry, span
 //!   timers, cycle-domain trace ring, machine-readable run reports.
 //!
@@ -52,13 +55,14 @@ pub use sw_bitstream as bitstream;
 pub use sw_core as core;
 pub use sw_fpga as fpga;
 pub use sw_image as image;
+pub use sw_pool as pool;
 pub use sw_telemetry as telemetry;
 pub use sw_wavelet as wavelet;
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use sw_core::adaptive::{AdaptiveConfig, AdaptiveThreshold, Adjustment};
-    pub use sw_core::analysis::{analyze_frame, occupancy_trace, FrameAnalysis};
+    pub use sw_core::analysis::{analyze_frame, analyze_frame_par, occupancy_trace, FrameAnalysis};
     pub use sw_core::color::{ColorCompressedSlidingWindow, ColorOutput};
     pub use sw_core::compressed::{CompressedOutput, CompressedSlidingWindow};
     pub use sw_core::config::{ArchConfig, NBitsGranularity, ThresholdPolicy};
@@ -71,10 +75,14 @@ pub mod prelude {
     pub use sw_core::planner::{plan, traditional_brams, BramPlan, MgmtAccounting};
     pub use sw_core::reference::direct_sliding_window;
     pub use sw_core::rtl::RtlCompressedSlidingWindow;
+    pub use sw_core::shard::{
+        ShardPlan, ShardedFrameRunner, ShardedOutput, StripSpan, StripStats, DEFAULT_STRIPS,
+    };
     pub use sw_core::stats::summarize;
     pub use sw_core::traditional::TraditionalSlidingWindow;
     pub use sw_fpga::device::Device;
     pub use sw_fpga::resources::{estimate, ModuleKind, ResourceEstimate};
     pub use sw_image::{dataset, degenerate_suite, mse, psnr, ImageRgb, ImageU8, ScenePreset};
+    pub use sw_pool::{configure_global, default_jobs, parse_jobs, PoolStats, ThreadPool};
     pub use sw_telemetry::{Report, TelemetryHandle};
 }

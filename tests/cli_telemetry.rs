@@ -1,7 +1,9 @@
-//! End-to-end test of the `swc` telemetry flags: the binary must emit a
-//! metrics report that parses back into an identical [`Report`] and carries
-//! the series the observability layer promises (stage cycles, FIFO
-//! occupancy, packer counters, NBits distribution), plus a JSONL trace.
+//! End-to-end test of the `swc` telemetry and parallelism flags: the binary
+//! must emit a metrics report that parses back into an identical [`Report`]
+//! and carries the series the observability layer promises (stage cycles,
+//! FIFO occupancy, packer counters, NBits distribution), plus a JSONL
+//! trace; `--jobs` must validate its argument with a friendly error and
+//! leave every printed number unchanged for any pool size.
 
 use modified_sliding_window::prelude::*;
 use std::path::PathBuf;
@@ -105,6 +107,142 @@ fn sweep_metrics_out_reports_every_threshold() {
     let bits = |t: u64| report.counters[&format!("stage.t{t}.packer.payload_bits")];
     assert!(bits(8) < bits(0), "T=8 must pack fewer bits than lossless");
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_stdout_is_jobs_invariant() {
+    let dir = temp_dir("jobs-invariant");
+    let pgm = write_scene(&dir);
+    let run = |jobs: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_swc"))
+            .args([
+                "analyze",
+                pgm.to_str().unwrap(),
+                "--window",
+                "8",
+                "--threshold",
+                "4",
+                "--jobs",
+                jobs,
+            ])
+            .output()
+            .expect("run swc");
+        assert!(out.status.success(), "swc analyze --jobs {jobs} failed");
+        out.stdout
+    };
+    // Lossy analysis (saving, occupancy, MSE, PSNR) must print the same
+    // bytes whether the strips run on one thread or three.
+    assert_eq!(run("1"), run("3"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_jobs_reports_pool_and_shard_series() {
+    let dir = temp_dir("jobs-metrics");
+    let pgm = write_scene(&dir);
+    let metrics = dir.join("metrics.json");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_swc"))
+        .args([
+            "sweep",
+            pgm.to_str().unwrap(),
+            "--window",
+            "8",
+            "--jobs",
+            "2",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .status()
+        .expect("run swc");
+    assert!(status.success(), "swc sweep --jobs failed");
+
+    let report = Report::from_json(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    // A 2-thread pool is the caller plus one spawned worker.
+    assert_eq!(report.gauges["pool.workers"], 1);
+    assert!(report.gauges.contains_key("pool.queue_depth_high_water"));
+    for t in [0u64, 2, 4, 6, 8] {
+        assert!(
+            report.gauges[&format!("shard.t{t}.strips")] >= 1,
+            "threshold {t} must record its strip count"
+        );
+        assert!(
+            report.counters[&format!("shard.t{t}.cycles")] > 0,
+            "threshold {t} must record sharded cycles"
+        );
+        assert!(
+            report
+                .counters
+                .contains_key(&format!("shard.t{t}.strip0.cycles")),
+            "threshold {t} must record per-strip cycles"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn jobs_zero_is_a_friendly_error() {
+    let dir = temp_dir("jobs-zero");
+    let pgm = write_scene(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_swc"))
+        .args([
+            "analyze",
+            pgm.to_str().unwrap(),
+            "--window",
+            "8",
+            "--jobs",
+            "0",
+        ])
+        .output()
+        .expect("run swc");
+    assert!(!out.status.success(), "--jobs 0 must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("at least 1"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn jobs_non_numeric_is_a_friendly_error() {
+    let dir = temp_dir("jobs-nan");
+    let pgm = write_scene(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_swc"))
+        .args([
+            "sweep",
+            pgm.to_str().unwrap(),
+            "--window",
+            "8",
+            "--jobs",
+            "many",
+        ])
+        .output()
+        .expect("run swc");
+    assert!(!out.status.success(), "--jobs many must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("positive integer"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plan_rejects_jobs() {
+    let dir = temp_dir("plan-jobs");
+    let pgm = write_scene(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_swc"))
+        .args([
+            "plan",
+            pgm.to_str().unwrap(),
+            "--window",
+            "8",
+            "--jobs",
+            "2",
+        ])
+        .output()
+        .expect("run swc");
+    assert!(!out.status.success(), "plan must reject --jobs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not supported"), "stderr: {stderr}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

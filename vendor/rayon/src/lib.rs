@@ -1,49 +1,145 @@
-//! A minimal, dependency-free shim of the [rayon](https://crates.io/crates/rayon)
-//! API surface this workspace uses.
+//! A minimal, in-workspace facade of the [rayon](https://crates.io/crates/rayon)
+//! API surface this workspace uses — now genuinely parallel.
 //!
-//! The build environment is offline (no crates.io access), so the real rayon
-//! cannot be vendored. `par_iter()` here returns the *sequential* slice
-//! iterator — every standard `Iterator` combinator the callers use
-//! (`map`, `take`, `collect`, …) keeps working, results are identical, and
-//! swapping the real crate back in requires no source changes. The only
-//! difference is that work runs on one thread.
+//! The build environment is offline (no crates.io access), so the real
+//! rayon cannot be vendored. Instead, `par_iter()` here drives the
+//! workspace's own work-stealing pool ([`sw_pool::global`]): items are
+//! claim-scheduled across `SWC_JOBS` / `available_parallelism` OS threads
+//! (the caller participates, so a 1-job pool degenerates to a sequential
+//! loop), and collected results always come back in input order, exactly
+//! like real rayon. Swapping the real crate back in requires no source
+//! changes at the call sites.
+//!
+//! Only the combinators the callers use are implemented: `take`, `map`,
+//! `copied`, `collect`, `max`.
 
 /// The usual glob import, mirroring `rayon::prelude::*`.
 pub mod prelude {
-    pub use crate::iter::IntoParallelRefIterator;
+    pub use crate::iter::{IntoParallelRefIterator, ParallelIterator};
 }
 
-/// Parallel-iterator entry points (sequential fallback).
+/// Parallel-iterator entry points, backed by [`sw_pool`].
 pub mod iter {
+    /// Anything that can be drained into an index-ordered `Vec` by the
+    /// pool. Mirrors rayon's trait of the same name (the slice of it this
+    /// workspace needs: `collect` and `max`).
+    pub trait ParallelIterator: Sized {
+        /// The element type produced by this iterator.
+        type Item: Send;
+
+        /// Execute on the global pool, returning items in input order.
+        fn drive(self) -> Vec<Self::Item>;
+
+        /// Collect into any container buildable from an ordered `Vec`.
+        fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+            C::from(self.drive())
+        }
+
+        /// Largest item, or `None` when empty.
+        fn max(self) -> Option<Self::Item>
+        where
+            Self::Item: Ord,
+        {
+            self.drive().into_iter().max()
+        }
+    }
+
     /// `&collection -> par_iter()`, mirroring rayon's trait of the same
-    /// name. The shim's "parallel" iterator is the plain sequential slice
-    /// iterator, which supports a superset of the combinators used here.
+    /// name.
     pub trait IntoParallelRefIterator<'data> {
         /// The iterator type `par_iter` returns.
-        type Iter: Iterator;
+        type Iter: ParallelIterator;
 
-        /// Iterate (sequentially, in this shim) over `&self`.
+        /// Iterate over `&self` on the global thread pool.
         fn par_iter(&'data self) -> Self::Iter;
     }
 
+    /// A parallel iterator over a borrowed slice.
+    #[derive(Debug)]
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        /// Keep only the first `n` items.
+        pub fn take(self, n: usize) -> Self {
+            let n = n.min(self.items.len());
+            ParIter {
+                items: &self.items[..n],
+            }
+        }
+
+        /// Map each item through `f` (executed on the pool when driven).
+        pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+        where
+            R: Send,
+            F: Fn(&'data T) -> R + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Copy items out of the slice.
+        pub fn copied(self) -> ParMap<'data, T, fn(&'data T) -> T>
+        where
+            T: Copy + Send,
+        {
+            self.map(|t| *t)
+        }
+    }
+
+    impl<'data, T: Sync> ParallelIterator for ParIter<'data, T> {
+        type Item = &'data T;
+
+        fn drive(self) -> Vec<&'data T> {
+            sw_pool::global().par_map_indexed(self.items.len(), |i| &self.items[i])
+        }
+    }
+
+    /// A mapped parallel iterator (`par_iter().map(f)`).
+    #[derive(Debug)]
+    pub struct ParMap<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T, R, F> ParallelIterator for ParMap<'data, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        type Item = R;
+
+        fn drive(self) -> Vec<R> {
+            sw_pool::global().par_map_indexed(self.items.len(), |i| (self.f)(&self.items[i]))
+        }
+    }
+
     impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
+        type Iter = ParIter<'data, T>;
         fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+            ParIter { items: self }
         }
     }
 
     impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = std::slice::Iter<'data, T>;
+        type Iter = ParIter<'data, T>;
         fn par_iter(&'data self) -> Self::Iter {
-            self.as_slice().iter()
+            ParIter {
+                items: self.as_slice(),
+            }
         }
     }
 
     impl<'data, T: 'data + Sync, const N: usize> IntoParallelRefIterator<'data> for [T; N] {
-        type Iter = std::slice::Iter<'data, T>;
+        type Iter = ParIter<'data, T>;
         fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+            ParIter {
+                items: self.as_slice(),
+            }
         }
     }
 }
@@ -60,5 +156,29 @@ mod tests {
         let arr = [10u8, 20, 30];
         let taken: Vec<u8> = arr.par_iter().take(2).copied().collect();
         assert_eq!(taken, vec![10, 20]);
+    }
+
+    #[test]
+    fn map_preserves_input_order_at_scale() {
+        let v: Vec<usize> = (0..500).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, (1..=500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn max_matches_sequential_max() {
+        let v = [3u64, 99, 12, 98];
+        assert_eq!(v.par_iter().map(|&x| x * 2).max(), Some(198));
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(empty.par_iter().copied().max(), None);
+    }
+
+    #[test]
+    fn take_truncates_before_scheduling() {
+        let v: Vec<u32> = (0..100).collect();
+        let out: Vec<u32> = v.par_iter().take(7).copied().collect();
+        assert_eq!(out, (0..7).collect::<Vec<_>>());
+        let over: Vec<u32> = v.par_iter().take(1000).copied().collect();
+        assert_eq!(over.len(), 100);
     }
 }

@@ -1,0 +1,36 @@
+//! Proof that the facade's `par_iter` really fans out across OS threads.
+//!
+//! Runs in its own test binary so it can size the process-global pool
+//! explicitly (the CI box may report a single hardware core, which would
+//! otherwise default the pool to one job and make the assertion vacuous).
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+#[test]
+fn par_iter_uses_more_than_one_os_thread() {
+    sw_pool::configure_global(4).expect("first global-pool user in this process");
+    let started = AtomicUsize::new(0);
+    let items = [0usize, 1];
+    let ids: Vec<thread::ThreadId> = items
+        .par_iter()
+        .map(|&i| {
+            // Rendezvous: each item blocks until both have started, which
+            // is only possible with two threads running concurrently.
+            started.fetch_add(1, Ordering::SeqCst);
+            let deadline = Instant::now() + Duration::from_secs(20);
+            while started.load(Ordering::SeqCst) < 2 {
+                assert!(
+                    Instant::now() < deadline,
+                    "item {i} waited 20s for a second thread: par_iter is sequential"
+                );
+                thread::yield_now();
+            }
+            thread::current().id()
+        })
+        .collect();
+    assert_ne!(ids[0], ids[1], "par_iter ran both items on one OS thread");
+    assert!(sw_pool::global().stats().worker_items >= 1);
+}
