@@ -10,7 +10,6 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use sw_core::compressed::CompressedSlidingWindow;
 use sw_core::config::ArchConfig;
 use sw_core::kernels::{BoxFilter, Tap};
-use sw_core::pipeline::Buffering;
 use sw_core::shard::ShardedFrameRunner;
 use sw_core::traditional::TraditionalSlidingWindow;
 use sw_image::ScenePreset;
@@ -114,7 +113,7 @@ fn bench_sharded_vs_sequential(c: &mut Criterion) {
         });
         for jobs in [1usize, 2, 4] {
             let pool = ThreadPool::new(jobs);
-            let runner = ShardedFrameRunner::new(cfg, Buffering::Compressed { threshold: 4 });
+            let runner = ShardedFrameRunner::new(cfg);
             group.bench_with_input(
                 BenchmarkId::new(format!("sharded_jobs{jobs}"), size),
                 &img,

@@ -6,14 +6,19 @@
 //! `N − 1` times, so we report both regimes.
 //!
 //! ```text
-//! cargo run --release -p sw-bench --bin mse [--quick] [--telemetry-out <path>]
+//! cargo run --release -p sw-bench --bin mse [--quick] [--codec <name>]
+//!     [--telemetry-out <path>]
 //! ```
+//!
+//! `--codec` swaps the line codec in the compounded column (default: the
+//! paper's Haar); the single-pass column is Haar-specific and unaffected.
 
 use rayon::prelude::*;
 use sw_bench::table::render;
-use sw_bench::{cli_setup, paper, scene_images, write_telemetry_report, Sweep};
+use sw_bench::{cli_setup, codec_from_args, paper, scene_images, write_telemetry_report, Sweep};
 use sw_bitstream::apply_threshold;
-use sw_core::compressed::CompressedSlidingWindow;
+use sw_core::arch::build_arch;
+use sw_core::codec::LineCodecKind;
 use sw_core::config::ArchConfig;
 use sw_core::kernels::Tap;
 use sw_core::stats::summarize;
@@ -46,11 +51,14 @@ fn compounded_mse(
     img: &ImageU8,
     n: usize,
     t: i16,
+    codec: LineCodecKind,
     telemetry: &sw_telemetry::TelemetryHandle,
 ) -> f64 {
-    let cfg = ArchConfig::new(n, img.width()).with_threshold(t);
-    let mut arch =
-        CompressedSlidingWindow::new(cfg).with_named_telemetry(telemetry, &format!("mse_t{t}"));
+    let cfg = ArchConfig::new(n, img.width())
+        .with_threshold(t)
+        .with_codec(codec);
+    let mut arch = build_arch(&cfg);
+    arch.bind_telemetry(telemetry, &format!("mse_t{t}"));
     let out = arch.process_frame(img, &Tap::top_left(n));
     let crop = img.crop(0, 0, out.image.width(), out.image.height());
     mse(&out.image, &crop)
@@ -58,6 +66,12 @@ fn compounded_mse(
 
 fn main() {
     let (tele, tele_path) = cli_setup();
+    let codec = codec_from_args()
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+        .unwrap_or(LineCodecKind::Haar);
     let sweep = Sweep::from_args();
     let res = if sweep.scenes >= 10 { 512 } else { 256 };
     eprintln!("rendering {} scenes at {res}x{res}...", sweep.scenes);
@@ -65,8 +79,9 @@ fn main() {
     let n = 8;
 
     println!(
-        "MSE vs threshold over {} scenes @ {res}x{res} (window {n} for the compounded column)\n",
-        sweep.scenes
+        "MSE vs threshold over {} scenes @ {res}x{res} (window {n}, codec {} for the compounded column)\n",
+        sweep.scenes,
+        codec.name()
     );
     let mut rows = Vec::new();
     for &(t, paper_mse) in &paper::PAPER_MSE {
@@ -74,7 +89,7 @@ fn main() {
         let single: Vec<f64> = images.par_iter().map(|(_, i)| one_shot_mse(i, t)).collect();
         let comp: Vec<f64> = images
             .par_iter()
-            .map(|(_, i)| compounded_mse(i, n, t, &tele))
+            .map(|(_, i)| compounded_mse(i, n, t, codec, &tele))
             .collect();
         let s = summarize(&single).expect("non-empty dataset");
         let c = summarize(&comp).expect("non-empty dataset");

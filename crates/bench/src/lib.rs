@@ -25,7 +25,7 @@ pub mod runner;
 pub mod table;
 
 pub use runner::{
-    cli_setup, jobs_from_args, quick_flag, scene_images, telemetry_from_args,
+    cli_setup, codec_from_args, jobs_from_args, quick_flag, scene_images, telemetry_from_args,
     write_telemetry_report, Sweep,
 };
 

@@ -41,6 +41,22 @@ pub fn telemetry_from_args() -> Result<(TelemetryHandle, Option<PathBuf>), Strin
     }
 }
 
+/// Parse `--codec <name>` from the command line. `Ok(None)` when absent
+/// (binaries default to the paper's Haar codec); friendly errors for a
+/// missing value or an unknown codec name.
+pub fn codec_from_args() -> Result<Option<sw_core::codec::LineCodecKind>, String> {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--codec") {
+        Some(i) => match args.get(i + 1) {
+            Some(v) => sw_core::codec::LineCodecKind::parse(v)
+                .map(Some)
+                .ok_or_else(|| format!("unknown codec '{v}' (raw, haar, haar2, legall, locoi)")),
+            None => Err("--codec needs a value (e.g. --codec legall)".to_string()),
+        },
+        None => Ok(None),
+    }
+}
+
 /// Parse `--jobs <n>` from the command line. `Ok(None)` when absent;
 /// friendly errors for a missing value, `0`, or a non-numeric value.
 pub fn jobs_from_args() -> Result<Option<usize>, String> {

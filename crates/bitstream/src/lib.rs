@@ -13,11 +13,15 @@
 //! * [`unpacker`] — the Bit Unpacking unit register model (paper Figures 8–9:
 //!   `CBits`, the 16-bit `Yout_rem` remainder register, sign extension).
 //! * [`bitmap`] — the per-coefficient significance bitmap.
-//! * [`column`] — the column codec tying it all together: encode one sub-band
+//! * [`mod@column`] — the column codec tying it all together: encode one sub-band
 //!   column into `(NBits, BitMap, packed payload)` and decode it back. This
 //!   is the unit of work the architecture performs every clock cycle.
 //! * [`telemetry`] — per-codec observability: packed byte/bit counters, the
 //!   NBits width distribution and bitmap density, feeding `sw-telemetry`.
+//! * [`locoi`] — a LOCO-I / JPEG-LS-style lossless predictive coder
+//!   (paper ref \[8]), the comparison baseline the paper rejects on
+//!   hardware grounds; it lives here so `sw-core`'s pluggable line-codec
+//!   layer can wrap it without a dependency cycle through `sw-related`.
 //!
 //! # Bit order
 //!
@@ -40,6 +44,7 @@
 
 pub mod bitmap;
 pub mod column;
+pub mod locoi;
 pub mod nbits;
 pub mod packer;
 pub mod telemetry;
@@ -48,6 +53,7 @@ pub mod writer;
 
 pub use bitmap::Bitmap;
 pub use column::{column_cost, decode_column, encode_column, ColumnCost, EncodedColumn};
+pub use locoi::{locoi_compressed_bits, locoi_decode, locoi_encode};
 pub use nbits::{min_bits, min_bits_column, NBitsCircuit};
 pub use packer::BitPackingUnit;
 pub use telemetry::CodecTelemetry;

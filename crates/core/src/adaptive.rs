@@ -168,6 +168,23 @@ impl AdaptiveThreshold {
         Adjustment::Held
     }
 
+    /// [`AdaptiveThreshold::observe`] that also applies the resulting
+    /// threshold to an architecture through the object-safe
+    /// [`crate::SlidingWindowArch`] trait, so the controller tunes any
+    /// codec the same way. The architecture is only touched when the
+    /// threshold actually moved.
+    pub fn observe_and_retune(
+        &mut self,
+        occupancy_bits: u64,
+        arch: &mut dyn crate::arch::SlidingWindowArch,
+    ) -> Adjustment {
+        let adj = self.observe(occupancy_bits);
+        if matches!(adj, Adjustment::Raised | Adjustment::Lowered) {
+            arch.set_threshold(self.threshold);
+        }
+        adj
+    }
+
     /// Emit the gauge update and trace event for a threshold move.
     fn record_change(&self, old: Coeff) {
         self.g_threshold.set(self.threshold.max(0) as u64);
@@ -246,6 +263,37 @@ mod tests {
         c.observe(1); // lower
         assert_eq!(c.adjustments(), (1, 1));
         assert_eq!(c.frames(), 4);
+    }
+
+    #[test]
+    fn retunes_the_architecture_through_the_trait() {
+        use crate::arch::build_arch;
+        use crate::codec::LineCodecKind;
+        use crate::config::ArchConfig;
+        use crate::kernels::BoxFilter;
+        use sw_image::ImageU8;
+
+        let img = ImageU8::from_fn(64, 32, |x, y| {
+            (128.0 + 64.0 * ((x as f64) * 0.11).sin() + 48.0 * ((y as f64) * 0.07).cos()) as u8
+        });
+        let cfg = ArchConfig::new(8, 64).with_codec(LineCodecKind::Legall);
+        let mut arch = build_arch(&cfg);
+        let lossless = arch.process_frame(&img, &BoxFilter::new(8)).stats;
+
+        // A budget below the lossless peak forces the controller to raise
+        // the threshold, and the retune must bite on the next frame.
+        let budget = lossless.peak_payload_occupancy / 2;
+        let mut ctl = AdaptiveThreshold::new(AdaptiveConfig::new(budget), 0);
+        for _ in 0..3 {
+            let adj = ctl.observe_and_retune(lossless.peak_payload_occupancy, arch.as_mut());
+            assert_eq!(adj, Adjustment::Raised);
+            assert_eq!(arch.config().threshold, ctl.threshold());
+        }
+        let tuned = arch.process_frame(&img, &BoxFilter::new(8)).stats;
+        assert!(
+            tuned.peak_payload_occupancy < lossless.peak_payload_occupancy,
+            "raised threshold must shrink the payload"
+        );
     }
 
     #[test]

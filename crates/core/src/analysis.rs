@@ -436,6 +436,25 @@ pub fn occupancy_trace(img: &ImageU8, cfg: &ArchConfig, strip: usize) -> Vec<Occ
     out
 }
 
+/// Measure a frame by actually streaming it through the architecture
+/// `cfg.codec` selects, returning the unified [`crate::FrameStats`].
+///
+/// The Haar-analytic [`analyze_frame`] is faster (one shared transform,
+/// O(W·H) regardless of window size) but models only the paper's codec;
+/// this function is the codec-generic counterpart the CLI uses for
+/// `--codec` values the analyzer cannot model. The kernel is a corner tap —
+/// the cheapest operator — since only the buffering statistics matter.
+///
+/// # Panics
+///
+/// Panics if the image width mismatches `cfg.width` or the image is
+/// shorter than the window.
+pub fn measure_frame(img: &ImageU8, cfg: &ArchConfig) -> crate::arch::FrameStats {
+    let mut arch = crate::arch::build_arch(cfg);
+    arch.process_frame(img, &crate::kernels::Tap::top_left(cfg.window))
+        .stats
+}
+
 /// Convenience: analysis at several thresholds (shares the forward
 /// transform cost would require caching planes; thresholds are cheap enough
 /// that clarity wins).
@@ -602,6 +621,22 @@ mod tests {
         // paper's per-column choice is forced by streaming — a frame-wide
         // width cannot be known before the frame has been packed. The E17
         // ablation bench quantifies the totals across the dataset.)
+    }
+
+    #[test]
+    fn measure_frame_agrees_with_the_selected_architecture() {
+        use crate::codec::LineCodecKind;
+        use crate::compressed::CompressedSlidingWindow;
+        use crate::kernels::Tap;
+        let img = smooth_image(64, 32);
+        let cfg = ArchConfig::new(8, 64).with_threshold(2);
+        let stats = measure_frame(&img, &cfg);
+        let mut arch = CompressedSlidingWindow::new(cfg);
+        assert_eq!(stats, arch.process_frame(&img, &Tap::top_left(8)).stats);
+        // And a non-Haar codec streams through the same entry point.
+        let stats = measure_frame(&img, &cfg.with_codec(LineCodecKind::Legall));
+        assert!(stats.payload_bits_total > 0);
+        assert_eq!(stats.cycles, 64 * 32);
     }
 
     #[test]

@@ -1,0 +1,760 @@
+//! The unified sliding-window datapath, generic over the line codec.
+//!
+//! Every architecture in this repo — traditional raw line buffers, the
+//! paper's compressed design, the two-level extension, and the rejected
+//! alternatives — is the *same* machine with a different codec plugged
+//! between the active window and the memory unit:
+//!
+//! 1. the window shifts one column per clock; the evicted column is
+//!    staged until the codec's group is full (1, 2 or 4 columns);
+//! 2. the codec encodes the group; the encoded record rides the memory
+//!    unit for exactly `W − N` cycles (the delay the traditional FIFOs
+//!    provide);
+//! 3. on exit the group is decoded back into raw columns which re-enter
+//!    the window one row down, their oldest pixel retiring.
+//!
+//! [`SlidingWindow`] is the generic implementation; [`SlidingWindowArch`]
+//! is the object-safe face the layers above (pipeline, shard, adaptive,
+//! CLI) program against; [`build_arch`] maps an [`ArchConfig`]'s codec
+//! selection to a boxed instance. The historical types
+//! (`TraditionalSlidingWindow`, `CompressedSlidingWindow`,
+//! `TwoLevelCompressedSlidingWindow`) are aliases of `SlidingWindow<C>`
+//! and remain bit-identical to their former stand-alone implementations —
+//! the determinism and telemetry test suites pin this.
+
+use crate::codec::{
+    HaarIwtCodec, HaarTwoLevelCodec, LeGall53Codec, LineCodec, LineCodecKind, LocoIPredictiveCodec,
+    RawCodec,
+};
+use crate::config::ArchConfig;
+use crate::kernels::WindowKernel;
+use crate::window::ActiveWindow;
+use crate::{Coeff, Pixel};
+use std::collections::VecDeque;
+use sw_fpga::sim::Watermark;
+use sw_image::ImageU8;
+use sw_telemetry::{Counter, Gauge, Histogram, TelemetryHandle, TraceEvent, TraceKind};
+
+/// Inclusive histogram bounds splitting `[1, max]` into eighths
+/// (deduplicated for tiny ranges). Shared shape for occupancy histograms.
+pub(crate) fn occupancy_bounds(max: u64) -> Vec<u64> {
+    let mut bounds: Vec<u64> = (1..=8).map(|i| (max * i / 8).max(1)).collect();
+    bounds.dedup();
+    bounds
+}
+
+/// Statistics of one frame, unified across every codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameStats {
+    /// Clock cycles consumed (always `H × W`: one pixel per clock).
+    pub cycles: u64,
+    /// Total payload bits pushed into the memory unit during the frame.
+    pub payload_bits_total: u64,
+    /// Payload bits by sub-band `[LL, LH, HL, HH]` (codecs without a
+    /// sub-band structure report everything under the first slot).
+    pub per_band_bits_total: [u64; 4],
+    /// Peak payload occupancy of the memory unit (bits).
+    pub peak_payload_occupancy: u64,
+    /// Peak occupancy including the codec's management bits.
+    pub peak_total_occupancy: u64,
+    /// Static management-bit requirement of the codec.
+    pub management_bits: u64,
+    /// Raw bits the same buffered span would occupy uncompressed — the
+    /// denominator of the paper's Equation 5 (codec-dependent: the
+    /// traditional span stores `N − 1` rows, the compressed spans `N`).
+    pub raw_buffer_bits: u64,
+    /// Number of pushes that exceeded the configured capacity (0 when
+    /// unbounded).
+    pub overflow_events: usize,
+}
+
+impl FrameStats {
+    /// Paper Equation 5: `(1 − Compressed/Uncompressed) × 100`, with the
+    /// compressed size taken at peak occupancy including management bits.
+    ///
+    /// Returns `0.0` when the buffered span is empty (`W == N` leaves no
+    /// FIFO columns, so there is nothing to save) instead of `NaN`.
+    pub fn memory_saving_pct(&self) -> f64 {
+        if self.raw_buffer_bits == 0 {
+            return 0.0;
+        }
+        (1.0 - self.peak_total_occupancy as f64 / self.raw_buffer_bits as f64) * 100.0
+    }
+}
+
+/// Output of one frame.
+#[derive(Debug, Clone)]
+pub struct FrameOutput {
+    /// Kernel output over the valid region, `(W−N+1) × (H−N+1)`.
+    pub image: ImageU8,
+    /// Frame statistics.
+    pub stats: FrameStats,
+}
+
+/// The object-safe face of a sliding-window architecture: everything the
+/// pipeline, shard runner, adaptive controller and CLI need, independent
+/// of the concrete codec type.
+pub trait SlidingWindowArch {
+    /// Process one frame.
+    fn process_frame(&mut self, img: &ImageU8, kernel: &dyn WindowKernel) -> FrameOutput;
+
+    /// Clear all state (frame boundary).
+    fn reset(&mut self);
+
+    /// The architecture's configuration.
+    fn config(&self) -> &ArchConfig;
+
+    /// The codec this architecture buffers its lines through.
+    fn codec_kind(&self) -> LineCodecKind;
+
+    /// Bind instruments under `stage.<name>.*` / `fifo.<name>.*`.
+    fn bind_telemetry(&mut self, telemetry: &TelemetryHandle, name: &str);
+
+    /// Retune the threshold in place (takes effect from the next frame;
+    /// no-op in effect for inherently lossless codecs).
+    fn set_threshold(&mut self, t: Coeff);
+}
+
+/// One encoded column group in flight through the memory unit.
+#[derive(Debug, Clone)]
+struct GroupEntry<E> {
+    /// Cycle at which the group's first raw column exited the window.
+    first_exit: u64,
+    /// Payload bits the group occupies.
+    payload_bits: u64,
+    /// The codec's encoded form.
+    data: E,
+}
+
+/// The sliding window architecture, generic over the line codec `C`.
+///
+/// `SlidingWindow<RawCodec>` is the traditional architecture,
+/// `SlidingWindow<HaarIwtCodec>` the paper's compressed one; see
+/// [`crate::codec`] for the full matrix.
+pub struct SlidingWindow<C: LineCodec> {
+    cfg: ArchConfig,
+    kind: LineCodecKind,
+    group: usize,
+    codec: C,
+    window: ActiveWindow,
+    /// Evicted columns (as coefficients) awaiting a full codec group.
+    staging: Vec<Vec<Coeff>>,
+    staged: usize,
+    queue: VecDeque<GroupEntry<C::Encoded>>,
+    /// Decoded raw columns of the front group awaiting delivery.
+    carry: VecDeque<Vec<Pixel>>,
+    carry_bits: u64,
+    /// Optional capacity budget for the packed-bit memory (bits).
+    capacity_bits: Option<u64>,
+    // --- per-frame accounting ---
+    payload_occupancy: u64,
+    occupancy_watermark: Watermark,
+    per_band_bits: [u64; 4],
+    overflow_events: usize,
+    entering: Vec<Pixel>,
+    evicted: Vec<Pixel>,
+    // --- telemetry (no-ops unless a telemetry handle was bound) ---
+    telemetry: TelemetryHandle,
+    bound_name: Option<String>,
+    m_cycles: Counter,
+    m_window_shifts: Counter,
+    m_iwt_pairs: Counter,
+    m_unpack_pairs: Counter,
+    m_overflow: Counter,
+    m_threshold: Gauge,
+    occ_hist: Histogram,
+    occ_gauge: Gauge,
+}
+
+impl<C: LineCodec> std::fmt::Debug for SlidingWindow<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlidingWindow")
+            .field("cfg", &self.cfg)
+            .field("codec", &self.kind)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<C: LineCodec + Clone> Clone for SlidingWindow<C>
+where
+    C::Encoded: Clone,
+{
+    fn clone(&self) -> Self {
+        Self {
+            cfg: self.cfg,
+            kind: self.kind,
+            group: self.group,
+            codec: self.codec.clone(),
+            window: self.window.clone(),
+            staging: self.staging.clone(),
+            staged: self.staged,
+            queue: self.queue.clone(),
+            carry: self.carry.clone(),
+            carry_bits: self.carry_bits,
+            capacity_bits: self.capacity_bits,
+            payload_occupancy: self.payload_occupancy,
+            occupancy_watermark: self.occupancy_watermark,
+            per_band_bits: self.per_band_bits,
+            overflow_events: self.overflow_events,
+            entering: self.entering.clone(),
+            evicted: self.evicted.clone(),
+            telemetry: self.telemetry.clone(),
+            bound_name: self.bound_name.clone(),
+            m_cycles: self.m_cycles.clone(),
+            m_window_shifts: self.m_window_shifts.clone(),
+            m_iwt_pairs: self.m_iwt_pairs.clone(),
+            m_unpack_pairs: self.m_unpack_pairs.clone(),
+            m_overflow: self.m_overflow.clone(),
+            m_threshold: self.m_threshold.clone(),
+            occ_hist: self.occ_hist.clone(),
+            occ_gauge: self.occ_gauge.clone(),
+        }
+    }
+}
+
+impl<C: LineCodec> SlidingWindow<C> {
+    /// Build the architecture for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the codec rejects the geometry (e.g. the paper's codec
+    /// needs `width ≥ window + 2`; the two-level one `width ≥ window + 4`
+    /// and a window divisible by 4).
+    pub fn new(cfg: ArchConfig) -> Self {
+        let codec = C::new(&cfg);
+        let kind = codec.kind();
+        let group = codec.group_width();
+        debug_assert!(cfg.width >= cfg.window + group, "codec geometry check");
+        let n = cfg.window;
+        Self {
+            cfg,
+            kind,
+            group,
+            codec,
+            window: ActiveWindow::new(n),
+            staging: vec![vec![0; n]; group],
+            staged: 0,
+            queue: VecDeque::new(),
+            carry: VecDeque::new(),
+            carry_bits: 0,
+            capacity_bits: None,
+            payload_occupancy: 0,
+            occupancy_watermark: Watermark::new(),
+            per_band_bits: [0; 4],
+            overflow_events: 0,
+            entering: vec![0; n],
+            evicted: vec![0; n],
+            telemetry: TelemetryHandle::disabled(),
+            bound_name: None,
+            m_cycles: Counter::noop(),
+            m_window_shifts: Counter::noop(),
+            m_iwt_pairs: Counter::noop(),
+            m_unpack_pairs: Counter::noop(),
+            m_overflow: Counter::noop(),
+            m_threshold: Gauge::noop(),
+            occ_hist: Histogram::noop(),
+            occ_gauge: Gauge::noop(),
+        }
+    }
+
+    /// Set a packed-bit capacity budget; pushes beyond it are counted as
+    /// overflow events (the data is still stored so measurement can
+    /// continue — real hardware would corrupt, which is the paper's "bad
+    /// frames" limitation).
+    pub fn with_capacity_bits(mut self, bits: u64) -> Self {
+        self.capacity_bits = Some(bits);
+        self
+    }
+
+    /// Bind instruments to `telemetry` under the codec's default stage
+    /// name (`traditional` for raw, `compressed` for Haar, the codec name
+    /// otherwise).
+    pub fn with_telemetry(self, telemetry: &TelemetryHandle) -> Self {
+        let name = match self.kind {
+            LineCodecKind::Raw => "traditional",
+            LineCodecKind::Haar => "compressed",
+            k => k.name(),
+        };
+        self.with_named_telemetry(telemetry, name)
+    }
+
+    /// Bind instruments to `telemetry` under `stage.<name>.*` (per-stage
+    /// cycles, shifts, and — for compressing codecs — IWT pairs, unpack
+    /// pairs, overflow events, threshold, codec traffic) and
+    /// `fifo.<name>.*` (memory-unit occupancy histogram and high-water
+    /// mark, in bits).
+    pub fn with_named_telemetry(mut self, telemetry: &TelemetryHandle, name: &str) -> Self {
+        self.bind(telemetry, name);
+        self
+    }
+
+    fn bind(&mut self, telemetry: &TelemetryHandle, name: &str) {
+        self.m_cycles = telemetry.counter(&format!("stage.{name}.cycles"));
+        self.m_window_shifts = telemetry.counter(&format!("stage.{name}.window_shifts"));
+        if self.kind != LineCodecKind::Raw {
+            self.m_iwt_pairs = telemetry.counter(&format!("stage.{name}.iwt_pairs"));
+            self.m_unpack_pairs = telemetry.counter(&format!("stage.{name}.unpack_pairs"));
+            self.m_overflow = telemetry.counter(&format!("stage.{name}.overflow_events"));
+            self.m_threshold = telemetry.gauge(&format!("stage.{name}.threshold"));
+            self.m_threshold.set(self.cfg.threshold.max(0) as u64);
+        }
+        self.occ_hist = telemetry.histogram(
+            &format!("fifo.{name}.occupancy_bits"),
+            &occupancy_bounds(self.kind.raw_span_bits(&self.cfg).max(1)),
+        );
+        self.occ_gauge = telemetry.gauge(&format!("fifo.{name}.high_water_bits"));
+        if self.kind != LineCodecKind::Raw {
+            self.codec
+                .bind_telemetry(telemetry, &format!("stage.{name}"));
+        }
+        self.telemetry = telemetry.clone();
+        self.bound_name = Some(name.to_string());
+    }
+
+    /// The architecture's configuration.
+    pub fn config(&self) -> &ArchConfig {
+        &self.cfg
+    }
+
+    /// The codec's management-bit requirement for this configuration.
+    pub fn management_bits(&self) -> u64 {
+        self.kind.management_bits(&self.cfg)
+    }
+
+    /// Process one frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics on image-width or kernel-size mismatch, or if the image is
+    /// shorter than the window.
+    pub fn process_frame(&mut self, img: &ImageU8, kernel: &dyn WindowKernel) -> FrameOutput {
+        let n = self.cfg.window;
+        assert_eq!(img.width(), self.cfg.width, "image width mismatch");
+        assert!(img.height() >= n, "image shorter than the window");
+        assert_eq!(kernel.window_size(), n, "kernel window size mismatch");
+        self.reset();
+
+        let w = img.width();
+        let h = img.height();
+        let delay = self.cfg.fifo_depth() as u64; // W − N cycles
+        let mut out = ImageU8::filled(w - n + 1, h - n + 1, 0);
+        let mut cycle: u64 = 0;
+        self.telemetry.trace(TraceEvent::new(
+            0,
+            TraceKind::FrameStart,
+            w as u64,
+            h as u64,
+        ));
+
+        for r in 0..h {
+            let row = img.row(r);
+            for (c, &input) in row.iter().enumerate() {
+                // (1) Memory unit read: the column that exited `delay`
+                //     cycles ago re-enters, shifted one row up.
+                let delivered = if cycle >= delay {
+                    self.deliver(cycle - delay)
+                } else {
+                    None
+                };
+                match delivered {
+                    Some(col) => {
+                        self.entering[..n - 1].copy_from_slice(&col[1..]);
+                    }
+                    None => self.entering[..n - 1].fill(0),
+                }
+                self.entering[n - 1] = input;
+
+                // (2) Window shift; the evicted column heads to the codec.
+                self.window.shift_into(&self.entering, &mut self.evicted);
+
+                // (3) Stage the evicted column; encode when the codec's
+                //     group is full.
+                for (dst, &src) in self.staging[self.staged].iter_mut().zip(&self.evicted) {
+                    *dst = src as Coeff;
+                }
+                self.staged += 1;
+                if self.staged == self.group {
+                    self.staged = 0;
+                    self.push_group(cycle);
+                }
+
+                // (4) Kernel output once the window is fully interior.
+                if r + 1 >= n && c + 1 >= n {
+                    out.set(c + 1 - n, r + 1 - n, kernel.apply(&self.window.view()));
+                }
+                cycle += 1;
+            }
+        }
+
+        self.m_cycles.add(cycle);
+        self.m_window_shifts.add(cycle); // one shift per input pixel
+        self.telemetry
+            .trace(TraceEvent::new(cycle, TraceKind::FrameEnd, cycle, 0));
+
+        let management_bits = self.kind.management_bits(&self.cfg);
+        let stats = FrameStats {
+            cycles: cycle,
+            payload_bits_total: self.per_band_bits.iter().sum(),
+            per_band_bits_total: self.per_band_bits,
+            peak_payload_occupancy: self.occupancy_watermark.max(),
+            peak_total_occupancy: self.occupancy_watermark.max() + management_bits,
+            management_bits,
+            raw_buffer_bits: self.kind.raw_span_bits(&self.cfg),
+            overflow_events: self.overflow_events,
+        };
+        FrameOutput { image: out, stats }
+    }
+
+    /// Encode the staged group and push it into the memory unit.
+    fn push_group(&mut self, cycle: u64) {
+        let first_exit = cycle + 1 - self.group as u64;
+        let encoded = self.codec.encode_group(&self.staging);
+        self.m_iwt_pairs.inc();
+        for (slot, bits) in self.per_band_bits.iter_mut().zip(encoded.per_band_bits) {
+            *slot += bits;
+        }
+        let bits = encoded.payload_bits;
+        if let Some(cap) = self.capacity_bits {
+            if self.payload_occupancy + bits > cap {
+                self.overflow_events += 1;
+                self.m_overflow.inc();
+                if self.kind != LineCodecKind::Raw {
+                    self.telemetry.trace(TraceEvent::new(
+                        first_exit,
+                        TraceKind::Overflow,
+                        self.payload_occupancy + bits,
+                        cap,
+                    ));
+                }
+            }
+        }
+        self.payload_occupancy += bits;
+        self.occupancy_watermark.observe(self.payload_occupancy);
+        self.occ_hist.observe(self.payload_occupancy);
+        self.occ_gauge.observe_max(self.payload_occupancy);
+        if self.kind != LineCodecKind::Raw {
+            self.telemetry.trace(TraceEvent::new(
+                first_exit,
+                TraceKind::Pack,
+                bits,
+                self.payload_occupancy,
+            ));
+        }
+        self.queue.push_back(GroupEntry {
+            first_exit,
+            payload_bits: bits,
+            data: encoded.data,
+        });
+    }
+
+    /// Deliver the decoded raw column with exit tag `tag`, if it exists.
+    /// The group's bits retire from the occupancy count when its *last*
+    /// column is consumed.
+    fn deliver(&mut self, tag: u64) -> Option<Vec<Pixel>> {
+        if let Some(col) = self.carry.pop_front() {
+            if self.carry.is_empty() {
+                self.payload_occupancy -= self.carry_bits;
+                if self.kind != LineCodecKind::Raw {
+                    self.telemetry.trace(TraceEvent::new(
+                        tag,
+                        TraceKind::FifoPop,
+                        self.payload_occupancy,
+                        self.carry_bits,
+                    ));
+                }
+                self.carry_bits = 0;
+            }
+            return Some(col);
+        }
+        match self.queue.front() {
+            None => return None,
+            Some(front) if front.first_exit != tag => {
+                // Warmup: the requested column predates the first group.
+                debug_assert!(
+                    front.first_exit > tag,
+                    "memory unit fell behind: front {} vs requested {tag}",
+                    front.first_exit
+                );
+                return None;
+            }
+            Some(_) => {}
+        }
+        let entry = self.queue.pop_front().expect("front group exists");
+        self.m_unpack_pairs.inc();
+        if self.kind != LineCodecKind::Raw {
+            self.telemetry.trace(TraceEvent::new(
+                tag,
+                TraceKind::Unpack,
+                entry.payload_bits,
+                0,
+            ));
+        }
+        let mut cols = self.codec.decode_group(&entry.data);
+        debug_assert_eq!(cols.len(), self.group);
+        let first = cols.remove(0);
+        if cols.is_empty() {
+            self.payload_occupancy -= entry.payload_bits;
+            if self.kind != LineCodecKind::Raw {
+                self.telemetry.trace(TraceEvent::new(
+                    tag,
+                    TraceKind::FifoPop,
+                    self.payload_occupancy,
+                    entry.payload_bits,
+                ));
+            }
+        } else {
+            self.carry_bits = entry.payload_bits;
+            self.carry.extend(cols);
+        }
+        Some(first)
+    }
+
+    /// Clear all state (frame boundary).
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.codec.reset();
+        self.staged = 0;
+        self.queue.clear();
+        self.carry.clear();
+        self.carry_bits = 0;
+        self.payload_occupancy = 0;
+        self.occupancy_watermark.reset();
+        self.per_band_bits = [0; 4];
+        self.overflow_events = 0;
+    }
+}
+
+impl<C: LineCodec> SlidingWindowArch for SlidingWindow<C> {
+    fn process_frame(&mut self, img: &ImageU8, kernel: &dyn WindowKernel) -> FrameOutput {
+        SlidingWindow::process_frame(self, img, kernel)
+    }
+
+    fn reset(&mut self) {
+        SlidingWindow::reset(self);
+    }
+
+    fn config(&self) -> &ArchConfig {
+        SlidingWindow::config(self)
+    }
+
+    fn codec_kind(&self) -> LineCodecKind {
+        self.kind
+    }
+
+    fn bind_telemetry(&mut self, telemetry: &TelemetryHandle, name: &str) {
+        self.bind(telemetry, name);
+    }
+
+    fn set_threshold(&mut self, t: Coeff) {
+        assert!(t >= 0, "threshold must be non-negative");
+        self.cfg.threshold = t;
+        // Codecs capture the threshold at construction: rebuild, and
+        // re-bind codec telemetry if instruments are attached.
+        self.codec = C::new(&self.cfg);
+        self.m_threshold.set(t.max(0) as u64);
+        if self.kind != LineCodecKind::Raw {
+            if let Some(name) = self.bound_name.clone() {
+                self.codec
+                    .bind_telemetry(&self.telemetry, &format!("stage.{name}"));
+            }
+        }
+    }
+}
+
+/// Build the architecture `cfg.codec` selects, behind the object-safe
+/// trait. This is the single source of truth mapping the value-level
+/// codec selection to the generic implementation.
+pub fn build_arch(cfg: &ArchConfig) -> Box<dyn SlidingWindowArch + Send> {
+    match cfg.codec {
+        LineCodecKind::Raw => Box::new(SlidingWindow::<RawCodec>::new(*cfg)),
+        LineCodecKind::Haar => Box::new(SlidingWindow::<HaarIwtCodec>::new(*cfg)),
+        LineCodecKind::Haar2 => Box::new(SlidingWindow::<HaarTwoLevelCodec>::new(*cfg)),
+        LineCodecKind::Legall => Box::new(SlidingWindow::<LeGall53Codec>::new(*cfg)),
+        LineCodecKind::Locoi => Box::new(SlidingWindow::<LocoIPredictiveCodec>::new(*cfg)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{BoxFilter, Tap};
+    use crate::reference::direct_sliding_window;
+    use sw_image::mse;
+
+    fn test_image(w: usize, h: usize) -> ImageU8 {
+        ImageU8::from_fn(w, h, |x, y| {
+            let s = 96.0
+                + 64.0 * ((x as f64 / w as f64) * 3.1).sin()
+                + 48.0 * ((y as f64 / h as f64) * 2.3).cos()
+                + ((x * 7 + y * 13) % 5) as f64;
+            s.clamp(0.0, 255.0) as u8
+        })
+    }
+
+    #[test]
+    fn memory_saving_guards_empty_span() {
+        // The W == N corner leaves zero FIFO columns: raw_buffer_bits is
+        // 0 and the former implementation returned NaN. The guard returns
+        // 0.0 — nothing buffered, nothing saved.
+        let stats = FrameStats {
+            cycles: 0,
+            payload_bits_total: 0,
+            per_band_bits_total: [0; 4],
+            peak_payload_occupancy: 0,
+            peak_total_occupancy: 0,
+            management_bits: 0,
+            raw_buffer_bits: 0,
+            overflow_events: 0,
+        };
+        let saving = stats.memory_saving_pct();
+        assert!(!saving.is_nan(), "guard must prevent NaN");
+        assert_eq!(saving, 0.0);
+    }
+
+    #[test]
+    fn every_codec_runs_lossless_end_to_end_and_matches_direct() {
+        let img = test_image(64, 40);
+        let kernel = BoxFilter::new(8);
+        let direct = direct_sliding_window(&img, &kernel);
+        for kind in LineCodecKind::ALL {
+            let cfg = ArchConfig::new(8, 64).with_codec(kind);
+            let mut arch = build_arch(&cfg);
+            let out = arch.process_frame(&img, &kernel);
+            assert_eq!(out.image, direct, "{kind:?} lossless output");
+            assert_eq!(out.stats.cycles, 64 * 40, "{kind:?} cycles");
+            assert_eq!(arch.codec_kind(), kind);
+        }
+    }
+
+    #[test]
+    fn raw_and_haar_lossless_outputs_are_bit_equal() {
+        // The ISSUE's acceptance criterion, stated directly.
+        let img = test_image(48, 32);
+        let kernel = Tap::top_left(8);
+        let raw = build_arch(&ArchConfig::new(8, 48).with_codec(LineCodecKind::Raw))
+            .process_frame(&img, &kernel);
+        let haar = build_arch(&ArchConfig::new(8, 48).with_codec(LineCodecKind::Haar))
+            .process_frame(&img, &kernel);
+        assert_eq!(raw.image.pixels(), haar.image.pixels());
+    }
+
+    #[test]
+    fn raw_codec_reports_traditional_footprint() {
+        let img = test_image(64, 24);
+        let cfg = ArchConfig::new(8, 64).with_codec(LineCodecKind::Raw);
+        let out = build_arch(&cfg).process_frame(&img, &BoxFilter::new(8));
+        assert_eq!(out.stats.raw_buffer_bits, (64 - 8) * 7 * 8);
+        assert_eq!(out.stats.management_bits, 0);
+        // Steady state fills the span exactly: peak equals the raw bits,
+        // so the saving is 0 — raw buffering saves nothing, by definition.
+        assert_eq!(out.stats.peak_total_occupancy, out.stats.raw_buffer_bits);
+        assert_eq!(out.stats.memory_saving_pct(), 0.0);
+    }
+
+    #[test]
+    fn lossy_thresholds_stay_bounded_per_codec() {
+        let img = test_image(64, 40);
+        let n = 8;
+        for kind in [
+            LineCodecKind::Haar,
+            LineCodecKind::Haar2,
+            LineCodecKind::Legall,
+        ] {
+            let cfg = ArchConfig::new(n, 64).with_codec(kind).with_threshold(4);
+            let mut arch = build_arch(&cfg);
+            let out = arch.process_frame(&img, &Tap::top_left(n));
+            let crop = img.crop(0, 0, out.image.width(), out.image.height());
+            let e = mse(&out.image, &crop);
+            assert!(e > 0.0, "{kind:?} T=4 must be lossy");
+            assert!(e < 80.0, "{kind:?} T=4 MSE {e:.1} out of control");
+        }
+        // Inherently lossless codecs ignore the threshold.
+        for kind in [LineCodecKind::Raw, LineCodecKind::Locoi] {
+            let cfg = ArchConfig::new(n, 64).with_codec(kind).with_threshold(4);
+            let mut arch = build_arch(&cfg);
+            let out = arch.process_frame(&img, &Tap::top_left(n));
+            let crop = img.crop(0, 0, out.image.width(), out.image.height());
+            assert_eq!(mse(&out.image, &crop), 0.0, "{kind:?} stays lossless");
+        }
+    }
+
+    #[test]
+    fn set_threshold_retunes_through_the_trait() {
+        let img = test_image(64, 40);
+        let cfg = ArchConfig::new(8, 64).with_codec(LineCodecKind::Haar);
+        let mut arch = build_arch(&cfg);
+        let lossless = arch.process_frame(&img, &BoxFilter::new(8));
+        arch.set_threshold(6);
+        assert_eq!(arch.config().threshold, 6);
+        let lossy = arch.process_frame(&img, &BoxFilter::new(8));
+        assert!(
+            lossy.stats.peak_payload_occupancy < lossless.stats.peak_payload_occupancy,
+            "raising the threshold must shrink the payload"
+        );
+        arch.set_threshold(0);
+        let back = arch.process_frame(&img, &BoxFilter::new(8));
+        assert_eq!(back.stats, lossless.stats, "retune back to lossless");
+    }
+
+    #[test]
+    fn telemetry_series_per_codec_family() {
+        let img = test_image(32, 20);
+        // Raw registers exactly the traditional series.
+        let t = TelemetryHandle::new();
+        let mut arch = build_arch(&ArchConfig::new(4, 32).with_codec(LineCodecKind::Raw));
+        arch.bind_telemetry(&t, "s0");
+        arch.process_frame(&img, &BoxFilter::new(4));
+        let r = t.report();
+        assert!(r.counters.contains_key("stage.s0.cycles"));
+        assert!(!r.counters.contains_key("stage.s0.iwt_pairs"));
+        assert!(!r.gauges.contains_key("stage.s0.threshold"));
+        // Compressing codecs register the full set.
+        for kind in [
+            LineCodecKind::Haar2,
+            LineCodecKind::Legall,
+            LineCodecKind::Locoi,
+        ] {
+            let t = TelemetryHandle::new();
+            let mut arch = build_arch(&ArchConfig::new(4, 32).with_codec(kind));
+            arch.bind_telemetry(&t, "s0");
+            arch.process_frame(&img, &BoxFilter::new(4));
+            let r = t.report();
+            assert!(r.counters["stage.s0.iwt_pairs"] > 0, "{kind:?}");
+            // Groups packed in the frame's last W−N cycles stay in flight
+            // when it ends, so unpacks trail packs by at most that tail.
+            let packed = r.counters["stage.s0.iwt_pairs"];
+            let unpacked = r.counters["stage.s0.unpack_pairs"];
+            assert!(
+                unpacked > 0 && unpacked <= packed,
+                "{kind:?}: {unpacked} unpacked of {packed} packed"
+            );
+            assert!(
+                r.gauges["fifo.s0.high_water_bits"] > 0,
+                "{kind:?} high water"
+            );
+        }
+    }
+
+    #[test]
+    fn locoi_compresses_flat_columns_but_not_textured_ones() {
+        // Per-column LOCO-I restarts its contexts every N pixels, so it
+        // only wins where run mode can engage (flat columns) — which is
+        // exactly the paper's argument against generic predictive coding
+        // in a line buffer. Pin both sides of that trade-off.
+        let run = |img: &ImageU8| {
+            build_arch(&ArchConfig::new(8, 96).with_codec(LineCodecKind::Locoi))
+                .process_frame(img, &BoxFilter::new(8))
+                .stats
+                .peak_payload_occupancy
+        };
+        let raw_span = (96u64 - 8) * 8 * 8;
+        assert!(
+            run(&ImageU8::filled(96, 48, 128)) < raw_span,
+            "LOCO-I must undercut the raw span on flat content"
+        );
+        assert!(
+            run(&test_image(96, 48)) > raw_span / 2,
+            "textured columns defeat per-column restarts"
+        );
+    }
+}

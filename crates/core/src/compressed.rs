@@ -25,422 +25,31 @@
 //! In lossless mode (`T = 0`) the output is **bit-identical** to the
 //! traditional architecture — the integration tests prove it kernel by
 //! kernel.
+//!
+//! Since the codec-layer refactor this is [`SlidingWindow`] instantiated
+//! with [`HaarIwtCodec`] (group width two: the IWT pairs exiting columns).
+//! The aliases below keep the original API; the tests in this module pin
+//! the datapath, stats, and telemetry series byte-for-byte against the
+//! stand-alone implementation this file used to contain.
 
-use crate::config::ArchConfig;
-use crate::kernels::WindowKernel;
-use crate::window::ActiveWindow;
-use crate::{Coeff, Pixel};
-use std::collections::VecDeque;
-use sw_bitstream::{decode_column, encode_column, CodecTelemetry, EncodedColumn};
-use sw_fpga::sim::Watermark;
-use sw_image::ImageU8;
-use sw_telemetry::{Counter, Gauge, Histogram, TelemetryHandle, TraceEvent, TraceKind};
-use sw_wavelet::haar2d::{ColumnPairInverse, ColumnPairTransformer, SubbandColumn};
-use sw_wavelet::SubBand;
+use crate::arch::SlidingWindow;
+use crate::codec::HaarIwtCodec;
 
-/// Inclusive histogram bounds splitting `[1, max]` into eighths (deduplicated
-/// for tiny ranges). Shared shape for occupancy histograms.
-pub(crate) fn occupancy_bounds(max: u64) -> Vec<u64> {
-    let mut bounds: Vec<u64> = (1..=8).map(|i| (max * i / 8).max(1)).collect();
-    bounds.dedup();
-    bounds
-}
+/// The compressed sliding window architecture: the unified datapath with
+/// the paper's Haar IWT codec.
+pub type CompressedSlidingWindow = SlidingWindow<HaarIwtCodec>;
 
-/// One compressed column pair in flight through the memory unit.
-#[derive(Debug, Clone)]
-struct PairEntry {
-    /// Cycle at which the pair's first (even) raw column exited the window.
-    first_exit: u64,
-    /// Encoded sub-band columns: `[LL, LH, HL, HH]`.
-    encoded: [EncodedColumn; 4],
-}
-
-impl PairEntry {
-    fn payload_bits(&self) -> u64 {
-        self.encoded.iter().map(|e| e.payload_bits).sum()
-    }
-}
-
-/// Statistics of one frame through the compressed architecture.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CompressedFrameStats {
-    /// Clock cycles consumed (always `H × W`).
-    pub cycles: u64,
-    /// Total payload bits pushed into the memory unit during the frame.
-    pub payload_bits_total: u64,
-    /// Payload bits by sub-band `[LL, LH, HL, HH]`.
-    pub per_band_bits_total: [u64; 4],
-    /// Peak payload occupancy of the memory unit (bits).
-    pub peak_payload_occupancy: u64,
-    /// Peak occupancy including management bits (bits).
-    pub peak_total_occupancy: u64,
-    /// Static management-bit requirement (`2×4×(W−N) + (W−N)×N`).
-    pub management_bits: u64,
-    /// Raw bits the same buffered span would need uncompressed
-    /// (`(W−N) × N × 8`).
-    pub raw_buffer_bits: u64,
-    /// Number of pushes that exceeded the configured capacity (0 when
-    /// unbounded).
-    pub overflow_events: usize,
-}
-
-impl CompressedFrameStats {
-    /// Paper Equation 5: `(1 − Compressed/Uncompressed) × 100`, with the
-    /// compressed size taken at peak occupancy including management bits.
-    pub fn memory_saving_pct(&self) -> f64 {
-        (1.0 - self.peak_total_occupancy as f64 / self.raw_buffer_bits as f64) * 100.0
-    }
-}
+/// Statistics of one frame through the compressed architecture. The
+/// unified [`crate::FrameStats`].
+pub type CompressedFrameStats = crate::arch::FrameStats;
 
 /// Output of one frame.
-#[derive(Debug, Clone)]
-pub struct CompressedOutput {
-    /// Kernel output over the valid region, `(W−N+1) × (H−N+1)`.
-    pub image: ImageU8,
-    /// Frame statistics.
-    pub stats: CompressedFrameStats,
-}
-
-/// The compressed sliding window architecture.
-#[derive(Debug, Clone)]
-pub struct CompressedSlidingWindow {
-    cfg: ArchConfig,
-    window: ActiveWindow,
-    fwd: ColumnPairTransformer,
-    inv: ColumnPairInverse,
-    queue: VecDeque<PairEntry>,
-    /// Second decoded column of the front pair, awaiting its cycle.
-    carry: Option<Vec<Pixel>>,
-    /// Optional capacity budget for the packed-bit memory (bits).
-    capacity_bits: Option<u64>,
-    // --- per-frame accounting ---
-    payload_occupancy: u64,
-    occupancy_watermark: Watermark,
-    per_band_bits: [u64; 4],
-    overflow_events: usize,
-    entering: Vec<Pixel>,
-    evicted: Vec<Pixel>,
-    // --- telemetry (no-ops unless `with_telemetry` was called) ---
-    telemetry: TelemetryHandle,
-    m_cycles: Counter,
-    m_window_shifts: Counter,
-    m_iwt_pairs: Counter,
-    m_unpack_pairs: Counter,
-    m_overflow: Counter,
-    m_threshold: Gauge,
-    occ_hist: Histogram,
-    occ_gauge: Gauge,
-    codec: CodecTelemetry,
-}
-
-impl CompressedSlidingWindow {
-    /// Build the architecture for `cfg`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `width < window + 2` (the compressed pipeline needs at
-    /// least two cycles of memory-unit latency; the paper's configurations
-    /// all have `W ≫ N`).
-    pub fn new(cfg: ArchConfig) -> Self {
-        assert!(
-            cfg.width >= cfg.window + 2,
-            "compressed architecture needs width >= window + 2"
-        );
-        let n = cfg.window;
-        Self {
-            cfg,
-            window: ActiveWindow::new(n),
-            fwd: ColumnPairTransformer::new(n),
-            inv: ColumnPairInverse::new(n),
-            queue: VecDeque::new(),
-            carry: None,
-            capacity_bits: None,
-            payload_occupancy: 0,
-            occupancy_watermark: Watermark::new(),
-            per_band_bits: [0; 4],
-            overflow_events: 0,
-            entering: vec![0; n],
-            evicted: vec![0; n],
-            telemetry: TelemetryHandle::disabled(),
-            m_cycles: Counter::noop(),
-            m_window_shifts: Counter::noop(),
-            m_iwt_pairs: Counter::noop(),
-            m_unpack_pairs: Counter::noop(),
-            m_overflow: Counter::noop(),
-            m_threshold: Gauge::noop(),
-            occ_hist: Histogram::noop(),
-            occ_gauge: Gauge::noop(),
-            codec: CodecTelemetry::noop(),
-        }
-    }
-
-    /// Set a packed-bit capacity budget; pushes beyond it are counted as
-    /// overflow events (the data is still stored so measurement can
-    /// continue — real hardware would corrupt, which is the paper's "bad
-    /// frames" limitation).
-    pub fn with_capacity_bits(mut self, bits: u64) -> Self {
-        self.capacity_bits = Some(bits);
-        self
-    }
-
-    /// Bind instruments to `telemetry` under the default stage name
-    /// `compressed`.
-    pub fn with_telemetry(self, telemetry: &TelemetryHandle) -> Self {
-        self.with_named_telemetry(telemetry, "compressed")
-    }
-
-    /// Bind instruments to `telemetry` under `stage.<name>.*` (per-stage
-    /// cycles, shifts, IWT pairs, unpack pairs, overflow events, threshold,
-    /// codec traffic) and `fifo.<name>.*` (memory-unit occupancy histogram
-    /// and high-water mark, in bits).
-    pub fn with_named_telemetry(mut self, telemetry: &TelemetryHandle, name: &str) -> Self {
-        let raw_bits =
-            self.cfg.fifo_depth() as u64 * self.cfg.window as u64 * self.cfg.pixel_bits as u64;
-        self.m_cycles = telemetry.counter(&format!("stage.{name}.cycles"));
-        self.m_window_shifts = telemetry.counter(&format!("stage.{name}.window_shifts"));
-        self.m_iwt_pairs = telemetry.counter(&format!("stage.{name}.iwt_pairs"));
-        self.m_unpack_pairs = telemetry.counter(&format!("stage.{name}.unpack_pairs"));
-        self.m_overflow = telemetry.counter(&format!("stage.{name}.overflow_events"));
-        self.m_threshold = telemetry.gauge(&format!("stage.{name}.threshold"));
-        self.m_threshold.set(self.cfg.threshold.max(0) as u64);
-        self.occ_hist = telemetry.histogram(
-            &format!("fifo.{name}.occupancy_bits"),
-            &occupancy_bounds(raw_bits.max(1)),
-        );
-        self.occ_gauge = telemetry.gauge(&format!("fifo.{name}.high_water_bits"));
-        self.codec = CodecTelemetry::attach(telemetry, &format!("stage.{name}"));
-        self.telemetry = telemetry.clone();
-        self
-    }
-
-    /// The architecture's configuration.
-    pub fn config(&self) -> &ArchConfig {
-        &self.cfg
-    }
-
-    /// Process one frame.
-    ///
-    /// # Panics
-    ///
-    /// Panics on image-width or kernel-size mismatch, or if the image is
-    /// shorter than the window.
-    pub fn process_frame(&mut self, img: &ImageU8, kernel: &dyn WindowKernel) -> CompressedOutput {
-        let n = self.cfg.window;
-        assert_eq!(img.width(), self.cfg.width, "image width mismatch");
-        assert!(img.height() >= n, "image shorter than the window");
-        assert_eq!(kernel.window_size(), n, "kernel window size mismatch");
-        self.reset();
-
-        let w = img.width();
-        let h = img.height();
-        let delay = self.cfg.fifo_depth() as u64; // W − N cycles
-        let mut out = ImageU8::filled(w - n + 1, h - n + 1, 0);
-        let mut coeff_col: Vec<Coeff> = vec![0; n];
-        let mut cycle: u64 = 0;
-        self.telemetry.trace(TraceEvent::new(
-            0,
-            TraceKind::FrameStart,
-            w as u64,
-            h as u64,
-        ));
-
-        for r in 0..h {
-            let row = img.row(r);
-            for (c, &input) in row.iter().enumerate() {
-                // (1) Memory unit read: the column that exited `delay`
-                //     cycles ago re-enters, shifted one row up.
-                let delivered = if cycle >= delay {
-                    self.deliver(cycle - delay)
-                } else {
-                    None
-                };
-                match delivered {
-                    Some(col) => {
-                        self.entering[..n - 1].copy_from_slice(&col[1..]);
-                    }
-                    None => self.entering[..n - 1].fill(0),
-                }
-                self.entering[n - 1] = input;
-
-                // (2) Window shift; the evicted column heads to the IWT.
-                self.window.shift_into(&self.entering, &mut self.evicted);
-
-                // (3) Forward IWT over the evicted column (pairs complete on
-                //     odd cycles), then threshold + bit packing.
-                for (dst, &src) in coeff_col.iter_mut().zip(&self.evicted) {
-                    *dst = src as Coeff;
-                }
-                if let Some(pair) = self.fwd.push_column(&coeff_col) {
-                    self.push_pair(cycle - 1, pair.even, pair.odd);
-                }
-
-                // (4) Kernel output once the window is fully interior.
-                if r + 1 >= n && c + 1 >= n {
-                    out.set(c + 1 - n, r + 1 - n, kernel.apply(&self.window.view()));
-                }
-                cycle += 1;
-            }
-        }
-
-        self.m_cycles.add(cycle);
-        self.m_window_shifts.add(cycle); // one shift per input pixel
-        self.telemetry
-            .trace(TraceEvent::new(cycle, TraceKind::FrameEnd, cycle, 0));
-
-        let stats = CompressedFrameStats {
-            cycles: cycle,
-            payload_bits_total: self.per_band_bits.iter().sum(),
-            per_band_bits_total: self.per_band_bits,
-            peak_payload_occupancy: self.occupancy_watermark.max(),
-            peak_total_occupancy: self.occupancy_watermark.max() + self.cfg.management_bits(),
-            management_bits: self.cfg.management_bits(),
-            raw_buffer_bits: self.cfg.fifo_depth() as u64 * n as u64 * self.cfg.pixel_bits as u64,
-            overflow_events: self.overflow_events,
-        };
-        CompressedOutput { image: out, stats }
-    }
-
-    /// Encode a completed column pair and push it into the memory unit.
-    fn push_pair(&mut self, first_exit: u64, even: SubbandColumn, odd: SubbandColumn) {
-        let t = self.cfg.threshold;
-        let mode = self.cfg.coeff_mode;
-        let enc = |half: &[Coeff], band: SubBand| {
-            let t_band = self.cfg.policy.threshold_for(band, t);
-            if band.is_detail() {
-                // The configured datapath width saturates detail
-                // coefficients (LL fits any mode: it stays in pixel range).
-                let clamped: Vec<Coeff> = half.iter().map(|&c| mode.clamp_detail(c)).collect();
-                encode_column(&clamped, t_band)
-            } else {
-                encode_column(half, t_band)
-            }
-        };
-        let encoded = [
-            enc(even.first_half(), SubBand::LL),
-            enc(even.second_half(), SubBand::LH),
-            enc(odd.first_half(), SubBand::HL),
-            enc(odd.second_half(), SubBand::HH),
-        ];
-        for (i, e) in encoded.iter().enumerate() {
-            self.per_band_bits[i] += e.payload_bits;
-        }
-        self.m_iwt_pairs.inc();
-        for e in &encoded {
-            self.codec.record_encoded(e);
-        }
-        let entry = PairEntry {
-            first_exit,
-            encoded,
-        };
-        let bits = entry.payload_bits();
-        if let Some(cap) = self.capacity_bits {
-            if self.payload_occupancy + bits > cap {
-                self.overflow_events += 1;
-                self.m_overflow.inc();
-                self.telemetry.trace(TraceEvent::new(
-                    first_exit,
-                    TraceKind::Overflow,
-                    self.payload_occupancy + bits,
-                    cap,
-                ));
-            }
-        }
-        self.payload_occupancy += bits;
-        self.occupancy_watermark.observe(self.payload_occupancy);
-        self.occ_hist.observe(self.payload_occupancy);
-        self.occ_gauge.observe_max(self.payload_occupancy);
-        self.telemetry.trace(TraceEvent::new(
-            first_exit,
-            TraceKind::Pack,
-            bits,
-            self.payload_occupancy,
-        ));
-        self.queue.push_back(entry);
-    }
-
-    /// Deliver the decoded raw column with exit tag `tag`, if it exists.
-    fn deliver(&mut self, tag: u64) -> Option<Vec<Pixel>> {
-        // Odd tags are the carried second column of the front pair.
-        if let Some(col) = self.carry.take() {
-            debug_assert_eq!(tag % 2, 1, "carry must be consumed on odd tags");
-            // The front pair is fully consumed: retire it.
-            let entry = self.queue.pop_front().expect("front pair exists");
-            self.payload_occupancy -= entry.payload_bits();
-            self.telemetry.trace(TraceEvent::new(
-                tag,
-                TraceKind::FifoPop,
-                self.payload_occupancy,
-                entry.payload_bits(),
-            ));
-            return Some(col);
-        }
-        let front = self.queue.front_mut()?;
-        if front.first_exit != tag {
-            // Warmup: the requested column predates the first real pair.
-            debug_assert!(
-                front.first_exit > tag,
-                "memory unit fell behind: front {} vs requested {tag}",
-                front.first_exit
-            );
-            return None;
-        }
-        // Bit-unpack + inverse IWT.
-        let n = self.cfg.window;
-        self.m_unpack_pairs.inc();
-        for e in &front.encoded {
-            self.codec.record_decoded(e);
-        }
-        self.telemetry.trace(TraceEvent::new(
-            tag,
-            TraceKind::Unpack,
-            front.encoded.iter().map(|e| e.payload_bits).sum(),
-            0,
-        ));
-        let ll = decode_column(&front.encoded[0]);
-        let lh = decode_column(&front.encoded[1]);
-        let hl = decode_column(&front.encoded[2]);
-        let hh = decode_column(&front.encoded[3]);
-        let even = SubbandColumn {
-            bands: (SubBand::LL, SubBand::LH),
-            coeffs: ll.into_iter().chain(lh).collect(),
-        };
-        let odd = SubbandColumn {
-            bands: (SubBand::HL, SubBand::HH),
-            coeffs: hl.into_iter().chain(hh).collect(),
-        };
-        debug_assert!(!self.inv.has_pending());
-        let none = self.inv.push_column(even);
-        debug_assert!(none.is_none());
-        let (c0, c1) = self
-            .inv
-            .push_column(odd)
-            .expect("pair reconstructs two columns");
-        let clamp = |v: Coeff| v.clamp(0, 255) as Pixel;
-        let first: Vec<Pixel> = c0.into_iter().map(clamp).collect();
-        let second: Vec<Pixel> = c1.into_iter().map(clamp).collect();
-        debug_assert_eq!(first.len(), n);
-        self.carry = Some(second);
-        Some(first)
-    }
-
-    /// Clear all state (frame boundary).
-    pub fn reset(&mut self) {
-        self.window.clear();
-        self.fwd.reset();
-        self.inv.reset();
-        self.queue.clear();
-        self.carry = None;
-        self.payload_occupancy = 0;
-        self.occupancy_watermark.reset();
-        self.per_band_bits = [0; 4];
-        self.overflow_events = 0;
-    }
-}
+pub type CompressedOutput = crate::arch::FrameOutput;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ThresholdPolicy;
+    use crate::config::{ArchConfig, ThresholdPolicy};
     use crate::kernels::{BoxFilter, GaussianFilter, Tap};
     use crate::reference::direct_sliding_window;
     use crate::traditional::TraditionalSlidingWindow;
@@ -663,7 +272,7 @@ mod tests {
 #[cfg(test)]
 mod coeff_mode_tests {
     use super::*;
-    use crate::config::CoeffMode;
+    use crate::config::{ArchConfig, CoeffMode};
     use crate::kernels::Tap;
     use crate::reference::direct_sliding_window;
     use sw_image::{max_abs_error, ImageU8};

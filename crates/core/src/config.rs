@@ -1,5 +1,6 @@
 //! Architecture configuration.
 
+use crate::codec::LineCodecKind;
 use crate::Coeff;
 
 /// Which sub-bands the threshold applies to.
@@ -95,6 +96,9 @@ pub struct ArchConfig {
     pub pixel_bits: u32,
     /// Coefficient datapath width mode.
     pub coeff_mode: CoeffMode,
+    /// Line codec buffering the recirculated rows (the paper's Haar IWT
+    /// by default; see [`crate::codec`] for the full matrix).
+    pub codec: LineCodecKind,
 }
 
 impl ArchConfig {
@@ -118,7 +122,14 @@ impl ArchConfig {
             granularity: NBitsGranularity::default(),
             pixel_bits: 8,
             coeff_mode: CoeffMode::default(),
+            codec: LineCodecKind::default(),
         }
+    }
+
+    /// Set the line codec (builder style).
+    pub fn with_codec(mut self, codec: LineCodecKind) -> Self {
+        self.codec = codec;
+        self
     }
 
     /// Set the coefficient datapath mode (builder style).

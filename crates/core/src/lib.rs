@@ -4,12 +4,19 @@
 //! bit-accurate streaming simulation on top of the substrate crates:
 //!
 //! * [`config`] — architecture parameters (window size, image width,
-//!   threshold, threshold policy, NBits granularity).
+//!   threshold, threshold policy, NBits granularity, line codec).
+//! * [`codec`] — the pluggable line-codec layer ([`codec::LineCodec`]):
+//!   raw passthrough, the paper's Haar IWT, the two-level extension,
+//!   LeGall 5/3 lifting, and a LOCO-I predictive baseline.
+//! * [`arch`] — the unified sliding-window datapath
+//!   ([`arch::SlidingWindow`]) generic over the codec, and the
+//!   object-safe [`arch::SlidingWindowArch`] trait with
+//!   [`arch::build_arch`] for config-driven selection.
 //! * [`window`] — the N×N active window of shift registers and the
 //!   [`window::WindowView`] handed to processing kernels.
 //! * [`kernels`] — window operators (box, Gaussian, Sobel, median,
 //!   morphology, taps, template matching) exercising the architectures.
-//! * [`reference`] — the direct (non-streaming) golden model.
+//! * [`mod@reference`] — the direct (non-streaming) golden model.
 //! * [`rtl`] — the register-transfer-level datapath: the memory unit holds
 //!   raw packed bits in hardware FIFOs driven by the register-exact
 //!   Bit Packing / Bit Unpacking units and the gate-level NBits circuit.
@@ -60,6 +67,8 @@
 
 pub mod adaptive;
 pub mod analysis;
+pub mod arch;
+pub mod codec;
 pub mod color;
 pub mod compressed;
 pub mod compressed_ml;
@@ -74,6 +83,8 @@ pub mod stats;
 pub mod traditional;
 pub mod window;
 
+pub use arch::{build_arch, FrameOutput, FrameStats, SlidingWindow, SlidingWindowArch};
+pub use codec::{LineCodec, LineCodecKind};
 pub use config::{ArchConfig, CoeffMode, NBitsGranularity, ThresholdPolicy};
 pub use window::{ActiveWindow, WindowView};
 

@@ -9,48 +9,44 @@
 //! under traditional vs compressed buffering.
 
 use crate::analysis::analyze_frame;
-use crate::compressed::CompressedSlidingWindow;
+use crate::arch::build_arch;
+use crate::codec::LineCodecKind;
 use crate::config::ArchConfig;
 use crate::kernels::WindowKernel;
 use crate::planner::{plan, traditional_brams, BramPlan, MgmtAccounting};
-use crate::traditional::TraditionalSlidingWindow;
 use sw_image::ImageU8;
 use sw_telemetry::TelemetryHandle;
 
-/// Buffering mode of one stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Buffering {
-    /// Raw line buffers (Section III).
-    Traditional,
-    /// Compressed line buffers (Section V) with the given threshold.
-    Compressed {
-        /// Threshold `T` for this stage (0 = lossless).
-        threshold: i16,
-    },
-}
-
-/// One pipeline stage: a kernel plus its buffering mode.
+/// One pipeline stage: a kernel plus how its line buffers are realized —
+/// a [`LineCodecKind`] and a threshold, the same pair [`ArchConfig`]
+/// carries.
 pub struct Stage {
     /// The window kernel.
     pub kernel: Box<dyn WindowKernel>,
-    /// How this stage's line buffers are realized.
-    pub buffering: Buffering,
+    /// The line codec buffering this stage's recirculated rows.
+    pub codec: LineCodecKind,
+    /// Threshold `T` for this stage (0 = lossless; ignored by codecs that
+    /// are inherently lossless).
+    pub threshold: i16,
 }
 
 impl Stage {
-    /// Traditional-buffered stage.
+    /// Traditional-buffered stage (raw line buffers, Section III).
     pub fn traditional(kernel: Box<dyn WindowKernel>) -> Self {
-        Self {
-            kernel,
-            buffering: Buffering::Traditional,
-        }
+        Self::with_codec(kernel, LineCodecKind::Raw, 0)
     }
 
-    /// Compressed-buffered stage.
+    /// Compressed-buffered stage (the paper's Haar codec, Section V).
     pub fn compressed(kernel: Box<dyn WindowKernel>, threshold: i16) -> Self {
+        Self::with_codec(kernel, LineCodecKind::Haar, threshold)
+    }
+
+    /// Stage buffered through an arbitrary line codec.
+    pub fn with_codec(kernel: Box<dyn WindowKernel>, codec: LineCodecKind, threshold: i16) -> Self {
         Self {
             kernel,
-            buffering: Buffering::Compressed { threshold },
+            codec,
+            threshold,
         }
     }
 }
@@ -132,32 +128,25 @@ impl Pipeline {
             );
             let stage_name = format!("stage{i}");
             let _span = self.telemetry.span(&format!("pipeline.{stage_name}"));
-            match stage.buffering {
-                Buffering::Traditional => {
-                    let cfg = ArchConfig::new(n, img.width());
-                    let mut arch = TraditionalSlidingWindow::new(cfg)
-                        .with_named_telemetry(&self.telemetry, &stage_name);
-                    let out = arch.process_frame(&img, stage.kernel.as_ref());
-                    stage_brams.push(traditional_brams(n, img.width()));
-                    cycles += out.stats.cycles;
-                    img = out.image;
-                }
-                Buffering::Compressed { threshold } => {
-                    let cfg = ArchConfig::new(n, img.width()).with_threshold(threshold);
-                    let mut arch = CompressedSlidingWindow::new(cfg)
-                        .with_named_telemetry(&self.telemetry, &stage_name);
-                    let out = arch.process_frame(&img, stage.kernel.as_ref());
-                    let p: BramPlan = plan(
-                        n,
-                        img.width(),
-                        out.stats.peak_payload_occupancy,
-                        MgmtAccounting::Structured,
-                    );
-                    stage_brams.push(p.total_brams());
-                    cycles += out.stats.cycles;
-                    img = out.image;
-                }
+            let cfg = ArchConfig::new(n, img.width())
+                .with_codec(stage.codec)
+                .with_threshold(stage.threshold);
+            let mut arch = build_arch(&cfg);
+            arch.bind_telemetry(&self.telemetry, &stage_name);
+            let out = arch.process_frame(&img, stage.kernel.as_ref());
+            if stage.codec == LineCodecKind::Raw {
+                stage_brams.push(traditional_brams(n, img.width()));
+            } else {
+                let p: BramPlan = plan(
+                    n,
+                    img.width(),
+                    out.stats.peak_payload_occupancy,
+                    MgmtAccounting::Structured,
+                );
+                stage_brams.push(p.total_brams());
             }
+            cycles += out.stats.cycles;
+            img = out.image;
         }
         PipelineOutput {
             image: img,
@@ -195,8 +184,10 @@ impl Pipeline {
             );
             let stage_name = format!("stage{i}");
             let _span = self.telemetry.span(&format!("pipeline.{stage_name}"));
-            let cfg = ArchConfig::new(n, img.width());
-            let runner = crate::shard::ShardedFrameRunner::new(cfg, stage.buffering)
+            let cfg = ArchConfig::new(n, img.width())
+                .with_codec(stage.codec)
+                .with_threshold(stage.threshold);
+            let runner = crate::shard::ShardedFrameRunner::new(cfg)
                 .with_strips(strips)
                 .with_named_telemetry(&self.telemetry, &stage_name);
             let out = runner.run(&img, stage.kernel.as_ref(), pool);
@@ -219,9 +210,10 @@ impl Pipeline {
         let mut plans = Vec::new();
         for stage in &self.stages {
             let n = stage.kernel.window_size();
-            let t = match stage.buffering {
-                Buffering::Traditional => 0,
-                Buffering::Compressed { threshold } => threshold,
+            let t = if stage.codec == LineCodecKind::Raw {
+                0
+            } else {
+                stage.threshold
             };
             let cfg = ArchConfig::new(n, width).with_threshold(t);
             let a = analyze_frame(&img, &cfg);

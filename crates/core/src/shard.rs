@@ -38,12 +38,11 @@
 //! peak memory-unit occupancy and the runner aggregates the maximum, in
 //! strip order, independent of scheduling.
 
-use crate::compressed::CompressedSlidingWindow;
+use crate::arch::build_arch;
+use crate::codec::LineCodecKind;
 use crate::config::ArchConfig;
 use crate::kernels::WindowKernel;
-use crate::pipeline::Buffering;
 use crate::planner::{plan, traditional_brams, BramPlan, MgmtAccounting};
-use crate::traditional::TraditionalSlidingWindow;
 use sw_image::ImageU8;
 use sw_pool::ThreadPool;
 use sw_telemetry::TelemetryHandle;
@@ -172,20 +171,18 @@ pub struct ShardedOutput {
 #[derive(Debug, Clone)]
 pub struct ShardedFrameRunner {
     cfg: ArchConfig,
-    buffering: Buffering,
     strips: usize,
     telemetry: TelemetryHandle,
     name: String,
 }
 
 impl ShardedFrameRunner {
-    /// Runner for `cfg` with the given buffering mode and
-    /// [`DEFAULT_STRIPS`] strips. For [`Buffering::Compressed`] the
-    /// stage threshold overrides `cfg.threshold`.
-    pub fn new(cfg: ArchConfig, buffering: Buffering) -> Self {
+    /// Runner for `cfg` with [`DEFAULT_STRIPS`] strips. The buffering mode
+    /// is `cfg.codec` (raw line buffers for [`LineCodecKind::Raw`],
+    /// compressing codecs otherwise) and the threshold is `cfg.threshold`.
+    pub fn new(cfg: ArchConfig) -> Self {
         Self {
             cfg,
-            buffering,
             strips: DEFAULT_STRIPS,
             telemetry: TelemetryHandle::disabled(),
             name: "frame".to_string(),
@@ -247,22 +244,17 @@ impl ShardedFrameRunner {
                 .telemetry
                 .span(&format!("shard.{}.strip{}", self.name, span.index));
             let sub = img.crop(0, span.input_row0, img.width(), span.input_rows);
-            match self.buffering {
-                Buffering::Traditional => {
-                    let mut arch = TraditionalSlidingWindow::new(self.cfg);
-                    let out = arch.process_frame(&sub, kernel);
-                    (out.image, out.stats.cycles, 0u64)
-                }
-                Buffering::Compressed { threshold } => {
-                    let mut arch = CompressedSlidingWindow::new(self.cfg.with_threshold(threshold));
-                    let out = arch.process_frame(&sub, kernel);
-                    (
-                        out.image,
-                        out.stats.cycles,
-                        out.stats.peak_payload_occupancy,
-                    )
-                }
-            }
+            let mut arch = build_arch(&self.cfg);
+            let out = arch.process_frame(&sub, kernel);
+            // Raw buffering reports peak 0, as the traditional strip
+            // datapath always did: its occupancy is the static span, not a
+            // measurement worth aggregating.
+            let peak = if self.cfg.codec == LineCodecKind::Raw {
+                0
+            } else {
+                out.stats.peak_payload_occupancy
+            };
+            (out.image, out.stats.cycles, peak)
         });
 
         // Stitch in strip order; all aggregation is scheduling-independent.
@@ -291,12 +283,11 @@ impl ShardedFrameRunner {
                 .add(*strip_cycles);
         }
 
-        let (brams, bram_plan) = match self.buffering {
-            Buffering::Traditional => (traditional_brams(n, self.cfg.width), None),
-            Buffering::Compressed { .. } => {
-                let p = plan(n, self.cfg.width, peak, MgmtAccounting::Structured);
-                (p.total_brams(), Some(p))
-            }
+        let (brams, bram_plan) = if self.cfg.codec == LineCodecKind::Raw {
+            (traditional_brams(n, self.cfg.width), None)
+        } else {
+            let p = plan(n, self.cfg.width, peak, MgmtAccounting::Structured);
+            (p.total_brams(), Some(p))
         };
 
         let pool_stats = pool.stats();
@@ -376,8 +367,8 @@ mod tests {
         let img = test_image(24, 19); // ragged: 16 output rows over 5 strips
         let kernel = BoxFilter::new(4);
         let pool = ThreadPool::new(2);
-        let runner =
-            ShardedFrameRunner::new(ArchConfig::new(4, 24), Buffering::Traditional).with_strips(5);
+        let runner = ShardedFrameRunner::new(ArchConfig::new(4, 24).with_codec(LineCodecKind::Raw))
+            .with_strips(5);
         let got = runner.run(&img, &kernel, &pool);
         assert_eq!(got.image, direct_sliding_window(&img, &kernel));
         assert!(got.bram_plan.is_none());
@@ -389,12 +380,9 @@ mod tests {
         let t = TelemetryHandle::new();
         let img = test_image(24, 16);
         let pool = ThreadPool::new(2);
-        let runner = ShardedFrameRunner::new(
-            ArchConfig::new(4, 24),
-            Buffering::Compressed { threshold: 0 },
-        )
-        .with_strips(4)
-        .with_named_telemetry(&t, "f0");
+        let runner = ShardedFrameRunner::new(ArchConfig::new(4, 24))
+            .with_strips(4)
+            .with_named_telemetry(&t, "f0");
         let out = runner.run(&img, &Tap::top_left(4), &pool);
         let r = t.report();
         assert_eq!(r.gauges["shard.f0.strips"], 4);

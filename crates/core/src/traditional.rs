@@ -2,195 +2,40 @@
 //! (paper Section III, Figure 1).
 //!
 //! `N − 1` row FIFOs of raw pixels feed an N×N shift-register window. The
-//! architecture has three phases — fill, process, drain — which this
+//! architecture has three phases — fill, process, drain — which the
 //! streaming model reproduces implicitly: outputs are only emitted once the
 //! window is fully inside the image, and a frame is fully processed after
 //! exactly `H × W` clock cycles (one input pixel per clock).
+//!
+//! Since the codec-layer refactor this is [`SlidingWindow`] instantiated
+//! with the identity codec [`RawCodec`]: a group width of one column whose
+//! "encoding" stores the `N − 1` recirculating pixels verbatim, so the
+//! memory unit *is* the raw line buffer. The aliases below keep the
+//! original API; the tests in this module pin the datapath and telemetry
+//! against the stand-alone implementation this file used to contain.
 
-use crate::compressed::occupancy_bounds;
-use crate::config::ArchConfig;
-use crate::kernels::WindowKernel;
-use crate::window::ActiveWindow;
-use crate::Pixel;
-use std::collections::VecDeque;
-use sw_image::ImageU8;
-use sw_telemetry::{Counter, Gauge, Histogram, TelemetryHandle, TraceEvent, TraceKind};
+use crate::arch::SlidingWindow;
+use crate::codec::RawCodec;
 
-/// Statistics of one processed frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TraditionalFrameStats {
-    /// Clock cycles consumed (always `H × W`: one pixel per clock).
-    pub cycles: u64,
-    /// On-chip bits the line buffers occupy:
-    /// `(N − 1) × (W − N) × pixel_bits`.
-    pub buffer_bits: u64,
-}
+/// The traditional architecture: the unified datapath with the identity
+/// codec.
+pub type TraditionalSlidingWindow = SlidingWindow<RawCodec>;
+
+/// Statistics of one processed frame. The unified [`crate::FrameStats`];
+/// the former `buffer_bits` field is now `raw_buffer_bits` (same value:
+/// `(N − 1) × (W − N) × pixel_bits`).
+pub type TraditionalFrameStats = crate::arch::FrameStats;
 
 /// Output of one frame.
-#[derive(Debug, Clone)]
-pub struct TraditionalOutput {
-    /// Kernel output over the valid region,
-    /// `(W − N + 1) × (H − N + 1)`.
-    pub image: ImageU8,
-    /// Frame statistics.
-    pub stats: TraditionalFrameStats,
-}
-
-/// The traditional architecture.
-#[derive(Debug, Clone)]
-pub struct TraditionalSlidingWindow {
-    cfg: ArchConfig,
-    window: ActiveWindow,
-    /// `fifos[k]` carries the exiting column's row `k + 1` pixel to the
-    /// entering column's row `k`, one image row later.
-    fifos: Vec<VecDeque<Pixel>>,
-    entering: Vec<Pixel>,
-    evicted: Vec<Pixel>,
-    /// Pixels currently in the line buffers (all FIFOs combined).
-    buffered_pixels: u64,
-    // --- telemetry (no-ops unless `with_telemetry` was called) ---
-    telemetry: TelemetryHandle,
-    m_cycles: Counter,
-    m_window_shifts: Counter,
-    occ_hist: Histogram,
-    occ_gauge: Gauge,
-}
-
-impl TraditionalSlidingWindow {
-    /// Build the architecture for `cfg` (threshold fields are ignored —
-    /// this is the uncompressed baseline).
-    pub fn new(cfg: ArchConfig) -> Self {
-        let n = cfg.window;
-        Self {
-            cfg,
-            window: ActiveWindow::new(n),
-            fifos: vec![VecDeque::with_capacity(cfg.fifo_depth()); n - 1],
-            entering: vec![0; n],
-            evicted: vec![0; n],
-            buffered_pixels: 0,
-            telemetry: TelemetryHandle::disabled(),
-            m_cycles: Counter::noop(),
-            m_window_shifts: Counter::noop(),
-            occ_hist: Histogram::noop(),
-            occ_gauge: Gauge::noop(),
-        }
-    }
-
-    /// Bind instruments to `telemetry` under the default stage name
-    /// `traditional`.
-    pub fn with_telemetry(self, telemetry: &TelemetryHandle) -> Self {
-        self.with_named_telemetry(telemetry, "traditional")
-    }
-
-    /// Bind instruments to `telemetry` under `stage.<name>.*` (cycles,
-    /// window shifts) and `fifo.<name>.*` (line-buffer occupancy histogram
-    /// and high-water mark, in bits).
-    pub fn with_named_telemetry(mut self, telemetry: &TelemetryHandle, name: &str) -> Self {
-        self.m_cycles = telemetry.counter(&format!("stage.{name}.cycles"));
-        self.m_window_shifts = telemetry.counter(&format!("stage.{name}.window_shifts"));
-        self.occ_hist = telemetry.histogram(
-            &format!("fifo.{name}.occupancy_bits"),
-            &occupancy_bounds(self.cfg.traditional_buffer_bits().max(1)),
-        );
-        self.occ_gauge = telemetry.gauge(&format!("fifo.{name}.high_water_bits"));
-        self.telemetry = telemetry.clone();
-        self
-    }
-
-    /// The architecture's configuration.
-    pub fn config(&self) -> &ArchConfig {
-        &self.cfg
-    }
-
-    /// Process a full frame, returning the kernel output over the valid
-    /// region.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the image width differs from the configured width, the
-    /// image is shorter than the window, or the kernel's window size
-    /// mismatches.
-    pub fn process_frame(&mut self, img: &ImageU8, kernel: &dyn WindowKernel) -> TraditionalOutput {
-        let n = self.cfg.window;
-        assert_eq!(img.width(), self.cfg.width, "image width mismatch");
-        assert!(img.height() >= n, "image shorter than the window");
-        assert_eq!(kernel.window_size(), n, "kernel window size mismatch");
-        self.reset();
-
-        let w = img.width();
-        let h = img.height();
-        let delay = self.cfg.fifo_depth(); // W − N cycles inside the FIFOs
-        let mut out = ImageU8::filled(w - n + 1, h - n + 1, 0);
-        let mut cycles = 0u64;
-        let pixel_bits = self.cfg.pixel_bits as u64;
-        self.telemetry.trace(TraceEvent::new(
-            0,
-            TraceKind::FrameStart,
-            w as u64,
-            h as u64,
-        ));
-
-        for r in 0..h {
-            let row = img.row(r);
-            for (c, &input) in row.iter().enumerate() {
-                // (1) FIFO reads: the entering column's top n−1 pixels.
-                for (k, fifo) in self.fifos.iter_mut().enumerate() {
-                    self.entering[k] = if fifo.len() >= delay {
-                        self.buffered_pixels -= 1;
-                        fifo.pop_front().expect("non-empty by length check")
-                    } else {
-                        0 // fill phase: registers power up as zero
-                    };
-                }
-                // (2) The input pixel enters the bottom row.
-                self.entering[n - 1] = input;
-                // (3) Shift; capture the evicted (leftmost) column.
-                self.window.shift_into(&self.entering, &mut self.evicted);
-                // (4) FIFO writes: evicted rows 1..n re-enter one row up.
-                for (k, fifo) in self.fifos.iter_mut().enumerate() {
-                    fifo.push_back(self.evicted[k + 1]);
-                }
-                self.buffered_pixels += self.fifos.len() as u64;
-                self.occ_hist.observe(self.buffered_pixels * pixel_bits);
-                self.occ_gauge
-                    .observe_max(self.buffered_pixels * pixel_bits);
-                // (5) Kernel output once the window is fully interior.
-                if r + 1 >= n && c + 1 >= n {
-                    out.set(c + 1 - n, r + 1 - n, kernel.apply(&self.window.view()));
-                }
-                cycles += 1;
-            }
-        }
-
-        self.m_cycles.add(cycles);
-        self.m_window_shifts.add(cycles); // one shift per input pixel
-        self.telemetry
-            .trace(TraceEvent::new(cycles, TraceKind::FrameEnd, cycles, 0));
-
-        TraditionalOutput {
-            image: out,
-            stats: TraditionalFrameStats {
-                cycles,
-                buffer_bits: self.cfg.traditional_buffer_bits(),
-            },
-        }
-    }
-
-    /// Clear all state (frame boundary).
-    pub fn reset(&mut self) {
-        self.window.clear();
-        for f in &mut self.fifos {
-            f.clear();
-        }
-        self.buffered_pixels = 0;
-    }
-}
+pub type TraditionalOutput = crate::arch::FrameOutput;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ArchConfig;
     use crate::kernels::{BoxFilter, MedianFilter, Tap};
     use crate::reference::direct_sliding_window;
+    use sw_image::ImageU8;
 
     fn test_image(w: usize, h: usize) -> ImageU8 {
         ImageU8::from_fn(w, h, |x, y| ((x * 7 + y * 13 + (x * y) % 5) % 256) as u8)
@@ -262,8 +107,11 @@ mod tests {
         let out = arch.process_frame(&img, &BoxFilter::new(4));
         let r = t.report();
         assert_eq!(r.counters["stage.base.cycles"], out.stats.cycles);
-        // Steady state fills every FIFO: occupancy equals buffer_bits.
-        assert_eq!(r.gauges["fifo.base.high_water_bits"], out.stats.buffer_bits);
+        // Steady state fills every FIFO: occupancy equals the raw span.
+        assert_eq!(
+            r.gauges["fifo.base.high_water_bits"],
+            out.stats.raw_buffer_bits
+        );
         assert_eq!(
             r.histograms["fifo.base.occupancy_bits"].count,
             out.stats.cycles
@@ -276,6 +124,8 @@ mod tests {
         let img = test_image(512, 16);
         let mut arch2 = arch.clone();
         let out = arch2.process_frame(&img, &BoxFilter::new(8));
-        assert_eq!(out.stats.buffer_bits, (512 - 8) * 7 * 8);
+        assert_eq!(out.stats.raw_buffer_bits, (512 - 8) * 7 * 8);
+        // The raw codec saves nothing by construction.
+        assert_eq!(out.stats.peak_total_occupancy, out.stats.raw_buffer_bits);
     }
 }

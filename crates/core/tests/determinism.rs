@@ -1,5 +1,5 @@
 //! The determinism suite for the halo-sharded runner (ISSUE 2's headline
-//! tests).
+//! tests, re-based on the codec layer in ISSUE 3).
 //!
 //! For every kernel × {lossless, T = 4} × jobs ∈ {1, 2, max}, the sharded
 //! runner must produce an output frame, BRAM plan, and MSE that are
@@ -10,8 +10,14 @@
 //! output to the *unsharded* full-frame architectures and the direct
 //! golden model. Non-divisible heights (67 rows across K = 4/5/7 strips)
 //! cover ragged last strips.
+//!
+//! The compressed codec under test defaults to the paper's Haar, and can
+//! be switched with `SWC_DETERMINISM_CODEC={raw,haar,haar2,legall,locoi}`
+//! (CI runs the suite a second time with `legall`). The
+//! `every_codec_is_jobs_invariant` test always covers all five.
 
 use sw_core::analysis::{analyze_frame, analyze_frame_par};
+use sw_core::codec::LineCodecKind;
 use sw_core::compressed::CompressedSlidingWindow;
 use sw_core::config::ArchConfig;
 use sw_core::kernels::{
@@ -19,7 +25,7 @@ use sw_core::kernels::{
     LocalBinaryPattern, MedianFilter, SeparableConv, SobelMagnitude, Tap, TemplateSad,
     WindowKernel,
 };
-use sw_core::pipeline::{Buffering, Pipeline, Stage};
+use sw_core::pipeline::{Pipeline, Stage};
 use sw_core::reference::direct_sliding_window;
 use sw_core::shard::{ShardPlan, ShardedFrameRunner, ShardedOutput};
 use sw_core::traditional::TraditionalSlidingWindow;
@@ -29,6 +35,17 @@ use sw_pool::ThreadPool;
 const N: usize = 8;
 const W: usize = 64;
 const H: usize = 67; // non-divisible: 60 output rows over K=4/5/7 strips
+
+/// The compressed codec the kernel-grid tests exercise. Defaults to the
+/// paper's Haar; `SWC_DETERMINISM_CODEC` re-points the whole suite so CI
+/// can replay it per codec.
+fn codec_under_test() -> LineCodecKind {
+    match std::env::var("SWC_DETERMINISM_CODEC") {
+        Ok(name) => LineCodecKind::parse(&name)
+            .unwrap_or_else(|| panic!("SWC_DETERMINISM_CODEC: unknown codec '{name}'")),
+        Err(_) => LineCodecKind::Haar,
+    }
+}
 
 /// The jobs values the ISSUE names: 1, 2, and "max".
 fn jobs_grid() -> [usize; 3] {
@@ -67,14 +84,18 @@ fn scene(w: usize, h: usize) -> ImageU8 {
 }
 
 fn run_sharded(
-    buffering: Buffering,
+    codec: LineCodecKind,
+    threshold: i16,
     img: &ImageU8,
     kernel: &dyn WindowKernel,
     strips: usize,
     jobs: usize,
 ) -> ShardedOutput {
     let pool = ThreadPool::new(jobs);
-    ShardedFrameRunner::new(ArchConfig::new(N, img.width()), buffering)
+    let cfg = ArchConfig::new(N, img.width())
+        .with_codec(codec)
+        .with_threshold(threshold);
+    ShardedFrameRunner::new(cfg)
         .with_strips(strips)
         .run(img, kernel, &pool)
 }
@@ -96,20 +117,50 @@ fn assert_outputs_identical(a: &ShardedOutput, b: &ShardedOutput, what: &str) {
 #[test]
 fn every_kernel_is_jobs_invariant_lossless_and_lossy() {
     let img = scene(W, H);
+    let codec = codec_under_test();
     for kernel in every_kernel() {
-        for buffering in [
-            Buffering::Traditional,
-            Buffering::Compressed { threshold: 0 },
-            Buffering::Compressed { threshold: 4 },
-        ] {
+        for (c, t) in [(LineCodecKind::Raw, 0i16), (codec, 0), (codec, 4)] {
             // Sequential reference: the same shard plan at jobs = 1.
-            let reference = run_sharded(buffering, &img, kernel.as_ref(), 4, 1);
+            let reference = run_sharded(c, t, &img, kernel.as_ref(), 4, 1);
             for jobs in jobs_grid() {
-                let got = run_sharded(buffering, &img, kernel.as_ref(), 4, jobs);
+                let got = run_sharded(c, t, &img, kernel.as_ref(), 4, jobs);
                 assert_outputs_identical(
                     &got,
                     &reference,
-                    &format!("{} {buffering:?} jobs={jobs}", kernel.name()),
+                    &format!("{} {} T={t} jobs={jobs}", kernel.name(), c.name()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_codec_is_jobs_invariant_lossless_and_lossy() {
+    // ISSUE 3's satellite: every codec × {lossless, T = 4} × jobs
+    // {1, max} must be byte-identical to the jobs = 1 reference. One
+    // kernel suffices per codec — the kernel grid above already covers
+    // kernel diversity for the codec under test.
+    let img = scene(W, H);
+    let kernel = Tap::top_left(N); // exposes raw recirculated pixels
+    let max_jobs = *jobs_grid().last().unwrap();
+    for codec in LineCodecKind::ALL {
+        for t in [0i16, 4] {
+            let reference = run_sharded(codec, t, &img, &kernel, 4, 1);
+            for jobs in [1usize, max_jobs] {
+                let got = run_sharded(codec, t, &img, &kernel, 4, jobs);
+                assert_outputs_identical(
+                    &got,
+                    &reference,
+                    &format!("{} T={t} jobs={jobs}", codec.name()),
+                );
+            }
+            // Lossless runs of every codec reproduce the golden model.
+            if t == 0 {
+                assert_eq!(
+                    reference.image,
+                    direct_sliding_window(&img, &kernel),
+                    "{} lossless != direct",
+                    codec.name()
                 );
             }
         }
@@ -124,6 +175,7 @@ fn every_kernel_lossless_sharded_matches_unsharded_sequential() {
     // golden model.
     let img = scene(W, H);
     let cfg = ArchConfig::new(N, W);
+    let codec = codec_under_test();
     for kernel in every_kernel() {
         let direct = direct_sliding_window(&img, kernel.as_ref());
         let trad = TraditionalSlidingWindow::new(cfg).process_frame(&img, kernel.as_ref());
@@ -131,20 +183,14 @@ fn every_kernel_lossless_sharded_matches_unsharded_sequential() {
         assert_eq!(trad.image, direct, "{}", kernel.name());
         assert_eq!(comp.image, direct, "{}", kernel.name());
         for jobs in jobs_grid() {
-            let sharded = run_sharded(
-                Buffering::Compressed { threshold: 0 },
-                &img,
-                kernel.as_ref(),
-                4,
-                jobs,
-            );
+            let sharded = run_sharded(codec, 0, &img, kernel.as_ref(), 4, jobs);
             assert_eq!(
                 sharded.image,
                 direct,
                 "{} lossless sharded != unsharded (jobs={jobs})",
                 kernel.name()
             );
-            let sharded_trad = run_sharded(Buffering::Traditional, &img, kernel.as_ref(), 4, jobs);
+            let sharded_trad = run_sharded(LineCodecKind::Raw, 0, &img, kernel.as_ref(), 4, jobs);
             assert_eq!(sharded_trad.image, direct, "{} traditional", kernel.name());
         }
     }
@@ -155,6 +201,7 @@ fn mse_bits_are_identical_across_jobs() {
     // Lossy quality numbers feed the paper's MSE tables: the f64 must be
     // byte-identical, not merely close.
     let img = scene(W, H);
+    let codec = codec_under_test();
     for kernel in [
         Box::new(BoxFilter::new(N)) as Box<dyn WindowKernel>,
         Box::new(Tap::top_left(N)),
@@ -162,23 +209,11 @@ fn mse_bits_are_identical_across_jobs() {
     ] {
         let reference = direct_sliding_window(&img, kernel.as_ref());
         let baseline = {
-            let out = run_sharded(
-                Buffering::Compressed { threshold: 4 },
-                &img,
-                kernel.as_ref(),
-                4,
-                1,
-            );
+            let out = run_sharded(codec, 4, &img, kernel.as_ref(), 4, 1);
             mse(&out.image, &reference).to_bits()
         };
         for jobs in jobs_grid() {
-            let out = run_sharded(
-                Buffering::Compressed { threshold: 4 },
-                &img,
-                kernel.as_ref(),
-                4,
-                jobs,
-            );
+            let out = run_sharded(codec, 4, &img, kernel.as_ref(), 4, jobs);
             assert_eq!(
                 mse(&out.image, &reference).to_bits(),
                 baseline,
@@ -194,34 +229,26 @@ fn ragged_heights_and_strip_counts_are_deterministic() {
     // 67 rows, K ∈ {4, 5, 7}: 60 output rows split unevenly; the last
     // strip is shorter. Also heights that leave a 1-row last strip.
     let kernel = BoxFilter::new(N);
+    let codec = codec_under_test();
     for h in [67usize, 61, 66] {
         let img = scene(W, h);
         for strips in [4usize, 5, 7] {
             let plan = ShardPlan::new(N, h, strips);
             let covered: usize = plan.spans.iter().map(|s| s.output_rows).sum();
             assert_eq!(covered, h - N + 1, "h={h} K={strips} coverage");
-            for buffering in [
-                Buffering::Compressed { threshold: 0 },
-                Buffering::Compressed { threshold: 4 },
-            ] {
-                let reference = run_sharded(buffering, &img, &kernel, strips, 1);
+            for t in [0i16, 4] {
+                let reference = run_sharded(codec, t, &img, &kernel, strips, 1);
                 for jobs in jobs_grid() {
-                    let got = run_sharded(buffering, &img, &kernel, strips, jobs);
+                    let got = run_sharded(codec, t, &img, &kernel, strips, jobs);
                     assert_outputs_identical(
                         &got,
                         &reference,
-                        &format!("h={h} K={strips} {buffering:?} jobs={jobs}"),
+                        &format!("h={h} K={strips} {} T={t} jobs={jobs}", codec.name()),
                     );
                 }
             }
             // Lossless must also match the unsharded frame at every K.
-            let lossless = run_sharded(
-                Buffering::Compressed { threshold: 0 },
-                &img,
-                &kernel,
-                strips,
-                2,
-            );
+            let lossless = run_sharded(codec, 0, &img, &kernel, strips, 2);
             assert_eq!(
                 lossless.image,
                 direct_sliding_window(&img, &kernel),
@@ -252,10 +279,11 @@ fn analyzer_par_is_bit_identical_to_sequential() {
 #[test]
 fn pipeline_run_sharded_is_jobs_invariant_and_lossless_exact() {
     let img = scene(96, 67);
+    let codec = codec_under_test();
     let stages = || {
         Pipeline::new(vec![
-            Stage::compressed(Box::new(GaussianFilter::new(8)), 0),
-            Stage::compressed(Box::new(SobelMagnitude::new(4)), 0),
+            Stage::with_codec(Box::new(GaussianFilter::new(8)), codec, 0),
+            Stage::with_codec(Box::new(SobelMagnitude::new(4)), codec, 0),
         ])
     };
     // Lossless sharded pipeline equals the unsharded pipeline exactly.

@@ -32,52 +32,68 @@ fn ext(x: &[Coeff], i: isize) -> Coeff {
     x[j as usize]
 }
 
-/// Forward 1-D 5/3 transform of an even-length signal.
+/// Forward 1-D 5/3 transform of a signal of any length ≥ 2.
 ///
-/// Writes `len/2` approximation coefficients into `low` and `len/2` detail
-/// coefficients into `high`.
+/// Writes `ceil(len/2)` approximation coefficients into `low` and
+/// `floor(len/2)` detail coefficients into `high` (the JPEG 2000 odd-length
+/// split: the extra sample lands in the approximation band). Detail indices
+/// past the end of the shorter detail array mirror symmetrically, matching
+/// the whole-sample extension `ext` applies to the signal itself.
 ///
 /// # Panics
 ///
-/// Panics if `x.len()` is odd, shorter than 2, or the outputs are too short.
+/// Panics if `x.len() < 2` or the outputs are too short.
 pub fn legall53_forward(x: &[Coeff], low: &mut [Coeff], high: &mut [Coeff]) {
-    assert!(
-        x.len() >= 2 && x.len().is_multiple_of(2),
-        "need even length >= 2"
-    );
-    let half = x.len() / 2;
-    assert!(low.len() >= half && high.len() >= half, "outputs too short");
+    assert!(x.len() >= 2, "need length >= 2");
+    let lo_n = x.len().div_ceil(2);
+    let hi_n = x.len() / 2;
+    assert!(low.len() >= lo_n && high.len() >= hi_n, "outputs too short");
     // Predict step (details).
-    for k in 0..half {
+    for k in 0..hi_n {
         let left = x[2 * k] as i32;
         let right = ext(x, 2 * k as isize + 2) as i32;
         high[k] = (x[2 * k + 1] as i32 - ((left + right) >> 1)) as Coeff;
     }
-    // Update step (approximations).
-    for k in 0..half {
-        let dm1 = if k == 0 { high[0] } else { high[k - 1] } as i32;
-        let d = high[k] as i32;
+    // Update step (approximations). For odd lengths the last even sample
+    // has no d[k]; it mirrors d[k−1], consistent with the predict-step
+    // extension.
+    for k in 0..lo_n {
+        let dm1 = if k == 0 {
+            high[0]
+        } else {
+            high[(k - 1).min(hi_n - 1)]
+        } as i32;
+        let d = high[k.min(hi_n - 1)] as i32;
         low[k] = (x[2 * k] as i32 + ((dm1 + d + 2) >> 2)) as Coeff;
     }
 }
 
 /// Exact inverse of [`legall53_forward`].
 ///
+/// Accepts the even-length split (`low.len() == high.len()`) and the
+/// odd-length split (`low.len() == high.len() + 1`).
+///
 /// # Panics
 ///
 /// Panics on length mismatches.
 pub fn legall53_inverse(low: &[Coeff], high: &[Coeff], x: &mut [Coeff]) {
-    assert_eq!(low.len(), high.len(), "sub-band length mismatch");
-    assert_eq!(x.len(), 2 * low.len(), "output length mismatch");
-    let half = low.len();
+    let lo_n = low.len();
+    let hi_n = high.len();
+    assert!(lo_n == hi_n || lo_n == hi_n + 1, "sub-band length mismatch");
+    assert!(hi_n >= 1, "need length >= 2");
+    assert_eq!(x.len(), lo_n + hi_n, "output length mismatch");
     // Undo update step.
-    for k in 0..half {
-        let dm1 = if k == 0 { high[0] } else { high[k - 1] } as i32;
-        let d = high[k] as i32;
+    for k in 0..lo_n {
+        let dm1 = if k == 0 {
+            high[0]
+        } else {
+            high[(k - 1).min(hi_n - 1)]
+        } as i32;
+        let d = high[k.min(hi_n - 1)] as i32;
         x[2 * k] = (low[k] as i32 - ((dm1 + d + 2) >> 2)) as Coeff;
     }
     // Undo predict step (even samples are now final).
-    for k in 0..half {
+    for k in 0..hi_n {
         let left = x[2 * k] as i32;
         let right = if 2 * k + 2 < x.len() {
             x[2 * k + 2]
@@ -197,6 +213,42 @@ mod tests {
             let mut out = vec![0; len];
             legall53_inverse(&low, &high, &mut out);
             assert_eq!(out, x, "len {len}");
+        }
+    }
+
+    #[test]
+    fn one_dim_roundtrip_odd_lengths() {
+        for len in [3usize, 5, 7, 9, 33, 127] {
+            let x: Vec<Coeff> = (0..len).map(|i| (i as Coeff * 73) % 256 - 128).collect();
+            let mut low = vec![0; len.div_ceil(2)];
+            let mut high = vec![0; len / 2];
+            legall53_forward(&x, &mut low, &mut high);
+            let mut out = vec![0; len];
+            legall53_inverse(&low, &high, &mut out);
+            assert_eq!(out, x, "len {len}");
+        }
+    }
+
+    #[test]
+    fn one_dim_roundtrip_i16_extremes() {
+        // Intermediate arithmetic runs in i32 and wraps consistently on the
+        // cast back to i16, so reconstruction stays exact even at the type
+        // extremes — including odd lengths.
+        for len in [2usize, 3, 8, 9] {
+            for pattern in [
+                vec![i16::MAX; len],
+                vec![i16::MIN; len],
+                (0..len)
+                    .map(|i| if i % 2 == 0 { i16::MAX } else { i16::MIN })
+                    .collect::<Vec<_>>(),
+            ] {
+                let mut low = vec![0; len.div_ceil(2)];
+                let mut high = vec![0; len / 2];
+                legall53_forward(&pattern, &mut low, &mut high);
+                let mut out = vec![0; len];
+                legall53_inverse(&low, &high, &mut out);
+                assert_eq!(out, pattern, "len {len}");
+            }
         }
     }
 

@@ -108,6 +108,38 @@ proptest! {
     }
 
     #[test]
+    fn legall53_roundtrip_odd_lengths(data in vec(0i16..256, 3..129).prop_map(|mut v| {
+        if v.len() % 2 == 0 { v.pop(); }
+        v
+    })) {
+        // Odd lengths take the JPEG 2000 split: the extra sample lands in
+        // the approximation band and the last detail index mirrors.
+        let (lo_n, hi_n) = (data.len().div_ceil(2), data.len() / 2);
+        let mut low = vec![0 as Coeff; lo_n];
+        let mut high = vec![0 as Coeff; hi_n];
+        legall53_forward(&data, &mut low, &mut high);
+        let mut out = vec![0 as Coeff; data.len()];
+        legall53_inverse(&low, &high, &mut out);
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn legall53_roundtrip_full_i16_range_any_length(
+        data in vec(any::<i16>(), 2..129),
+    ) {
+        // Perfect reconstruction must hold over the whole coefficient type,
+        // not just pixel values: lifting runs in i32 and wraps consistently
+        // on the cast back, so even i16::MIN/MAX alternations roundtrip.
+        let (lo_n, hi_n) = (data.len().div_ceil(2), data.len() / 2);
+        let mut low = vec![0 as Coeff; lo_n];
+        let mut high = vec![0 as Coeff; hi_n];
+        legall53_forward(&data, &mut low, &mut high);
+        let mut out = vec![0 as Coeff; data.len()];
+        legall53_inverse(&low, &high, &mut out);
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
     fn multilevel_roundtrip(
         seed in any::<u32>(),
         levels in 1usize..4,

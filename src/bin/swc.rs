@@ -6,9 +6,9 @@
 //!
 //! ```text
 //! swc analyze  <image.pgm> --window 16 [--threshold 4] [--policy all]
-//!              [--metrics-out m.json] [--trace t.jsonl] [--jobs N]
+//!              [--codec haar] [--metrics-out m.json] [--trace t.jsonl] [--jobs N]
 //! swc plan     <image.pgm> --window 16 [--threshold 4]
-//! swc sweep    <image.pgm> --window 16 [--metrics-out m.json] [--jobs N]
+//! swc sweep    <image.pgm> --window 16 [--codec haar] [--metrics-out m.json] [--jobs N]
 //! swc scene    <name|index> <out.pgm> [--size 512x512]   # dataset export
 //! ```
 //!
@@ -22,6 +22,7 @@
 //! number printed is identical for any `N` — see `tests/determinism.rs`.
 
 use modified_sliding_window::core::analysis::{analyze_frame, analyze_frame_par};
+use modified_sliding_window::core::arch::build_arch;
 use modified_sliding_window::core::compressed::CompressedSlidingWindow;
 use modified_sliding_window::core::kernels::Tap;
 use modified_sliding_window::core::shard::{ShardedFrameRunner, DEFAULT_STRIPS};
@@ -48,13 +49,18 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   swc analyze <image.pgm> --window N [--threshold T] [--policy details|all]
-              [--metrics-out FILE.json] [--trace FILE.jsonl] [--jobs N]
+              [--codec C] [--metrics-out FILE.json] [--trace FILE.jsonl] [--jobs N]
   swc plan    <image.pgm> --window N [--threshold T]
-  swc sweep   <image.pgm> --window N [--metrics-out FILE.json] [--jobs N]
+  swc sweep   <image.pgm> --window N [--codec C] [--metrics-out FILE.json] [--jobs N]
   swc scene   <name|index> <out.pgm> [--size WxH]
 
 The image must be a binary PGM (P5). `swc scene` writes one of the built-in
 synthetic dataset scenes instead of reading an input.
+
+--codec selects the line-buffer codec: raw, haar (default, the paper's
+architecture), haar2 (two-level Haar), legall (LeGall 5/3), or locoi
+(LOCO-I predictive). Non-haar codecs report the measured datapath
+statistics instead of the Haar column analyzer.
 
 --metrics-out runs the full datapath with telemetry enabled and writes the
 metrics report (stage cycles, FIFO occupancy, packer counters, NBits
@@ -68,6 +74,7 @@ struct Opts {
     window: usize,
     threshold: i16,
     policy: ThresholdPolicy,
+    codec: LineCodecKind,
     size: (usize, usize),
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
@@ -86,6 +93,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         window: 0,
         threshold: 0,
         policy: ThresholdPolicy::DetailsOnly,
+        codec: LineCodecKind::Haar,
         size: (512, 512),
         metrics_out: None,
         trace_out: None,
@@ -106,6 +114,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     "all" => ThresholdPolicy::AllSubbands,
                     other => return Err(format!("unknown policy '{other}'")),
                 };
+            }
+            "--codec" => {
+                let v = next(args, &mut i)?;
+                o.codec = LineCodecKind::parse(v).ok_or_else(|| {
+                    format!("unknown codec '{v}' (raw, haar, haar2, legall, locoi)")
+                })?;
             }
             "--size" => {
                 let v = next(args, &mut i)?;
@@ -212,10 +226,14 @@ fn config(img: &ImageU8, o: &Opts) -> Result<ArchConfig, String> {
     }
     Ok(ArchConfig::new(o.window, img.width())
         .with_threshold(o.threshold)
-        .with_policy(o.policy))
+        .with_policy(o.policy)
+        .with_codec(o.codec))
 }
 
 fn analyze(img: &ImageU8, o: &Opts) -> Result<(), String> {
+    if o.codec != LineCodecKind::Haar {
+        return analyze_codec(img, o);
+    }
     let cfg = config(img, o)?;
     let pool = o.jobs.map(ThreadPool::new);
     let a = match &pool {
@@ -257,16 +275,11 @@ fn analyze(img: &ImageU8, o: &Opts) -> Result<(), String> {
         let kernel = Tap::top_left(o.window);
         let out_image = match &pool {
             Some(p) => {
-                ShardedFrameRunner::new(
-                    cfg,
-                    Buffering::Compressed {
-                        threshold: o.threshold,
-                    },
-                )
-                .with_strips(DEFAULT_STRIPS)
-                .with_named_telemetry(&tele, "analyze")
-                .run(img, &kernel, p)
-                .image
+                ShardedFrameRunner::new(cfg)
+                    .with_strips(DEFAULT_STRIPS)
+                    .with_named_telemetry(&tele, "analyze")
+                    .run(img, &kernel, p)
+                    .image
             }
             None => {
                 let mut arch = CompressedSlidingWindow::new(cfg).with_telemetry(&tele);
@@ -284,6 +297,45 @@ fn analyze(img: &ImageU8, o: &Opts) -> Result<(), String> {
         write_telemetry(&tele, o)?;
     }
     Ok(())
+}
+
+/// `swc analyze` for a non-default codec: report the measured datapath
+/// statistics (the Haar column analyzer does not apply), in the same layout
+/// as the default path plus a `codec:` line.
+fn analyze_codec(img: &ImageU8, o: &Opts) -> Result<(), String> {
+    let cfg = config(img, o)?;
+    let tele = if o.wants_telemetry() {
+        TelemetryHandle::new()
+    } else {
+        TelemetryHandle::disabled()
+    };
+    println!(
+        "image {}x{}  window {}  threshold {}  codec {}",
+        img.width(),
+        img.height(),
+        o.window,
+        o.threshold,
+        o.codec.name()
+    );
+    let kernel = Tap::top_left(o.window);
+    let mut arch = build_arch(&cfg);
+    arch.bind_telemetry(&tele, "analyze");
+    let out = arch.process_frame(img, &kernel);
+    let s = out.stats;
+    println!("memory saving (Eq 5): {:.1}%", s.memory_saving_pct());
+    println!(
+        "worst-case occupancy: {} bits payload + {} bits mgmt",
+        s.peak_payload_occupancy, s.management_bits
+    );
+    if o.threshold > 0 && o.codec.is_lossy_capable() {
+        let crop = img.crop(0, 0, out.image.width(), out.image.height());
+        println!(
+            "delivered quality:    MSE {:.2}  PSNR {:.1} dB (compounded, worst window row)",
+            mse(&out.image, &crop),
+            psnr(&out.image, &crop)
+        );
+    }
+    write_telemetry(&tele, o)
 }
 
 /// Write the requested telemetry outputs (metrics JSON, trace JSONL).
@@ -355,6 +407,10 @@ fn sweep(img: &ImageU8, o: &Opts) -> Result<(), String> {
     println!("T   saving%   worst payload bits   delivered MSE");
     for t in [0i16, 2, 4, 6, 8] {
         let cfg = config(img, o)?.with_threshold(t);
+        if o.codec != LineCodecKind::Haar {
+            sweep_codec_row(img, o, &cfg, t, &tele);
+            continue;
+        }
         let a = match &pool {
             Some(p) => analyze_frame_par(img, &cfg, p),
             None => analyze_frame(img, &cfg),
@@ -365,7 +421,7 @@ fn sweep(img: &ImageU8, o: &Opts) -> Result<(), String> {
             // Each threshold reports as its own stage in the telemetry.
             let out_image = match &pool {
                 Some(p) => {
-                    ShardedFrameRunner::new(cfg, Buffering::Compressed { threshold: t })
+                    ShardedFrameRunner::new(cfg)
                         .with_strips(DEFAULT_STRIPS)
                         .with_named_telemetry(&tele, &format!("t{t}"))
                         .run(img, &Tap::top_left(o.window), p)
@@ -387,6 +443,26 @@ fn sweep(img: &ImageU8, o: &Opts) -> Result<(), String> {
         );
     }
     write_telemetry(&tele, o)
+}
+
+/// One `swc sweep` table row for a non-default codec, measured on the real
+/// datapath (stats are strip-count independent; the sequential run is the
+/// reference the sharded runner is tested against).
+fn sweep_codec_row(img: &ImageU8, o: &Opts, cfg: &ArchConfig, t: i16, tele: &TelemetryHandle) {
+    let mut arch = build_arch(cfg);
+    arch.bind_telemetry(tele, &format!("t{t}"));
+    let out = arch.process_frame(img, &Tap::top_left(o.window));
+    let e = if t > 0 && o.codec.is_lossy_capable() {
+        let crop = img.crop(0, 0, out.image.width(), out.image.height());
+        mse(&out.image, &crop)
+    } else {
+        0.0
+    };
+    println!(
+        "{t:<3} {:>7.1}   {:>18}   {e:>13.2}",
+        out.stats.memory_saving_pct(),
+        out.stats.peak_payload_occupancy
+    );
 }
 
 fn scene(which: &str, out: &str, o: &Opts) -> Result<(), String> {

@@ -63,6 +63,10 @@ pub use sw_wavelet as wavelet;
 pub mod prelude {
     pub use sw_core::adaptive::{AdaptiveConfig, AdaptiveThreshold, Adjustment};
     pub use sw_core::analysis::{analyze_frame, analyze_frame_par, occupancy_trace, FrameAnalysis};
+    pub use sw_core::arch::{
+        build_arch, FrameOutput, FrameStats, SlidingWindow, SlidingWindowArch,
+    };
+    pub use sw_core::codec::{LineCodec, LineCodecKind};
     pub use sw_core::color::{ColorCompressedSlidingWindow, ColorOutput};
     pub use sw_core::compressed::{CompressedOutput, CompressedSlidingWindow};
     pub use sw_core::config::{ArchConfig, NBitsGranularity, ThresholdPolicy};
@@ -71,7 +75,7 @@ pub mod prelude {
         LocalBinaryPattern, MedianFilter, SeparableConv, SobelMagnitude, Tap, TemplateSad,
         WindowKernel,
     };
-    pub use sw_core::pipeline::{Buffering, Pipeline, PipelineOutput, Stage};
+    pub use sw_core::pipeline::{Pipeline, PipelineOutput, Stage};
     pub use sw_core::planner::{plan, traditional_brams, BramPlan, MgmtAccounting};
     pub use sw_core::reference::direct_sliding_window;
     pub use sw_core::rtl::RtlCompressedSlidingWindow;
