@@ -26,7 +26,7 @@ fn bench_architectures(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("traditional", n), &img, |b, img| {
             let kernel = Tap::top_left(n);
             let mut arch = TraditionalSlidingWindow::new(cfg);
-            b.iter(|| arch.process_frame(img, &kernel).stats.cycles)
+            b.iter(|| arch.process_frame(img, &kernel).unwrap().stats.cycles)
         });
         group.bench_with_input(
             BenchmarkId::new("compressed_lossless", n),
@@ -34,13 +34,13 @@ fn bench_architectures(c: &mut Criterion) {
             |b, img| {
                 let kernel = Tap::top_left(n);
                 let mut arch = CompressedSlidingWindow::new(cfg);
-                b.iter(|| arch.process_frame(img, &kernel).stats.cycles)
+                b.iter(|| arch.process_frame(img, &kernel).unwrap().stats.cycles)
             },
         );
         group.bench_with_input(BenchmarkId::new("compressed_t4", n), &img, |b, img| {
             let kernel = Tap::top_left(n);
             let mut arch = CompressedSlidingWindow::new(cfg.with_threshold(4));
-            b.iter(|| arch.process_frame(img, &kernel).stats.cycles)
+            b.iter(|| arch.process_frame(img, &kernel).unwrap().stats.cycles)
         });
     }
     group.finish();
@@ -57,7 +57,7 @@ fn bench_kernel_cost(c: &mut Criterion) {
     group.bench_function("box_8_traditional", |b| {
         let kernel = BoxFilter::new(8);
         let mut arch = TraditionalSlidingWindow::new(cfg);
-        b.iter(|| arch.process_frame(&img, &kernel).stats.cycles)
+        b.iter(|| arch.process_frame(&img, &kernel).unwrap().stats.cycles)
     });
     group.finish();
 }
@@ -77,19 +77,19 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.bench_function("unbound", |b| {
         let kernel = Tap::top_left(8);
         let mut arch = CompressedSlidingWindow::new(cfg);
-        b.iter(|| arch.process_frame(&img, &kernel).stats.cycles)
+        b.iter(|| arch.process_frame(&img, &kernel).unwrap().stats.cycles)
     });
     group.bench_function("disabled_handle", |b| {
         let kernel = Tap::top_left(8);
         let mut arch =
             CompressedSlidingWindow::new(cfg).with_telemetry(&TelemetryHandle::disabled());
-        b.iter(|| arch.process_frame(&img, &kernel).stats.cycles)
+        b.iter(|| arch.process_frame(&img, &kernel).unwrap().stats.cycles)
     });
     group.bench_function("enabled_handle", |b| {
         let kernel = Tap::top_left(8);
         let tele = TelemetryHandle::new();
         let mut arch = CompressedSlidingWindow::new(cfg).with_telemetry(&tele);
-        b.iter(|| arch.process_frame(&img, &kernel).stats.cycles)
+        b.iter(|| arch.process_frame(&img, &kernel).unwrap().stats.cycles)
     });
     group.finish();
 }
@@ -109,7 +109,7 @@ fn bench_sharded_vs_sequential(c: &mut Criterion) {
         group.throughput(Throughput::Elements((size * size) as u64));
         group.bench_with_input(BenchmarkId::new("sequential", size), &img, |b, img| {
             let mut arch = CompressedSlidingWindow::new(cfg);
-            b.iter(|| arch.process_frame(img, &kernel).stats.cycles)
+            b.iter(|| arch.process_frame(img, &kernel).unwrap().stats.cycles)
         });
         for jobs in [1usize, 2, 4] {
             let pool = ThreadPool::new(jobs);
@@ -117,7 +117,7 @@ fn bench_sharded_vs_sequential(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("sharded_jobs{jobs}"), size),
                 &img,
-                |b, img| b.iter(|| runner.run(img, &kernel, &pool).cycles),
+                |b, img| b.iter(|| runner.run(img, &kernel, &pool).unwrap().cycles),
             );
         }
     }

@@ -176,9 +176,17 @@ fn streaming_levels(images: &[(String, ImageU8)]) {
             .map(|(_, img)| {
                 let cfg = ArchConfig::new(n, width);
                 let mut one = CompressedSlidingWindow::new(cfg);
-                let s1 = one.process_frame(img, &kernel).stats.memory_saving_pct();
+                let s1 = one
+                    .process_frame(img, &kernel)
+                    .unwrap()
+                    .stats
+                    .memory_saving_pct();
                 let mut two = TwoLevelCompressedSlidingWindow::new(cfg);
-                let s2 = two.process_frame(img, &kernel).stats.memory_saving_pct();
+                let s2 = two
+                    .process_frame(img, &kernel)
+                    .unwrap()
+                    .stats
+                    .memory_saving_pct();
                 (s1, s2)
             })
             .collect();

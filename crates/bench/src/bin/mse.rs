@@ -57,9 +57,11 @@ fn compounded_mse(
     let cfg = ArchConfig::new(n, img.width())
         .with_threshold(t)
         .with_codec(codec);
-    let mut arch = build_arch(&cfg);
+    let mut arch = build_arch(&cfg).expect("benchmark config is valid");
     arch.bind_telemetry(telemetry, &format!("mse_t{t}"));
-    let out = arch.process_frame(img, &Tap::top_left(n));
+    let out = arch
+        .process_frame(img, &Tap::top_left(n))
+        .expect("benchmark frame matches the config");
     let crop = img.crop(0, 0, out.image.width(), out.image.height());
     mse(&out.image, &crop)
 }

@@ -138,16 +138,51 @@ pub fn encode_column(coeffs: &[Coeff], threshold: Coeff) -> EncodedColumn {
 ///
 /// # Panics
 ///
-/// Panics if the payload is truncated.
+/// Panics if the encoding fails a consistency guard; use
+/// [`decode_column_checked`] to handle corruption as an error.
 pub fn decode_column(enc: &EncodedColumn) -> Vec<Coeff> {
+    match decode_column_checked(enc) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Decode with consistency guards: the NBits field must be in range and
+/// the payload length must equal `significant × NBits`. A corrupted
+/// management word (bit-flipped NBits or BitMap) trips a guard and
+/// returns `Err` instead of silently mis-reconstructing or panicking.
+pub fn decode_column_checked(enc: &EncodedColumn) -> Result<Vec<Coeff>, String> {
+    let ones = enc.bitmap.count_ones() as u64;
+    if ones > 0 && !(1..=16).contains(&enc.nbits) {
+        return Err(format!("NBits field {} outside 1..=16", enc.nbits));
+    }
+    let expect_bits = if ones > 0 {
+        ones * u64::from(enc.nbits)
+    } else {
+        0
+    };
+    if enc.payload_bits != expect_bits {
+        return Err(format!(
+            "payload of {} bits inconsistent with {} significant coefficients × NBits {}",
+            enc.payload_bits, ones, enc.nbits
+        ));
+    }
+    if (enc.payload.len() as u64) * 8 < enc.payload_bits {
+        return Err(format!(
+            "payload bytes hold {} bits but {} are declared",
+            enc.payload.len() * 8,
+            enc.payload_bits
+        ));
+    }
     let mut r = BitReader::new(&enc.payload);
     enc.bitmap
         .iter()
         .map(|sig| {
             if sig {
-                r.read_signed(enc.nbits).expect("truncated column payload")
+                r.read_signed(enc.nbits)
+                    .ok_or_else(|| "truncated column payload".to_string())
             } else {
-                0
+                Ok(0)
             }
         })
         .collect()

@@ -52,8 +52,10 @@ pub mod unpacker;
 pub mod writer;
 
 pub use bitmap::Bitmap;
-pub use column::{column_cost, decode_column, encode_column, ColumnCost, EncodedColumn};
-pub use locoi::{locoi_compressed_bits, locoi_decode, locoi_encode};
+pub use column::{
+    column_cost, decode_column, decode_column_checked, encode_column, ColumnCost, EncodedColumn,
+};
+pub use locoi::{locoi_compressed_bits, locoi_decode, locoi_encode, locoi_try_decode};
 pub use nbits::{min_bits, min_bits_column, NBitsCircuit};
 pub use packer::BitPackingUnit;
 pub use telemetry::CodecTelemetry;

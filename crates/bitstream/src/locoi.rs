@@ -186,27 +186,47 @@ fn write_exp_golomb(w: &mut BitWriter, v: u32) {
     }
 }
 
-/// Exp-Golomb (order 0) decoding.
-fn read_exp_golomb(r: &mut BitReader<'_>) -> u32 {
+/// Exp-Golomb (order 0) decoding with corruption detection.
+fn read_exp_golomb(r: &mut BitReader<'_>) -> Result<u32, String> {
     let mut zeros = 0u32;
-    while r.read_bits(1).expect("truncated exp-golomb prefix") == 0 {
-        zeros += 1;
-        assert!(zeros <= 32, "corrupt exp-golomb prefix");
+    loop {
+        match r.read_bits(1) {
+            None => return Err("truncated exp-golomb prefix".into()),
+            Some(0) => {
+                zeros += 1;
+                if zeros > 32 {
+                    return Err("corrupt exp-golomb prefix".into());
+                }
+            }
+            Some(_) => break,
+        }
     }
     let rest = if zeros > 0 {
-        r.read_bits(zeros).expect("truncated exp-golomb suffix")
+        r.read_bits(zeros)
+            .ok_or_else(|| String::from("truncated exp-golomb suffix"))?
     } else {
         0
     };
-    ((1 << zeros) | rest) - 1
+    Ok(((1 << zeros) | rest) - 1)
 }
 
 /// Decode a [`locoi_encode`] stream back into a `width × height` image.
 ///
 /// # Panics
 ///
-/// Panics if the stream is truncated or corrupt.
+/// Panics if the stream is truncated or corrupt; use
+/// [`locoi_try_decode`] to handle corruption as an error.
 pub fn locoi_decode(bytes: &[u8], width: usize, height: usize) -> ImageU8 {
+    match locoi_try_decode(bytes, width, height) {
+        Ok(img) => img,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Decode a [`locoi_encode`] stream, reporting truncation or structural
+/// corruption (impossible run lengths, over-long unary prefixes) as an
+/// error instead of panicking.
+pub fn locoi_try_decode(bytes: &[u8], width: usize, height: usize) -> Result<ImageU8, String> {
     let mut r = BitReader::new(bytes);
     let mut ctxs = [Ctx::new(); 9];
     let mut img = ImageU8::filled(width, height, 0);
@@ -215,8 +235,12 @@ pub fn locoi_decode(bytes: &[u8], width: usize, height: usize) -> ImageU8 {
         while x < width {
             let (a, b, c) = neighbours(&img, x, y);
             if a == b && b == c && (x > 0 || y > 0) {
-                let run = read_exp_golomb(&mut r) as usize;
-                assert!(x + run <= width, "corrupt run length");
+                let run = read_exp_golomb(&mut r)? as usize;
+                if x + run > width {
+                    return Err(format!(
+                        "corrupt run length {run} at ({x},{y}) exceeds row width {width}"
+                    ));
+                }
                 for i in 0..run {
                     img.set(x + i, y, a as u8);
                 }
@@ -230,14 +254,25 @@ pub fn locoi_decode(bytes: &[u8], width: usize, height: usize) -> ImageU8 {
             let ctx_idx = context_of(a, b, c);
             let k = ctxs[ctx_idx].k();
             let mut q = 0u32;
-            while r.read_bits(1).expect("truncated stream") == 1 {
-                q += 1;
-                assert!(q <= ESCAPE_Q, "corrupt unary prefix");
+            loop {
+                match r.read_bits(1) {
+                    None => return Err("truncated stream".into()),
+                    Some(0) => break,
+                    Some(_) => {
+                        q += 1;
+                        if q > ESCAPE_Q {
+                            return Err("corrupt unary prefix".into());
+                        }
+                    }
+                }
             }
             let m = if q < ESCAPE_Q {
-                (q << k) | r.read_bits(k).expect("truncated remainder")
+                (q << k)
+                    | r.read_bits(k)
+                        .ok_or_else(|| String::from("truncated remainder"))?
             } else {
-                r.read_bits(9).expect("truncated escape")
+                r.read_bits(9)
+                    .ok_or_else(|| String::from("truncated escape"))?
             };
             let e = unfold(m);
             img.set(x, y, (pred + e).clamp(0, 255) as u8);
@@ -245,7 +280,7 @@ pub fn locoi_decode(bytes: &[u8], width: usize, height: usize) -> ImageU8 {
             x += 1;
         }
     }
-    img
+    Ok(img)
 }
 
 /// Compressed size in bits (without materializing the stream twice).

@@ -277,8 +277,8 @@ mod tests {
             (128.0 + 64.0 * ((x as f64) * 0.11).sin() + 48.0 * ((y as f64) * 0.07).cos()) as u8
         });
         let cfg = ArchConfig::new(8, 64).with_codec(LineCodecKind::Legall);
-        let mut arch = build_arch(&cfg);
-        let lossless = arch.process_frame(&img, &BoxFilter::new(8)).stats;
+        let mut arch = build_arch(&cfg).unwrap();
+        let lossless = arch.process_frame(&img, &BoxFilter::new(8)).unwrap().stats;
 
         // A budget below the lossless peak forces the controller to raise
         // the threshold, and the retune must bite on the next frame.
@@ -289,7 +289,7 @@ mod tests {
             assert_eq!(adj, Adjustment::Raised);
             assert_eq!(arch.config().threshold, ctl.threshold());
         }
-        let tuned = arch.process_frame(&img, &BoxFilter::new(8)).stats;
+        let tuned = arch.process_frame(&img, &BoxFilter::new(8)).unwrap().stats;
         assert!(
             tuned.peak_payload_occupancy < lossless.peak_payload_occupancy,
             "raised threshold must shrink the payload"

@@ -445,14 +445,19 @@ pub fn occupancy_trace(img: &ImageU8, cfg: &ArchConfig, strip: usize) -> Vec<Occ
 /// `--codec` values the analyzer cannot model. The kernel is a corner tap —
 /// the cheapest operator — since only the buffering statistics matter.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the image width mismatches `cfg.width` or the image is
-/// shorter than the window.
-pub fn measure_frame(img: &ImageU8, cfg: &ArchConfig) -> crate::arch::FrameStats {
-    let mut arch = crate::arch::build_arch(cfg);
-    arch.process_frame(img, &crate::kernels::Tap::top_left(cfg.window))
-        .stats
+/// [`crate::error::SwError::Config`] when the geometry is invalid or the
+/// image width mismatches `cfg.width`; any memory-unit or fault-injection
+/// error the streaming datapath surfaces.
+pub fn measure_frame(
+    img: &ImageU8,
+    cfg: &ArchConfig,
+) -> crate::error::Result<crate::arch::FrameStats> {
+    let mut arch = crate::arch::build_arch(cfg)?;
+    Ok(arch
+        .process_frame(img, &crate::kernels::Tap::top_left(cfg.window))?
+        .stats)
 }
 
 /// Convenience: analysis at several thresholds (shares the forward
@@ -630,11 +635,14 @@ mod tests {
         use crate::kernels::Tap;
         let img = smooth_image(64, 32);
         let cfg = ArchConfig::new(8, 64).with_threshold(2);
-        let stats = measure_frame(&img, &cfg);
+        let stats = measure_frame(&img, &cfg).unwrap();
         let mut arch = CompressedSlidingWindow::new(cfg);
-        assert_eq!(stats, arch.process_frame(&img, &Tap::top_left(8)).stats);
+        assert_eq!(
+            stats,
+            arch.process_frame(&img, &Tap::top_left(8)).unwrap().stats
+        );
         // And a non-Haar codec streams through the same entry point.
-        let stats = measure_frame(&img, &cfg.with_codec(LineCodecKind::Legall));
+        let stats = measure_frame(&img, &cfg.with_codec(LineCodecKind::Legall)).unwrap();
         assert!(stats.payload_bits_total > 0);
         assert_eq!(stats.cycles, 64 * 32);
     }
@@ -649,7 +657,7 @@ mod tests {
         let cfg = ArchConfig::new(8, 128);
         let a = analyze_frame(&img, &cfg);
         let mut arch = CompressedSlidingWindow::new(cfg);
-        let out = arch.process_frame(&img, &BoxFilter::new(8));
+        let out = arch.process_frame(&img, &BoxFilter::new(8)).unwrap();
         let stream = out.stats.peak_payload_occupancy as f64;
         let analytic = a.worst_payload_occupancy as f64;
         let ratio = stream / analytic;

@@ -21,13 +21,27 @@
 //! `TwoLevelCompressedSlidingWindow`) are aliases of `SlidingWindow<C>`
 //! and remain bit-identical to their former stand-alone implementations —
 //! the determinism and telemetry test suites pin this.
+//!
+//! # Errors and capacity
+//!
+//! `process_frame` returns [`crate::error::Result`]: geometry mismatches
+//! are [`crate::error::SwError::Config`], corrupted in-flight groups are
+//! [`crate::error::SwError::Decode`], and a capacity-enforcing
+//! [`MemoryUnit`](crate::memory_unit) under the
+//! [`OverflowPolicy::Fail`](crate::memory_unit::OverflowPolicy) policy
+//! surfaces [`crate::error::SwError::Fifo`]. Without a memory unit or
+//! fault injector configured the datapath is bit-identical to the
+//! unchecked historical behaviour.
 
 use crate::codec::{
     HaarIwtCodec, HaarTwoLevelCodec, LeGall53Codec, LineCodec, LineCodecKind, LocoIPredictiveCodec,
     RawCodec,
 };
 use crate::config::ArchConfig;
+use crate::error::{Result, SwError};
+use crate::faults::FaultInjector;
 use crate::kernels::WindowKernel;
+use crate::memory_unit::{MemoryUnit, MemoryUnitConfig, OverflowPolicy};
 use crate::window::ActiveWindow;
 use crate::{Coeff, Pixel};
 use std::collections::VecDeque;
@@ -66,6 +80,12 @@ pub struct FrameStats {
     /// Number of pushes that exceeded the configured capacity (0 when
     /// unbounded).
     pub overflow_events: usize,
+    /// Backpressure cycles charged by a memory unit under the `Stall`
+    /// overflow policy (0 without a memory unit).
+    pub stall_cycles: u64,
+    /// Threshold escalations performed by a memory unit under the
+    /// `DegradeLossy` overflow policy (0 without a memory unit).
+    pub t_escalations: u64,
 }
 
 impl FrameStats {
@@ -96,7 +116,15 @@ pub struct FrameOutput {
 /// of the concrete codec type.
 pub trait SlidingWindowArch {
     /// Process one frame.
-    fn process_frame(&mut self, img: &ImageU8, kernel: &dyn WindowKernel) -> FrameOutput;
+    ///
+    /// # Errors
+    ///
+    /// [`SwError::Config`] on geometry mismatch, [`SwError::Decode`] when
+    /// an in-flight group fails a consistency guard (only reachable with
+    /// fault injection), [`SwError::Fifo`] when a capacity-enforcing
+    /// memory unit overflows under [`OverflowPolicy::Fail`] or a forced
+    /// underflow fault fires.
+    fn process_frame(&mut self, img: &ImageU8, kernel: &dyn WindowKernel) -> Result<FrameOutput>;
 
     /// Clear all state (frame boundary).
     fn reset(&mut self);
@@ -113,6 +141,13 @@ pub trait SlidingWindowArch {
     /// Retune the threshold in place (takes effect from the next frame;
     /// no-op in effect for inherently lossless codecs).
     fn set_threshold(&mut self, t: Coeff);
+
+    /// Install (or remove) a capacity-enforcing memory unit. `None`
+    /// restores the unbounded historical datapath.
+    fn set_memory_unit(&mut self, cfg: Option<MemoryUnitConfig>);
+
+    /// Install (or remove) a deterministic fault injector.
+    fn set_fault_injector(&mut self, faults: Option<FaultInjector>);
 }
 
 /// One encoded column group in flight through the memory unit.
@@ -146,6 +181,15 @@ pub struct SlidingWindow<C: LineCodec> {
     carry_bits: u64,
     /// Optional capacity budget for the packed-bit memory (bits).
     capacity_bits: Option<u64>,
+    /// Optional capacity-enforcing memory unit backed by BRAM FIFOs.
+    memory_unit: Option<MemoryUnit>,
+    /// Optional deterministic fault injector.
+    faults: Option<FaultInjector>,
+    /// Encode-order group sequence number within the frame.
+    group_seq: u64,
+    /// The configured threshold before any `DegradeLossy` escalation;
+    /// restored at every frame boundary.
+    base_threshold: Coeff,
     // --- per-frame accounting ---
     payload_occupancy: u64,
     occupancy_watermark: Watermark,
@@ -192,6 +236,10 @@ where
             carry: self.carry.clone(),
             carry_bits: self.carry_bits,
             capacity_bits: self.capacity_bits,
+            memory_unit: self.memory_unit.clone(),
+            faults: self.faults.clone(),
+            group_seq: self.group_seq,
+            base_threshold: self.base_threshold,
             payload_occupancy: self.payload_occupancy,
             occupancy_watermark: self.occupancy_watermark,
             per_band_bits: self.per_band_bits,
@@ -219,7 +267,8 @@ impl<C: LineCodec> SlidingWindow<C> {
     ///
     /// Panics if the codec rejects the geometry (e.g. the paper's codec
     /// needs `width ≥ window + 2`; the two-level one `width ≥ window + 4`
-    /// and a window divisible by 4).
+    /// and a window divisible by 4). Use [`build_arch`] for a checked,
+    /// `Result`-returning construction path.
     pub fn new(cfg: ArchConfig) -> Self {
         let codec = C::new(&cfg);
         let kind = codec.kind();
@@ -238,6 +287,10 @@ impl<C: LineCodec> SlidingWindow<C> {
             carry: VecDeque::new(),
             carry_bits: 0,
             capacity_bits: None,
+            memory_unit: None,
+            faults: None,
+            group_seq: 0,
+            base_threshold: cfg.threshold,
             payload_occupancy: 0,
             occupancy_watermark: Watermark::new(),
             per_band_bits: [0; 4],
@@ -266,6 +319,30 @@ impl<C: LineCodec> SlidingWindow<C> {
         self
     }
 
+    /// Install a capacity-enforcing [`MemoryUnit`] that routes packed
+    /// groups through real BRAM FIFO storage and applies `cfg.policy` on
+    /// would-be overflow.
+    pub fn with_memory_unit(mut self, cfg: MemoryUnitConfig) -> Self {
+        self.install_memory_unit(Some(cfg));
+        self
+    }
+
+    /// Install a deterministic fault injector (see [`crate::faults`]).
+    pub fn with_fault_injector(mut self, faults: FaultInjector) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    fn install_memory_unit(&mut self, cfg: Option<MemoryUnitConfig>) {
+        self.memory_unit = cfg.map(|c| {
+            let mut mu = MemoryUnit::new(c, self.kind);
+            if let Some(name) = &self.bound_name {
+                mu.bind_telemetry(&self.telemetry, name);
+            }
+            mu
+        });
+    }
+
     /// Bind instruments to `telemetry` under the codec's default stage
     /// name (`traditional` for raw, `compressed` for Haar, the codec name
     /// otherwise).
@@ -282,7 +359,8 @@ impl<C: LineCodec> SlidingWindow<C> {
     /// cycles, shifts, and — for compressing codecs — IWT pairs, unpack
     /// pairs, overflow events, threshold, codec traffic) and
     /// `fifo.<name>.*` (memory-unit occupancy histogram and high-water
-    /// mark, in bits).
+    /// mark, in bits). A configured [`MemoryUnit`] additionally registers
+    /// `memunit.<name>.*`.
     pub fn with_named_telemetry(mut self, telemetry: &TelemetryHandle, name: &str) -> Self {
         self.bind(telemetry, name);
         self
@@ -307,6 +385,9 @@ impl<C: LineCodec> SlidingWindow<C> {
             self.codec
                 .bind_telemetry(telemetry, &format!("stage.{name}"));
         }
+        if let Some(mu) = self.memory_unit.as_mut() {
+            mu.bind_telemetry(telemetry, name);
+        }
         self.telemetry = telemetry.clone();
         self.bound_name = Some(name.to_string());
     }
@@ -321,17 +402,41 @@ impl<C: LineCodec> SlidingWindow<C> {
         self.kind.management_bits(&self.cfg)
     }
 
+    /// The installed memory unit, if any.
+    pub fn memory_unit(&self) -> Option<&MemoryUnit> {
+        self.memory_unit.as_ref()
+    }
+
     /// Process one frame.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on image-width or kernel-size mismatch, or if the image is
-    /// shorter than the window.
-    pub fn process_frame(&mut self, img: &ImageU8, kernel: &dyn WindowKernel) -> FrameOutput {
+    /// See [`SlidingWindowArch::process_frame`].
+    pub fn process_frame(
+        &mut self,
+        img: &ImageU8,
+        kernel: &dyn WindowKernel,
+    ) -> Result<FrameOutput> {
         let n = self.cfg.window;
-        assert_eq!(img.width(), self.cfg.width, "image width mismatch");
-        assert!(img.height() >= n, "image shorter than the window");
-        assert_eq!(kernel.window_size(), n, "kernel window size mismatch");
+        if img.width() != self.cfg.width {
+            return Err(SwError::config(format!(
+                "image width {} does not match the configured width {}",
+                img.width(),
+                self.cfg.width
+            )));
+        }
+        if img.height() < n {
+            return Err(SwError::config(format!(
+                "image height {} is shorter than the {n}-row window",
+                img.height()
+            )));
+        }
+        if kernel.window_size() != n {
+            return Err(SwError::config(format!(
+                "kernel window size {} does not match the architecture window {n}",
+                kernel.window_size()
+            )));
+        }
         self.reset();
 
         let w = img.width();
@@ -352,7 +457,7 @@ impl<C: LineCodec> SlidingWindow<C> {
                 // (1) Memory unit read: the column that exited `delay`
                 //     cycles ago re-enters, shifted one row up.
                 let delivered = if cycle >= delay {
-                    self.deliver(cycle - delay)
+                    self.deliver(cycle - delay)?
                 } else {
                     None
                 };
@@ -375,7 +480,7 @@ impl<C: LineCodec> SlidingWindow<C> {
                 self.staged += 1;
                 if self.staged == self.group {
                     self.staged = 0;
-                    self.push_group(cycle);
+                    self.push_group(cycle)?;
                 }
 
                 // (4) Kernel output once the window is fully interior.
@@ -392,6 +497,14 @@ impl<C: LineCodec> SlidingWindow<C> {
             .trace(TraceEvent::new(cycle, TraceKind::FrameEnd, cycle, 0));
 
         let management_bits = self.kind.management_bits(&self.cfg);
+        let (stall_cycles, t_escalations, mu_overflows) = match &self.memory_unit {
+            Some(mu) => (
+                mu.stall_cycles(),
+                mu.escalations(),
+                mu.overflow_events() as usize,
+            ),
+            None => (0, 0, 0),
+        };
         let stats = FrameStats {
             cycles: cycle,
             payload_bits_total: self.per_band_bits.iter().sum(),
@@ -400,19 +513,76 @@ impl<C: LineCodec> SlidingWindow<C> {
             peak_total_occupancy: self.occupancy_watermark.max() + management_bits,
             management_bits,
             raw_buffer_bits: self.kind.raw_span_bits(&self.cfg),
-            overflow_events: self.overflow_events,
+            overflow_events: self.overflow_events + mu_overflows,
+            stall_cycles,
+            t_escalations,
         };
-        FrameOutput { image: out, stats }
+        Ok(FrameOutput { image: out, stats })
     }
 
-    /// Encode the staged group and push it into the memory unit.
-    fn push_group(&mut self, cycle: u64) {
+    /// Encode the staged group, resolve the memory unit's overflow policy
+    /// and push the result into the in-flight queue.
+    fn push_group(&mut self, cycle: u64) -> Result<()> {
         let first_exit = cycle + 1 - self.group as u64;
-        let encoded = self.codec.encode_group(&self.staging);
+        let mut encoded = self.codec.encode_group(&self.staging);
         self.m_iwt_pairs.inc();
+
+        // Capacity policy: resolve before the per-band accounting so the
+        // statistics describe the encoding that is actually stored.
+        if let Some(mu) = self.memory_unit.as_mut() {
+            if let Some(mut deficit) = mu.deficit(encoded.payload_bits) {
+                match mu.policy() {
+                    OverflowPolicy::Fail => {
+                        return Err(mu.overflow_error(encoded.payload_bits));
+                    }
+                    OverflowPolicy::Stall => {
+                        // Hardware would hold the pipeline until readout
+                        // frees space; the model charges the drain time
+                        // and stores the group.
+                        mu.record_stall(deficit);
+                    }
+                    OverflowPolicy::DegradeLossy => {
+                        let max_t = mu.config().max_threshold;
+                        while deficit > 0
+                            && self.kind.is_lossy_capable()
+                            && self.cfg.threshold < max_t
+                        {
+                            self.cfg.threshold += 1;
+                            self.codec = C::new(&self.cfg);
+                            if let Some(name) = &self.bound_name {
+                                if self.kind != LineCodecKind::Raw {
+                                    self.codec
+                                        .bind_telemetry(&self.telemetry, &format!("stage.{name}"));
+                                }
+                            }
+                            self.m_threshold.set(self.cfg.threshold.max(0) as u64);
+                            encoded = self.codec.encode_group(&self.staging);
+                            mu.record_escalation();
+                            deficit = mu.deficit(encoded.payload_bits).unwrap_or(0);
+                        }
+                        if deficit > 0 {
+                            mu.record_overflow();
+                        }
+                    }
+                }
+            }
+        }
+
         for (slot, bits) in self.per_band_bits.iter_mut().zip(encoded.per_band_bits) {
             *slot += bits;
         }
+
+        // Fault injection: flip a bit of the final (stored) encoding.
+        if let Some(faults) = &self.faults {
+            if let Some((site, bit)) = faults.encoded_flip(self.group_seq) {
+                self.codec.corrupt(&mut encoded.data, site, bit);
+            }
+        }
+        let force_overflow = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.fifo_overflow_at(self.group_seq));
+
         let bits = encoded.payload_bits;
         if let Some(cap) = self.capacity_bits {
             if self.payload_occupancy + bits > cap {
@@ -428,6 +598,10 @@ impl<C: LineCodec> SlidingWindow<C> {
                 }
             }
         }
+        if let Some(mu) = self.memory_unit.as_mut() {
+            mu.push_group(bits, force_overflow);
+        }
+        self.group_seq += 1;
         self.payload_occupancy += bits;
         self.occupancy_watermark.observe(self.payload_occupancy);
         self.occ_hist.observe(self.payload_occupancy);
@@ -445,29 +619,23 @@ impl<C: LineCodec> SlidingWindow<C> {
             payload_bits: bits,
             data: encoded.data,
         });
+        Ok(())
     }
 
     /// Deliver the decoded raw column with exit tag `tag`, if it exists.
     /// The group's bits retire from the occupancy count when its *last*
     /// column is consumed.
-    fn deliver(&mut self, tag: u64) -> Option<Vec<Pixel>> {
+    fn deliver(&mut self, tag: u64) -> Result<Option<Vec<Pixel>>> {
         if let Some(col) = self.carry.pop_front() {
             if self.carry.is_empty() {
-                self.payload_occupancy -= self.carry_bits;
-                if self.kind != LineCodecKind::Raw {
-                    self.telemetry.trace(TraceEvent::new(
-                        tag,
-                        TraceKind::FifoPop,
-                        self.payload_occupancy,
-                        self.carry_bits,
-                    ));
-                }
+                let bits = self.carry_bits;
                 self.carry_bits = 0;
+                self.retire_bits(tag, bits)?;
             }
-            return Some(col);
+            return Ok(Some(col));
         }
         match self.queue.front() {
-            None => return None,
+            None => return Ok(None),
             Some(front) if front.first_exit != tag => {
                 // Warmup: the requested column predates the first group.
                 debug_assert!(
@@ -475,11 +643,13 @@ impl<C: LineCodec> SlidingWindow<C> {
                     "memory unit fell behind: front {} vs requested {tag}",
                     front.first_exit
                 );
-                return None;
+                return Ok(None);
             }
             Some(_) => {}
         }
-        let entry = self.queue.pop_front().expect("front group exists");
+        let Some(entry) = self.queue.pop_front() else {
+            return Ok(None);
+        };
         self.m_unpack_pairs.inc();
         if self.kind != LineCodecKind::Raw {
             self.telemetry.trace(TraceEvent::new(
@@ -489,29 +659,71 @@ impl<C: LineCodec> SlidingWindow<C> {
                 0,
             ));
         }
-        let mut cols = self.codec.decode_group(&entry.data);
+        let mut cols =
+            self.codec
+                .try_decode_group(&entry.data)
+                .map_err(|detail| SwError::Decode {
+                    codec: self.kind,
+                    detail,
+                })?;
         debug_assert_eq!(cols.len(), self.group);
+        if cols.is_empty() {
+            return Err(SwError::Decode {
+                codec: self.kind,
+                detail: "decoded group holds no columns".to_string(),
+            });
+        }
         let first = cols.remove(0);
         if cols.is_empty() {
-            self.payload_occupancy -= entry.payload_bits;
-            if self.kind != LineCodecKind::Raw {
-                self.telemetry.trace(TraceEvent::new(
-                    tag,
-                    TraceKind::FifoPop,
-                    self.payload_occupancy,
-                    entry.payload_bits,
-                ));
-            }
+            self.retire_bits(tag, entry.payload_bits)?;
         } else {
             self.carry_bits = entry.payload_bits;
             self.carry.extend(cols);
         }
-        Some(first)
+        Ok(Some(first))
     }
 
-    /// Clear all state (frame boundary).
+    /// Retire one group's bits from the occupancy count; with a memory
+    /// unit configured, also pop and verify its fingerprint words.
+    fn retire_bits(&mut self, tag: u64, bits: u64) -> Result<()> {
+        if let Some(mu) = self.memory_unit.as_mut() {
+            if self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.fifo_underflow_at(mu.retire_seq()))
+            {
+                return Err(mu.force_underflow());
+            }
+            mu.retire_group()?;
+        }
+        self.payload_occupancy -= bits;
+        if self.kind != LineCodecKind::Raw {
+            self.telemetry.trace(TraceEvent::new(
+                tag,
+                TraceKind::FifoPop,
+                self.payload_occupancy,
+                bits,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Clear all state (frame boundary). A `DegradeLossy` threshold
+    /// escalation persists only to the end of its frame: the configured
+    /// base threshold is restored here.
     pub fn reset(&mut self) {
         self.window.clear();
+        if self.cfg.threshold != self.base_threshold {
+            self.cfg.threshold = self.base_threshold;
+            self.codec = C::new(&self.cfg);
+            self.m_threshold.set(self.base_threshold.max(0) as u64);
+            if self.kind != LineCodecKind::Raw {
+                if let Some(name) = self.bound_name.clone() {
+                    self.codec
+                        .bind_telemetry(&self.telemetry, &format!("stage.{name}"));
+                }
+            }
+        }
         self.codec.reset();
         self.staged = 0;
         self.queue.clear();
@@ -521,11 +733,15 @@ impl<C: LineCodec> SlidingWindow<C> {
         self.occupancy_watermark.reset();
         self.per_band_bits = [0; 4];
         self.overflow_events = 0;
+        self.group_seq = 0;
+        if let Some(mu) = self.memory_unit.as_mut() {
+            mu.reset();
+        }
     }
 }
 
 impl<C: LineCodec> SlidingWindowArch for SlidingWindow<C> {
-    fn process_frame(&mut self, img: &ImageU8, kernel: &dyn WindowKernel) -> FrameOutput {
+    fn process_frame(&mut self, img: &ImageU8, kernel: &dyn WindowKernel) -> Result<FrameOutput> {
         SlidingWindow::process_frame(self, img, kernel)
     }
 
@@ -548,6 +764,7 @@ impl<C: LineCodec> SlidingWindowArch for SlidingWindow<C> {
     fn set_threshold(&mut self, t: Coeff) {
         assert!(t >= 0, "threshold must be non-negative");
         self.cfg.threshold = t;
+        self.base_threshold = t;
         // Codecs capture the threshold at construction: rebuild, and
         // re-bind codec telemetry if instruments are attached.
         self.codec = C::new(&self.cfg);
@@ -559,19 +776,33 @@ impl<C: LineCodec> SlidingWindowArch for SlidingWindow<C> {
             }
         }
     }
+
+    fn set_memory_unit(&mut self, cfg: Option<MemoryUnitConfig>) {
+        self.install_memory_unit(cfg);
+    }
+
+    fn set_fault_injector(&mut self, faults: Option<FaultInjector>) {
+        self.faults = faults;
+    }
 }
 
 /// Build the architecture `cfg.codec` selects, behind the object-safe
 /// trait. This is the single source of truth mapping the value-level
 /// codec selection to the generic implementation.
-pub fn build_arch(cfg: &ArchConfig) -> Box<dyn SlidingWindowArch + Send> {
-    match cfg.codec {
+///
+/// # Errors
+///
+/// [`SwError::Config`] when the codec rejects the geometry (see
+/// [`ArchConfig::validate`]).
+pub fn build_arch(cfg: &ArchConfig) -> Result<Box<dyn SlidingWindowArch + Send>> {
+    cfg.validate()?;
+    Ok(match cfg.codec {
         LineCodecKind::Raw => Box::new(SlidingWindow::<RawCodec>::new(*cfg)),
         LineCodecKind::Haar => Box::new(SlidingWindow::<HaarIwtCodec>::new(*cfg)),
         LineCodecKind::Haar2 => Box::new(SlidingWindow::<HaarTwoLevelCodec>::new(*cfg)),
         LineCodecKind::Legall => Box::new(SlidingWindow::<LeGall53Codec>::new(*cfg)),
         LineCodecKind::Locoi => Box::new(SlidingWindow::<LocoIPredictiveCodec>::new(*cfg)),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -605,6 +836,8 @@ mod tests {
             management_bits: 0,
             raw_buffer_bits: 0,
             overflow_events: 0,
+            stall_cycles: 0,
+            t_escalations: 0,
         };
         let saving = stats.memory_saving_pct();
         assert!(!saving.is_nan(), "guard must prevent NaN");
@@ -618,8 +851,8 @@ mod tests {
         let direct = direct_sliding_window(&img, &kernel);
         for kind in LineCodecKind::ALL {
             let cfg = ArchConfig::new(8, 64).with_codec(kind);
-            let mut arch = build_arch(&cfg);
-            let out = arch.process_frame(&img, &kernel);
+            let mut arch = build_arch(&cfg).unwrap();
+            let out = arch.process_frame(&img, &kernel).unwrap();
             assert_eq!(out.image, direct, "{kind:?} lossless output");
             assert_eq!(out.stats.cycles, 64 * 40, "{kind:?} cycles");
             assert_eq!(arch.codec_kind(), kind);
@@ -632,9 +865,13 @@ mod tests {
         let img = test_image(48, 32);
         let kernel = Tap::top_left(8);
         let raw = build_arch(&ArchConfig::new(8, 48).with_codec(LineCodecKind::Raw))
-            .process_frame(&img, &kernel);
+            .unwrap()
+            .process_frame(&img, &kernel)
+            .unwrap();
         let haar = build_arch(&ArchConfig::new(8, 48).with_codec(LineCodecKind::Haar))
-            .process_frame(&img, &kernel);
+            .unwrap()
+            .process_frame(&img, &kernel)
+            .unwrap();
         assert_eq!(raw.image.pixels(), haar.image.pixels());
     }
 
@@ -642,7 +879,10 @@ mod tests {
     fn raw_codec_reports_traditional_footprint() {
         let img = test_image(64, 24);
         let cfg = ArchConfig::new(8, 64).with_codec(LineCodecKind::Raw);
-        let out = build_arch(&cfg).process_frame(&img, &BoxFilter::new(8));
+        let out = build_arch(&cfg)
+            .unwrap()
+            .process_frame(&img, &BoxFilter::new(8))
+            .unwrap();
         assert_eq!(out.stats.raw_buffer_bits, (64 - 8) * 7 * 8);
         assert_eq!(out.stats.management_bits, 0);
         // Steady state fills the span exactly: peak equals the raw bits,
@@ -661,8 +901,8 @@ mod tests {
             LineCodecKind::Legall,
         ] {
             let cfg = ArchConfig::new(n, 64).with_codec(kind).with_threshold(4);
-            let mut arch = build_arch(&cfg);
-            let out = arch.process_frame(&img, &Tap::top_left(n));
+            let mut arch = build_arch(&cfg).unwrap();
+            let out = arch.process_frame(&img, &Tap::top_left(n)).unwrap();
             let crop = img.crop(0, 0, out.image.width(), out.image.height());
             let e = mse(&out.image, &crop);
             assert!(e > 0.0, "{kind:?} T=4 must be lossy");
@@ -671,8 +911,8 @@ mod tests {
         // Inherently lossless codecs ignore the threshold.
         for kind in [LineCodecKind::Raw, LineCodecKind::Locoi] {
             let cfg = ArchConfig::new(n, 64).with_codec(kind).with_threshold(4);
-            let mut arch = build_arch(&cfg);
-            let out = arch.process_frame(&img, &Tap::top_left(n));
+            let mut arch = build_arch(&cfg).unwrap();
+            let out = arch.process_frame(&img, &Tap::top_left(n)).unwrap();
             let crop = img.crop(0, 0, out.image.width(), out.image.height());
             assert_eq!(mse(&out.image, &crop), 0.0, "{kind:?} stays lossless");
         }
@@ -682,17 +922,17 @@ mod tests {
     fn set_threshold_retunes_through_the_trait() {
         let img = test_image(64, 40);
         let cfg = ArchConfig::new(8, 64).with_codec(LineCodecKind::Haar);
-        let mut arch = build_arch(&cfg);
-        let lossless = arch.process_frame(&img, &BoxFilter::new(8));
+        let mut arch = build_arch(&cfg).unwrap();
+        let lossless = arch.process_frame(&img, &BoxFilter::new(8)).unwrap();
         arch.set_threshold(6);
         assert_eq!(arch.config().threshold, 6);
-        let lossy = arch.process_frame(&img, &BoxFilter::new(8));
+        let lossy = arch.process_frame(&img, &BoxFilter::new(8)).unwrap();
         assert!(
             lossy.stats.peak_payload_occupancy < lossless.stats.peak_payload_occupancy,
             "raising the threshold must shrink the payload"
         );
         arch.set_threshold(0);
-        let back = arch.process_frame(&img, &BoxFilter::new(8));
+        let back = arch.process_frame(&img, &BoxFilter::new(8)).unwrap();
         assert_eq!(back.stats, lossless.stats, "retune back to lossless");
     }
 
@@ -701,13 +941,16 @@ mod tests {
         let img = test_image(32, 20);
         // Raw registers exactly the traditional series.
         let t = TelemetryHandle::new();
-        let mut arch = build_arch(&ArchConfig::new(4, 32).with_codec(LineCodecKind::Raw));
+        let mut arch = build_arch(&ArchConfig::new(4, 32).with_codec(LineCodecKind::Raw)).unwrap();
         arch.bind_telemetry(&t, "s0");
-        arch.process_frame(&img, &BoxFilter::new(4));
+        arch.process_frame(&img, &BoxFilter::new(4)).unwrap();
         let r = t.report();
         assert!(r.counters.contains_key("stage.s0.cycles"));
         assert!(!r.counters.contains_key("stage.s0.iwt_pairs"));
         assert!(!r.gauges.contains_key("stage.s0.threshold"));
+        // No memory unit configured: no memunit series registered.
+        assert!(!r.counters.keys().any(|k| k.starts_with("memunit.")));
+        assert!(!r.gauges.keys().any(|k| k.starts_with("memunit.")));
         // Compressing codecs register the full set.
         for kind in [
             LineCodecKind::Haar2,
@@ -715,9 +958,9 @@ mod tests {
             LineCodecKind::Locoi,
         ] {
             let t = TelemetryHandle::new();
-            let mut arch = build_arch(&ArchConfig::new(4, 32).with_codec(kind));
+            let mut arch = build_arch(&ArchConfig::new(4, 32).with_codec(kind)).unwrap();
             arch.bind_telemetry(&t, "s0");
-            arch.process_frame(&img, &BoxFilter::new(4));
+            arch.process_frame(&img, &BoxFilter::new(4)).unwrap();
             let r = t.report();
             assert!(r.counters["stage.s0.iwt_pairs"] > 0, "{kind:?}");
             // Groups packed in the frame's last W−N cycles stay in flight
@@ -743,7 +986,9 @@ mod tests {
         // in a line buffer. Pin both sides of that trade-off.
         let run = |img: &ImageU8| {
             build_arch(&ArchConfig::new(8, 96).with_codec(LineCodecKind::Locoi))
+                .unwrap()
                 .process_frame(img, &BoxFilter::new(8))
+                .unwrap()
                 .stats
                 .peak_payload_occupancy
         };
@@ -756,5 +1001,73 @@ mod tests {
             run(&test_image(96, 48)) > raw_span / 2,
             "textured columns defeat per-column restarts"
         );
+    }
+
+    #[test]
+    fn memory_unit_presence_keeps_default_output_identical() {
+        // A generously sized memory unit never trips its policy, so the
+        // frame output and statistics (minus the memunit-only fields)
+        // must be identical to the unbounded datapath.
+        let img = test_image(64, 40);
+        let cfg = ArchConfig::new(8, 64).with_codec(LineCodecKind::Haar);
+        let baseline = build_arch(&cfg)
+            .unwrap()
+            .process_frame(&img, &BoxFilter::new(8))
+            .unwrap();
+        let mut arch = build_arch(&cfg).unwrap();
+        arch.set_memory_unit(Some(MemoryUnitConfig::new(1 << 24, OverflowPolicy::Fail)));
+        let out = arch.process_frame(&img, &BoxFilter::new(8)).unwrap();
+        assert_eq!(out.image, baseline.image);
+        assert_eq!(out.stats, baseline.stats, "ample capacity changes nothing");
+    }
+
+    #[test]
+    fn fail_policy_surfaces_a_typed_overflow() {
+        let img = test_image(64, 40);
+        let cfg = ArchConfig::new(8, 64).with_codec(LineCodecKind::Haar);
+        let mut arch = build_arch(&cfg).unwrap();
+        arch.set_memory_unit(Some(MemoryUnitConfig::new(64, OverflowPolicy::Fail)));
+        let err = arch
+            .process_frame(&img, &BoxFilter::new(8))
+            .expect_err("64 bits cannot hold the frame");
+        assert!(matches!(err, SwError::Fifo(_)), "got {err}");
+    }
+
+    #[test]
+    fn stall_policy_charges_backpressure_and_keeps_output() {
+        let img = test_image(64, 40);
+        let cfg = ArchConfig::new(8, 64).with_codec(LineCodecKind::Haar);
+        let baseline = build_arch(&cfg)
+            .unwrap()
+            .process_frame(&img, &BoxFilter::new(8))
+            .unwrap();
+        let mut arch = build_arch(&cfg).unwrap();
+        arch.set_memory_unit(Some(MemoryUnitConfig::new(512, OverflowPolicy::Stall)));
+        let out = arch.process_frame(&img, &BoxFilter::new(8)).unwrap();
+        assert_eq!(out.image, baseline.image, "stall never corrupts data");
+        assert!(out.stats.stall_cycles > 0, "tiny budget must stall");
+        assert_eq!(out.stats.t_escalations, 0);
+    }
+
+    #[test]
+    fn degrade_policy_escalates_threshold_and_bounds_occupancy() {
+        let img = test_image(64, 40);
+        let cfg = ArchConfig::new(8, 64).with_codec(LineCodecKind::Haar);
+        let mut arch = build_arch(&cfg).unwrap();
+        arch.set_memory_unit(Some(MemoryUnitConfig::new(
+            2048,
+            OverflowPolicy::DegradeLossy,
+        )));
+        let out = arch.process_frame(&img, &BoxFilter::new(8)).unwrap();
+        assert!(out.stats.t_escalations > 0, "tight budget must escalate");
+        // The escalation persists only within the frame: the configured
+        // threshold is restored at the next frame boundary, so a rerun
+        // reproduces the same statistics.
+        assert!(
+            arch.config().threshold > 0,
+            "escalated T visible after frame"
+        );
+        let again = arch.process_frame(&img, &BoxFilter::new(8)).unwrap();
+        assert_eq!(out.stats, again.stats, "degrade path is deterministic");
     }
 }

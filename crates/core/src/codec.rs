@@ -23,9 +23,12 @@
 //! ([`RawCodec`], [`LocoIPredictiveCodec`], which ignore the threshold).
 
 use crate::config::ArchConfig;
+use crate::faults::FaultSite;
 use crate::{Coeff, Pixel};
-use sw_bitstream::locoi::{locoi_decode, locoi_encode};
-use sw_bitstream::{decode_column, encode_column, CodecTelemetry, EncodedColumn};
+use sw_bitstream::locoi::{locoi_encode, locoi_try_decode};
+use sw_bitstream::{
+    decode_column_checked, encode_column, CodecTelemetry, EncodedColumn, NBITS_FIELD_BITS,
+};
 use sw_image::ImageU8;
 use sw_telemetry::TelemetryHandle;
 use sw_wavelet::haar2d::{ColumnPairInverse, ColumnPairTransformer, SubbandColumn};
@@ -178,14 +181,76 @@ pub trait LineCodec {
     /// accounting.
     fn encode_group(&mut self, cols: &[Vec<Coeff>]) -> EncodedGroup<Self::Encoded>;
 
+    /// Decode a group back into raw pixel columns, in eviction order,
+    /// running the codec's consistency guards: a corrupted encoding
+    /// (bit-flipped NBits/BitMap/payload) either trips a guard (`Err`)
+    /// or decodes to bounded wrong pixels — never a panic.
+    fn try_decode_group(&mut self, enc: &Self::Encoded) -> Result<Vec<Vec<Pixel>>, String>;
+
     /// Decode a group back into raw pixel columns, in eviction order.
-    fn decode_group(&mut self, enc: &Self::Encoded) -> Vec<Vec<Pixel>>;
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`LineCodec::try_decode_group`] would return `Err`.
+    fn decode_group(&mut self, enc: &Self::Encoded) -> Vec<Vec<Pixel>> {
+        match self.try_decode_group(enc) {
+            Ok(cols) => cols,
+            Err(e) => panic!("corrupt {} group: {e}", self.kind().name()),
+        }
+    }
+
+    /// Flip one deterministic bit of the encoded form (fault injection;
+    /// see [`crate::faults`]). The default is a no-op for codecs without
+    /// a mutable encoded surface.
+    fn corrupt(&self, _enc: &mut Self::Encoded, _site: FaultSite, _bit: u64) {}
 
     /// Clear any internal state (frame boundary).
     fn reset(&mut self) {}
 
     /// Attach per-codec telemetry under `prefix` (e.g. `stage.s0`).
     fn bind_telemetry(&mut self, _telemetry: &TelemetryHandle, _prefix: &str) {}
+}
+
+/// Flip one bit of an [`EncodedColumn`] at the requested fault site.
+///
+/// NBits upsets flip a bit of the 4-bit management *field* (which stores
+/// `nbits − 1`), exactly as a BRAM bit flip would, so the corrupted width
+/// stays in the representable 1..=16 range — it is the payload-length
+/// consistency guard, not a range check, that detects it.
+fn flip_in_column(col: &mut EncodedColumn, site: FaultSite, bit: u64) {
+    match site {
+        FaultSite::Payload if !col.payload.is_empty() => {
+            let pos = (bit % (col.payload.len() as u64 * 8)) as usize;
+            col.payload[pos / 8] ^= 1 << (pos % 8);
+        }
+        // An empty payload leaves nothing to hit; the upset lands in the
+        // adjacent management word instead.
+        FaultSite::Payload | FaultSite::Nbits => {
+            let field = col.nbits.wrapping_sub(1) & 0xf;
+            col.nbits = (field ^ (1 << (bit % u64::from(NBITS_FIELD_BITS)))) + 1;
+        }
+        FaultSite::Bitmap if !col.bitmap.is_empty() => {
+            let pos = (bit % col.bitmap.len() as u64) as usize;
+            col.bitmap.set(pos, !col.bitmap.get(pos));
+        }
+        _ => {}
+    }
+}
+
+/// Pick the column a fault lands in: a rotation of `bit`'s high half,
+/// skipping payload-free columns for payload flips so the fault has
+/// something to hit.
+fn pick_column(cols: &[&EncodedColumn], site: FaultSite, bit: u64) -> usize {
+    let n = cols.len().max(1);
+    let start = ((bit >> 32) as usize) % n;
+    if site == FaultSite::Payload {
+        (0..n)
+            .map(|i| (start + i) % n)
+            .find(|&i| !cols[i].payload.is_empty())
+            .unwrap_or(start)
+    } else {
+        start
+    }
 }
 
 /// The no-op codec of the traditional architecture: stores the evicted
@@ -225,12 +290,29 @@ impl LineCodec for RawCodec {
         }
     }
 
-    fn decode_group(&mut self, enc: &Self::Encoded) -> Vec<Vec<Pixel>> {
+    fn try_decode_group(&mut self, enc: &Self::Encoded) -> Result<Vec<Vec<Pixel>>, String> {
+        if enc.len() != self.window - 1 {
+            return Err(format!(
+                "raw record holds {} rows, window needs {}",
+                enc.len(),
+                self.window - 1
+            ));
+        }
         // Row 0 retired on eviction; the datapath only reads rows 1..N of
         // a delivered column, so slot 0 is a don't-care.
         let mut col = vec![0; self.window];
         col[1..].copy_from_slice(enc);
-        vec![col]
+        Ok(vec![col])
+    }
+
+    fn corrupt(&self, enc: &mut Self::Encoded, _site: FaultSite, bit: u64) {
+        // Raw storage has no management structure: every site degrades to
+        // a pixel bit flip — corruption is bounded, never detectable.
+        if enc.is_empty() {
+            return;
+        }
+        let pos = (bit % (enc.len() as u64 * 8)) as usize;
+        enc[pos / 8] ^= 1 << (pos % 8);
     }
 }
 
@@ -288,10 +370,9 @@ impl LineCodec for HaarIwtCodec {
         debug_assert_eq!(cols.len(), 2);
         let none = self.fwd.push_column(&cols[0]);
         debug_assert!(none.is_none());
-        let pair = self
-            .fwd
-            .push_column(&cols[1])
-            .expect("second column completes the pair");
+        let Some(pair) = self.fwd.push_column(&cols[1]) else {
+            unreachable!("second column completes the pair")
+        };
         let encoded = [
             self.enc(pair.even.first_half(), SubBand::LL),
             self.enc(pair.even.second_half(), SubBand::LH),
@@ -310,14 +391,14 @@ impl LineCodec for HaarIwtCodec {
         }
     }
 
-    fn decode_group(&mut self, enc: &Self::Encoded) -> Vec<Vec<Pixel>> {
+    fn try_decode_group(&mut self, enc: &Self::Encoded) -> Result<Vec<Vec<Pixel>>, String> {
         for e in enc {
             self.codec.record_decoded(e);
         }
-        let ll = decode_column(&enc[0]);
-        let lh = decode_column(&enc[1]);
-        let hl = decode_column(&enc[2]);
-        let hh = decode_column(&enc[3]);
+        let ll = decode_column_checked(&enc[0])?;
+        let lh = decode_column_checked(&enc[1])?;
+        let hl = decode_column_checked(&enc[2])?;
+        let hh = decode_column_checked(&enc[3])?;
         let even = SubbandColumn {
             bands: (SubBand::LL, SubBand::LH),
             coeffs: ll.into_iter().chain(lh).collect(),
@@ -329,15 +410,19 @@ impl LineCodec for HaarIwtCodec {
         debug_assert!(!self.inv.has_pending());
         let none = self.inv.push_column(even);
         debug_assert!(none.is_none());
-        let (c0, c1) = self
-            .inv
-            .push_column(odd)
-            .expect("pair reconstructs two columns");
+        let Some((c0, c1)) = self.inv.push_column(odd) else {
+            unreachable!("pair reconstructs two columns")
+        };
         let clamp = |v: Coeff| v.clamp(0, 255) as Pixel;
-        vec![
+        Ok(vec![
             c0.into_iter().map(clamp).collect(),
             c1.into_iter().map(clamp).collect(),
-        ]
+        ])
+    }
+
+    fn corrupt(&self, enc: &mut Self::Encoded, site: FaultSite, bit: u64) {
+        let idx = pick_column(&[&enc[0], &enc[1], &enc[2], &enc[3]], site, bit);
+        flip_in_column(&mut enc[idx], site, bit);
     }
 
     fn reset(&mut self) {
@@ -406,10 +491,14 @@ impl LineCodec for HaarTwoLevelCodec {
         debug_assert_eq!(cols.len(), 4);
         let none = self.l1.push_column(&cols[0]);
         debug_assert!(none.is_none());
-        let pair_a = self.l1.push_column(&cols[1]).expect("first level-1 pair");
+        let Some(pair_a) = self.l1.push_column(&cols[1]) else {
+            unreachable!("first level-1 pair")
+        };
         let none = self.l1.push_column(&cols[2]);
         debug_assert!(none.is_none());
-        let pair_b = self.l1.push_column(&cols[3]).expect("second level-1 pair");
+        let Some(pair_b) = self.l1.push_column(&cols[3]) else {
+            unreachable!("second level-1 pair")
+        };
 
         let l1 = [
             self.enc(pair_a.even.second_half(), SubBand::LH),
@@ -421,10 +510,9 @@ impl LineCodec for HaarTwoLevelCodec {
         ];
         let none = self.l2.push_column(pair_a.even.first_half());
         debug_assert!(none.is_none());
-        let pair2 = self
-            .l2
-            .push_column(pair_b.even.first_half())
-            .expect("level-2 pair");
+        let Some(pair2) = self.l2.push_column(pair_b.even.first_half()) else {
+            unreachable!("level-2 pair")
+        };
         let l2 = [
             self.enc(pair2.even.first_half(), SubBand::LL),
             self.enc(pair2.even.second_half(), SubBand::LH),
@@ -451,7 +539,7 @@ impl LineCodec for HaarTwoLevelCodec {
         }
     }
 
-    fn decode_group(&mut self, enc: &Self::Encoded) -> Vec<Vec<Pixel>> {
+    fn try_decode_group(&mut self, enc: &Self::Encoded) -> Result<Vec<Vec<Pixel>>, String> {
         let (l1, l2) = enc;
         for e in l1.iter().chain(l2.iter()) {
             self.codec.record_decoded(e);
@@ -459,46 +547,65 @@ impl LineCodec for HaarTwoLevelCodec {
         // Level-2 inverse: recover LL1(c0) and LL1(c2).
         let even2 = SubbandColumn {
             bands: (SubBand::LL, SubBand::LH),
-            coeffs: decode_column(&l2[0])
+            coeffs: decode_column_checked(&l2[0])?
                 .into_iter()
-                .chain(decode_column(&l2[1]))
+                .chain(decode_column_checked(&l2[1])?)
                 .collect(),
         };
         let odd2 = SubbandColumn {
             bands: (SubBand::HL, SubBand::HH),
-            coeffs: decode_column(&l2[2])
+            coeffs: decode_column_checked(&l2[2])?
                 .into_iter()
-                .chain(decode_column(&l2[3]))
+                .chain(decode_column_checked(&l2[3])?)
                 .collect(),
         };
         debug_assert!(!self.inv2.has_pending());
         let none = self.inv2.push_column(even2);
         debug_assert!(none.is_none());
-        let (ll1_c0, ll1_c2) = self.inv2.push_column(odd2).expect("level-2 pair");
+        let Some((ll1_c0, ll1_c2)) = self.inv2.push_column(odd2) else {
+            unreachable!("level-2 pair")
+        };
 
         // Level-1 inverse for (c0, c1) and (c2, c3).
         let mut raws = Vec::with_capacity(4);
         for (ll1, lh_idx, hl_idx, hh_idx) in [(ll1_c0, 0usize, 1, 2), (ll1_c2, 3, 4, 5)] {
             let even1 = SubbandColumn {
                 bands: (SubBand::LL, SubBand::LH),
-                coeffs: ll1.into_iter().chain(decode_column(&l1[lh_idx])).collect(),
+                coeffs: ll1
+                    .into_iter()
+                    .chain(decode_column_checked(&l1[lh_idx])?)
+                    .collect(),
             };
             let odd1 = SubbandColumn {
                 bands: (SubBand::HL, SubBand::HH),
-                coeffs: decode_column(&l1[hl_idx])
+                coeffs: decode_column_checked(&l1[hl_idx])?
                     .into_iter()
-                    .chain(decode_column(&l1[hh_idx]))
+                    .chain(decode_column_checked(&l1[hh_idx])?)
                     .collect(),
             };
             debug_assert!(!self.inv1.has_pending());
             let none = self.inv1.push_column(even1);
             debug_assert!(none.is_none());
-            let (a, b) = self.inv1.push_column(odd1).expect("level-1 pair");
+            let Some((a, b)) = self.inv1.push_column(odd1) else {
+                unreachable!("level-1 pair")
+            };
             let clamp = |v: Coeff| v.clamp(0, 255) as Pixel;
             raws.push(a.into_iter().map(clamp).collect::<Vec<Pixel>>());
             raws.push(b.into_iter().map(clamp).collect::<Vec<Pixel>>());
         }
-        raws
+        Ok(raws)
+    }
+
+    fn corrupt(&self, enc: &mut Self::Encoded, site: FaultSite, bit: u64) {
+        let (l1, l2) = enc;
+        let refs: Vec<&EncodedColumn> = l1.iter().chain(l2.iter()).collect();
+        let idx = pick_column(&refs, site, bit);
+        let col = if idx < 6 {
+            &mut l1[idx]
+        } else {
+            &mut l2[idx - 6]
+        };
+        flip_in_column(col, site, bit);
     }
 
     fn reset(&mut self) {
@@ -574,18 +681,23 @@ impl LineCodec for LeGall53Codec {
         }
     }
 
-    fn decode_group(&mut self, enc: &Self::Encoded) -> Vec<Vec<Pixel>> {
+    fn try_decode_group(&mut self, enc: &Self::Encoded) -> Result<Vec<Vec<Pixel>>, String> {
         for e in enc {
             self.codec.record_decoded(e);
         }
-        let low = decode_column(&enc[0]);
-        let high = decode_column(&enc[1]);
+        let low = decode_column_checked(&enc[0])?;
+        let high = decode_column_checked(&enc[1])?;
         legall53_inverse(&low, &high, &mut self.scratch);
-        vec![self
+        Ok(vec![self
             .scratch
             .iter()
             .map(|&v| v.clamp(0, 255) as Pixel)
-            .collect()]
+            .collect()])
+    }
+
+    fn corrupt(&self, enc: &mut Self::Encoded, site: FaultSite, bit: u64) {
+        let idx = pick_column(&[&enc[0], &enc[1]], site, bit);
+        flip_in_column(&mut enc[idx], site, bit);
     }
 
     fn bind_telemetry(&mut self, telemetry: &TelemetryHandle, prefix: &str) {
@@ -630,9 +742,19 @@ impl LineCodec for LocoIPredictiveCodec {
         }
     }
 
-    fn decode_group(&mut self, enc: &Self::Encoded) -> Vec<Vec<Pixel>> {
-        let img = locoi_decode(enc, 1, self.window);
-        vec![(0..self.window).map(|y| img.get(0, y)).collect()]
+    fn try_decode_group(&mut self, enc: &Self::Encoded) -> Result<Vec<Vec<Pixel>>, String> {
+        let img = locoi_try_decode(enc, 1, self.window)?;
+        Ok(vec![(0..self.window).map(|y| img.get(0, y)).collect()])
+    }
+
+    fn corrupt(&self, enc: &mut Self::Encoded, _site: FaultSite, bit: u64) {
+        // The LOCO-I stream has no separate management fields: every fault
+        // site degrades to a bit flip somewhere in the predictive bitstream.
+        if enc.is_empty() {
+            return;
+        }
+        let pos = (bit % (enc.len() as u64 * 8)) as usize;
+        enc[pos / 8] ^= 1 << (pos % 8);
     }
 }
 

@@ -58,15 +58,24 @@ impl ColorCompressedSlidingWindow {
 
     /// Process a color frame: each plane flows through its own datapath
     /// (as in hardware), outputs are re-interleaved.
-    pub fn process_frame(&mut self, img: &ImageRgb, kernel: &dyn WindowKernel) -> ColorOutput {
+    ///
+    /// # Errors
+    ///
+    /// The first [`crate::error::SwError`] any channel's datapath reports
+    /// (channels run in R, G, B order).
+    pub fn process_frame(
+        &mut self,
+        img: &ImageRgb,
+        kernel: &dyn WindowKernel,
+    ) -> crate::error::Result<ColorOutput> {
         let planes = img.planes();
         let mut outs = Vec::with_capacity(3);
         for (arch, plane) in self.channels.iter_mut().zip(&planes) {
-            outs.push(arch.process_frame(plane, kernel));
+            outs.push(arch.process_frame(plane, kernel)?);
         }
         let stats = [outs[0].stats, outs[1].stats, outs[2].stats];
         let image = ImageRgb::from_planes(&outs[0].image, &outs[1].image, &outs[2].image);
-        ColorOutput { image, stats }
+        Ok(ColorOutput { image, stats })
     }
 
     /// BRAM plans per channel for the last measured frame.
@@ -107,10 +116,10 @@ mod tests {
         let cfg = ArchConfig::new(8, 48);
         let kernel = BoxFilter::new(8);
         let mut color = ColorCompressedSlidingWindow::new(cfg);
-        let got = color.process_frame(&img, &kernel);
+        let got = color.process_frame(&img, &kernel).unwrap();
         for (c, plane) in img.planes().iter().enumerate() {
             let mut trad = TraditionalSlidingWindow::new(cfg);
-            let expect = trad.process_frame(plane, &kernel);
+            let expect = trad.process_frame(plane, &kernel).unwrap();
             let got_plane = &got.image.planes()[c];
             assert_eq!(got_plane, &expect.image, "channel {c}");
         }
@@ -121,7 +130,7 @@ mod tests {
         let img = color_scene(96, 48);
         let cfg = ArchConfig::new(8, 96);
         let mut color = ColorCompressedSlidingWindow::new(cfg);
-        let got = color.process_frame(&img, &Tap::top_left(8));
+        let got = color.process_frame(&img, &Tap::top_left(8)).unwrap();
         assert!(got.memory_saving_pct() > 0.0);
         assert_eq!(got.raw_buffer_bits(), 3 * got.stats[0].raw_buffer_bits);
     }
@@ -131,7 +140,7 @@ mod tests {
         let img = color_scene(512, 64);
         let cfg = ArchConfig::new(16, 512);
         let mut color = ColorCompressedSlidingWindow::new(cfg);
-        let out = color.process_frame(&img, &BoxFilter::new(16));
+        let out = color.process_frame(&img, &BoxFilter::new(16)).unwrap();
         let plans = color.plan_brams(&out, MgmtAccounting::Structured);
         let compressed_total: u32 = plans.iter().map(|p| p.total_brams()).sum();
         let traditional_total = 3 * traditional_brams(16, 512);

@@ -74,8 +74,8 @@ mod tests {
             let cfg = ArchConfig::new(n, 32);
             let mut comp = CompressedSlidingWindow::new(cfg);
             let mut trad = TraditionalSlidingWindow::new(cfg);
-            let a = comp.process_frame(&img, &kernel);
-            let b = trad.process_frame(&img, &kernel);
+            let a = comp.process_frame(&img, &kernel).unwrap();
+            let b = trad.process_frame(&img, &kernel).unwrap();
             assert_eq!(a.image, b.image, "window {n}");
             assert_eq!(a.stats.cycles, b.stats.cycles);
         }
@@ -86,7 +86,7 @@ mod tests {
         let img = test_image(40, 24);
         let kernel = GaussianFilter::new(8);
         let mut comp = CompressedSlidingWindow::new(ArchConfig::new(8, 40));
-        let got = comp.process_frame(&img, &kernel);
+        let got = comp.process_frame(&img, &kernel).unwrap();
         assert_eq!(got.image, direct_sliding_window(&img, &kernel));
     }
 
@@ -97,7 +97,7 @@ mod tests {
         let img = test_image(33, 17);
         let kernel = Tap::top_left(4);
         let mut comp = CompressedSlidingWindow::new(ArchConfig::new(4, 33));
-        let got = comp.process_frame(&img, &kernel);
+        let got = comp.process_frame(&img, &kernel).unwrap();
         assert_eq!(got.image, direct_sliding_window(&img, &kernel));
     }
 
@@ -112,7 +112,7 @@ mod tests {
         let run = |t: i16| {
             let cfg = ArchConfig::new(n, 64).with_threshold(t);
             let mut comp = CompressedSlidingWindow::new(cfg);
-            let got = comp.process_frame(&img, &Tap::top_left(n));
+            let got = comp.process_frame(&img, &Tap::top_left(n)).unwrap();
             let expect = img.crop(0, 0, got.image.width(), got.image.height());
             mse(&got.image, &expect)
         };
@@ -130,6 +130,7 @@ mod tests {
             let cfg = ArchConfig::new(8, 64).with_threshold(t);
             let mut comp = CompressedSlidingWindow::new(cfg);
             comp.process_frame(&img, &BoxFilter::new(8))
+                .unwrap()
                 .stats
                 .peak_payload_occupancy
         };
@@ -140,7 +141,7 @@ mod tests {
     fn flat_image_has_near_zero_detail_bits() {
         let img = ImageU8::filled(48, 32, 123);
         let mut comp = CompressedSlidingWindow::new(ArchConfig::new(8, 48));
-        let got = comp.process_frame(&img, &BoxFilter::new(8));
+        let got = comp.process_frame(&img, &BoxFilter::new(8)).unwrap();
         let [ll, lh, hl, hh] = got.stats.per_band_bits_total;
         // Warmup columns mix power-on zeros with the flat value, so a small
         // amount of detail energy exists; steady state contributes none.
@@ -155,7 +156,7 @@ mod tests {
     fn saving_is_positive_on_smooth_images() {
         let img = test_image(128, 64);
         let mut comp = CompressedSlidingWindow::new(ArchConfig::new(8, 128));
-        let got = comp.process_frame(&img, &BoxFilter::new(8));
+        let got = comp.process_frame(&img, &BoxFilter::new(8)).unwrap();
         let saving = got.stats.memory_saving_pct();
         assert!(
             saving > 5.0,
@@ -179,14 +180,15 @@ mod tests {
         let mut probe = CompressedSlidingWindow::new(cfg);
         let budget = probe
             .process_frame(&smooth, &BoxFilter::new(8))
+            .unwrap()
             .stats
             .peak_payload_occupancy;
         let mut comp = CompressedSlidingWindow::new(cfg).with_capacity_bits(budget);
-        let got = comp.process_frame(&img, &BoxFilter::new(8));
+        let got = comp.process_frame(&img, &BoxFilter::new(8)).unwrap();
         assert!(got.stats.overflow_events > 0, "random frame must overflow");
         // And the smooth frame itself must not.
         let mut comp = CompressedSlidingWindow::new(cfg).with_capacity_bits(budget);
-        let got = comp.process_frame(&smooth, &BoxFilter::new(8));
+        let got = comp.process_frame(&smooth, &BoxFilter::new(8)).unwrap();
         assert_eq!(got.stats.overflow_events, 0);
     }
 
@@ -196,7 +198,7 @@ mod tests {
         let run = |policy: ThresholdPolicy| {
             let cfg = ArchConfig::new(8, 64).with_threshold(6).with_policy(policy);
             let mut comp = CompressedSlidingWindow::new(cfg);
-            let got = comp.process_frame(&img, &Tap::top_left(8));
+            let got = comp.process_frame(&img, &Tap::top_left(8)).unwrap();
             let expect = img.crop(0, 0, got.image.width(), got.image.height());
             (got.stats.peak_payload_occupancy, mse(&got.image, &expect))
         };
@@ -212,7 +214,7 @@ mod tests {
         let t = sw_telemetry::TelemetryHandle::new();
         let cfg = ArchConfig::new(4, 32).with_threshold(2);
         let mut comp = CompressedSlidingWindow::new(cfg).with_named_telemetry(&t, "s0");
-        let out = comp.process_frame(&img, &BoxFilter::new(4));
+        let out = comp.process_frame(&img, &BoxFilter::new(4)).unwrap();
 
         let r = t.report();
         assert_eq!(r.counters["stage.s0.cycles"], out.stats.cycles);
@@ -250,8 +252,8 @@ mod tests {
         let mut plain = CompressedSlidingWindow::new(cfg);
         let mut wired = CompressedSlidingWindow::new(cfg)
             .with_telemetry(&sw_telemetry::TelemetryHandle::disabled());
-        let a = plain.process_frame(&img, &BoxFilter::new(4));
-        let b = wired.process_frame(&img, &BoxFilter::new(4));
+        let a = plain.process_frame(&img, &BoxFilter::new(4)).unwrap();
+        let b = wired.process_frame(&img, &BoxFilter::new(4)).unwrap();
         assert_eq!(a.image, b.image);
         assert_eq!(a.stats, b.stats);
     }
@@ -263,8 +265,8 @@ mod tests {
         let mut comp = CompressedSlidingWindow::new(cfg);
         let a = test_image(24, 12);
         let b = ImageU8::from_fn(24, 12, |x, y| ((x * y) % 256) as u8);
-        comp.process_frame(&a, &kernel);
-        let second = comp.process_frame(&b, &kernel);
+        comp.process_frame(&a, &kernel).unwrap();
+        let second = comp.process_frame(&b, &kernel).unwrap();
         assert_eq!(second.image, direct_sliding_window(&b, &kernel));
     }
 }
@@ -296,12 +298,12 @@ mod coeff_mode_tests {
         let kernel = Tap::top_left(n);
         let exact = {
             let mut a = CompressedSlidingWindow::new(ArchConfig::new(n, 48));
-            a.process_frame(&img, &kernel).image
+            a.process_frame(&img, &kernel).unwrap().image
         };
         let sat = {
             let cfg = ArchConfig::new(n, 48).with_coeff_mode(CoeffMode::Saturating8);
             let mut a = CompressedSlidingWindow::new(cfg);
-            a.process_frame(&img, &kernel).image
+            a.process_frame(&img, &kernel).unwrap().image
         };
         assert_eq!(exact, direct_sliding_window(&img, &kernel));
         let (w, h) = (exact.width(), exact.height());
@@ -328,13 +330,13 @@ mod coeff_mode_tests {
         let reference = direct_sliding_window(&img, &kernel);
         let exact = {
             let mut a = CompressedSlidingWindow::new(ArchConfig::new(n, 32));
-            a.process_frame(&img, &kernel).image
+            a.process_frame(&img, &kernel).unwrap().image
         };
         assert_eq!(exact, reference, "exact mode survives the checkerboard");
         let sat = {
             let cfg = ArchConfig::new(n, 32).with_coeff_mode(CoeffMode::Saturating8);
             let mut a = CompressedSlidingWindow::new(cfg);
-            a.process_frame(&img, &kernel).image
+            a.process_frame(&img, &kernel).unwrap().image
         };
         assert!(
             max_abs_error(&sat, &reference) > 50,
@@ -347,7 +349,7 @@ mod coeff_mode_tests {
         let img = ImageU8::from_fn(32, 16, |x, y| if (x + y) % 2 == 0 { 0 } else { 255 });
         let cfg = ArchConfig::new(4, 32).with_coeff_mode(CoeffMode::Saturating8);
         let mut a = CompressedSlidingWindow::new(cfg);
-        let out = a.process_frame(&img, &Tap::top_left(4));
+        let out = a.process_frame(&img, &Tap::top_left(4)).unwrap();
         // Details clamp to 8 bits; LL still needs up to 9. Per 4 pixels:
         // <= 9 + 3×8 bits.
         let max_bpp = (9.0 + 3.0 * 8.0) / 4.0;

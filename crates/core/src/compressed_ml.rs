@@ -69,8 +69,8 @@ mod tests {
             let mut two = TwoLevelCompressedSlidingWindow::new(cfg);
             let mut trad = TraditionalSlidingWindow::new(cfg);
             assert_eq!(
-                two.process_frame(&img, &kernel).image,
-                trad.process_frame(&img, &kernel).image,
+                two.process_frame(&img, &kernel).unwrap().image,
+                trad.process_frame(&img, &kernel).unwrap().image,
                 "window {n}"
             );
         }
@@ -83,7 +83,7 @@ mod tests {
         let kernel = Tap::top_left(4);
         let mut two = TwoLevelCompressedSlidingWindow::new(cfg);
         assert_eq!(
-            two.process_frame(&img, &kernel).image,
+            two.process_frame(&img, &kernel).unwrap().image,
             direct_sliding_window(&img, &kernel)
         );
     }
@@ -99,10 +99,12 @@ mod tests {
         let kernel = BoxFilter::new(8);
         let p1 = one
             .process_frame(&img, &kernel)
+            .unwrap()
             .stats
             .peak_payload_occupancy;
         let p2 = two
             .process_frame(&img, &kernel)
+            .unwrap()
             .stats
             .peak_payload_occupancy;
         assert!(
@@ -118,7 +120,7 @@ mod tests {
         for t in [2i16, 6] {
             let cfg = ArchConfig::new(n, 64).with_threshold(t);
             let mut two = TwoLevelCompressedSlidingWindow::new(cfg);
-            let out = two.process_frame(&img, &Tap::top_left(n));
+            let out = two.process_frame(&img, &Tap::top_left(n)).unwrap();
             let crop = img.crop(0, 0, out.image.width(), out.image.height());
             let e = mse(&out.image, &crop);
             assert!(e > 0.0, "T={t} must be lossy");
@@ -127,7 +129,7 @@ mod tests {
         // And T=0 stays exact.
         let cfg = ArchConfig::new(n, 64);
         let mut two = TwoLevelCompressedSlidingWindow::new(cfg);
-        let out = two.process_frame(&img, &Tap::top_left(n));
+        let out = two.process_frame(&img, &Tap::top_left(n)).unwrap();
         let crop = img.crop(0, 0, out.image.width(), out.image.height());
         assert_eq!(mse(&out.image, &crop), 0.0);
     }
@@ -146,9 +148,9 @@ mod tests {
         let mut two = TwoLevelCompressedSlidingWindow::new(cfg);
         let a = test_image(24, 12);
         let b = ImageU8::from_fn(24, 12, |x, y| ((x * y + 3) % 256) as u8);
-        two.process_frame(&a, &kernel);
+        two.process_frame(&a, &kernel).unwrap();
         assert_eq!(
-            two.process_frame(&b, &kernel).image,
+            two.process_frame(&b, &kernel).unwrap().image,
             direct_sliding_window(&b, &kernel)
         );
     }

@@ -1,6 +1,7 @@
 //! Architecture configuration.
 
 use crate::codec::LineCodecKind;
+use crate::error::SwError;
 use crate::Coeff;
 
 /// Which sub-bands the threshold applies to.
@@ -186,6 +187,156 @@ impl ArchConfig {
         let cols = self.fifo_depth() as u64;
         2 * 4 * cols + cols * self.window as u64
     }
+
+    /// Validating builder for checked construction: every constraint
+    /// [`ArchConfig::new`] and the codecs would panic on is reported as
+    /// [`SwError::Config`] instead.
+    ///
+    /// ```
+    /// use sw_core::config::ArchConfig;
+    /// use sw_core::codec::LineCodecKind;
+    /// let cfg = ArchConfig::builder(8, 512)
+    ///     .codec(LineCodecKind::Haar2)
+    ///     .threshold(4)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.window, 8);
+    /// assert!(ArchConfig::builder(7, 512).build().is_err());
+    /// ```
+    pub fn builder(window: usize, width: usize) -> ArchConfigBuilder {
+        ArchConfigBuilder {
+            window,
+            width,
+            threshold: 0,
+            policy: ThresholdPolicy::default(),
+            granularity: NBitsGranularity::default(),
+            pixel_bits: 8,
+            coeff_mode: CoeffMode::default(),
+            codec: LineCodecKind::default(),
+        }
+    }
+
+    /// Check every constraint the constructors and codecs enforce,
+    /// reporting violations as [`SwError::Config`].
+    ///
+    /// # Errors
+    ///
+    /// [`SwError::Config`] when the window is odd, zero or too small, the
+    /// width leaves no room for the codec's group, the threshold is
+    /// negative, or the pixel depth is out of range.
+    pub fn validate(&self) -> crate::error::Result<()> {
+        if self.window < 2 || !self.window.is_multiple_of(2) {
+            return Err(SwError::config(format!(
+                "window {} must be even and >= 2",
+                self.window
+            )));
+        }
+        if self.codec == LineCodecKind::Haar2 && !self.window.is_multiple_of(4) {
+            return Err(SwError::config(format!(
+                "the two-level codec needs a window divisible by 4, got {}",
+                self.window
+            )));
+        }
+        let group = self.codec.group_width();
+        if self.width < self.window + group {
+            return Err(SwError::config(format!(
+                "width {} leaves no room for the {} codec: need at least window {} + group {}",
+                self.width,
+                self.codec.name(),
+                self.window,
+                group
+            )));
+        }
+        if self.threshold < 0 {
+            return Err(SwError::config(format!(
+                "threshold {} must be non-negative",
+                self.threshold
+            )));
+        }
+        if self.pixel_bits == 0 || self.pixel_bits > 8 {
+            return Err(SwError::config(format!(
+                "pixel depth {} outside the supported 1..=8 bits",
+                self.pixel_bits
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder returned by [`ArchConfig::builder`].
+///
+/// Unlike the panicking [`ArchConfig::new`] + `with_*` chain, every
+/// constraint violation is deferred to [`ArchConfigBuilder::build`] and
+/// reported as [`SwError::Config`].
+#[derive(Debug, Clone, Copy)]
+pub struct ArchConfigBuilder {
+    window: usize,
+    width: usize,
+    threshold: Coeff,
+    policy: ThresholdPolicy,
+    granularity: NBitsGranularity,
+    pixel_bits: u32,
+    coeff_mode: CoeffMode,
+    codec: LineCodecKind,
+}
+
+impl ArchConfigBuilder {
+    /// Set the line codec.
+    pub fn codec(mut self, codec: LineCodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Set the threshold `T` (0 = lossless).
+    pub fn threshold(mut self, t: Coeff) -> Self {
+        self.threshold = t;
+        self
+    }
+
+    /// Set the threshold policy.
+    pub fn policy(mut self, p: ThresholdPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Set the NBits granularity.
+    pub fn granularity(mut self, g: NBitsGranularity) -> Self {
+        self.granularity = g;
+        self
+    }
+
+    /// Set the pixel bit depth (1..=8).
+    pub fn pixel_bits(mut self, bits: u32) -> Self {
+        self.pixel_bits = bits;
+        self
+    }
+
+    /// Set the coefficient datapath mode.
+    pub fn coeff_mode(mut self, m: CoeffMode) -> Self {
+        self.coeff_mode = m;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SwError::Config`] on any constraint violation (see
+    /// [`ArchConfig::validate`]).
+    pub fn build(self) -> crate::error::Result<ArchConfig> {
+        let cfg = ArchConfig {
+            window: self.window,
+            width: self.width,
+            threshold: self.threshold,
+            policy: self.policy,
+            granularity: self.granularity,
+            pixel_bits: self.pixel_bits,
+            coeff_mode: self.coeff_mode,
+            codec: self.codec,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +382,31 @@ mod tests {
         assert_eq!(p.threshold_for(SubBand::HH, 6), 6);
         let p = ThresholdPolicy::AllSubbands;
         assert_eq!(p.threshold_for(SubBand::LL, 6), 6);
+    }
+
+    #[test]
+    fn checked_builder_accepts_valid_and_rejects_invalid() {
+        let cfg = ArchConfig::builder(8, 64)
+            .codec(LineCodecKind::Haar)
+            .threshold(4)
+            .build()
+            .unwrap();
+        assert_eq!(cfg, ArchConfig::new(8, 64).with_threshold(4));
+        for bad in [
+            ArchConfig::builder(7, 512).build(),
+            ArchConfig::builder(0, 512).build(),
+            ArchConfig::builder(64, 64).build(),
+            ArchConfig::builder(6, 512)
+                .codec(LineCodecKind::Haar2)
+                .build(),
+            ArchConfig::builder(8, 10)
+                .codec(LineCodecKind::Haar2)
+                .build(),
+            ArchConfig::builder(8, 512).pixel_bits(0).build(),
+        ] {
+            let err = bad.expect_err("constraint violation must be rejected");
+            assert!(matches!(err, crate::error::SwError::Config(_)), "got {err}");
+        }
     }
 
     #[test]

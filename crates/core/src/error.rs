@@ -1,0 +1,108 @@
+//! The crate-wide error type behind the `Result`-based public API.
+//!
+//! Every fallible entry point — [`crate::arch::build_arch`], frame
+//! processing, the pipeline runners, configuration validation and the
+//! CLI's file I/O — funnels into [`SwError`] so callers handle one type.
+//! Hardware-faithful failure modes keep their typed payloads: a memory
+//! unit overflow under [`crate::memory_unit::OverflowPolicy::Fail`]
+//! surfaces the underlying [`sw_fpga::fifo::FifoError`], and a corrupted
+//! packed stream surfaces the codec that detected it.
+
+use crate::codec::LineCodecKind;
+use sw_fpga::fifo::FifoError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SwError>;
+
+/// Unified error for the sliding-window architectures.
+#[derive(Debug)]
+pub enum SwError {
+    /// Invalid configuration or geometry (window/width/threshold/codec).
+    Config(String),
+    /// A memory-unit FIFO rejected an operation (overflow under the
+    /// `Fail` policy, or a forced underflow fault).
+    Fifo(FifoError),
+    /// The packed stream failed a consistency guard while decoding —
+    /// corruption was *detected* rather than silently reconstructed.
+    Decode {
+        /// The codec whose guards caught the corruption.
+        codec: LineCodecKind,
+        /// Human-readable description of the failed guard.
+        detail: String,
+    },
+    /// An I/O operation failed (PGM/video loading, report writing).
+    Io {
+        /// What was being done when the error occurred.
+        context: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for SwError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            SwError::Fifo(e) => write!(f, "memory unit fifo: {e}"),
+            SwError::Decode { codec, detail } => {
+                write!(f, "corrupt {} stream: {detail}", codec.name())
+            }
+            SwError::Io { context, source } => write!(f, "{context}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for SwError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SwError::Fifo(e) => Some(e),
+            SwError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<FifoError> for SwError {
+    fn from(e: FifoError) -> Self {
+        SwError::Fifo(e)
+    }
+}
+
+impl SwError {
+    /// Shorthand for a configuration error.
+    pub fn config(msg: impl Into<String>) -> Self {
+        SwError::Config(msg.into())
+    }
+
+    /// Wrap an I/O error with the operation it interrupted.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        SwError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_friendly() {
+        let c = SwError::config("window must be even");
+        assert_eq!(c.to_string(), "invalid configuration: window must be even");
+        let d = SwError::Decode {
+            codec: LineCodecKind::Haar,
+            detail: "nbits out of range".into(),
+        };
+        assert!(d.to_string().contains("haar"));
+        assert!(d.to_string().contains("nbits out of range"));
+    }
+
+    #[test]
+    fn fifo_errors_convert_and_chain() {
+        let e: SwError = FifoError::Underrun.into();
+        assert!(matches!(e, SwError::Fifo(FifoError::Underrun)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

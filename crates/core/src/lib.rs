@@ -42,6 +42,14 @@
 //!   stitched deterministically (byte-identical for any `--jobs`).
 //! * [`adaptive`] — the paper's *future work*: a per-frame threshold
 //!   controller that keeps packed bits within a BRAM budget.
+//! * [`error`] — the crate-wide [`error::SwError`] / [`error::Result`]
+//!   types every fallible public entry point returns.
+//! * [`memory_unit`] — the capacity-enforcing Memory Unit runtime: packed
+//!   groups ride real BRAM FIFO storage sized by the planner's budget,
+//!   with configurable [`memory_unit::OverflowPolicy`] behaviour.
+//! * [`faults`] — deterministic fault injection: seeded bit flips in the
+//!   packed payload / BitMap / NBits words and forced FIFO faults, always
+//!   surfaced as typed errors or bounded reconstruction error.
 //! * [`stats`] — small-sample statistics (mean, 90 % confidence intervals)
 //!   used by the evaluation harness.
 //!
@@ -56,14 +64,16 @@
 //! let img = ImageU8::from_fn(64, 64, |x, y| ((x * 3 + y * 5) % 256) as u8);
 //! let cfg = ArchConfig::new(8, img.width()).with_threshold(0); // lossless
 //! let mut arch = CompressedSlidingWindow::new(cfg);
-//! let out = arch.process_frame(&img, &BoxFilter::new(8));
+//! let out = arch.process_frame(&img, &BoxFilter::new(8))?;
 //! assert_eq!(out.image.width(), 64 - 8 + 1);
 //! // Lossless mode is bit-exact with the traditional architecture:
 //! assert_eq!(out.stats.overflow_events, 0);
+//! # Ok::<(), sw_core::error::SwError>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod adaptive;
 pub mod analysis;
@@ -73,7 +83,10 @@ pub mod color;
 pub mod compressed;
 pub mod compressed_ml;
 pub mod config;
+pub mod error;
+pub mod faults;
 pub mod kernels;
+pub mod memory_unit;
 pub mod pipeline;
 pub mod planner;
 pub mod reference;
@@ -85,7 +98,10 @@ pub mod window;
 
 pub use arch::{build_arch, FrameOutput, FrameStats, SlidingWindow, SlidingWindowArch};
 pub use codec::{LineCodec, LineCodecKind};
-pub use config::{ArchConfig, CoeffMode, NBitsGranularity, ThresholdPolicy};
+pub use config::{ArchConfig, ArchConfigBuilder, CoeffMode, NBitsGranularity, ThresholdPolicy};
+pub use error::SwError;
+pub use faults::{FaultInjector, FaultSite, FaultSpec};
+pub use memory_unit::{MemoryUnit, MemoryUnitConfig, OverflowPolicy};
 pub use window::{ActiveWindow, WindowView};
 
 /// Pixel type (8-bit grayscale, as in the paper).

@@ -12,7 +12,10 @@ use crate::analysis::analyze_frame;
 use crate::arch::build_arch;
 use crate::codec::LineCodecKind;
 use crate::config::ArchConfig;
+use crate::error::{Result, SwError};
+use crate::faults::FaultInjector;
 use crate::kernels::WindowKernel;
+use crate::memory_unit::MemoryUnitConfig;
 use crate::planner::{plan, traditional_brams, BramPlan, MgmtAccounting};
 use sw_image::ImageU8;
 use sw_telemetry::TelemetryHandle;
@@ -75,6 +78,8 @@ impl PipelineOutput {
 pub struct Pipeline {
     stages: Vec<Stage>,
     telemetry: TelemetryHandle,
+    memory_unit: Option<MemoryUnitConfig>,
+    faults: Option<FaultInjector>,
 }
 
 impl Pipeline {
@@ -88,7 +93,22 @@ impl Pipeline {
         Self {
             stages,
             telemetry: TelemetryHandle::disabled(),
+            memory_unit: None,
+            faults: None,
         }
+    }
+
+    /// Enforce a memory-unit capacity on every stage (the same budget per
+    /// stage; sharded runs split it per strip).
+    pub fn with_memory_unit(mut self, cfg: MemoryUnitConfig) -> Self {
+        self.memory_unit = Some(cfg);
+        self
+    }
+
+    /// Inject deterministic faults into every stage.
+    pub fn with_fault_injector(mut self, faults: FaultInjector) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Record per-stage telemetry into `telemetry`: stage `i` reports under
@@ -112,28 +132,38 @@ impl Pipeline {
     /// Run one frame through every stage, shrinking the valid region at
     /// each step, and report per-stage BRAM costs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an intermediate image becomes smaller than the next
-    /// stage's window.
-    pub fn run(&mut self, input: &ImageU8) -> PipelineOutput {
+    /// [`SwError::Config`] if an intermediate image becomes smaller than
+    /// the next stage's window; any memory-unit or fault-injection error
+    /// a stage's datapath surfaces.
+    pub fn run(&mut self, input: &ImageU8) -> Result<PipelineOutput> {
         let mut img = input.clone();
         let mut stage_brams = Vec::with_capacity(self.stages.len());
         let mut cycles = 0u64;
         for (i, stage) in self.stages.iter_mut().enumerate() {
             let n = stage.kernel.window_size();
-            assert!(
-                img.width() > n && img.height() >= n,
-                "intermediate image too small for a {n}-pixel window"
-            );
+            if img.width() <= n || img.height() < n {
+                return Err(SwError::config(format!(
+                    "stage {i}: intermediate image {}x{} too small for a {n}-pixel window",
+                    img.width(),
+                    img.height()
+                )));
+            }
             let stage_name = format!("stage{i}");
             let _span = self.telemetry.span(&format!("pipeline.{stage_name}"));
             let cfg = ArchConfig::new(n, img.width())
                 .with_codec(stage.codec)
                 .with_threshold(stage.threshold);
-            let mut arch = build_arch(&cfg);
+            let mut arch = build_arch(&cfg)?;
             arch.bind_telemetry(&self.telemetry, &stage_name);
-            let out = arch.process_frame(&img, stage.kernel.as_ref());
+            if self.memory_unit.is_some() {
+                arch.set_memory_unit(self.memory_unit);
+            }
+            if self.faults.is_some() {
+                arch.set_fault_injector(self.faults.clone());
+            }
+            let out = arch.process_frame(&img, stage.kernel.as_ref())?;
             if stage.codec == LineCodecKind::Raw {
                 stage_brams.push(traditional_brams(n, img.width()));
             } else {
@@ -148,11 +178,11 @@ impl Pipeline {
             cycles += out.stats.cycles;
             img = out.image;
         }
-        PipelineOutput {
+        Ok(PipelineOutput {
             image: img,
             stage_brams,
             cycles,
-        }
+        })
     }
 
     /// [`Pipeline::run`] with every stage executed strip-parallel on
@@ -163,43 +193,53 @@ impl Pipeline {
     /// size their BRAM plan from the maximum per-strip peak occupancy —
     /// the capacity one strip datapath must provision.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an intermediate image becomes smaller than the next
-    /// stage's window.
+    /// [`SwError::Config`] if an intermediate image becomes smaller than
+    /// the next stage's window; the first error any strip surfaces (in
+    /// strip order).
     pub fn run_sharded(
         &self,
         input: &ImageU8,
         pool: &sw_pool::ThreadPool,
         strips: usize,
-    ) -> PipelineOutput {
+    ) -> Result<PipelineOutput> {
         let mut img = input.clone();
         let mut stage_brams = Vec::with_capacity(self.stages.len());
         let mut cycles = 0u64;
         for (i, stage) in self.stages.iter().enumerate() {
             let n = stage.kernel.window_size();
-            assert!(
-                img.width() > n && img.height() >= n,
-                "intermediate image too small for a {n}-pixel window"
-            );
+            if img.width() <= n || img.height() < n {
+                return Err(SwError::config(format!(
+                    "stage {i}: intermediate image {}x{} too small for a {n}-pixel window",
+                    img.width(),
+                    img.height()
+                )));
+            }
             let stage_name = format!("stage{i}");
             let _span = self.telemetry.span(&format!("pipeline.{stage_name}"));
             let cfg = ArchConfig::new(n, img.width())
                 .with_codec(stage.codec)
                 .with_threshold(stage.threshold);
-            let runner = crate::shard::ShardedFrameRunner::new(cfg)
+            let mut runner = crate::shard::ShardedFrameRunner::new(cfg)
                 .with_strips(strips)
                 .with_named_telemetry(&self.telemetry, &stage_name);
-            let out = runner.run(&img, stage.kernel.as_ref(), pool);
+            if let Some(mu) = self.memory_unit {
+                runner = runner.with_memory_unit(mu);
+            }
+            if let Some(faults) = self.faults.clone() {
+                runner = runner.with_fault_injector(faults);
+            }
+            let out = runner.run(&img, stage.kernel.as_ref(), pool)?;
             stage_brams.push(out.brams);
             cycles += out.cycles;
             img = out.image;
         }
-        PipelineOutput {
+        Ok(PipelineOutput {
             image: img,
             stage_brams,
             cycles,
-        }
+        })
     }
 
     /// Static BRAM plan for the whole pipeline at a given input width,
@@ -251,7 +291,7 @@ mod tests {
             Stage::compressed(Box::new(SobelMagnitude::new(4)), 0),
         ]);
         let img = scene(64, 48);
-        let out = p.run(&img);
+        let out = p.run(&img).unwrap();
         // 64 -> 57 -> 54 wide.
         assert_eq!(out.image.width(), 54);
         assert_eq!(out.image.height(), 38);
@@ -270,8 +310,8 @@ mod tests {
             Stage::compressed(Box::new(GaussianFilter::new(16)), 0),
             Stage::compressed(Box::new(BoxFilter::new(8)), 0),
         ]);
-        let t = trad.run(&img).total_brams();
-        let c = comp.run(&img).total_brams();
+        let t = trad.run(&img).unwrap().total_brams();
+        let c = comp.run(&img).unwrap().total_brams();
         assert!(c < t, "compressed pipeline {c} vs traditional {t}");
     }
 
@@ -286,7 +326,7 @@ mod tests {
             Stage::compressed(Box::new(GaussianFilter::new(8)), 0),
             Stage::compressed(Box::new(SobelMagnitude::new(4)), 0),
         ]);
-        assert_eq!(a.run(&img).image, b.run(&img).image);
+        assert_eq!(a.run(&img).unwrap().image, b.run(&img).unwrap().image);
     }
 
     #[test]
@@ -314,7 +354,7 @@ mod tests {
             Stage::compressed(Box::new(SobelMagnitude::new(4)), 2),
         ])
         .with_telemetry(&t);
-        let out = p.run(&scene(64, 48));
+        let out = p.run(&scene(64, 48)).unwrap();
         let r = t.report();
         // Per-stage cycle counters sum to the pipeline total.
         assert_eq!(

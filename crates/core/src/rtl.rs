@@ -222,20 +222,20 @@ impl RtlCompressedSlidingWindow {
             // Its own threshold comparator handles the BitMap bit.
             for &c in &thresholded {
                 let outp = self.packer.clock(c, width);
-                self.bitmap_fifo
-                    .push_bits(outp.bitmap_bit as u32, 1)
-                    .expect("unbounded");
+                let Ok(()) = self.bitmap_fifo.push_bits(outp.bitmap_bit as u32, 1) else {
+                    unreachable!("BitMap FIFO is unbounded")
+                };
                 for word in outp.words {
-                    self.pixel_fifo
-                        .push_bits(word as u32, 8)
-                        .expect("unbounded");
+                    let Ok(()) = self.pixel_fifo.push_bits(word as u32, 8) else {
+                        unreachable!("Pixel FIFO is unbounded")
+                    };
                     self.wen_words += 1;
                 }
             }
         }
-        self.nbits_fifo
-            .push(MgmtEntry { nbits })
-            .expect("management FIFO sized for a full row");
+        let Ok(()) = self.nbits_fifo.push(MgmtEntry { nbits }) else {
+            unreachable!("management FIFO is sized for a full row")
+        };
         self.order.push_back((exit_cycle, col.bands));
     }
 
@@ -254,31 +254,34 @@ impl RtlCompressedSlidingWindow {
                 return None;
             }
             self.order.pop_front();
-            let mgmt = self.nbits_fifo.pop().expect("NBits entry per column");
+            let Ok(mgmt) = self.nbits_fifo.pop() else {
+                unreachable!("one NBits entry exists per column")
+            };
             let mut coeffs = Vec::with_capacity(2 * half);
             for nbits in mgmt.nbits {
                 for _ in 0..half {
-                    let bit = self
-                        .bitmap_fifo
-                        .pop_bits(1)
-                        .expect("BitMap bit per coefficient")
-                        == 1;
+                    let Ok(raw_bit) = self.bitmap_fifo.pop_bits(1) else {
+                        unreachable!("one BitMap bit exists per coefficient")
+                    };
+                    let bit = raw_bit == 1;
                     let c = loop {
                         match self.unpacker.clock(bit, nbits) {
                             Some(v) => break v,
                             None => {
                                 if self.pixel_fifo.len_bits() >= 8 {
-                                    let word =
-                                        self.pixel_fifo.pop_bits(8).expect("checked above") as u8;
-                                    self.unpacker.feed_word(word);
+                                    let Ok(word) = self.pixel_fifo.pop_bits(8) else {
+                                        unreachable!("length checked above")
+                                    };
+                                    self.unpacker.feed_word(word as u8);
                                 } else {
                                     // Bypass path: the bits we need are
                                     // still staged in the packer's
                                     // Yout_Current (sparsely coded stretch).
                                     let avail = self.pixel_fifo.len_bits() as u32;
                                     if avail > 0 {
-                                        let bits =
-                                            self.pixel_fifo.pop_bits(avail).expect("checked above");
+                                        let Ok(bits) = self.pixel_fifo.pop_bits(avail) else {
+                                            unreachable!("length checked above")
+                                        };
                                         self.unpacker.feed_bits(bits, avail);
                                     }
                                     let (bits, count) = self.packer.drain_staged();
@@ -293,12 +296,15 @@ impl RtlCompressedSlidingWindow {
             }
             decomposed.push(SubbandColumn { bands, coeffs });
         }
-        let odd = decomposed.pop().expect("two columns");
-        let even = decomposed.pop().expect("two columns");
+        let (Some(odd), Some(even)) = (decomposed.pop(), decomposed.pop()) else {
+            unreachable!("exactly two columns were reconstructed")
+        };
         debug_assert!(!self.inv.has_pending());
         let none = self.inv.push_column(even);
         debug_assert!(none.is_none());
-        let (c0, c1) = self.inv.push_column(odd).expect("pair reconstructs");
+        let Some((c0, c1)) = self.inv.push_column(odd) else {
+            unreachable!("an even/odd pair always reconstructs")
+        };
         let clamp = |v: Coeff| v.clamp(0, 255) as Pixel;
         self.carry = Some(c1.into_iter().map(clamp).collect());
         Some(c0.into_iter().map(clamp).collect())
@@ -347,7 +353,7 @@ mod tests {
             let mut rtl = RtlCompressedSlidingWindow::new(cfg);
             let mut func = CompressedSlidingWindow::new(cfg);
             let a = rtl.process_frame(&img, &kernel);
-            let b = func.process_frame(&img, &kernel);
+            let b = func.process_frame(&img, &kernel).unwrap();
             assert_eq!(a.image, b.image, "window {n}");
             assert_eq!(a.stats.cycles, b.stats.cycles);
         }
@@ -362,7 +368,7 @@ mod tests {
         let mut trad = TraditionalSlidingWindow::new(cfg);
         assert_eq!(
             rtl.process_frame(&img, &kernel).image,
-            trad.process_frame(&img, &kernel).image
+            trad.process_frame(&img, &kernel).unwrap().image
         );
     }
 
@@ -376,7 +382,7 @@ mod tests {
             let mut func = CompressedSlidingWindow::new(cfg);
             assert_eq!(
                 rtl.process_frame(&img, &kernel).image,
-                func.process_frame(&img, &kernel).image,
+                func.process_frame(&img, &kernel).unwrap().image,
                 "threshold {t}"
             );
         }
@@ -393,7 +399,7 @@ mod tests {
         let mut func = CompressedSlidingWindow::new(cfg);
         assert_eq!(
             rtl.process_frame(&img, &kernel).image,
-            func.process_frame(&img, &kernel).image
+            func.process_frame(&img, &kernel).unwrap().image
         );
     }
 
@@ -404,7 +410,7 @@ mod tests {
         let mut rtl = RtlCompressedSlidingWindow::new(cfg);
         let mut func = CompressedSlidingWindow::new(cfg);
         let a = rtl.process_frame(&img, &BoxFilter::new(8));
-        let b = func.process_frame(&img, &BoxFilter::new(8));
+        let b = func.process_frame(&img, &BoxFilter::new(8)).unwrap();
         let rtl_peak = a.stats.pixel_fifo_peak_bits as f64;
         let func_peak = b.stats.peak_payload_occupancy as f64;
         // The RTL FIFO holds whole bytes (packing boundary effects), so the
@@ -437,7 +443,7 @@ mod tests {
         let mut rtl = RtlCompressedSlidingWindow::new(cfg);
         let mut func = CompressedSlidingWindow::new(cfg);
         let a = rtl.process_frame(&img, &BoxFilter::new(8));
-        let b = func.process_frame(&img, &BoxFilter::new(8));
+        let b = func.process_frame(&img, &BoxFilter::new(8)).unwrap();
         // Every payload bit eventually leaves through an 8-bit WEN word
         // (up to the final partial word still staged at frame end).
         let words_expected = b.stats.payload_bits_total / 8;

@@ -41,7 +41,10 @@
 use crate::arch::build_arch;
 use crate::codec::LineCodecKind;
 use crate::config::ArchConfig;
+use crate::error::{Result, SwError};
+use crate::faults::FaultInjector;
 use crate::kernels::WindowKernel;
+use crate::memory_unit::MemoryUnitConfig;
 use crate::planner::{plan, traditional_brams, BramPlan, MgmtAccounting};
 use sw_image::ImageU8;
 use sw_pool::ThreadPool;
@@ -161,6 +164,14 @@ pub struct ShardedOutput {
     pub brams: u32,
     /// The compressed BRAM plan (`None` for traditional buffering).
     pub bram_plan: Option<BramPlan>,
+    /// Backpressure cycles charged across strips under the `Stall`
+    /// overflow policy (0 without a memory unit), summed in strip order.
+    pub stall_cycles: u64,
+    /// Threshold escalations across strips under the `DegradeLossy`
+    /// overflow policy, summed in strip order.
+    pub t_escalations: u64,
+    /// Overflow events recorded across strips, summed in strip order.
+    pub overflow_events: usize,
 }
 
 /// Runs frames strip-parallel over a [`ThreadPool`].
@@ -174,6 +185,8 @@ pub struct ShardedFrameRunner {
     strips: usize,
     telemetry: TelemetryHandle,
     name: String,
+    memory_unit: Option<MemoryUnitConfig>,
+    faults: Option<FaultInjector>,
 }
 
 impl ShardedFrameRunner {
@@ -186,7 +199,25 @@ impl ShardedFrameRunner {
             strips: DEFAULT_STRIPS,
             telemetry: TelemetryHandle::disabled(),
             name: "frame".to_string(),
+            memory_unit: None,
+            faults: None,
         }
+    }
+
+    /// Enforce a frame-wide memory-unit capacity. Each strip's private
+    /// datapath receives `cfg.per_strip(strips)` — an equal share of the
+    /// budget — so the policy outcome is a pure function of the strip
+    /// decomposition, never of `--jobs`.
+    pub fn with_memory_unit(mut self, cfg: MemoryUnitConfig) -> Self {
+        self.memory_unit = Some(cfg);
+        self
+    }
+
+    /// Inject deterministic faults. Every strip receives the same
+    /// injector; fault indices count each strip's private encode sequence.
+    pub fn with_fault_injector(mut self, faults: FaultInjector) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Override the strip count. Fix this (not `--jobs`) to keep outputs
@@ -220,32 +251,56 @@ impl ShardedFrameRunner {
 
     /// Process one frame strip-parallel on `pool` and stitch the result.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the image width differs from the configured width, the
-    /// image is shorter than the window, or the kernel's window size
-    /// mismatches.
+    /// [`SwError::Config`] if the image width differs from the configured
+    /// width, the image is shorter than the window, or the kernel's window
+    /// size mismatches; otherwise the first error any strip surfaces,
+    /// taken in strip order (scheduling-independent).
     pub fn run(
         &self,
         img: &ImageU8,
         kernel: &dyn WindowKernel,
         pool: &ThreadPool,
-    ) -> ShardedOutput {
+    ) -> Result<ShardedOutput> {
         let n = self.cfg.window;
-        assert_eq!(img.width(), self.cfg.width, "image width mismatch");
-        assert!(img.height() >= n, "image shorter than the window");
-        assert_eq!(kernel.window_size(), n, "kernel window size mismatch");
+        if img.width() != self.cfg.width {
+            return Err(SwError::config(format!(
+                "image width {} does not match the configured width {}",
+                img.width(),
+                self.cfg.width
+            )));
+        }
+        if img.height() < n {
+            return Err(SwError::config(format!(
+                "image height {} is shorter than the {n}-row window",
+                img.height()
+            )));
+        }
+        if kernel.window_size() != n {
+            return Err(SwError::config(format!(
+                "kernel window size {} does not match the architecture window {n}",
+                kernel.window_size()
+            )));
+        }
 
         let shard_plan = ShardPlan::new(n, img.height(), self.strips);
         let spans = &shard_plan.spans;
+        let mu_per_strip = self.memory_unit.map(|mu| mu.per_strip(spans.len()));
         let results = pool.par_map_indexed(spans.len(), |i| {
             let span = spans[i];
             let _timer = self
                 .telemetry
                 .span(&format!("shard.{}.strip{}", self.name, span.index));
             let sub = img.crop(0, span.input_row0, img.width(), span.input_rows);
-            let mut arch = build_arch(&self.cfg);
-            let out = arch.process_frame(&sub, kernel);
+            let mut arch = build_arch(&self.cfg)?;
+            if mu_per_strip.is_some() {
+                arch.set_memory_unit(mu_per_strip);
+            }
+            if self.faults.is_some() {
+                arch.set_fault_injector(self.faults.clone());
+            }
+            let out = arch.process_frame(&sub, kernel)?;
             // Raw buffering reports peak 0, as the traditional strip
             // datapath always did: its occupancy is the static span, not a
             // measurement worth aggregating.
@@ -254,8 +309,11 @@ impl ShardedFrameRunner {
             } else {
                 out.stats.peak_payload_occupancy
             };
-            (out.image, out.stats.cycles, peak)
+            Ok((out.image, out.stats, peak))
         });
+        // Propagate the first failure in strip order so the reported error
+        // is independent of scheduling.
+        let results = results.into_iter().collect::<Result<Vec<_>>>()?;
 
         // Stitch in strip order; all aggregation is scheduling-independent.
         let ow = img.width() - n + 1;
@@ -264,23 +322,29 @@ impl ShardedFrameRunner {
         let mut strip_stats = Vec::with_capacity(spans.len());
         let mut cycles = 0u64;
         let mut peak = 0u64;
-        for (span, (strip_img, strip_cycles, strip_peak)) in spans.iter().zip(&results) {
+        let mut stall_cycles = 0u64;
+        let mut t_escalations = 0u64;
+        let mut overflow_events = 0usize;
+        for (span, (strip_img, stats, strip_peak)) in spans.iter().zip(&results) {
             debug_assert_eq!(strip_img.height(), span.output_rows);
             debug_assert_eq!(strip_img.width(), ow);
             for r in 0..span.output_rows {
                 let y = span.output_row0 + r;
                 image.pixels_mut()[y * ow..(y + 1) * ow].copy_from_slice(strip_img.row(r));
             }
-            cycles += strip_cycles;
+            cycles += stats.cycles;
             peak = peak.max(*strip_peak);
+            stall_cycles += stats.stall_cycles;
+            t_escalations += stats.t_escalations;
+            overflow_events += stats.overflow_events;
             strip_stats.push(StripStats {
                 span: *span,
-                cycles: *strip_cycles,
+                cycles: stats.cycles,
                 peak_payload_occupancy: *strip_peak,
             });
             self.telemetry
                 .counter(&format!("shard.{}.strip{}.cycles", self.name, span.index))
-                .add(*strip_cycles);
+                .add(stats.cycles);
         }
 
         let (brams, bram_plan) = if self.cfg.codec == LineCodecKind::Raw {
@@ -306,14 +370,17 @@ impl ShardedFrameRunner {
             .counter(&format!("shard.{}.cycles", self.name))
             .add(cycles);
 
-        ShardedOutput {
+        Ok(ShardedOutput {
             image,
             strip_stats,
             cycles,
             peak_payload_occupancy: peak,
             brams,
             bram_plan,
-        }
+            stall_cycles,
+            t_escalations,
+            overflow_events,
+        })
     }
 }
 
@@ -369,7 +436,7 @@ mod tests {
         let pool = ThreadPool::new(2);
         let runner = ShardedFrameRunner::new(ArchConfig::new(4, 24).with_codec(LineCodecKind::Raw))
             .with_strips(5);
-        let got = runner.run(&img, &kernel, &pool);
+        let got = runner.run(&img, &kernel, &pool).unwrap();
         assert_eq!(got.image, direct_sliding_window(&img, &kernel));
         assert!(got.bram_plan.is_none());
         assert_eq!(got.strip_stats.len(), 5);
@@ -383,7 +450,7 @@ mod tests {
         let runner = ShardedFrameRunner::new(ArchConfig::new(4, 24))
             .with_strips(4)
             .with_named_telemetry(&t, "f0");
-        let out = runner.run(&img, &Tap::top_left(4), &pool);
+        let out = runner.run(&img, &Tap::top_left(4), &pool).unwrap();
         let r = t.report();
         assert_eq!(r.gauges["shard.f0.strips"], 4);
         assert_eq!(r.gauges["pool.workers"], 1);

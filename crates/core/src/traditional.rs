@@ -46,7 +46,7 @@ mod tests {
         let img = test_image(24, 16);
         let kernel = BoxFilter::new(4);
         let mut arch = TraditionalSlidingWindow::new(ArchConfig::new(4, 24));
-        let got = arch.process_frame(&img, &kernel);
+        let got = arch.process_frame(&img, &kernel).unwrap();
         let expect = direct_sliding_window(&img, &kernel);
         assert_eq!(got.image, expect);
         assert_eq!(got.stats.cycles, 24 * 16);
@@ -58,7 +58,7 @@ mod tests {
             let img = test_image(20, 20);
             let kernel = MedianFilter::new(n);
             let mut arch = TraditionalSlidingWindow::new(ArchConfig::new(n, 20));
-            let got = arch.process_frame(&img, &kernel);
+            let got = arch.process_frame(&img, &kernel).unwrap();
             let expect = direct_sliding_window(&img, &kernel);
             assert_eq!(got.image, expect, "window {n}");
         }
@@ -71,7 +71,7 @@ mod tests {
         let img = test_image(17, 11); // deliberately odd sizes
         let kernel = Tap::top_left(4);
         let mut arch = TraditionalSlidingWindow::new(ArchConfig::new(4, 17));
-        let got = arch.process_frame(&img, &kernel);
+        let got = arch.process_frame(&img, &kernel).unwrap();
         let expect = direct_sliding_window(&img, &kernel);
         assert_eq!(got.image, expect);
     }
@@ -82,7 +82,7 @@ mod tests {
         let img = test_image(5, 9);
         let kernel = BoxFilter::new(4);
         let mut arch = TraditionalSlidingWindow::new(ArchConfig::new(4, 5));
-        let got = arch.process_frame(&img, &kernel);
+        let got = arch.process_frame(&img, &kernel).unwrap();
         assert_eq!(got.image, direct_sliding_window(&img, &kernel));
     }
 
@@ -92,8 +92,8 @@ mod tests {
         let mut arch = TraditionalSlidingWindow::new(ArchConfig::new(4, 16));
         let a = test_image(16, 12);
         let b = ImageU8::from_fn(16, 12, |x, y| (x * y % 251) as u8);
-        let first = arch.process_frame(&a, &kernel);
-        let second = arch.process_frame(&b, &kernel);
+        let first = arch.process_frame(&a, &kernel).unwrap();
+        let second = arch.process_frame(&b, &kernel).unwrap();
         assert_eq!(second.image, direct_sliding_window(&b, &kernel));
         assert_eq!(first.image, direct_sliding_window(&a, &kernel));
     }
@@ -104,7 +104,7 @@ mod tests {
         let img = test_image(24, 16);
         let cfg = ArchConfig::new(4, 24);
         let mut arch = TraditionalSlidingWindow::new(cfg).with_named_telemetry(&t, "base");
-        let out = arch.process_frame(&img, &BoxFilter::new(4));
+        let out = arch.process_frame(&img, &BoxFilter::new(4)).unwrap();
         let r = t.report();
         assert_eq!(r.counters["stage.base.cycles"], out.stats.cycles);
         // Steady state fills every FIFO: occupancy equals the raw span.
@@ -123,7 +123,7 @@ mod tests {
         let arch = TraditionalSlidingWindow::new(ArchConfig::new(8, 512));
         let img = test_image(512, 16);
         let mut arch2 = arch.clone();
-        let out = arch2.process_frame(&img, &BoxFilter::new(8));
+        let out = arch2.process_frame(&img, &BoxFilter::new(8)).unwrap();
         assert_eq!(out.stats.raw_buffer_bits, (512 - 8) * 7 * 8);
         // The raw codec saves nothing by construction.
         assert_eq!(out.stats.peak_total_occupancy, out.stats.raw_buffer_bits);

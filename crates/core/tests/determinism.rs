@@ -98,6 +98,7 @@ fn run_sharded(
     ShardedFrameRunner::new(cfg)
         .with_strips(strips)
         .run(img, kernel, &pool)
+        .unwrap()
 }
 
 /// Byte-level equality of everything a sharded run reports that feeds the
@@ -178,8 +179,12 @@ fn every_kernel_lossless_sharded_matches_unsharded_sequential() {
     let codec = codec_under_test();
     for kernel in every_kernel() {
         let direct = direct_sliding_window(&img, kernel.as_ref());
-        let trad = TraditionalSlidingWindow::new(cfg).process_frame(&img, kernel.as_ref());
-        let comp = CompressedSlidingWindow::new(cfg).process_frame(&img, kernel.as_ref());
+        let trad = TraditionalSlidingWindow::new(cfg)
+            .process_frame(&img, kernel.as_ref())
+            .unwrap();
+        let comp = CompressedSlidingWindow::new(cfg)
+            .process_frame(&img, kernel.as_ref())
+            .unwrap();
         assert_eq!(trad.image, direct, "{}", kernel.name());
         assert_eq!(comp.image, direct, "{}", kernel.name());
         for jobs in jobs_grid() {
@@ -288,13 +293,13 @@ fn pipeline_run_sharded_is_jobs_invariant_and_lossless_exact() {
     };
     // Lossless sharded pipeline equals the unsharded pipeline exactly.
     let mut seq = stages();
-    let expect = seq.run(&img);
+    let expect = seq.run(&img).unwrap();
     let pool1 = ThreadPool::new(1);
-    let reference = stages().run_sharded(&img, &pool1, 4);
+    let reference = stages().run_sharded(&img, &pool1, 4).unwrap();
     assert_eq!(reference.image, expect.image, "lossless pipeline output");
     for jobs in jobs_grid() {
         let pool = ThreadPool::new(jobs);
-        let got = stages().run_sharded(&img, &pool, 4);
+        let got = stages().run_sharded(&img, &pool, 4).unwrap();
         assert_eq!(got.image.pixels(), reference.image.pixels(), "jobs={jobs}");
         assert_eq!(got.stage_brams, reference.stage_brams, "jobs={jobs}");
         assert_eq!(got.cycles, reference.cycles, "jobs={jobs}");

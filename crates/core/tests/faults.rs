@@ -1,0 +1,206 @@
+//! Fault-injection matrix (ISSUE 4): for every codec and every fault site,
+//! seeded corruption of the packed stream must either be **detected** (a
+//! typed [`SwError`]) or **bounded** (the frame reconstructs with a finite
+//! MSE) — a panic is never an acceptable outcome. The degrade overflow
+//! policy is additionally pinned byte-identical across pool sizes.
+
+use sw_core::arch::build_arch;
+use sw_core::codec::LineCodecKind;
+use sw_core::config::ArchConfig;
+use sw_core::error::SwError;
+use sw_core::faults::{FaultInjector, FaultSite};
+use sw_core::kernels::{BoxFilter, Tap};
+use sw_core::memory_unit::{MemoryUnitConfig, OverflowPolicy};
+use sw_core::shard::ShardedFrameRunner;
+use sw_image::{mse, ImageU8, ScenePreset};
+use sw_pool::ThreadPool;
+
+const N: usize = 8;
+const W: usize = 64;
+const H: usize = 48;
+
+fn scene() -> ImageU8 {
+    ScenePreset::ALL[0].render(W, H)
+}
+
+fn codecs() -> [LineCodecKind; 4] {
+    [
+        LineCodecKind::Haar,
+        LineCodecKind::Haar2,
+        LineCodecKind::Legall,
+        LineCodecKind::Locoi,
+    ]
+}
+
+/// Every codec × encoded-stream fault site × a spread of seeds: the run
+/// returns a typed error or a finite reconstruction error, never panics.
+#[test]
+fn encoded_stream_faults_are_detected_or_bounded() {
+    let img = scene();
+    let sites = [FaultSite::Payload, FaultSite::Bitmap, FaultSite::Nbits];
+    for codec in codecs() {
+        for site in sites {
+            for (index, bit) in [(0u64, 0u64), (3, 5), (11, 17), (40, 2)] {
+                let cfg = ArchConfig::new(N, W).with_codec(codec);
+                let mut arch = build_arch(&cfg).unwrap();
+                arch.set_fault_injector(Some(FaultInjector::flip(site, index, bit)));
+                match arch.process_frame(&img, &BoxFilter::new(N)) {
+                    Ok(out) => {
+                        let crop = img.crop(0, 0, out.image.width(), out.image.height());
+                        let e = mse(&out.image, &crop);
+                        assert!(
+                            e.is_finite(),
+                            "{} {} idx {index} bit {bit}: unbounded MSE",
+                            codec.name(),
+                            site.name()
+                        );
+                    }
+                    Err(SwError::Decode { .. }) | Err(SwError::Fifo(_)) => {}
+                    Err(other) => panic!(
+                        "{} {} idx {index} bit {bit}: unexpected error class: {other}",
+                        codec.name(),
+                        site.name()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Seeded (pseudo-random site) injection is deterministic: the same seed
+/// produces the same outcome — same error or same output bytes.
+#[test]
+fn seeded_faults_are_reproducible() {
+    let img = scene();
+    for codec in codecs() {
+        for seed in [1u64, 7, 42, 1337] {
+            let run = || {
+                let cfg = ArchConfig::new(N, W).with_codec(codec);
+                let mut arch = build_arch(&cfg).unwrap();
+                arch.set_fault_injector(Some(FaultInjector::seeded(seed)));
+                arch.process_frame(&img, &BoxFilter::new(N))
+            };
+            match (run(), run()) {
+                (Ok(a), Ok(b)) => assert_eq!(
+                    a.image,
+                    b.image,
+                    "{} seed {seed}: output differs between runs",
+                    codec.name()
+                ),
+                (Err(a), Err(b)) => assert_eq!(
+                    a.to_string(),
+                    b.to_string(),
+                    "{} seed {seed}: error differs between runs",
+                    codec.name()
+                ),
+                _ => panic!("{} seed {seed}: outcome class differs", codec.name()),
+            }
+        }
+    }
+}
+
+/// Forced FIFO overflow and underflow faults surface as typed errors
+/// through a configured memory unit — never as panics. A forced overflow
+/// that lands on an empty-payload group corrupts nothing (no packed words
+/// exist), so detection is asserted over a spread of injection points.
+#[test]
+fn forced_fifo_faults_surface_typed_errors() {
+    let img = scene();
+    for codec in codecs() {
+        for site in [FaultSite::FifoOverflow, FaultSite::FifoUnderflow] {
+            let mut detected = 0usize;
+            for index in [2u64, 5, 9, 23, 57] {
+                let cfg = ArchConfig::new(N, W).with_codec(codec);
+                let mut arch = build_arch(&cfg).unwrap();
+                // Ample budget: only the forced fault can fail the run.
+                arch.set_memory_unit(Some(MemoryUnitConfig::new(1 << 24, OverflowPolicy::Fail)));
+                arch.set_fault_injector(Some(FaultInjector::flip(site, index, 0)));
+                match arch.process_frame(&img, &BoxFilter::new(N)) {
+                    Ok(out) => {
+                        // Undetected: the reconstruction must still be bounded.
+                        let crop = img.crop(0, 0, out.image.width(), out.image.height());
+                        assert!(mse(&out.image, &crop).is_finite());
+                    }
+                    Err(SwError::Fifo(_)) | Err(SwError::Decode { .. }) => detected += 1,
+                    Err(other) => panic!(
+                        "{} {} idx {index}: unexpected error class: {other}",
+                        codec.name(),
+                        site.name()
+                    ),
+                }
+            }
+            assert!(
+                detected > 0,
+                "{} {}: no injection point was detected",
+                codec.name(),
+                site.name()
+            );
+        }
+    }
+}
+
+/// `--overflow-policy degrade` determinism: a starved budget that forces
+/// threshold escalation produces byte-identical frames and counters for
+/// jobs = 1 and jobs = max.
+#[test]
+fn degrade_policy_is_jobs_invariant() {
+    let img = scene();
+    let jobs_max = sw_pool::default_jobs().max(4);
+    let run = |jobs: usize| {
+        let cfg = ArchConfig::new(N, W);
+        // Starve the budget to ~a quarter of what the lossless stream
+        // needs so every strip escalates.
+        let mu = MemoryUnitConfig::new(2048, OverflowPolicy::DegradeLossy);
+        let pool = ThreadPool::new(jobs);
+        ShardedFrameRunner::new(cfg)
+            .with_strips(4)
+            .with_memory_unit(mu)
+            .run(&img, &Tap::top_left(N), &pool)
+            .unwrap()
+    };
+    let reference = run(1);
+    assert!(
+        reference.t_escalations > 0,
+        "budget was not starved enough to escalate"
+    );
+    let got = run(jobs_max);
+    assert_eq!(
+        got.image, reference.image,
+        "degrade output must be jobs-invariant"
+    );
+    assert_eq!(got.t_escalations, reference.t_escalations);
+    assert_eq!(got.stall_cycles, reference.stall_cycles);
+    assert_eq!(got.overflow_events, reference.overflow_events);
+    assert_eq!(got.cycles, reference.cycles);
+    assert_eq!(got.peak_payload_occupancy, reference.peak_payload_occupancy);
+}
+
+/// The stall policy never alters the delivered frame, only the cycle
+/// accounting — and it too is jobs-invariant.
+#[test]
+fn stall_policy_keeps_output_and_is_jobs_invariant() {
+    let img = scene();
+    let run = |jobs: usize, mu: Option<MemoryUnitConfig>| {
+        let cfg = ArchConfig::new(N, W);
+        let pool = ThreadPool::new(jobs);
+        let mut runner = ShardedFrameRunner::new(cfg).with_strips(4);
+        if let Some(mu) = mu {
+            runner = runner.with_memory_unit(mu);
+        }
+        runner.run(&img, &Tap::top_left(N), &pool).unwrap()
+    };
+    let baseline = run(1, None);
+    let mu = MemoryUnitConfig::new(512, OverflowPolicy::Stall);
+    let stalled = run(1, Some(mu));
+    assert_eq!(
+        stalled.image, baseline.image,
+        "stall must not change pixels"
+    );
+    assert!(
+        stalled.stall_cycles > 0,
+        "budget was not starved enough to stall"
+    );
+    let stalled_par = run(sw_pool::default_jobs().max(4), Some(mu));
+    assert_eq!(stalled_par.image, stalled.image);
+    assert_eq!(stalled_par.stall_cycles, stalled.stall_cycles);
+}

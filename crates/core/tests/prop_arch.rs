@@ -47,8 +47,8 @@ proptest! {
         let cfg = ArchConfig::new(n, w);
         let mut comp = CompressedSlidingWindow::new(cfg);
         let mut trad = TraditionalSlidingWindow::new(cfg);
-        let a = comp.process_frame(&img, &kernel);
-        let b = trad.process_frame(&img, &kernel);
+        let a = comp.process_frame(&img, &kernel).unwrap();
+        let b = trad.process_frame(&img, &kernel).unwrap();
         let c = direct_sliding_window(&img, &kernel);
         prop_assert_eq!(&a.image, &b.image);
         prop_assert_eq!(&b.image, &c);
@@ -65,7 +65,7 @@ proptest! {
         let img = image_from_seed(w, h, seed, smooth);
         let kernel = Tap::top_left(n);
         let mut comp = CompressedSlidingWindow::new(ArchConfig::new(n, w));
-        let got = comp.process_frame(&img, &kernel);
+        let got = comp.process_frame(&img, &kernel).unwrap();
         prop_assert_eq!(got.image, direct_sliding_window(&img, &kernel));
     }
 
@@ -79,7 +79,7 @@ proptest! {
         for t in [0i16, 2, 4, 6, 10] {
             let cfg = ArchConfig::new(n, w).with_threshold(t);
             let mut comp = CompressedSlidingWindow::new(cfg);
-            let got = comp.process_frame(&img, &BoxFilter::new(n));
+            let got = comp.process_frame(&img, &BoxFilter::new(n)).unwrap();
             prop_assert!(
                 got.stats.peak_payload_occupancy <= prev,
                 "occupancy must be monotone non-increasing in T"
@@ -96,7 +96,7 @@ proptest! {
         let run = |policy| {
             let cfg = ArchConfig::new(n, w).with_threshold(t).with_policy(policy);
             let mut comp = CompressedSlidingWindow::new(cfg);
-            comp.process_frame(&img, &BoxFilter::new(n))
+            comp.process_frame(&img, &BoxFilter::new(n)).unwrap()
                 .stats
                 .peak_payload_occupancy
         };
@@ -112,7 +112,7 @@ proptest! {
         let cfg = ArchConfig::new(n, w);
         let analytic = sw_core::analysis::analyze_frame(&img, &cfg);
         let mut comp = CompressedSlidingWindow::new(cfg);
-        let streaming = comp.process_frame(&img, &BoxFilter::new(n));
+        let streaming = comp.process_frame(&img, &BoxFilter::new(n)).unwrap();
         let a = analytic.saving_pct();
         let s = streaming.stats.memory_saving_pct();
         prop_assert!(
@@ -153,7 +153,7 @@ proptest! {
         let mut func = CompressedSlidingWindow::new(cfg);
         prop_assert_eq!(
             rtl.process_frame(&img, &kernel).image,
-            func.process_frame(&img, &kernel).image
+            func.process_frame(&img, &kernel).unwrap().image
         );
     }
 
@@ -172,7 +172,7 @@ proptest! {
         let kernel = Tap::top_left(n);
         let mut two = TwoLevelCompressedSlidingWindow::new(ArchConfig::new(n, w));
         prop_assert_eq!(
-            two.process_frame(&img, &kernel).image,
+            two.process_frame(&img, &kernel).unwrap().image,
             direct_sliding_window(&img, &kernel)
         );
     }

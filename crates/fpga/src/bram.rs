@@ -96,11 +96,14 @@ impl Bram18Config {
 /// the word across BRAMs, then the narrowest such aspect — matching the
 /// paper's picks (window 8 → `2k×9`, 16 → `1k×18`, 32 → `512×36`).
 pub fn best_config(width_bits: u32, depth_entries: u32) -> (Bram18Config, u32) {
-    Bram18Config::ALL
+    let best = Bram18Config::ALL
         .iter()
         .map(|cfg| (*cfg, cfg.brams_for(width_bits, depth_entries)))
-        .min_by_key(|&(cfg, count)| (count, cfg.width < width_bits, cfg.width))
-        .expect("config list is non-empty")
+        .min_by_key(|&(cfg, count)| (count, cfg.width < width_bits, cfg.width));
+    let Some(best) = best else {
+        unreachable!("config list is non-empty")
+    };
+    best
 }
 
 /// BRAM18 count by raw bit capacity only (`ceil(bits / 18 Kb)`).

@@ -135,9 +135,10 @@ fn interp_anchors(values: &[f64], n: usize) -> f64 {
     } else if x >= xs[xs.len() - 1] {
         xs.len() - 2
     } else {
+        // x > xs[0] here, so a position always exists.
         xs.iter()
             .rposition(|&xi| xi <= x)
-            .unwrap()
+            .unwrap_or(0)
             .min(xs.len() - 2)
     };
     let t = (x - xs[seg]) / (xs[seg + 1] - xs[seg]);

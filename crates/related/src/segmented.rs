@@ -100,7 +100,9 @@ impl SegmentedPlan {
             if seg_w > n {
                 let cfg = ArchConfig::new(n, seg_w);
                 let mut arch = TraditionalSlidingWindow::new(cfg);
-                let sub = arch.process_frame(&segment, kernel);
+                let sub = arch
+                    .process_frame(&segment, kernel)
+                    .expect("segment geometry is validated above");
                 for y in 0..sub.image.height() {
                     for x in 0..sub.image.width().min(self.stride()) {
                         if x0 + x < out_w {

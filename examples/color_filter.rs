@@ -41,7 +41,9 @@ fn main() {
     let cfg = ArchConfig::new(n, img.width());
     let mut arch = ColorCompressedSlidingWindow::new(cfg);
     let kernel = Convolution::sharpen(n, 0.8);
-    let out = arch.process_frame(&img, &kernel);
+    let out = arch
+        .process_frame(&img, &kernel)
+        .expect("frame matches config");
 
     println!(
         "per-channel peak occupancy: {:?} bits",

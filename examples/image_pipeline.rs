@@ -30,8 +30,8 @@ fn main() {
     let mut traditional = stages(Stage::traditional);
     let mut compressed = stages(|k| Stage::compressed(k, 0));
 
-    let t = traditional.run(&img);
-    let c = compressed.run(&img);
+    let t = traditional.run(&img).expect("pipeline geometry is valid");
+    let c = compressed.run(&img).expect("pipeline geometry is valid");
 
     assert_eq!(
         t.image, c.image,
@@ -52,7 +52,7 @@ fn main() {
 
     // A lossy variant for BRAM-starved devices: threshold 4 on every stage.
     let mut lossy = stages(|k| Stage::compressed(k, 4));
-    let l = lossy.run(&img);
+    let l = lossy.run(&img).expect("pipeline geometry is valid");
     let err = mse(&t.image, &l.image);
     println!(
         "\nlossy (T=4) pipeline: {} BRAMs, output MSE {err:.2} vs lossless",

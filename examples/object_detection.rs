@@ -77,7 +77,9 @@ fn main() {
     let kernel = TemplateSad::new(N, tpl.clone());
     let cfg = ArchConfig::new(N, scene.width());
     let mut arch = CompressedSlidingWindow::new(cfg);
-    let out = arch.process_frame(&scene, &kernel);
+    let out = arch
+        .process_frame(&scene, &kernel)
+        .expect("frame matches config");
     let (x, y, score) = best_match(&out.image);
     println!("full-res match at ({x},{y}) score {score} (planted at (300,120))");
     assert_eq!((x, y), (300, 120), "detector must find the planted object");
@@ -106,7 +108,9 @@ fn main() {
     let half = downscale2(&big_scene);
     let cfg2 = ArchConfig::new(N, half.width());
     let mut arch2 = CompressedSlidingWindow::new(cfg2);
-    let out2 = arch2.process_frame(&half, &kernel);
+    let out2 = arch2
+        .process_frame(&half, &kernel)
+        .expect("frame matches config");
     let (x2, y2, score2) = best_match(&out2.image);
     println!(
         "half-res match at ({x2},{y2}) score {score2} -> full-res object at ({}, {})",
@@ -127,7 +131,9 @@ fn main() {
             tpl[(r / 2) * N + c / 2]
         })
         .collect();
-    let out64 = arch64.process_frame(&big_scene, &TemplateSad::new(2 * N, tpl64));
+    let out64 = arch64
+        .process_frame(&big_scene, &TemplateSad::new(2 * N, tpl64))
+        .expect("frame matches config");
     let p64 = plan(
         2 * N,
         big_scene.width(),

@@ -18,11 +18,15 @@ fn main() {
 
     // Traditional raw line buffers.
     let mut trad = TraditionalSlidingWindow::new(cfg);
-    let t_out = trad.process_frame(&img, &kernel);
+    let t_out = trad
+        .process_frame(&img, &kernel)
+        .expect("frame matches config");
 
     // Compressed line buffers.
     let mut comp = CompressedSlidingWindow::new(cfg);
-    let c_out = comp.process_frame(&img, &kernel);
+    let c_out = comp
+        .process_frame(&img, &kernel)
+        .expect("frame matches config");
 
     assert_eq!(
         t_out.image, c_out.image,

@@ -40,6 +40,7 @@ fn main() {
     let mut probe = CompressedSlidingWindow::new(probe_cfg);
     let typical = probe
         .process_frame(&pan_frame(0), &GaussianFilter::new(N))
+        .expect("frame matches config")
         .stats
         .peak_payload_occupancy;
     // Provision tightly: 15% headroom over a typical frame. (A BRAM-granular
@@ -73,7 +74,9 @@ fn main() {
         let t = controller.threshold();
         let cfg = ArchConfig::new(N, W).with_threshold(t);
         let mut arch = CompressedSlidingWindow::new(cfg).with_capacity_bits(budget);
-        let out = arch.process_frame(&frame, &kernel);
+        let out = arch
+            .process_frame(&frame, &kernel)
+            .expect("frame matches config");
         let occ = out.stats.peak_payload_occupancy;
         let action = controller.observe(occ);
         if action == Adjustment::SaturatedOverBudget {

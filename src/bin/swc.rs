@@ -21,10 +21,12 @@
 //! N-thread pool. The strip decomposition is fixed (8 strips), so every
 //! number printed is identical for any `N` — see `tests/determinism.rs`.
 
-use modified_sliding_window::core::analysis::{analyze_frame, analyze_frame_par};
+use modified_sliding_window::core::analysis::{analyze_frame, analyze_frame_par, measure_frame};
 use modified_sliding_window::core::arch::build_arch;
 use modified_sliding_window::core::compressed::CompressedSlidingWindow;
+use modified_sliding_window::core::faults::FaultInjector;
 use modified_sliding_window::core::kernels::Tap;
+use modified_sliding_window::core::memory_unit::{MemoryUnitConfig, OverflowPolicy};
 use modified_sliding_window::core::shard::{ShardedFrameRunner, DEFAULT_STRIPS};
 use modified_sliding_window::image::pgm::{read_pgm, write_pgm};
 use modified_sliding_window::prelude::*;
@@ -50,8 +52,12 @@ const USAGE: &str = "\
 usage:
   swc analyze <image.pgm> --window N [--threshold T] [--policy details|all]
               [--codec C] [--metrics-out FILE.json] [--trace FILE.jsonl] [--jobs N]
+              [--overflow-policy fail|stall|degrade] [--budget-fraction F]
+              [--fault-seed N]
   swc plan    <image.pgm> --window N [--threshold T]
   swc sweep   <image.pgm> --window N [--codec C] [--metrics-out FILE.json] [--jobs N]
+              [--overflow-policy fail|stall|degrade] [--budget-fraction F]
+              [--fault-seed N]
   swc scene   <name|index> <out.pgm> [--size WxH]
 
 The image must be a binary PGM (P5). `swc scene` writes one of the built-in
@@ -68,7 +74,16 @@ distribution) as JSON; --trace writes the cycle-domain event trace as JSON
 lines.
 
 --jobs N processes the frame as 8 row strips (with window-height halos) on
-an N-thread work-stealing pool; output is byte-identical for any N.";
+an N-thread work-stealing pool; output is byte-identical for any N.
+
+--overflow-policy runs the datapath through a capacity-enforced memory
+unit provisioned from the planner's structured BRAM budget (scaled by
+--budget-fraction, default 1.0): 'fail' exits with a typed overflow
+error, 'stall' charges backpressure cycles, 'degrade' escalates the
+threshold T until the stream fits. --fault-seed N injects deterministic
+seeded faults (payload/BitMap/NBits bit-flips); detected corruption
+exits with a decode error, undetected corruption is reported as
+reconstruction MSE.";
 
 struct Opts {
     window: usize,
@@ -79,12 +94,21 @@ struct Opts {
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     jobs: Option<usize>,
+    overflow_policy: Option<OverflowPolicy>,
+    budget_fraction: f64,
+    fault_seed: Option<u64>,
 }
 
 impl Opts {
     /// Whether any telemetry output was requested.
     fn wants_telemetry(&self) -> bool {
         self.metrics_out.is_some() || self.trace_out.is_some()
+    }
+
+    /// Whether a memory-unit policy or fault run was requested (either
+    /// forces the real datapath to run).
+    fn wants_runtime(&self) -> bool {
+        self.overflow_policy.is_some() || self.fault_seed.is_some()
     }
 }
 
@@ -98,6 +122,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         metrics_out: None,
         trace_out: None,
         jobs: None,
+        overflow_policy: None,
+        budget_fraction: 1.0,
+        fault_seed: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -140,6 +167,26 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--jobs" => {
                 o.jobs = Some(parse_jobs(next(args, &mut i)?)?);
             }
+            "--overflow-policy" => {
+                let v = next(args, &mut i)?;
+                o.overflow_policy = Some(OverflowPolicy::parse(v).ok_or_else(|| {
+                    format!("unknown overflow policy '{v}' (fail, stall, degrade)")
+                })?);
+            }
+            "--budget-fraction" => {
+                let v = next(args, &mut i)?;
+                o.budget_fraction = v.parse().map_err(|_| "bad --budget-fraction")?;
+                if !(o.budget_fraction > 0.0 && o.budget_fraction.is_finite()) {
+                    return Err("--budget-fraction must be a positive number".into());
+                }
+            }
+            "--fault-seed" => {
+                o.fault_seed = Some(
+                    next(args, &mut i)?
+                        .parse()
+                        .map_err(|_| "bad --fault-seed")?,
+                );
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
@@ -171,6 +218,7 @@ fn run(args: &[String]) -> Result<(), String> {
             require_window(&o)?;
             reject_telemetry(&o, "plan")?;
             reject_jobs(&o, "plan")?;
+            reject_runtime(&o, "plan")?;
             plan_cmd(&load(path)?, &o)
         }
         "sweep" => {
@@ -185,6 +233,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let o = parse_opts(&args[3..])?;
             reject_telemetry(&o, "scene")?;
             reject_jobs(&o, "scene")?;
+            reject_runtime(&o, "scene")?;
             scene(which, out, &o)
         }
         other => Err(format!("unknown command '{other}'")),
@@ -207,6 +256,55 @@ fn reject_jobs(o: &Opts, cmd: &str) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+fn reject_runtime(o: &Opts, cmd: &str) -> Result<(), String> {
+    if o.wants_runtime() {
+        return Err(format!(
+            "--overflow-policy/--fault-seed are not supported by '{cmd}' (use analyze or sweep)"
+        ));
+    }
+    Ok(())
+}
+
+/// Provision a memory unit for the run: the planner's structured BRAM
+/// budget for this frame (measured losslessly on the selected codec's
+/// datapath), scaled by `--budget-fraction`.
+fn memory_unit_for(img: &ImageU8, o: &Opts) -> Result<Option<MemoryUnitConfig>, String> {
+    let Some(policy) = o.overflow_policy else {
+        return Ok(None);
+    };
+    let probe = config(img, o)?.with_threshold(0);
+    let stats = measure_frame(img, &probe).map_err(|e| e.to_string())?;
+    let p = plan(
+        o.window,
+        img.width(),
+        stats.peak_payload_occupancy,
+        MgmtAccounting::Structured,
+    );
+    let mut mu = MemoryUnitConfig::from_plan(&p, policy);
+    if o.budget_fraction != 1.0 {
+        mu.capacity_bits = ((mu.capacity_bits as f64 * o.budget_fraction) as u64).max(1);
+    }
+    Ok(Some(mu))
+}
+
+/// Print the memory-unit policy outcome for one datapath run.
+fn print_policy_outcome(
+    policy: OverflowPolicy,
+    mu: MemoryUnitConfig,
+    stalls: u64,
+    escalations: u64,
+    overflows: usize,
+) {
+    println!(
+        "overflow policy '{}':  budget {} bits  stalls {}  T escalations {}  overflow events {}",
+        policy.name(),
+        mu.capacity_bits,
+        stalls,
+        escalations,
+        overflows
+    );
 }
 
 fn require_window(o: &Opts) -> Result<(), String> {
@@ -264,29 +362,65 @@ fn analyze(img: &ImageU8, o: &Opts) -> Result<(), String> {
         a.worst_payload_occupancy,
         a.worst_total_occupancy() - a.worst_payload_occupancy
     );
-    if o.threshold > 0 || o.wants_telemetry() {
+    if o.threshold > 0 || o.wants_telemetry() || o.wants_runtime() {
         // Run the actual datapath: for lossy quality numbers, for
-        // telemetry, or both (most-recirculated tap kernel).
+        // telemetry, for a policy or fault run, or any combination
+        // (most-recirculated tap kernel).
         let tele = if o.wants_telemetry() {
             TelemetryHandle::new()
         } else {
             TelemetryHandle::disabled()
         };
+        let mu = memory_unit_for(img, o)?;
+        let faults = o.fault_seed.map(FaultInjector::seeded);
         let kernel = Tap::top_left(o.window);
-        let out_image = match &pool {
+        let (out_image, escalations) = match &pool {
             Some(p) => {
-                ShardedFrameRunner::new(cfg)
+                let mut runner = ShardedFrameRunner::new(cfg)
                     .with_strips(DEFAULT_STRIPS)
-                    .with_named_telemetry(&tele, "analyze")
-                    .run(img, &kernel, p)
-                    .image
+                    .with_named_telemetry(&tele, "analyze");
+                if let Some(mu) = mu {
+                    runner = runner.with_memory_unit(mu);
+                }
+                if let Some(f) = faults.clone() {
+                    runner = runner.with_fault_injector(f);
+                }
+                let out = runner.run(img, &kernel, p).map_err(|e| e.to_string())?;
+                if let (Some(policy), Some(mu)) = (o.overflow_policy, mu) {
+                    print_policy_outcome(
+                        policy,
+                        mu,
+                        out.stall_cycles,
+                        out.t_escalations,
+                        out.overflow_events,
+                    );
+                }
+                (out.image, out.t_escalations)
             }
             None => {
                 let mut arch = CompressedSlidingWindow::new(cfg).with_telemetry(&tele);
-                arch.process_frame(img, &kernel).image
+                if let Some(mu) = mu {
+                    arch = arch.with_memory_unit(mu);
+                }
+                if let Some(f) = faults.clone() {
+                    arch = arch.with_fault_injector(f);
+                }
+                let out = arch
+                    .process_frame(img, &kernel)
+                    .map_err(|e| e.to_string())?;
+                if let (Some(policy), Some(mu)) = (o.overflow_policy, mu) {
+                    print_policy_outcome(
+                        policy,
+                        mu,
+                        out.stats.stall_cycles,
+                        out.stats.t_escalations,
+                        out.stats.overflow_events,
+                    );
+                }
+                (out.image, out.stats.t_escalations)
             }
         };
-        if o.threshold > 0 {
+        if o.threshold > 0 || escalations > 0 || faults.is_some() {
             let crop = img.crop(0, 0, out_image.width(), out_image.height());
             println!(
                 "delivered quality:    MSE {:.2}  PSNR {:.1} dB (compounded, worst window row)",
@@ -318,16 +452,35 @@ fn analyze_codec(img: &ImageU8, o: &Opts) -> Result<(), String> {
         o.codec.name()
     );
     let kernel = Tap::top_left(o.window);
-    let mut arch = build_arch(&cfg);
+    let mu = memory_unit_for(img, o)?;
+    let faults = o.fault_seed.map(FaultInjector::seeded);
+    let mut arch = build_arch(&cfg).map_err(|e| e.to_string())?;
     arch.bind_telemetry(&tele, "analyze");
-    let out = arch.process_frame(img, &kernel);
+    if mu.is_some() {
+        arch.set_memory_unit(mu);
+    }
+    if faults.is_some() {
+        arch.set_fault_injector(faults.clone());
+    }
+    let out = arch
+        .process_frame(img, &kernel)
+        .map_err(|e| e.to_string())?;
     let s = out.stats;
     println!("memory saving (Eq 5): {:.1}%", s.memory_saving_pct());
     println!(
         "worst-case occupancy: {} bits payload + {} bits mgmt",
         s.peak_payload_occupancy, s.management_bits
     );
-    if o.threshold > 0 && o.codec.is_lossy_capable() {
+    if let (Some(policy), Some(mu)) = (o.overflow_policy, mu) {
+        print_policy_outcome(
+            policy,
+            mu,
+            s.stall_cycles,
+            s.t_escalations,
+            s.overflow_events,
+        );
+    }
+    if (o.threshold > 0 && o.codec.is_lossy_capable()) || s.t_escalations > 0 || faults.is_some() {
         let crop = img.crop(0, 0, out.image.width(), out.image.height());
         println!(
             "delivered quality:    MSE {:.2}  PSNR {:.1} dB (compounded, worst window row)",
@@ -404,33 +557,59 @@ fn sweep(img: &ImageU8, o: &Opts) -> Result<(), String> {
         TelemetryHandle::disabled()
     };
     let pool = o.jobs.map(ThreadPool::new);
+    let mu = memory_unit_for(img, o)?;
+    let faults = o.fault_seed.map(FaultInjector::seeded);
     println!("T   saving%   worst payload bits   delivered MSE");
     for t in [0i16, 2, 4, 6, 8] {
         let cfg = config(img, o)?.with_threshold(t);
         if o.codec != LineCodecKind::Haar {
-            sweep_codec_row(img, o, &cfg, t, &tele);
+            sweep_codec_row(img, o, &cfg, t, &tele, mu, &faults)?;
             continue;
         }
         let a = match &pool {
             Some(p) => analyze_frame_par(img, &cfg, p),
             None => analyze_frame(img, &cfg),
         };
-        let e = if t == 0 && !o.wants_telemetry() {
+        let mut outcome = None;
+        let e = if t == 0 && !o.wants_telemetry() && !o.wants_runtime() {
             0.0
         } else {
             // Each threshold reports as its own stage in the telemetry.
             let out_image = match &pool {
                 Some(p) => {
-                    ShardedFrameRunner::new(cfg)
+                    let mut runner = ShardedFrameRunner::new(cfg)
                         .with_strips(DEFAULT_STRIPS)
-                        .with_named_telemetry(&tele, &format!("t{t}"))
+                        .with_named_telemetry(&tele, &format!("t{t}"));
+                    if let Some(mu) = mu {
+                        runner = runner.with_memory_unit(mu);
+                    }
+                    if let Some(f) = faults.clone() {
+                        runner = runner.with_fault_injector(f);
+                    }
+                    let out = runner
                         .run(img, &Tap::top_left(o.window), p)
-                        .image
+                        .map_err(|e| e.to_string())?;
+                    outcome = Some((out.stall_cycles, out.t_escalations, out.overflow_events));
+                    out.image
                 }
                 None => {
                     let mut arch = CompressedSlidingWindow::new(cfg)
                         .with_named_telemetry(&tele, &format!("t{t}"));
-                    arch.process_frame(img, &Tap::top_left(o.window)).image
+                    if let Some(mu) = mu {
+                        arch = arch.with_memory_unit(mu);
+                    }
+                    if let Some(f) = faults.clone() {
+                        arch = arch.with_fault_injector(f);
+                    }
+                    let out = arch
+                        .process_frame(img, &Tap::top_left(o.window))
+                        .map_err(|e| e.to_string())?;
+                    outcome = Some((
+                        out.stats.stall_cycles,
+                        out.stats.t_escalations,
+                        out.stats.overflow_events,
+                    ));
+                    out.image
                 }
             };
             let crop = img.crop(0, 0, out_image.width(), out_image.height());
@@ -441,6 +620,9 @@ fn sweep(img: &ImageU8, o: &Opts) -> Result<(), String> {
             a.saving_pct(),
             a.worst_payload_occupancy
         );
+        if let (Some(policy), Some(mu), Some((st, esc, ovf))) = (o.overflow_policy, mu, outcome) {
+            print_policy_outcome(policy, mu, st, esc, ovf);
+        }
     }
     write_telemetry(&tele, o)
 }
@@ -448,21 +630,49 @@ fn sweep(img: &ImageU8, o: &Opts) -> Result<(), String> {
 /// One `swc sweep` table row for a non-default codec, measured on the real
 /// datapath (stats are strip-count independent; the sequential run is the
 /// reference the sharded runner is tested against).
-fn sweep_codec_row(img: &ImageU8, o: &Opts, cfg: &ArchConfig, t: i16, tele: &TelemetryHandle) {
-    let mut arch = build_arch(cfg);
+fn sweep_codec_row(
+    img: &ImageU8,
+    o: &Opts,
+    cfg: &ArchConfig,
+    t: i16,
+    tele: &TelemetryHandle,
+    mu: Option<MemoryUnitConfig>,
+    faults: &Option<FaultInjector>,
+) -> Result<(), String> {
+    let mut arch = build_arch(cfg).map_err(|e| e.to_string())?;
     arch.bind_telemetry(tele, &format!("t{t}"));
-    let out = arch.process_frame(img, &Tap::top_left(o.window));
-    let e = if t > 0 && o.codec.is_lossy_capable() {
-        let crop = img.crop(0, 0, out.image.width(), out.image.height());
-        mse(&out.image, &crop)
-    } else {
-        0.0
-    };
+    if mu.is_some() {
+        arch.set_memory_unit(mu);
+    }
+    if faults.is_some() {
+        arch.set_fault_injector(faults.clone());
+    }
+    let out = arch
+        .process_frame(img, &Tap::top_left(o.window))
+        .map_err(|e| e.to_string())?;
+    let e =
+        if (t > 0 && o.codec.is_lossy_capable()) || out.stats.t_escalations > 0 || faults.is_some()
+        {
+            let crop = img.crop(0, 0, out.image.width(), out.image.height());
+            mse(&out.image, &crop)
+        } else {
+            0.0
+        };
     println!(
         "{t:<3} {:>7.1}   {:>18}   {e:>13.2}",
         out.stats.memory_saving_pct(),
         out.stats.peak_payload_occupancy
     );
+    if let (Some(policy), Some(mu)) = (o.overflow_policy, mu) {
+        print_policy_outcome(
+            policy,
+            mu,
+            out.stats.stall_cycles,
+            out.stats.t_escalations,
+            out.stats.overflow_events,
+        );
+    }
+    Ok(())
 }
 
 fn scene(which: &str, out: &str, o: &Opts) -> Result<(), String> {

@@ -34,18 +34,21 @@
 //! // A synthetic "natural" scene (the dataset substitutes MIT Places).
 //! let img = ScenePreset::ALL[0].render(128, 128);
 //!
-//! // Lossless compressed line buffers, 8×8 window.
-//! let cfg = ArchConfig::new(8, img.width());
+//! // Lossless compressed line buffers, 8×8 window. Configurations are
+//! // validated up front and every frame-processing entry point returns
+//! // `Result` — see [`core::error::SwError`].
+//! let cfg = ArchConfig::builder(8, img.width()).build()?;
 //! let mut arch = CompressedSlidingWindow::new(cfg);
-//! let out = arch.process_frame(&img, &GaussianFilter::new(8));
+//! let out = arch.process_frame(&img, &GaussianFilter::new(8))?;
 //!
 //! // Identical output to the raw-buffer architecture...
 //! let mut baseline = TraditionalSlidingWindow::new(cfg);
-//! assert_eq!(out.image, baseline.process_frame(&img, &GaussianFilter::new(8)).image);
+//! assert_eq!(out.image, baseline.process_frame(&img, &GaussianFilter::new(8))?.image);
 //!
 //! // ...with fewer BRAMs.
 //! let plan = plan(8, img.width(), out.stats.peak_payload_occupancy, MgmtAccounting::Structured);
 //! assert!(plan.total_brams() < traditional_brams(8, img.width()));
+//! # Ok::<(), SwError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -69,12 +72,15 @@ pub mod prelude {
     pub use sw_core::codec::{LineCodec, LineCodecKind};
     pub use sw_core::color::{ColorCompressedSlidingWindow, ColorOutput};
     pub use sw_core::compressed::{CompressedOutput, CompressedSlidingWindow};
-    pub use sw_core::config::{ArchConfig, NBitsGranularity, ThresholdPolicy};
+    pub use sw_core::config::{ArchConfig, ArchConfigBuilder, NBitsGranularity, ThresholdPolicy};
+    pub use sw_core::error::SwError;
+    pub use sw_core::faults::{FaultInjector, FaultSite, FaultSpec};
     pub use sw_core::kernels::{
         BoxFilter, CensusTransform, Convolution, Dilate, Erode, GaussianFilter, HarrisResponse,
         LocalBinaryPattern, MedianFilter, SeparableConv, SobelMagnitude, Tap, TemplateSad,
         WindowKernel,
     };
+    pub use sw_core::memory_unit::{MemoryUnit, MemoryUnitConfig, OverflowPolicy};
     pub use sw_core::pipeline::{Pipeline, PipelineOutput, Stage};
     pub use sw_core::planner::{plan, traditional_brams, BramPlan, MgmtAccounting};
     pub use sw_core::reference::direct_sliding_window;

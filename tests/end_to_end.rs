@@ -27,8 +27,8 @@ fn all_kernels_agree_across_architectures_lossless() {
     for kernel in &kernels {
         let mut comp = CompressedSlidingWindow::new(cfg);
         let mut trad = TraditionalSlidingWindow::new(cfg);
-        let a = comp.process_frame(&img, kernel.as_ref());
-        let b = trad.process_frame(&img, kernel.as_ref());
+        let a = comp.process_frame(&img, kernel.as_ref()).unwrap();
+        let b = trad.process_frame(&img, kernel.as_ref()).unwrap();
         let c = direct_sliding_window(&img, kernel.as_ref());
         assert_eq!(a.image, b.image, "kernel {}", kernel.name());
         assert_eq!(b.image, c, "kernel {}", kernel.name());
@@ -111,7 +111,7 @@ fn lossy_quality_or_paper_mse_band() {
     for t in [2i16, 4, 6] {
         let cfg = ArchConfig::new(n, W).with_threshold(t);
         let mut arch = CompressedSlidingWindow::new(cfg);
-        let fresh = arch.process_frame(&img, &Tap::bottom_right(n));
+        let fresh = arch.process_frame(&img, &Tap::bottom_right(n)).unwrap();
         // Bottom-right pixels were never buffered: exact.
         let crop = img.crop(n - 1, n - 1, W - n + 1, H - n + 1);
         assert_eq!(
@@ -120,7 +120,7 @@ fn lossy_quality_or_paper_mse_band() {
         );
 
         let mut arch = CompressedSlidingWindow::new(cfg);
-        let aged = arch.process_frame(&img, &Tap::top_left(n));
+        let aged = arch.process_frame(&img, &Tap::top_left(n)).unwrap();
         let crop = img.crop(0, 0, W - n + 1, H - n + 1);
         let e = mse(&aged.image, &crop);
         assert!(e > 0.0, "T={t} must be lossy on buffered pixels");
@@ -161,6 +161,7 @@ fn adaptive_controller_protects_a_tight_budget() {
     let mut probe = CompressedSlidingWindow::new(cfg);
     let typical = probe
         .process_frame(&img, &BoxFilter::new(8))
+        .unwrap()
         .stats
         .peak_payload_occupancy;
     let budget = typical * 9 / 10; // deliberately under-provisioned
@@ -171,6 +172,7 @@ fn adaptive_controller_protects_a_tight_budget() {
         let mut arch = CompressedSlidingWindow::new(cfg);
         last_occ = arch
             .process_frame(&img, &BoxFilter::new(8))
+            .unwrap()
             .stats
             .peak_payload_occupancy;
         ctl.observe(last_occ);

@@ -73,8 +73,8 @@ fn throughput_parity_claim() {
     let cfg = ArchConfig::new(8, 128);
     let mut comp = CompressedSlidingWindow::new(cfg);
     let mut trad = TraditionalSlidingWindow::new(cfg);
-    let a = comp.process_frame(&img, &BoxFilter::new(8));
-    let b = trad.process_frame(&img, &BoxFilter::new(8));
+    let a = comp.process_frame(&img, &BoxFilter::new(8)).unwrap();
+    let b = trad.process_frame(&img, &BoxFilter::new(8)).unwrap();
     assert_eq!(a.stats.cycles, 128 * 64);
     assert_eq!(b.stats.cycles, 128 * 64);
 }
@@ -120,7 +120,7 @@ fn mse_thresholds_land_in_the_papers_band() {
         for (t, acc) in [(2i16, &mut comp2), (6i16, &mut comp6)] {
             let cfg = ArchConfig::new(n, 128).with_threshold(t);
             let mut arch = CompressedSlidingWindow::new(cfg);
-            let out = arch.process_frame(&img, &Tap::top_left(n));
+            let out = arch.process_frame(&img, &Tap::top_left(n)).unwrap();
             let crop = img.crop(0, 0, out.image.width(), out.image.height());
             acc.push(mse(&out.image, &crop));
         }

@@ -26,7 +26,7 @@ fn run_sequence(
     for frame in video.frames(frames) {
         let cfg = ArchConfig::new(N, W).with_threshold(ctl.threshold());
         let mut arch = CompressedSlidingWindow::new(cfg).with_capacity_bits(budget);
-        let out = arch.process_frame(&frame, &BoxFilter::new(N));
+        let out = arch.process_frame(&frame, &BoxFilter::new(N)).unwrap();
         if out.stats.overflow_events > 0 {
             overflow_frames += 1;
         }
@@ -40,6 +40,7 @@ fn typical_occupancy(video: &VideoSequence) -> u64 {
     let cfg = ArchConfig::new(N, W);
     let mut arch = CompressedSlidingWindow::new(cfg);
     arch.process_frame(&video.frame(0), &BoxFilter::new(N))
+        .unwrap()
         .stats
         .peak_payload_occupancy
 }
