@@ -1,0 +1,117 @@
+//! Stream digests for conformance vectors.
+//!
+//! Golden-vector conformance (the `sw-conformance` crate) pins every
+//! datapath output — reconstructed images, packed streams, statistics —
+//! to a 64-bit digest checked into the repository. The hash lives here,
+//! in the bit-level crate, because the packed stream is the canonical
+//! byte surface being fingerprinted; everything else digests through the
+//! same primitive so one implementation defines "equal".
+//!
+//! [`Fnv64`] is FNV-1a (64-bit): trivially portable, dependency-free,
+//! byte-order independent, and stable across platforms — exactly the
+//! properties a checked-in golden file needs. It is *not* cryptographic;
+//! conformance digests guard against drift, not adversaries.
+
+/// Incremental FNV-1a 64-bit hasher.
+///
+/// ```
+/// use sw_bitstream::digest::Fnv64;
+/// let mut h = Fnv64::new();
+/// h.write(b"abc");
+/// let one_shot = sw_bitstream::digest::fnv1a64(b"abc");
+/// assert_eq!(h.finish(), one_shot);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Absorb raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb a `u64` as eight little-endian bytes (fixed width, so
+    /// adjacent fields cannot alias into the same byte stream).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a 64 digest of a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Sebastiano Vigna's splitmix64 scrambler — the deterministic stream
+/// generator behind the conformance fuzzer's case mutation (and the same
+/// mix the memory unit uses to fingerprint stored words).
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+        // splitmix64 reference output for seed 0.
+        assert_eq!(splitmix64(0), 0xe220_a839_7b1d_cdaf);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"hello ");
+        h.write(b"world");
+        assert_eq!(h.finish(), fnv1a64(b"hello world"));
+    }
+
+    #[test]
+    fn u64_fields_do_not_alias() {
+        // (1, 256) and (256, 1) must hash differently: fixed-width field
+        // encoding prevents boundary aliasing.
+        let mut a = Fnv64::new();
+        a.write_u64(1);
+        a.write_u64(256);
+        let mut b = Fnv64::new();
+        b.write_u64(256);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -44,6 +44,7 @@
 
 pub mod bitmap;
 pub mod column;
+pub mod digest;
 pub mod locoi;
 pub mod nbits;
 pub mod packer;
@@ -55,6 +56,7 @@ pub use bitmap::Bitmap;
 pub use column::{
     column_cost, decode_column, decode_column_checked, encode_column, ColumnCost, EncodedColumn,
 };
+pub use digest::{fnv1a64, Fnv64};
 pub use locoi::{locoi_compressed_bits, locoi_decode, locoi_encode, locoi_try_decode};
 pub use nbits::{min_bits, min_bits_column, NBitsCircuit};
 pub use packer::BitPackingUnit;

@@ -19,6 +19,7 @@
 //! lets the benchmark harness sweep the paper's full parameter grid.
 
 use crate::config::{ArchConfig, NBitsGranularity, ThresholdPolicy};
+use crate::error::SwError;
 use crate::Coeff;
 use sw_bitstream::nbits::min_bits;
 use sw_bitstream::{column_cost, is_significant};
@@ -236,16 +237,18 @@ pub fn analyze_frame(img: &ImageU8, cfg: &ArchConfig) -> FrameAnalysis {
 /// repaid as soon as two threads participate; `tests/determinism.rs`
 /// enforces the equality.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the image width mismatches `cfg.width` or the image is shorter
-/// than the window.
+/// Returns [`SwError::Config`] when the image width mismatches `cfg.width`
+/// or the image is shorter than the window (including 0×0 and single-row
+/// inputs) — unlike [`analyze_frame`], which keeps its documented panicking
+/// contract for infallible call sites.
 pub fn analyze_frame_par(
     img: &ImageU8,
     cfg: &ArchConfig,
     pool: &sw_pool::ThreadPool,
-) -> FrameAnalysis {
-    let prep = FramePrep::new(img, cfg);
+) -> crate::error::Result<FrameAnalysis> {
+    let prep = FramePrep::try_new(img, cfg)?;
     let planes = &prep.planes;
     let widths = &prep.widths;
 
@@ -278,7 +281,7 @@ pub fn analyze_frame_par(
         worst = worst.max(strip_worst);
     }
 
-    prep.finish(cfg, per_band, columns, worst)
+    Ok(prep.finish(cfg, per_band, columns, worst))
 }
 
 /// Shared front/back half of the frame analyzers: the even-cropped forward
@@ -292,9 +295,29 @@ struct FramePrep {
 }
 
 impl FramePrep {
+    /// Panicking convenience used by [`analyze_frame`] (documented there).
     fn new(img: &ImageU8, cfg: &ArchConfig) -> Self {
-        assert_eq!(img.width(), cfg.width, "image width mismatch");
-        assert!(img.height() >= cfg.window, "image shorter than the window");
+        match Self::try_new(img, cfg) {
+            Ok(prep) => prep,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn try_new(img: &ImageU8, cfg: &ArchConfig) -> crate::error::Result<Self> {
+        if img.width() != cfg.width {
+            return Err(SwError::config(format!(
+                "image width {} does not match configured width {}",
+                img.width(),
+                cfg.width
+            )));
+        }
+        if img.height() < cfg.window {
+            return Err(SwError::config(format!(
+                "image height {} is shorter than the {}-row window",
+                img.height(),
+                cfg.window
+            )));
+        }
         let w = img.width() & !1; // even-crop
         let h = img.height() & !1;
         let pixels: Vec<Coeff> = if w == img.width() {
@@ -310,14 +333,19 @@ impl FramePrep {
         let widths = band_widths(&planes, cfg);
         let half = cfg.window / 2;
         let strips = planes.h / half;
-        assert!(strips > 0, "image shorter than the window");
-        Self {
+        if strips == 0 {
+            return Err(SwError::config(format!(
+                "even-cropped height {} leaves no {}-row strip",
+                planes.h, half
+            )));
+        }
+        Ok(Self {
             planes,
             widths,
             half,
             strips,
             span: cfg.fifo_depth(), // sliding span in columns
-        }
+        })
     }
 
     fn finish(
@@ -490,6 +518,47 @@ mod tests {
                 + 80.0 * ((x as f64 / w as f64) * 2.7).sin()
                 + 40.0 * ((y as f64 / h as f64) * 1.9).cos()) as u8
         })
+    }
+
+    #[test]
+    fn degenerate_shapes_return_typed_errors() {
+        let cfg = ArchConfig::new(8, 64);
+        let pool = sw_pool::ThreadPool::new(1);
+        // `ImageU8` cannot represent 0×0 (the container asserts positive
+        // dimensions at construction), so 1×1 is the smallest degenerate
+        // frame the analyzers can ever be handed.
+        for img in [
+            ImageU8::filled(1, 1, 0),   // minimal frame: wrong width and height
+            ImageU8::filled(64, 1, 7),  // single row
+            ImageU8::filled(64, 7, 7),  // one row short of the window
+            ImageU8::filled(32, 32, 7), // width mismatch
+        ] {
+            let par = analyze_frame_par(&img, &cfg, &pool);
+            assert!(
+                matches!(par, Err(SwError::Config(_))),
+                "analyze_frame_par({}x{}) must fail with SwError::Config, got {par:?}",
+                img.width(),
+                img.height()
+            );
+            let measured = measure_frame(&img, &cfg);
+            assert!(
+                matches!(measured, Err(SwError::Config(_))),
+                "measure_frame({}x{}) must fail with SwError::Config, got {measured:?}",
+                img.width(),
+                img.height()
+            );
+        }
+    }
+
+    #[test]
+    fn par_analyzer_matches_sequential_on_valid_input() {
+        let img = smooth_image(64, 24);
+        let cfg = ArchConfig::new(8, 64);
+        let pool = sw_pool::ThreadPool::new(2);
+        let seq = analyze_frame(&img, &cfg);
+        let par = analyze_frame_par(&img, &cfg, &pool).unwrap();
+        assert_eq!(seq.per_band_payload_bits, par.per_band_payload_bits);
+        assert_eq!(seq.worst_payload_occupancy, par.worst_payload_occupancy);
     }
 
     #[test]

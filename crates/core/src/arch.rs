@@ -100,6 +100,31 @@ impl FrameStats {
         }
         (1.0 - self.peak_total_occupancy as f64 / self.raw_buffer_bits as f64) * 100.0
     }
+
+    /// Every counter as a named `u64`, in a fixed declaration order.
+    ///
+    /// This is the digest/diff hook for the conformance harness: golden
+    /// vectors serialize these fields, and oracle verdicts name the first
+    /// divergent field by this name. The sub-band split appears as four
+    /// `band*_bits` entries so a per-band drift is named precisely rather
+    /// than collapsing into the total.
+    pub fn fields(&self) -> [(&'static str, u64); 13] {
+        [
+            ("cycles", self.cycles),
+            ("payload_bits_total", self.payload_bits_total),
+            ("band0_bits", self.per_band_bits_total[0]),
+            ("band1_bits", self.per_band_bits_total[1]),
+            ("band2_bits", self.per_band_bits_total[2]),
+            ("band3_bits", self.per_band_bits_total[3]),
+            ("peak_payload_occupancy", self.peak_payload_occupancy),
+            ("peak_total_occupancy", self.peak_total_occupancy),
+            ("management_bits", self.management_bits),
+            ("raw_buffer_bits", self.raw_buffer_bits),
+            ("overflow_events", self.overflow_events as u64),
+            ("stall_cycles", self.stall_cycles),
+            ("t_escalations", self.t_escalations),
+        ]
+    }
 }
 
 /// Output of one frame.

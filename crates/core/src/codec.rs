@@ -98,6 +98,15 @@ impl LineCodecKind {
         !matches!(self, LineCodecKind::Raw | LineCodecKind::Locoi)
     }
 
+    /// Whether a cycle-level RTL model of this codec's datapath exists
+    /// ([`crate::rtl`]). Only the paper's Haar pipeline has one today; the
+    /// conformance RTL matrix iterates this hook so that an RTL model added
+    /// for another codec is picked up by the differential tests without
+    /// touching them.
+    pub fn has_rtl_model(self) -> bool {
+        matches!(self, LineCodecKind::Haar)
+    }
+
     /// Static management-bit requirement of the buffered span.
     ///
     /// * `raw` stores nothing beyond the pixels;

@@ -1,0 +1,71 @@
+//! Digest hooks for the conformance harness.
+//!
+//! Golden vectors (the `sw-conformance` crate) pin datapath outputs to
+//! 64-bit FNV-1a fingerprints. These helpers define the *canonical byte
+//! encoding* of each structure — the part that must never drift once
+//! vectors are checked in:
+//!
+//! * an image digests as `width, height` (as `u64`s) followed by its
+//!   pixel rows in raster order, so two images with the same pixel bytes
+//!   but different shapes hash differently;
+//! * [`FrameStats`] digests as its [`FrameStats::fields`] values in
+//!   declaration order, each as a fixed-width little-endian `u64`.
+
+use crate::arch::FrameStats;
+use sw_bitstream::digest::Fnv64;
+use sw_image::ImageU8;
+
+/// FNV-1a 64 fingerprint of an image: dimensions then raster pixels.
+pub fn image_digest(img: &ImageU8) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(img.width() as u64);
+    h.write_u64(img.height() as u64);
+    h.write(img.pixels());
+    h.finish()
+}
+
+/// FNV-1a 64 fingerprint of a frame's statistics (field order fixed by
+/// [`FrameStats::fields`]).
+pub fn stats_digest(stats: &FrameStats) -> u64 {
+    let mut h = Fnv64::new();
+    for (_, v) in stats.fields() {
+        h.write_u64(v);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_digest_separates_shape_from_content() {
+        let a = ImageU8::filled(4, 2, 9);
+        let b = ImageU8::filled(2, 4, 9);
+        assert_ne!(image_digest(&a), image_digest(&b));
+        assert_eq!(image_digest(&a), image_digest(&ImageU8::filled(4, 2, 9)));
+    }
+
+    #[test]
+    fn stats_digest_tracks_every_field() {
+        let base = FrameStats {
+            cycles: 1,
+            payload_bits_total: 2,
+            per_band_bits_total: [2, 0, 0, 0],
+            peak_payload_occupancy: 3,
+            peak_total_occupancy: 4,
+            management_bits: 1,
+            raw_buffer_bits: 5,
+            overflow_events: 0,
+            stall_cycles: 0,
+            t_escalations: 0,
+        };
+        let d0 = stats_digest(&base);
+        let mut bumped = base;
+        bumped.t_escalations = 1;
+        assert_ne!(stats_digest(&bumped), d0);
+        let mut band = base;
+        band.per_band_bits_total = [0, 2, 0, 0];
+        assert_ne!(stats_digest(&band), d0);
+    }
+}

@@ -83,6 +83,7 @@ pub mod color;
 pub mod compressed;
 pub mod compressed_ml;
 pub mod config;
+pub mod digest;
 pub mod error;
 pub mod faults;
 pub mod kernels;
@@ -99,6 +100,7 @@ pub mod window;
 pub use arch::{build_arch, FrameOutput, FrameStats, SlidingWindow, SlidingWindowArch};
 pub use codec::{LineCodec, LineCodecKind};
 pub use config::{ArchConfig, ArchConfigBuilder, CoeffMode, NBitsGranularity, ThresholdPolicy};
+pub use digest::{image_digest, stats_digest};
 pub use error::SwError;
 pub use faults::{FaultInjector, FaultSite, FaultSpec};
 pub use memory_unit::{MemoryUnit, MemoryUnitConfig, OverflowPolicy};

@@ -466,6 +466,122 @@ mod tests {
         assert_eq!(r.counters["memunit.s0.overflow_events"], 1);
     }
 
+    /// Noisy deterministic frame that keeps the packed stream close to
+    /// incompressible, so tight budgets actually bind.
+    fn noisy_image(w: usize, h: usize) -> sw_image::ImageU8 {
+        let mut state = 0x2545_f491u32;
+        sw_image::ImageU8::from_fn(w, h, |_, _| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 24) as u8
+        })
+    }
+
+    fn run_with_budget(
+        mu: Option<MemoryUnitConfig>,
+        codec: LineCodecKind,
+    ) -> crate::error::Result<crate::arch::FrameStats> {
+        let (n, w, h) = (4usize, 20usize, 12usize);
+        let img = noisy_image(w, h);
+        let cfg = crate::config::ArchConfig::new(n, w).with_codec(codec);
+        let mut arch = crate::arch::build_arch(&cfg)?;
+        arch.set_memory_unit(mu);
+        Ok(arch
+            .process_frame(&img, &crate::kernels::Tap::top_left(n))?
+            .stats)
+    }
+
+    /// Edge budget: capacity exactly equal to the measured demand is
+    /// sufficient under `Fail`; one bit less overflows with exact
+    /// `needed`/`capacity` arithmetic in the typed error.
+    #[test]
+    fn budget_exactly_equal_to_demand_is_tight() {
+        let peak = run_with_budget(None, LineCodecKind::Haar)
+            .unwrap()
+            .peak_payload_occupancy;
+        assert!(peak > WORD_BITS, "fixture must exercise multiple words");
+
+        let exact = run_with_budget(
+            Some(MemoryUnitConfig::new(peak, OverflowPolicy::Fail)),
+            LineCodecKind::Haar,
+        )
+        .unwrap();
+        assert_eq!(exact.peak_payload_occupancy, peak);
+        assert_eq!(exact.overflow_events, 0);
+        assert_eq!(exact.stall_cycles, 0);
+        assert_eq!(exact.t_escalations, 0);
+
+        // One bit under demand: the first push that reaches the unbounded
+        // peak is the first deficit, so `needed` is exactly that peak.
+        match run_with_budget(
+            Some(MemoryUnitConfig::new(peak - 1, OverflowPolicy::Fail)),
+            LineCodecKind::Haar,
+        ) {
+            Err(SwError::Fifo(FifoError::Overflow { needed, capacity })) => {
+                assert_eq!(capacity, peak - 1);
+                assert_eq!(needed, peak);
+            }
+            other => panic!("expected a typed overflow, got {other:?}"),
+        }
+    }
+
+    /// Edge budget: a single 36-bit word. Unit-level word-granular stall
+    /// arithmetic plus the end-to-end `Stall` run it predicts.
+    #[test]
+    fn one_word_budget_stall_arithmetic() {
+        let mut mu = unit(WORD_BITS, OverflowPolicy::Stall);
+        assert_eq!(mu.deficit(WORD_BITS), None, "exactly one word fits");
+        assert_eq!(mu.deficit(WORD_BITS + 1), Some(1));
+        mu.push_group(WORD_BITS, false);
+        assert_eq!(mu.deficit(1), Some(1));
+        mu.record_stall(1);
+        assert_eq!(mu.stall_cycles(), 1, "a 1-bit deficit still costs a word");
+
+        let stats = run_with_budget(
+            Some(MemoryUnitConfig::new(WORD_BITS, OverflowPolicy::Stall)),
+            LineCodecKind::Haar,
+        )
+        .unwrap();
+        assert!(stats.peak_payload_occupancy > WORD_BITS);
+        // Every deficit drains at one word per clock, so the total stall
+        // bill is at least the peak deficit's word count.
+        let peak_deficit = stats.peak_payload_occupancy - WORD_BITS;
+        assert!(
+            stats.stall_cycles >= peak_deficit.div_ceil(WORD_BITS),
+            "stall_cycles {} below the word-granular floor {}",
+            stats.stall_cycles,
+            peak_deficit.div_ceil(WORD_BITS)
+        );
+        assert_eq!(stats.overflow_events, 0);
+        assert_eq!(stats.t_escalations, 0);
+    }
+
+    /// Edge budget: `max_threshold` saturates with demand still over
+    /// budget. Escalations are bounded by `max_threshold − T₀` (the
+    /// threshold ratchets monotonically within a frame) and every group
+    /// that still cannot fit counts one residual overflow.
+    #[test]
+    fn max_threshold_saturation_counts_residual_overflows() {
+        let budget = MemoryUnitConfig::new(64, OverflowPolicy::DegradeLossy).with_max_threshold(3);
+        let stats = run_with_budget(Some(budget), LineCodecKind::Haar).unwrap();
+        assert!(stats.t_escalations > 0, "noise must force escalation");
+        assert!(
+            stats.t_escalations <= 3,
+            "threshold ratchets 0→max_threshold at most once per step, got {}",
+            stats.t_escalations
+        );
+        assert!(
+            stats.overflow_events > 0,
+            "a 64-bit budget must leave residual overflows at T = 3"
+        );
+        assert_eq!(stats.stall_cycles, 0, "degrade never bills stalls");
+
+        // A codec that cannot shrink its groups records the overflows but
+        // performs no escalation at all.
+        let stats = run_with_budget(Some(budget), LineCodecKind::Locoi).unwrap();
+        assert_eq!(stats.t_escalations, 0, "locoi is not lossy-capable");
+        assert!(stats.overflow_events > 0);
+    }
+
     #[test]
     fn reset_clears_frame_state() {
         let mut mu = unit(1000, OverflowPolicy::Stall);

@@ -275,7 +275,7 @@ fn analyzer_par_is_bit_identical_to_sequential() {
         let seq = analyze_frame(&img, &cfg);
         for jobs in jobs_grid() {
             let pool = ThreadPool::new(jobs);
-            let par = analyze_frame_par(&img, &cfg, &pool);
+            let par = analyze_frame_par(&img, &cfg, &pool).unwrap();
             assert_eq!(par, seq, "w={w} h={h} n={n} t={t} jobs={jobs}");
         }
     }

@@ -122,6 +122,51 @@ proptest! {
     }
 }
 
+/// Mostly black with occasional bright pixels: minimal payload, which
+/// starves the word-granular Pixel FIFO and forces the Yout_Current bypass.
+fn sparse_image_from_seed(w: usize, h: usize, seed: u32) -> ImageU8 {
+    let mut state = seed | 1;
+    ImageU8::from_fn(w, h, |_, _| {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        if state >> 28 == 0 {
+            (state >> 20) as u8
+        } else {
+            0
+        }
+    })
+}
+
+/// RTL vs functional comparison shared by the property test and the
+/// promoted regression below.
+fn assert_rtl_equals_functional(seed: u32, t: i16, sparse: bool) {
+    let (n, w, h) = (4usize, 26usize, 14usize);
+    let img = if sparse {
+        sparse_image_from_seed(w, h, seed)
+    } else {
+        image_from_seed(w, h, seed, true)
+    };
+    let cfg = ArchConfig::new(n, w).with_threshold(t);
+    let kernel = Tap::top_left(n);
+    let mut rtl = RtlCompressedSlidingWindow::new(cfg);
+    let mut func = CompressedSlidingWindow::new(cfg);
+    assert_eq!(
+        rtl.process_frame(&img, &kernel).image,
+        func.process_frame(&img, &kernel).unwrap().image,
+        "seed={seed} t={t} sparse={sparse}"
+    );
+}
+
+/// Promoted from `prop_arch.proptest-regressions`
+/// (`cc 745d73c4b55a3aa2d65a348a725b75a7c550d880033b6ab870d869479489e630`,
+/// shrunk to `seed = 1119874594, t = 4, sparse = true`): a sparse frame at
+/// threshold 4 once diverged between the RTL packer-bypass path and the
+/// functional codec. Named here so the regression survives even if the
+/// proptest seed file is deleted.
+#[test]
+fn regression_rtl_vs_functional_sparse_seed_1119874594() {
+    assert_rtl_equals_functional(1119874594, 4, true);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -134,27 +179,7 @@ proptest! {
         t in 0i16..8,
         sparse in any::<bool>(),
     ) {
-        let (n, w, h) = (4usize, 26usize, 14usize);
-        let img = if sparse {
-            // Mostly black with occasional bright pixels: minimal payload,
-            // which starves the word-granular Pixel FIFO and forces the
-            // Yout_Current bypass.
-            let mut state = seed | 1;
-            ImageU8::from_fn(w, h, |_, _| {
-                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
-                if state >> 28 == 0 { (state >> 20) as u8 } else { 0 }
-            })
-        } else {
-            image_from_seed(w, h, seed, true)
-        };
-        let cfg = ArchConfig::new(n, w).with_threshold(t);
-        let kernel = Tap::top_left(n);
-        let mut rtl = RtlCompressedSlidingWindow::new(cfg);
-        let mut func = CompressedSlidingWindow::new(cfg);
-        prop_assert_eq!(
-            rtl.process_frame(&img, &kernel).image,
-            func.process_frame(&img, &kernel).unwrap().image
-        );
+        assert_rtl_equals_functional(seed, t, sparse);
     }
 
     /// The two-level extension stays exact in lossless mode for arbitrary

@@ -59,6 +59,7 @@ usage:
               [--overflow-policy fail|stall|degrade] [--budget-fraction F]
               [--fault-seed N]
   swc scene   <name|index> <out.pgm> [--size WxH]
+  swc conform [--all] [--bless] [--fuzz N] [--seed S] [--vectors DIR]
 
 The image must be a binary PGM (P5). `swc scene` writes one of the built-in
 synthetic dataset scenes instead of reading an input.
@@ -83,7 +84,15 @@ error, 'stall' charges backpressure cycles, 'degrade' escalates the
 threshold T until the stream fits. --fault-seed N injects deterministic
 seeded faults (payload/BitMap/NBits bit-flips); detected corruption
 exits with a decode error, undetected corruption is reported as
-reconstruction MSE.";
+reconstruction MSE.
+
+swc conform runs the conformance harness: --all checks the checked-in
+golden vectors and runs the differential oracle battery over the whole
+corpus grid plus any shrunk fuzz reproducers; --bless regenerates the
+golden vectors after an intentional format change; --fuzz N runs an
+N-case coverage-guided campaign from --seed S (default 1), shrinking any
+failure into vectors/regressions/. --vectors DIR overrides the corpus
+directory (default: the crate's checked-in vectors/).";
 
 struct Opts {
     window: usize,
@@ -236,8 +245,72 @@ fn run(args: &[String]) -> Result<(), String> {
             reject_runtime(&o, "scene")?;
             scene(which, out, &o)
         }
+        "conform" => conform(&args[1..]),
         other => Err(format!("unknown command '{other}'")),
     }
+}
+
+/// `swc conform`: golden-vector corpus check, differential oracles, and
+/// coverage-guided fuzzing. Uses its own small flag set — the shared
+/// `Opts` knobs do not apply to corpus runs.
+fn conform(args: &[String]) -> Result<(), String> {
+    let mut all = false;
+    let mut bless = false;
+    let mut fuzz_n: Option<usize> = None;
+    let mut seed: u64 = 1;
+    let mut vectors = sw_conformance::default_vectors_dir();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => all = true,
+            "--bless" => bless = true,
+            "--fuzz" => {
+                fuzz_n = Some(next(args, &mut i)?.parse().map_err(|_| "bad --fuzz")?);
+            }
+            "--seed" => {
+                seed = next(args, &mut i)?.parse().map_err(|_| "bad --seed")?;
+            }
+            "--vectors" => {
+                vectors = PathBuf::from(next(args, &mut i)?);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+    if !all && !bless && fuzz_n.is_none() {
+        return Err("conform needs at least one of --all, --bless, --fuzz N".into());
+    }
+    if bless {
+        let cells = sw_conformance::corpus::bless(&vectors).map_err(|e| e.to_string())?;
+        println!("blessed {cells} golden cells into {}", vectors.display());
+    }
+    if all {
+        let summary = sw_conformance::run_all(&vectors).map_err(|e| e.to_string())?;
+        print!("{}", summary.render());
+        if !summary.is_clean() {
+            return Err("conformance run failed".into());
+        }
+    }
+    if let Some(n) = fuzz_n {
+        let report = sw_conformance::run_fuzz(n, seed, &vectors.join("regressions"));
+        println!(
+            "fuzz: {} cases from seed {seed}, {} failures",
+            report.cases,
+            report.failures.len()
+        );
+        println!("{}", report.coverage.summary());
+        for f in &report.failures {
+            println!("  FAIL {} (shrunk to {})", f.case_id, f.minimal_id);
+            println!("       {}", f.verdict);
+            if let Some(p) = &f.reproducer {
+                println!("       reproducer: {}", p.display());
+            }
+        }
+        if !report.failures.is_empty() {
+            return Err("fuzz campaign found failures".into());
+        }
+    }
+    Ok(())
 }
 
 fn reject_telemetry(o: &Opts, cmd: &str) -> Result<(), String> {
@@ -336,7 +409,7 @@ fn analyze(img: &ImageU8, o: &Opts) -> Result<(), String> {
     let pool = o.jobs.map(ThreadPool::new);
     let a = match &pool {
         // Bit-identical to the sequential analyzer for any pool size.
-        Some(p) => analyze_frame_par(img, &cfg, p),
+        Some(p) => analyze_frame_par(img, &cfg, p).map_err(|e| e.to_string())?,
         None => analyze_frame(img, &cfg),
     };
     println!(
@@ -567,7 +640,7 @@ fn sweep(img: &ImageU8, o: &Opts) -> Result<(), String> {
             continue;
         }
         let a = match &pool {
-            Some(p) => analyze_frame_par(img, &cfg, p),
+            Some(p) => analyze_frame_par(img, &cfg, p).map_err(|e| e.to_string())?,
             None => analyze_frame(img, &cfg),
         };
         let mut outcome = None;
