@@ -21,6 +21,7 @@
 
 pub mod export;
 pub mod paper;
+pub mod perf;
 pub mod runner;
 pub mod table;
 

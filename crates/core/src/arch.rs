@@ -45,6 +45,7 @@ use crate::memory_unit::{MemoryUnit, MemoryUnitConfig, OverflowPolicy};
 use crate::window::ActiveWindow;
 use crate::{Coeff, Pixel};
 use std::collections::VecDeque;
+use std::time::Instant;
 use sw_fpga::sim::Watermark;
 use sw_image::ImageU8;
 use sw_telemetry::{Counter, Gauge, Histogram, TelemetryHandle, TraceEvent, TraceKind};
@@ -175,6 +176,21 @@ pub trait SlidingWindowArch {
     fn set_fault_injector(&mut self, faults: Option<FaultInjector>);
 }
 
+/// Wall-time accumulators for the encode/decode stages of one frame.
+#[derive(Debug, Clone, Copy, Default)]
+struct FrameProf {
+    encode_ns: u64,
+    encode_calls: u64,
+    decode_ns: u64,
+    decode_calls: u64,
+}
+
+impl FrameProf {
+    fn clear(&mut self) {
+        *self = Self::default();
+    }
+}
+
 /// One encoded column group in flight through the memory unit.
 #[derive(Debug, Clone)]
 struct GroupEntry<E> {
@@ -222,6 +238,11 @@ pub struct SlidingWindow<C: LineCodec> {
     overflow_events: usize,
     entering: Vec<Pixel>,
     evicted: Vec<Pixel>,
+    /// Per-frame wall-time accumulators for the hierarchical profiler
+    /// (encode/decode aggregates flushed once per frame, so the per-group
+    /// hot path costs two `Instant::now` reads when telemetry is enabled
+    /// and nothing when it is disabled).
+    prof: FrameProf,
     // --- telemetry (no-ops unless a telemetry handle was bound) ---
     telemetry: TelemetryHandle,
     bound_name: Option<String>,
@@ -271,6 +292,7 @@ where
             overflow_events: self.overflow_events,
             entering: self.entering.clone(),
             evicted: self.evicted.clone(),
+            prof: self.prof,
             telemetry: self.telemetry.clone(),
             bound_name: self.bound_name.clone(),
             m_cycles: self.m_cycles.clone(),
@@ -322,6 +344,7 @@ impl<C: LineCodec> SlidingWindow<C> {
             overflow_events: 0,
             entering: vec![0; n],
             evicted: vec![0; n],
+            prof: FrameProf::default(),
             telemetry: TelemetryHandle::disabled(),
             bound_name: None,
             m_cycles: Counter::noop(),
@@ -469,6 +492,7 @@ impl<C: LineCodec> SlidingWindow<C> {
         let delay = self.cfg.fifo_depth() as u64; // W − N cycles
         let mut out = ImageU8::filled(w - n + 1, h - n + 1, 0);
         let mut cycle: u64 = 0;
+        let frame_span = self.telemetry.profile_span("frame");
         self.telemetry.trace(TraceEvent::new(
             0,
             TraceKind::FrameStart,
@@ -521,6 +545,18 @@ impl<C: LineCodec> SlidingWindow<C> {
         self.telemetry
             .trace(TraceEvent::new(cycle, TraceKind::FrameEnd, cycle, 0));
 
+        // Flush the per-frame stage aggregates while the frame span is
+        // still open, so they land under "frame/…" in the span tree.
+        if self.prof.encode_calls > 0 {
+            self.telemetry
+                .profile_record("encode", self.prof.encode_ns, self.prof.encode_calls);
+        }
+        if self.prof.decode_calls > 0 {
+            self.telemetry
+                .profile_record("decode", self.prof.decode_ns, self.prof.decode_calls);
+        }
+        drop(frame_span);
+
         let management_bits = self.kind.management_bits(&self.cfg);
         let (stall_cycles, t_escalations, mu_overflows) = match &self.memory_unit {
             Some(mu) => (
@@ -548,6 +584,7 @@ impl<C: LineCodec> SlidingWindow<C> {
     /// Encode the staged group, resolve the memory unit's overflow policy
     /// and push the result into the in-flight queue.
     fn push_group(&mut self, cycle: u64) -> Result<()> {
+        let t0 = self.telemetry.is_enabled().then(Instant::now);
         let first_exit = cycle + 1 - self.group as u64;
         let mut encoded = self.codec.encode_group(&self.staging);
         self.m_iwt_pairs.inc();
@@ -564,7 +601,13 @@ impl<C: LineCodec> SlidingWindow<C> {
                         // Hardware would hold the pipeline until readout
                         // frees space; the model charges the drain time
                         // and stores the group.
-                        mu.record_stall(deficit);
+                        let stall_cycles = mu.record_stall(deficit);
+                        self.telemetry.trace(TraceEvent::new(
+                            first_exit,
+                            TraceKind::Stall,
+                            stall_cycles,
+                            deficit,
+                        ));
                     }
                     OverflowPolicy::DegradeLossy => {
                         let max_t = mu.config().max_threshold;
@@ -644,6 +687,10 @@ impl<C: LineCodec> SlidingWindow<C> {
             payload_bits: bits,
             data: encoded.data,
         });
+        if let Some(t0) = t0 {
+            self.prof.encode_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.prof.encode_calls += 1;
+        }
         Ok(())
     }
 
@@ -675,6 +722,7 @@ impl<C: LineCodec> SlidingWindow<C> {
         let Some(entry) = self.queue.pop_front() else {
             return Ok(None);
         };
+        let t0 = self.telemetry.is_enabled().then(Instant::now);
         self.m_unpack_pairs.inc();
         if self.kind != LineCodecKind::Raw {
             self.telemetry.trace(TraceEvent::new(
@@ -704,6 +752,10 @@ impl<C: LineCodec> SlidingWindow<C> {
         } else {
             self.carry_bits = entry.payload_bits;
             self.carry.extend(cols);
+        }
+        if let Some(t0) = t0 {
+            self.prof.decode_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.prof.decode_calls += 1;
         }
         Ok(Some(first))
     }
@@ -759,6 +811,7 @@ impl<C: LineCodec> SlidingWindow<C> {
         self.per_band_bits = [0; 4];
         self.overflow_events = 0;
         self.group_seq = 0;
+        self.prof.clear();
         if let Some(mu) = self.memory_unit.as_mut() {
             mu.reset();
         }

@@ -256,10 +256,12 @@ impl MemoryUnit {
 
     /// Account the backpressure a `Stall`-policy overflow costs: the
     /// cycles needed to drain `deficit_bits` at one word per clock.
-    pub(crate) fn record_stall(&mut self, deficit_bits: u64) {
+    /// Returns the cycles charged so the datapath can trace the stall.
+    pub(crate) fn record_stall(&mut self, deficit_bits: u64) -> u64 {
         let cycles = deficit_bits.div_ceil(WORD_BITS);
         self.stall_cycles += cycles;
         self.m_stalls.add(cycles);
+        cycles
     }
 
     /// Account one `DegradeLossy` threshold escalation.

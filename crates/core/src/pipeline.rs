@@ -113,7 +113,10 @@ impl Pipeline {
 
     /// Record per-stage telemetry into `telemetry`: stage `i` reports under
     /// `stage.stage<i>.*` / `fifo.stage<i>.*`, and each stage's wall-clock
-    /// time under `pipeline.stage<i>.{ns_total,calls}`.
+    /// time under `pipeline.stage<i>.{ns_total,calls}`. The hierarchical
+    /// profiler additionally sees `pipeline` → `pipeline/stage<i>` →
+    /// `pipeline/stage<i>/frame` → `…/frame/{encode,decode}` span paths
+    /// (rendered by `TelemetryHandle::flame_table`).
     pub fn with_telemetry(mut self, telemetry: &TelemetryHandle) -> Self {
         self.telemetry = telemetry.clone();
         self
@@ -141,6 +144,7 @@ impl Pipeline {
         let mut img = input.clone();
         let mut stage_brams = Vec::with_capacity(self.stages.len());
         let mut cycles = 0u64;
+        let _pipeline_span = self.telemetry.profile_span("pipeline");
         for (i, stage) in self.stages.iter_mut().enumerate() {
             let n = stage.kernel.window_size();
             if img.width() <= n || img.height() < n {
@@ -152,6 +156,7 @@ impl Pipeline {
             }
             let stage_name = format!("stage{i}");
             let _span = self.telemetry.span(&format!("pipeline.{stage_name}"));
+            let _stage_span = self.telemetry.profile_span(&stage_name);
             let cfg = ArchConfig::new(n, img.width())
                 .with_codec(stage.codec)
                 .with_threshold(stage.threshold);
@@ -207,6 +212,7 @@ impl Pipeline {
         let mut img = input.clone();
         let mut stage_brams = Vec::with_capacity(self.stages.len());
         let mut cycles = 0u64;
+        let _pipeline_span = self.telemetry.profile_span("pipeline");
         for (i, stage) in self.stages.iter().enumerate() {
             let n = stage.kernel.window_size();
             if img.width() <= n || img.height() < n {
@@ -218,6 +224,7 @@ impl Pipeline {
             }
             let stage_name = format!("stage{i}");
             let _span = self.telemetry.span(&format!("pipeline.{stage_name}"));
+            let _stage_span = self.telemetry.profile_span(&stage_name);
             let cfg = ArchConfig::new(n, img.width())
                 .with_codec(stage.codec)
                 .with_threshold(stage.threshold);
@@ -368,5 +375,37 @@ mod tests {
         // Wall-clock spans fired once per stage.
         assert_eq!(r.counters["pipeline.stage0.calls"], 1);
         assert_eq!(r.counters["pipeline.stage1.calls"], 1);
+    }
+
+    #[test]
+    fn hierarchical_profile_decomposes_stages_into_datapath_spans() {
+        let t = sw_telemetry::TelemetryHandle::new();
+        let mut p = Pipeline::new(vec![
+            Stage::compressed(Box::new(GaussianFilter::new(8)), 0),
+            Stage::compressed(Box::new(SobelMagnitude::new(4)), 0),
+        ])
+        .with_telemetry(&t);
+        p.run(&scene(64, 48)).unwrap();
+        let snap = t.profile_snapshot();
+        for path in [
+            "pipeline",
+            "pipeline/stage0",
+            "pipeline/stage0/frame",
+            "pipeline/stage0/frame/encode",
+            "pipeline/stage0/frame/decode",
+            "pipeline/stage1/frame/encode",
+        ] {
+            assert!(snap.paths.contains_key(path), "missing span path {path}");
+        }
+        assert_eq!(snap.paths["pipeline"].calls, 1);
+        assert_eq!(snap.paths["pipeline/stage0/frame"].calls, 1);
+        assert_eq!(snap.abandoned, 0);
+        // Stage spans cover their frames: child time <= total time, and the
+        // pipeline's children account for both stages.
+        let pipeline = &snap.paths["pipeline"];
+        let s0 = &snap.paths["pipeline/stage0"];
+        let s1 = &snap.paths["pipeline/stage1"];
+        assert!(pipeline.child_ns >= s0.total_ns + s1.total_ns - 1);
+        assert!(s0.child_ns <= s0.total_ns);
     }
 }

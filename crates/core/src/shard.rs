@@ -238,6 +238,15 @@ impl ShardedFrameRunner {
     /// (`shard.<name>.strip<i>.{ns_total,calls}`), per-strip cycle
     /// counters, the strip count, and the pool's scheduling gauges
     /// (`pool.{workers,steals,items,queue_depth_high_water}`).
+    ///
+    /// The hierarchical profiler additionally records a `shard.<name>`
+    /// span nesting one `strip<i>` entry per strip. Strip durations are
+    /// measured on the worker threads but recorded by the calling thread
+    /// after the join, so the span paths are deterministic regardless of
+    /// how the pool schedules the strips. Because strips run
+    /// concurrently, the recorded strip time is *work* time and may
+    /// exceed the parent span's wall-clock time; the parent's self time
+    /// saturates at zero in that case.
     pub fn with_named_telemetry(mut self, telemetry: &TelemetryHandle, name: &str) -> Self {
         self.telemetry = telemetry.clone();
         self.name = name.to_string();
@@ -287,8 +296,10 @@ impl ShardedFrameRunner {
         let shard_plan = ShardPlan::new(n, img.height(), self.strips);
         let spans = &shard_plan.spans;
         let mu_per_strip = self.memory_unit.map(|mu| mu.per_strip(spans.len()));
+        let shard_span = self.telemetry.profile_span(&format!("shard.{}", self.name));
         let results = pool.par_map_indexed(spans.len(), |i| {
             let span = spans[i];
+            let t0 = self.telemetry.is_enabled().then(std::time::Instant::now);
             let _timer = self
                 .telemetry
                 .span(&format!("shard.{}.strip{}", self.name, span.index));
@@ -309,7 +320,8 @@ impl ShardedFrameRunner {
             } else {
                 out.stats.peak_payload_occupancy
             };
-            Ok((out.image, out.stats, peak))
+            let strip_ns = t0.map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            Ok((out.image, out.stats, peak, strip_ns))
         });
         // Propagate the first failure in strip order so the reported error
         // is independent of scheduling.
@@ -325,7 +337,7 @@ impl ShardedFrameRunner {
         let mut stall_cycles = 0u64;
         let mut t_escalations = 0u64;
         let mut overflow_events = 0usize;
-        for (span, (strip_img, stats, strip_peak)) in spans.iter().zip(&results) {
+        for (span, (strip_img, stats, strip_peak, strip_ns)) in spans.iter().zip(&results) {
             debug_assert_eq!(strip_img.height(), span.output_rows);
             debug_assert_eq!(strip_img.width(), ow);
             for r in 0..span.output_rows {
@@ -345,7 +357,15 @@ impl ShardedFrameRunner {
             self.telemetry
                 .counter(&format!("shard.{}.strip{}.cycles", self.name, span.index))
                 .add(stats.cycles);
+            if let Some(ns) = strip_ns {
+                // Recorded here (caller thread, strip order), not on the
+                // worker, so the profile nests under `shard.<name>`
+                // deterministically.
+                self.telemetry
+                    .profile_record(&format!("strip{}", span.index), *ns, 1);
+            }
         }
+        drop(shard_span);
 
         let (brams, bram_plan) = if self.cfg.codec == LineCodecKind::Raw {
             (traditional_brams(n, self.cfg.width), None)
@@ -460,5 +480,31 @@ mod tests {
             .sum();
         assert_eq!(strip_sum, out.cycles);
         assert_eq!(r.counters["shard.f0.strip0.calls"], 1);
+    }
+
+    #[test]
+    fn hierarchical_profile_nests_strips_deterministically() {
+        let t = TelemetryHandle::new();
+        let img = test_image(24, 16);
+        let pool = ThreadPool::new(2);
+        let runner = ShardedFrameRunner::new(ArchConfig::new(4, 24))
+            .with_strips(4)
+            .with_named_telemetry(&t, "f0");
+        runner.run(&img, &Tap::top_left(4), &pool).unwrap();
+        runner.run(&img, &Tap::top_left(4), &pool).unwrap();
+        let snap = t.profile_snapshot();
+        assert_eq!(snap.abandoned, 0, "no spans may lose their timing");
+        let shard = &snap.paths["shard.f0"];
+        assert_eq!(shard.calls, 2);
+        for i in 0..4 {
+            let strip = &snap.paths[&format!("shard.f0/strip{i}")];
+            assert_eq!(strip.calls, 2, "strip{i} recorded once per frame");
+        }
+        // Strip time is work time: it is attributed to the parent as
+        // child time even though strips overlap in wall-clock terms.
+        let child_sum: u64 = (0..4)
+            .map(|i| snap.paths[&format!("shard.f0/strip{i}")].total_ns)
+            .sum();
+        assert_eq!(shard.child_ns, child_sum);
     }
 }

@@ -37,6 +37,32 @@ impl Json {
         }
     }
 
+    /// The value as `f64` (integers convert; precision may be lost beyond
+    /// 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as an object.
     pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
         match self {

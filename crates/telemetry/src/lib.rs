@@ -8,6 +8,10 @@
 //!   [`Histogram`]s with atomic backends, safe to share across threads.
 //! * [`Span`] — lightweight wall-clock timers feeding `<name>.ns_total` /
 //!   `<name>.calls` counter pairs.
+//! * [`SpanProfiler`] / [`ProfileSpan`] — hierarchical spans with parent /
+//!   child nesting on a thread-local stack, self-time vs child-time
+//!   attribution, log₂-bucketed duration percentiles, and a flame-style
+//!   self-time table ([`ProfileSnapshot::flame_table`]).
 //! * [`TraceEvent`] / [`TraceRing`] — a bounded cycle-domain event sink
 //!   (window shifts, IWT decompositions, pack/unpack, FIFO push/pop,
 //!   threshold changes) with a JSON-lines writer.
@@ -40,12 +44,14 @@
 
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod span;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
-pub use report::{HistogramSnapshot, Report};
+pub use profile::{PathProfile, ProfileSnapshot, ProfileSpan, SpanProfiler};
+pub use report::{prometheus_series, HistogramSnapshot, Report};
 pub use span::Span;
 pub use trace::{TraceEvent, TraceKind, TraceRing};
 
@@ -59,6 +65,7 @@ pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 struct TelemetryInner {
     registry: MetricsRegistry,
     trace: Mutex<TraceRing>,
+    profiler: SpanProfiler,
 }
 
 /// A cheaply clonable telemetry context: either enabled (shared registry +
@@ -80,6 +87,7 @@ impl TelemetryHandle {
             inner: Some(Arc::new(TelemetryInner {
                 registry: MetricsRegistry::new(),
                 trace: Mutex::new(TraceRing::new(capacity)),
+                profiler: SpanProfiler::new(),
             })),
         }
     }
@@ -134,6 +142,48 @@ impl TelemetryHandle {
         }
     }
 
+    /// Open a hierarchical profiling span (no-op when disabled). Nested
+    /// calls on the same thread build slash-separated paths; see
+    /// [`profile::SpanProfiler`].
+    pub fn profile_span(&self, name: &str) -> ProfileSpan {
+        match &self.inner {
+            Some(i) => i.profiler.begin(name),
+            None => ProfileSpan::noop(),
+        }
+    }
+
+    /// Record an aggregate of `calls` already-timed invocations of `name`
+    /// totalling `total_ns`, attributed under the currently open profiling
+    /// span (no-op when disabled).
+    pub fn profile_record(&self, name: &str, total_ns: u64, calls: u64) {
+        if let Some(i) = &self.inner {
+            i.profiler.record_aggregate(name, total_ns, calls);
+        }
+    }
+
+    /// Snapshot the hierarchical profiler. Empty when disabled.
+    pub fn profile_snapshot(&self) -> ProfileSnapshot {
+        match &self.inner {
+            Some(i) => i.profiler.snapshot(),
+            None => ProfileSnapshot::default(),
+        }
+    }
+
+    /// Render the profiler's flame-style self-time table.
+    pub fn flame_table(&self) -> String {
+        self.profile_snapshot().flame_table()
+    }
+
+    /// Profiling spans whose timing was lost (dropped cross-thread or out
+    /// of order). Also surfaced in [`TelemetryHandle::report`] as the
+    /// `telemetry.spans_abandoned` counter when non-zero.
+    pub fn spans_abandoned(&self) -> u64 {
+        match &self.inner {
+            Some(i) => i.profiler.abandoned(),
+            None => 0,
+        }
+    }
+
     /// Record one cycle-domain trace event (dropped silently when
     /// disabled; counted by the ring when it overwrites).
     #[inline]
@@ -143,10 +193,20 @@ impl TelemetryHandle {
         }
     }
 
-    /// Snapshot all metrics into a [`Report`]. Empty when disabled.
+    /// Snapshot all metrics into a [`Report`]. Empty when disabled. If any
+    /// profiling span was abandoned (timing lost), the report carries a
+    /// `telemetry.spans_abandoned` counter.
     pub fn report(&self) -> Report {
         match &self.inner {
-            Some(i) => i.registry.snapshot(),
+            Some(i) => {
+                let mut r = i.registry.snapshot();
+                let abandoned = i.profiler.abandoned();
+                if abandoned > 0 {
+                    r.counters
+                        .insert("telemetry.spans_abandoned".to_string(), abandoned);
+                }
+                r
+            }
             None => Report::default(),
         }
     }
@@ -156,6 +216,17 @@ impl TelemetryHandle {
     pub fn write_trace_jsonl<W: Write>(&self, w: &mut W) -> io::Result<usize> {
         match &self.inner {
             Some(i) => i.trace.lock().expect("trace lock").write_jsonl(w),
+            None => Ok(0),
+        }
+    }
+
+    /// Write the trace ring as a Chrome `trace_event` JSON document
+    /// (loadable in `chrome://tracing` / Perfetto; 1 simulation cycle maps
+    /// to 1 µs on the viewer timeline). Returns the number of trace-event
+    /// records written (0 when disabled; nothing is written then).
+    pub fn write_chrome_trace<W: Write>(&self, w: &mut W) -> io::Result<usize> {
+        match &self.inner {
+            Some(i) => i.trace.lock().expect("trace lock").write_chrome_trace(w),
             None => Ok(0),
         }
     }
@@ -217,6 +288,68 @@ mod tests {
         // ns_total is monotone; zero only if the clock is broken, but allow
         // it: just check the key exists.
         assert!(r.counters.contains_key("work.ns_total"));
+    }
+
+    #[test]
+    fn profile_spans_nest_through_the_handle() {
+        let t = TelemetryHandle::new();
+        {
+            let _frame = t.profile_span("frame");
+            let _stage = t.profile_span("stage0");
+            t.profile_record("encode", 1_000, 4);
+        }
+        let snap = t.profile_snapshot();
+        assert!(snap.paths.contains_key("frame"));
+        assert!(snap.paths.contains_key("frame/stage0"));
+        assert_eq!(snap.paths["frame/stage0/encode"].calls, 4);
+        let table = t.flame_table();
+        assert!(table.contains("frame/stage0/encode"));
+    }
+
+    #[test]
+    fn abandoned_spans_surface_in_the_report() {
+        let t = TelemetryHandle::new();
+        t.counter("work.items").add(7);
+        assert!(!t
+            .report()
+            .counters
+            .contains_key("telemetry.spans_abandoned"));
+        let a = t.profile_span("a");
+        let b = t.profile_span("b");
+        drop(a);
+        drop(b); // displaced -> abandoned
+        assert_eq!(t.spans_abandoned(), 1);
+        let r = t.report();
+        assert_eq!(r.counters["telemetry.spans_abandoned"], 1);
+        assert_eq!(r.counters["work.items"], 7);
+    }
+
+    #[test]
+    fn disabled_profiling_is_inert() {
+        let t = TelemetryHandle::disabled();
+        let s = t.profile_span("x");
+        assert!(!s.is_active());
+        drop(s);
+        t.profile_record("y", 10, 1);
+        assert!(t.profile_snapshot().is_empty());
+        assert_eq!(t.spans_abandoned(), 0);
+        let mut buf = Vec::new();
+        assert_eq!(t.write_chrome_trace(&mut buf).unwrap(), 0);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_through_the_handle_is_valid_json() {
+        let t = TelemetryHandle::new();
+        t.trace(TraceEvent::new(0, TraceKind::FrameStart, 64, 48));
+        t.trace(TraceEvent::new(5, TraceKind::Stall, 3, 108));
+        t.trace(TraceEvent::new(9, TraceKind::FrameEnd, 9, 0));
+        let mut buf = Vec::new();
+        let n = t.write_chrome_trace(&mut buf).unwrap();
+        assert!(n >= 3);
+        let doc = json::parse(&String::from_utf8(buf).unwrap()).unwrap();
+        let obj = doc.as_obj().unwrap();
+        assert_eq!(obj["traceEvents"].as_arr().unwrap().len(), n);
     }
 
     #[test]

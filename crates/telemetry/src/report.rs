@@ -230,8 +230,15 @@ impl Report {
         out
     }
 
-    /// Render as Prometheus text exposition (metric names have `.` and any
-    /// other non-`[a-zA-Z0-9_:]` characters replaced by `_`).
+    /// Render as Prometheus text exposition. Metric names have `.` and any
+    /// other non-`[a-zA-Z0-9_:]` characters replaced by `_`. A metric key
+    /// may carry a label block built by [`prometheus_series`]
+    /// (`name{key="value"}`); the block is emitted verbatim — values were
+    /// escaped when the key was built — and only the base name is
+    /// sanitized. Histogram bucket counts are **cumulative** and terminated
+    /// by a `+Inf` bucket, as real scrapers require; the observed maximum
+    /// is exported as an untyped `<name>_max` sample so
+    /// [`Report::from_prometheus`] can round-trip the snapshot.
     pub fn to_prometheus(&self) -> String {
         fn sanitize(name: &str) -> String {
             name.chars()
@@ -244,17 +251,31 @@ impl Report {
                 })
                 .collect()
         }
+        /// Split `name{label="block"}` into the sanitized base and the
+        /// verbatim label block (if present and well-bracketed).
+        fn split(key: &str) -> (String, Option<&str>) {
+            match key.find('{') {
+                Some(i) if key.ends_with('}') && key.len() > i + 2 => {
+                    (sanitize(&key[..i]), Some(&key[i..]))
+                }
+                _ => (sanitize(key), None),
+            }
+        }
         let mut out = String::new();
         for (k, v) in &self.counters {
-            let n = sanitize(k);
-            let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+            let (n, labels) = split(k);
+            let l = labels.unwrap_or("");
+            let _ = writeln!(out, "# TYPE {n} counter\n{n}{l} {v}");
         }
         for (k, v) in &self.gauges {
-            let n = sanitize(k);
-            let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+            let (n, labels) = split(k);
+            let l = labels.unwrap_or("");
+            let _ = writeln!(out, "# TYPE {n} gauge\n{n}{l} {v}");
         }
         for (k, h) in &self.histograms {
-            let n = sanitize(k);
+            let (n, labels) = split(k);
+            let l = labels.unwrap_or("");
+            let inner = labels.map(|l| &l[1..l.len() - 1]);
             let _ = writeln!(out, "# TYPE {n} histogram");
             let mut cumulative = 0u64;
             for (i, c) in h.counts.iter().enumerate() {
@@ -263,12 +284,294 @@ impl Report {
                     Some(b) => b.to_string(),
                     None => "+Inf".to_string(),
                 };
-                let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
+                match inner {
+                    Some(inner) => {
+                        let _ = writeln!(out, "{n}_bucket{{{inner},le=\"{le}\"}} {cumulative}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cumulative}");
+                    }
+                }
             }
-            let _ = writeln!(out, "{n}_sum {}\n{n}_count {}", h.sum, h.count);
+            let _ = writeln!(
+                out,
+                "{n}_sum{l} {}\n{n}_count{l} {}\n{n}_max{l} {}",
+                h.sum, h.count, h.max
+            );
         }
         out
     }
+
+    /// Parse a text exposition produced by [`Report::to_prometheus`] back
+    /// into a report. Strict about the histogram contract: bucket counts
+    /// must be cumulative (non-decreasing), the final bucket must be
+    /// `le="+Inf"`, and `_count` must equal the `+Inf` cumulative count.
+    ///
+    /// Round-trips exactly when the original metric keys were already
+    /// Prometheus-safe (sanitization is lossy otherwise): label blocks are
+    /// re-canonicalized through [`prometheus_series`].
+    pub fn from_prometheus(text: &str) -> Result<Self, String> {
+        #[derive(Default)]
+        struct HistAcc {
+            cumulative: Vec<(Option<u64>, u64)>,
+            sum: Option<u64>,
+            count: Option<u64>,
+            max: Option<u64>,
+        }
+        let mut types: BTreeMap<String, String> = BTreeMap::new();
+        let mut report = Report::default();
+        let mut hists: BTreeMap<String, HistAcc> = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let at = |msg: String| format!("line {}: {msg}", idx + 1);
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix('#') {
+                if let Some(t) = comment.trim_start().strip_prefix("TYPE ") {
+                    let mut it = t.split_whitespace();
+                    let name = it
+                        .next()
+                        .ok_or_else(|| at("TYPE without a metric name".into()))?;
+                    let kind = it
+                        .next()
+                        .ok_or_else(|| at(format!("TYPE {name} without a kind")))?;
+                    types.insert(name.to_string(), kind.to_string());
+                }
+                continue;
+            }
+            let (base, labels, value) = parse_prometheus_sample(line).map_err(at)?;
+            match types.get(&base).map(String::as_str) {
+                Some("counter") => {
+                    report
+                        .counters
+                        .insert(rebuild_series(&base, &labels), value);
+                    continue;
+                }
+                Some("gauge") => {
+                    report.gauges.insert(rebuild_series(&base, &labels), value);
+                    continue;
+                }
+                _ => {}
+            }
+            let hist_part = ["_bucket", "_sum", "_count", "_max"]
+                .into_iter()
+                .find_map(|suffix| {
+                    base.strip_suffix(suffix)
+                        .filter(|stem| types.get(*stem).map(String::as_str) == Some("histogram"))
+                        .map(|stem| (stem.to_string(), suffix))
+                });
+            let Some((stem, suffix)) = hist_part else {
+                return Err(at(format!("sample '{base}' has no preceding # TYPE")));
+            };
+            if suffix == "_bucket" {
+                let mut le = None;
+                let mut rest = Vec::new();
+                for (k, v) in labels {
+                    if k == "le" {
+                        le = Some(v);
+                    } else {
+                        rest.push((k, v));
+                    }
+                }
+                let le = le.ok_or_else(|| at(format!("{base} sample without an le label")))?;
+                let bound = if le == "+Inf" {
+                    None
+                } else {
+                    Some(
+                        le.parse::<u64>()
+                            .map_err(|_| at(format!("{base}: bad le bound '{le}'")))?,
+                    )
+                };
+                hists
+                    .entry(rebuild_series(&stem, &rest))
+                    .or_default()
+                    .cumulative
+                    .push((bound, value));
+            } else {
+                let acc = hists.entry(rebuild_series(&stem, &labels)).or_default();
+                match suffix {
+                    "_sum" => acc.sum = Some(value),
+                    "_count" => acc.count = Some(value),
+                    _ => acc.max = Some(value),
+                }
+            }
+        }
+        for (key, acc) in hists {
+            let mut bounds = Vec::new();
+            let mut counts = Vec::new();
+            let mut prev = 0u64;
+            let mut inf_seen = false;
+            for (bound, cum) in &acc.cumulative {
+                if *cum < prev {
+                    return Err(format!("histogram {key}: bucket counts are not cumulative"));
+                }
+                match bound {
+                    Some(b) => {
+                        if inf_seen {
+                            return Err(format!("histogram {key}: +Inf bucket is not last"));
+                        }
+                        if bounds.last().is_some_and(|prev_b| b <= prev_b) {
+                            return Err(format!("histogram {key}: bounds are not increasing"));
+                        }
+                        bounds.push(*b);
+                    }
+                    None => inf_seen = true,
+                }
+                counts.push(cum - prev);
+                prev = *cum;
+            }
+            if !inf_seen {
+                return Err(format!("histogram {key}: missing +Inf bucket"));
+            }
+            let count = acc
+                .count
+                .ok_or_else(|| format!("histogram {key}: missing _count"))?;
+            if count != prev {
+                return Err(format!(
+                    "histogram {key}: _count {count} disagrees with +Inf cumulative {prev}"
+                ));
+            }
+            let sum = acc
+                .sum
+                .ok_or_else(|| format!("histogram {key}: missing _sum"))?;
+            report.histograms.insert(
+                key,
+                HistogramSnapshot {
+                    bounds,
+                    counts,
+                    count,
+                    sum,
+                    max: acc.max.unwrap_or(0),
+                },
+            );
+        }
+        Ok(report)
+    }
+}
+
+/// Build a canonical Prometheus series key `name{key="value",…}` with label
+/// values escaped per the text exposition format (`\\`, `\"`, `\n`). With
+/// no labels the bare name is returned. Use the result as a metric name in
+/// a registry / [`Report`]; [`Report::to_prometheus`] emits the label block
+/// verbatim and [`Report::from_prometheus`] parses it back.
+pub fn prometheus_series(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+fn rebuild_series(base: &str, labels: &[(String, String)]) -> String {
+    let borrowed: Vec<(&str, &str)> = labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    prometheus_series(base, &borrowed)
+}
+
+/// Parsed label pairs of one exposition sample line.
+type LabelPairs = Vec<(String, String)>;
+
+/// Parse one sample line `name{k="v",…} value` into its parts, unescaping
+/// label values.
+fn parse_prometheus_sample(line: &str) -> Result<(String, LabelPairs, u64), String> {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() && bytes[i] != b'{' && !bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    let base = line[..i].to_string();
+    if base.is_empty() {
+        return Err("missing metric name".to_string());
+    }
+    let mut labels = Vec::new();
+    if i < bytes.len() && bytes[i] == b'{' {
+        i += 1;
+        loop {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if bytes.get(i) == Some(&b'}') {
+                i += 1;
+                break;
+            }
+            let key_start = i;
+            while i < bytes.len() && bytes[i] != b'=' {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err("label without '='".to_string());
+            }
+            let key = line[key_start..i].trim().to_string();
+            if key.is_empty() {
+                return Err("empty label key".to_string());
+            }
+            i += 1;
+            if bytes.get(i) != Some(&b'"') {
+                return Err(format!("label {key}: value must be double-quoted"));
+            }
+            i += 1;
+            let mut value = String::new();
+            loop {
+                match bytes.get(i) {
+                    None => return Err(format!("label {key}: unterminated value")),
+                    Some(b'"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(b'\\') => {
+                        match bytes.get(i + 1) {
+                            Some(b'\\') => value.push('\\'),
+                            Some(b'"') => value.push('"'),
+                            Some(b'n') => value.push('\n'),
+                            _ => return Err(format!("label {key}: bad escape")),
+                        }
+                        i += 2;
+                    }
+                    Some(_) => {
+                        let c = line[i..].chars().next().expect("in-bounds char");
+                        value.push(c);
+                        i += c.len_utf8();
+                    }
+                }
+            }
+            labels.push((key, value));
+            match bytes.get(i) {
+                Some(b',') => i += 1,
+                Some(b'}') => {
+                    i += 1;
+                    break;
+                }
+                _ => return Err("expected ',' or '}' after a label".to_string()),
+            }
+        }
+    }
+    let value = line[i..].trim();
+    let value = value
+        .parse::<u64>()
+        .map_err(|_| format!("bad sample value '{value}'"))?;
+    Ok((base, labels, value))
 }
 
 #[cfg(test)]
@@ -343,5 +646,98 @@ mod tests {
     fn histogram_mean() {
         assert_eq!(sample().histograms["packer.nbits"].mean(), Some(5.0));
         assert_eq!(HistogramSnapshot::default().mean(), None);
+    }
+
+    /// A report whose keys are already Prometheus-safe (labels built with
+    /// [`prometheus_series`]), so the exposition round-trips exactly.
+    fn prom_sample() -> Report {
+        let mut r = Report::default();
+        r.counters.insert("stage_s0_cycles".into(), 4096);
+        r.counters.insert(
+            prometheus_series("span_ns_total", &[("path", "frame/encode \"hot\"\\loop")]),
+            77,
+        );
+        r.gauges
+            .insert(prometheus_series("fifo_bits", &[("fifo", "lh")]), 900);
+        r.histograms.insert(
+            prometheus_series("packer_nbits", &[("codec", "haar")]),
+            HistogramSnapshot {
+                bounds: vec![4, 8, 12],
+                counts: vec![10, 5, 1, 0],
+                count: 16,
+                sum: 80,
+                max: 11,
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn prometheus_round_trips_exactly_with_labels() {
+        let r = prom_sample();
+        let text = r.to_prometheus();
+        // Label values are escaped in the exposition...
+        assert!(text.contains("span_ns_total{path=\"frame/encode \\\"hot\\\"\\\\loop\"} 77"));
+        // ...bucket counts stay cumulative with +Inf, labels intact.
+        assert!(text.contains("packer_nbits_bucket{codec=\"haar\",le=\"4\"} 10"));
+        assert!(text.contains("packer_nbits_bucket{codec=\"haar\",le=\"+Inf\"} 16"));
+        assert!(text.contains("packer_nbits_max{codec=\"haar\"} 11"));
+        let parsed = Report::from_prometheus(&text).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn prometheus_series_escapes_label_values() {
+        assert_eq!(prometheus_series("m", &[]), "m");
+        assert_eq!(
+            prometheus_series("m", &[("a", "x\"y\\z\nw"), ("b", "ok")]),
+            "m{a=\"x\\\"y\\\\z\\nw\",b=\"ok\"}"
+        );
+    }
+
+    #[test]
+    fn from_prometheus_rejects_non_cumulative_buckets() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"4\"} 10\n\
+                    h_bucket{le=\"8\"} 7\n\
+                    h_bucket{le=\"+Inf\"} 12\n\
+                    h_sum 1\nh_count 12\n";
+        let err = Report::from_prometheus(text).unwrap_err();
+        assert!(err.contains("not cumulative"), "{err}");
+    }
+
+    #[test]
+    fn from_prometheus_rejects_missing_inf_bucket() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"4\"} 10\n\
+                    h_sum 1\nh_count 10\n";
+        let err = Report::from_prometheus(text).unwrap_err();
+        assert!(err.contains("+Inf"), "{err}");
+    }
+
+    #[test]
+    fn from_prometheus_rejects_count_mismatch() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"4\"} 10\n\
+                    h_bucket{le=\"+Inf\"} 12\n\
+                    h_sum 1\nh_count 99\n";
+        let err = Report::from_prometheus(text).unwrap_err();
+        assert!(err.contains("disagrees"), "{err}");
+    }
+
+    #[test]
+    fn from_prometheus_rejects_untyped_samples_and_bad_labels() {
+        assert!(Report::from_prometheus("mystery 5\n").is_err());
+        let unquoted = "# TYPE c counter\nc{k=v} 5\n";
+        assert!(Report::from_prometheus(unquoted).is_err());
+        let unterminated = "# TYPE c counter\nc{k=\"v} 5\n";
+        assert!(Report::from_prometheus(unterminated).is_err());
+    }
+
+    #[test]
+    fn empty_exposition_parses_to_empty_report() {
+        assert_eq!(Report::from_prometheus("").unwrap(), Report::default());
+        let r = Report::default();
+        assert_eq!(Report::from_prometheus(&r.to_prometheus()).unwrap(), r);
     }
 }

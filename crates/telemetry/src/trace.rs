@@ -9,7 +9,7 @@
 //! The ring is bounded: once full it overwrites the oldest event and counts
 //! the loss, so tracing a multi-megapixel run costs O(capacity) memory.
 
-use crate::json::write_escaped;
+use crate::json::{self, write_escaped, Json};
 use std::collections::VecDeque;
 use std::io::{self, Write};
 
@@ -36,9 +36,27 @@ pub enum TraceKind {
     FrameStart,
     /// A frame completed. `a` = total cycles.
     FrameEnd,
+    /// The memory unit stalled the producer. `a` = stall cycles charged,
+    /// `b` = deficit bits that forced the stall.
+    Stall,
 }
 
 impl TraceKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [TraceKind; 11] = [
+        TraceKind::WindowShift,
+        TraceKind::IwtDecompose,
+        TraceKind::Pack,
+        TraceKind::Unpack,
+        TraceKind::FifoPush,
+        TraceKind::FifoPop,
+        TraceKind::ThresholdChange,
+        TraceKind::Overflow,
+        TraceKind::FrameStart,
+        TraceKind::FrameEnd,
+        TraceKind::Stall,
+    ];
+
     /// Stable snake_case label used in the JSONL export.
     pub fn label(self) -> &'static str {
         match self {
@@ -52,7 +70,13 @@ impl TraceKind {
             TraceKind::Overflow => "overflow",
             TraceKind::FrameStart => "frame_start",
             TraceKind::FrameEnd => "frame_end",
+            TraceKind::Stall => "stall",
         }
+    }
+
+    /// Inverse of [`TraceKind::label`].
+    pub fn from_label(label: &str) -> Option<TraceKind> {
+        TraceKind::ALL.into_iter().find(|k| k.label() == label)
     }
 }
 
@@ -88,6 +112,101 @@ impl TraceEvent {
         s.push_str(&self.b.to_string());
         s.push('}');
         s
+    }
+
+    /// Parse one line produced by [`TraceEvent::to_json_line`] with the
+    /// strict JSON parser. Unknown event labels and missing fields are
+    /// errors.
+    pub fn parse_json_line(line: &str) -> Result<TraceEvent, String> {
+        let doc = json::parse(line.trim()).map_err(|e| e.to_string())?;
+        let obj = doc.as_obj().ok_or("trace line must be a JSON object")?;
+        let num = |key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("trace line missing u64 field '{key}'"))
+        };
+        let label = match obj.get("event") {
+            Some(Json::Str(s)) => s.as_str(),
+            _ => return Err("trace line missing string field 'event'".to_string()),
+        };
+        let kind = TraceKind::from_label(label)
+            .ok_or_else(|| format!("unknown trace event label '{label}'"))?;
+        Ok(TraceEvent {
+            cycle: num("cycle")?,
+            kind,
+            a: num("a")?,
+            b: num("b")?,
+        })
+    }
+
+    /// Render this event as Chrome `trace_event` records (1 cycle = 1 µs on
+    /// the viewer timeline). Most kinds map to one record; FIFO transitions
+    /// and threshold changes also emit a counter sample so the viewer draws
+    /// occupancy/threshold as a graph.
+    fn chrome_records(&self, out: &mut Vec<String>) {
+        let ts = self.cycle;
+        let args_pair =
+            |k1: &str, v1: u64, k2: &str, v2: u64| format!("\"{k1}\":{v1},\"{k2}\":{v2}");
+        let instant = |name: &str, args: String| {
+            format!(
+                "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":0,\"args\":{{{args}}}}}"
+            )
+        };
+        let counter = |name: &str, key: &str, value: u64| {
+            format!(
+                "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\"tid\":0,\"args\":{{\"{key}\":{value}}}}}"
+            )
+        };
+        match self.kind {
+            TraceKind::FrameStart => out.push(format!(
+                "{{\"name\":\"frame\",\"cat\":\"frame\",\"ph\":\"B\",\"ts\":{ts},\"pid\":0,\"tid\":0,\"args\":{{{}}}}}",
+                args_pair("width", self.a, "height", self.b)
+            )),
+            TraceKind::FrameEnd => out.push(format!(
+                "{{\"name\":\"frame\",\"cat\":\"frame\",\"ph\":\"E\",\"ts\":{ts},\"pid\":0,\"tid\":0,\"args\":{{{}}}}}",
+                args_pair("cycles", self.a, "b", self.b)
+            )),
+            TraceKind::Stall => out.push(format!(
+                "{{\"name\":\"stall\",\"cat\":\"memory\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{},\"pid\":0,\"tid\":0,\"args\":{{{}}}}}",
+                self.a.max(1),
+                args_pair("stall_cycles", self.a, "deficit_bits", self.b)
+            )),
+            TraceKind::WindowShift => {
+                out.push(instant("window_shift", format!("\"column\":{}", self.a)));
+            }
+            TraceKind::IwtDecompose => {
+                out.push(instant("iwt_decompose", format!("\"tag\":{}", self.a)));
+            }
+            TraceKind::Pack => {
+                out.push(instant("pack", args_pair("bits", self.a, "nbits", self.b)));
+            }
+            TraceKind::Unpack => {
+                out.push(instant("unpack", args_pair("bits", self.a, "nbits", self.b)));
+            }
+            TraceKind::FifoPush => {
+                out.push(instant(
+                    "fifo_push",
+                    args_pair("occupancy_bits", self.a, "bits", self.b),
+                ));
+                out.push(counter("fifo_occupancy_bits", "bits", self.a));
+            }
+            TraceKind::FifoPop => {
+                out.push(instant(
+                    "fifo_pop",
+                    args_pair("occupancy_bits", self.a, "bits", self.b),
+                ));
+                out.push(counter("fifo_occupancy_bits", "bits", self.a));
+            }
+            TraceKind::ThresholdChange => {
+                out.push(counter("threshold", "value", self.a));
+            }
+            TraceKind::Overflow => {
+                out.push(instant(
+                    "overflow",
+                    args_pair("occupancy_bits", self.a, "capacity_bits", self.b),
+                ));
+            }
+        }
     }
 }
 
@@ -154,6 +273,30 @@ impl TraceRing {
         Ok(self.events.len())
     }
 
+    /// Write every held event as one Chrome `trace_event` JSON document
+    /// (`{"displayTimeUnit":"ms","traceEvents":[…]}`), loadable in
+    /// `chrome://tracing` or Perfetto. Simulation cycles map 1:1 to the
+    /// viewer's microsecond timeline. Returns the number of trace-event
+    /// records written (some [`TraceKind`]s expand to two records).
+    ///
+    /// After ring wraparound the document may open with an `"E"` (frame
+    /// end) whose `"B"` was evicted; the viewers tolerate that.
+    pub fn write_chrome_trace<W: Write>(&self, w: &mut W) -> io::Result<usize> {
+        write!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        let mut records = Vec::new();
+        for e in &self.events {
+            e.chrome_records(&mut records);
+        }
+        for (i, r) in records.iter().enumerate() {
+            if i > 0 {
+                w.write_all(b",")?;
+            }
+            write!(w, "\n{r}")?;
+        }
+        writeln!(w, "\n]}}")?;
+        Ok(records.len())
+    }
+
     /// Remove all events (the drop counter is preserved).
     pub fn clear(&mut self) {
         self.events.clear();
@@ -200,23 +343,107 @@ mod tests {
 
     #[test]
     fn every_label_is_snake_case_and_unique() {
-        let kinds = [
-            TraceKind::WindowShift,
-            TraceKind::IwtDecompose,
-            TraceKind::Pack,
-            TraceKind::Unpack,
-            TraceKind::FifoPush,
-            TraceKind::FifoPop,
-            TraceKind::ThresholdChange,
-            TraceKind::Overflow,
-            TraceKind::FrameStart,
-            TraceKind::FrameEnd,
-        ];
         let mut seen = std::collections::HashSet::new();
-        for k in kinds {
+        for k in TraceKind::ALL {
             let l = k.label();
             assert!(l.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
             assert!(seen.insert(l), "duplicate label {l}");
+            assert_eq!(TraceKind::from_label(l), Some(k));
         }
+        assert_eq!(TraceKind::from_label("no_such_event"), None);
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_jsonl() {
+        for (i, k) in TraceKind::ALL.into_iter().enumerate() {
+            let e = TraceEvent::new(i as u64, k, 10 + i as u64, 20 + i as u64);
+            let parsed = TraceEvent::parse_json_line(&e.to_json_line()).unwrap();
+            assert_eq!(parsed, e);
+        }
+    }
+
+    #[test]
+    fn parse_json_line_rejects_malformed_input() {
+        assert!(TraceEvent::parse_json_line("not json").is_err());
+        assert!(TraceEvent::parse_json_line("{\"cycle\":1}").is_err());
+        assert!(
+            TraceEvent::parse_json_line("{\"cycle\":1,\"event\":\"bogus\",\"a\":0,\"b\":0}")
+                .is_err()
+        );
+        assert!(
+            TraceEvent::parse_json_line("{\"cycle\":-1,\"event\":\"pack\",\"a\":0,\"b\":0}")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn wraparound_keeps_dropped_consistent_with_emitted_lines() {
+        const CAPACITY: usize = 4;
+        const PUSHED: u64 = 11;
+        let mut r = TraceRing::new(CAPACITY);
+        for cycle in 0..PUSHED {
+            r.push(TraceEvent::new(cycle, TraceKind::Pack, cycle, 1));
+        }
+        let mut buf = Vec::new();
+        let written = r.write_jsonl(&mut buf).unwrap();
+        // Accounting invariant: every pushed event is either emitted or
+        // counted as dropped.
+        assert_eq!(written as u64 + r.dropped(), PUSHED);
+        assert_eq!(written, r.len());
+        // Every emitted line round-trips through the strict parser and the
+        // survivors are exactly the newest `capacity` events, in order.
+        let text = String::from_utf8(buf).unwrap();
+        let events: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| TraceEvent::parse_json_line(l).unwrap())
+            .collect();
+        assert_eq!(events.len(), written);
+        let cycles: Vec<u64> = events.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_phases() {
+        let mut r = TraceRing::new(16);
+        r.push(TraceEvent::new(0, TraceKind::FrameStart, 64, 48));
+        r.push(TraceEvent::new(3, TraceKind::FifoPush, 120, 36));
+        r.push(TraceEvent::new(4, TraceKind::Stall, 2, 72));
+        r.push(TraceEvent::new(5, TraceKind::ThresholdChange, 6, 4));
+        r.push(TraceEvent::new(9, TraceKind::FrameEnd, 9, 0));
+        let mut buf = Vec::new();
+        // FifoPush expands to instant + counter, so 6 records total.
+        let n = r.write_chrome_trace(&mut buf).unwrap();
+        assert_eq!(n, 6);
+        let text = String::from_utf8(buf).unwrap();
+        let doc = json::parse(&text).unwrap();
+        let obj = doc.as_obj().unwrap();
+        let events = obj["traceEvents"].as_arr().unwrap();
+        assert_eq!(events.len(), n);
+        let phase = |e: &Json| match e.as_obj().unwrap().get("ph") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => panic!("record missing ph"),
+        };
+        assert_eq!(phase(&events[0]), "B");
+        assert_eq!(phase(&events[n - 1]), "E");
+        // The stall renders as a complete event with a duration.
+        let stall = events
+            .iter()
+            .find(|e| phase(e) == "X")
+            .expect("stall record");
+        assert_eq!(stall.as_obj().unwrap()["dur"].as_u64(), Some(2));
+        // Counter samples exist for FIFO occupancy and threshold.
+        assert_eq!(events.iter().filter(|e| phase(e) == "C").count(), 2);
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_ring_is_valid() {
+        let r = TraceRing::new(4);
+        let mut buf = Vec::new();
+        assert_eq!(r.write_chrome_trace(&mut buf).unwrap(), 0);
+        let doc = json::parse(&String::from_utf8(buf).unwrap()).unwrap();
+        assert!(doc.as_obj().unwrap()["traceEvents"]
+            .as_arr()
+            .unwrap()
+            .is_empty());
     }
 }

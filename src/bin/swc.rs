@@ -21,6 +21,7 @@
 //! N-thread pool. The strip decomposition is fixed (8 strips), so every
 //! number printed is identical for any `N` — see `tests/determinism.rs`.
 
+use modified_sliding_window::bench::perf;
 use modified_sliding_window::core::analysis::{analyze_frame, analyze_frame_par, measure_frame};
 use modified_sliding_window::core::arch::build_arch;
 use modified_sliding_window::core::compressed::CompressedSlidingWindow;
@@ -51,7 +52,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   swc analyze <image.pgm> --window N [--threshold T] [--policy details|all]
-              [--codec C] [--metrics-out FILE.json] [--trace FILE.jsonl] [--jobs N]
+              [--codec C] [--metrics-out FILE.json] [--trace FILE.jsonl]
+              [--trace-chrome FILE.json] [--flame] [--jobs N]
               [--overflow-policy fail|stall|degrade] [--budget-fraction F]
               [--fault-seed N]
   swc plan    <image.pgm> --window N [--threshold T]
@@ -60,6 +62,8 @@ usage:
               [--fault-seed N]
   swc scene   <name|index> <out.pgm> [--size WxH]
   swc conform [--all] [--bless] [--fuzz N] [--seed S] [--vectors DIR]
+  swc bench   [--json] [--quick] [--out FILE] [--jobs N]
+  swc bench   --compare BASE.json NEW.json [--max-loss PCT] [--warn-only]
 
 The image must be a binary PGM (P5). `swc scene` writes one of the built-in
 synthetic dataset scenes instead of reading an input.
@@ -72,7 +76,9 @@ statistics instead of the Haar column analyzer.
 --metrics-out runs the full datapath with telemetry enabled and writes the
 metrics report (stage cycles, FIFO occupancy, packer counters, NBits
 distribution) as JSON; --trace writes the cycle-domain event trace as JSON
-lines.
+lines; --trace-chrome writes the same trace as Chrome trace_event JSON
+(open in chrome://tracing or Perfetto); --flame prints the hierarchical
+span profile as a flame-style self-time table.
 
 --jobs N processes the frame as 8 row strips (with window-height halos) on
 an N-thread work-stealing pool; output is byte-identical for any N.
@@ -92,7 +98,16 @@ corpus grid plus any shrunk fuzz reproducers; --bless regenerates the
 golden vectors after an intentional format change; --fuzz N runs an
 N-case coverage-guided campaign from --seed S (default 1), shrinking any
 failure into vectors/regressions/. --vectors DIR overrides the corpus
-directory (default: the crate's checked-in vectors/).";
+directory (default: the crate's checked-in vectors/).
+
+swc bench runs the kernel x codec performance matrix (sequential and
+halo-sharded on --jobs threads) and prints a throughput table. --json
+writes the machine-readable trajectory (schema swc-bench-v1) to --out
+FILE, default BENCH_<date>.json; --quick uses a reduced frame for CI
+smoke runs. 'swc bench --compare BASE.json NEW.json' diffs two
+trajectories and exits non-zero when any cell's throughput drops more
+than --max-loss PCT (default 10) — --warn-only reports the same diff but
+always exits 0.";
 
 struct Opts {
     window: usize,
@@ -102,6 +117,8 @@ struct Opts {
     size: (usize, usize),
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
+    trace_chrome_out: Option<PathBuf>,
+    flame: bool,
     jobs: Option<usize>,
     overflow_policy: Option<OverflowPolicy>,
     budget_fraction: f64,
@@ -111,7 +128,10 @@ struct Opts {
 impl Opts {
     /// Whether any telemetry output was requested.
     fn wants_telemetry(&self) -> bool {
-        self.metrics_out.is_some() || self.trace_out.is_some()
+        self.metrics_out.is_some()
+            || self.trace_out.is_some()
+            || self.trace_chrome_out.is_some()
+            || self.flame
     }
 
     /// Whether a memory-unit policy or fault run was requested (either
@@ -130,6 +150,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         size: (512, 512),
         metrics_out: None,
         trace_out: None,
+        trace_chrome_out: None,
+        flame: false,
         jobs: None,
         overflow_policy: None,
         budget_fraction: 1.0,
@@ -173,6 +195,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--trace" => {
                 o.trace_out = Some(PathBuf::from(next(args, &mut i)?));
             }
+            "--trace-chrome" => {
+                o.trace_chrome_out = Some(PathBuf::from(next(args, &mut i)?));
+            }
+            "--flame" => o.flame = true,
             "--jobs" => {
                 o.jobs = Some(parse_jobs(next(args, &mut i)?)?);
             }
@@ -246,6 +272,7 @@ fn run(args: &[String]) -> Result<(), String> {
             scene(which, out, &o)
         }
         "conform" => conform(&args[1..]),
+        "bench" => bench(&args[1..]),
         other => Err(format!("unknown command '{other}'")),
     }
 }
@@ -309,6 +336,97 @@ fn conform(args: &[String]) -> Result<(), String> {
         if !report.failures.is_empty() {
             return Err("fuzz campaign found failures".into());
         }
+    }
+    Ok(())
+}
+
+/// `swc bench`: the kernel × codec performance matrix and the trajectory
+/// regression gate. Uses its own flag set — see `sw_bench::perf`.
+fn bench(args: &[String]) -> Result<(), String> {
+    let mut json_out = false;
+    let mut quick = false;
+    let mut out: Option<PathBuf> = None;
+    let mut jobs: Option<usize> = None;
+    let mut compare_paths: Option<(PathBuf, PathBuf)> = None;
+    let mut max_loss_pct = 10.0f64;
+    let mut warn_only = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json_out = true,
+            "--quick" => quick = true,
+            "--out" => out = Some(PathBuf::from(next(args, &mut i)?)),
+            "--jobs" => jobs = Some(parse_jobs(next(args, &mut i)?)?),
+            "--compare" => {
+                let base = PathBuf::from(next(args, &mut i)?);
+                let newer = PathBuf::from(next(args, &mut i)?);
+                compare_paths = Some((base, newer));
+            }
+            "--max-loss" => {
+                let v = next(args, &mut i)?;
+                max_loss_pct = v.parse().map_err(|_| "bad --max-loss")?;
+                if !(max_loss_pct >= 0.0 && max_loss_pct.is_finite()) {
+                    return Err("--max-loss must be a non-negative percentage".into());
+                }
+            }
+            "--warn-only" => warn_only = true,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+
+    if let Some((base_path, new_path)) = compare_paths {
+        if json_out || quick || out.is_some() || jobs.is_some() {
+            return Err("--compare takes only --max-loss and --warn-only".into());
+        }
+        let load = |p: &Path| -> Result<perf::BenchReport, String> {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+            perf::BenchReport::from_json(&text).map_err(|e| format!("{}: {e}", p.display()))
+        };
+        let outcome = perf::compare(&load(&base_path)?, &load(&new_path)?, max_loss_pct)?;
+        print!("{}", outcome.render());
+        if outcome.is_regressed() && !warn_only {
+            return Err("bench regression gate failed".into());
+        }
+        return Ok(());
+    }
+    if warn_only {
+        return Err("--warn-only only applies to --compare".into());
+    }
+
+    let jobs = jobs.unwrap_or_else(default_jobs);
+    let settings = if quick {
+        perf::BenchSettings::quick(jobs)
+    } else {
+        perf::BenchSettings::full(jobs)
+    };
+    eprintln!(
+        "bench: {} cells, {}x{} frame, {} timed frames/cell, {jobs} jobs{}",
+        perf::matrix_cell_ids().len(),
+        settings.width,
+        settings.height,
+        settings.frames,
+        if quick { " (quick)" } else { "" }
+    );
+    let report = perf::run_matrix(&settings, &perf::utc_date_string())?;
+    println!("cell                       Mpix/s      p50 ms      p99 ms    KB packed");
+    for c in &report.cells {
+        println!(
+            "{:<22} {:>10.3} {:>11.3} {:>11.3} {:>12.1}",
+            c.cell,
+            c.mpix_per_s,
+            c.p50_ns as f64 / 1e6,
+            c.p99_ns as f64 / 1e6,
+            c.bytes_packed as f64 / 1024.0
+        );
+    }
+    if json_out {
+        let path =
+            out.unwrap_or_else(|| PathBuf::from(format!("BENCH_{}.json", report.created_utc)));
+        std::fs::write(&path, report.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote bench trajectory: {}", path.display());
     }
     Ok(())
 }
@@ -586,6 +704,22 @@ fn write_telemetry(tele: &TelemetryHandle, o: &Opts) -> Result<(), String> {
                 path.display()
             ),
         }
+    }
+    if let Some(path) = &o.trace_chrome_out {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        let mut w = std::io::BufWriter::new(file);
+        let n = tele
+            .write_chrome_trace(&mut w)
+            .and_then(|n| w.flush().map(|()| n))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!(
+            "wrote Chrome trace: {} ({n} records; open in chrome://tracing or Perfetto)",
+            path.display()
+        );
+    }
+    if o.flame {
+        print!("{}", tele.flame_table());
     }
     Ok(())
 }

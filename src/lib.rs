@@ -24,7 +24,10 @@
 //! * [`pool`] — the work-stealing thread pool behind `par_iter` and the
 //!   sharded runner (`--jobs` / `SWC_JOBS` select its size).
 //! * [`telemetry`] — the observability substrate: metrics registry, span
-//!   timers, cycle-domain trace ring, machine-readable run reports.
+//!   timers, hierarchical span profiler, cycle-domain trace ring,
+//!   machine-readable run reports.
+//! * [`bench`] — the evaluation harness: paper table/figure regeneration
+//!   and the `swc bench` performance matrix with its regression gate.
 //!
 //! ## Quick start
 //!
@@ -54,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use sw_bench as bench;
 pub use sw_bitstream as bitstream;
 pub use sw_core as core;
 pub use sw_fpga as fpga;

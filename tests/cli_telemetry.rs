@@ -264,3 +264,52 @@ fn plan_rejects_telemetry_flags() {
     assert!(!out.status.success(), "plan must reject --metrics-out");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn flame_and_chrome_trace_surfaces_work_end_to_end() {
+    let dir = temp_dir("flame");
+    let pgm = write_scene(&dir);
+    let chrome = dir.join("trace.chrome.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_swc"))
+        .args([
+            "analyze",
+            pgm.to_str().unwrap(),
+            "--window",
+            "8",
+            "--threshold",
+            "4",
+            "--flame",
+            "--trace-chrome",
+            chrome.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run swc");
+    assert!(out.status.success(), "swc analyze --flame failed");
+
+    // The flame table decomposes the frame into datapath stages with a
+    // self-time column.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("frame/encode"), "stdout: {stdout}");
+    assert!(stdout.contains("frame/decode"), "stdout: {stdout}");
+    assert!(stdout.contains("self%"), "stdout: {stdout}");
+
+    // The Chrome trace is one valid JSON object with a traceEvents
+    // array whose record count matches what the CLI reported.
+    let text = std::fs::read_to_string(&chrome).expect("read chrome trace");
+    let v = modified_sliding_window::telemetry::json::parse(&text).expect("valid JSON");
+    let events = v
+        .as_obj()
+        .and_then(|o| o.get("traceEvents"))
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let reported: usize = stdout
+        .lines()
+        .find(|l| l.contains("wrote Chrome trace"))
+        .and_then(|l| l.split('(').nth(1))
+        .and_then(|l| l.split(' ').next())
+        .and_then(|n| n.parse().ok())
+        .expect("record count in output");
+    assert_eq!(events.len(), reported);
+    std::fs::remove_dir_all(&dir).ok();
+}
