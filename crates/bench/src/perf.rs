@@ -159,6 +159,10 @@ pub struct BenchReport {
     pub version: u64,
     /// UTC date the report was generated (`YYYY-MM-DD`).
     pub created_utc: String,
+    /// Hot path the matrix ran with (`scalar` or `sliced`). Reports
+    /// written before the hot-path axis existed parse as `scalar` — the
+    /// only implementation that era had.
+    pub hot_path: String,
     /// Settings the matrix ran with.
     pub settings: BenchSettings,
     /// Results in matrix order (kernel-major, then codec, then mode).
@@ -311,6 +315,9 @@ pub fn run_matrix(settings: &BenchSettings, created_utc: &str) -> Result<BenchRe
         schema: SCHEMA.to_string(),
         version: SCHEMA_VERSION,
         created_utc: created_utc.to_string(),
+        // `cell_config` builds from `ArchConfig::new`, which resolves the
+        // hot path from the environment — record what actually ran.
+        hot_path: sw_core::HotPath::from_env().name().to_string(),
         settings: *settings,
         cells,
     })
@@ -348,6 +355,7 @@ impl BenchReport {
             "  \"created_utc\": \"{}\",\n",
             esc(&self.created_utc)
         ));
+        s.push_str(&format!("  \"hot_path\": \"{}\",\n", esc(&self.hot_path)));
         s.push_str(&format!(
             "  \"frame\": {{\"width\": {}, \"height\": {}, \"frames\": {}, \"window\": {WINDOW}, \"jobs\": {}, \"quick\": {}}},\n",
             self.settings.width,
@@ -418,6 +426,13 @@ impl BenchReport {
             .and_then(Json::as_u64)
             .ok_or("bench JSON: missing 'version'")?;
         let created_utc = str_field("created_utc")?;
+        let hot_path = match obj.get("hot_path") {
+            Some(v) => v
+                .as_str()
+                .ok_or("bench JSON: non-string 'hot_path'")?
+                .to_string(),
+            None => "scalar".to_string(),
+        };
         let frame = obj
             .get("frame")
             .and_then(Json::as_obj)
@@ -453,6 +468,7 @@ impl BenchReport {
             schema,
             version,
             created_utc,
+            hot_path,
             settings,
             cells,
         })
@@ -544,6 +560,9 @@ pub struct CompareOutcome {
     pub missing: Vec<String>,
     /// Cells only in the new report.
     pub added: Vec<String>,
+    /// `Some((base, new))` when the two reports ran different hot paths —
+    /// expected when gating a sliced run against the scalar baseline.
+    pub hot_paths: Option<(String, String)>,
 }
 
 impl CompareOutcome {
@@ -561,6 +580,9 @@ impl CompareOutcome {
             self.deltas.len(),
             self.max_loss_pct
         ));
+        if let Some((base, new)) = &self.hot_paths {
+            s.push_str(&format!("  hot path: {base} -> {new}\n"));
+        }
         for d in &self.deltas {
             let flag = if d.delta_pct < -self.max_loss_pct {
                 "  REGRESSION"
@@ -647,6 +669,8 @@ pub fn compare(
         deltas,
         missing,
         added,
+        hot_paths: (base.hot_path != new.hot_path)
+            .then(|| (base.hot_path.clone(), new.hot_path.clone())),
     })
 }
 
@@ -698,6 +722,7 @@ mod tests {
             schema: SCHEMA.to_string(),
             version: SCHEMA_VERSION,
             created_utc: "2026-08-07".to_string(),
+            hot_path: "sliced".to_string(),
             settings: tiny_settings(),
             cells: mpix
                 .iter()
@@ -799,6 +824,7 @@ mod tests {
             schema: SCHEMA.to_string(),
             version: SCHEMA_VERSION,
             created_utc: "2026-08-07".to_string(),
+            hot_path: "sliced".to_string(),
             settings: s,
             cells: vec![run_cell("box", LineCodecKind::Raw, false, &img, &pool, &s).unwrap()],
         };

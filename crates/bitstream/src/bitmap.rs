@@ -75,9 +75,24 @@ impl Bitmap {
         }
     }
 
+    /// Reset to zero bits, keeping the allocated word capacity so a scratch
+    /// bitmap can be refilled without reallocating.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
     /// Number of set bits (significant coefficients).
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The backing words, LSB-first within each word (bit `i` lives at
+    /// `words()[i / 64]` bit `i % 64`). Bits at or beyond [`len`](Self::len)
+    /// are zero. This is the bit-sliced decode path's bulk view.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Iterate bits in order.
@@ -146,6 +161,17 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn get_out_of_range_panics() {
         Bitmap::zeros(4).get(4);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut bm = Bitmap::from_bits((0..200).map(|i| i % 2 == 0));
+        let cap = bm.words.capacity();
+        bm.clear();
+        assert!(bm.is_empty());
+        assert_eq!(bm.words.capacity(), cap);
+        bm.push(true);
+        assert_eq!(bm.to_bit_string(), "1");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! paper's Figure 3, Figure 13 and Tables II–V.
 
 use crate::bitmap::Bitmap;
-use crate::nbits::min_bits_significant;
+use crate::nbits::{min_bits_significant, min_bits_significant_sliced};
 use crate::writer::{BitReader, BitWriter};
 use crate::{is_significant, Coeff, NBITS_FIELD_BITS};
 
@@ -32,6 +32,19 @@ pub struct EncodedColumn {
     pub payload: Vec<u8>,
     /// Exact number of payload bits (before padding).
     pub payload_bits: u64,
+}
+
+impl Default for EncodedColumn {
+    /// An empty encoding — the natural starting point for a scratch column
+    /// that [`encode_column_into`] will fill in place.
+    fn default() -> Self {
+        Self {
+            nbits: 1,
+            bitmap: Bitmap::new(),
+            payload: Vec::new(),
+            payload_bits: 0,
+        }
+    }
 }
 
 impl EncodedColumn {
@@ -134,6 +147,78 @@ pub fn encode_column(coeffs: &[Coeff], threshold: Coeff) -> EncodedColumn {
     }
 }
 
+/// Scalar twin of [`encode_column`] that reuses `out`'s buffers instead of
+/// allocating — the zero-copy arena building block. Produces a bit-identical
+/// [`EncodedColumn`].
+pub fn encode_column_into(coeffs: &[Coeff], threshold: Coeff, out: &mut EncodedColumn) {
+    let nbits = min_bits_significant(coeffs, threshold);
+    out.bitmap.clear();
+    out.payload.clear();
+    // Inline BitWriter: LSB-first staging, whole bytes flushed, partial byte
+    // zero-padded at the end — byte-identical to the reference writer.
+    let mut acc: u32 = 0;
+    let mut acc_bits: u32 = 0;
+    let mut payload_bits: u64 = 0;
+    let mask = (1u32 << nbits) - 1;
+    for &c in coeffs {
+        let sig = is_significant(c, threshold);
+        out.bitmap.push(sig);
+        if sig {
+            debug_assert!(crate::nbits::min_bits(c) <= nbits);
+            acc |= ((c as u16 as u32) & mask) << acc_bits;
+            acc_bits += nbits;
+            payload_bits += u64::from(nbits);
+            while acc_bits >= 8 {
+                out.payload.push((acc & 0xff) as u8);
+                acc >>= 8;
+                acc_bits -= 8;
+            }
+        }
+    }
+    if acc_bits > 0 {
+        out.payload.push(acc as u8);
+    }
+    out.nbits = nbits;
+    out.payload_bits = payload_bits;
+}
+
+/// Bit-sliced twin of [`encode_column`]: the NBits width comes from the
+/// OR-fold scan ([`min_bits_significant_sliced`]) and the payload is packed
+/// through a 128-bit concatenation register flushed eight bytes at a time,
+/// instead of one coefficient and one byte per step. Reuses `out`'s buffers
+/// and produces a bit-identical [`EncodedColumn`] (pinned by tests and the
+/// `HotPathEquivalence` conformance oracle).
+pub fn encode_column_sliced_into(coeffs: &[Coeff], threshold: Coeff, out: &mut EncodedColumn) {
+    let nbits = min_bits_significant_sliced(coeffs, threshold);
+    out.bitmap.clear();
+    out.payload.clear();
+    let mask = (1u128 << nbits) - 1;
+    let mut acc: u128 = 0;
+    let mut bits: u32 = 0;
+    let mut payload_bits: u64 = 0;
+    for &c in coeffs {
+        let sig = is_significant(c, threshold);
+        out.bitmap.push(sig);
+        if sig {
+            acc |= ((c as u16 as u128) & mask) << bits;
+            bits += nbits;
+            payload_bits += u64::from(nbits);
+            if bits >= 64 {
+                out.payload.extend_from_slice(&(acc as u64).to_le_bytes());
+                acc >>= 64;
+                bits -= 64;
+            }
+        }
+    }
+    while bits > 0 {
+        out.payload.push((acc & 0xff) as u8);
+        acc >>= 8;
+        bits = bits.saturating_sub(8);
+    }
+    out.nbits = nbits;
+    out.payload_bits = payload_bits;
+}
+
 /// Decode an encoded column back to coefficients (insignificant ⇒ 0).
 ///
 /// # Panics
@@ -152,6 +237,14 @@ pub fn decode_column(enc: &EncodedColumn) -> Vec<Coeff> {
 /// management word (bit-flipped NBits or BitMap) trips a guard and
 /// returns `Err` instead of silently mis-reconstructing or panicking.
 pub fn decode_column_checked(enc: &EncodedColumn) -> Result<Vec<Coeff>, String> {
+    let mut out = Vec::new();
+    decode_column_checked_into(enc, &mut out)?;
+    Ok(out)
+}
+
+/// The consistency guards shared by every decode variant, so the scalar and
+/// bit-sliced paths reject corruption with identical error strings.
+fn validate_encoded(enc: &EncodedColumn) -> Result<(), String> {
     let ones = enc.bitmap.count_ones() as u64;
     if ones > 0 && !(1..=16).contains(&enc.nbits) {
         return Err(format!("NBits field {} outside 1..=16", enc.nbits));
@@ -174,18 +267,76 @@ pub fn decode_column_checked(enc: &EncodedColumn) -> Result<Vec<Coeff>, String> 
             enc.payload_bits
         ));
     }
+    Ok(())
+}
+
+/// Scalar twin of [`decode_column_checked`] that reuses `out` instead of
+/// allocating a fresh coefficient vector per column.
+pub fn decode_column_checked_into(enc: &EncodedColumn, out: &mut Vec<Coeff>) -> Result<(), String> {
+    validate_encoded(enc)?;
+    out.clear();
+    out.reserve(enc.bitmap.len());
     let mut r = BitReader::new(&enc.payload);
-    enc.bitmap
-        .iter()
-        .map(|sig| {
-            if sig {
+    for sig in enc.bitmap.iter() {
+        if sig {
+            out.push(
                 r.read_signed(enc.nbits)
-                    .ok_or_else(|| "truncated column payload".to_string())
-            } else {
-                Ok(0)
+                    .ok_or_else(|| "truncated column payload".to_string())?,
+            );
+        } else {
+            out.push(0);
+        }
+    }
+    Ok(())
+}
+
+/// Bit-sliced twin of [`decode_column_checked_into`]: walks the bitmap a
+/// 64-bit word at a time (all-zero words reconstruct 64 coefficients in one
+/// step) and extracts payload bits through a 64-bit remainder window instead
+/// of one `BitReader` call per coefficient. Same guards, same error strings,
+/// identical output (pinned by tests and the `HotPathEquivalence` oracle).
+pub fn decode_column_sliced_into(enc: &EncodedColumn, out: &mut Vec<Coeff>) -> Result<(), String> {
+    validate_encoded(enc)?;
+    out.clear();
+    let n = enc.bitmap.len();
+    out.reserve(n);
+    let nbits = enc.nbits;
+    let mask = (1u64 << nbits) - 1;
+    let sign = 1u32 << (nbits - 1);
+    let payload = &enc.payload;
+    let mut byte_pos = 0usize;
+    let mut window: u64 = 0;
+    let mut avail: u32 = 0;
+    for (wi, &w) in enc.bitmap.words().iter().enumerate() {
+        let bits_in_word = (n - wi * 64).min(64);
+        if w == 0 {
+            out.resize(out.len() + bits_in_word, 0);
+            continue;
+        }
+        for b in 0..bits_in_word {
+            if (w >> b) & 1 == 0 {
+                out.push(0);
+                continue;
             }
-        })
-        .collect()
+            if avail < nbits {
+                while avail <= 56 && byte_pos < payload.len() {
+                    window |= u64::from(payload[byte_pos]) << avail;
+                    avail += 8;
+                    byte_pos += 1;
+                }
+                if avail < nbits {
+                    return Err("truncated column payload".to_string());
+                }
+            }
+            let raw = (window & mask) as u32;
+            window >>= nbits;
+            avail -= nbits;
+            // Sign extension via the xor-sub identity, equal to
+            // `writer::sign_extend` for every (raw, nbits) pair.
+            out.push((raw ^ sign).wrapping_sub(sign) as u16 as Coeff);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -278,5 +429,115 @@ mod tests {
         let enc = encode_column(&[-510, 510], 0);
         assert_eq!(enc.nbits, 10);
         assert_eq!(decode_column(&enc), vec![-510, 510]);
+    }
+
+    /// Deterministic pseudo-random columns spanning lengths (odd, short,
+    /// multi-word bitmaps) and thresholds for the hot-path battery below.
+    fn battery() -> Vec<(Vec<Coeff>, Coeff)> {
+        let mut state = 0xdead_beef_u32;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            state
+        };
+        let mut cases = Vec::new();
+        for len in [0usize, 1, 2, 3, 4, 7, 8, 31, 64, 65, 130] {
+            for t in [0 as Coeff, 1, 2, 5, 300] {
+                let col: Vec<Coeff> = (0..len)
+                    .map(|_| {
+                        // Mostly codec-domain magnitudes with occasional wide
+                        // values; avoid i16::MIN (debug-panics in the scalar
+                        // significance filter by design).
+                        let v = (next() % 1021) as Coeff - 510;
+                        if next() % 7 == 0 {
+                            0
+                        } else {
+                            v
+                        }
+                    })
+                    .collect();
+                cases.push((col, t));
+            }
+        }
+        cases.push((vec![Coeff::MAX, Coeff::MIN + 1, -1, 0, 1], 0));
+        cases
+    }
+
+    #[test]
+    fn into_variants_match_allocating_encoders_bit_for_bit() {
+        // One shared scratch across every case: stale state from a longer
+        // previous column must never leak into a shorter one.
+        let mut scratch = EncodedColumn::default();
+        let mut sliced = EncodedColumn::default();
+        for (col, t) in battery() {
+            let reference = encode_column(&col, t);
+            encode_column_into(&col, t, &mut scratch);
+            assert_eq!(scratch, reference, "scalar-into col={col:?} t={t}");
+            encode_column_sliced_into(&col, t, &mut sliced);
+            assert_eq!(sliced, reference, "sliced-into col={col:?} t={t}");
+        }
+    }
+
+    #[test]
+    fn sliced_decode_matches_scalar_bit_for_bit() {
+        let mut scalar_out = vec![99 as Coeff; 3];
+        let mut sliced_out = vec![-42 as Coeff; 500];
+        for (col, t) in battery() {
+            let enc = encode_column(&col, t);
+            decode_column_checked_into(&enc, &mut scalar_out).expect("scalar decode");
+            decode_column_sliced_into(&enc, &mut sliced_out).expect("sliced decode");
+            assert_eq!(scalar_out, sliced_out, "col={col:?} t={t}");
+            assert_eq!(scalar_out, decode_column(&enc));
+        }
+    }
+
+    #[test]
+    fn sliced_decode_rejects_corruption_with_identical_errors() {
+        let mut enc = encode_column(&[13, 12, -9, 7], 0);
+        enc.nbits = 17; // corrupt the management field
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let ea = decode_column_checked_into(&enc, &mut a).unwrap_err();
+        let eb = decode_column_sliced_into(&enc, &mut b).unwrap_err();
+        assert_eq!(ea, eb);
+
+        let mut enc = encode_column(&[13, 12, -9, 7], 0);
+        enc.payload_bits += 1; // inconsistent payload length
+        let ea = decode_column_checked_into(&enc, &mut a).unwrap_err();
+        let eb = decode_column_sliced_into(&enc, &mut b).unwrap_err();
+        assert_eq!(ea, eb);
+
+        let mut enc = encode_column(&[13, 12, -9, 7], 0);
+        enc.payload.pop(); // truncated byte stream
+        let ea = decode_column_checked_into(&enc, &mut a).unwrap_err();
+        let eb = decode_column_sliced_into(&enc, &mut b).unwrap_err();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn scratch_reuse_performs_no_reallocation_once_warm() {
+        let cols: Vec<Vec<Coeff>> = (0..16)
+            .map(|i| {
+                (0..32)
+                    .map(|k| ((i * 37 + k * 11) % 400 - 200) as Coeff)
+                    .collect()
+            })
+            .collect();
+        let mut scratch = EncodedColumn::default();
+        let mut decoded = Vec::new();
+        // Warm-up pass establishes the high-water capacities.
+        for col in &cols {
+            encode_column_sliced_into(col, 0, &mut scratch);
+            decode_column_sliced_into(&scratch, &mut decoded).expect("decode");
+        }
+        let payload_cap = scratch.payload.capacity();
+        let decoded_cap = decoded.capacity();
+        for col in &cols {
+            encode_column_sliced_into(col, 0, &mut scratch);
+            decode_column_sliced_into(&scratch, &mut decoded).expect("decode");
+        }
+        assert_eq!(scratch.payload.capacity(), payload_cap, "payload realloc");
+        assert_eq!(decoded.capacity(), decoded_cap, "decode buffer realloc");
     }
 }

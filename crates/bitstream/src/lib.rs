@@ -45,6 +45,7 @@
 pub mod bitmap;
 pub mod column;
 pub mod digest;
+pub mod hot_path;
 pub mod locoi;
 pub mod nbits;
 pub mod packer;
@@ -54,12 +55,15 @@ pub mod writer;
 
 pub use bitmap::Bitmap;
 pub use column::{
-    column_cost, decode_column, decode_column_checked, encode_column, ColumnCost, EncodedColumn,
+    column_cost, decode_column, decode_column_checked, decode_column_checked_into,
+    decode_column_sliced_into, encode_column, encode_column_into, encode_column_sliced_into,
+    ColumnCost, EncodedColumn,
 };
 pub use digest::{fnv1a64, Fnv64};
+pub use hot_path::HotPath;
 pub use locoi::{locoi_compressed_bits, locoi_decode, locoi_encode, locoi_try_decode};
-pub use nbits::{min_bits, min_bits_column, NBitsCircuit};
-pub use packer::BitPackingUnit;
+pub use nbits::{min_bits, min_bits_column, min_bits_significant_sliced, NBitsCircuit};
+pub use packer::{pack_columns, pack_columns_sliced, BitPackingUnit};
 pub use telemetry::CodecTelemetry;
 pub use unpacker::BitUnpackingUnit;
 pub use writer::{BitReader, BitWriter};

@@ -59,6 +59,56 @@ pub fn min_bits_significant(column: &[Coeff], threshold: Coeff) -> u32 {
         .unwrap_or(1)
 }
 
+/// Bit-sliced NBits width scan: the hot-path twin of
+/// [`min_bits_significant`], guaranteed to return the identical width.
+///
+/// Works the way the paper's Figure 7 circuit does, but four 16-bit lanes at
+/// a time: each coefficient is mapped to its sign-XOR magnitude
+/// (`v ^ (v >> 15)`, exactly the XOR stage of [`NBitsCircuit`]), the
+/// magnitudes are OR-reduced across the whole column, and a single leading-
+/// zeros count priority-encodes the final width. The threshold filter is
+/// folded into the magnitude form: a lane's magnitude participates only when
+/// `v != 0 && |v| >= T`.
+pub fn min_bits_significant_sliced(column: &[Coeff], threshold: Coeff) -> u32 {
+    let or_mag = if threshold <= 1 {
+        // T <= 1 means significance is simply `v != 0`, and mag(0) == 0
+        // contributes nothing to an OR-fold — no per-lane masking needed.
+        let mut or64 = 0u64;
+        let mut chunks = column.chunks_exact(4);
+        for four in &mut chunks {
+            let x = (four[0] as u16 as u64)
+                | (four[1] as u16 as u64) << 16
+                | (four[2] as u16 as u64) << 32
+                | (four[3] as u16 as u64) << 48;
+            // Per-lane sign mask: lane = 0xffff where the coefficient is
+            // negative, 0 otherwise; XOR yields the sign-XOR magnitude.
+            let sign = ((x >> 15) & 0x0001_0001_0001_0001).wrapping_mul(0xffff);
+            or64 |= x ^ sign;
+        }
+        // Fold the four lanes of the accumulated OR into one 16-bit mask.
+        let half = or64 | (or64 >> 32);
+        let mut or_mag = ((half | (half >> 16)) & 0xffff) as u32;
+        for &v in chunks.remainder() {
+            or_mag |= (v ^ (v >> 15)) as u16 as u32;
+        }
+        or_mag
+    } else {
+        // Lossy thresholds need a per-coefficient compare before the
+        // OR-fold; the filter must be the scalar `is_significant` itself so
+        // the two paths cannot disagree on any input.
+        let mut or_mag = 0u32;
+        for &v in column {
+            if crate::is_significant(v, threshold) {
+                or_mag |= (v ^ (v >> 15)) as u16 as u32;
+            }
+        }
+        or_mag
+    };
+    // Priority encode: mag(0) == 0 so an all-insignificant column falls back
+    // to the architectural minimum width of 1.
+    33 - or_mag.leading_zeros().min(32)
+}
+
 /// Gate-level model of the paper's "Find Minimum Number of Bits" block
 /// (Figure 7), generalised to `width`-bit coefficients.
 ///
@@ -223,5 +273,69 @@ mod tests {
     fn empty_column_defaults_to_one_bit() {
         assert_eq!(min_bits_column(&[]), 1);
         assert_eq!(NBitsCircuit::new(8).evaluate(&[]), 1);
+        assert_eq!(min_bits_significant_sliced(&[], 0), 1);
+        assert_eq!(min_bits_significant_sliced(&[], 9), 1);
+    }
+
+    #[test]
+    fn sliced_scan_matches_scalar_exhaustively_for_single_lanes() {
+        // Every i16 value except i16::MIN (whose `abs()` in the scalar
+        // significance filter is a debug panic by design) at a spread of
+        // thresholds, in every lane position of the 4-wide word.
+        for v in (-32767i32..=32767).step_by(257).map(|v| v as Coeff) {
+            for t in [0, 1, 2, 4, 100, 32767] {
+                for lane in 0..4 {
+                    let mut col = [0 as Coeff; 7];
+                    col[lane] = v;
+                    assert_eq!(
+                        min_bits_significant_sliced(&col, t),
+                        min_bits_significant(&col, t),
+                        "v={v} t={t} lane={lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_scan_handles_i16_min_without_widening() {
+        // i16::MIN's magnitude is !v = 32767 → 16 bits; the sliced scan must
+        // agree with min_bits even though the scalar *significance* filter
+        // cannot be asked about it in debug builds. Lossless path only.
+        assert_eq!(min_bits(Coeff::MIN), 16);
+        assert_eq!(min_bits_significant_sliced(&[Coeff::MIN], 0), 16);
+        assert_eq!(min_bits_significant_sliced(&[Coeff::MIN, 1, -1, 3], 1), 16);
+    }
+
+    #[test]
+    fn sliced_scan_matches_scalar_on_mixed_columns() {
+        // Deterministic pseudo-random columns across odd lengths (tail path)
+        // and all threshold regimes.
+        let mut state = 0x9e37_79b9_u32;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            state
+        };
+        for len in [1usize, 2, 3, 4, 5, 7, 8, 12, 33, 64] {
+            for t in [0 as Coeff, 1, 2, 8, 500] {
+                let col: Vec<Coeff> = (0..len)
+                    .map(|_| {
+                        let v = (next() & 0xffff) as u16 as Coeff;
+                        if v == Coeff::MIN {
+                            0
+                        } else {
+                            v
+                        }
+                    })
+                    .collect();
+                assert_eq!(
+                    min_bits_significant_sliced(&col, t),
+                    min_bits_significant(&col, t),
+                    "len={len} t={t} col={col:?}"
+                );
+            }
+        }
     }
 }

@@ -16,7 +16,7 @@
 //! coefficients through a packer — functionally identical storage cost and
 //! byte-exact against the [`crate::writer::BitWriter`] reference (see tests).
 
-use crate::nbits::min_bits;
+use crate::nbits::{min_bits, min_bits_significant, min_bits_significant_sliced};
 use crate::{is_significant, Coeff};
 
 /// Words emitted by one packer clock (0, 1, or 2 full words).
@@ -196,29 +196,83 @@ impl BitPackingUnit {
     }
 }
 
+/// Drive a coefficient sequence through the packer, one column at a time
+/// (each column supplies its own NBits), collecting the byte stream and the
+/// BitMap into caller-provided scratch buffers.
+///
+/// The buffers are cleared, not reallocated: across frames of the same
+/// geometry a warm pair of buffers is reused with zero heap traffic (pinned
+/// by the capacity-watermark test below).
+pub fn pack_columns(
+    columns: &[Vec<Coeff>],
+    threshold: Coeff,
+    bytes: &mut Vec<u8>,
+    bitmap: &mut Vec<bool>,
+) {
+    bytes.clear();
+    bitmap.clear();
+    let mut packer = BitPackingUnit::new(threshold);
+    for col in columns {
+        let nbits = min_bits_significant(col, threshold);
+        for &c in col {
+            let out = packer.clock(c, nbits);
+            bitmap.push(out.bitmap_bit);
+            bytes.extend(out.words);
+        }
+    }
+    if let Some(w) = packer.flush() {
+        bytes.push(w);
+    }
+}
+
+/// Bit-sliced twin of [`pack_columns`]: per column the width comes from the
+/// OR-fold scan and the payload goes through a 128-bit concatenation
+/// register flushed eight bytes at a time. Byte- and bit-identical to
+/// [`pack_columns`] (pinned by tests).
+pub fn pack_columns_sliced(
+    columns: &[Vec<Coeff>],
+    threshold: Coeff,
+    bytes: &mut Vec<u8>,
+    bitmap: &mut Vec<bool>,
+) {
+    bytes.clear();
+    bitmap.clear();
+    let mut acc: u128 = 0;
+    let mut bits: u32 = 0;
+    for col in columns {
+        let nbits = min_bits_significant_sliced(col, threshold);
+        let mask = (1u128 << nbits) - 1;
+        for &c in col {
+            let sig = is_significant(c, threshold);
+            bitmap.push(sig);
+            if sig {
+                acc |= ((c as u16 as u128) & mask) << bits;
+                bits += nbits;
+                if bits >= 64 {
+                    bytes.extend_from_slice(&(acc as u64).to_le_bytes());
+                    acc >>= 64;
+                    bits -= 64;
+                }
+            }
+        }
+    }
+    while bits > 0 {
+        bytes.push((acc & 0xff) as u8);
+        acc >>= 8;
+        bits = bits.saturating_sub(8);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::nbits::min_bits_significant;
     use crate::writer::BitWriter;
 
-    /// Drive a coefficient sequence through the packer, one column at a time
-    /// (each column supplies its own NBits), and collect the byte stream.
+    /// Allocating convenience wrapper over the scratch-buffer API.
     fn pack_columns(columns: &[Vec<Coeff>], threshold: Coeff) -> (Vec<u8>, Vec<bool>) {
-        let mut packer = BitPackingUnit::new(threshold);
         let mut bytes = Vec::new();
         let mut bitmap = Vec::new();
-        for col in columns {
-            let nbits = min_bits_significant(col, threshold);
-            for &c in col {
-                let out = packer.clock(c, nbits);
-                bitmap.push(out.bitmap_bit);
-                bytes.extend(out.words);
-            }
-        }
-        if let Some(w) = packer.flush() {
-            bytes.push(w);
-        }
+        super::pack_columns(columns, threshold, &mut bytes, &mut bitmap);
         (bytes, bitmap)
     }
 
@@ -325,6 +379,57 @@ mod tests {
         p.clock(2, 4); // below threshold
         p.clock(-7, 4);
         assert_eq!(p.payload_bits(), 8);
+    }
+
+    #[test]
+    fn sliced_pack_matches_register_model_bit_for_bit() {
+        let columns = vec![
+            vec![13, 12, -9, 7],
+            vec![0, 0, 3, -3],
+            vec![0, 0, 0, 0],
+            vec![255, -255, 1, 0],
+            vec![-510, 510, -1, 1],
+            (0..67).map(|k| ((k * 29) % 300 - 150) as Coeff).collect(),
+        ];
+        for t in [0, 1, 2, 4, 100] {
+            let (bytes, bitmap) = pack_columns(&columns, t);
+            let mut sb = Vec::new();
+            let mut sm = Vec::new();
+            pack_columns_sliced(&columns, t, &mut sb, &mut sm);
+            assert_eq!(sb, bytes, "threshold {t}");
+            assert_eq!(sm, bitmap, "threshold {t}");
+        }
+    }
+
+    #[test]
+    fn two_frame_run_reuses_scratch_without_reallocation() {
+        // Satellite: a second frame of the same geometry through warm scratch
+        // buffers must perform zero reallocations.
+        let frame: Vec<Vec<Coeff>> = (0..48)
+            .map(|i| {
+                (0..8)
+                    .map(|k| ((i * 13 + k * 7) % 200 - 100) as Coeff)
+                    .collect()
+            })
+            .collect();
+        let mut bytes = Vec::new();
+        let mut bitmap = Vec::new();
+        super::pack_columns(&frame, 0, &mut bytes, &mut bitmap); // frame 1: warms
+        let (bytes_cap, bitmap_cap) = (bytes.capacity(), bitmap.capacity());
+        let first = (bytes.clone(), bitmap.clone());
+        super::pack_columns(&frame, 0, &mut bytes, &mut bitmap); // frame 2: warm
+        assert_eq!((bytes.clone(), bitmap.clone()), first, "frames must agree");
+        assert_eq!(bytes.capacity(), bytes_cap, "byte scratch reallocated");
+        assert_eq!(bitmap.capacity(), bitmap_cap, "bitmap scratch reallocated");
+
+        let mut sb = Vec::new();
+        let mut sm = Vec::new();
+        pack_columns_sliced(&frame, 0, &mut sb, &mut sm);
+        let (sb_cap, sm_cap) = (sb.capacity(), sm.capacity());
+        pack_columns_sliced(&frame, 0, &mut sb, &mut sm);
+        assert_eq!(sb.capacity(), sb_cap, "sliced byte scratch reallocated");
+        assert_eq!(sm.capacity(), sm_cap, "sliced bitmap scratch reallocated");
+        assert_eq!((sb, sm), first, "sliced packer must agree");
     }
 
     #[test]

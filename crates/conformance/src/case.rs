@@ -8,6 +8,7 @@
 //! written to `vectors/regressions/` and replayed verbatim.
 
 use sw_bitstream::digest::splitmix64;
+use sw_bitstream::HotPath;
 use sw_core::analysis::measure_frame;
 use sw_core::codec::LineCodecKind;
 use sw_core::config::ArchConfig;
@@ -220,6 +221,9 @@ pub struct CaseSpec {
     pub budget_pct: u32,
     /// Fault-injection seed; `None` runs fault-free.
     pub fault_seed: Option<u64>,
+    /// Which hot-path implementation the codecs run ([`HotPath::Sliced`]
+    /// is the production default; [`HotPath::Scalar`] is the oracle).
+    pub hot_path: HotPath,
 }
 
 impl CaseSpec {
@@ -234,8 +238,14 @@ impl CaseSpec {
             Some(s) => format!("-f{s}"),
             None => String::new(),
         };
+        // Only the non-default path tags the id, so every pre-existing
+        // vector and reproducer id stays stable.
+        let hp = match self.hot_path {
+            HotPath::Sliced => String::new(),
+            HotPath::Scalar => format!("-hp{}", self.hot_path.name()),
+        };
         format!(
-            "{}x{}-{}-s{}-n{}-{}-{}-t{}-{}-b{}{}",
+            "{}x{}-{}-s{}-n{}-{}-{}-t{}-{}-b{}{fault}{hp}",
             self.width,
             self.height,
             self.content.name(),
@@ -246,7 +256,6 @@ impl CaseSpec {
             self.threshold,
             self.policy_name(),
             self.budget_pct,
-            fault
         )
     }
 
@@ -285,6 +294,7 @@ impl CaseSpec {
         ArchConfig::builder(self.window, self.width)
             .threshold(self.threshold)
             .codec(self.codec)
+            .hot_path(self.hot_path)
             .build()
     }
 
@@ -338,9 +348,10 @@ impl CaseSpec {
         s.push_str(&format!("\"policy\": \"{}\", ", self.policy_name()));
         s.push_str(&format!("\"budget_pct\": {}, ", self.budget_pct));
         match self.fault_seed {
-            Some(f) => s.push_str(&format!("\"fault_seed\": {f}")),
-            None => s.push_str("\"fault_seed\": null"),
+            Some(f) => s.push_str(&format!("\"fault_seed\": {f}, ")),
+            None => s.push_str("\"fault_seed\": null, "),
         }
+        s.push_str(&format!("\"hot_path\": \"{}\"", self.hot_path.name()));
         s.push('}');
         s
     }
@@ -393,6 +404,15 @@ impl CaseSpec {
                 Some(Json::Null) | None => None,
                 Some(v) => Some(v.as_u64().ok_or("non-integer `fault_seed`")?),
             },
+            // Reproducers written before the hot-path axis existed replay
+            // on the production (sliced) path.
+            hot_path: match obj.get("hot_path") {
+                Some(Json::Str(s)) => {
+                    HotPath::parse(s).ok_or_else(|| format!("unknown hot path `{s}`"))?
+                }
+                Some(_) => return Err("non-string `hot_path`".into()),
+                None => HotPath::Sliced,
+            },
         })
     }
 }
@@ -415,6 +435,7 @@ mod tests {
             policy: Some(OverflowPolicy::Stall),
             budget_pct: 50,
             fault_seed: Some(3),
+            hot_path: HotPath::Sliced,
         }
     }
 
@@ -428,6 +449,26 @@ mod tests {
         no_fault.policy = None;
         let parsed = CaseSpec::from_json(&parse(&no_fault.to_json()).unwrap()).unwrap();
         assert_eq!(parsed, no_fault);
+        let mut scalar = spec;
+        scalar.hot_path = HotPath::Scalar;
+        let parsed = CaseSpec::from_json(&parse(&scalar.to_json()).unwrap()).unwrap();
+        assert_eq!(parsed, scalar);
+    }
+
+    #[test]
+    fn hot_path_axis_defaults_and_tags_consistently() {
+        // Pre-hot-path reproducers (no `hot_path` key) replay sliced.
+        let legacy = sample().to_json().replace(", \"hot_path\": \"sliced\"", "");
+        assert!(!legacy.contains("hot_path"));
+        let parsed = CaseSpec::from_json(&parse(&legacy).unwrap()).unwrap();
+        assert_eq!(parsed.hot_path, HotPath::Sliced);
+        // Sliced ids are unchanged from the pre-hot-path era; scalar ids
+        // carry the suffix so the two runs never collide.
+        let spec = sample();
+        assert!(!spec.id().contains("-hp"));
+        let mut scalar = spec;
+        scalar.hot_path = HotPath::Scalar;
+        assert!(scalar.id().ends_with("-hpscalar"));
     }
 
     #[test]

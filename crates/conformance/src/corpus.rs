@@ -13,6 +13,7 @@ use crate::case::{CaseSpec, ContentClass, KernelKind};
 use crate::oracle::CaseContext;
 use std::collections::BTreeMap;
 use std::path::Path;
+use sw_bitstream::HotPath;
 use sw_core::codec::LineCodecKind;
 use sw_core::digest::image_digest;
 use sw_core::memory_unit::OverflowPolicy;
@@ -159,6 +160,10 @@ impl CorpusImage {
                             policy,
                             budget_pct,
                             fault_seed: None,
+                            // The golden digests are hot-path invariant,
+                            // so `SWC_HOT_PATH=scalar swc conform` checks
+                            // the oracle path against the same vectors.
+                            hot_path: HotPath::from_env(),
                         });
                     }
                 }

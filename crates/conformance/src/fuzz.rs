@@ -12,6 +12,7 @@ use crate::oracle::{run_oracles, CaseContext, Verdict};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use sw_bitstream::digest::{fnv1a64, splitmix64};
+use sw_bitstream::HotPath;
 use sw_core::codec::LineCodecKind;
 use sw_core::memory_unit::OverflowPolicy;
 use sw_telemetry::json::parse;
@@ -39,17 +40,21 @@ impl Rng {
     }
 }
 
-/// Coverage over the `(codec × policy × shape-class)` grid.
+/// Coverage over the `(codec × policy × shape-class × hot-path)` grid.
 #[derive(Debug, Default)]
 pub struct Coverage {
-    cells: BTreeSet<(&'static str, &'static str, &'static str)>,
+    cells: BTreeSet<(&'static str, &'static str, &'static str, &'static str)>,
 }
 
 impl Coverage {
     /// Record one case's coverage cell.
     pub fn record(&mut self, spec: &CaseSpec) {
-        self.cells
-            .insert((spec.codec.name(), spec.policy_name(), spec.shape().name()));
+        self.cells.insert((
+            spec.codec.name(),
+            spec.policy_name(),
+            spec.shape().name(),
+            spec.hot_path.name(),
+        ));
     }
 
     /// Cells exercised so far.
@@ -57,15 +62,19 @@ impl Coverage {
         self.cells.len()
     }
 
-    /// Total cells in the grid: codecs × (policies + none) × shapes.
+    /// Total cells in the grid:
+    /// codecs × (policies + none) × shapes × hot paths.
     pub fn total() -> usize {
-        LineCodecKind::ALL.len() * (OverflowPolicy::ALL.len() + 1) * ShapeClass::ALL.len()
+        LineCodecKind::ALL.len()
+            * (OverflowPolicy::ALL.len() + 1)
+            * ShapeClass::ALL.len()
+            * HotPath::ALL.len()
     }
 
     /// `exercised/total` summary line.
     pub fn summary(&self) -> String {
         format!(
-            "coverage: {}/{} (codec x policy x shape) cells exercised",
+            "coverage: {}/{} (codec x policy x shape x hot-path) cells exercised",
             self.exercised(),
             Self::total()
         )
@@ -116,6 +125,7 @@ pub fn random_spec(rng: &mut Rng) -> CaseSpec {
     };
     let budget_pct = [25u32, 50, 100][rng.below(3) as usize];
     let fault_seed = (rng.below(4) == 0).then(|| rng.below(1 << 20));
+    let hot_path = HotPath::ALL[rng.below(HotPath::ALL.len() as u64) as usize];
     CaseSpec {
         window,
         width,
@@ -128,6 +138,7 @@ pub fn random_spec(rng: &mut Rng) -> CaseSpec {
         policy,
         budget_pct,
         fault_seed,
+        hot_path,
     }
 }
 
@@ -185,6 +196,11 @@ pub fn shrink(spec: CaseSpec) -> CaseSpec {
         if best.budget_pct < 100 {
             let mut c = best;
             c.budget_pct = 100;
+            candidates.push(c);
+        }
+        if best.hot_path != HotPath::Sliced {
+            let mut c = best;
+            c.hot_path = HotPath::Sliced;
             candidates.push(c);
         }
         let mut improved = false;
@@ -321,7 +337,7 @@ mod tests {
             "64 draws exercised only {} cells",
             cov.exercised()
         );
-        assert_eq!(Coverage::total(), 100);
+        assert_eq!(Coverage::total(), 200);
     }
 
     #[test]

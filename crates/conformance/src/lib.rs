@@ -13,9 +13,15 @@
 //!    stats consistency), each returning a structured [`Verdict`] that
 //!    names the first divergent pixel, row or field.
 //! 3. **Coverage-guided fuzzing** ([`fuzz`]) — mutates dimensions,
-//!    content, thresholds, budgets and fault seeds, tracks exercised
-//!    `(codec × policy × shape-class)` cells, and shrinks failures into
-//!    minimal reproducers under `vectors/regressions/`.
+//!    content, thresholds, budgets, fault seeds and the hot-path axis,
+//!    tracks exercised `(codec × policy × shape-class × hot-path)` cells,
+//!    and shrinks failures into minimal reproducers under
+//!    `vectors/regressions/`.
+//!
+//! The oracle battery additionally pins the SIMD hot path: every case is
+//! judged under both [`sw_bitstream::HotPath`] implementations, and the
+//! `HotPathEquivalence` oracle demands bit-identical outputs and stats
+//! between them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -107,13 +113,19 @@ pub fn run_all(vectors_dir: &Path) -> std::io::Result<RunSummary> {
     let mut oracle_failures = Vec::new();
     let mut oracle_verdicts = 0usize;
     let mut coverage = Coverage::default();
-    for spec in corpus::corpus_specs() {
-        coverage.record(&spec);
-        let ctx = CaseContext::new(spec);
-        for v in run_oracles(&ctx) {
-            oracle_verdicts += 1;
-            if v.is_fail() {
-                oracle_failures.push(v.to_string());
+    for base in corpus::corpus_specs() {
+        // Judge every corpus case under both hot paths in one process:
+        // the scalar run is the oracle the sliced datapath must match.
+        for hot_path in sw_bitstream::HotPath::ALL {
+            let mut spec = base;
+            spec.hot_path = hot_path;
+            coverage.record(&spec);
+            let ctx = CaseContext::new(spec);
+            for v in run_oracles(&ctx) {
+                oracle_verdicts += 1;
+                if v.is_fail() {
+                    oracle_failures.push(v.to_string());
+                }
             }
         }
     }

@@ -11,6 +11,7 @@
 
 use crate::case::{CaseSpec, ContentClass, KernelKind};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use sw_bitstream::HotPath;
 use sw_core::arch::{build_arch, FrameOutput};
 use sw_core::codec::LineCodecKind;
 use sw_core::config::ArchConfig;
@@ -723,6 +724,62 @@ impl Oracle for StatsConsistency {
     }
 }
 
+/// The sliced (SWAR) hot path is bit-identical to the permanent scalar
+/// oracle path: same output pixels, same `FrameStats` down to the packed
+/// bit counts, same typed error — for every codec, threshold, policy,
+/// budget and fault seed. This is the conformance-level lockdown of the
+/// `hot_path_equivalence` differential battery.
+pub struct HotPathEquivalence;
+
+impl Oracle for HotPathEquivalence {
+    fn name(&self) -> &'static str {
+        "HotPathEquivalence"
+    }
+
+    fn check(&self, ctx: &CaseContext) -> Outcome {
+        let mut spec = ctx.spec;
+        spec.hot_path = HotPath::Sliced;
+        let sliced_cfg = spec.config();
+        spec.hot_path = HotPath::Scalar;
+        let scalar_cfg = spec.config();
+        let (sliced_cfg, scalar_cfg) = match (sliced_cfg, scalar_cfg) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(SwError::Config(msg)), Err(SwError::Config(_))) => {
+                return Outcome::Skip(format!("config rejected: {msg}"))
+            }
+            (a, b) => {
+                let show = |r: Result<ArchConfig, SwError>| match r {
+                    Ok(_) => "accepted".to_string(),
+                    Err(e) => format!("rejected: {e}"),
+                };
+                return Outcome::Fail(Divergence::Error(format!(
+                    "hot paths disagreed at config time: sliced {} vs scalar {}",
+                    show(a),
+                    show(b)
+                )));
+            }
+        };
+        let mu = match ctx.spec.memory_unit() {
+            Ok(mu) => mu,
+            Err(e) => return Outcome::Skip(format!("memory-unit probe failed: {e}")),
+        };
+        let got = ctx.run(&sliced_cfg, mu, ctx.spec.fault_seed, ctx.spec.kernel);
+        let want = ctx.run(&scalar_cfg, mu, ctx.spec.fault_seed, ctx.spec.kernel);
+        if let (Ok(a), Ok(b)) = (&got, &want) {
+            for ((name, g), (_, w)) in a.stats.fields().into_iter().zip(b.stats.fields()) {
+                if g != w {
+                    return Outcome::Fail(Divergence::Field {
+                        name: name.into(),
+                        got: g,
+                        want: w,
+                    });
+                }
+            }
+        }
+        compare_runs(got, want)
+    }
+}
+
 /// Fault injection must surface as `Ok` or a typed `SwError` — never a
 /// panic. The only oracle that runs on fault-seeded cases.
 pub struct FaultRobustness;
@@ -756,6 +813,7 @@ pub fn all_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(SequentialVsSharded),
         Box::new(LossyMseBound),
         Box::new(StatsConsistency),
+        Box::new(HotPathEquivalence),
         Box::new(FaultRobustness),
     ]
 }
@@ -802,6 +860,7 @@ mod tests {
             policy: None,
             budget_pct: 100,
             fault_seed: None,
+            hot_path: HotPath::Sliced,
         }
     }
 

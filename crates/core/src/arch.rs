@@ -220,6 +220,14 @@ pub struct SlidingWindow<C: LineCodec> {
     /// Decoded raw columns of the front group awaiting delivery.
     carry: VecDeque<Vec<Pixel>>,
     carry_bits: u64,
+    /// Retired encoded records recycled into `encode_group_reuse` so the
+    /// sliced hot path re-packs into warm buffers instead of allocating.
+    spare_encoded: Vec<C::Encoded>,
+    /// Reusable container handed to `try_decode_group_into`; its column
+    /// buffers cycle through `carry` → the datapath → `spare_cols` → here.
+    decoded_scratch: Vec<Vec<Pixel>>,
+    /// Retired decoded-column buffers awaiting reuse.
+    spare_cols: Vec<Vec<Pixel>>,
     /// Optional capacity budget for the packed-bit memory (bits).
     capacity_bits: Option<u64>,
     /// Optional capacity-enforcing memory unit backed by BRAM FIFOs.
@@ -281,6 +289,9 @@ where
             queue: self.queue.clone(),
             carry: self.carry.clone(),
             carry_bits: self.carry_bits,
+            spare_encoded: self.spare_encoded.clone(),
+            decoded_scratch: self.decoded_scratch.clone(),
+            spare_cols: self.spare_cols.clone(),
             capacity_bits: self.capacity_bits,
             memory_unit: self.memory_unit.clone(),
             faults: self.faults.clone(),
@@ -333,6 +344,9 @@ impl<C: LineCodec> SlidingWindow<C> {
             queue: VecDeque::new(),
             carry: VecDeque::new(),
             carry_bits: 0,
+            spare_encoded: Vec::new(),
+            decoded_scratch: Vec::new(),
+            spare_cols: Vec::new(),
             capacity_bits: None,
             memory_unit: None,
             faults: None,
@@ -513,6 +527,9 @@ impl<C: LineCodec> SlidingWindow<C> {
                 match delivered {
                     Some(col) => {
                         self.entering[..n - 1].copy_from_slice(&col[1..]);
+                        // The column buffer is spent: recycle it into the
+                        // decode scratch pool instead of freeing it.
+                        self.spare_cols.push(col);
                     }
                     None => self.entering[..n - 1].fill(0),
                 }
@@ -586,7 +603,8 @@ impl<C: LineCodec> SlidingWindow<C> {
     fn push_group(&mut self, cycle: u64) -> Result<()> {
         let t0 = self.telemetry.is_enabled().then(Instant::now);
         let first_exit = cycle + 1 - self.group as u64;
-        let mut encoded = self.codec.encode_group(&self.staging);
+        let recycled = self.spare_encoded.pop();
+        let mut encoded = self.codec.encode_group_reuse(&self.staging, recycled);
         self.m_iwt_pairs.inc();
 
         // Capacity policy: resolve before the per-band accounting so the
@@ -624,7 +642,8 @@ impl<C: LineCodec> SlidingWindow<C> {
                                 }
                             }
                             self.m_threshold.set(self.cfg.threshold.max(0) as u64);
-                            encoded = self.codec.encode_group(&self.staging);
+                            let prev = encoded.data;
+                            encoded = self.codec.encode_group_reuse(&self.staging, Some(prev));
                             mu.record_escalation();
                             deficit = mu.deficit(encoded.payload_bits).unwrap_or(0);
                         }
@@ -732,26 +751,41 @@ impl<C: LineCodec> SlidingWindow<C> {
                 0,
             ));
         }
-        let mut cols =
-            self.codec
-                .try_decode_group(&entry.data)
-                .map_err(|detail| SwError::Decode {
-                    codec: self.kind,
-                    detail,
-                })?;
+        // Decode into the recycled container: its column buffers cycle
+        // back through `spare_cols` as the datapath consumes them, so a
+        // warmed-up sliced codec allocates nothing per group.
+        let mut cols = std::mem::take(&mut self.decoded_scratch);
+        while cols.len() < self.group {
+            cols.push(self.spare_cols.pop().unwrap_or_default());
+        }
+        cols.truncate(self.group);
+        if let Err(detail) = self.codec.try_decode_group_into(&entry.data, &mut cols) {
+            self.decoded_scratch = cols;
+            return Err(SwError::Decode {
+                codec: self.kind,
+                detail,
+            });
+        }
         debug_assert_eq!(cols.len(), self.group);
         if cols.is_empty() {
+            self.decoded_scratch = cols;
             return Err(SwError::Decode {
                 codec: self.kind,
                 detail: "decoded group holds no columns".to_string(),
             });
         }
-        let first = cols.remove(0);
-        if cols.is_empty() {
+        // The spent encoded record goes back to the encode side.
+        self.spare_encoded.push(entry.data);
+        let mut drain = cols.drain(..);
+        let Some(first) = drain.next() else {
+            unreachable!("emptiness was rejected above")
+        };
+        self.carry.extend(drain);
+        self.decoded_scratch = cols;
+        if self.carry.is_empty() {
             self.retire_bits(tag, entry.payload_bits)?;
         } else {
             self.carry_bits = entry.payload_bits;
-            self.carry.extend(cols);
         }
         if let Some(t0) = t0 {
             self.prof.decode_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -803,8 +837,11 @@ impl<C: LineCodec> SlidingWindow<C> {
         }
         self.codec.reset();
         self.staged = 0;
-        self.queue.clear();
-        self.carry.clear();
+        // Frame-boundary state clears recycle their buffers instead of
+        // freeing them: the pools are bounded by the in-flight group count.
+        self.spare_encoded
+            .extend(self.queue.drain(..).map(|e| e.data));
+        self.spare_cols.extend(self.carry.drain(..));
         self.carry_bits = 0;
         self.payload_occupancy = 0;
         self.occupancy_watermark.reset();

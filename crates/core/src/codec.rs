@@ -27,12 +27,14 @@ use crate::faults::FaultSite;
 use crate::{Coeff, Pixel};
 use sw_bitstream::locoi::{locoi_encode, locoi_try_decode};
 use sw_bitstream::{
-    decode_column_checked, encode_column, CodecTelemetry, EncodedColumn, NBITS_FIELD_BITS,
+    decode_column_checked, decode_column_sliced_into, encode_column, encode_column_sliced_into,
+    CodecTelemetry, EncodedColumn, HotPath, NBITS_FIELD_BITS,
 };
 use sw_image::ImageU8;
 use sw_telemetry::TelemetryHandle;
 use sw_wavelet::haar2d::{ColumnPairInverse, ColumnPairTransformer, SubbandColumn};
 use sw_wavelet::legall::{legall53_forward, legall53_inverse};
+use sw_wavelet::swar::{legall53_fwd_sliced, legall53_inv_sliced};
 use sw_wavelet::SubBand;
 
 /// The codecs a sliding window architecture can buffer its lines through.
@@ -190,11 +192,43 @@ pub trait LineCodec {
     /// accounting.
     fn encode_group(&mut self, cols: &[Vec<Coeff>]) -> EncodedGroup<Self::Encoded>;
 
+    /// Encode one group, optionally reusing the buffers of a retired
+    /// encoded record (one that already made its round trip through the
+    /// memory unit). Codecs with a sliced hot path overwrite the recycled
+    /// record in place instead of allocating a fresh one; the default
+    /// simply drops it and delegates to [`LineCodec::encode_group`].
+    fn encode_group_reuse(
+        &mut self,
+        cols: &[Vec<Coeff>],
+        recycled: Option<Self::Encoded>,
+    ) -> EncodedGroup<Self::Encoded> {
+        let _ = recycled;
+        self.encode_group(cols)
+    }
+
     /// Decode a group back into raw pixel columns, in eviction order,
     /// running the codec's consistency guards: a corrupted encoding
     /// (bit-flipped NBits/BitMap/payload) either trips a guard (`Err`)
     /// or decodes to bounded wrong pixels — never a panic.
     fn try_decode_group(&mut self, enc: &Self::Encoded) -> Result<Vec<Vec<Pixel>>, String>;
+
+    /// Decode a group into a caller-provided container, reusing its
+    /// column buffers. Codecs with a sliced hot path fill `out` without
+    /// allocating; the default delegates to
+    /// [`LineCodec::try_decode_group`] and replaces `out` wholesale.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the failures of [`LineCodec::try_decode_group`]; on error
+    /// the contents of `out` are unspecified.
+    fn try_decode_group_into(
+        &mut self,
+        enc: &Self::Encoded,
+        out: &mut Vec<Vec<Pixel>>,
+    ) -> Result<(), String> {
+        *out = self.try_decode_group(enc)?;
+        Ok(())
+    }
 
     /// Decode a group back into raw pixel columns, in eviction order.
     ///
@@ -335,6 +369,10 @@ pub struct HaarIwtCodec {
     fwd: ColumnPairTransformer,
     inv: ColumnPairInverse,
     codec: CodecTelemetry,
+    /// Sliced-path scratch: clamped detail coefficients.
+    clamp: Vec<Coeff>,
+    /// Sliced-path scratch: decoded sub-band columns `[LL, LH, HL, HH]`.
+    bands: [Vec<Coeff>; 4],
 }
 
 impl HaarIwtCodec {
@@ -350,6 +388,25 @@ impl HaarIwtCodec {
             encode_column(&clamped, t_band)
         } else {
             encode_column(half, t_band)
+        }
+    }
+
+    /// Sliced twin of [`Self::enc`]: encodes into `out` through the
+    /// recycled clamp scratch, free of per-call allocation.
+    fn enc_sliced(
+        cfg: &ArchConfig,
+        clamp: &mut Vec<Coeff>,
+        half: &[Coeff],
+        band: SubBand,
+        out: &mut EncodedColumn,
+    ) {
+        let t_band = cfg.policy.threshold_for(band, cfg.threshold);
+        if band.is_detail() && cfg.coeff_mode != crate::config::CoeffMode::Exact {
+            clamp.clear();
+            clamp.extend(half.iter().map(|&c| cfg.coeff_mode.clamp_detail(c)));
+            encode_column_sliced_into(clamp, t_band, out);
+        } else {
+            encode_column_sliced_into(half, t_band, out);
         }
     }
 }
@@ -368,6 +425,8 @@ impl LineCodec for HaarIwtCodec {
             fwd: ColumnPairTransformer::new(cfg.window),
             inv: ColumnPairInverse::new(cfg.window),
             codec: CodecTelemetry::noop(),
+            clamp: Vec::new(),
+            bands: Default::default(),
         }
     }
 
@@ -376,18 +435,53 @@ impl LineCodec for HaarIwtCodec {
     }
 
     fn encode_group(&mut self, cols: &[Vec<Coeff>]) -> EncodedGroup<Self::Encoded> {
+        self.encode_group_reuse(cols, None)
+    }
+
+    fn encode_group_reuse(
+        &mut self,
+        cols: &[Vec<Coeff>],
+        recycled: Option<Self::Encoded>,
+    ) -> EncodedGroup<Self::Encoded> {
         debug_assert_eq!(cols.len(), 2);
-        let none = self.fwd.push_column(&cols[0]);
+        if self.cfg.hot_path == HotPath::Scalar {
+            let none = self.fwd.push_column(&cols[0]);
+            debug_assert!(none.is_none());
+            let Some(pair) = self.fwd.push_column(&cols[1]) else {
+                unreachable!("second column completes the pair")
+            };
+            let encoded = [
+                self.enc(pair.even.first_half(), SubBand::LL),
+                self.enc(pair.even.second_half(), SubBand::LH),
+                self.enc(pair.odd.first_half(), SubBand::HL),
+                self.enc(pair.odd.second_half(), SubBand::HH),
+            ];
+            let mut per_band = [0u64; 4];
+            for (slot, e) in per_band.iter_mut().zip(&encoded) {
+                *slot = e.payload_bits;
+                self.codec.record_encoded(e);
+            }
+            return EncodedGroup {
+                payload_bits: per_band.iter().sum(),
+                per_band_bits: per_band,
+                data: encoded,
+            };
+        }
+        let none = self.fwd.push_column_sliced(&cols[0]);
         debug_assert!(none.is_none());
-        let Some(pair) = self.fwd.push_column(&cols[1]) else {
+        let Some(pair) = self.fwd.push_column_sliced(&cols[1]) else {
             unreachable!("second column completes the pair")
         };
-        let encoded = [
-            self.enc(pair.even.first_half(), SubBand::LL),
-            self.enc(pair.even.second_half(), SubBand::LH),
-            self.enc(pair.odd.first_half(), SubBand::HL),
-            self.enc(pair.odd.second_half(), SubBand::HH),
+        let mut encoded = recycled.unwrap_or_default();
+        let halves = [
+            (pair.even.first_half(), SubBand::LL),
+            (pair.even.second_half(), SubBand::LH),
+            (pair.odd.first_half(), SubBand::HL),
+            (pair.odd.second_half(), SubBand::HH),
         ];
+        for ((half, band), out) in halves.into_iter().zip(encoded.iter_mut()) {
+            Self::enc_sliced(&self.cfg, &mut self.clamp, half, band, out);
+        }
         let mut per_band = [0u64; 4];
         for (slot, e) in per_band.iter_mut().zip(&encoded) {
             *slot = e.payload_bits;
@@ -401,6 +495,11 @@ impl LineCodec for HaarIwtCodec {
     }
 
     fn try_decode_group(&mut self, enc: &Self::Encoded) -> Result<Vec<Vec<Pixel>>, String> {
+        if self.cfg.hot_path != HotPath::Scalar {
+            let mut out = Vec::new();
+            self.try_decode_group_into(enc, &mut out)?;
+            return Ok(out);
+        }
         for e in enc {
             self.codec.record_decoded(e);
         }
@@ -427,6 +526,32 @@ impl LineCodec for HaarIwtCodec {
             c0.into_iter().map(clamp).collect(),
             c1.into_iter().map(clamp).collect(),
         ])
+    }
+
+    fn try_decode_group_into(
+        &mut self,
+        enc: &Self::Encoded,
+        out: &mut Vec<Vec<Pixel>>,
+    ) -> Result<(), String> {
+        if self.cfg.hot_path == HotPath::Scalar {
+            *out = self.try_decode_group(enc)?;
+            return Ok(());
+        }
+        for e in enc {
+            self.codec.record_decoded(e);
+        }
+        for (e, buf) in enc.iter().zip(self.bands.iter_mut()) {
+            decode_column_sliced_into(e, buf)?;
+        }
+        let [ll, lh, hl, hh] = &self.bands;
+        let (c0, c1) = self.inv.push_quad_sliced(ll, lh, hl, hh);
+        out.resize_with(2, Vec::new);
+        let clamp = |&v: &Coeff| v.clamp(0, 255) as Pixel;
+        out[0].clear();
+        out[0].extend(c0.iter().map(clamp));
+        out[1].clear();
+        out[1].extend(c1.iter().map(clamp));
+        Ok(())
     }
 
     fn corrupt(&self, enc: &mut Self::Encoded, site: FaultSite, bit: u64) {
@@ -459,12 +584,25 @@ pub struct HaarTwoLevelCodec {
     inv1: ColumnPairInverse,
     inv2: ColumnPairInverse,
     codec: CodecTelemetry,
+    /// Sliced-path scratch: the two level-1 LL halves of the quad
+    /// (copied out so the level-1 transformer can be reused in between).
+    ll_pair: (Vec<Coeff>, Vec<Coeff>),
+    /// Sliced-path scratch: decoded sub-band columns (level-2 quad, then
+    /// reused per level-1 pair).
+    dec_bands: [Vec<Coeff>; 4],
+    /// Sliced-path scratch: reconstructed level-1 LL columns.
+    dec_ll: (Vec<Coeff>, Vec<Coeff>),
 }
 
 impl HaarTwoLevelCodec {
     fn enc(&self, coeffs: &[Coeff], band: SubBand) -> EncodedColumn {
         let t = self.cfg.policy.threshold_for(band, self.cfg.threshold);
         encode_column(coeffs, t)
+    }
+
+    fn enc_sliced(cfg: &ArchConfig, coeffs: &[Coeff], band: SubBand, out: &mut EncodedColumn) {
+        let t = cfg.policy.threshold_for(band, cfg.threshold);
+        encode_column_sliced_into(coeffs, t, out);
     }
 }
 
@@ -489,6 +627,9 @@ impl LineCodec for HaarTwoLevelCodec {
             inv1: ColumnPairInverse::new(cfg.window),
             inv2: ColumnPairInverse::new(cfg.window / 2),
             codec: CodecTelemetry::noop(),
+            ll_pair: Default::default(),
+            dec_bands: Default::default(),
+            dec_ll: Default::default(),
         }
     }
 
@@ -496,8 +637,98 @@ impl LineCodec for HaarTwoLevelCodec {
         LineCodecKind::Haar2
     }
 
+    fn encode_group_reuse(
+        &mut self,
+        cols: &[Vec<Coeff>],
+        recycled: Option<Self::Encoded>,
+    ) -> EncodedGroup<Self::Encoded> {
+        debug_assert_eq!(cols.len(), 4);
+        if self.cfg.hot_path == HotPath::Scalar {
+            return self.encode_group(cols);
+        }
+        let (mut l1e, mut l2e) = recycled.unwrap_or_default();
+        // First level-1 pair: encode its detail columns immediately and
+        // stash the LL half, freeing the transformer's output for the
+        // second pair.
+        let none = self.l1.push_column_sliced(&cols[0]);
+        debug_assert!(none.is_none());
+        let Some(pair_a) = self.l1.push_column_sliced(&cols[1]) else {
+            unreachable!("first level-1 pair")
+        };
+        Self::enc_sliced(
+            &self.cfg,
+            pair_a.even.second_half(),
+            SubBand::LH,
+            &mut l1e[0],
+        );
+        Self::enc_sliced(&self.cfg, pair_a.odd.first_half(), SubBand::HL, &mut l1e[1]);
+        Self::enc_sliced(
+            &self.cfg,
+            pair_a.odd.second_half(),
+            SubBand::HH,
+            &mut l1e[2],
+        );
+        self.ll_pair.0.clear();
+        self.ll_pair.0.extend_from_slice(pair_a.even.first_half());
+
+        let none = self.l1.push_column_sliced(&cols[2]);
+        debug_assert!(none.is_none());
+        let Some(pair_b) = self.l1.push_column_sliced(&cols[3]) else {
+            unreachable!("second level-1 pair")
+        };
+        Self::enc_sliced(
+            &self.cfg,
+            pair_b.even.second_half(),
+            SubBand::LH,
+            &mut l1e[3],
+        );
+        Self::enc_sliced(&self.cfg, pair_b.odd.first_half(), SubBand::HL, &mut l1e[4]);
+        Self::enc_sliced(
+            &self.cfg,
+            pair_b.odd.second_half(),
+            SubBand::HH,
+            &mut l1e[5],
+        );
+        self.ll_pair.1.clear();
+        self.ll_pair.1.extend_from_slice(pair_b.even.first_half());
+
+        let none = self.l2.push_column_sliced(&self.ll_pair.0);
+        debug_assert!(none.is_none());
+        let Some(pair2) = self.l2.push_column_sliced(&self.ll_pair.1) else {
+            unreachable!("level-2 pair")
+        };
+        Self::enc_sliced(&self.cfg, pair2.even.first_half(), SubBand::LL, &mut l2e[0]);
+        Self::enc_sliced(
+            &self.cfg,
+            pair2.even.second_half(),
+            SubBand::LH,
+            &mut l2e[1],
+        );
+        Self::enc_sliced(&self.cfg, pair2.odd.first_half(), SubBand::HL, &mut l2e[2]);
+        Self::enc_sliced(&self.cfg, pair2.odd.second_half(), SubBand::HH, &mut l2e[3]);
+
+        let mut per_band = [0u64; 4];
+        for (i, e) in l2e.iter().enumerate() {
+            per_band[i] += e.payload_bits;
+        }
+        for (e, band) in l1e.iter().zip([1usize, 2, 3, 1, 2, 3]) {
+            per_band[band] += e.payload_bits;
+        }
+        for e in l1e.iter().chain(&l2e) {
+            self.codec.record_encoded(e);
+        }
+        EncodedGroup {
+            payload_bits: per_band.iter().sum(),
+            per_band_bits: per_band,
+            data: (l1e, l2e),
+        }
+    }
+
     fn encode_group(&mut self, cols: &[Vec<Coeff>]) -> EncodedGroup<Self::Encoded> {
         debug_assert_eq!(cols.len(), 4);
+        if self.cfg.hot_path != HotPath::Scalar {
+            return self.encode_group_reuse(cols, None);
+        }
         let none = self.l1.push_column(&cols[0]);
         debug_assert!(none.is_none());
         let Some(pair_a) = self.l1.push_column(&cols[1]) else {
@@ -548,7 +779,65 @@ impl LineCodec for HaarTwoLevelCodec {
         }
     }
 
+    fn try_decode_group_into(
+        &mut self,
+        enc: &Self::Encoded,
+        out: &mut Vec<Vec<Pixel>>,
+    ) -> Result<(), String> {
+        if self.cfg.hot_path == HotPath::Scalar {
+            *out = self.try_decode_group(enc)?;
+            return Ok(());
+        }
+        let (l1, l2) = enc;
+        for e in l1.iter().chain(l2.iter()) {
+            self.codec.record_decoded(e);
+        }
+        // Level-2 inverse: recover LL1(c0) and LL1(c2).
+        for (e, buf) in l2.iter().zip(self.dec_bands.iter_mut()) {
+            decode_column_sliced_into(e, buf)?;
+        }
+        {
+            let [b0, b1, b2, b3] = &self.dec_bands;
+            let (a, b) = self.inv2.push_quad_sliced(b0, b1, b2, b3);
+            self.dec_ll.0.clear();
+            self.dec_ll.0.extend_from_slice(a);
+            self.dec_ll.1.clear();
+            self.dec_ll.1.extend_from_slice(b);
+        }
+        // Level-1 inverse for (c0, c1) and (c2, c3), reusing the band
+        // scratch for each pair's three detail columns.
+        out.resize_with(4, Vec::new);
+        for (pair_idx, (lh_i, hl_i, hh_i)) in [(0usize, (0usize, 1, 2)), (1, (3, 4, 5))] {
+            decode_column_sliced_into(&l1[lh_i], &mut self.dec_bands[0])?;
+            decode_column_sliced_into(&l1[hl_i], &mut self.dec_bands[1])?;
+            decode_column_sliced_into(&l1[hh_i], &mut self.dec_bands[2])?;
+            let ll1 = if pair_idx == 0 {
+                &self.dec_ll.0
+            } else {
+                &self.dec_ll.1
+            };
+            let (a, b) = self.inv1.push_quad_sliced(
+                ll1,
+                &self.dec_bands[0],
+                &self.dec_bands[1],
+                &self.dec_bands[2],
+            );
+            let clamp = |&v: &Coeff| v.clamp(0, 255) as Pixel;
+            let o = 2 * pair_idx;
+            out[o].clear();
+            out[o].extend(a.iter().map(clamp));
+            out[o + 1].clear();
+            out[o + 1].extend(b.iter().map(clamp));
+        }
+        Ok(())
+    }
+
     fn try_decode_group(&mut self, enc: &Self::Encoded) -> Result<Vec<Vec<Pixel>>, String> {
+        if self.cfg.hot_path != HotPath::Scalar {
+            let mut out = Vec::new();
+            self.try_decode_group_into(enc, &mut out)?;
+            return Ok(out);
+        }
         let (l1, l2) = enc;
         for e in l1.iter().chain(l2.iter()) {
             self.codec.record_decoded(e);
@@ -640,6 +929,9 @@ pub struct LeGall53Codec {
     high: Vec<Coeff>,
     scratch: Vec<Coeff>,
     codec: CodecTelemetry,
+    /// Sliced-path scratch: decoded sub-band columns.
+    dec_low: Vec<Coeff>,
+    dec_high: Vec<Coeff>,
 }
 
 impl LineCodec for LeGall53Codec {
@@ -654,6 +946,8 @@ impl LineCodec for LeGall53Codec {
             high: vec![0; half],
             scratch: vec![0; cfg.window],
             codec: CodecTelemetry::noop(),
+            dec_low: Vec::new(),
+            dec_high: Vec::new(),
         }
     }
 
@@ -662,8 +956,21 @@ impl LineCodec for LeGall53Codec {
     }
 
     fn encode_group(&mut self, cols: &[Vec<Coeff>]) -> EncodedGroup<Self::Encoded> {
+        self.encode_group_reuse(cols, None)
+    }
+
+    fn encode_group_reuse(
+        &mut self,
+        cols: &[Vec<Coeff>],
+        recycled: Option<Self::Encoded>,
+    ) -> EncodedGroup<Self::Encoded> {
         debug_assert_eq!(cols.len(), 1);
-        legall53_forward(&cols[0], &mut self.low, &mut self.high);
+        let sliced = self.cfg.hot_path != HotPath::Scalar;
+        if sliced {
+            legall53_fwd_sliced(&cols[0], &mut self.low, &mut self.high);
+        } else {
+            legall53_forward(&cols[0], &mut self.low, &mut self.high);
+        }
         let t_low = self
             .cfg
             .policy
@@ -675,10 +982,17 @@ impl LineCodec for LeGall53Codec {
         for c in &mut self.high {
             *c = self.cfg.coeff_mode.clamp_detail(*c);
         }
-        let encoded = [
-            encode_column(&self.low, t_low),
-            encode_column(&self.high, t_high),
-        ];
+        let encoded = if sliced {
+            let mut encoded = recycled.unwrap_or_default();
+            encode_column_sliced_into(&self.low, t_low, &mut encoded[0]);
+            encode_column_sliced_into(&self.high, t_high, &mut encoded[1]);
+            encoded
+        } else {
+            [
+                encode_column(&self.low, t_low),
+                encode_column(&self.high, t_high),
+            ]
+        };
         for e in &encoded {
             self.codec.record_encoded(e);
         }
@@ -691,6 +1005,11 @@ impl LineCodec for LeGall53Codec {
     }
 
     fn try_decode_group(&mut self, enc: &Self::Encoded) -> Result<Vec<Vec<Pixel>>, String> {
+        if self.cfg.hot_path != HotPath::Scalar {
+            let mut out = Vec::new();
+            self.try_decode_group_into(enc, &mut out)?;
+            return Ok(out);
+        }
         for e in enc {
             self.codec.record_decoded(e);
         }
@@ -702,6 +1021,27 @@ impl LineCodec for LeGall53Codec {
             .iter()
             .map(|&v| v.clamp(0, 255) as Pixel)
             .collect()])
+    }
+
+    fn try_decode_group_into(
+        &mut self,
+        enc: &Self::Encoded,
+        out: &mut Vec<Vec<Pixel>>,
+    ) -> Result<(), String> {
+        if self.cfg.hot_path == HotPath::Scalar {
+            *out = self.try_decode_group(enc)?;
+            return Ok(());
+        }
+        for e in enc {
+            self.codec.record_decoded(e);
+        }
+        decode_column_sliced_into(&enc[0], &mut self.dec_low)?;
+        decode_column_sliced_into(&enc[1], &mut self.dec_high)?;
+        legall53_inv_sliced(&self.dec_low, &self.dec_high, &mut self.scratch);
+        out.resize_with(1, Vec::new);
+        out[0].clear();
+        out[0].extend(self.scratch.iter().map(|&v| v.clamp(0, 255) as Pixel));
+        Ok(())
     }
 
     fn corrupt(&self, enc: &mut Self::Encoded, site: FaultSite, bit: u64) {

@@ -3,6 +3,7 @@
 use crate::codec::LineCodecKind;
 use crate::error::SwError;
 use crate::Coeff;
+use sw_bitstream::HotPath;
 
 /// Which sub-bands the threshold applies to.
 ///
@@ -100,6 +101,11 @@ pub struct ArchConfig {
     /// Line codec buffering the recirculated rows (the paper's Haar IWT
     /// by default; see [`crate::codec`] for the full matrix).
     pub codec: LineCodecKind,
+    /// Which hot-path implementation the codecs run: the scalar reference
+    /// or the u64 bit-sliced kernels. Both produce bit-identical streams;
+    /// defaults to the `SWC_HOT_PATH` environment variable (sliced when
+    /// unset).
+    pub hot_path: HotPath,
 }
 
 impl ArchConfig {
@@ -124,7 +130,14 @@ impl ArchConfig {
             pixel_bits: 8,
             coeff_mode: CoeffMode::default(),
             codec: LineCodecKind::default(),
+            hot_path: HotPath::from_env(),
         }
+    }
+
+    /// Set the hot-path implementation (builder style).
+    pub fn with_hot_path(mut self, hp: HotPath) -> Self {
+        self.hot_path = hp;
+        self
     }
 
     /// Set the line codec (builder style).
@@ -213,6 +226,7 @@ impl ArchConfig {
             pixel_bits: 8,
             coeff_mode: CoeffMode::default(),
             codec: LineCodecKind::default(),
+            hot_path: HotPath::from_env(),
         }
     }
 
@@ -278,9 +292,16 @@ pub struct ArchConfigBuilder {
     pixel_bits: u32,
     coeff_mode: CoeffMode,
     codec: LineCodecKind,
+    hot_path: HotPath,
 }
 
 impl ArchConfigBuilder {
+    /// Set the hot-path implementation.
+    pub fn hot_path(mut self, hp: HotPath) -> Self {
+        self.hot_path = hp;
+        self
+    }
+
     /// Set the line codec.
     pub fn codec(mut self, codec: LineCodecKind) -> Self {
         self.codec = codec;
@@ -333,6 +354,7 @@ impl ArchConfigBuilder {
             pixel_bits: self.pixel_bits,
             coeff_mode: self.coeff_mode,
             codec: self.codec,
+            hot_path: self.hot_path,
         };
         cfg.validate()?;
         Ok(cfg)

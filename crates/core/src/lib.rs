@@ -104,6 +104,7 @@ pub use digest::{image_digest, stats_digest};
 pub use error::SwError;
 pub use faults::{FaultInjector, FaultSite, FaultSpec};
 pub use memory_unit::{MemoryUnit, MemoryUnitConfig, OverflowPolicy};
+pub use sw_bitstream::HotPath;
 pub use window::{ActiveWindow, WindowView};
 
 /// Pixel type (8-bit grayscale, as in the paper).

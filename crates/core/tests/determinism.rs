@@ -264,6 +264,43 @@ fn ragged_heights_and_strip_counts_are_deterministic() {
 }
 
 #[test]
+fn hot_path_is_jobs_invariant_and_matches_the_scalar_oracle() {
+    // ISSUE 7: the u64 bit-sliced hot path must be byte-identical to the
+    // scalar oracle under the sharded runner too, at jobs {1, max} — the
+    // per-strip scratch arenas may not introduce any jobs- or
+    // path-dependence.
+    let img = scene(W, H);
+    let kernel = Tap::top_left(N);
+    let max_jobs = *jobs_grid().last().unwrap();
+    for codec in LineCodecKind::ALL {
+        for t in [0i16, 4] {
+            let run = |hp: sw_core::HotPath, jobs: usize| {
+                let pool = ThreadPool::new(jobs);
+                let cfg = ArchConfig::new(N, img.width())
+                    .with_codec(codec)
+                    .with_threshold(t)
+                    .with_hot_path(hp);
+                ShardedFrameRunner::new(cfg)
+                    .with_strips(4)
+                    .run(&img, &kernel, &pool)
+                    .unwrap()
+            };
+            let reference = run(sw_core::HotPath::Scalar, 1);
+            for hp in sw_core::HotPath::ALL {
+                for jobs in [1usize, max_jobs] {
+                    let got = run(hp, jobs);
+                    assert_outputs_identical(
+                        &got,
+                        &reference,
+                        &format!("{} T={t} {} jobs={jobs}", codec.name(), hp.name()),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn analyzer_par_is_bit_identical_to_sequential() {
     for (w, h, n, t) in [
         (64usize, 67usize, 8usize, 0i16),

@@ -15,6 +15,7 @@
 
 use crate::haar::{haar_fwd_pair, haar_inv_pair};
 use crate::subband::{SubBand, SubbandPlanes};
+use crate::swar;
 use crate::Coeff;
 
 /// The four coefficients of one transformed 2×2 pixel block.
@@ -127,6 +128,10 @@ pub struct ColumnPairTransformer {
     n: usize,
     /// Vertical-stage `(l, h)` halves of the pending (even) column.
     pending: Option<(Vec<Coeff>, Vec<Coeff>)>,
+    /// Retired `(l, h)` buffer pairs recycled by the sliced hot path.
+    spare: Vec<(Vec<Coeff>, Vec<Coeff>)>,
+    /// Reusable output storage for [`Self::push_column_sliced`].
+    out: Option<TransformedColumnPair>,
 }
 
 impl ColumnPairTransformer {
@@ -136,7 +141,12 @@ impl ColumnPairTransformer {
             n >= 2 && n.is_multiple_of(2),
             "window height must be even and >= 2"
         );
-        Self { n, pending: None }
+        Self {
+            n,
+            pending: None,
+            spare: Vec::new(),
+            out: None,
+        }
     }
 
     /// Window height this transformer was built for.
@@ -203,9 +213,72 @@ impl ColumnPairTransformer {
         }
     }
 
+    /// Zero-allocation twin of [`Self::push_column`] for the sliced hot path.
+    ///
+    /// Bit-identical to `push_column` on the codec's coefficient domain (and
+    /// on all inputs in release builds), but the vertical stage runs through
+    /// the u64 SWAR kernels of [`crate::swar`] and every buffer — the
+    /// vertical-stage halves and the emitted pair — is recycled across calls,
+    /// so a warmed-up transformer performs no heap allocation per column.
+    ///
+    /// The returned reference stays valid until the next call on `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column.len() != n`.
+    pub fn push_column_sliced(&mut self, column: &[Coeff]) -> Option<&TransformedColumnPair> {
+        assert_eq!(column.len(), self.n, "column height mismatch");
+        let half = self.n / 2;
+        let (mut l, mut h) = self.spare.pop().unwrap_or_default();
+        l.clear();
+        l.resize(half, 0);
+        h.clear();
+        h.resize(half, 0);
+        swar::haar_fwd_interleaved(column, &mut l, &mut h);
+        match self.pending.take() {
+            None => {
+                self.pending = Some((l, h));
+                None
+            }
+            Some((l0, h0)) => {
+                let n = self.n;
+                let out = self.out.get_or_insert_with(|| TransformedColumnPair {
+                    even: SubbandColumn {
+                        bands: (SubBand::LL, SubBand::LH),
+                        coeffs: Vec::new(),
+                    },
+                    odd: SubbandColumn {
+                        bands: (SubBand::HL, SubBand::HH),
+                        coeffs: Vec::new(),
+                    },
+                });
+                out.even.coeffs.clear();
+                out.even.coeffs.resize(n, 0);
+                out.odd.coeffs.clear();
+                out.odd.coeffs.resize(n, 0);
+                {
+                    let (ll, lh) = out.even.coeffs.split_at_mut(half);
+                    swar::haar_fwd_slices(&l0, &l, ll, lh);
+                }
+                {
+                    let (hl, hh) = out.odd.coeffs.split_at_mut(half);
+                    swar::haar_fwd_slices(&h0, &h, hl, hh);
+                }
+                self.spare.push((l0, h0));
+                self.spare.push((l, h));
+                self.out.as_ref()
+            }
+        }
+    }
+
     /// Drop any buffered half-pair (used at row boundaries / frame resets).
+    ///
+    /// Recycled scratch buffers are kept — reset clears *state*, not
+    /// capacity, so a reused transformer stays allocation-free.
     pub fn reset(&mut self) {
-        self.pending = None;
+        if let Some(pair) = self.pending.take() {
+            self.spare.push(pair);
+        }
     }
 }
 
@@ -218,6 +291,10 @@ impl ColumnPairTransformer {
 pub struct ColumnPairInverse {
     n: usize,
     pending: Option<SubbandColumn>,
+    /// Sliced-path scratch: horizontal-stage row planes (`l0, l1, h0, h1`).
+    rows: [Vec<Coeff>; 4],
+    /// Sliced-path reusable output columns.
+    cols: (Vec<Coeff>, Vec<Coeff>),
 }
 
 impl ColumnPairInverse {
@@ -227,7 +304,12 @@ impl ColumnPairInverse {
             n >= 2 && n.is_multiple_of(2),
             "window height must be even and >= 2"
         );
-        Self { n, pending: None }
+        Self {
+            n,
+            pending: None,
+            rows: Default::default(),
+            cols: Default::default(),
+        }
     }
 
     /// Whether an even column is buffered awaiting its odd partner.
@@ -278,6 +360,48 @@ impl ColumnPairInverse {
                 Some((c0, c1))
             }
         }
+    }
+
+    /// Zero-allocation inverse for the sliced hot path: reconstruct one raw
+    /// column pair straight from the four sub-band slices of a decomposed
+    /// column pair (even column = `ll ++ lh`, odd column = `hl ++ hh`).
+    ///
+    /// Bit-identical to feeding the equivalent [`SubbandColumn`]s through
+    /// [`Self::push_column`] on the codec domain (and on all inputs in
+    /// release builds). The returned `(first, second)` column slices borrow
+    /// internal scratch and stay valid until the next call on `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sub-band slice is not `n / 2` long.
+    pub fn push_quad_sliced(
+        &mut self,
+        ll: &[Coeff],
+        lh: &[Coeff],
+        hl: &[Coeff],
+        hh: &[Coeff],
+    ) -> (&[Coeff], &[Coeff]) {
+        let half = self.n / 2;
+        assert!(
+            ll.len() == half && lh.len() == half && hl.len() == half && hh.len() == half,
+            "sub-band height mismatch"
+        );
+        for r in &mut self.rows {
+            r.clear();
+            r.resize(half, 0);
+        }
+        let [l0, l1, h0, h1] = &mut self.rows;
+        // Undo the horizontal stage across the column pair.
+        swar::haar_inv_slices(ll, lh, l0, l1);
+        swar::haar_inv_slices(hl, hh, h0, h1);
+        // Undo the vertical stage, re-interleaving each column's row pairs.
+        self.cols.0.clear();
+        self.cols.0.resize(self.n, 0);
+        self.cols.1.clear();
+        self.cols.1.resize(self.n, 0);
+        swar::haar_inv_interleaved(l0, h0, &mut self.cols.0);
+        swar::haar_inv_interleaved(l1, h1, &mut self.cols.1);
+        (&self.cols.0, &self.cols.1)
     }
 
     /// Drop any buffered half-pair.
@@ -453,6 +577,76 @@ mod tests {
         fwd.reset();
         assert!(!fwd.has_pending());
         assert!(fwd.push_column(&[5, 6, 7, 8]).is_none());
+    }
+
+    #[test]
+    fn sliced_push_matches_scalar_across_reused_frames() {
+        let n = 16;
+        // One sliced transformer reused across frames of different content
+        // must match a fresh scalar transformer per frame: no stale-state
+        // bleed through the recycled scratch buffers.
+        let mut sliced = ColumnPairTransformer::new(n);
+        for frame in 0u32..3 {
+            let mut scalar = ColumnPairTransformer::new(n);
+            let columns: Vec<Vec<Coeff>> = (0..10)
+                .map(|c| {
+                    (0..n)
+                        .map(|r| ((r as u32 * 31 + c * 97 + frame * 55) % 256) as Coeff)
+                        .collect()
+                })
+                .collect();
+            for col in &columns {
+                let want = scalar.push_column(col);
+                let got = sliced.push_column_sliced(col);
+                assert_eq!(got, want.as_ref(), "frame {frame}");
+            }
+            sliced.reset();
+        }
+    }
+
+    #[test]
+    fn sliced_quad_inverse_matches_scalar_inverse() {
+        let n = 12;
+        let mut fwd = ColumnPairTransformer::new(n);
+        let mut inv_scalar = ColumnPairInverse::new(n);
+        let mut inv_sliced = ColumnPairInverse::new(n);
+        let columns: Vec<Vec<Coeff>> = (0..8)
+            .map(|c| (0..n).map(|r| ((r * 67 + c * 13) % 256) as Coeff).collect())
+            .collect();
+        for pair in columns.chunks_exact(2) {
+            let tp = fwd
+                .push_column(&pair[0])
+                .or_else(|| fwd.push_column(&pair[1]))
+                .expect("pair completes");
+            let (s0, s1) = {
+                let half = n / 2;
+                inv_sliced.push_quad_sliced(
+                    &tp.even.coeffs[..half],
+                    &tp.even.coeffs[half..],
+                    &tp.odd.coeffs[..half],
+                    &tp.odd.coeffs[half..],
+                )
+            };
+            let (s0, s1) = (s0.to_vec(), s1.to_vec());
+            assert!(inv_scalar.push_column(tp.even).is_none());
+            let (c0, c1) = inv_scalar.push_column(tp.odd).expect("reconstructs");
+            assert_eq!((s0, s1), (c0, c1));
+        }
+    }
+
+    #[test]
+    fn sliced_push_allocates_nothing_once_warm() {
+        let n = 8;
+        let mut t = ColumnPairTransformer::new(n);
+        let col: Vec<Coeff> = (0..n as Coeff).collect();
+        // Warm up one full pair, then confirm the recycled buffers are the
+        // same allocations on the next pair (pointer-stable scratch).
+        t.push_column_sliced(&col);
+        let first = t.push_column_sliced(&col).expect("pair");
+        let even_ptr = first.even.coeffs.as_ptr();
+        t.push_column_sliced(&col);
+        let second = t.push_column_sliced(&col).expect("pair");
+        assert_eq!(second.even.coeffs.as_ptr(), even_ptr, "output recycled");
     }
 
     #[test]

@@ -46,9 +46,12 @@ pub mod haar2d;
 pub mod legall;
 pub mod multilevel;
 pub mod subband;
+pub mod swar;
 
 pub use haar::{haar_fwd_pair, haar_inv_pair, HaarLifter};
-pub use haar2d::{haar2d_fwd_quad, haar2d_inv_quad, ColumnPairTransformer, Quad};
+pub use haar2d::{
+    haar2d_fwd_quad, haar2d_inv_quad, ColumnPairInverse, ColumnPairTransformer, Quad,
+};
 pub use subband::{SubBand, SubbandPlanes};
 
 /// Integer type carrying wavelet coefficients.

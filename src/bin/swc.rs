@@ -55,14 +55,16 @@ usage:
               [--codec C] [--metrics-out FILE.json] [--trace FILE.jsonl]
               [--trace-chrome FILE.json] [--flame] [--jobs N]
               [--overflow-policy fail|stall|degrade] [--budget-fraction F]
-              [--fault-seed N]
+              [--fault-seed N] [--hot-path scalar|sliced]
   swc plan    <image.pgm> --window N [--threshold T]
   swc sweep   <image.pgm> --window N [--codec C] [--metrics-out FILE.json] [--jobs N]
               [--overflow-policy fail|stall|degrade] [--budget-fraction F]
-              [--fault-seed N]
+              [--fault-seed N] [--hot-path scalar|sliced]
   swc scene   <name|index> <out.pgm> [--size WxH]
   swc conform [--all] [--bless] [--fuzz N] [--seed S] [--vectors DIR]
+              [--hot-path scalar|sliced]
   swc bench   [--json] [--quick] [--out FILE] [--jobs N]
+              [--hot-path scalar|sliced]
   swc bench   --compare BASE.json NEW.json [--max-loss PCT] [--warn-only]
 
 The image must be a binary PGM (P5). `swc scene` writes one of the built-in
@@ -91,6 +93,12 @@ threshold T until the stream fits. --fault-seed N injects deterministic
 seeded faults (payload/BitMap/NBits bit-flips); detected corruption
 exits with a decode error, undetected corruption is reported as
 reconstruction MSE.
+
+--hot-path selects the codec implementation: 'sliced' (default) runs the
+u64 bit-sliced SIMD hot path, 'scalar' runs the original per-coefficient
+loops kept as the differential oracle. Both produce bit-identical output
+(enforced by conformance); the flag overrides the SWC_HOT_PATH
+environment variable.
 
 swc conform runs the conformance harness: --all checks the checked-in
 golden vectors and runs the differential oracle battery over the whole
@@ -123,6 +131,7 @@ struct Opts {
     overflow_policy: Option<OverflowPolicy>,
     budget_fraction: f64,
     fault_seed: Option<u64>,
+    hot_path: Option<HotPath>,
 }
 
 impl Opts {
@@ -156,6 +165,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         overflow_policy: None,
         budget_fraction: 1.0,
         fault_seed: None,
+        hot_path: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -220,6 +230,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     next(args, &mut i)?
                         .parse()
                         .map_err(|_| "bad --fault-seed")?,
+                );
+            }
+            "--hot-path" => {
+                let v = next(args, &mut i)?;
+                o.hot_path = Some(
+                    HotPath::parse(v)
+                        .ok_or_else(|| format!("unknown hot path '{v}' (scalar, sliced)"))?,
                 );
             }
             other => return Err(format!("unknown option '{other}'")),
@@ -300,6 +317,14 @@ fn conform(args: &[String]) -> Result<(), String> {
             "--vectors" => {
                 vectors = PathBuf::from(next(args, &mut i)?);
             }
+            "--hot-path" => {
+                let v = next(args, &mut i)?;
+                let hp = HotPath::parse(v)
+                    .ok_or_else(|| format!("unknown hot path '{v}' (scalar, sliced)"))?;
+                // The corpus reads the hot path from the environment, so
+                // the flag routes through the same knob.
+                std::env::set_var(HotPath::ENV, hp.name());
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
@@ -370,6 +395,14 @@ fn bench(args: &[String]) -> Result<(), String> {
                 }
             }
             "--warn-only" => warn_only = true,
+            "--hot-path" => {
+                let v = next(args, &mut i)?;
+                let hp = HotPath::parse(v)
+                    .ok_or_else(|| format!("unknown hot path '{v}' (scalar, sliced)"))?;
+                // The bench matrix builds its configs from the
+                // environment default, so the flag routes through it.
+                std::env::set_var(HotPath::ENV, hp.name());
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
@@ -516,7 +549,8 @@ fn config(img: &ImageU8, o: &Opts) -> Result<ArchConfig, String> {
     Ok(ArchConfig::new(o.window, img.width())
         .with_threshold(o.threshold)
         .with_policy(o.policy)
-        .with_codec(o.codec))
+        .with_codec(o.codec)
+        .with_hot_path(o.hot_path.unwrap_or_else(HotPath::from_env)))
 }
 
 fn analyze(img: &ImageU8, o: &Opts) -> Result<(), String> {

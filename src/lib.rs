@@ -94,6 +94,7 @@ pub mod prelude {
     };
     pub use sw_core::stats::summarize;
     pub use sw_core::traditional::TraditionalSlidingWindow;
+    pub use sw_core::HotPath;
     pub use sw_fpga::device::Device;
     pub use sw_fpga::resources::{estimate, ModuleKind, ResourceEstimate};
     pub use sw_image::{dataset, degenerate_suite, mse, psnr, ImageRgb, ImageU8, ScenePreset};
