@@ -22,6 +22,7 @@ use std::time::Instant;
 use sw_core::arch::build_arch;
 use sw_core::codec::LineCodecKind;
 use sw_core::config::ArchConfig;
+use sw_core::integral::{analyze_integral, IntegralConfig};
 use sw_core::kernels::{BoxFilter, GaussianFilter, SobelMagnitude, WindowKernel};
 use sw_core::shard::ShardedFrameRunner;
 use sw_image::{ImageU8, ScenePreset};
@@ -163,6 +164,11 @@ pub struct BenchReport {
     /// written before the hot-path axis existed parse as `scalar` — the
     /// only implementation that era had.
     pub hot_path: String,
+    /// Which workload matrix this is: `window` (the kernel × codec
+    /// sliding-window matrix) or `integral` (the wide i32 integral-image
+    /// engine). Reports written before the workload axis existed parse as
+    /// `window` — the only matrix that era had.
+    pub workload: String,
     /// Settings the matrix ran with.
     pub settings: BenchSettings,
     /// Results in matrix order (kernel-major, then codec, then mode).
@@ -180,6 +186,15 @@ pub fn matrix_cell_ids() -> Vec<String> {
         }
     }
     ids
+}
+
+/// Cell ids of the integral workload matrix, in report order. The `wide`
+/// codec tag marks the i32 instantiation of the column codec.
+pub fn integral_cell_ids() -> Vec<String> {
+    ["seq", "par"]
+        .iter()
+        .map(|mode| format!("integral/wide/{mode}"))
+        .collect()
 }
 
 fn bench_image(settings: &BenchSettings) -> ImageU8 {
@@ -318,6 +333,89 @@ pub fn run_matrix(settings: &BenchSettings, created_utc: &str) -> Result<BenchRe
         // `cell_config` builds from `ArchConfig::new`, which resolves the
         // hot path from the environment — record what actually ran.
         hot_path: sw_core::HotPath::from_env().name().to_string(),
+        workload: "window".to_string(),
+        settings: *settings,
+        cells,
+    })
+}
+
+/// Run one cell of the integral workload: time [`analyze_integral`] over
+/// `settings.frames` frames. `seq` cells run on a one-thread pool, `par`
+/// cells on the jobs pool; the report digests are identical either way.
+/// Integral cells carry no stage breakdown — the engine is two phases,
+/// not a span hierarchy.
+///
+/// # Errors
+///
+/// Propagates engine errors as strings (none occur at matrix settings).
+pub fn run_integral_cell(
+    par: bool,
+    img: &ImageU8,
+    pool: &ThreadPool,
+    settings: &BenchSettings,
+) -> Result<CellResult, String> {
+    let cfg = IntegralConfig {
+        segment: WINDOW,
+        hot_path: sw_core::HotPath::from_env(),
+    };
+    let seq_pool;
+    let pool = if par {
+        pool
+    } else {
+        seq_pool = ThreadPool::new(1);
+        &seq_pool
+    };
+    let probe = analyze_integral(img, &cfg, pool).map_err(|e| e.to_string())?;
+    let bytes_packed = probe.payload_bits_total / 8;
+    let mut samples_ns = Vec::with_capacity(settings.frames);
+    for _ in 0..settings.frames {
+        let t0 = Instant::now();
+        analyze_integral(img, &cfg, pool).map_err(|e| e.to_string())?;
+        samples_ns.push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    let total_ns: u64 = samples_ns.iter().sum();
+    let pixels = settings.pixels_per_frame() * settings.frames as u64;
+    let mpix_per_s = if total_ns == 0 {
+        0.0
+    } else {
+        pixels as f64 / (total_ns as f64 / 1e9) / 1e6
+    };
+    samples_ns.sort_unstable();
+    let mode = if par { "par" } else { "seq" };
+    Ok(CellResult {
+        cell: format!("integral/wide/{mode}"),
+        kernel: "integral".to_string(),
+        codec: "wide".to_string(),
+        mode: mode.to_string(),
+        mpix_per_s,
+        p50_ns: percentile(&samples_ns, 0.50),
+        p99_ns: percentile(&samples_ns, 0.99),
+        bytes_packed,
+        stage_breakdown: Vec::new(),
+    })
+}
+
+/// Run the integral workload matrix (`integral/wide/{seq,par}`).
+///
+/// # Errors
+///
+/// The first cell error, in matrix order.
+pub fn run_integral_matrix(
+    settings: &BenchSettings,
+    created_utc: &str,
+) -> Result<BenchReport, String> {
+    let img = bench_image(settings);
+    let pool = ThreadPool::new(settings.jobs);
+    let cells = [false, true]
+        .iter()
+        .map(|&par| run_integral_cell(par, &img, &pool, settings))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(BenchReport {
+        schema: SCHEMA.to_string(),
+        version: SCHEMA_VERSION,
+        created_utc: created_utc.to_string(),
+        hot_path: sw_core::HotPath::from_env().name().to_string(),
+        workload: "integral".to_string(),
         settings: *settings,
         cells,
     })
@@ -356,6 +454,7 @@ impl BenchReport {
             esc(&self.created_utc)
         ));
         s.push_str(&format!("  \"hot_path\": \"{}\",\n", esc(&self.hot_path)));
+        s.push_str(&format!("  \"workload\": \"{}\",\n", esc(&self.workload)));
         s.push_str(&format!(
             "  \"frame\": {{\"width\": {}, \"height\": {}, \"frames\": {}, \"window\": {WINDOW}, \"jobs\": {}, \"quick\": {}}},\n",
             self.settings.width,
@@ -433,6 +532,13 @@ impl BenchReport {
                 .to_string(),
             None => "scalar".to_string(),
         };
+        let workload = match obj.get("workload") {
+            Some(v) => v
+                .as_str()
+                .ok_or("bench JSON: non-string 'workload'")?
+                .to_string(),
+            None => "window".to_string(),
+        };
         let frame = obj
             .get("frame")
             .and_then(Json::as_obj)
@@ -469,6 +575,7 @@ impl BenchReport {
             version,
             created_utc,
             hot_path,
+            workload,
             settings,
             cells,
         })
@@ -632,6 +739,12 @@ pub fn compare(
             base.schema, base.version, new.schema, new.version
         ));
     }
+    if base.workload != new.workload {
+        return Err(format!(
+            "workload mismatch: baseline '{}' vs new '{}'",
+            base.workload, new.workload
+        ));
+    }
     let mut deltas = Vec::new();
     let mut regressions = Vec::new();
     let mut missing = Vec::new();
@@ -723,6 +836,7 @@ mod tests {
             version: SCHEMA_VERSION,
             created_utc: "2026-08-07".to_string(),
             hot_path: "sliced".to_string(),
+            workload: "window".to_string(),
             settings: tiny_settings(),
             cells: mpix
                 .iter()
@@ -825,6 +939,7 @@ mod tests {
             version: SCHEMA_VERSION,
             created_utc: "2026-08-07".to_string(),
             hot_path: "sliced".to_string(),
+            workload: "window".to_string(),
             settings: s,
             cells: vec![run_cell("box", LineCodecKind::Raw, false, &img, &pool, &s).unwrap()],
         };
@@ -883,6 +998,46 @@ mod tests {
         assert!(out.is_regressed(), "a shrunk matrix must fail the gate");
         assert_eq!(out.missing, vec!["box/haar/par".to_string()]);
         assert_eq!(out.added, vec!["box/legall/seq".to_string()]);
+    }
+
+    #[test]
+    fn integral_matrix_runs_both_modes_and_round_trips() {
+        let s = tiny_settings();
+        assert_eq!(
+            integral_cell_ids(),
+            vec!["integral/wide/seq", "integral/wide/par"]
+        );
+        let report = run_integral_matrix(&s, "2026-08-07").unwrap();
+        assert_eq!(report.workload, "integral");
+        let ids: Vec<&str> = report.cells.iter().map(|c| c.cell.as_str()).collect();
+        assert_eq!(ids, integral_cell_ids());
+        for c in &report.cells {
+            assert!(c.mpix_per_s > 0.0, "{}", c.cell);
+            assert!(c.bytes_packed > 0, "{}", c.cell);
+            assert!(c.stage_breakdown.is_empty(), "{}", c.cell);
+        }
+        let back = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.to_json(), report.to_json());
+        assert_eq!(back.workload, "integral");
+    }
+
+    #[test]
+    fn legacy_reports_without_workload_parse_as_window() {
+        let report = synthetic_report(&[("box/haar/seq", 10.0)]);
+        let legacy = report
+            .to_json()
+            .replace("  \"workload\": \"window\",\n", "");
+        let back = BenchReport::from_json(&legacy).unwrap();
+        assert_eq!(back.workload, "window");
+    }
+
+    #[test]
+    fn compare_rejects_workload_mismatches() {
+        let base = synthetic_report(&[("box/haar/seq", 10.0)]);
+        let mut new = base.clone();
+        new.workload = "integral".to_string();
+        let err = compare(&base, &new, 10.0).unwrap_err();
+        assert!(err.contains("workload"), "{err}");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use sw_core::analysis::measure_frame;
 use sw_core::codec::LineCodecKind;
 use sw_core::config::ArchConfig;
 use sw_core::error::SwError;
+use sw_core::integral::Workload;
 use sw_core::kernels::{BoxFilter, Tap, WindowKernel};
 use sw_core::memory_unit::{MemoryUnitConfig, OverflowPolicy};
 use sw_core::planner::{plan, MgmtAccounting};
@@ -41,11 +42,15 @@ pub enum ContentClass {
     Black,
     /// All 255.
     White,
+    /// Per-row saturating prefix sums of small seeded increments: the u8
+    /// shadow of the integral engine's monotone line content, stressing
+    /// the width scan with values that only ever grow along a row.
+    MonotoneRamp,
 }
 
 impl ContentClass {
     /// Every content class, in corpus order.
-    pub const ALL: [ContentClass; 7] = [
+    pub const ALL: [ContentClass; 8] = [
         ContentClass::GradientH,
         ContentClass::GradientV,
         ContentClass::Checkerboard,
@@ -53,6 +58,7 @@ impl ContentClass {
         ContentClass::Impulses,
         ContentClass::Black,
         ContentClass::White,
+        ContentClass::MonotoneRamp,
     ];
 
     /// Stable lower-case name (used in vector files and case ids).
@@ -65,6 +71,7 @@ impl ContentClass {
             ContentClass::Impulses => "impulses",
             ContentClass::Black => "black",
             ContentClass::White => "white",
+            ContentClass::MonotoneRamp => "monotone-ramp",
         }
     }
 
@@ -99,6 +106,14 @@ impl ContentClass {
             }),
             ContentClass::Black => ImageU8::filled(w, h, 0),
             ContentClass::White => ImageU8::filled(w, h, 255),
+            ContentClass::MonotoneRamp => ImageU8::from_fn(w, h, |x, y| {
+                let mut acc = 0u32;
+                for i in 0..=x {
+                    let inc = splitmix64(seed ^ ((y as u64) << 32) ^ i as u64) % 4;
+                    acc += inc as u32;
+                }
+                acc.min(255) as u8
+            }),
         }
     }
 }
@@ -224,6 +239,11 @@ pub struct CaseSpec {
     /// Which hot-path implementation the codecs run ([`HotPath::Sliced`]
     /// is the production default; [`HotPath::Scalar`] is the oracle).
     pub hot_path: HotPath,
+    /// Which workload the case drives: the sliding-window datapath (the
+    /// default, judged by the full oracle battery) or the wide integral
+    /// engine (judged by the integral battery, with [`CaseSpec::window`]
+    /// reinterpreted as the packing segment length).
+    pub workload: Workload,
 }
 
 impl CaseSpec {
@@ -244,8 +264,14 @@ impl CaseSpec {
             HotPath::Sliced => String::new(),
             HotPath::Scalar => format!("-hp{}", self.hot_path.name()),
         };
+        // Same convention as the hot-path tag: only the non-default
+        // workload marks the id, so pre-existing ids never change.
+        let wl = match self.workload {
+            Workload::Window => String::new(),
+            Workload::Integral => format!("-wl{}", self.workload.name()),
+        };
         format!(
-            "{}x{}-{}-s{}-n{}-{}-{}-t{}-{}-b{}{fault}{hp}",
+            "{}x{}-{}-s{}-n{}-{}-{}-t{}-{}-b{}{fault}{hp}{wl}",
             self.width,
             self.height,
             self.content.name(),
@@ -351,7 +377,8 @@ impl CaseSpec {
             Some(f) => s.push_str(&format!("\"fault_seed\": {f}, ")),
             None => s.push_str("\"fault_seed\": null, "),
         }
-        s.push_str(&format!("\"hot_path\": \"{}\"", self.hot_path.name()));
+        s.push_str(&format!("\"hot_path\": \"{}\", ", self.hot_path.name()));
+        s.push_str(&format!("\"workload\": \"{}\"", self.workload.name()));
         s.push('}');
         s
     }
@@ -413,6 +440,15 @@ impl CaseSpec {
                 Some(_) => return Err("non-string `hot_path`".into()),
                 None => HotPath::Sliced,
             },
+            // Reproducers written before the workload axis existed are all
+            // sliding-window cases.
+            workload: match obj.get("workload") {
+                Some(Json::Str(s)) => {
+                    Workload::parse(s).ok_or_else(|| format!("unknown workload `{s}`"))?
+                }
+                Some(_) => return Err("non-string `workload`".into()),
+                None => Workload::Window,
+            },
         })
     }
 }
@@ -436,6 +472,7 @@ mod tests {
             budget_pct: 50,
             fault_seed: Some(3),
             hot_path: HotPath::Sliced,
+            workload: Workload::Window,
         }
     }
 
@@ -453,6 +490,25 @@ mod tests {
         scalar.hot_path = HotPath::Scalar;
         let parsed = CaseSpec::from_json(&parse(&scalar.to_json()).unwrap()).unwrap();
         assert_eq!(parsed, scalar);
+        let mut integral = spec;
+        integral.workload = Workload::Integral;
+        let parsed = CaseSpec::from_json(&parse(&integral.to_json()).unwrap()).unwrap();
+        assert_eq!(parsed, integral);
+    }
+
+    #[test]
+    fn workload_axis_defaults_and_tags_consistently() {
+        // Pre-workload reproducers (no `workload` key) replay as
+        // sliding-window cases, and window ids carry no workload tag.
+        let legacy = sample().to_json().replace(", \"workload\": \"window\"", "");
+        assert!(!legacy.contains("workload"));
+        let parsed = CaseSpec::from_json(&parse(&legacy).unwrap()).unwrap();
+        assert_eq!(parsed.workload, Workload::Window);
+        let spec = sample();
+        assert!(!spec.id().contains("-wl"));
+        let mut integral = spec;
+        integral.workload = Workload::Integral;
+        assert!(integral.id().ends_with("-wlintegral"));
     }
 
     #[test]

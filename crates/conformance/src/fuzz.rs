@@ -1,11 +1,11 @@
 //! Coverage-guided fuzz driver.
 //!
-//! Mutates image dimensions, content class, threshold, budget fraction
-//! and fault-injection seeds from a splitmix64 stream; runs the full
-//! oracle battery on every generated case; tracks which
-//! `(codec × policy × shape-class)` coverage cells have been exercised;
-//! and shrinks any failing case to a minimal reproducer written to
-//! `vectors/regressions/` for permanent replay.
+//! Mutates image dimensions, content class, threshold, budget fraction,
+//! fault-injection seeds and the workload axis from a splitmix64 stream;
+//! runs the matching oracle battery on every generated case; tracks which
+//! `(codec × policy × shape-class × hot-path × workload)` coverage cells
+//! have been exercised; and shrinks any failing case to a minimal
+//! reproducer written to `vectors/regressions/` for permanent replay.
 
 use crate::case::{CaseSpec, ContentClass, KernelKind, ShapeClass};
 use crate::oracle::{run_oracles, CaseContext, Verdict};
@@ -14,6 +14,7 @@ use std::path::{Path, PathBuf};
 use sw_bitstream::digest::{fnv1a64, splitmix64};
 use sw_bitstream::HotPath;
 use sw_core::codec::LineCodecKind;
+use sw_core::integral::Workload;
 use sw_core::memory_unit::OverflowPolicy;
 use sw_telemetry::json::parse;
 
@@ -40,10 +41,18 @@ impl Rng {
     }
 }
 
-/// Coverage over the `(codec × policy × shape-class × hot-path)` grid.
+/// Coverage over the `(codec × policy × shape-class × hot-path ×
+/// workload)` grid.
 #[derive(Debug, Default)]
 pub struct Coverage {
-    cells: BTreeSet<(&'static str, &'static str, &'static str, &'static str)>,
+    #[allow(clippy::type_complexity)]
+    cells: BTreeSet<(
+        &'static str,
+        &'static str,
+        &'static str,
+        &'static str,
+        &'static str,
+    )>,
 }
 
 impl Coverage {
@@ -54,6 +63,7 @@ impl Coverage {
             spec.policy_name(),
             spec.shape().name(),
             spec.hot_path.name(),
+            spec.workload.name(),
         ));
     }
 
@@ -63,18 +73,19 @@ impl Coverage {
     }
 
     /// Total cells in the grid:
-    /// codecs × (policies + none) × shapes × hot paths.
+    /// codecs × (policies + none) × shapes × hot paths × workloads.
     pub fn total() -> usize {
         LineCodecKind::ALL.len()
             * (OverflowPolicy::ALL.len() + 1)
             * ShapeClass::ALL.len()
             * HotPath::ALL.len()
+            * Workload::ALL.len()
     }
 
     /// `exercised/total` summary line.
     pub fn summary(&self) -> String {
         format!(
-            "coverage: {}/{} (codec x policy x shape x hot-path) cells exercised",
+            "coverage: {}/{} (codec x policy x shape x hot-path x workload) cells exercised",
             self.exercised(),
             Self::total()
         )
@@ -126,6 +137,14 @@ pub fn random_spec(rng: &mut Rng) -> CaseSpec {
     let budget_pct = [25u32, 50, 100][rng.below(3) as usize];
     let fault_seed = (rng.below(4) == 0).then(|| rng.below(1 << 20));
     let hot_path = HotPath::ALL[rng.below(HotPath::ALL.len() as u64) as usize];
+    // One case in four drives the wide integral engine instead of the
+    // window datapath (its vestigial axes are drawn anyway so the stream
+    // stays aligned and the spec stays serializable).
+    let workload = if rng.below(4) == 0 {
+        Workload::Integral
+    } else {
+        Workload::Window
+    };
     CaseSpec {
         window,
         width,
@@ -139,6 +158,7 @@ pub fn random_spec(rng: &mut Rng) -> CaseSpec {
         budget_pct,
         fault_seed,
         hot_path,
+        workload,
     }
 }
 
@@ -337,7 +357,7 @@ mod tests {
             "64 draws exercised only {} cells",
             cov.exercised()
         );
-        assert_eq!(Coverage::total(), 200);
+        assert_eq!(Coverage::total(), 400);
     }
 
     #[test]

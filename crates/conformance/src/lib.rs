@@ -13,10 +13,17 @@
 //!    stats consistency), each returning a structured [`Verdict`] that
 //!    names the first divergent pixel, row or field.
 //! 3. **Coverage-guided fuzzing** ([`fuzz`]) — mutates dimensions,
-//!    content, thresholds, budgets, fault seeds and the hot-path axis,
-//!    tracks exercised `(codec × policy × shape-class × hot-path)` cells,
-//!    and shrinks failures into minimal reproducers under
+//!    content, thresholds, budgets, fault seeds, the hot-path axis and
+//!    the workload axis, tracks exercised
+//!    `(codec × policy × shape-class × hot-path × workload)` cells, and
+//!    shrinks failures into minimal reproducers under
 //!    `vectors/regressions/`.
+//!
+//! The wide integral engine is a first-class workload: its golden cells
+//! live in `vectors/integral.json`, fuzz cases with
+//! `workload = "integral"` are judged by the integral battery
+//! (hot-path/jobs invariance plus the reference-integral-image digest),
+//! and the corpus run covers every image × segment × hot-path cell.
 //!
 //! The oracle battery additionally pins the SIMD hot path: every case is
 //! judged under both [`sw_bitstream::HotPath`] implementations, and the
@@ -51,7 +58,8 @@ pub struct RunSummary {
     pub oracle_verdicts: usize,
     /// Regression reproducers that failed on replay.
     pub regression_failures: Vec<String>,
-    /// `(codec × policy × shape)` coverage over the corpus grid.
+    /// `(codec × policy × shape × hot-path × workload)` coverage over the
+    /// corpus grid.
     pub coverage: Coverage,
 }
 
@@ -125,6 +133,24 @@ pub fn run_all(vectors_dir: &Path) -> std::io::Result<RunSummary> {
                 oracle_verdicts += 1;
                 if v.is_fail() {
                     oracle_failures.push(v.to_string());
+                }
+            }
+        }
+    }
+    // The integral workload rides the same run: every corpus image at
+    // every pinned segment length, judged by the integral battery under
+    // both hot paths (its golden cells were already checked above).
+    for img in &corpus::IMAGES {
+        for segment in corpus::INTEGRAL_SEGMENTS {
+            for hot_path in sw_bitstream::HotPath::ALL {
+                let spec = corpus::integral_spec(img, segment, hot_path);
+                coverage.record(&spec);
+                let ctx = CaseContext::new(spec);
+                for v in run_oracles(&ctx) {
+                    oracle_verdicts += 1;
+                    if v.is_fail() {
+                        oracle_failures.push(v.to_string());
+                    }
                 }
             }
         }

@@ -46,6 +46,7 @@ use crate::window::ActiveWindow;
 use crate::{Coeff, Pixel};
 use std::collections::VecDeque;
 use std::time::Instant;
+use sw_bitstream::Sample;
 use sw_fpga::sim::Watermark;
 use sw_image::ImageU8;
 use sw_telemetry::{Counter, Gauge, Histogram, TelemetryHandle, TraceEvent, TraceKind};
@@ -213,8 +214,9 @@ pub struct SlidingWindow<C: LineCodec> {
     group: usize,
     codec: C,
     window: ActiveWindow,
-    /// Evicted columns (as coefficients) awaiting a full codec group.
-    staging: Vec<Vec<Coeff>>,
+    /// Evicted columns (as the codec's coefficient word) awaiting a full
+    /// codec group.
+    staging: Vec<Vec<C::Sample>>,
     staged: usize,
     queue: VecDeque<GroupEntry<C::Encoded>>,
     /// Decoded raw columns of the front group awaiting delivery.
@@ -339,7 +341,7 @@ impl<C: LineCodec> SlidingWindow<C> {
             group,
             codec,
             window: ActiveWindow::new(n),
-            staging: vec![vec![0; n]; group],
+            staging: vec![vec![<C::Sample as Sample>::ZERO; n]; group],
             staged: 0,
             queue: VecDeque::new(),
             carry: VecDeque::new(),
@@ -541,7 +543,7 @@ impl<C: LineCodec> SlidingWindow<C> {
                 // (3) Stage the evicted column; encode when the codec's
                 //     group is full.
                 for (dst, &src) in self.staging[self.staged].iter_mut().zip(&self.evicted) {
-                    *dst = src as Coeff;
+                    *dst = <C::Sample as Sample>::from_pixel(src);
                 }
                 self.staged += 1;
                 if self.staged == self.group {

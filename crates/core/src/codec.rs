@@ -28,7 +28,7 @@ use crate::{Coeff, Pixel};
 use sw_bitstream::locoi::{locoi_encode, locoi_try_decode};
 use sw_bitstream::{
     decode_column_checked, decode_column_sliced_into, encode_column, encode_column_sliced_into,
-    CodecTelemetry, EncodedColumn, HotPath, NBITS_FIELD_BITS,
+    CodecTelemetry, EncodedColumn, HotPath, Sample, NBITS_FIELD_BITS,
 };
 use sw_image::ImageU8;
 use sw_telemetry::TelemetryHandle;
@@ -167,6 +167,13 @@ pub struct EncodedGroup<E> {
 /// `decode_group` must return the same number of columns, each
 /// `cfg.window` pixels tall.
 pub trait LineCodec {
+    /// Coefficient word the codec's datapath carries. Every paper codec is
+    /// a [`Coeff`] (i16) instance; the integral-image engine instantiates
+    /// the wide i32 word, and the generic datapath in
+    /// [`crate::arch::SlidingWindow`] sizes its staging buffers and bit
+    /// accounting from `Sample::BITS` instead of a fixed constant.
+    type Sample: Sample;
+
     /// Opaque encoded form of one column group.
     type Encoded;
 
@@ -190,7 +197,7 @@ pub trait LineCodec {
 
     /// Encode one group of raw columns (as coefficients) with full cost
     /// accounting.
-    fn encode_group(&mut self, cols: &[Vec<Coeff>]) -> EncodedGroup<Self::Encoded>;
+    fn encode_group(&mut self, cols: &[Vec<Self::Sample>]) -> EncodedGroup<Self::Encoded>;
 
     /// Encode one group, optionally reusing the buffers of a retired
     /// encoded record (one that already made its round trip through the
@@ -199,7 +206,7 @@ pub trait LineCodec {
     /// simply drops it and delegates to [`LineCodec::encode_group`].
     fn encode_group_reuse(
         &mut self,
-        cols: &[Vec<Coeff>],
+        cols: &[Vec<Self::Sample>],
         recycled: Option<Self::Encoded>,
     ) -> EncodedGroup<Self::Encoded> {
         let _ = recycled;
@@ -306,6 +313,7 @@ pub struct RawCodec {
 }
 
 impl LineCodec for RawCodec {
+    type Sample = Coeff;
     type Encoded = Vec<Pixel>;
 
     fn new(cfg: &ArchConfig) -> Self {
@@ -412,6 +420,7 @@ impl HaarIwtCodec {
 }
 
 impl LineCodec for HaarIwtCodec {
+    type Sample = Coeff;
     /// `[LL, LH, HL, HH]` of one column pair.
     type Encoded = [EncodedColumn; 4];
 
@@ -607,6 +616,7 @@ impl HaarTwoLevelCodec {
 }
 
 impl LineCodec for HaarTwoLevelCodec {
+    type Sample = Coeff;
     /// Level-1 detail columns `[LH1(c0), HL1(c1), HH1(c1), LH1(c2),
     /// HL1(c3), HH1(c3)]` plus level-2 `[LL2, LH2, HL2, HH2]`.
     type Encoded = ([EncodedColumn; 6], [EncodedColumn; 4]);
@@ -935,6 +945,7 @@ pub struct LeGall53Codec {
 }
 
 impl LineCodec for LeGall53Codec {
+    type Sample = Coeff;
     /// `[low, high]` of one column.
     type Encoded = [EncodedColumn; 2];
 
@@ -1067,6 +1078,7 @@ pub struct LocoIPredictiveCodec {
 }
 
 impl LineCodec for LocoIPredictiveCodec {
+    type Sample = Coeff;
     /// The LOCO-I bitstream of one column.
     type Encoded = Vec<u8>;
 
@@ -1157,7 +1169,7 @@ mod tests {
     fn lossless_roundtrip_every_codec() {
         let c = cfg(8, 64);
         let cols: Vec<Vec<Coeff>> = (0..4).map(|i| column(8, i)).collect();
-        fn roundtrip<C: LineCodec>(c: &ArchConfig, cols: &[Vec<Coeff>]) {
+        fn roundtrip<C: LineCodec<Sample = Coeff>>(c: &ArchConfig, cols: &[Vec<Coeff>]) {
             let mut codec = C::new(c);
             let g = codec.group_width();
             let eg = codec.encode_group(&cols[..g]);
@@ -1184,7 +1196,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        fn bits<C: LineCodec>(c: &ArchConfig, cols: &[Vec<Coeff>]) -> u64 {
+        fn bits<C: LineCodec<Sample = Coeff>>(c: &ArchConfig, cols: &[Vec<Coeff>]) -> u64 {
             let mut codec = C::new(c);
             let g = codec.group_width();
             codec.encode_group(&cols[..g]).payload_bits

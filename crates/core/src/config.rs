@@ -3,7 +3,7 @@
 use crate::codec::LineCodecKind;
 use crate::error::SwError;
 use crate::Coeff;
-use sw_bitstream::HotPath;
+use sw_bitstream::{HotPath, Sample, NBITS_FIELD_BITS};
 
 /// Which sub-bands the threshold applies to.
 ///
@@ -193,12 +193,14 @@ impl ArchConfig {
     }
 
     /// Management bits the *compressed* architecture needs:
-    /// `2 × 4 × (W − N)` for NBits plus `(W − N) × N` for BitMap
-    /// (Section IV-C).
+    /// `2 × NBits_field × (W − N)` for NBits plus `(W − N) × N` for BitMap
+    /// (Section IV-C). The NBits field width is derived from the coefficient
+    /// word (`⌈log2(BITS)⌉`, i.e. 4 bits at the paper's 16-bit width).
     #[inline]
     pub fn management_bits(&self) -> u64 {
+        const _: () = assert!(NBITS_FIELD_BITS == 4, "paper formula assumes 16-bit coeffs");
         let cols = self.fifo_depth() as u64;
-        2 * 4 * cols + cols * self.window as u64
+        2 * u64::from(<Coeff as Sample>::NBITS_FIELD_BITS) * cols + cols * self.window as u64
     }
 
     /// Validating builder for checked construction: every constraint

@@ -11,6 +11,7 @@
 //! `2 × (512×36)`), while Table V divides raw bit counts by 18 Kb. See
 //! `EXPERIMENTS.md`.
 
+use sw_bitstream::NBITS_FIELD_BITS;
 use sw_fpga::bram::{best_config, brams_for_bits, BRAM18_BITS};
 
 /// Management-bit BRAM accounting mode.
@@ -124,12 +125,17 @@ pub fn plan(
     };
 
     let depth = (width - window) as u32;
+    // NBits rows hold one field per sub-band pair (2 × 4 bits at the
+    // paper's 16-bit coefficient width); derived so a wider coefficient
+    // word resizes the management buffer with it.
+    let nbits_row_bits = 2 * NBITS_FIELD_BITS;
     let (nbits_brams, bitmap_brams) = match accounting {
-        MgmtAccounting::Structured => {
-            (best_config(8, depth).1, best_config(window as u32, depth).1)
-        }
+        MgmtAccounting::Structured => (
+            best_config(nbits_row_bits, depth).1,
+            best_config(window as u32, depth).1,
+        ),
         MgmtAccounting::PureCapacity => (
-            brams_for_bits(8 * depth as u64),
+            brams_for_bits(u64::from(nbits_row_bits) * depth as u64),
             brams_for_bits(window as u64 * depth as u64),
         ),
     };

@@ -1,0 +1,108 @@
+//! Integral-image (summed-area table) math.
+//!
+//! The integral image `II(x, y) = Σ_{i≤x, j≤y} p(i, j)` is the canonical
+//! wide-word sliding-window workload: every entry is a monotone 32-bit sum,
+//! so its line buffers need the width-generic coefficient datapath rather
+//! than the paper's 16-bit one. This module holds the pure math; the
+//! buffered/packed engine lives in `sw_core::integral`.
+
+use crate::ImageU8;
+
+/// Largest row prefix sum an 8-bit row of width `width` can reach
+/// (`255 × width`). Used to size the coefficient word: any width up to
+/// `(i32::MAX / 255)` pixels fits an `i32` line.
+#[inline]
+pub const fn max_row_prefix_sum(width: usize) -> i64 {
+    255 * width as i64
+}
+
+/// Row-wise prefix sums: `rs[x] = Σ_{i≤x} row[i]` as `i32`.
+///
+/// This is the quantity the streaming engine buffers line-by-line; the full
+/// integral image is the running column sum of these rows.
+///
+/// # Panics
+///
+/// Panics (debug) if a sum would leave `i32` — callers must keep
+/// `width ≤ i32::MAX / 255` (about 8.4 million pixels).
+pub fn row_prefix_sums(row: &[u8]) -> Vec<i32> {
+    let mut acc: i32 = 0;
+    row.iter()
+        .map(|&p| {
+            acc = acc
+                .checked_add(i32::from(p))
+                .expect("row prefix sum overflows i32");
+            acc
+        })
+        .collect()
+}
+
+/// Reference integral image, computed directly in `i64` (row-major,
+/// same dimensions as `img`). The streaming engine must reproduce this
+/// exactly within its `i32` lines.
+pub fn reference_integral_image(img: &ImageU8) -> Vec<i64> {
+    let (w, h) = (img.width(), img.height());
+    let mut out = vec![0i64; w * h];
+    for y in 0..h {
+        let mut row_sum: i64 = 0;
+        for x in 0..w {
+            row_sum += i64::from(img.get(x, y));
+            let above = if y > 0 { out[(y - 1) * w + x] } else { 0 };
+            out[y * w + x] = row_sum + above;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sums_accumulate_left_to_right() {
+        assert_eq!(row_prefix_sums(&[1, 2, 3, 4]), vec![1, 3, 6, 10]);
+        assert_eq!(row_prefix_sums(&[255; 4]), vec![255, 510, 765, 1020]);
+        assert!(row_prefix_sums(&[]).is_empty());
+    }
+
+    #[test]
+    fn reference_matches_naive_double_sum() {
+        let img = ImageU8::from_fn(5, 4, |x, y| (x * 31 + y * 17) as u8);
+        let ii = reference_integral_image(&img);
+        for y in 0..4 {
+            for x in 0..5 {
+                let mut naive = 0i64;
+                for j in 0..=y {
+                    for i in 0..=x {
+                        naive += i64::from(img.get(i, j));
+                    }
+                }
+                assert_eq!(ii[y * 5 + x], naive, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_sums_of_rows_compose_into_the_integral_image() {
+        let img = ImageU8::from_fn(7, 3, |x, y| ((x * x + y * 5) % 256) as u8);
+        let ii = reference_integral_image(&img);
+        let mut column_acc = [0i64; 7];
+        for (y, row) in img.rows().enumerate() {
+            for (x, &rs) in row_prefix_sums(row).iter().enumerate() {
+                column_acc[x] += i64::from(rs);
+                assert_eq!(ii[y * 7 + x], column_acc[x]);
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_bound_is_tight() {
+        let row = vec![255u8; 64];
+        let rs = row_prefix_sums(&row);
+        assert_eq!(i64::from(*rs.last().unwrap()), max_row_prefix_sum(64));
+        // A 2048-wide all-white row needs 20 bits — beyond i16, within i32.
+        assert_eq!(max_row_prefix_sum(2048), 522_240);
+        assert!(max_row_prefix_sum(2048) > i64::from(i16::MAX));
+        assert!(max_row_prefix_sum(2048) < i64::from(i32::MAX));
+    }
+}

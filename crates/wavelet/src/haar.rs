@@ -11,7 +11,7 @@
 //! (Figure 5) is one adder, one subtractor and one shifter; this module is the
 //! cycle-free functional model of that block.
 
-use crate::Coeff;
+use crate::{Coeff, Pixel, Sample};
 
 /// Forward 1-D integer Haar transform of one sample pair.
 ///
@@ -130,14 +130,39 @@ impl HaarLifter {
     }
 }
 
+/// Largest magnitude a stage-`stage` Haar coefficient can take for unsigned
+/// `pixel_bits`-bit input: `(2^pixel_bits − 1) · 2^(stage−1)`.
+///
+/// Stage 1 is the difference of two pixels (`H ∈ ±(2^p − 1)`); each further
+/// cascaded stage differences two previous-stage coefficients and at most
+/// doubles the span. The low-pass output is the floor average and never
+/// leaves the input range.
+pub const fn stage_max_abs(pixel_bits: u32, stage: u32) -> i64 {
+    (((1u64 << pixel_bits) - 1) << (stage - 1)) as i64
+}
+
+/// Widest unsigned pixel a coefficient word of `S::BITS` bits can carry
+/// through two cascaded lifting stages without overflow.
+///
+/// Requires `stage_max_abs(p, 2) = 2·(2^p − 1) ≤ 2^(BITS−1) − 1`, i.e.
+/// `p ≤ BITS − 2`: 14-bit pixels for `i16`, 30-bit for `i32`.
+pub const fn max_pixel_bits<S: Sample>() -> u32 {
+    S::BITS - 2
+}
+
 /// Largest magnitude a first-stage Haar coefficient can take for `u8` input.
 ///
 /// `H = x0 − x1 ∈ [−255, 255]`, `L ∈ [0, 255]`.
-pub const STAGE1_MAX_ABS: Coeff = 255;
+pub const STAGE1_MAX_ABS: Coeff = stage_max_abs(Pixel::BITS, 1) as Coeff;
 
 /// Largest magnitude a second-stage (2-D) Haar coefficient can take for `u8`
 /// input: `HH = H0 − H1 ∈ [−510, 510]`.
-pub const STAGE2_MAX_ABS: Coeff = 510;
+pub const STAGE2_MAX_ABS: Coeff = stage_max_abs(Pixel::BITS, 2) as Coeff;
+
+// Compile-time headroom proof: two cascaded stages on full-range pixels stay
+// strictly inside the narrow coefficient word, as `max_pixel_bits` promises.
+const _: () = assert!(Pixel::BITS <= max_pixel_bits::<Coeff>());
+const _: () = assert!(STAGE2_MAX_ABS as i64 <= Coeff::MAX as i64);
 
 #[cfg(test)]
 mod tests {
@@ -222,5 +247,61 @@ mod tests {
     #[should_panic(expected = "even length")]
     fn odd_length_panics() {
         HaarLifter.forward(&[1, 2, 3], &mut [0; 2], &mut [0; 2]);
+    }
+
+    #[test]
+    fn derived_bounds_match_historical_literals() {
+        assert_eq!(STAGE1_MAX_ABS, 255);
+        assert_eq!(STAGE2_MAX_ABS, 510);
+        assert_eq!(max_pixel_bits::<i16>(), 14);
+        assert_eq!(max_pixel_bits::<i32>(), 30);
+    }
+
+    /// Property test: at the widest pixel each instance admits
+    /// ([`max_pixel_bits`]), two cascaded lifting stages never overflow the
+    /// coefficient word — every add/sub is checked, and the outputs stay
+    /// inside the [`stage_max_abs`] envelopes the constants are derived from.
+    #[test]
+    fn lifting_never_overflows_at_either_width_extremes() {
+        fn check<S: Sample>() {
+            let p = max_pixel_bits::<S>();
+            let pix_max = stage_max_abs(p, 1);
+            // Exact corners plus a deterministic xorshift sample of the
+            // pixel range.
+            let mut inputs = vec![0, 1, pix_max / 2, pix_max - 1, pix_max];
+            let mut s = 0x5eed_0000_0000_0001u64 ^ u64::from(S::BITS);
+            for _ in 0..11 {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                inputs.push((s % (pix_max as u64 + 1)) as i64);
+            }
+            let mut highs = Vec::new();
+            for &a in &inputs {
+                for &b in &inputs {
+                    let (x0, x1) = (S::from_i64(a), S::from_i64(b));
+                    let h = x0.checked_sub(x1).expect("stage-1 difference overflowed");
+                    let l = x1
+                        .checked_add(h.asr1())
+                        .expect("stage-1 average overflowed");
+                    assert!(h.to_i64().abs() <= stage_max_abs(p, 1), "H({a},{b})");
+                    assert!((0..=pix_max).contains(&l.to_i64()), "L({a},{b})");
+                    highs.push(h);
+                }
+            }
+            // The second (2-D) stage differences two first-stage coefficients.
+            for &h0 in &highs {
+                for &h1 in &highs {
+                    let hh = h0.checked_sub(h1).expect("stage-2 difference overflowed");
+                    let lh = h1
+                        .checked_add(hh.asr1())
+                        .expect("stage-2 average overflowed");
+                    assert!(hh.to_i64().abs() <= stage_max_abs(p, 2));
+                    assert!(lh.to_i64().abs() <= stage_max_abs(p, 1));
+                }
+            }
+        }
+        check::<i16>();
+        check::<i32>();
     }
 }

@@ -56,15 +56,17 @@ usage:
               [--trace-chrome FILE.json] [--flame] [--jobs N]
               [--overflow-policy fail|stall|degrade] [--budget-fraction F]
               [--fault-seed N] [--hot-path scalar|sliced]
+              [--workload window|integral]
   swc plan    <image.pgm> --window N [--threshold T]
   swc sweep   <image.pgm> --window N [--codec C] [--metrics-out FILE.json] [--jobs N]
               [--overflow-policy fail|stall|degrade] [--budget-fraction F]
               [--fault-seed N] [--hot-path scalar|sliced]
+              [--workload window|integral]
   swc scene   <name|index> <out.pgm> [--size WxH]
   swc conform [--all] [--bless] [--fuzz N] [--seed S] [--vectors DIR]
               [--hot-path scalar|sliced]
   swc bench   [--json] [--quick] [--out FILE] [--jobs N]
-              [--hot-path scalar|sliced]
+              [--hot-path scalar|sliced] [--workload window|integral]
   swc bench   --compare BASE.json NEW.json [--max-loss PCT] [--warn-only]
 
 The image must be a binary PGM (P5). `swc scene` writes one of the built-in
@@ -94,6 +96,14 @@ seeded faults (payload/BitMap/NBits bit-flips); detected corruption
 exits with a decode error, undetected corruption is reported as
 reconstruction MSE.
 
+--workload selects what runs: 'window' (default) is the paper's sliding
+window datapath on 16-bit coefficients; 'integral' streams the image
+through the wide (i32) integral-image line-buffer engine — analyze prints
+its packing report (segment length = --window), sweep sweeps the segment
+granularity, bench times the integral/wide/{seq,par} cells. The integral
+workload is inherently lossless, so --threshold/--codec and the memory
+unit/fault knobs do not apply.
+
 --hot-path selects the codec implementation: 'sliced' (default) runs the
 u64 bit-sliced SIMD hot path, 'scalar' runs the original per-coefficient
 loops kept as the differential oracle. Both produce bit-identical output
@@ -119,6 +129,7 @@ always exits 0.";
 
 struct Opts {
     window: usize,
+    workload: Workload,
     threshold: i16,
     policy: ThresholdPolicy,
     codec: LineCodecKind,
@@ -153,6 +164,7 @@ impl Opts {
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut o = Opts {
         window: 0,
+        workload: Workload::Window,
         threshold: 0,
         policy: ThresholdPolicy::DetailsOnly,
         codec: LineCodecKind::Haar,
@@ -175,6 +187,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--threshold" => {
                 o.threshold = next(args, &mut i)?.parse().map_err(|_| "bad --threshold")?;
+            }
+            "--workload" => {
+                let v = next(args, &mut i)?;
+                o.workload = Workload::parse(v)
+                    .ok_or_else(|| format!("unknown workload '{v}' (window, integral)"))?;
             }
             "--policy" => {
                 o.policy = match next(args, &mut i)?.as_str() {
@@ -375,6 +392,7 @@ fn bench(args: &[String]) -> Result<(), String> {
     let mut compare_paths: Option<(PathBuf, PathBuf)> = None;
     let mut max_loss_pct = 10.0f64;
     let mut warn_only = false;
+    let mut workload: Option<Workload> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -395,6 +413,13 @@ fn bench(args: &[String]) -> Result<(), String> {
                 }
             }
             "--warn-only" => warn_only = true,
+            "--workload" => {
+                let v = next(args, &mut i)?;
+                workload = Some(
+                    Workload::parse(v)
+                        .ok_or_else(|| format!("unknown workload '{v}' (window, integral)"))?,
+                );
+            }
             "--hot-path" => {
                 let v = next(args, &mut i)?;
                 let hp = HotPath::parse(v)
@@ -409,7 +434,7 @@ fn bench(args: &[String]) -> Result<(), String> {
     }
 
     if let Some((base_path, new_path)) = compare_paths {
-        if json_out || quick || out.is_some() || jobs.is_some() {
+        if json_out || quick || out.is_some() || jobs.is_some() || workload.is_some() {
             return Err("--compare takes only --max-loss and --warn-only".into());
         }
         let load = |p: &Path| -> Result<perf::BenchReport, String> {
@@ -429,20 +454,28 @@ fn bench(args: &[String]) -> Result<(), String> {
     }
 
     let jobs = jobs.unwrap_or_else(default_jobs);
+    let workload = workload.unwrap_or_default();
     let settings = if quick {
         perf::BenchSettings::quick(jobs)
     } else {
         perf::BenchSettings::full(jobs)
     };
+    let cell_count = match workload {
+        Workload::Window => perf::matrix_cell_ids().len(),
+        Workload::Integral => perf::integral_cell_ids().len(),
+    };
     eprintln!(
-        "bench: {} cells, {}x{} frame, {} timed frames/cell, {jobs} jobs{}",
-        perf::matrix_cell_ids().len(),
+        "bench: {} workload, {cell_count} cells, {}x{} frame, {} timed frames/cell, {jobs} jobs{}",
+        workload.name(),
         settings.width,
         settings.height,
         settings.frames,
         if quick { " (quick)" } else { "" }
     );
-    let report = perf::run_matrix(&settings, &perf::utc_date_string())?;
+    let report = match workload {
+        Workload::Window => perf::run_matrix(&settings, &perf::utc_date_string())?,
+        Workload::Integral => perf::run_integral_matrix(&settings, &perf::utc_date_string())?,
+    };
     println!("cell                       Mpix/s      p50 ms      p99 ms    KB packed");
     for c in &report.cells {
         println!(
@@ -460,6 +493,84 @@ fn bench(args: &[String]) -> Result<(), String> {
         std::fs::write(&path, report.to_json())
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         println!("wrote bench trajectory: {}", path.display());
+    }
+    Ok(())
+}
+
+/// Guards shared by the integral workload: it has no threshold, codec,
+/// telemetry, or memory-unit axis — reject the knobs loudly instead of
+/// ignoring them.
+fn reject_window_only_knobs(o: &Opts) -> Result<(), String> {
+    if o.threshold != 0 {
+        return Err(
+            "--workload integral is inherently lossless; --threshold does not apply".into(),
+        );
+    }
+    if o.codec != LineCodecKind::Haar {
+        return Err(
+            "--codec does not apply to --workload integral (the wide column codec is fixed)".into(),
+        );
+    }
+    if o.wants_telemetry() {
+        return Err(
+            "--metrics-out/--trace/--flame are not supported by --workload integral".into(),
+        );
+    }
+    if o.wants_runtime() {
+        return Err(
+            "--overflow-policy/--fault-seed are not supported by --workload integral".into(),
+        );
+    }
+    Ok(())
+}
+
+/// `swc analyze --workload integral`: stream the image through the wide
+/// packed integral-image line buffer and print its memory accounting.
+/// Segment length is `--window`; output is identical for any --jobs and
+/// both hot paths (pinned by conformance).
+fn analyze_integral_cmd(img: &ImageU8, o: &Opts) -> Result<(), String> {
+    reject_window_only_knobs(o)?;
+    let cfg = IntegralConfig {
+        segment: o.window,
+        hot_path: o.hot_path.unwrap_or_else(HotPath::from_env),
+    };
+    let pool = ThreadPool::new(o.jobs.unwrap_or(1));
+    let r = analyze_integral(img, &cfg, &pool).map_err(|e| e.to_string())?;
+    println!(
+        "image {}x{}  segment {}  workload integral ({}-bit lines)",
+        r.width, r.height, r.segment, 32
+    );
+    println!(
+        "packed bits/line:     {:.1} mean, {} peak",
+        r.mean_line_bits(),
+        r.peak_line_bits
+    );
+    println!(
+        "management bits/line: {} ({} BitMap + NBits fields)",
+        r.management_bits_per_line, r.width
+    );
+    println!("raw line bits:        {}", r.raw_line_bits);
+    println!("memory saving:        {:.1}%", r.memory_saving_pct());
+    println!("integral digest:      {:016x}", r.digest);
+    Ok(())
+}
+
+/// `swc sweep --workload integral`: sweep the segment granularity instead
+/// of the threshold (the integral workload has no lossy axis).
+fn sweep_integral(img: &ImageU8, o: &Opts) -> Result<(), String> {
+    reject_window_only_knobs(o)?;
+    let hot_path = o.hot_path.unwrap_or_else(HotPath::from_env);
+    let pool = ThreadPool::new(o.jobs.unwrap_or(1));
+    println!("segment   saving%   peak line bits   mean line bits");
+    for segment in [2usize, 4, 8, 16, 32] {
+        let r = analyze_integral(img, &IntegralConfig { segment, hot_path }, &pool)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{segment:<7} {:>9.1}   {:>14}   {:>14.1}",
+            r.memory_saving_pct(),
+            r.peak_line_bits,
+            r.mean_line_bits()
+        );
     }
     Ok(())
 }
@@ -554,6 +665,9 @@ fn config(img: &ImageU8, o: &Opts) -> Result<ArchConfig, String> {
 }
 
 fn analyze(img: &ImageU8, o: &Opts) -> Result<(), String> {
+    if o.workload == Workload::Integral {
+        return analyze_integral_cmd(img, o);
+    }
     if o.codec != LineCodecKind::Haar {
         return analyze_codec(img, o);
     }
@@ -792,6 +906,9 @@ fn plan_cmd(img: &ImageU8, o: &Opts) -> Result<(), String> {
 }
 
 fn sweep(img: &ImageU8, o: &Opts) -> Result<(), String> {
+    if o.workload == Workload::Integral {
+        return sweep_integral(img, o);
+    }
     let tele = if o.wants_telemetry() {
         TelemetryHandle::new()
     } else {
