@@ -13,12 +13,12 @@ fn bench_analyzer(c: &mut Criterion) {
     let img = ScenePreset::ALL[0].render(512, 512);
     group.throughput(Throughput::Elements((512 * 512) as u64));
     for n in [8usize, 64, 128] {
-        let cfg = ArchConfig::new(n, 512);
+        let cfg = ArchConfig::builder(n, 512).build().unwrap();
         group.bench_with_input(BenchmarkId::new("lossless", n), &img, |b, img| {
             b.iter(|| analyze_frame(img, &cfg).payload_bits())
         });
     }
-    let cfg = ArchConfig::new(64, 512).with_threshold(6);
+    let cfg = ArchConfig::builder(64, 512).threshold(6).build().unwrap();
     group.bench_function("lossy_t6_n64", |b| {
         b.iter(|| analyze_frame(&img, &cfg).payload_bits())
     });
@@ -29,7 +29,7 @@ fn bench_trace(c: &mut Criterion) {
     let mut group = c.benchmark_group("occupancy_trace");
     group.sample_size(20);
     let img = ScenePreset::ALL[0].render(512, 512);
-    let cfg = ArchConfig::new(64, 512);
+    let cfg = ArchConfig::builder(64, 512).build().unwrap();
     group.bench_function("fig3_trace", |b| {
         b.iter(|| occupancy_trace(&img, &cfg, 2).len())
     });

@@ -21,7 +21,7 @@ fn bench_architectures(c: &mut Criterion) {
     group.sample_size(20);
     let img = ScenePreset::ALL[0].render(256, 256);
     for n in [8usize, 32] {
-        let cfg = ArchConfig::new(n, img.width());
+        let cfg = ArchConfig::builder(n, img.width()).build().unwrap();
         group.throughput(Throughput::Elements((img.width() * img.height()) as u64));
         group.bench_with_input(BenchmarkId::new("traditional", n), &img, |b, img| {
             let kernel = Tap::top_left(n);
@@ -52,7 +52,7 @@ fn bench_kernel_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel_cost");
     group.sample_size(20);
     let img = ScenePreset::ALL[0].render(256, 256);
-    let cfg = ArchConfig::new(8, img.width());
+    let cfg = ArchConfig::builder(8, img.width()).build().unwrap();
     group.throughput(Throughput::Elements((img.width() * img.height()) as u64));
     group.bench_function("box_8_traditional", |b| {
         let kernel = BoxFilter::new(8);
@@ -72,7 +72,10 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("telemetry_overhead");
     group.sample_size(20);
     let img = ScenePreset::ALL[0].render(256, 256);
-    let cfg = ArchConfig::new(8, img.width()).with_threshold(4);
+    let cfg = ArchConfig::builder(8, img.width())
+        .threshold(4)
+        .build()
+        .unwrap();
     group.throughput(Throughput::Elements((img.width() * img.height()) as u64));
     group.bench_function("unbound", |b| {
         let kernel = Tap::top_left(8);
@@ -104,7 +107,10 @@ fn bench_sharded_vs_sequential(c: &mut Criterion) {
     group.sample_size(10);
     for size in [512usize, 2048] {
         let img = ScenePreset::ALL[0].render(size, size);
-        let cfg = ArchConfig::new(8, img.width()).with_threshold(4);
+        let cfg = ArchConfig::builder(8, img.width())
+            .threshold(4)
+            .build()
+            .unwrap();
         let kernel = Tap::top_left(8);
         group.throughput(Throughput::Elements((size * size) as u64));
         group.bench_with_input(BenchmarkId::new("sequential", size), &img, |b, img| {

@@ -127,7 +127,10 @@ fn granularity_ablation(images: &[(String, ImageU8)]) {
             let savings: Vec<f64> = images
                 .par_iter()
                 .map(|(_, img)| {
-                    let cfg = sw_core::config::ArchConfig::new(n, img.width()).with_granularity(g);
+                    let cfg = sw_core::config::ArchConfig::builder(n, img.width())
+                        .granularity(g)
+                        .build()
+                        .expect("ablation config is valid");
                     sw_core::analysis::analyze_frame(img, &cfg).saving_pct()
                 })
                 .collect();
@@ -174,7 +177,9 @@ fn streaming_levels(images: &[(String, ImageU8)]) {
         let results: Vec<(f64, f64)> = images
             .par_iter()
             .map(|(_, img)| {
-                let cfg = ArchConfig::new(n, width);
+                let cfg = ArchConfig::builder(n, width)
+                    .build()
+                    .expect("ablation config is valid");
                 let mut one = CompressedSlidingWindow::new(cfg);
                 let s1 = one
                     .process_frame(img, &kernel)

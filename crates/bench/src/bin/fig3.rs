@@ -16,7 +16,9 @@ fn main() {
     let n = 64;
     let res = 512;
     let img = ScenePreset::ALL[0].render(res, res);
-    let cfg = ArchConfig::new(n, res);
+    let cfg = ArchConfig::builder(n, res)
+        .build()
+        .expect("figure 3 config is valid");
 
     // Middle strip, as a representative row position.
     let strip = (res / n) / 2;

@@ -54,9 +54,11 @@ fn compounded_mse(
     codec: LineCodecKind,
     telemetry: &sw_telemetry::TelemetryHandle,
 ) -> f64 {
-    let cfg = ArchConfig::new(n, img.width())
-        .with_threshold(t)
-        .with_codec(codec);
+    let cfg = ArchConfig::builder(n, img.width())
+        .threshold(t)
+        .codec(codec)
+        .build()
+        .expect("benchmark config is valid");
     let mut arch = build_arch(&cfg).expect("benchmark config is valid");
     arch.bind_telemetry(telemetry, &format!("mse_t{t}"));
     let out = arch

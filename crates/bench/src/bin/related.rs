@@ -51,7 +51,9 @@ fn compression_ratio(images: &[(String, sw_image::ImageU8)], res: usize) {
     let rows: Vec<(String, f64, f64)> = images
         .par_iter()
         .map(|(name, img)| {
-            let cfg = ArchConfig::new(8, res);
+            let cfg = ArchConfig::builder(8, res)
+                .build()
+                .expect("related-work config is valid");
             let ours = analyze_frame(img, &cfg).bits_per_pixel();
             let loco = locoi_compressed_bits(img) as f64 / (res * res) as f64;
             (name.clone(), ours, loco)
@@ -96,7 +98,9 @@ fn block_buffering(images: &[(String, sw_image::ImageU8)], res: usize) {
     let n = 16;
     // Size both approaches to comparable BRAM budgets and compare off-chip
     // traffic per output window.
-    let cfg = ArchConfig::new(n, res);
+    let cfg = ArchConfig::builder(n, res)
+        .build()
+        .expect("related-work config is valid");
     let worst = images
         .par_iter()
         .map(|(_, img)| analyze_frame(img, &cfg).worst_payload_occupancy)
@@ -140,7 +144,9 @@ fn block_buffering(images: &[(String, sw_image::ImageU8)], res: usize) {
 fn segmented(images: &[(String, sw_image::ImageU8)], res: usize) {
     println!("-- segmented processing [7] vs compressed line buffers (window 64) --\n");
     let n = 64;
-    let cfg = ArchConfig::new(n, res);
+    let cfg = ArchConfig::builder(n, res)
+        .build()
+        .expect("related-work config is valid");
     let worst = images
         .par_iter()
         .map(|(_, img)| analyze_frame(img, &cfg).worst_payload_occupancy)

@@ -53,9 +53,11 @@ pub fn analyze_dataset(
     images
         .par_iter()
         .map(|(_, img)| {
-            let cfg = ArchConfig::new(window, img.width())
-                .with_threshold(threshold)
-                .with_policy(policy);
+            let cfg = ArchConfig::builder(window, img.width())
+                .threshold(threshold)
+                .policy(policy)
+                .build()
+                .expect("dataset analysis config is valid");
             analyze_frame(img, &cfg)
         })
         .collect()
@@ -88,7 +90,7 @@ mod tests {
         let par = analyze_dataset(&images, 8, 0, ThresholdPolicy::DetailsOnly);
         assert_eq!(par.len(), 3);
         for ((_, img), a) in images.iter().zip(&par) {
-            let cfg = ArchConfig::new(8, img.width());
+            let cfg = ArchConfig::builder(8, img.width()).build().unwrap();
             assert_eq!(a, &analyze_frame(img, &cfg));
         }
     }

@@ -202,7 +202,10 @@ fn bench_image(settings: &BenchSettings) -> ImageU8 {
 }
 
 fn cell_config(codec: LineCodecKind, settings: &BenchSettings) -> ArchConfig {
-    ArchConfig::new(WINDOW, settings.width).with_codec(codec)
+    ArchConfig::builder(WINDOW, settings.width)
+        .codec(codec)
+        .build()
+        .expect("bench matrix configs are valid")
 }
 
 fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
@@ -330,7 +333,7 @@ pub fn run_matrix(settings: &BenchSettings, created_utc: &str) -> Result<BenchRe
         schema: SCHEMA.to_string(),
         version: SCHEMA_VERSION,
         created_utc: created_utc.to_string(),
-        // `cell_config` builds from `ArchConfig::new`, which resolves the
+        // `cell_config` builds through `ArchConfig::builder`, which resolves the
         // hot path from the environment — record what actually ran.
         hot_path: sw_core::HotPath::from_env().name().to_string(),
         workload: "window".to_string(),

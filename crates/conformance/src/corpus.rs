@@ -565,6 +565,93 @@ fn check_images(dir: &Path, images: &[CorpusImage]) -> std::io::Result<CheckRepo
     Ok(report)
 }
 
+/// One golden digest loaded back from the blessed vectors: the case that
+/// produced it and the recorded output digest.
+///
+/// This is the read-side of the corpus that external harnesses (the
+/// served-vs-local conformance tests, the `swc load --verify` pass)
+/// consume: they re-run the case through another execution path and
+/// assert the digest is reproduced bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct GoldenDigest {
+    /// The corpus case that produced the record.
+    pub spec: CaseSpec,
+    /// The blessed output digest (output-image digest for window cases,
+    /// reconstruction digest for integral cases).
+    pub digest: u64,
+}
+
+/// Extract `cells[key].digest` when the blessed record ran clean.
+fn cell_digest(cells: &BTreeMap<String, Json>, key: &str) -> Option<u64> {
+    let cell = cells.get(key)?.as_obj()?;
+    if cell.get("status")?.as_str()? != "ok" {
+        return None;
+    }
+    cell.get("digest")?.as_u64()
+}
+
+/// Parse one vector file into its `cells` map, or `None` when the file
+/// is missing or unreadable as JSON (the caller decides whether that is
+/// fatal; [`check`] already reports it as a mismatch).
+fn load_cells(dir: &Path, file: &str) -> std::io::Result<Option<BTreeMap<String, Json>>> {
+    let text = match std::fs::read_to_string(dir.join(file)) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    Ok(parse(&text)
+        .ok()
+        .as_ref()
+        .and_then(Json::as_obj)
+        .and_then(|o| o.get("cells"))
+        .and_then(Json::as_obj)
+        .cloned())
+}
+
+/// Load every successfully-blessed window-workload digest from `dir`.
+///
+/// Cells blessed as typed errors (degenerate geometries) are skipped —
+/// they have no digest to reproduce.
+///
+/// # Errors
+///
+/// Any filesystem error other than a missing vector file.
+pub fn golden_window_digests(dir: &Path) -> std::io::Result<Vec<GoldenDigest>> {
+    let mut out = Vec::new();
+    for img in &IMAGES {
+        let Some(cells) = load_cells(dir, &format!("{}.json", img.name))? else {
+            continue;
+        };
+        for spec in img.cells() {
+            if let Some(digest) = cell_digest(&cells, &spec.cell_key()) {
+                out.push(GoldenDigest { spec, digest });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Load every blessed integral-workload digest from `dir`.
+///
+/// # Errors
+///
+/// Any filesystem error other than a missing vector file.
+pub fn golden_integral_digests(dir: &Path) -> std::io::Result<Vec<GoldenDigest>> {
+    let mut out = Vec::new();
+    let Some(cells) = load_cells(dir, "integral.json")? else {
+        return Ok(out);
+    };
+    for img in &IMAGES {
+        for segment in INTEGRAL_SEGMENTS {
+            let spec = integral_spec(img, segment, HotPath::Sliced);
+            if let Some(digest) = cell_digest(&cells, &format!("{}/s{segment}", img.name)) {
+                out.push(GoldenDigest { spec, digest });
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// The default checked-in vectors directory (`crates/conformance/vectors`).
 pub fn default_vectors_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("vectors")

@@ -39,7 +39,9 @@ pub mod fuzz;
 pub mod oracle;
 
 pub use case::{CaseSpec, ContentClass, KernelKind, ShapeClass};
-pub use corpus::{default_vectors_dir, CheckReport};
+pub use corpus::{
+    default_vectors_dir, golden_integral_digests, golden_window_digests, CheckReport, GoldenDigest,
+};
 pub use fuzz::{replay_regressions, run_fuzz, Coverage, FuzzReport};
 pub use oracle::{all_oracles, run_oracles, CaseContext, Divergence, Outcome, Verdict};
 

@@ -6,7 +6,8 @@
 //! parallel over the R/G/B planes and totals the memory accounting, which
 //! is exactly how a color instantiation would be budgeted.
 
-use crate::compressed::{CompressedFrameStats, CompressedSlidingWindow};
+use crate::arch::FrameStats;
+use crate::compressed::CompressedSlidingWindow;
 use crate::config::ArchConfig;
 use crate::kernels::WindowKernel;
 use crate::planner::{plan, BramPlan, MgmtAccounting};
@@ -18,7 +19,7 @@ pub struct ColorOutput {
     /// Per-channel kernel outputs merged back into a color image.
     pub image: ImageRgb,
     /// Per-channel statistics `[R, G, B]`.
-    pub stats: [CompressedFrameStats; 3],
+    pub stats: [FrameStats; 3],
 }
 
 impl ColorOutput {

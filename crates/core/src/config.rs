@@ -22,6 +22,10 @@ pub enum ThresholdPolicy {
 }
 
 impl ThresholdPolicy {
+    /// Every policy, in a stable order (CLI help, wire tags, sweeps).
+    pub const ALL: [ThresholdPolicy; 2] =
+        [ThresholdPolicy::DetailsOnly, ThresholdPolicy::AllSubbands];
+
     /// Effective threshold for a sub-band under this policy.
     #[inline]
     pub fn threshold_for(self, band: sw_wavelet::SubBand, t: Coeff) -> Coeff {
@@ -29,6 +33,19 @@ impl ThresholdPolicy {
             (ThresholdPolicy::DetailsOnly, sw_wavelet::SubBand::LL) => 0,
             _ => t,
         }
+    }
+
+    /// Stable lowercase name, matching the CLI's `--policy` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            ThresholdPolicy::DetailsOnly => "details",
+            ThresholdPolicy::AllSubbands => "all",
+        }
+    }
+
+    /// Parse a [`ThresholdPolicy::name`] back (the CLI's `--policy` flag).
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == s)
     }
 }
 

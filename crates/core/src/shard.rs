@@ -454,8 +454,13 @@ mod tests {
         let img = test_image(24, 19); // ragged: 16 output rows over 5 strips
         let kernel = BoxFilter::new(4);
         let pool = ThreadPool::new(2);
-        let runner = ShardedFrameRunner::new(ArchConfig::new(4, 24).with_codec(LineCodecKind::Raw))
-            .with_strips(5);
+        let runner = ShardedFrameRunner::new(
+            ArchConfig::builder(4, 24)
+                .codec(LineCodecKind::Raw)
+                .build()
+                .unwrap(),
+        )
+        .with_strips(5);
         let got = runner.run(&img, &kernel, &pool).unwrap();
         assert_eq!(got.image, direct_sliding_window(&img, &kernel));
         assert!(got.bram_plan.is_none());
@@ -467,7 +472,7 @@ mod tests {
         let t = TelemetryHandle::new();
         let img = test_image(24, 16);
         let pool = ThreadPool::new(2);
-        let runner = ShardedFrameRunner::new(ArchConfig::new(4, 24))
+        let runner = ShardedFrameRunner::new(ArchConfig::builder(4, 24).build().unwrap())
             .with_strips(4)
             .with_named_telemetry(&t, "f0");
         let out = runner.run(&img, &Tap::top_left(4), &pool).unwrap();
@@ -487,7 +492,7 @@ mod tests {
         let t = TelemetryHandle::new();
         let img = test_image(24, 16);
         let pool = ThreadPool::new(2);
-        let runner = ShardedFrameRunner::new(ArchConfig::new(4, 24))
+        let runner = ShardedFrameRunner::new(ArchConfig::builder(4, 24).build().unwrap())
             .with_strips(4)
             .with_named_telemetry(&t, "f0");
         runner.run(&img, &Tap::top_left(4), &pool).unwrap();

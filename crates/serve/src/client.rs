@@ -1,0 +1,323 @@
+//! The blocking client and the load generator.
+//!
+//! [`Client`] speaks the wire protocol over TCP or Unix sockets and backs
+//! `swc client` (one-shot job / ping / metrics / shutdown). [`load_run`]
+//! backs `swc load`: a configurable number of connections race through a
+//! shared request counter, record per-job latency, and fold everything
+//! into a [`LoadReport`] with p50/p99 — the measurement harness of
+//! experiment E28.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::api::{JobError, JobRequest, JobResponse};
+use crate::daemon::Listen;
+use crate::wire::{read_frame, write_frame, MsgKind, WireError};
+
+/// A client-side failure: transport/protocol trouble or a typed job error
+/// from the daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The wire layer failed (connect, framing, decode).
+    Wire(WireError),
+    /// The daemon answered with a typed job error.
+    Job(JobError),
+    /// The daemon answered with a frame kind the call did not expect.
+    Unexpected(MsgKind),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Job(e) => write!(f, "{e}"),
+            ClientError::Unexpected(k) => write!(f, "unexpected {k:?} reply"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Wire(WireError::from(e))
+    }
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to a daemon; requests are serial per connection.
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connect to a daemon's listen address.
+    pub fn connect(listen: &Listen) -> Result<Client, ClientError> {
+        let stream = match listen {
+            Listen::Tcp(addr) => {
+                let s = TcpStream::connect(addr)?;
+                // Same reasoning as the daemon side: one job is a
+                // request/response pair of small frames — disable Nagle.
+                s.set_nodelay(true).ok();
+                Stream::Tcp(s)
+            }
+            Listen::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+        };
+        Ok(Client { stream })
+    }
+
+    fn round_trip(
+        &mut self,
+        kind: MsgKind,
+        payload: &[u8],
+    ) -> Result<(MsgKind, Vec<u8>), ClientError> {
+        write_frame(&mut self.stream, kind, payload)?;
+        match read_frame(&mut self.stream)? {
+            Some(frame) => Ok(frame),
+            None => Err(ClientError::Wire(WireError::Io(
+                "daemon closed the connection mid-request".into(),
+            ))),
+        }
+    }
+
+    /// Submit one job and wait for its result.
+    pub fn submit(&mut self, req: &JobRequest) -> Result<JobResponse, ClientError> {
+        match self.round_trip(MsgKind::Job, &req.encode())? {
+            (MsgKind::JobOk, payload) => Ok(JobResponse::decode(&payload)?),
+            (MsgKind::JobErr, payload) => Err(ClientError::Job(JobError::decode(&payload)?)),
+            (kind, _) => Err(ClientError::Unexpected(kind)),
+        }
+    }
+
+    /// Liveness probe: the daemon echoes the payload back.
+    pub fn ping(&mut self, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        match self.round_trip(MsgKind::Ping, payload)? {
+            (MsgKind::Pong, echoed) => Ok(echoed),
+            (kind, _) => Err(ClientError::Unexpected(kind)),
+        }
+    }
+
+    /// Fetch the Prometheus exposition.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.round_trip(MsgKind::Metrics, &[])? {
+            (MsgKind::MetricsText, text) => String::from_utf8(text)
+                .map_err(|e| ClientError::Wire(WireError::Corrupt(e.to_string()))),
+            (kind, _) => Err(ClientError::Unexpected(kind)),
+        }
+    }
+
+    /// Ask the daemon to shut down; returns once it acknowledges.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(MsgKind::Shutdown, &[])? {
+            (MsgKind::ShutdownAck, _) => Ok(()),
+            (kind, _) => Err(ClientError::Unexpected(kind)),
+        }
+    }
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent connections.
+    pub concurrency: usize,
+    /// Total requests across all connections.
+    pub requests: u64,
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Jobs that completed with a `JobOk`.
+    pub ok: u64,
+    /// Typed rejects (admission control said no).
+    pub rejected: u64,
+    /// Other typed job errors (config, execution, internal).
+    pub failed: u64,
+    /// Transport/protocol failures.
+    pub transport_errors: u64,
+    /// Jobs the daemon ran at an escalated threshold.
+    pub degraded: u64,
+    /// End-to-end latency of successful jobs, nanoseconds, unsorted.
+    pub latencies_ns: Vec<u64>,
+    /// Digest of every successful response keyed by effective threshold —
+    /// the material for local verification.
+    pub digests: Vec<(i16, u64)>,
+    /// Wall-clock duration of the whole run, nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl LoadReport {
+    fn merge(&mut self, other: LoadReport) {
+        self.ok += other.ok;
+        self.rejected += other.rejected;
+        self.failed += other.failed;
+        self.transport_errors += other.transport_errors;
+        self.degraded += other.degraded;
+        self.latencies_ns.extend(other.latencies_ns);
+        self.digests.extend(other.digests);
+    }
+
+    /// Latency percentile in nanoseconds (`q` in 0..=1), 0 when empty.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Completed jobs per second over the run's wall clock.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.ok as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// The distinct `(effective_threshold, digest)` pairs observed, sorted.
+    /// A well-behaved daemon produces exactly one digest per threshold.
+    pub fn distinct_digests(&self) -> Vec<(i16, u64)> {
+        let mut v = self.digests.clone();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Drive `cfg.requests` copies of `req` at the daemon over
+/// `cfg.concurrency` connections and fold the outcome.
+pub fn load_run(
+    listen: &Listen,
+    req: &JobRequest,
+    cfg: &LoadConfig,
+) -> Result<LoadReport, ClientError> {
+    let remaining = Arc::new(AtomicU64::new(cfg.requests));
+    let merged = Arc::new(Mutex::new(LoadReport::default()));
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for _ in 0..cfg.concurrency.max(1) {
+        let listen = listen.clone();
+        let req = req.clone();
+        let remaining = Arc::clone(&remaining);
+        let merged = Arc::clone(&merged);
+        threads.push(std::thread::spawn(move || {
+            let mut local = LoadReport::default();
+            let mut client = match Client::connect(&listen) {
+                Ok(c) => c,
+                Err(_) => {
+                    local.transport_errors += 1;
+                    merged.lock().expect("load report poisoned").merge(local);
+                    return;
+                }
+            };
+            loop {
+                // Claim one request slot; stop when the shared budget is
+                // drained.
+                if remaining
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_err()
+                {
+                    break;
+                }
+                let t0 = Instant::now();
+                match client.submit(&req) {
+                    Ok(resp) => {
+                        local.ok += 1;
+                        if resp.degraded {
+                            local.degraded += 1;
+                        }
+                        local.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                        local.digests.push((resp.effective_threshold, resp.digest));
+                    }
+                    Err(ClientError::Job(JobError::Rejected { .. })) => local.rejected += 1,
+                    Err(ClientError::Job(_)) => local.failed += 1,
+                    Err(_) => {
+                        local.transport_errors += 1;
+                        // The connection is unusable after a transport
+                        // error; reconnect before the next request.
+                        match Client::connect(&listen) {
+                            Ok(c) => client = c,
+                            Err(_) => break,
+                        }
+                    }
+                }
+            }
+            merged.lock().expect("load report poisoned").merge(local);
+        }));
+    }
+    for t in threads {
+        let _ = t.join();
+    }
+    let mut report = Arc::try_unwrap(merged)
+        .map(|m| m.into_inner().expect("load report poisoned"))
+        .unwrap_or_default();
+    report.wall_ns = started.elapsed().as_nanos() as u64;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_order_insensitive() {
+        let r = LoadReport {
+            ok: 5,
+            latencies_ns: vec![50, 10, 40, 20, 30],
+            ..LoadReport::default()
+        };
+        assert_eq!(r.percentile_ns(0.0), 10);
+        assert_eq!(r.percentile_ns(0.5), 30);
+        assert_eq!(r.percentile_ns(1.0), 50);
+    }
+
+    #[test]
+    fn distinct_digests_collapse_repeats() {
+        let r = LoadReport {
+            digests: vec![(0, 7), (4, 9), (0, 7)],
+            ..LoadReport::default()
+        };
+        assert_eq!(r.distinct_digests(), vec![(0, 7), (4, 9)]);
+    }
+}

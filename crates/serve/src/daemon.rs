@@ -1,0 +1,491 @@
+//! `swc serve`: the long-running daemon.
+//!
+//! One accept loop (Unix or TCP), one connection-handler thread per
+//! client, one shared [`ThreadPool`] every job executes on, one
+//! [`TenantGovernor`] multiplexing tenants over it. All serving state is
+//! observable through the existing telemetry registry: `swc client
+//! --metrics` returns the same Prometheus exposition `Report::to_prometheus`
+//! produces for the datapath, extended with the `serve.*` family
+//! (inflight, queue depth, per-tenant rejects, degraded jobs).
+//!
+//! Shutdown is cooperative and complete: a `Shutdown` frame (or
+//! [`Daemon::stop`]) flips the stop flag, the accept loop drains, every
+//! open socket is shut down to unblock readers, and every handler thread
+//! is joined — no worker leaks, no poisoned pool.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::api::{JobError, JobRequest};
+use crate::exec;
+use crate::tenant::{TenantGovernor, TenantPolicy};
+use crate::wire::{read_frame, write_frame, MsgKind, WireError};
+use sw_core::memory_unit::OverflowPolicy;
+use sw_pool::{default_jobs, ThreadPool};
+use sw_telemetry::metrics::exponential_bounds;
+use sw_telemetry::TelemetryHandle;
+
+/// Poll interval of the nonblocking accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// `tcp:HOST:PORT` (port 0 binds an ephemeral port; see
+    /// [`Daemon::local_addr`]).
+    Tcp(String),
+    /// `unix:PATH` — the socket file is unlinked on startup and shutdown.
+    Unix(PathBuf),
+}
+
+impl Listen {
+    /// Parse the CLI's `--listen` value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            if addr.is_empty() {
+                return Err("--listen tcp: needs HOST:PORT".into());
+            }
+            Ok(Listen::Tcp(addr.to_string()))
+        } else if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("--listen unix: needs a socket path".into());
+            }
+            Ok(Listen::Unix(PathBuf::from(path)))
+        } else {
+            Err(format!(
+                "unknown listen address '{s}' (tcp:HOST:PORT, unix:PATH)"
+            ))
+        }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Listen address.
+    pub listen: Listen,
+    /// Shared pool size (0 = `SWC_JOBS` / available parallelism).
+    pub jobs: usize,
+    /// Default per-tenant admission budget.
+    pub tenant_policy: TenantPolicy,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            listen: Listen::Tcp("127.0.0.1:0".into()),
+            // 256 MiB of in-flight frame bits per tenant: effectively
+            // unbounded for tests, finite for arithmetic.
+            jobs: 0,
+            tenant_policy: TenantPolicy::new(8 << 28, OverflowPolicy::Fail),
+        }
+    }
+}
+
+/// One live client socket, transport-erased.
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> io::Result<Conn> {
+        Ok(match self {
+            Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
+            Conn::Unix(s) => Conn::Unix(s.try_clone()?),
+        })
+    }
+
+    fn shutdown(&self) {
+        let _ = match self {
+            Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Conn::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// State shared between the accept loop and every handler thread.
+struct Shared {
+    stop: AtomicBool,
+    pool: ThreadPool,
+    tele: TelemetryHandle,
+    governor: TenantGovernor,
+    /// Clones of every live socket, for shutdown-time unblocking.
+    conns: Mutex<Vec<Conn>>,
+    /// Handler threads, joined when the accept loop drains.
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running daemon. Dropping it stops and joins everything.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    local_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+impl Daemon {
+    /// Bind and start serving in background threads.
+    pub fn start(cfg: DaemonConfig) -> io::Result<Daemon> {
+        let jobs = if cfg.jobs == 0 {
+            default_jobs()
+        } else {
+            cfg.jobs
+        };
+        let tele = TelemetryHandle::new();
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            pool: ThreadPool::new(jobs),
+            tele,
+            governor: TenantGovernor::new(cfg.tenant_policy),
+            conns: Mutex::new(Vec::new()),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let (accept, local_addr, unix_path) = match &cfg.listen {
+            Listen::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                let local = listener.local_addr()?;
+                listener.set_nonblocking(true)?;
+                let s = Arc::clone(&shared);
+                let t = std::thread::Builder::new()
+                    .name("swcd-accept".into())
+                    .spawn(move || accept_loop(&s, AcceptSource::Tcp(listener)))?;
+                (t, Some(local), None)
+            }
+            Listen::Unix(path) => {
+                // A previous unclean exit may have left the socket file.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                let s = Arc::clone(&shared);
+                let t = std::thread::Builder::new()
+                    .name("swcd-accept".into())
+                    .spawn(move || accept_loop(&s, AcceptSource::Unix(listener)))?;
+                (t, None, Some(path.clone()))
+            }
+        };
+        Ok(Daemon {
+            shared,
+            accept: Some(accept),
+            local_addr,
+            unix_path,
+        })
+    }
+
+    /// The bound TCP address (ephemeral-port tests), `None` for Unix.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// The daemon's telemetry registry (the `/metrics` source).
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.shared.tele
+    }
+
+    /// Jobs currently admitted across all tenants.
+    pub fn inflight_jobs(&self) -> u64 {
+        self.shared.governor.inflight_jobs()
+    }
+
+    /// Whether a shutdown has been requested (by [`Daemon::stop`] or a
+    /// `Shutdown` frame).
+    pub fn stop_requested(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Block until the daemon has fully drained (accept loop exited,
+    /// every connection closed, every handler joined).
+    pub fn wait(&mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        if let Some(path) = self.unix_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Request shutdown and block until drained.
+    pub fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+enum AcceptSource {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl AcceptSource {
+    /// One nonblocking accept attempt, transport-erased.
+    fn poll(&self) -> io::Result<Option<Conn>> {
+        match self {
+            AcceptSource::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    // The protocol is write-write-read per job; leaving
+                    // Nagle on costs a delayed-ACK stall (~40 ms) per
+                    // round trip.
+                    s.set_nodelay(true).ok();
+                    Ok(Some(Conn::Tcp(s)))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            AcceptSource::Unix(l) => match l.accept() {
+                Ok((s, _)) => Ok(Some(Conn::Unix(s))),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, source: AcceptSource) {
+    let connections = shared.tele.counter("serve.connections");
+    while !shared.stop.load(Ordering::SeqCst) {
+        match source.poll() {
+            Ok(Some(conn)) => {
+                connections.inc();
+                if let Ok(clone) = conn.try_clone() {
+                    shared
+                        .conns
+                        .lock()
+                        .expect("conn registry poisoned")
+                        .push(clone);
+                }
+                let s = Arc::clone(shared);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("swcd-conn".into())
+                    .spawn(move || handle_conn(&s, conn))
+                {
+                    shared
+                        .handlers
+                        .lock()
+                        .expect("handler registry poisoned")
+                        .push(handle);
+                }
+            }
+            Ok(None) => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Drain: unblock every reader, then join every handler.
+    for conn in shared
+        .conns
+        .lock()
+        .expect("conn registry poisoned")
+        .drain(..)
+    {
+        conn.shutdown();
+    }
+    let handlers: Vec<_> = shared
+        .handlers
+        .lock()
+        .expect("handler registry poisoned")
+        .drain(..)
+        .collect();
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, mut conn: Conn) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match read_frame(&mut conn) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF at a frame boundary: the client hung up.
+            Ok(None) => return,
+            Err(e) => {
+                // Tell the client what was wrong with its bytes if the
+                // socket still works, then drop the connection: after a
+                // framing error the stream position is untrustworthy.
+                let err = JobError::Malformed(e.to_string());
+                let _ = write_frame(&mut conn, MsgKind::JobErr, &err.encode());
+                return;
+            }
+        };
+        match frame {
+            (MsgKind::Ping, payload) => {
+                if write_frame(&mut conn, MsgKind::Pong, &payload).is_err() {
+                    return;
+                }
+            }
+            (MsgKind::Metrics, _) => {
+                let text = metrics_text(shared);
+                if write_frame(&mut conn, MsgKind::MetricsText, text.as_bytes()).is_err() {
+                    return;
+                }
+            }
+            (MsgKind::Shutdown, _) => {
+                let _ = write_frame(&mut conn, MsgKind::ShutdownAck, &[]);
+                shared.stop.store(true, Ordering::SeqCst);
+                return;
+            }
+            (MsgKind::Job, payload) => {
+                let reply = run_job(shared, &payload);
+                let ok = match reply {
+                    Ok(resp) => write_frame(&mut conn, MsgKind::JobOk, &resp.encode()),
+                    Err(err) => write_frame(&mut conn, MsgKind::JobErr, &err.encode()),
+                };
+                if ok.is_err() {
+                    return;
+                }
+            }
+            (kind, _) => {
+                let err =
+                    JobError::Malformed(format!("unexpected {kind:?} frame on the server side"));
+                let _ = write_frame(&mut conn, MsgKind::JobErr, &err.encode());
+                return;
+            }
+        }
+    }
+}
+
+/// Decode, admit, execute, account. Every failure mode maps onto a typed
+/// [`JobError`]; handler panics are caught so one bad job can neither
+/// kill the connection thread nor poison the shared pool.
+fn run_job(shared: &Arc<Shared>, payload: &[u8]) -> Result<crate::api::JobResponse, JobError> {
+    let req = JobRequest::decode(payload).map_err(|e: WireError| match e {
+        WireError::Corrupt(d) => JobError::Malformed(d),
+        other => JobError::Malformed(other.to_string()),
+    })?;
+
+    let tele = &shared.tele;
+    tele.counter("serve.jobs_total").inc();
+    let cost_bits = u64::from(req.frame.width) * u64::from(req.frame.height) * 8;
+
+    let queue_depth = tele.gauge("serve.queue_depth");
+    queue_depth.add(1);
+    let admitted = shared
+        .governor
+        .admit(&req.tenant, cost_bits, req.spec.threshold);
+    queue_depth.sub(1);
+    let (hold, admission) = match admitted {
+        Ok(ok) => ok,
+        Err(e) => {
+            tele.counter("serve.jobs_rejected").inc();
+            tele.counter(&format!("serve.rejects.{}", req.tenant)).inc();
+            return Err(e);
+        }
+    };
+
+    // The degrade policy trades fidelity for admission: run the job at
+    // the escalated threshold and say so in the response.
+    let mut effective = req;
+    let degraded = match admission.escalate_to {
+        Some(t) if t > effective.spec.threshold => {
+            effective.spec.threshold = t;
+            true
+        }
+        _ => false,
+    };
+    if degraded {
+        tele.counter("serve.jobs_degraded").inc();
+    }
+
+    let inflight = tele.gauge("serve.inflight");
+    inflight.add(1);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        exec::execute(&effective, &shared.pool, tele)
+    }));
+    inflight.sub(1);
+    drop(hold);
+
+    let mut resp = match result {
+        Ok(r) => r?,
+        Err(panic) => {
+            let detail = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "job handler panicked".into());
+            return Err(JobError::Internal(detail));
+        }
+    };
+    resp.queue_ns = admission.queue_ns;
+    resp.degraded = degraded;
+    tele.histogram("serve.exec_ns", &exponential_bounds(1 << 10, 4, 16))
+        .observe(resp.exec_ns);
+    Ok(resp)
+}
+
+/// The Prometheus exposition: the full datapath registry plus the live
+/// `serve.*` admission snapshot.
+fn metrics_text(shared: &Arc<Shared>) -> String {
+    let tele = &shared.tele;
+    tele.gauge("serve.inflight_jobs")
+        .set(shared.governor.inflight_jobs());
+    tele.gauge("serve.pool_jobs").set(shared.pool.jobs() as u64);
+    tele.report().to_prometheus()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_parses_both_transports() {
+        assert_eq!(
+            Listen::parse("tcp:127.0.0.1:0").unwrap(),
+            Listen::Tcp("127.0.0.1:0".into())
+        );
+        assert_eq!(
+            Listen::parse("unix:/tmp/swcd.sock").unwrap(),
+            Listen::Unix(PathBuf::from("/tmp/swcd.sock"))
+        );
+        assert!(Listen::parse("http:host")
+            .unwrap_err()
+            .contains("unknown listen address"));
+        assert!(Listen::parse("tcp:").is_err());
+        assert!(Listen::parse("unix:").is_err());
+    }
+
+    #[test]
+    fn daemon_starts_and_stops_cleanly() {
+        let mut d = Daemon::start(DaemonConfig::default()).unwrap();
+        let addr = d.local_addr().unwrap();
+        assert_ne!(addr.port(), 0);
+        d.stop();
+    }
+}

@@ -1,0 +1,36 @@
+//! `swcd`: the serving layer of the modified sliding-window architecture.
+//!
+//! This crate turns the library into a long-running, multi-tenant frame
+//! service. It is std-only — socket transport, framing, and encoding are
+//! hand-rolled:
+//!
+//! - [`wire`] — length-prefixed frames with a magic/version header and a
+//!   total (panic-free) decoder;
+//! - [`api`] — the typed job surface: [`api::JobRequest`] /
+//!   [`api::JobResponse`] / [`api::JobError`] plus the
+//!   [`api::JobSpecBuilder`] every `swc` subcommand parses its flags
+//!   through;
+//! - [`exec`] — the single executor mapping a request onto the shared
+//!   [`sw_pool::ThreadPool`];
+//! - [`tenant`] — admission control reusing
+//!   [`sw_core::memory_unit::MemoryUnitConfig`] budgets per tenant;
+//! - [`daemon`] — the accept loop, dispatch, Prometheus metrics, and
+//!   graceful shutdown;
+//! - [`client`] — the blocking client and the load generator behind
+//!   `swc client` / `swc load`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod daemon;
+pub mod exec;
+pub mod tenant;
+pub mod wire;
+
+pub use api::{JobError, JobRequest, JobResponse, JobSpec, JobSpecBuilder};
+pub use client::{Client, LoadReport};
+pub use daemon::{Daemon, DaemonConfig, Listen};
+pub use tenant::{TenantGovernor, TenantPolicy};
+pub use wire::{MsgKind, WireError, MAGIC, MAX_FRAME_BYTES, VERSION};

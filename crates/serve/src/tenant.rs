@@ -1,0 +1,363 @@
+//! Per-tenant admission control.
+//!
+//! The daemon reuses the datapath's own budget vocabulary for tenancy:
+//! each tenant gets a [`MemoryUnitConfig`] whose `capacity_bits` bounds
+//! the raw frame bits that tenant may have in flight at once, and whose
+//! [`OverflowPolicy`] decides what happens when a job would exceed it —
+//! [`OverflowPolicy::Fail`] rejects with a typed [`JobError::Rejected`],
+//! [`OverflowPolicy::Stall`] blocks the connection until capacity frees
+//! (bounded by a wait cap so a wedged tenant cannot park threads forever),
+//! and [`OverflowPolicy::DegradeLossy`] admits the job but escalates its
+//! threshold with load, trading output fidelity for admission exactly like
+//! the memory unit trades it for BRAM.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::api::JobError;
+use sw_core::memory_unit::{MemoryUnitConfig, OverflowPolicy};
+use sw_core::Coeff;
+
+/// How long a stalled admission may wait before it is converted into a
+/// rejection (a serving system must bound backpressure).
+pub const MAX_STALL_WAIT: Duration = Duration::from_secs(10);
+
+/// Load fraction at which the degrade policy starts escalating the
+/// threshold: below `capacity × DEGRADE_START` jobs run untouched.
+pub const DEGRADE_START: f64 = 0.5;
+
+/// A tenant's admission budget: a [`MemoryUnitConfig`] interpreted over
+/// in-flight raw frame bits instead of packed line-buffer bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantPolicy {
+    /// Budget + overflow policy + degrade ceiling.
+    pub budget: MemoryUnitConfig,
+}
+
+impl TenantPolicy {
+    /// Budget of `capacity_bits` in-flight frame bits under `policy`.
+    pub fn new(capacity_bits: u64, policy: OverflowPolicy) -> Self {
+        Self {
+            budget: MemoryUnitConfig::new(capacity_bits, policy),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct TenantState {
+    /// Raw frame bits currently admitted.
+    inflight_bits: u64,
+    /// Jobs currently admitted.
+    inflight_jobs: u64,
+    /// Lifetime rejects (exported as `serve.rejects.<tenant>`).
+    rejects: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    default_policy: TenantPolicy,
+    /// Explicit per-tenant overrides (everything else uses the default).
+    policies: HashMap<String, TenantPolicy>,
+    states: Mutex<HashMap<String, TenantState>>,
+    freed: Condvar,
+}
+
+/// The admission decision for one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admission {
+    /// Nanoseconds the job waited for capacity before being admitted.
+    pub queue_ns: u64,
+    /// Threshold escalation demanded by the degrade policy (`None` when
+    /// the job runs at its requested threshold).
+    pub escalate_to: Option<Coeff>,
+}
+
+/// Shared admission controller; clone-cheap handle.
+#[derive(Debug, Clone)]
+pub struct TenantGovernor {
+    inner: Arc<Inner>,
+}
+
+impl TenantGovernor {
+    /// Governor applying `default_policy` to every tenant without an
+    /// explicit override.
+    pub fn new(default_policy: TenantPolicy) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                default_policy,
+                policies: HashMap::new(),
+                states: Mutex::new(HashMap::new()),
+                freed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Governor with per-tenant overrides.
+    pub fn with_overrides(
+        default_policy: TenantPolicy,
+        overrides: impl IntoIterator<Item = (String, TenantPolicy)>,
+    ) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                default_policy,
+                policies: overrides.into_iter().collect(),
+                states: Mutex::new(HashMap::new()),
+                freed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The policy governing `tenant`.
+    pub fn policy_for(&self, tenant: &str) -> TenantPolicy {
+        self.inner
+            .policies
+            .get(tenant)
+            .copied()
+            .unwrap_or(self.inner.default_policy)
+    }
+
+    /// Lifetime rejects for `tenant`.
+    pub fn rejects(&self, tenant: &str) -> u64 {
+        let states = self.inner.states.lock().expect("tenant state poisoned");
+        states.get(tenant).map_or(0, |s| s.rejects)
+    }
+
+    /// Jobs currently admitted across all tenants.
+    pub fn inflight_jobs(&self) -> u64 {
+        let states = self.inner.states.lock().expect("tenant state poisoned");
+        states.values().map(|s| s.inflight_jobs).sum()
+    }
+
+    /// Per-tenant `(tenant, inflight_jobs, rejects)` snapshot, sorted by
+    /// tenant name (stable metrics output).
+    pub fn snapshot(&self) -> Vec<(String, u64, u64)> {
+        let states = self.inner.states.lock().expect("tenant state poisoned");
+        let mut rows: Vec<_> = states
+            .iter()
+            .map(|(t, s)| (t.clone(), s.inflight_jobs, s.rejects))
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// Admit a job of `cost_bits` (raw frame bits) for `tenant`, or reject
+    /// it. On success the returned [`AdmissionGuard`] holds the capacity
+    /// until dropped; [`Admission::escalate_to`] carries the degrade
+    /// policy's threshold demand, and `requested_threshold` is its floor.
+    pub fn admit(
+        &self,
+        tenant: &str,
+        cost_bits: u64,
+        requested_threshold: Coeff,
+    ) -> Result<(AdmissionGuard, Admission), JobError> {
+        let policy = self.policy_for(tenant);
+        let cap = policy.budget.capacity_bits;
+        if cost_bits > cap {
+            self.count_reject(tenant);
+            return Err(JobError::Rejected {
+                tenant: tenant.to_string(),
+                detail: format!(
+                    "frame of {cost_bits} bits exceeds the tenant budget of {cap} bits outright"
+                ),
+            });
+        }
+        let started = Instant::now();
+        let mut states = self.inner.states.lock().expect("tenant state poisoned");
+        loop {
+            let used = states.entry(tenant.to_string()).or_default().inflight_bits;
+            if used + cost_bits <= cap {
+                break;
+            }
+            match policy.budget.policy {
+                OverflowPolicy::Fail => {
+                    states.entry(tenant.to_string()).or_default().rejects += 1;
+                    return Err(JobError::Rejected {
+                        tenant: tenant.to_string(),
+                        detail: format!(
+                            "tenant budget exhausted: {used} of {cap} bits in flight, job needs {cost_bits}"
+                        ),
+                    });
+                }
+                OverflowPolicy::Stall => {
+                    let waited = started.elapsed();
+                    if waited >= MAX_STALL_WAIT {
+                        states.entry(tenant.to_string()).or_default().rejects += 1;
+                        return Err(JobError::Rejected {
+                            tenant: tenant.to_string(),
+                            detail: format!(
+                                "stalled {}ms waiting for tenant capacity, giving up",
+                                waited.as_millis()
+                            ),
+                        });
+                    }
+                    let (guard, _timeout) = self
+                        .inner
+                        .freed
+                        .wait_timeout(states, MAX_STALL_WAIT - waited)
+                        .expect("tenant state poisoned");
+                    states = guard;
+                }
+                // Degrade admits over budget and pays with threshold
+                // escalation below.
+                OverflowPolicy::DegradeLossy => break,
+            }
+        }
+        let state = states.entry(tenant.to_string()).or_default();
+        state.inflight_bits += cost_bits;
+        state.inflight_jobs += 1;
+        let escalate_to = if policy.budget.policy == OverflowPolicy::DegradeLossy {
+            degrade_threshold(
+                state.inflight_bits,
+                cap,
+                requested_threshold,
+                policy.budget.max_threshold,
+            )
+        } else {
+            None
+        };
+        drop(states);
+        Ok((
+            AdmissionGuard {
+                governor: self.clone(),
+                tenant: tenant.to_string(),
+                cost_bits,
+            },
+            Admission {
+                queue_ns: started.elapsed().as_nanos() as u64,
+                escalate_to,
+            },
+        ))
+    }
+
+    fn count_reject(&self, tenant: &str) {
+        let mut states = self.inner.states.lock().expect("tenant state poisoned");
+        states.entry(tenant.to_string()).or_default().rejects += 1;
+    }
+
+    fn release(&self, tenant: &str, cost_bits: u64) {
+        let mut states = self.inner.states.lock().expect("tenant state poisoned");
+        if let Some(state) = states.get_mut(tenant) {
+            state.inflight_bits = state.inflight_bits.saturating_sub(cost_bits);
+            state.inflight_jobs = state.inflight_jobs.saturating_sub(1);
+        }
+        drop(states);
+        self.inner.freed.notify_all();
+    }
+}
+
+/// RAII capacity hold: dropping it returns the job's bits to the tenant
+/// budget and wakes stalled admissions.
+#[derive(Debug)]
+pub struct AdmissionGuard {
+    governor: TenantGovernor,
+    tenant: String,
+    cost_bits: u64,
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        self.governor.release(&self.tenant, self.cost_bits);
+    }
+}
+
+/// Deterministic degrade schedule: no escalation below
+/// [`DEGRADE_START`] of capacity, then the threshold ramps linearly with
+/// load from the requested value up to `max_threshold` at (or beyond)
+/// full capacity — the serving-layer mirror of the memory unit's own
+/// escalation ladder.
+fn degrade_threshold(
+    inflight_bits: u64,
+    capacity_bits: u64,
+    requested: Coeff,
+    max_threshold: Coeff,
+) -> Option<Coeff> {
+    let load = inflight_bits as f64 / capacity_bits.max(1) as f64;
+    if load <= DEGRADE_START {
+        return None;
+    }
+    let span = (1.0 - DEGRADE_START).max(f64::EPSILON);
+    let frac = ((load - DEGRADE_START) / span).min(1.0);
+    let floor = requested.max(1);
+    let target = floor + (f64::from(max_threshold - floor) * frac).round() as Coeff;
+    let target = target.clamp(floor, max_threshold.max(floor));
+    (target > requested).then_some(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KB: u64 = 8 * 1024;
+
+    #[test]
+    fn fail_policy_rejects_when_budget_is_full() {
+        let gov = TenantGovernor::new(TenantPolicy::new(KB, OverflowPolicy::Fail));
+        let (hold, adm) = gov.admit("a", KB, 0).unwrap();
+        assert_eq!(adm.escalate_to, None);
+        let err = gov.admit("a", 1, 0).unwrap_err();
+        assert!(matches!(err, JobError::Rejected { .. }));
+        assert_eq!(gov.rejects("a"), 1);
+        drop(hold);
+        // Capacity returned: the same job now admits.
+        let _ = gov.admit("a", 1, 0).unwrap();
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let gov = TenantGovernor::new(TenantPolicy::new(KB, OverflowPolicy::Fail));
+        let _a = gov.admit("a", KB, 0).unwrap();
+        // Tenant b has its own budget.
+        let _b = gov.admit("b", KB, 0).unwrap();
+        assert_eq!(gov.inflight_jobs(), 2);
+    }
+
+    #[test]
+    fn oversized_jobs_are_rejected_outright_under_every_policy() {
+        for policy in OverflowPolicy::ALL {
+            let gov = TenantGovernor::new(TenantPolicy::new(KB, policy));
+            let err = gov.admit("a", KB + 1, 0).unwrap_err();
+            assert!(matches!(err, JobError::Rejected { .. }), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn stall_policy_waits_for_capacity() {
+        let gov = TenantGovernor::new(TenantPolicy::new(KB, OverflowPolicy::Stall));
+        let (hold, _) = gov.admit("a", KB, 0).unwrap();
+        let gov2 = gov.clone();
+        let waiter = std::thread::spawn(move || gov2.admit("a", KB, 0).map(|(_, adm)| adm));
+        std::thread::sleep(Duration::from_millis(50));
+        drop(hold);
+        let adm = waiter.join().unwrap().unwrap();
+        // The stalled admission actually queued.
+        assert!(adm.queue_ns >= 10_000_000, "queued {}ns", adm.queue_ns);
+    }
+
+    #[test]
+    fn degrade_policy_escalates_with_load() {
+        let gov = TenantGovernor::new(TenantPolicy::new(KB, OverflowPolicy::DegradeLossy));
+        // First job: ≤ half capacity in flight afterwards → untouched.
+        let (_h1, a1) = gov.admit("a", KB / 2, 0).unwrap();
+        assert_eq!(a1.escalate_to, None);
+        // Budget now full → escalates to the ceiling.
+        let (_h2, a2) = gov.admit("a", KB / 2, 0).unwrap();
+        assert_eq!(a2.escalate_to, Some(16));
+        // Over budget still admits (degrade trades fidelity, not service).
+        let (_h3, a3) = gov.admit("a", KB / 2, 4).unwrap();
+        assert_eq!(a3.escalate_to, Some(16));
+    }
+
+    #[test]
+    fn degrade_schedule_is_monotone_and_bounded() {
+        let cap = 1000;
+        let mut last = 0;
+        for used in (0..=1500).step_by(50) {
+            let t = degrade_threshold(used, cap, 0, 16).unwrap_or(0);
+            assert!(t >= last, "schedule regressed at load {used}");
+            assert!(t <= 16);
+            last = t;
+        }
+        assert_eq!(last, 16);
+    }
+}

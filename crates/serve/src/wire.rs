@@ -1,0 +1,473 @@
+//! Canonical binary wire layer of the job API.
+//!
+//! Every message travels as one length-prefixed frame:
+//!
+//! ```text
+//! ┌───────────┬───────────┬─────────────┬─────────┬──────────────┐
+//! │ len: u32  │ magic 4B  │ version u16 │ kind u8 │ payload ...  │
+//! └───────────┴───────────┴─────────────┴─────────┴──────────────┘
+//! ```
+//!
+//! `len` counts everything after itself (magic through payload). All
+//! integers are little-endian; strings and byte blobs are `u32`
+//! length-prefixed. Decoding is *total*: any truncated, oversized,
+//! version-skewed or garbage input maps to a typed [`WireError`] — never
+//! a panic, never an allocation proportional to an attacker-chosen
+//! length that exceeds [`MAX_FRAME_BYTES`]. The proptest battery in
+//! `tests/wire_proptest.rs` enforces exactly that contract.
+
+use std::io::{Read, Write};
+
+/// Frame magic: identifies the `swcd` job protocol on the socket.
+pub const MAGIC: [u8; 4] = *b"SWJB";
+
+/// Current protocol version. Decoders reject any other value with
+/// [`WireError::VersionSkew`] so old clients fail typed, not garbled.
+pub const VERSION: u16 = 1;
+
+/// Hard ceiling on one frame's encoded size (64 MiB): enough for a
+/// 4096×4096 frame plus headroom, small enough that a corrupt length
+/// prefix cannot drive an allocation bomb.
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// Message kinds multiplexed over one connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MsgKind {
+    /// Client → server: an encoded `JobRequest`.
+    Job = 1,
+    /// Server → client: an encoded `JobResponse`.
+    JobOk = 2,
+    /// Server → client: an encoded `JobError`.
+    JobErr = 3,
+    /// Client → server: request the Prometheus metrics snapshot.
+    Metrics = 4,
+    /// Server → client: the metrics text exposition.
+    MetricsText = 5,
+    /// Client → server: liveness probe.
+    Ping = 6,
+    /// Server → client: liveness answer.
+    Pong = 7,
+    /// Client → server: ask the daemon to shut down gracefully.
+    Shutdown = 8,
+    /// Server → client: shutdown acknowledged, daemon is stopping.
+    ShutdownAck = 9,
+}
+
+impl MsgKind {
+    /// Every kind, in tag order.
+    pub const ALL: [MsgKind; 9] = [
+        MsgKind::Job,
+        MsgKind::JobOk,
+        MsgKind::JobErr,
+        MsgKind::Metrics,
+        MsgKind::MetricsText,
+        MsgKind::Ping,
+        MsgKind::Pong,
+        MsgKind::Shutdown,
+        MsgKind::ShutdownAck,
+    ];
+
+    /// Decode a tag byte.
+    pub fn from_tag(tag: u8) -> Result<Self, WireError> {
+        Self::ALL
+            .into_iter()
+            .find(|k| *k as u8 == tag)
+            .ok_or(WireError::BadTag {
+                what: "message kind",
+                tag: u32::from(tag),
+            })
+    }
+}
+
+/// Typed decode failure. Every malformed input lands on one of these;
+/// the encoder side is infallible by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the announced structure did.
+    Truncated {
+        /// Bytes the decoder needed next.
+        need: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// The frame did not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The frame announced a protocol version this build does not speak.
+    VersionSkew {
+        /// Version on the wire.
+        got: u16,
+        /// Version this build implements.
+        want: u16,
+    },
+    /// An enum tag outside the defined range.
+    BadTag {
+        /// Which field carried the tag.
+        what: &'static str,
+        /// The offending value.
+        tag: u32,
+    },
+    /// A declared length exceeds its cap, or fields contradict each other
+    /// (e.g. frame pixel count ≠ width × height).
+    Corrupt(String),
+    /// Socket-level failure while reading or writing a frame.
+    Io(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated frame: needed {need} more bytes, had {have}")
+            }
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?} (expected {MAGIC:02x?})"),
+            WireError::VersionSkew { got, want } => {
+                write!(
+                    f,
+                    "protocol version skew: peer speaks v{got}, this build v{want}"
+                )
+            }
+            WireError::BadTag { what, tag } => write!(f, "invalid {what} tag {tag}"),
+            WireError::Corrupt(msg) => write!(f, "corrupt frame: {msg}"),
+            WireError::Io(msg) => write!(f, "wire i/o: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.to_string())
+    }
+}
+
+/// Append-only canonical encoder. All writes are infallible.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i16`.
+    pub fn put_i16(&mut self, v: i16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern (canonical: the bits
+    /// round-trip exactly, unlike any decimal rendering).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a `u32`-length-prefixed byte blob.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        debug_assert!(b.len() <= u32::MAX as usize);
+        self.put_u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append a `u32`-length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// Bounds-checked canonical decoder over a borrowed buffer.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error unless every byte was consumed — trailing garbage is not
+    /// canonical.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Corrupt(format!(
+                "{} trailing bytes after the last field",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Read a little-endian `i16`.
+    pub fn get_i16(&mut self) -> Result<i16, WireError> {
+        let b = self.take(2)?;
+        Ok(i16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a `u32`-length-prefixed byte blob, capped at `max` bytes.
+    /// The cap is validated *before* any allocation.
+    pub fn get_bytes(&mut self, max: usize) -> Result<Vec<u8>, WireError> {
+        let len = self.get_u32()? as usize;
+        if len > max {
+            return Err(WireError::Corrupt(format!(
+                "declared blob length {len} exceeds the {max}-byte cap"
+            )));
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string, capped at `max` bytes.
+    pub fn get_str(&mut self, max: usize) -> Result<String, WireError> {
+        let b = self.get_bytes(max)?;
+        String::from_utf8(b).map_err(|_| WireError::Corrupt("string is not UTF-8".into()))
+    }
+}
+
+/// Write one framed message (`len | magic | version | kind | payload`).
+pub fn write_frame<W: Write>(w: &mut W, kind: MsgKind, payload: &[u8]) -> Result<(), WireError> {
+    let body_len = 4 + 2 + 1 + payload.len();
+    if body_len > MAX_FRAME_BYTES as usize {
+        return Err(WireError::Corrupt(format!(
+            "frame payload of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+            payload.len()
+        )));
+    }
+    w.write_all(&(body_len as u32).to_le_bytes())?;
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&[kind as u8])?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one framed message. Returns `Ok(None)` on clean EOF at a frame
+/// boundary (the peer hung up between messages, not mid-frame).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(MsgKind, Vec<u8>)>, WireError> {
+    let mut len4 = [0u8; 4];
+    match read_exact_or_eof(r, &mut len4)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_le_bytes(len4);
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Corrupt(format!(
+            "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    if len < 7 {
+        return Err(WireError::Truncated {
+            need: 7,
+            have: len as usize,
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    decode_frame_body(&body)
+}
+
+/// Decode a frame body (everything after the length prefix): validate
+/// magic and version, split off the kind tag.
+pub fn decode_frame_body(body: &[u8]) -> Result<Option<(MsgKind, Vec<u8>)>, WireError> {
+    let mut rd = ByteReader::new(body);
+    let magic = rd.take(4)?;
+    if magic != MAGIC {
+        let mut m = [0u8; 4];
+        m.copy_from_slice(magic);
+        return Err(WireError::BadMagic(m));
+    }
+    let version = rd.get_u16()?;
+    if version != VERSION {
+        return Err(WireError::VersionSkew {
+            got: version,
+            want: VERSION,
+        });
+    }
+    let kind = MsgKind::from_tag(rd.get_u8()?)?;
+    Ok(Some((kind, body[7..].to_vec())))
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+}
+
+/// `read_exact`, except a clean EOF before the *first* byte is reported
+/// as [`ReadOutcome::Eof`] instead of an error.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<ReadOutcome, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadOutcome::Eof),
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    need: buf.len() - filled,
+                    have: 0,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, MsgKind::Ping, b"hello").unwrap();
+        let (kind, payload) = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(kind, MsgKind::Ping);
+        assert_eq!(payload, b"hello");
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(read_frame(&mut (&[][..])).unwrap().is_none());
+    }
+
+    #[test]
+    fn mid_frame_eof_is_truncated() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, MsgKind::Ping, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::Truncated { .. }) | Err(WireError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, MsgKind::Ping, b"").unwrap();
+        buf[4] ^= 0xff;
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn version_skew_is_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, MsgKind::Ping, b"").unwrap();
+        buf[8] = 99;
+        assert_eq!(
+            read_frame(&mut buf.as_slice()).unwrap_err(),
+            WireError::VersionSkew { got: 99, want: 1 }
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        let mut buf = (MAX_FRAME_BYTES + 1).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn blob_cap_is_checked_before_allocation() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX); // declared length, no bytes behind it
+        let bytes = w.into_bytes();
+        let mut rd = ByteReader::new(&bytes);
+        assert!(matches!(rd.get_bytes(1024), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_not_canonical() {
+        let mut w = ByteWriter::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let bytes = w.into_bytes();
+        let mut rd = ByteReader::new(&bytes);
+        rd.get_u8().unwrap();
+        assert!(matches!(rd.finish(), Err(WireError::Corrupt(_))));
+    }
+}

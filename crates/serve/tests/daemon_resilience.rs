@@ -1,0 +1,118 @@
+//! Daemon resilience: clients that die mid-frame or mid-job must not
+//! leak handler threads, poison the shared pool, or wedge admission.
+//! After every abuse pattern the same daemon must still serve correct
+//! results and shut down cleanly (the final `wait()` joins every handler
+//! thread — a leaked worker hangs the test rather than passing it).
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use sw_serve::api::FramePayload;
+use sw_serve::{Client, Daemon, DaemonConfig, JobRequest, JobSpec, Listen, MAGIC, VERSION};
+
+fn test_frame() -> FramePayload {
+    FramePayload {
+        width: 48,
+        height: 32,
+        pixels: (0..48 * 32).map(|i| (i * 37 % 251) as u8).collect(),
+    }
+}
+
+fn test_request() -> JobRequest {
+    JobRequest {
+        tenant: "resilience".into(),
+        spec: JobSpec::default(),
+        frame: test_frame(),
+        want_frame: false,
+    }
+}
+
+/// Wait (bounded) for the daemon to drain its in-flight counter.
+fn drain(daemon: &Daemon) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while daemon.inflight_jobs() > 0 {
+        assert!(Instant::now() < deadline, "in-flight jobs never drained");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn killed_connections_do_not_wedge_the_daemon() {
+    let daemon = Daemon::start(DaemonConfig {
+        listen: Listen::Tcp("127.0.0.1:0".into()),
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = daemon.local_addr().expect("tcp bound").to_string();
+    let listen = Listen::Tcp(addr.clone());
+
+    // Baseline: the daemon works, and this digest is the contract the
+    // post-abuse checks must still meet.
+    let req = test_request();
+    let mut client = Client::connect(&listen).expect("connects");
+    let baseline = client.submit(&req).expect("baseline job").digest;
+
+    // Abuse 1: die mid-frame. Send a length prefix promising a large job
+    // frame, a valid header, and only part of the payload — then drop the
+    // socket while the daemon is blocked reading the rest.
+    for _ in 0..4 {
+        let mut s = TcpStream::connect(&addr).expect("raw connect");
+        let body_len = 7 + 100_000u32; // header + payload we never finish
+        s.write_all(&body_len.to_le_bytes()).unwrap();
+        s.write_all(&MAGIC).unwrap();
+        s.write_all(&VERSION.to_le_bytes()).unwrap();
+        s.write_all(&[1]).unwrap(); // MsgKind::Job
+        s.write_all(&[0u8; 512]).unwrap(); // a fraction of the promised bytes
+        drop(s); // mid-frame kill
+    }
+
+    // Abuse 2: die mid-job. Submit a complete, valid job and hang up
+    // before reading the response, while the executor is running it.
+    for _ in 0..4 {
+        let mut s = TcpStream::connect(&addr).expect("raw connect");
+        let payload = req.encode();
+        let body_len = (7 + payload.len()) as u32;
+        s.write_all(&body_len.to_le_bytes()).unwrap();
+        s.write_all(&MAGIC).unwrap();
+        s.write_all(&VERSION.to_le_bytes()).unwrap();
+        s.write_all(&[1]).unwrap();
+        s.write_all(&payload).unwrap();
+        s.flush().unwrap();
+        drop(s); // the daemon's reply hits a closed socket
+    }
+
+    // Abuse 3: pure garbage, then hang up.
+    let mut s = TcpStream::connect(&addr).expect("raw connect");
+    s.write_all(&[0xFF; 64]).unwrap();
+    drop(s);
+
+    // The admission ledger must drain: every killed job's budget is
+    // released by its guard even though the reply was never delivered.
+    drain(&daemon);
+
+    // The pool is not poisoned and the datapath is intact: the same job
+    // on the same daemon still lands on the baseline digest, at full
+    // parallelism too.
+    let mut client = Client::connect(&listen).expect("reconnects");
+    assert_eq!(
+        client.submit(&req).expect("post-abuse job").digest,
+        baseline
+    );
+    let mut par = req.clone();
+    par.spec.jobs = 4;
+    assert_eq!(
+        client.submit(&par).expect("post-abuse sharded job").digest,
+        baseline,
+        "sharded execution must survive the abuse and agree with sequential"
+    );
+
+    // Clean shutdown: stop() joins every handler thread. A leaked or
+    // deadlocked worker makes this hang (and the harness time the test
+    // out) instead of passing.
+    client.shutdown().expect("shutdown ack");
+    drop(client);
+    let mut daemon = daemon;
+    daemon.wait();
+    assert_eq!(daemon.inflight_jobs(), 0);
+}

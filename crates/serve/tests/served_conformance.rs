@@ -1,0 +1,105 @@
+//! Served-vs-local conformance: a daemon round trip must reproduce the
+//! blessed golden digests bit-for-bit — window and integral workloads,
+//! both hot paths. The corpus is loaded back through
+//! [`sw_conformance::golden_window_digests`], mapped onto the typed job
+//! API, and replayed over a real socket; any divergence means the wire
+//! codec, the daemon dispatch, or the executor broke the contract that
+//! serving is *transport*, never a second execution semantics.
+
+use sw_bitstream::HotPath;
+use sw_conformance::corpus::{golden_integral_digests, golden_window_digests, GoldenDigest};
+use sw_conformance::{default_vectors_dir, CaseSpec};
+use sw_serve::api::{FramePayload, JobKernel};
+use sw_serve::{Client, Daemon, DaemonConfig, JobRequest, JobSpec, Listen};
+
+/// Map one corpus case onto the job API. `None` for cases the serving
+/// surface does not carry (fault injection is a harness-only axis).
+fn request_for(spec: &CaseSpec, hot_path: HotPath) -> Option<JobRequest> {
+    if spec.fault_seed.is_some() {
+        return None;
+    }
+    Some(JobRequest {
+        tenant: "conformance".into(),
+        spec: JobSpec {
+            workload: spec.workload,
+            window: spec.window,
+            threshold: spec.threshold,
+            codec: spec.codec,
+            hot_path,
+            kernel: JobKernel::parse(spec.kernel.name())
+                .expect("corpus kernels are a subset of the job API's"),
+            jobs: 0,
+            overflow_policy: spec.policy,
+            budget_fraction: f64::from(spec.budget_pct) / 100.0,
+            ..JobSpec::default()
+        },
+        frame: FramePayload::from_image(&spec.render()),
+        want_frame: false,
+    })
+}
+
+fn replay(client: &mut Client, golden: &[GoldenDigest], hot_path: HotPath) -> usize {
+    let mut replayed = 0;
+    for g in golden {
+        let Some(req) = request_for(&g.spec, hot_path) else {
+            continue;
+        };
+        let resp = client
+            .submit(&req)
+            .unwrap_or_else(|e| panic!("case {} failed over the wire: {e}", g.spec.id()));
+        assert_eq!(
+            resp.digest,
+            g.digest,
+            "case {} ({:?}): served digest {:016x} != golden {:016x}",
+            g.spec.id(),
+            hot_path,
+            resp.digest,
+            g.digest
+        );
+        replayed += 1;
+    }
+    replayed
+}
+
+#[test]
+fn daemon_round_trip_reproduces_the_golden_corpus() {
+    let dir = default_vectors_dir();
+    let window = golden_window_digests(&dir).expect("vectors readable");
+    let integral = golden_integral_digests(&dir).expect("vectors readable");
+    assert!(
+        !window.is_empty() && !integral.is_empty(),
+        "blessed corpus missing — the golden digests are the test input"
+    );
+
+    let daemon = Daemon::start(DaemonConfig {
+        listen: Listen::Tcp("127.0.0.1:0".into()),
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts");
+    let listen = Listen::Tcp(daemon.local_addr().expect("tcp bound").to_string());
+    let mut client = Client::connect(&listen).expect("client connects");
+
+    // The production hot path covers the full grid; the scalar oracle
+    // replays the lossless unbounded cells (the digests are hot-path
+    // invariant, so both must land on the same goldens).
+    let full = replay(&mut client, &window, HotPath::Sliced);
+    assert!(
+        full > 500,
+        "expected the full window grid, got {full} cells"
+    );
+    let scalar_subset: Vec<GoldenDigest> = window
+        .iter()
+        .filter(|g| g.spec.threshold == 0 && g.spec.policy.is_none())
+        .cloned()
+        .collect();
+    let scalar = replay(&mut client, &scalar_subset, HotPath::Scalar);
+    assert!(
+        scalar > 50,
+        "expected the lossless subset, got {scalar} cells"
+    );
+
+    for hp in HotPath::ALL {
+        let n = replay(&mut client, &integral, hp);
+        assert_eq!(n, integral.len(), "integral corpus must replay fully");
+    }
+}

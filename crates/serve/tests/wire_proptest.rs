@@ -1,0 +1,192 @@
+//! Property tests of the job wire format: every encode/decode pair is a
+//! bijection on valid values, and *no* input — truncated, bit-flipped,
+//! version-skewed, or pure garbage — may panic the decoder. Malformed
+//! bytes must always come back as typed [`WireError`]s.
+
+use proptest::prelude::*;
+use sw_core::codec::LineCodecKind;
+use sw_core::config::ThresholdPolicy;
+use sw_core::integral::Workload;
+use sw_core::memory_unit::OverflowPolicy;
+use sw_serve::api::{FramePayload, JobKernel};
+use sw_serve::wire::{decode_frame_body, write_frame, ByteReader, MsgKind};
+use sw_serve::{JobError, JobRequest, JobResponse, JobSpec, WireError, MAGIC, VERSION};
+
+/// Deterministically expand one seed into a full (valid) job spec.
+fn spec_from_seed(seed: u64) -> JobSpec {
+    let pick = |n: u64, m: usize| ((seed >> n) as usize) % m;
+    JobSpec {
+        workload: Workload::ALL[pick(0, Workload::ALL.len())],
+        window: 2 * (1 + pick(2, 16)),
+        threshold: (seed >> 7 & 0x1f) as i16,
+        policy: ThresholdPolicy::ALL[pick(12, ThresholdPolicy::ALL.len())],
+        codec: LineCodecKind::ALL[pick(14, LineCodecKind::ALL.len())],
+        hot_path: sw_bitstream::HotPath::ALL[pick(17, 2)],
+        kernel: JobKernel::ALL[pick(19, JobKernel::ALL.len())],
+        jobs: pick(22, 9),
+        overflow_policy: if seed >> 26 & 1 == 0 {
+            None
+        } else {
+            Some(OverflowPolicy::ALL[pick(27, OverflowPolicy::ALL.len())])
+        },
+        budget_fraction: 0.25 + (seed >> 29 & 0xf) as f64 / 8.0,
+    }
+}
+
+fn frame_from_seed(seed: u64, w: usize, h: usize) -> FramePayload {
+    let mut state = seed | 1;
+    FramePayload {
+        width: w as u32,
+        height: h as u32,
+        pixels: (0..w * h)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect(),
+    }
+}
+
+fn request_from_seed(seed: u64, w: usize, h: usize) -> JobRequest {
+    JobRequest {
+        tenant: format!("tenant-{}", seed % 97),
+        spec: spec_from_seed(seed),
+        frame: frame_from_seed(seed, w, h),
+        want_frame: seed >> 33 & 1 == 1,
+    }
+}
+
+fn response_from_seed(seed: u64) -> JobResponse {
+    let b = |n: u64| seed.rotate_left(n as u32);
+    JobResponse {
+        workload: Workload::ALL[(seed & 1) as usize],
+        digest: b(1),
+        stats_digest: b(2),
+        out_width: (b(3) % 4096) as u32,
+        out_height: (b(4) % 4096) as u32,
+        effective_threshold: (b(5) % 64) as i16,
+        degraded: b(6) & 1 == 1,
+        t_escalations: b(7) % 1000,
+        stall_cycles: b(8) % 1000,
+        overflow_events: b(9) % 1000,
+        peak_payload_occupancy: b(10),
+        management_bits: b(11),
+        memory_saving_pct: (b(12) % 10_000) as f64 / 100.0,
+        mse: (b(13) % 10_000) as f64 / 7.0,
+        queue_ns: b(14),
+        exec_ns: b(15),
+        frame: (b(16) & 1 == 1).then(|| frame_from_seed(seed, 5, 4)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Requests survive an encode/decode round trip bit-for-bit.
+    #[test]
+    fn request_round_trips(seed in any::<u64>(), w in 1usize..24, h in 1usize..16) {
+        let req = request_from_seed(seed, w, h);
+        let decoded = JobRequest::decode(&req.encode()).expect("canonical bytes decode");
+        prop_assert_eq!(req, decoded);
+    }
+
+    /// Responses survive an encode/decode round trip bit-for-bit.
+    #[test]
+    fn response_round_trips(seed in any::<u64>()) {
+        let resp = response_from_seed(seed);
+        let decoded = JobResponse::decode(&resp.encode()).expect("canonical bytes decode");
+        prop_assert_eq!(resp, decoded);
+    }
+
+    /// Every *proper* prefix of a valid encoding decodes to a typed error,
+    /// never a value and never a panic.
+    #[test]
+    fn truncation_yields_typed_errors(seed in any::<u64>(), cut in 0usize..4096) {
+        let bytes = request_from_seed(seed, 8, 6).encode();
+        let cut = cut % bytes.len().max(1);
+        match JobRequest::decode(&bytes[..cut]) {
+            Err(WireError::Truncated { .. }) | Err(WireError::Corrupt(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
+            Ok(_) => prop_assert!(false, "a proper prefix must not decode"),
+        }
+    }
+
+    /// Trailing garbage after a valid body is rejected (canonical
+    /// encoding: decode(encode(x)) must consume every byte).
+    #[test]
+    fn trailing_bytes_are_rejected(seed in any::<u64>(), junk in 1usize..16) {
+        let mut bytes = request_from_seed(seed, 8, 6).encode();
+        bytes.extend(std::iter::repeat_n(0xAA, junk));
+        prop_assert!(JobRequest::decode(&bytes).is_err());
+    }
+
+    /// Arbitrary garbage never panics any payload decoder.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = JobRequest::decode(&bytes);
+        let _ = JobResponse::decode(&bytes);
+        let _ = JobError::decode(&bytes);
+        let _ = decode_frame_body(&bytes);
+    }
+
+    /// Single-bit corruption of a valid encoding either still decodes (the
+    /// flipped bit landed in free-form payload like pixels or the tenant
+    /// name) or fails typed — it never panics.
+    #[test]
+    fn bit_flips_never_panic(seed in any::<u64>(), bit in 0usize..4096) {
+        let mut bytes = request_from_seed(seed, 8, 6).encode();
+        let nbits = bytes.len() * 8;
+        let bit = bit % nbits;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        let _ = JobRequest::decode(&bytes);
+    }
+
+    /// A frame header carrying any version other than ours is refused as
+    /// `VersionSkew` before the payload is looked at.
+    #[test]
+    fn version_skew_is_typed(seed in any::<u64>(), skew in 1u16..u16::MAX) {
+        let bad_version = VERSION.wrapping_add(skew);
+        let payload = request_from_seed(seed, 6, 5).encode();
+        let mut framed = Vec::new();
+        write_frame(&mut framed, MsgKind::Job, &payload).unwrap();
+        // Patch the version field: it sits right after the length prefix
+        // and magic.
+        let at = 4 + MAGIC.len();
+        framed[at..at + 2].copy_from_slice(&bad_version.to_le_bytes());
+        match decode_frame_body(&framed[4..]) {
+            Err(WireError::VersionSkew { got, want }) => {
+                prop_assert_eq!(got, bad_version);
+                prop_assert_eq!(want, VERSION);
+            }
+            other => prop_assert!(false, "expected VersionSkew, got {other:?}"),
+        }
+    }
+
+    /// Job errors round-trip through their wire form.
+    #[test]
+    fn job_errors_round_trip(seed in any::<u64>()) {
+        let detail = format!("detail-{seed:x}");
+        let e = match seed % 5 {
+            0 => JobError::Rejected { tenant: format!("t{}", seed % 7), detail },
+            1 => JobError::Config(detail),
+            2 => JobError::Execution(detail),
+            3 => JobError::Malformed(detail),
+            _ => JobError::Internal(detail),
+        };
+        let decoded = JobError::decode(&e.encode()).expect("canonical bytes decode");
+        prop_assert_eq!(e, decoded);
+    }
+}
+
+/// The reader enforces canonicality: `finish()` on leftover bytes is the
+/// mechanism every decoder uses to reject padding.
+#[test]
+fn byte_reader_finish_rejects_leftovers() {
+    let mut rd = ByteReader::new(&[1, 2, 3]);
+    rd.get_u8().unwrap();
+    assert!(matches!(rd.finish(), Err(WireError::Corrupt(_))));
+    rd.get_u16().unwrap();
+    assert!(rd.finish().is_ok());
+}

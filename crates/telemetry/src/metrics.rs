@@ -67,6 +67,33 @@ impl Gauge {
         }
     }
 
+    /// Add `d` to the current value (level semantics, e.g. inflight jobs).
+    #[inline]
+    pub fn add(&self, d: u64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtract `d` from the current value, saturating at zero.
+    #[inline]
+    pub fn sub(&self, d: u64) {
+        if let Some(g) = &self.0 {
+            let mut cur = g.load(Ordering::Relaxed);
+            loop {
+                match g.compare_exchange_weak(
+                    cur,
+                    cur.saturating_sub(d),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+
     /// Current value (0 when no-op).
     pub fn get(&self) -> u64 {
         self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))

@@ -38,7 +38,9 @@ fn main() {
         img.height()
     );
 
-    let cfg = ArchConfig::new(n, img.width());
+    let cfg = ArchConfig::builder(n, img.width())
+        .build()
+        .expect("valid config");
     let mut arch = ColorCompressedSlidingWindow::new(cfg);
     let kernel = Convolution::sharpen(n, 0.8);
     let out = arch

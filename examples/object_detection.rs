@@ -75,7 +75,9 @@ fn main() {
 
     // --- full-resolution detection ---
     let kernel = TemplateSad::new(N, tpl.clone());
-    let cfg = ArchConfig::new(N, scene.width());
+    let cfg = ArchConfig::builder(N, scene.width())
+        .build()
+        .expect("valid config");
     let mut arch = CompressedSlidingWindow::new(cfg);
     let out = arch
         .process_frame(&scene, &kernel)
@@ -106,7 +108,9 @@ fn main() {
         }
     }
     let half = downscale2(&big_scene);
-    let cfg2 = ArchConfig::new(N, half.width());
+    let cfg2 = ArchConfig::builder(N, half.width())
+        .build()
+        .expect("valid config");
     let mut arch2 = CompressedSlidingWindow::new(cfg2);
     let out2 = arch2
         .process_frame(&half, &kernel)
@@ -123,7 +127,9 @@ fn main() {
     );
 
     // The alternative to pyramids is a 64-pixel window; compare its budgets.
-    let cfg64 = ArchConfig::new(2 * N, big_scene.width());
+    let cfg64 = ArchConfig::builder(2 * N, big_scene.width())
+        .build()
+        .expect("valid config");
     let mut arch64 = CompressedSlidingWindow::new(cfg64);
     let tpl64: Vec<u8> = (0..4 * N * N)
         .map(|i| {

@@ -14,7 +14,10 @@ fn main() {
     println!("image: {}x{}  window: {n}x{n}", img.width(), img.height());
 
     let kernel = GaussianFilter::new(n);
-    let cfg = ArchConfig::new(n, img.width()); // threshold 0 = lossless
+    // Builder default: threshold 0 = lossless.
+    let cfg = ArchConfig::builder(n, img.width())
+        .build()
+        .expect("valid config");
 
     // Traditional raw line buffers.
     let mut trad = TraditionalSlidingWindow::new(cfg);

@@ -36,7 +36,7 @@ fn bad_frame(seed: u32) -> ImageU8 {
 
 fn main() {
     // Provision the memory unit from a representative lossless frame.
-    let probe_cfg = ArchConfig::new(N, W);
+    let probe_cfg = ArchConfig::builder(N, W).build().expect("valid config");
     let mut probe = CompressedSlidingWindow::new(probe_cfg);
     let typical = probe
         .process_frame(&pan_frame(0), &GaussianFilter::new(N))
@@ -72,7 +72,10 @@ fn main() {
         };
 
         let t = controller.threshold();
-        let cfg = ArchConfig::new(N, W).with_threshold(t);
+        let cfg = ArchConfig::builder(N, W)
+            .threshold(t)
+            .build()
+            .expect("valid config");
         let mut arch = CompressedSlidingWindow::new(cfg).with_capacity_bits(budget);
         let out = arch
             .process_frame(&frame, &kernel)

@@ -68,6 +68,14 @@ usage:
   swc bench   [--json] [--quick] [--out FILE] [--jobs N]
               [--hot-path scalar|sliced] [--workload window|integral]
   swc bench   --compare BASE.json NEW.json [--max-loss PCT] [--warn-only]
+  swc serve   --listen tcp:HOST:PORT|unix:PATH [--jobs N]
+              [--tenant-budget-mbits M] [--tenant-policy fail|stall|degrade]
+              [--max-threshold T]
+  swc client  <image.pgm> --connect tcp:HOST:PORT|unix:PATH --window N
+              [job flags] [--tenant NAME] [--out FILE.pgm]
+  swc client  --connect ADDR --ping | --metrics | --shutdown
+  swc load    <image.pgm> --connect ADDR --window N [job flags]
+              [--tenant NAME] [--requests N] [--concurrency K] [--verify]
 
 The image must be a binary PGM (P5). `swc scene` writes one of the built-in
 synthetic dataset scenes instead of reading an input.
@@ -118,6 +126,24 @@ N-case coverage-guided campaign from --seed S (default 1), shrinking any
 failure into vectors/regressions/. --vectors DIR overrides the corpus
 directory (default: the crate's checked-in vectors/).
 
+swc serve starts the long-running daemon: a length-prefixed binary
+protocol over TCP or a Unix socket, jobs multiplexed onto one shared
+work-stealing pool, per-tenant admission budgets (--tenant-budget-mbits,
+default 64 Mbit of in-flight frame data) governed by --tenant-policy:
+'fail' rejects with a typed error, 'stall' applies backpressure, 'degrade'
+escalates the job threshold under load (up to --max-threshold, default
+16). 'swc client --metrics' returns Prometheus text from the daemon's
+telemetry registry including the serve.* family.
+
+swc client submits one frame-processing job (the same job flags as
+analyze: --window/--threshold/--policy/--codec/--hot-path/--kernel/--jobs/
+--overflow-policy/--budget-fraction/--workload) and prints the typed
+response; --out writes the processed frame back as PGM. swc load is the
+saturation harness behind experiment E28: it drives --requests jobs over
+--concurrency connections and reports throughput, latency p50/p99, and
+reject/degrade counts; --verify re-executes each distinct effective
+threshold locally and checks the served digests byte-for-byte.
+
 swc bench runs the kernel x codec performance matrix (sequential and
 halo-sharded on --jobs threads) and prints a throughput table. --json
 writes the machine-readable trajectory (schema swc-bench-v1) to --out
@@ -127,25 +153,53 @@ trajectories and exits non-zero when any cell's throughput drops more
 than --max-loss PCT (default 10) — --warn-only reports the same diff but
 always exits 0.";
 
+/// Parsed CLI options: the job-shaped flags live in the shared
+/// [`JobSpecBuilder`] (the same parser the daemon, client, and load
+/// generator use), the CLI-only knobs (telemetry outputs, scene size,
+/// fault injection) stay here.
 struct Opts {
-    window: usize,
-    workload: Workload,
-    threshold: i16,
-    policy: ThresholdPolicy,
-    codec: LineCodecKind,
+    spec: JobSpecBuilder,
     size: (usize, usize),
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     trace_chrome_out: Option<PathBuf>,
     flame: bool,
-    jobs: Option<usize>,
-    overflow_policy: Option<OverflowPolicy>,
-    budget_fraction: f64,
     fault_seed: Option<u64>,
-    hot_path: Option<HotPath>,
 }
 
 impl Opts {
+    fn window(&self) -> usize {
+        self.spec.window().unwrap_or(0)
+    }
+
+    fn threshold(&self) -> i16 {
+        self.spec.threshold()
+    }
+
+    fn workload(&self) -> Workload {
+        self.spec.workload()
+    }
+
+    fn codec(&self) -> LineCodecKind {
+        self.spec.codec()
+    }
+
+    fn jobs(&self) -> Option<usize> {
+        self.spec.jobs()
+    }
+
+    fn overflow_policy(&self) -> Option<OverflowPolicy> {
+        self.spec.overflow_policy()
+    }
+
+    fn budget_fraction(&self) -> f64 {
+        self.spec.budget_fraction()
+    }
+
+    fn hot_path(&self) -> Option<HotPath> {
+        self.spec.hot_path()
+    }
+
     /// Whether any telemetry output was requested.
     fn wants_telemetry(&self) -> bool {
         self.metrics_out.is_some()
@@ -157,55 +211,24 @@ impl Opts {
     /// Whether a memory-unit policy or fault run was requested (either
     /// forces the real datapath to run).
     fn wants_runtime(&self) -> bool {
-        self.overflow_policy.is_some() || self.fault_seed.is_some()
+        self.spec.overflow_policy().is_some() || self.fault_seed.is_some()
     }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut o = Opts {
-        window: 0,
-        workload: Workload::Window,
-        threshold: 0,
-        policy: ThresholdPolicy::DetailsOnly,
-        codec: LineCodecKind::Haar,
+        spec: JobSpecBuilder::new(),
         size: (512, 512),
         metrics_out: None,
         trace_out: None,
         trace_chrome_out: None,
         flame: false,
-        jobs: None,
-        overflow_policy: None,
-        budget_fraction: 1.0,
         fault_seed: None,
-        hot_path: None,
     };
     let mut i = 0;
     while i < args.len() {
-        match args[i].as_str() {
-            "--window" => {
-                o.window = next(args, &mut i)?.parse().map_err(|_| "bad --window")?;
-            }
-            "--threshold" => {
-                o.threshold = next(args, &mut i)?.parse().map_err(|_| "bad --threshold")?;
-            }
-            "--workload" => {
-                let v = next(args, &mut i)?;
-                o.workload = Workload::parse(v)
-                    .ok_or_else(|| format!("unknown workload '{v}' (window, integral)"))?;
-            }
-            "--policy" => {
-                o.policy = match next(args, &mut i)?.as_str() {
-                    "details" => ThresholdPolicy::DetailsOnly,
-                    "all" => ThresholdPolicy::AllSubbands,
-                    other => return Err(format!("unknown policy '{other}'")),
-                };
-            }
-            "--codec" => {
-                let v = next(args, &mut i)?;
-                o.codec = LineCodecKind::parse(v).ok_or_else(|| {
-                    format!("unknown codec '{v}' (raw, haar, haar2, legall, locoi)")
-                })?;
-            }
+        let flag = args[i].clone();
+        match flag.as_str() {
             "--size" => {
                 let v = next(args, &mut i)?;
                 let (w, h) = v
@@ -226,22 +249,6 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.trace_chrome_out = Some(PathBuf::from(next(args, &mut i)?));
             }
             "--flame" => o.flame = true,
-            "--jobs" => {
-                o.jobs = Some(parse_jobs(next(args, &mut i)?)?);
-            }
-            "--overflow-policy" => {
-                let v = next(args, &mut i)?;
-                o.overflow_policy = Some(OverflowPolicy::parse(v).ok_or_else(|| {
-                    format!("unknown overflow policy '{v}' (fail, stall, degrade)")
-                })?);
-            }
-            "--budget-fraction" => {
-                let v = next(args, &mut i)?;
-                o.budget_fraction = v.parse().map_err(|_| "bad --budget-fraction")?;
-                if !(o.budget_fraction > 0.0 && o.budget_fraction.is_finite()) {
-                    return Err("--budget-fraction must be a positive number".into());
-                }
-            }
             "--fault-seed" => {
                 o.fault_seed = Some(
                     next(args, &mut i)?
@@ -249,12 +256,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                         .map_err(|_| "bad --fault-seed")?,
                 );
             }
-            "--hot-path" => {
+            _ if JobSpecBuilder::is_job_flag(&flag) => {
                 let v = next(args, &mut i)?;
-                o.hot_path = Some(
-                    HotPath::parse(v)
-                        .ok_or_else(|| format!("unknown hot path '{v}' (scalar, sliced)"))?,
-                );
+                o.spec
+                    .try_flag(&flag, v)
+                    .expect("is_job_flag gated this dispatch")?;
             }
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -307,6 +313,9 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "conform" => conform(&args[1..]),
         "bench" => bench(&args[1..]),
+        "serve" => serve_cmd(&args[1..]),
+        "client" => client_cmd(&args[1..]),
+        "load" => load_cmd(&args[1..]),
         other => Err(format!("unknown command '{other}'")),
     }
 }
@@ -501,12 +510,12 @@ fn bench(args: &[String]) -> Result<(), String> {
 /// telemetry, or memory-unit axis — reject the knobs loudly instead of
 /// ignoring them.
 fn reject_window_only_knobs(o: &Opts) -> Result<(), String> {
-    if o.threshold != 0 {
+    if o.threshold() != 0 {
         return Err(
             "--workload integral is inherently lossless; --threshold does not apply".into(),
         );
     }
-    if o.codec != LineCodecKind::Haar {
+    if o.codec() != LineCodecKind::Haar {
         return Err(
             "--codec does not apply to --workload integral (the wide column codec is fixed)".into(),
         );
@@ -531,10 +540,10 @@ fn reject_window_only_knobs(o: &Opts) -> Result<(), String> {
 fn analyze_integral_cmd(img: &ImageU8, o: &Opts) -> Result<(), String> {
     reject_window_only_knobs(o)?;
     let cfg = IntegralConfig {
-        segment: o.window,
-        hot_path: o.hot_path.unwrap_or_else(HotPath::from_env),
+        segment: o.window(),
+        hot_path: o.hot_path().unwrap_or_else(HotPath::from_env),
     };
-    let pool = ThreadPool::new(o.jobs.unwrap_or(1));
+    let pool = ThreadPool::new(o.jobs().unwrap_or(1));
     let r = analyze_integral(img, &cfg, &pool).map_err(|e| e.to_string())?;
     println!(
         "image {}x{}  segment {}  workload integral ({}-bit lines)",
@@ -559,8 +568,8 @@ fn analyze_integral_cmd(img: &ImageU8, o: &Opts) -> Result<(), String> {
 /// of the threshold (the integral workload has no lossy axis).
 fn sweep_integral(img: &ImageU8, o: &Opts) -> Result<(), String> {
     reject_window_only_knobs(o)?;
-    let hot_path = o.hot_path.unwrap_or_else(HotPath::from_env);
-    let pool = ThreadPool::new(o.jobs.unwrap_or(1));
+    let hot_path = o.hot_path().unwrap_or_else(HotPath::from_env);
+    let pool = ThreadPool::new(o.jobs().unwrap_or(1));
     println!("segment   saving%   peak line bits   mean line bits");
     for segment in [2usize, 4, 8, 16, 32] {
         let r = analyze_integral(img, &IntegralConfig { segment, hot_path }, &pool)
@@ -585,7 +594,7 @@ fn reject_telemetry(o: &Opts, cmd: &str) -> Result<(), String> {
 }
 
 fn reject_jobs(o: &Opts, cmd: &str) -> Result<(), String> {
-    if o.jobs.is_some() {
+    if o.jobs().is_some() {
         return Err(format!(
             "--jobs is not supported by '{cmd}' (use analyze or sweep)"
         ));
@@ -606,20 +615,20 @@ fn reject_runtime(o: &Opts, cmd: &str) -> Result<(), String> {
 /// budget for this frame (measured losslessly on the selected codec's
 /// datapath), scaled by `--budget-fraction`.
 fn memory_unit_for(img: &ImageU8, o: &Opts) -> Result<Option<MemoryUnitConfig>, String> {
-    let Some(policy) = o.overflow_policy else {
+    let Some(policy) = o.overflow_policy() else {
         return Ok(None);
     };
     let probe = config(img, o)?.with_threshold(0);
     let stats = measure_frame(img, &probe).map_err(|e| e.to_string())?;
     let p = plan(
-        o.window,
+        o.window(),
         img.width(),
         stats.peak_payload_occupancy,
         MgmtAccounting::Structured,
     );
     let mut mu = MemoryUnitConfig::from_plan(&p, policy);
-    if o.budget_fraction != 1.0 {
-        mu.capacity_bits = ((mu.capacity_bits as f64 * o.budget_fraction) as u64).max(1);
+    if o.budget_fraction() != 1.0 {
+        mu.capacity_bits = ((mu.capacity_bits as f64 * o.budget_fraction()) as u64).max(1);
     }
     Ok(Some(mu))
 }
@@ -643,36 +652,37 @@ fn print_policy_outcome(
 }
 
 fn require_window(o: &Opts) -> Result<(), String> {
-    if o.window < 2 || !o.window.is_multiple_of(2) {
+    if o.window() < 2 || !o.window().is_multiple_of(2) {
         return Err("--window must be an even integer >= 2".into());
     }
     Ok(())
 }
 
 fn config(img: &ImageU8, o: &Opts) -> Result<ArchConfig, String> {
-    if img.width() <= o.window + 1 {
+    if img.width() <= o.window() + 1 {
         return Err(format!(
             "image width {} too small for window {}",
             img.width(),
-            o.window
+            o.window()
         ));
     }
-    Ok(ArchConfig::new(o.window, img.width())
-        .with_threshold(o.threshold)
-        .with_policy(o.policy)
-        .with_codec(o.codec)
-        .with_hot_path(o.hot_path.unwrap_or_else(HotPath::from_env)))
+    // One conversion point: the same spec -> ArchConfig mapping the daemon
+    // applies to decoded job requests.
+    o.spec
+        .build()?
+        .arch_config(img.width())
+        .map_err(|e| e.to_string())
 }
 
 fn analyze(img: &ImageU8, o: &Opts) -> Result<(), String> {
-    if o.workload == Workload::Integral {
+    if o.workload() == Workload::Integral {
         return analyze_integral_cmd(img, o);
     }
-    if o.codec != LineCodecKind::Haar {
+    if o.codec() != LineCodecKind::Haar {
         return analyze_codec(img, o);
     }
     let cfg = config(img, o)?;
-    let pool = o.jobs.map(ThreadPool::new);
+    let pool = o.jobs().map(ThreadPool::new);
     let a = match &pool {
         // Bit-identical to the sequential analyzer for any pool size.
         Some(p) => analyze_frame_par(img, &cfg, p).map_err(|e| e.to_string())?,
@@ -682,8 +692,8 @@ fn analyze(img: &ImageU8, o: &Opts) -> Result<(), String> {
         "image {}x{}  window {}  threshold {}",
         img.width(),
         img.height(),
-        o.window,
-        o.threshold
+        o.window(),
+        o.threshold()
     );
     println!("payload bits/pixel:   {:.3}", a.bits_per_pixel());
     let [ll, lh, hl, hh] = a.per_band_payload_bits;
@@ -701,7 +711,7 @@ fn analyze(img: &ImageU8, o: &Opts) -> Result<(), String> {
         a.worst_payload_occupancy,
         a.worst_total_occupancy() - a.worst_payload_occupancy
     );
-    if o.threshold > 0 || o.wants_telemetry() || o.wants_runtime() {
+    if o.threshold() > 0 || o.wants_telemetry() || o.wants_runtime() {
         // Run the actual datapath: for lossy quality numbers, for
         // telemetry, for a policy or fault run, or any combination
         // (most-recirculated tap kernel).
@@ -712,7 +722,7 @@ fn analyze(img: &ImageU8, o: &Opts) -> Result<(), String> {
         };
         let mu = memory_unit_for(img, o)?;
         let faults = o.fault_seed.map(FaultInjector::seeded);
-        let kernel = Tap::top_left(o.window);
+        let kernel = Tap::top_left(o.window());
         let (out_image, escalations) = match &pool {
             Some(p) => {
                 let mut runner = ShardedFrameRunner::new(cfg)
@@ -725,7 +735,7 @@ fn analyze(img: &ImageU8, o: &Opts) -> Result<(), String> {
                     runner = runner.with_fault_injector(f);
                 }
                 let out = runner.run(img, &kernel, p).map_err(|e| e.to_string())?;
-                if let (Some(policy), Some(mu)) = (o.overflow_policy, mu) {
+                if let (Some(policy), Some(mu)) = (o.overflow_policy(), mu) {
                     print_policy_outcome(
                         policy,
                         mu,
@@ -747,7 +757,7 @@ fn analyze(img: &ImageU8, o: &Opts) -> Result<(), String> {
                 let out = arch
                     .process_frame(img, &kernel)
                     .map_err(|e| e.to_string())?;
-                if let (Some(policy), Some(mu)) = (o.overflow_policy, mu) {
+                if let (Some(policy), Some(mu)) = (o.overflow_policy(), mu) {
                     print_policy_outcome(
                         policy,
                         mu,
@@ -759,7 +769,7 @@ fn analyze(img: &ImageU8, o: &Opts) -> Result<(), String> {
                 (out.image, out.stats.t_escalations)
             }
         };
-        if o.threshold > 0 || escalations > 0 || faults.is_some() {
+        if o.threshold() > 0 || escalations > 0 || faults.is_some() {
             let crop = img.crop(0, 0, out_image.width(), out_image.height());
             println!(
                 "delivered quality:    MSE {:.2}  PSNR {:.1} dB (compounded, worst window row)",
@@ -786,11 +796,11 @@ fn analyze_codec(img: &ImageU8, o: &Opts) -> Result<(), String> {
         "image {}x{}  window {}  threshold {}  codec {}",
         img.width(),
         img.height(),
-        o.window,
-        o.threshold,
-        o.codec.name()
+        o.window(),
+        o.threshold(),
+        o.codec().name()
     );
-    let kernel = Tap::top_left(o.window);
+    let kernel = Tap::top_left(o.window());
     let mu = memory_unit_for(img, o)?;
     let faults = o.fault_seed.map(FaultInjector::seeded);
     let mut arch = build_arch(&cfg).map_err(|e| e.to_string())?;
@@ -810,7 +820,7 @@ fn analyze_codec(img: &ImageU8, o: &Opts) -> Result<(), String> {
         "worst-case occupancy: {} bits payload + {} bits mgmt",
         s.peak_payload_occupancy, s.management_bits
     );
-    if let (Some(policy), Some(mu)) = (o.overflow_policy, mu) {
+    if let (Some(policy), Some(mu)) = (o.overflow_policy(), mu) {
         print_policy_outcome(
             policy,
             mu,
@@ -819,7 +829,10 @@ fn analyze_codec(img: &ImageU8, o: &Opts) -> Result<(), String> {
             s.overflow_events,
         );
     }
-    if (o.threshold > 0 && o.codec.is_lossy_capable()) || s.t_escalations > 0 || faults.is_some() {
+    if (o.threshold() > 0 && o.codec().is_lossy_capable())
+        || s.t_escalations > 0
+        || faults.is_some()
+    {
         let crop = img.crop(0, 0, out.image.width(), out.image.height());
         println!(
             "delivered quality:    MSE {:.2}  PSNR {:.1} dB (compounded, worst window row)",
@@ -876,12 +889,12 @@ fn plan_cmd(img: &ImageU8, o: &Opts) -> Result<(), String> {
     let cfg = config(img, o)?;
     let a = analyze_frame(img, &cfg);
     let p = plan(
-        o.window,
+        o.window(),
         img.width(),
         a.worst_payload_occupancy,
         MgmtAccounting::Structured,
     );
-    let trad = traditional_brams(o.window, img.width());
+    let trad = traditional_brams(o.window(), img.width());
     println!("traditional:  {trad} BRAM18");
     println!(
         "compressed:   {} packed ({} rows/BRAM) + {} mgmt = {} BRAM18  ({:.0}% saved)",
@@ -894,7 +907,7 @@ fn plan_cmd(img: &ImageU8, o: &Opts) -> Result<(), String> {
     if !p.fits {
         println!("warning: payload exceeds every row mapping — this frame would overflow");
     }
-    let logic = estimate(ModuleKind::Overall, o.window);
+    let logic = estimate(ModuleKind::Overall, o.window());
     match Device::smallest_fitting(logic.luts, logic.registers, p.total_brams()) {
         Some(d) => println!(
             "smallest device: {} ({} LUTs for the compression logic)",
@@ -906,7 +919,7 @@ fn plan_cmd(img: &ImageU8, o: &Opts) -> Result<(), String> {
 }
 
 fn sweep(img: &ImageU8, o: &Opts) -> Result<(), String> {
-    if o.workload == Workload::Integral {
+    if o.workload() == Workload::Integral {
         return sweep_integral(img, o);
     }
     let tele = if o.wants_telemetry() {
@@ -914,13 +927,13 @@ fn sweep(img: &ImageU8, o: &Opts) -> Result<(), String> {
     } else {
         TelemetryHandle::disabled()
     };
-    let pool = o.jobs.map(ThreadPool::new);
+    let pool = o.jobs().map(ThreadPool::new);
     let mu = memory_unit_for(img, o)?;
     let faults = o.fault_seed.map(FaultInjector::seeded);
     println!("T   saving%   worst payload bits   delivered MSE");
     for t in [0i16, 2, 4, 6, 8] {
         let cfg = config(img, o)?.with_threshold(t);
-        if o.codec != LineCodecKind::Haar {
+        if o.codec() != LineCodecKind::Haar {
             sweep_codec_row(img, o, &cfg, t, &tele, mu, &faults)?;
             continue;
         }
@@ -945,7 +958,7 @@ fn sweep(img: &ImageU8, o: &Opts) -> Result<(), String> {
                         runner = runner.with_fault_injector(f);
                     }
                     let out = runner
-                        .run(img, &Tap::top_left(o.window), p)
+                        .run(img, &Tap::top_left(o.window()), p)
                         .map_err(|e| e.to_string())?;
                     outcome = Some((out.stall_cycles, out.t_escalations, out.overflow_events));
                     out.image
@@ -960,7 +973,7 @@ fn sweep(img: &ImageU8, o: &Opts) -> Result<(), String> {
                         arch = arch.with_fault_injector(f);
                     }
                     let out = arch
-                        .process_frame(img, &Tap::top_left(o.window))
+                        .process_frame(img, &Tap::top_left(o.window()))
                         .map_err(|e| e.to_string())?;
                     outcome = Some((
                         out.stats.stall_cycles,
@@ -978,7 +991,7 @@ fn sweep(img: &ImageU8, o: &Opts) -> Result<(), String> {
             a.saving_pct(),
             a.worst_payload_occupancy
         );
-        if let (Some(policy), Some(mu), Some((st, esc, ovf))) = (o.overflow_policy, mu, outcome) {
+        if let (Some(policy), Some(mu), Some((st, esc, ovf))) = (o.overflow_policy(), mu, outcome) {
             print_policy_outcome(policy, mu, st, esc, ovf);
         }
     }
@@ -1006,22 +1019,23 @@ fn sweep_codec_row(
         arch.set_fault_injector(faults.clone());
     }
     let out = arch
-        .process_frame(img, &Tap::top_left(o.window))
+        .process_frame(img, &Tap::top_left(o.window()))
         .map_err(|e| e.to_string())?;
-    let e =
-        if (t > 0 && o.codec.is_lossy_capable()) || out.stats.t_escalations > 0 || faults.is_some()
-        {
-            let crop = img.crop(0, 0, out.image.width(), out.image.height());
-            mse(&out.image, &crop)
-        } else {
-            0.0
-        };
+    let e = if (t > 0 && o.codec().is_lossy_capable())
+        || out.stats.t_escalations > 0
+        || faults.is_some()
+    {
+        let crop = img.crop(0, 0, out.image.width(), out.image.height());
+        mse(&out.image, &crop)
+    } else {
+        0.0
+    };
     println!(
         "{t:<3} {:>7.1}   {:>18}   {e:>13.2}",
         out.stats.memory_saving_pct(),
         out.stats.peak_payload_occupancy
     );
-    if let (Some(policy), Some(mu)) = (o.overflow_policy, mu) {
+    if let (Some(policy), Some(mu)) = (o.overflow_policy(), mu) {
         print_policy_outcome(
             policy,
             mu,
@@ -1059,5 +1073,274 @@ fn scene(which: &str, out: &str, o: &Opts) -> Result<(), String> {
         "wrote {} ({}x{}, scene '{}')",
         out, o.size.0, o.size.1, preset.name
     );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Serving subcommands. These all speak the same typed job API: the daemon
+// decodes `JobRequest`s off the socket, the client and load generator
+// build them through the identical `JobSpecBuilder` the analyze/sweep
+// paths use.
+
+/// `swc serve`: run the daemon until a client sends a Shutdown frame.
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    let mut listen: Option<Listen> = None;
+    let mut jobs: usize = 0;
+    let mut budget_mbits: u64 = 64;
+    let mut tenant_policy = OverflowPolicy::Fail;
+    let mut max_threshold: i16 = 16;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => listen = Some(Listen::parse(next(args, &mut i)?)?),
+            "--jobs" => jobs = parse_jobs(next(args, &mut i)?)?,
+            "--tenant-budget-mbits" => {
+                budget_mbits = next(args, &mut i)?
+                    .parse()
+                    .map_err(|_| "bad --tenant-budget-mbits")?;
+                if budget_mbits == 0 {
+                    return Err("--tenant-budget-mbits must be at least 1".into());
+                }
+            }
+            "--tenant-policy" => {
+                let v = next(args, &mut i)?;
+                tenant_policy = OverflowPolicy::parse(v).ok_or_else(|| {
+                    format!("unknown overflow policy '{v}' (fail, stall, degrade)")
+                })?;
+            }
+            "--max-threshold" => {
+                max_threshold = next(args, &mut i)?
+                    .parse()
+                    .map_err(|_| "bad --max-threshold")?;
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+    let listen = listen.ok_or("serve needs --listen tcp:HOST:PORT or unix:PATH")?;
+    let mut policy = TenantPolicy::new(budget_mbits * 1_000_000, tenant_policy);
+    policy.budget.max_threshold = max_threshold;
+    let mut daemon = Daemon::start(DaemonConfig {
+        listen: listen.clone(),
+        jobs,
+        tenant_policy: policy,
+    })
+    .map_err(|e| format!("cannot start daemon: {e}"))?;
+    match (daemon.local_addr(), &listen) {
+        (Some(addr), _) => println!("swcd listening on tcp:{addr}"),
+        (None, Listen::Unix(path)) => println!("swcd listening on unix:{}", path.display()),
+        (None, Listen::Tcp(a)) => println!("swcd listening on tcp:{a}"),
+    }
+    println!(
+        "tenant budget {budget_mbits} Mbit, policy '{}', shutdown via `swc client --connect ... --shutdown`",
+        tenant_policy.name()
+    );
+    daemon.wait();
+    println!("swcd drained cleanly");
+    Ok(())
+}
+
+/// Shared by `swc client` and `swc load`: positional image path, --connect,
+/// --tenant, and the job flags routed through the one shared builder.
+struct NetJobArgs {
+    connect: Listen,
+    request: JobRequest,
+}
+
+fn parse_net_job(
+    args: &[String],
+    mut extra: impl FnMut(&str, &[String], &mut usize) -> Result<bool, String>,
+) -> Result<NetJobArgs, String> {
+    let mut connect: Option<Listen> = None;
+    let mut tenant = "cli".to_string();
+    let mut spec = JobSpecBuilder::new();
+    let mut image_path: Option<String> = None;
+    let mut want_frame = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        match flag.as_str() {
+            "--connect" => connect = Some(Listen::parse(next(args, &mut i)?)?),
+            "--tenant" => tenant = next(args, &mut i)?.clone(),
+            _ if JobSpecBuilder::is_job_flag(&flag) => {
+                let v = next(args, &mut i)?;
+                spec.try_flag(&flag, v)
+                    .expect("is_job_flag gated this dispatch")?;
+            }
+            _ if extra(&flag, args, &mut i)? => {
+                if flag == "--out" {
+                    want_frame = true;
+                }
+            }
+            other if !other.starts_with("--") && image_path.is_none() => {
+                image_path = Some(other.to_string());
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+    let connect = connect.ok_or("needs --connect tcp:HOST:PORT or unix:PATH")?;
+    let path = image_path.ok_or("missing image path")?;
+    let img = load(&path)?;
+    let spec = spec.build()?;
+    Ok(NetJobArgs {
+        connect,
+        request: JobRequest {
+            tenant,
+            spec,
+            frame: modified_sliding_window::serve::api::FramePayload::from_image(&img),
+            want_frame,
+        },
+    })
+}
+
+/// `swc client`: one-shot job submission, or --ping/--metrics/--shutdown.
+fn client_cmd(args: &[String]) -> Result<(), String> {
+    // Control-plane mode: no image, exactly one action flag.
+    let actions = ["--ping", "--metrics", "--shutdown"];
+    if let Some(action) = args.iter().find(|a| actions.contains(&a.as_str())) {
+        let mut connect: Option<Listen> = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--connect" => connect = Some(Listen::parse(next(args, &mut i)?)?),
+                a if actions.contains(&a) => {}
+                other => return Err(format!("unknown option '{other}'")),
+            }
+            i += 1;
+        }
+        let connect = connect.ok_or("needs --connect tcp:HOST:PORT or unix:PATH")?;
+        let mut client = Client::connect(&connect).map_err(|e| format!("cannot connect: {e}"))?;
+        match action.as_str() {
+            "--ping" => {
+                let echoed = client.ping(b"swc").map_err(|e| e.to_string())?;
+                if echoed != b"swc" {
+                    return Err("ping reply did not echo the payload".into());
+                }
+                println!("pong");
+            }
+            "--metrics" => {
+                print!("{}", client.metrics().map_err(|e| e.to_string())?);
+            }
+            _ => {
+                client.shutdown().map_err(|e| e.to_string())?;
+                println!("daemon acknowledged shutdown");
+            }
+        }
+        return Ok(());
+    }
+
+    let mut out_path: Option<PathBuf> = None;
+    let net = parse_net_job(args, |flag, args, i| match flag {
+        "--out" => {
+            out_path = Some(PathBuf::from(next(args, i)?));
+            Ok(true)
+        }
+        _ => Ok(false),
+    })?;
+    let mut client = Client::connect(&net.connect).map_err(|e| format!("cannot connect: {e}"))?;
+    let resp = client.submit(&net.request).map_err(|e| e.to_string())?;
+    println!(
+        "job ok: workload {}  output {}x{}  digest {:016x}",
+        resp.workload.name(),
+        resp.out_width,
+        resp.out_height,
+        resp.digest
+    );
+    println!(
+        "threshold {} ({})  escalations {}  stalls {}  overflows {}",
+        resp.effective_threshold,
+        if resp.degraded {
+            "degraded by admission"
+        } else {
+            "as requested"
+        },
+        resp.t_escalations,
+        resp.stall_cycles,
+        resp.overflow_events
+    );
+    println!(
+        "memory saving {:.1}%  mse {:.2}  queue {:.3} ms  exec {:.3} ms",
+        resp.memory_saving_pct,
+        resp.mse,
+        resp.queue_ns as f64 / 1e6,
+        resp.exec_ns as f64 / 1e6
+    );
+    if let (Some(path), Some(frame)) = (out_path, &resp.frame) {
+        write_pgm(&frame.image(), &path)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote processed frame: {}", path.display());
+    }
+    Ok(())
+}
+
+/// `swc load`: the saturation load generator (experiment E28).
+fn load_cmd(args: &[String]) -> Result<(), String> {
+    let mut requests: u64 = 64;
+    let mut concurrency: usize = 4;
+    let mut verify = false;
+    let net = parse_net_job(args, |flag, args, i| match flag {
+        "--requests" => {
+            requests = next(args, i)?.parse().map_err(|_| "bad --requests")?;
+            Ok(true)
+        }
+        "--concurrency" => {
+            concurrency = next(args, i)?.parse().map_err(|_| "bad --concurrency")?;
+            Ok(true)
+        }
+        "--verify" => {
+            verify = true;
+            Ok(true)
+        }
+        _ => Ok(false),
+    })?;
+    if requests == 0 {
+        return Err("--requests must be at least 1".into());
+    }
+    if concurrency == 0 {
+        return Err("--concurrency must be at least 1".into());
+    }
+    let report = modified_sliding_window::serve::client::load_run(
+        &net.connect,
+        &net.request,
+        &modified_sliding_window::serve::client::LoadConfig {
+            concurrency,
+            requests,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "load: {} ok, {} rejected, {} failed, {} transport errors, {} degraded",
+        report.ok, report.rejected, report.failed, report.transport_errors, report.degraded
+    );
+    println!(
+        "throughput {:.1} jobs/s  latency p50 {:.3} ms  p99 {:.3} ms",
+        report.throughput(),
+        report.percentile_ns(0.50) as f64 / 1e6,
+        report.percentile_ns(0.99) as f64 / 1e6
+    );
+    if verify {
+        let pool = ThreadPool::new(net.request.spec.jobs.max(1));
+        let tele = TelemetryHandle::disabled();
+        let distinct = report.distinct_digests();
+        for &(t, digest) in &distinct {
+            let mut local = net.request.clone();
+            local.spec.threshold = t;
+            // Admission escalated this job; reproduce it without the
+            // daemon's memory-unit budget weighing in a second time.
+            let local_resp = modified_sliding_window::serve::exec::execute(&local, &pool, &tele)
+                .map_err(|e| format!("local verify run failed at T={t}: {e}"))?;
+            if local_resp.digest != digest {
+                return Err(format!(
+                    "digest mismatch at T={t}: served {digest:016x}, local {:016x}",
+                    local_resp.digest
+                ));
+            }
+        }
+        println!(
+            "verify: {} distinct digest(s) match local execution byte-for-byte",
+            distinct.len()
+        );
+    }
     Ok(())
 }

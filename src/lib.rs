@@ -28,6 +28,9 @@
 //!   machine-readable run reports.
 //! * [`bench`] — the evaluation harness: paper table/figure regeneration
 //!   and the `swc bench` performance matrix with its regression gate.
+//! * [`serve`] — the serving layer: the typed job API (`JobRequest` /
+//!   `JobResponse` over a canonical length-prefixed wire format), the
+//!   multi-tenant `swc serve` daemon, and the client/load generator.
 //!
 //! ## Quick start
 //!
@@ -63,6 +66,7 @@ pub use sw_core as core;
 pub use sw_fpga as fpga;
 pub use sw_image as image;
 pub use sw_pool as pool;
+pub use sw_serve as serve;
 pub use sw_telemetry as telemetry;
 pub use sw_wavelet as wavelet;
 
@@ -75,7 +79,7 @@ pub mod prelude {
     };
     pub use sw_core::codec::{LineCodec, LineCodecKind};
     pub use sw_core::color::{ColorCompressedSlidingWindow, ColorOutput};
-    pub use sw_core::compressed::{CompressedOutput, CompressedSlidingWindow};
+    pub use sw_core::compressed::CompressedSlidingWindow;
     pub use sw_core::config::{ArchConfig, ArchConfigBuilder, NBitsGranularity, ThresholdPolicy};
     pub use sw_core::error::SwError;
     pub use sw_core::faults::{FaultInjector, FaultSite, FaultSpec};
@@ -100,5 +104,9 @@ pub mod prelude {
     pub use sw_fpga::resources::{estimate, ModuleKind, ResourceEstimate};
     pub use sw_image::{dataset, degenerate_suite, mse, psnr, ImageRgb, ImageU8, ScenePreset};
     pub use sw_pool::{configure_global, default_jobs, parse_jobs, PoolStats, ThreadPool};
+    pub use sw_serve::{
+        Client, Daemon, DaemonConfig, JobError, JobRequest, JobResponse, JobSpec, JobSpecBuilder,
+        Listen, TenantGovernor, TenantPolicy,
+    };
     pub use sw_telemetry::{Report, TelemetryHandle};
 }
