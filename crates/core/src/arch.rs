@@ -153,6 +153,37 @@ pub trait SlidingWindowArch {
     /// underflow fault fires.
     fn process_frame(&mut self, img: &ImageU8, kernel: &dyn WindowKernel) -> Result<FrameOutput>;
 
+    /// Open a row-streamed frame of `height` rows. Rows then arrive one
+    /// at a time via [`push_row`](Self::push_row) and the output is
+    /// collected by [`finish_frame`](Self::finish_frame) — byte-identical
+    /// to a whole-frame [`process_frame`](Self::process_frame) call (the
+    /// whole-frame path is implemented on top of this one).
+    ///
+    /// The default implementation reports the architecture as
+    /// non-streaming; [`SlidingWindow`] overrides all three methods.
+    fn begin_frame(&mut self, height: usize) -> Result<()> {
+        let _ = height;
+        Err(SwError::config(
+            "this architecture does not support row streaming".to_string(),
+        ))
+    }
+
+    /// Feed the next row of the open streamed frame, in raster order.
+    fn push_row(&mut self, row: &[Pixel], kernel: &dyn WindowKernel) -> Result<()> {
+        let _ = (row, kernel);
+        Err(SwError::config(
+            "this architecture does not support row streaming".to_string(),
+        ))
+    }
+
+    /// Close the open streamed frame after all declared rows arrived and
+    /// collect its output and statistics.
+    fn finish_frame(&mut self) -> Result<FrameOutput> {
+        Err(SwError::config(
+            "this architecture does not support row streaming".to_string(),
+        ))
+    }
+
     /// Clear all state (frame boundary).
     fn reset(&mut self);
 
@@ -190,6 +221,20 @@ impl FrameProf {
     fn clear(&mut self) {
         *self = Self::default();
     }
+}
+
+/// In-flight state of a row-streamed frame between
+/// [`SlidingWindow::begin_frame`] and [`SlidingWindow::finish_frame`].
+#[derive(Debug, Clone)]
+struct StreamFrame {
+    /// Declared total rows.
+    height: usize,
+    /// Rows consumed so far.
+    rows_in: usize,
+    /// Global pixel cycle across the streamed frame.
+    cycle: u64,
+    /// Kernel output accumulated over the valid region.
+    out: ImageU8,
 }
 
 /// One encoded column group in flight through the memory unit.
@@ -248,6 +293,8 @@ pub struct SlidingWindow<C: LineCodec> {
     overflow_events: usize,
     entering: Vec<Pixel>,
     evicted: Vec<Pixel>,
+    /// Open row-streamed frame, if any ([`Self::begin_frame`]).
+    stream: Option<StreamFrame>,
     /// Per-frame wall-time accumulators for the hierarchical profiler
     /// (encode/decode aggregates flushed once per frame, so the per-group
     /// hot path costs two `Instant::now` reads when telemetry is enabled
@@ -305,6 +352,7 @@ where
             overflow_events: self.overflow_events,
             entering: self.entering.clone(),
             evicted: self.evicted.clone(),
+            stream: self.stream.clone(),
             prof: self.prof,
             telemetry: self.telemetry.clone(),
             bound_name: self.bound_name.clone(),
@@ -360,6 +408,7 @@ impl<C: LineCodec> SlidingWindow<C> {
             overflow_events: 0,
             entering: vec![0; n],
             evicted: vec![0; n],
+            stream: None,
             prof: FrameProf::default(),
             telemetry: TelemetryHandle::disabled(),
             bound_name: None,
@@ -501,71 +550,160 @@ impl<C: LineCodec> SlidingWindow<C> {
                 kernel.window_size()
             )));
         }
-        self.reset();
-
-        let w = img.width();
-        let h = img.height();
-        let delay = self.cfg.fifo_depth() as u64; // W − N cycles
-        let mut out = ImageU8::filled(w - n + 1, h - n + 1, 0);
-        let mut cycle: u64 = 0;
+        // The whole-frame path *is* the streaming path driven to
+        // completion in one call — byte-identical output by construction.
         let frame_span = self.telemetry.profile_span("frame");
+        self.begin_frame(img.height())?;
+        for r in 0..img.height() {
+            self.push_row(img.row(r), kernel)?;
+        }
+        let out = self.finish_frame();
+        drop(frame_span);
+        out
+    }
+
+    /// Open a row-streamed frame of `height` rows: reset the datapath,
+    /// size the output for the valid region and start the cycle counter.
+    /// Any previously open stream is abandoned.
+    ///
+    /// # Errors
+    ///
+    /// [`SwError::Config`] when `height` cannot fit one window.
+    pub fn begin_frame(&mut self, height: usize) -> Result<()> {
+        let n = self.cfg.window;
+        if height < n {
+            return Err(SwError::config(format!(
+                "image height {height} is shorter than the {n}-row window"
+            )));
+        }
+        self.reset();
+        let w = self.cfg.width;
         self.telemetry.trace(TraceEvent::new(
             0,
             TraceKind::FrameStart,
             w as u64,
-            h as u64,
+            height as u64,
         ));
+        self.stream = Some(StreamFrame {
+            height,
+            rows_in: 0,
+            cycle: 0,
+            out: ImageU8::filled(w - n + 1, height - n + 1, 0),
+        });
+        Ok(())
+    }
 
-        for r in 0..h {
-            let row = img.row(r);
-            for (c, &input) in row.iter().enumerate() {
-                // (1) Memory unit read: the column that exited `delay`
-                //     cycles ago re-enters, shifted one row up.
-                let delivered = if cycle >= delay {
-                    self.deliver(cycle - delay)?
-                } else {
-                    None
-                };
-                match delivered {
-                    Some(col) => {
-                        self.entering[..n - 1].copy_from_slice(&col[1..]);
-                        // The column buffer is spent: recycle it into the
-                        // decode scratch pool instead of freeing it.
-                        self.spare_cols.push(col);
-                    }
-                    None => self.entering[..n - 1].fill(0),
-                }
-                self.entering[n - 1] = input;
-
-                // (2) Window shift; the evicted column heads to the codec.
-                self.window.shift_into(&self.entering, &mut self.evicted);
-
-                // (3) Stage the evicted column; encode when the codec's
-                //     group is full.
-                for (dst, &src) in self.staging[self.staged].iter_mut().zip(&self.evicted) {
-                    *dst = <C::Sample as Sample>::from_pixel(src);
-                }
-                self.staged += 1;
-                if self.staged == self.group {
-                    self.staged = 0;
-                    self.push_group(cycle)?;
-                }
-
-                // (4) Kernel output once the window is fully interior.
-                if r + 1 >= n && c + 1 >= n {
-                    out.set(c + 1 - n, r + 1 - n, kernel.apply(&self.window.view()));
-                }
-                cycle += 1;
-            }
+    /// Feed the next row of the open streamed frame.
+    ///
+    /// # Errors
+    ///
+    /// [`SwError::Config`] when no stream is open, the row length or
+    /// kernel mismatch the configuration, or more rows arrive than
+    /// [`begin_frame`](Self::begin_frame) declared. Datapath errors
+    /// propagate exactly as from
+    /// [`process_frame`](Self::process_frame). Any error aborts the
+    /// stream: subsequent calls fail until a new `begin_frame`.
+    pub fn push_row(&mut self, row: &[Pixel], kernel: &dyn WindowKernel) -> Result<()> {
+        let n = self.cfg.window;
+        let Some(mut st) = self.stream.take() else {
+            return Err(SwError::config(
+                "push_row called without an open begin_frame stream".to_string(),
+            ));
+        };
+        if row.len() != self.cfg.width {
+            return Err(SwError::config(format!(
+                "image width {} does not match the configured width {}",
+                row.len(),
+                self.cfg.width
+            )));
         }
+        if kernel.window_size() != n {
+            return Err(SwError::config(format!(
+                "kernel window size {} does not match the architecture window {n}",
+                kernel.window_size()
+            )));
+        }
+        if st.rows_in >= st.height {
+            return Err(SwError::config(format!(
+                "row {} exceeds the declared frame height {}",
+                st.rows_in, st.height
+            )));
+        }
+        let delay = self.cfg.fifo_depth() as u64; // W − N cycles
+        let r = st.rows_in;
+        for (c, &input) in row.iter().enumerate() {
+            // (1) Memory unit read: the column that exited `delay`
+            //     cycles ago re-enters, shifted one row up.
+            let delivered = if st.cycle >= delay {
+                self.deliver(st.cycle - delay)?
+            } else {
+                None
+            };
+            match delivered {
+                Some(col) => {
+                    self.entering[..n - 1].copy_from_slice(&col[1..]);
+                    // The column buffer is spent: recycle it into the
+                    // decode scratch pool instead of freeing it.
+                    self.spare_cols.push(col);
+                }
+                None => self.entering[..n - 1].fill(0),
+            }
+            self.entering[n - 1] = input;
 
+            // (2) Window shift; the evicted column heads to the codec.
+            self.window.shift_into(&self.entering, &mut self.evicted);
+
+            // (3) Stage the evicted column; encode when the codec's
+            //     group is full.
+            for (dst, &src) in self.staging[self.staged].iter_mut().zip(&self.evicted) {
+                *dst = <C::Sample as Sample>::from_pixel(src);
+            }
+            self.staged += 1;
+            if self.staged == self.group {
+                self.staged = 0;
+                self.push_group(st.cycle)?;
+            }
+
+            // (4) Kernel output once the window is fully interior.
+            if r + 1 >= n && c + 1 >= n {
+                st.out
+                    .set(c + 1 - n, r + 1 - n, kernel.apply(&self.window.view()));
+            }
+            st.cycle += 1;
+        }
+        st.rows_in += 1;
+        self.stream = Some(st);
+        Ok(())
+    }
+
+    /// Close the open streamed frame and collect its output and
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`SwError::Config`] when no stream is open or fewer rows arrived
+    /// than [`begin_frame`](Self::begin_frame) declared.
+    pub fn finish_frame(&mut self) -> Result<FrameOutput> {
+        let Some(st) = self.stream.take() else {
+            return Err(SwError::config(
+                "finish_frame called without an open begin_frame stream".to_string(),
+            ));
+        };
+        if st.rows_in != st.height {
+            return Err(SwError::config(format!(
+                "stream finished after {} of {} declared rows",
+                st.rows_in, st.height
+            )));
+        }
+        let cycle = st.cycle;
         self.m_cycles.add(cycle);
         self.m_window_shifts.add(cycle); // one shift per input pixel
         self.telemetry
             .trace(TraceEvent::new(cycle, TraceKind::FrameEnd, cycle, 0));
 
-        // Flush the per-frame stage aggregates while the frame span is
-        // still open, so they land under "frame/…" in the span tree.
+        // Flush the per-frame stage aggregates while any enclosing frame
+        // span is still open, so they land under "frame/…" in the span
+        // tree when driven by `process_frame`.
         if self.prof.encode_calls > 0 {
             self.telemetry
                 .profile_record("encode", self.prof.encode_ns, self.prof.encode_calls);
@@ -574,7 +712,6 @@ impl<C: LineCodec> SlidingWindow<C> {
             self.telemetry
                 .profile_record("decode", self.prof.decode_ns, self.prof.decode_calls);
         }
-        drop(frame_span);
 
         let management_bits = self.kind.management_bits(&self.cfg);
         let (stall_cycles, t_escalations, mu_overflows) = match &self.memory_unit {
@@ -597,7 +734,10 @@ impl<C: LineCodec> SlidingWindow<C> {
             stall_cycles,
             t_escalations,
         };
-        Ok(FrameOutput { image: out, stats })
+        Ok(FrameOutput {
+            image: st.out,
+            stats,
+        })
     }
 
     /// Encode the staged group, resolve the memory unit's overflow policy
@@ -825,6 +965,7 @@ impl<C: LineCodec> SlidingWindow<C> {
     /// escalation persists only to the end of its frame: the configured
     /// base threshold is restored here.
     pub fn reset(&mut self) {
+        self.stream = None;
         self.window.clear();
         if self.cfg.threshold != self.base_threshold {
             self.cfg.threshold = self.base_threshold;
@@ -860,6 +1001,18 @@ impl<C: LineCodec> SlidingWindow<C> {
 impl<C: LineCodec> SlidingWindowArch for SlidingWindow<C> {
     fn process_frame(&mut self, img: &ImageU8, kernel: &dyn WindowKernel) -> Result<FrameOutput> {
         SlidingWindow::process_frame(self, img, kernel)
+    }
+
+    fn begin_frame(&mut self, height: usize) -> Result<()> {
+        SlidingWindow::begin_frame(self, height)
+    }
+
+    fn push_row(&mut self, row: &[Pixel], kernel: &dyn WindowKernel) -> Result<()> {
+        SlidingWindow::push_row(self, row, kernel)
+    }
+
+    fn finish_frame(&mut self) -> Result<FrameOutput> {
+        SlidingWindow::finish_frame(self)
     }
 
     fn reset(&mut self) {
@@ -974,6 +1127,65 @@ mod tests {
             assert_eq!(out.stats.cycles, 64 * 40, "{kind:?} cycles");
             assert_eq!(arch.codec_kind(), kind);
         }
+    }
+
+    #[test]
+    fn row_streaming_matches_whole_frame_per_codec() {
+        // The serving layer's streamed-job contract: pushing rows one at
+        // a time through begin/push/finish is byte-identical to one
+        // process_frame call — image, stats, and threshold behavior.
+        let img = test_image(64, 40);
+        let kernel = BoxFilter::new(8);
+        for kind in LineCodecKind::ALL {
+            for threshold in [0, 4] {
+                let cfg = ArchConfig::new(8, 64)
+                    .with_codec(kind)
+                    .with_threshold(threshold);
+                let whole = build_arch(&cfg)
+                    .unwrap()
+                    .process_frame(&img, &kernel)
+                    .unwrap();
+                let mut arch = build_arch(&cfg).unwrap();
+                arch.begin_frame(img.height()).unwrap();
+                for r in 0..img.height() {
+                    arch.push_row(img.row(r), &kernel).unwrap();
+                }
+                let streamed = arch.finish_frame().unwrap();
+                assert_eq!(
+                    streamed.image.pixels(),
+                    whole.image.pixels(),
+                    "{kind:?} T={threshold} streamed output"
+                );
+                assert_eq!(
+                    streamed.stats.fields(),
+                    whole.stats.fields(),
+                    "{kind:?} T={threshold} streamed stats"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_misuse_is_typed_and_recoverable() {
+        let img = test_image(64, 40);
+        let kernel = BoxFilter::new(8);
+        let cfg = ArchConfig::new(8, 64).with_codec(LineCodecKind::Haar);
+        let mut arch = build_arch(&cfg).unwrap();
+        // No stream open.
+        assert!(arch.push_row(img.row(0), &kernel).is_err());
+        assert!(arch.finish_frame().is_err());
+        // Too few rows.
+        arch.begin_frame(img.height()).unwrap();
+        arch.push_row(img.row(0), &kernel).unwrap();
+        assert!(arch.finish_frame().is_err());
+        // A short row aborts the stream; later pushes fail typed.
+        arch.begin_frame(img.height()).unwrap();
+        assert!(arch.push_row(&img.row(0)[..10], &kernel).is_err());
+        assert!(arch.push_row(img.row(0), &kernel).is_err());
+        // The architecture recovers fully for the next frame.
+        let direct = direct_sliding_window(&img, &kernel);
+        let out = arch.process_frame(&img, &kernel).unwrap();
+        assert_eq!(out.image, direct);
     }
 
     #[test]

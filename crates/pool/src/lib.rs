@@ -6,7 +6,10 @@
 //! condvar parking, and a *caller-helps* batch primitive
 //! ([`ThreadPool::par_map_indexed`]) that guarantees forward progress even
 //! with zero workers — the calling thread claims and runs items itself, so
-//! nested parallel calls can never deadlock.
+//! nested parallel calls can never deadlock. A fire-and-forget
+//! [`ThreadPool::spawn`] rides the same queues for detached closures (the
+//! serving reactor's dispatch primitive); with zero workers it degenerates
+//! to inline execution on the caller.
 //!
 //! # Scheduling model
 //!
@@ -138,6 +141,14 @@ struct Ticket {
     work: WorkPtr,
 }
 
+/// One unit of queued work: either a batch ticket (caller-helps, borrowed
+/// from a blocked `par_map_indexed` frame) or a detached owned closure
+/// submitted via [`ThreadPool::spawn`].
+enum Task {
+    Batch(Ticket),
+    Detached(Box<dyn FnOnce() + Send + 'static>),
+}
+
 impl Ticket {
     /// Claim-and-run items until the batch counter is exhausted.
     fn run(&self, shared: &Shared, is_worker: bool) {
@@ -167,6 +178,8 @@ struct StatsCells {
     injected: AtomicU64,
     local_pushes: AtomicU64,
     queue_depth_high_water: AtomicU64,
+    detached: AtomicU64,
+    detached_panics: AtomicU64,
 }
 
 /// A point-in-time snapshot of a pool's scheduling counters.
@@ -190,13 +203,17 @@ pub struct PoolStats {
     pub local_pushes: u64,
     /// High-water mark of tickets simultaneously queued.
     pub queue_depth_high_water: u64,
+    /// Detached closures executed via [`ThreadPool::spawn`].
+    pub detached: u64,
+    /// Detached closures that panicked (caught; the worker survives).
+    pub detached_panics: u64,
 }
 
 struct Shared {
     /// Identity used to match `WORKER` thread-locals to this pool.
     pool_id: u64,
-    injector: Mutex<VecDeque<Ticket>>,
-    locals: Vec<Mutex<VecDeque<Ticket>>>,
+    injector: Mutex<VecDeque<Task>>,
+    locals: Vec<Mutex<VecDeque<Task>>>,
     /// Tickets currently queued anywhere (injector + locals).
     pending: AtomicUsize,
     sleep: Mutex<()>,
@@ -220,20 +237,17 @@ impl Shared {
             .and_then(|(id, idx)| (id == self.pool_id).then_some(idx))
     }
 
-    fn push(&self, ticket: Ticket) {
+    fn push(&self, task: Task) {
         match self.worker_index() {
             Some(idx) => {
                 self.locals[idx]
                     .lock()
                     .expect("local deque lock")
-                    .push_back(ticket);
+                    .push_back(task);
                 self.stats.local_pushes.fetch_add(1, Ordering::Relaxed);
             }
             None => {
-                self.injector
-                    .lock()
-                    .expect("injector lock")
-                    .push_back(ticket);
+                self.injector.lock().expect("injector lock").push_back(task);
                 self.stats.injected.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -245,9 +259,9 @@ impl Shared {
         self.wake.notify_all();
     }
 
-    /// Pop a ticket: own deque first (LIFO), then the injector, then steal
+    /// Pop a task: own deque first (LIFO), then the injector, then steal
     /// from siblings (FIFO).
-    fn take(&self, me: Option<usize>) -> Option<Ticket> {
+    fn take(&self, me: Option<usize>) -> Option<Task> {
         if let Some(m) = me {
             if let Some(t) = self.locals[m].lock().expect("local deque lock").pop_back() {
                 self.pending.fetch_sub(1, Ordering::SeqCst);
@@ -270,6 +284,20 @@ impl Shared {
         }
         None
     }
+
+    /// Execute one dequeued task. Detached closures run under
+    /// `catch_unwind` so a panicking submission can never kill a worker.
+    fn run_task(&self, task: Task, is_worker: bool) {
+        match task {
+            Task::Batch(ticket) => ticket.run(self, is_worker),
+            Task::Detached(f) => {
+                self.stats.detached.fetch_add(1, Ordering::Relaxed);
+                if panic::catch_unwind(AssertUnwindSafe(f)).is_err() {
+                    self.stats.detached_panics.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
 }
 
 fn worker_main(shared: Arc<Shared>, me: usize) {
@@ -278,8 +306,8 @@ fn worker_main(shared: Arc<Shared>, me: usize) {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        if let Some(ticket) = shared.take(Some(me)) {
-            ticket.run(&shared, true);
+        if let Some(task) = shared.take(Some(me)) {
+            shared.run_task(task, true);
             continue;
         }
         let guard = shared.sleep.lock().expect("sleep lock");
@@ -373,7 +401,28 @@ impl ThreadPool {
             injected: s.injected.load(Ordering::Relaxed),
             local_pushes: s.local_pushes.load(Ordering::Relaxed),
             queue_depth_high_water: s.queue_depth_high_water.load(Ordering::Relaxed),
+            detached: s.detached.load(Ordering::Relaxed),
+            detached_panics: s.detached_panics.load(Ordering::Relaxed),
         }
+    }
+
+    /// Submit a detached closure for execution on a worker thread.
+    ///
+    /// Unlike [`par_map_indexed`](Self::par_map_indexed) this does not
+    /// block: the closure is queued and the call returns immediately. With
+    /// zero workers (`jobs == 1`) the closure runs inline on the caller —
+    /// there is no other thread that could ever drain it. Panics inside
+    /// the closure are caught and counted in [`PoolStats::detached_panics`];
+    /// they never poison the pool or kill a worker.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        if self.workers() == 0 {
+            self.shared.run_task(Task::Detached(Box::new(f)), false);
+            return;
+        }
+        self.shared.push(Task::Detached(Box::new(f)));
     }
 
     /// Run `f(0..len)` across the pool, returning results in index order.
@@ -416,10 +465,10 @@ impl ThreadPool {
         };
         // One ticket per worker that could usefully help.
         for _ in 0..self.workers().min(len) {
-            self.shared.push(Ticket {
+            self.shared.push(Task::Batch(Ticket {
                 state: state.clone(),
                 work,
-            });
+            }));
         }
         // The caller helps until the claim counter is exhausted…
         Ticket {
@@ -691,6 +740,51 @@ mod tests {
         assert!(stats.queue_depth_high_water >= 1);
         assert!(stats.queue_depth_high_water <= 64);
         assert_eq!(stats.batches, 1);
+    }
+
+    #[test]
+    fn spawn_runs_detached_work() {
+        let pool = ThreadPool::new(2);
+        let (tx, rx) = std::sync::mpsc::channel();
+        for i in 0..8usize {
+            let tx = tx.clone();
+            pool.spawn(move || tx.send(i).expect("receiver alive"));
+        }
+        let mut got: Vec<usize> = (0..8)
+            .map(|_| {
+                rx.recv_timeout(Duration::from_secs(10))
+                    .expect("detached task ran")
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        assert_eq!(pool.stats().detached, 8);
+        assert_eq!(pool.stats().detached_panics, 0);
+    }
+
+    #[test]
+    fn spawn_runs_inline_with_zero_workers() {
+        let pool = ThreadPool::new(1);
+        let caller = thread::current().id();
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.spawn(move || tx.send(thread::current().id()).expect("receiver alive"));
+        // Inline execution: the result is already there, on the caller.
+        assert_eq!(rx.try_recv().expect("ran inline"), caller);
+        assert_eq!(pool.stats().detached, 1);
+    }
+
+    #[test]
+    fn spawn_panic_is_contained() {
+        let pool = ThreadPool::new(2);
+        pool.spawn(|| panic!("detached boom"));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.stats().detached_panics == 0 {
+            assert!(Instant::now() < deadline, "panic never recorded");
+            thread::yield_now();
+        }
+        // The worker survives and the pool stays usable.
+        assert_eq!(pool.par_map_indexed(3, |i| i), vec![0, 1, 2]);
+        assert_eq!(pool.stats().detached_panics, 1);
     }
 
     #[test]

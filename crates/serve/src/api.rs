@@ -344,6 +344,167 @@ impl JobRequest {
     }
 }
 
+/// Header opening a row-streaming job (v2): everything a [`JobRequest`]
+/// carries except the pixels. Dimensions travel up front so the daemon
+/// admits the job (and reserves its bit budget) before the first row
+/// arrives; rows then follow as [`RowChunk`] frames in raster order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOpen {
+    /// Tenant the job is accounted to (admission control key).
+    pub tenant: String,
+    /// Execution parameters.
+    pub spec: JobSpec,
+    /// Frame width in pixels — fixed for the whole stream.
+    pub width: u32,
+    /// Total rows the stream will deliver.
+    pub height: u32,
+    /// Whether the final [`JobResponse`] should carry the output pixels.
+    pub want_frame: bool,
+}
+
+impl StreamOpen {
+    /// Canonical encoding (the payload of a
+    /// [`crate::wire::MsgKind::StreamOpen`] frame).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_str(&self.tenant);
+        self.spec.encode_into(&mut w);
+        w.put_u32(self.width);
+        w.put_u32(self.height);
+        w.put_u8(u8::from(self.want_frame));
+        w.into_bytes()
+    }
+
+    /// Decode a canonical encoding. Total: every malformed input is a
+    /// typed [`WireError`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut rd = ByteReader::new(bytes);
+        let tenant = rd.get_str(MAX_TENANT_BYTES)?;
+        if tenant.is_empty() {
+            return Err(WireError::Corrupt("tenant name must be non-empty".into()));
+        }
+        let spec = JobSpec::decode_from(&mut rd)?;
+        let width = rd.get_u32()?;
+        let height = rd.get_u32()?;
+        if width == 0 || height == 0 || width > MAX_DIM || height > MAX_DIM {
+            return Err(WireError::Corrupt(format!(
+                "stream dimensions {width}x{height} outside 1..={MAX_DIM}"
+            )));
+        }
+        let want_frame = match rd.get_u8()? {
+            0 => false,
+            1 => true,
+            t => {
+                return Err(WireError::BadTag {
+                    what: "want_frame flag",
+                    tag: u32::from(t),
+                })
+            }
+        };
+        rd.finish()?;
+        Ok(Self {
+            tenant,
+            spec,
+            width,
+            height,
+            want_frame,
+        })
+    }
+}
+
+/// A run of consecutive rows for the open streaming job (v2).
+///
+/// Chunks are densely sequenced (`seq` 0, 1, 2, …) and carry their
+/// absolute position so the daemon can detect gaps, replays and
+/// reordering as typed protocol errors instead of silently corrupting
+/// the window state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowChunk {
+    /// 0-based chunk sequence number, strictly increasing by one.
+    pub seq: u32,
+    /// Row index of the first row in this chunk.
+    pub first_row: u32,
+    /// Rows in this chunk.
+    pub rows: u32,
+    /// `rows × width` bytes, row-major (width is fixed by the
+    /// [`StreamOpen`] header).
+    pub pixels: Vec<u8>,
+}
+
+impl RowChunk {
+    /// Canonical encoding (the payload of a
+    /// [`crate::wire::MsgKind::RowChunk`] frame).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(self.seq);
+        w.put_u32(self.first_row);
+        w.put_u32(self.rows);
+        w.put_bytes(&self.pixels);
+        w.into_bytes()
+    }
+
+    /// Decode a canonical encoding. The pixel count is validated against
+    /// the declared row count up to divisibility here; the daemon checks
+    /// the exact `rows × width` product against its per-job header.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut rd = ByteReader::new(bytes);
+        let seq = rd.get_u32()?;
+        let first_row = rd.get_u32()?;
+        let rows = rd.get_u32()?;
+        if rows == 0 || rows > MAX_DIM {
+            return Err(WireError::Corrupt(format!(
+                "row chunk declares {rows} rows, outside 1..={MAX_DIM}"
+            )));
+        }
+        let pixels = rd.get_bytes(MAX_DIM as usize * MAX_DIM as usize)?;
+        if pixels.is_empty() || pixels.len() % rows as usize != 0 {
+            return Err(WireError::Corrupt(format!(
+                "row chunk carries {} pixel bytes, not divisible into {rows} rows",
+                pixels.len()
+            )));
+        }
+        rd.finish()?;
+        Ok(Self {
+            seq,
+            first_row,
+            rows,
+            pixels,
+        })
+    }
+}
+
+/// Flow-control credit for a streaming job (v2): the daemon has fully
+/// *processed* (not merely buffered) every chunk up to and including
+/// `seq`. Clients keep a bounded number of unacknowledged chunks in
+/// flight, which is what bounds daemon-side memory per connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowAck {
+    /// Highest chunk sequence number fully processed.
+    pub seq: u32,
+    /// Cumulative rows processed so far (progress reporting).
+    pub rows_done: u64,
+}
+
+impl RowAck {
+    /// Canonical encoding (the payload of a
+    /// [`crate::wire::MsgKind::RowAck`] frame).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(self.seq);
+        w.put_u64(self.rows_done);
+        w.into_bytes()
+    }
+
+    /// Decode a canonical encoding.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut rd = ByteReader::new(bytes);
+        let seq = rd.get_u32()?;
+        let rows_done = rd.get_u64()?;
+        rd.finish()?;
+        Ok(Self { seq, rows_done })
+    }
+}
+
 /// What the daemon reports back for one completed job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobResponse {

@@ -14,9 +14,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::api::{JobError, JobRequest, JobResponse};
+use crate::api::{JobError, JobRequest, JobResponse, RowAck, RowChunk, StreamOpen};
 use crate::daemon::Listen;
 use crate::wire::{read_frame, write_frame, MsgKind, WireError};
+
+/// Client-side flow control for streamed jobs: at most this many
+/// `RowChunk` frames may be outstanding (sent but not yet covered by a
+/// `RowAck`). Acks mean *processed*, so the window bounds daemon-side
+/// buffering as well as the client's own send burst.
+pub const STREAM_WINDOW: usize = 8;
 
 /// A client-side failure: transport/protocol trouble or a typed job error
 /// from the daemon.
@@ -87,6 +93,8 @@ impl Write for Stream {
 /// One connection to a daemon; requests are serial per connection.
 pub struct Client {
     stream: Stream,
+    /// Last `RowAck` sequence seen for the stream in flight, if any.
+    acked_seq: Option<u32>,
 }
 
 impl Client {
@@ -102,7 +110,10 @@ impl Client {
             }
             Listen::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
         };
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            acked_seq: None,
+        })
     }
 
     fn round_trip(
@@ -125,6 +136,92 @@ impl Client {
             (MsgKind::JobOk, payload) => Ok(JobResponse::decode(&payload)?),
             (MsgKind::JobErr, payload) => Err(ClientError::Job(JobError::decode(&payload)?)),
             (kind, _) => Err(ClientError::Unexpected(kind)),
+        }
+    }
+
+    /// Submit one job in row-streaming mode (protocol v2): a
+    /// `StreamOpen` header, the frame pipelined as `RowChunk`s of
+    /// `chunk_rows` rows each under the [`STREAM_WINDOW`] ack window,
+    /// and the final `JobDone` carrying the same [`JobResponse`] a
+    /// whole-frame [`Client::submit`] would have produced.
+    pub fn submit_streamed(
+        &mut self,
+        req: &JobRequest,
+        chunk_rows: u32,
+    ) -> Result<JobResponse, ClientError> {
+        let chunk_rows = chunk_rows.max(1);
+        let open = StreamOpen {
+            tenant: req.tenant.clone(),
+            spec: req.spec.clone(),
+            width: req.frame.width,
+            height: req.frame.height,
+            want_frame: req.want_frame,
+        };
+        self.acked_seq = None;
+        write_frame(&mut self.stream, MsgKind::StreamOpen, &open.encode())?;
+        let width = req.frame.width as usize;
+        let height = req.frame.height;
+        let mut seq: u32 = 0;
+        let mut first_row: u32 = 0;
+        while first_row < height {
+            let rows = chunk_rows.min(height - first_row);
+            let lo = first_row as usize * width;
+            let hi = lo + rows as usize * width;
+            let chunk = RowChunk {
+                seq,
+                first_row,
+                rows,
+                pixels: req.frame.pixels[lo..hi].to_vec(),
+            };
+            write_frame(&mut self.stream, MsgKind::RowChunk, &chunk.encode())?;
+            seq += 1;
+            first_row += rows;
+            // One ack can cover several chunks (the daemon processes the
+            // backlog in one step), so outstanding is recomputed from the
+            // acked sequence number, not decremented.
+            while self.outstanding(seq)? >= STREAM_WINDOW as u64 {
+                match self.read_reply()? {
+                    (MsgKind::RowAck, payload) => {
+                        let ack = RowAck::decode(&payload)?;
+                        self.acked_seq = Some(ack.seq);
+                    }
+                    (MsgKind::JobErr, payload) => {
+                        return Err(ClientError::Job(JobError::decode(&payload)?))
+                    }
+                    (kind, _) => return Err(ClientError::Unexpected(kind)),
+                }
+            }
+        }
+        // All rows sent; drain acks until the terminal frame.
+        loop {
+            match self.read_reply()? {
+                (MsgKind::RowAck, _) => continue,
+                (MsgKind::JobDone, payload) => {
+                    self.acked_seq = None;
+                    return Ok(JobResponse::decode(&payload)?);
+                }
+                (MsgKind::JobErr, payload) => {
+                    return Err(ClientError::Job(JobError::decode(&payload)?))
+                }
+                (kind, _) => return Err(ClientError::Unexpected(kind)),
+            }
+        }
+    }
+
+    /// Chunks sent but not yet acked, given the next sequence number.
+    fn outstanding(&self, next_seq: u32) -> Result<u64, ClientError> {
+        Ok(match self.acked_seq {
+            None => u64::from(next_seq),
+            Some(acked) => u64::from(next_seq) - (u64::from(acked) + 1),
+        })
+    }
+
+    fn read_reply(&mut self) -> Result<(MsgKind, Vec<u8>), ClientError> {
+        match read_frame(&mut self.stream)? {
+            Some(frame) => Ok(frame),
+            None => Err(ClientError::Wire(WireError::Io(
+                "daemon closed the connection mid-stream".into(),
+            ))),
         }
     }
 
@@ -161,6 +258,9 @@ pub struct LoadConfig {
     pub concurrency: usize,
     /// Total requests across all connections.
     pub requests: u64,
+    /// When set, submit every job in row-streaming mode with this many
+    /// rows per `RowChunk`; `None` keeps whole-frame submission.
+    pub stream_chunk_rows: Option<u32>,
 }
 
 /// What a load run measured.
@@ -233,6 +333,7 @@ pub fn load_run(
     cfg: &LoadConfig,
 ) -> Result<LoadReport, ClientError> {
     let remaining = Arc::new(AtomicU64::new(cfg.requests));
+    let stream_chunk_rows = cfg.stream_chunk_rows;
     let merged = Arc::new(Mutex::new(LoadReport::default()));
     let started = Instant::now();
     let mut threads = Vec::new();
@@ -261,7 +362,11 @@ pub fn load_run(
                     break;
                 }
                 let t0 = Instant::now();
-                match client.submit(&req) {
+                let outcome = match stream_chunk_rows {
+                    Some(rows) => client.submit_streamed(&req, rows),
+                    None => client.submit(&req),
+                };
+                match outcome {
                     Ok(resp) => {
                         local.ok += 1;
                         if resp.degraded {

@@ -9,11 +9,12 @@
 
 use std::time::Instant;
 
-use crate::api::{FramePayload, JobError, JobRequest, JobResponse};
+use crate::api::{FramePayload, JobError, JobRequest, JobResponse, StreamOpen};
 use sw_core::analysis::measure_frame;
-use sw_core::arch::build_arch;
+use sw_core::arch::{build_arch, SlidingWindowArch};
 use sw_core::digest::{image_digest, stats_digest};
 use sw_core::integral::{analyze_integral, IntegralConfig, Workload};
+use sw_core::kernels::WindowKernel;
 use sw_core::memory_unit::MemoryUnitConfig;
 use sw_core::planner::{plan, MgmtAccounting};
 use sw_core::shard::{ShardedFrameRunner, DEFAULT_STRIPS};
@@ -221,6 +222,226 @@ struct RunStats {
     memory_saving_pct: f64,
 }
 
+/// One row-streaming job in flight.
+///
+/// Two execution modes behind one surface, chosen at [`begin`]:
+///
+/// - **Live**: rows feed a [`SlidingWindowArch::push_row`] datapath as
+///   they arrive — the paper's line-granular shape. Available for window
+///   jobs running the sequential architecture without a memory unit
+///   (`jobs <= 1`, no overflow policy): the memory-unit planner needs a
+///   whole-frame lossless probe and the sharded runner needs the full
+///   strip, so neither can start before the last row.
+/// - **Buffered**: rows accumulate and the whole-frame [`execute`] path
+///   runs at [`finish`]. This is how *every* job spec — sharded,
+///   memory-unit-budgeted, integral — is streamable with byte-identical
+///   results to its whole-frame twin.
+///
+/// Either way the response is indistinguishable from the equivalent
+/// [`JobRequest`]: same digests, same stats, same frame bytes.
+///
+/// [`begin`]: StreamRun::begin
+/// [`finish`]: StreamRun::finish
+pub struct StreamRun {
+    tenant: String,
+    open: StreamOpen,
+    rows_in: usize,
+    /// Nanoseconds spent inside the datapath (excludes wire wait).
+    exec_ns: u64,
+    mode: StreamMode,
+}
+
+enum StreamMode {
+    Live {
+        arch: Box<dyn SlidingWindowArch + Send>,
+        kernel: Box<dyn WindowKernel>,
+        /// Lossy jobs keep the input for the response's MSE field (the
+        /// datapath itself still streams row-by-row).
+        input_copy: Option<Vec<u8>>,
+    },
+    Buffered {
+        pixels: Vec<u8>,
+    },
+}
+
+impl StreamRun {
+    /// Open a streaming job: validate the spec against the declared
+    /// geometry and decide the execution mode.
+    pub fn begin(open: &StreamOpen, tele: &TelemetryHandle) -> Result<Self, JobError> {
+        let width = open.width as usize;
+        let height = open.height as usize;
+        let spec = &open.spec;
+        if spec.workload == Workload::Window && width <= spec.window + 1 {
+            return Err(JobError::Config(format!(
+                "image width {width} too small for window {}",
+                spec.window
+            )));
+        }
+        let live =
+            spec.workload == Workload::Window && spec.jobs <= 1 && spec.overflow_policy.is_none();
+        let mode = if live {
+            let cfg = spec.arch_config(width).map_err(|e| JobError::from_sw(&e))?;
+            let mut arch = build_arch(&cfg).map_err(|e| JobError::from_sw(&e))?;
+            arch.bind_telemetry(tele, "serve");
+            arch.begin_frame(height)
+                .map_err(|e| JobError::from_sw(&e))?;
+            StreamMode::Live {
+                arch,
+                kernel: spec.kernel.build(spec.window),
+                input_copy: (spec.threshold > 0).then(|| Vec::with_capacity(width * height)),
+            }
+        } else {
+            if spec.workload == Workload::Window {
+                // Validate the geometry up front so a bad spec fails at
+                // open time in both modes, not after the last row.
+                spec.arch_config(width).map_err(|e| JobError::from_sw(&e))?;
+            }
+            StreamMode::Buffered {
+                pixels: Vec::with_capacity(width * height),
+            }
+        };
+        Ok(Self {
+            tenant: open.tenant.clone(),
+            open: open.clone(),
+            rows_in: 0,
+            exec_ns: 0,
+            mode,
+        })
+    }
+
+    /// Whether rows drive a live window datapath (vs. buffering).
+    pub fn is_live(&self) -> bool {
+        matches!(self.mode, StreamMode::Live { .. })
+    }
+
+    /// Rows consumed so far.
+    pub fn rows_in(&self) -> usize {
+        self.rows_in
+    }
+
+    /// Feed `pixels` (whole rows, row-major) into the job; returns the
+    /// number of rows consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Malformed`] when the byte count is not a whole number
+    /// of rows or the stream overruns its declared height;
+    /// [`JobError::Execution`] for datapath failures (live mode).
+    pub fn push_rows(&mut self, pixels: &[u8]) -> Result<usize, JobError> {
+        let width = self.open.width as usize;
+        let height = self.open.height as usize;
+        if pixels.is_empty() || !pixels.len().is_multiple_of(width) {
+            return Err(JobError::Malformed(format!(
+                "row chunk of {} bytes is not a whole number of {width}-byte rows",
+                pixels.len()
+            )));
+        }
+        let rows = pixels.len() / width;
+        if self.rows_in + rows > height {
+            return Err(JobError::Malformed(format!(
+                "stream overruns its declared height: {} rows after {} of {height}",
+                rows, self.rows_in
+            )));
+        }
+        let started = Instant::now();
+        match &mut self.mode {
+            StreamMode::Live {
+                arch,
+                kernel,
+                input_copy,
+            } => {
+                if let Some(copy) = input_copy {
+                    copy.extend_from_slice(pixels);
+                }
+                for row in pixels.chunks_exact(width) {
+                    arch.push_row(row, kernel.as_ref())
+                        .map_err(|e| JobError::from_sw(&e))?;
+                }
+            }
+            StreamMode::Buffered { pixels: buf } => buf.extend_from_slice(pixels),
+        }
+        self.rows_in += rows;
+        self.exec_ns += started.elapsed().as_nanos() as u64;
+        Ok(rows)
+    }
+
+    /// Close the stream after all declared rows arrived and produce the
+    /// job's response — byte-identical to the whole-frame path.
+    pub fn finish(
+        self,
+        pool: &ThreadPool,
+        tele: &TelemetryHandle,
+    ) -> Result<JobResponse, JobError> {
+        let width = self.open.width as usize;
+        let height = self.open.height as usize;
+        if self.rows_in != height {
+            return Err(JobError::Malformed(format!(
+                "stream closed after {} of {height} declared rows",
+                self.rows_in
+            )));
+        }
+        let spec = self.open.spec;
+        let started = Instant::now();
+        match self.mode {
+            StreamMode::Live {
+                mut arch,
+                input_copy,
+                ..
+            } => {
+                let out = arch.finish_frame().map_err(|e| JobError::from_sw(&e))?;
+                let out_image = out.image;
+                let stats = &out.stats;
+                let lossy = spec.threshold > 0 || stats.t_escalations > 0;
+                let mse_val = match (lossy, input_copy) {
+                    (true, Some(copy)) => {
+                        let img = ImageU8::from_vec(width, height, copy);
+                        let crop = img.crop(0, 0, out_image.width(), out_image.height());
+                        mse(&out_image, &crop)
+                    }
+                    _ => 0.0,
+                };
+                Ok(JobResponse {
+                    workload: Workload::Window,
+                    digest: image_digest(&out_image),
+                    stats_digest: stats_digest(stats),
+                    out_width: out_image.width() as u32,
+                    out_height: out_image.height() as u32,
+                    effective_threshold: spec.threshold,
+                    degraded: false,
+                    t_escalations: stats.t_escalations,
+                    stall_cycles: stats.stall_cycles,
+                    overflow_events: stats.overflow_events as u64,
+                    peak_payload_occupancy: stats.peak_payload_occupancy,
+                    management_bits: stats.management_bits,
+                    memory_saving_pct: stats.memory_saving_pct(),
+                    mse: mse_val,
+                    queue_ns: 0,
+                    exec_ns: self.exec_ns + started.elapsed().as_nanos() as u64,
+                    frame: self
+                        .open
+                        .want_frame
+                        .then(|| FramePayload::from_image(&out_image)),
+                })
+            }
+            StreamMode::Buffered { pixels } => {
+                let req = JobRequest {
+                    tenant: self.tenant,
+                    spec,
+                    frame: FramePayload {
+                        width: self.open.width,
+                        height: self.open.height,
+                        pixels,
+                    },
+                    want_frame: self.open.want_frame,
+                };
+                let mut resp = execute(&req, pool, tele)?;
+                resp.exec_ns += self.exec_ns;
+                Ok(resp)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +511,111 @@ mod tests {
             }
             other => panic!("expected config error, got {other:?}"),
         }
+    }
+
+    fn stream_replay(
+        spec: &JobSpec,
+        img: &ImageU8,
+        chunk_rows: usize,
+        pool: &ThreadPool,
+    ) -> Result<(JobResponse, bool), JobError> {
+        let tele = TelemetryHandle::disabled();
+        let open = StreamOpen {
+            tenant: "t".into(),
+            spec: spec.clone(),
+            width: img.width() as u32,
+            height: img.height() as u32,
+            want_frame: false,
+        };
+        let mut run = StreamRun::begin(&open, &tele)?;
+        let live = run.is_live();
+        let w = img.width();
+        for chunk in img.pixels().chunks(chunk_rows * w) {
+            run.push_rows(chunk)?;
+        }
+        Ok((run.finish(pool, &tele)?, live))
+    }
+
+    #[test]
+    fn streamed_jobs_match_whole_frame_execution() {
+        let img = test_image(64, 48);
+        let pool = ThreadPool::new(4);
+        let tele = TelemetryHandle::disabled();
+        // (spec, expect live datapath): lossless live, lossy live,
+        // sharded buffered, integral buffered.
+        let cases = [
+            (JobSpec::default(), true),
+            (
+                JobSpec {
+                    threshold: 4,
+                    ..JobSpec::default()
+                },
+                true,
+            ),
+            (
+                JobSpec {
+                    jobs: 4,
+                    ..JobSpec::default()
+                },
+                false,
+            ),
+            (
+                JobSpec {
+                    workload: Workload::Integral,
+                    window: 8,
+                    ..JobSpec::default()
+                },
+                false,
+            ),
+        ];
+        for (spec, want_live) in cases {
+            let whole = execute(&request(spec.clone(), &img), &pool, &tele).unwrap();
+            for chunk_rows in [1, 5, 48] {
+                let (streamed, live) =
+                    stream_replay(&spec, &img, chunk_rows, &pool).expect("stream runs");
+                assert_eq!(live, want_live, "{spec:?} mode");
+                assert_eq!(streamed.digest, whole.digest, "{spec:?} digest");
+                assert_eq!(streamed.stats_digest, whole.stats_digest, "{spec:?} stats");
+                assert_eq!(streamed.mse, whole.mse, "{spec:?} mse");
+                assert_eq!(
+                    (streamed.out_width, streamed.out_height),
+                    (whole.out_width, whole.out_height)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_overrun_and_short_close_are_typed() {
+        let img = test_image(64, 48);
+        let pool = ThreadPool::new(1);
+        let tele = TelemetryHandle::disabled();
+        let open = StreamOpen {
+            tenant: "t".into(),
+            spec: JobSpec::default(),
+            width: 64,
+            height: 8,
+            want_frame: false,
+        };
+        // Overrun: 9 rows into a declared height of 8.
+        let mut run = StreamRun::begin(&open, &tele).unwrap();
+        assert!(matches!(
+            run.push_rows(&img.pixels()[..9 * 64]),
+            Err(JobError::Malformed(_))
+        ));
+        // Ragged chunk: not a whole number of rows.
+        let mut run = StreamRun::begin(&open, &tele).unwrap();
+        assert!(matches!(
+            run.push_rows(&img.pixels()[..65]),
+            Err(JobError::Malformed(_))
+        ));
+        // Short close: finish before all declared rows arrived.
+        let mut run = StreamRun::begin(&open, &tele).unwrap();
+        run.push_rows(&img.pixels()[..4 * 64]).unwrap();
+        assert!(matches!(
+            run.finish(&pool, &tele),
+            Err(JobError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -14,23 +14,34 @@
 //!   [`sw_pool::ThreadPool`];
 //! - [`tenant`] — admission control reusing
 //!   [`sw_core::memory_unit::MemoryUnitConfig`] budgets per tenant;
-//! - [`daemon`] — the accept loop, dispatch, Prometheus metrics, and
-//!   graceful shutdown;
-//! - [`client`] — the blocking client and the load generator behind
-//!   `swc client` / `swc load`.
+//! - [`reactor`] — the single-threaded readiness poll loop every
+//!   connection is multiplexed over: incremental frame reassembly,
+//!   bounded write queues with backpressure, pool-dispatched execution,
+//!   and the v2 row-streaming job mode;
+//! - [`daemon`] — the listener lifecycle wrapped around the reactor,
+//!   Prometheus metrics, and graceful shutdown;
+//! - [`client`] — the blocking client (whole-frame and streaming) and
+//!   the load generator behind `swc client` / `swc load`.
+//!
+//! Unsafe code is denied crate-wide with one audited exception: the
+//! `poll(2)` FFI in `reactor::sys`, the only readiness primitive the
+//! standard library does not expose.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
 pub mod client;
 pub mod daemon;
 pub mod exec;
+pub mod reactor;
 pub mod tenant;
 pub mod wire;
 
-pub use api::{JobError, JobRequest, JobResponse, JobSpec, JobSpecBuilder};
+pub use api::{
+    JobError, JobRequest, JobResponse, JobSpec, JobSpecBuilder, RowAck, RowChunk, StreamOpen,
+};
 pub use client::{Client, LoadReport};
 pub use daemon::{Daemon, DaemonConfig, Listen};
 pub use tenant::{TenantGovernor, TenantPolicy};
-pub use wire::{MsgKind, WireError, MAGIC, MAX_FRAME_BYTES, VERSION};
+pub use wire::{FrameAssembler, MsgKind, WireError, MAGIC, MAX_FRAME_BYTES, MIN_VERSION, VERSION};

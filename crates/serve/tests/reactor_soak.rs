@@ -1,0 +1,336 @@
+//! Soak/chaos battery for the reactor serving core.
+//!
+//! One reactor thread multiplexes every connection, so the failure modes
+//! worth money are the ones thread-per-connection never had: a slow or
+//! dead peer wedging the ready loop, per-connection state (frame
+//! assembler, write queue, stream ledger) leaking across reaps, or an
+//! admission hold surviving its connection. The battery drives hundreds
+//! of concurrent connections through interleaved abuse — partial frames,
+//! byte-at-a-time slow-loris senders, connections killed mid-row-stream —
+//! and then asserts the daemon's global invariants: no fd leak, pool not
+//! poisoned, admission ledger fully drained, clean shutdown join.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sw_core::memory_unit::OverflowPolicy;
+use sw_serve::api::{FramePayload, RowChunk, StreamOpen};
+use sw_serve::wire::write_frame;
+use sw_serve::{
+    Client, Daemon, DaemonConfig, JobRequest, JobSpec, Listen, MsgKind, TenantPolicy, MAGIC,
+    VERSION,
+};
+
+fn test_frame() -> FramePayload {
+    FramePayload {
+        width: 48,
+        height: 32,
+        pixels: (0..48 * 32).map(|i| (i * 37 % 251) as u8).collect(),
+    }
+}
+
+fn test_request() -> JobRequest {
+    JobRequest {
+        tenant: "soak".into(),
+        spec: JobSpec::default(),
+        frame: test_frame(),
+        want_frame: false,
+    }
+}
+
+/// Open descriptors of this process — the daemon runs in-process, so a
+/// connection the reactor failed to reap shows up here.
+fn open_fds() -> usize {
+    std::fs::read_dir("/proc/self/fd")
+        .expect("/proc/self/fd readable")
+        .count()
+}
+
+/// Wait (bounded) for the admission ledger to drain.
+fn drain(daemon: &Daemon) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while daemon.inflight_jobs() > 0 {
+        assert!(Instant::now() < deadline, "in-flight jobs never drained");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Wait (bounded) for the process fd count to fall back to `limit`.
+fn settle_fds(limit: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let now = open_fds();
+        if now <= limit {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fd count stuck at {now}, wanted <= {limit}: the reactor leaked connections"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn soak_two_hundred_connections_with_interleaved_chaos() {
+    let daemon = Daemon::start(DaemonConfig {
+        listen: Listen::Tcp("127.0.0.1:0".into()),
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = daemon.local_addr().expect("tcp bound").to_string();
+    let listen = Listen::Tcp(addr.clone());
+
+    let req = test_request();
+    let mut probe = Client::connect(&listen).expect("probe connects");
+    let baseline = probe.submit(&req).expect("baseline job").digest;
+    drop(probe);
+    drain(&daemon);
+    let fd_baseline = open_fds();
+
+    // --- the soak: 200 well-behaved connections, whole-frame and
+    // streamed alternating, all over the one reactor thread, racing the
+    // chaos senders below.
+    let ok_jobs = Arc::new(AtomicU64::new(0));
+    let mut workers = Vec::new();
+    for w in 0..200 {
+        let listen = listen.clone();
+        let req = req.clone();
+        let ok_jobs = Arc::clone(&ok_jobs);
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&listen).expect("soak connect");
+            for round in 0..3 {
+                let resp = if (w + round) % 2 == 0 {
+                    client.submit(&req)
+                } else {
+                    client.submit_streamed(&req, 1 + (w % 7) as u32)
+                };
+                let resp = resp.expect("soak job");
+                assert_eq!(resp.digest, baseline, "worker {w} round {round} diverged");
+                ok_jobs.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    // --- chaos, interleaved with the soak ---------------------------
+    let mut chaos = Vec::new();
+    for k in 0..24 {
+        let addr = addr.clone();
+        let req = req.clone();
+        chaos.push(std::thread::spawn(move || match k % 4 {
+            // Partial frame: promise a large job, deliver a fraction,
+            // vanish while the assembler waits for the rest.
+            0 => {
+                let mut s = TcpStream::connect(&addr).expect("raw connect");
+                let body_len = 7 + 100_000u32;
+                s.write_all(&body_len.to_le_bytes()).unwrap();
+                s.write_all(&MAGIC).unwrap();
+                s.write_all(&VERSION.to_le_bytes()).unwrap();
+                s.write_all(&[1]).unwrap(); // MsgKind::Job
+                s.write_all(&[0u8; 700]).unwrap();
+                std::thread::sleep(Duration::from_millis(30));
+                drop(s);
+            }
+            // Slow loris: a valid ping delivered one byte at a time —
+            // it must still be answered (a reactor that blocks on one
+            // slow reader would stall every soak worker instead).
+            1 => {
+                let mut s = TcpStream::connect(&addr).expect("raw connect");
+                let mut frame = Vec::new();
+                write_frame(&mut frame, MsgKind::Ping, b"loris").unwrap();
+                for b in frame {
+                    s.write_all(&[b]).unwrap();
+                    s.flush().unwrap();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let mut reply = [0u8; 16];
+                s.read_exact(&mut reply[..4]).expect("pong length arrives");
+                drop(s);
+            }
+            // Kill mid-row-stream: open a stream, feed a few chunks,
+            // vanish. The admission hold taken at StreamOpen must be
+            // released by the reap, never by a response.
+            2 => {
+                let mut s = TcpStream::connect(&addr).expect("raw connect");
+                let open = StreamOpen {
+                    tenant: "soak".into(),
+                    spec: req.spec.clone(),
+                    width: req.frame.width,
+                    height: req.frame.height,
+                    want_frame: false,
+                };
+                write_frame(&mut s, MsgKind::StreamOpen, &open.encode()).unwrap();
+                for seq in 0..3u32 {
+                    let width = req.frame.width as usize;
+                    let lo = seq as usize * width;
+                    let chunk = RowChunk {
+                        seq,
+                        first_row: seq,
+                        rows: 1,
+                        pixels: req.frame.pixels[lo..lo + width].to_vec(),
+                    };
+                    write_frame(&mut s, MsgKind::RowChunk, &chunk.encode()).unwrap();
+                }
+                s.flush().unwrap();
+                std::thread::sleep(Duration::from_millis(20));
+                drop(s); // mid-stream kill
+            }
+            // Garbage: not even a frame.
+            _ => {
+                let mut s = TcpStream::connect(&addr).expect("raw connect");
+                s.write_all(&[0xFF; 64]).unwrap();
+                drop(s);
+            }
+        }));
+    }
+
+    for t in workers {
+        t.join().expect("soak worker panicked");
+    }
+    for t in chaos {
+        t.join().expect("chaos worker panicked");
+    }
+    assert_eq!(ok_jobs.load(Ordering::Relaxed), 600);
+
+    // Admission fully drained: every killed stream's hold was released
+    // by its connection reap.
+    drain(&daemon);
+
+    // No fd leak: once the reactor reaps the dropped sockets, the
+    // process is back at its pre-soak descriptor count (small slack for
+    // sockets still in close-wait inside the kernel's grace).
+    settle_fds(fd_baseline + 4);
+
+    // The pool is not poisoned and the datapath is intact — sequential
+    // and sharded execution still land on the baseline digest.
+    let mut client = Client::connect(&listen).expect("post-soak connect");
+    assert_eq!(client.submit(&req).expect("post-soak job").digest, baseline);
+    let mut par = req.clone();
+    par.spec.jobs = 4;
+    assert_eq!(
+        client.submit(&par).expect("post-soak sharded job").digest,
+        baseline
+    );
+    assert_eq!(
+        client
+            .submit_streamed(&req, 4)
+            .expect("post-soak streamed job")
+            .digest,
+        baseline
+    );
+
+    // Clean shutdown join: stop() wakes the reactor, drains, and joins
+    // it. A wedged loop hangs the test instead of passing it.
+    client.shutdown().expect("shutdown ack");
+    drop(client);
+    let mut daemon = daemon;
+    daemon.wait();
+    assert_eq!(daemon.inflight_jobs(), 0);
+}
+
+#[test]
+fn streams_beyond_the_tenant_budget_admit_in_turn() {
+    // Regression: streams hold their admission budget until they
+    // *complete*, and completing needs pool workers — so a stalled
+    // StreamOpen parked on a pool worker starves the very steps that
+    // would free the capacity it waits for. With more stalled opens than
+    // workers that was a livelock broken only by the 10 s stall timeout
+    // (observed as a 30x throughput collapse at 200 streamed
+    // connections). Opens admit on a dedicated lane now: a budget of two
+    // frames must serve twelve concurrent streams promptly, zero rejects.
+    let frame_bits = 48 * 32 * 8;
+    let daemon = Daemon::start(DaemonConfig {
+        listen: Listen::Tcp("127.0.0.1:0".into()),
+        jobs: 2,
+        tenant_policy: TenantPolicy::new(2 * frame_bits, OverflowPolicy::Stall),
+    })
+    .expect("daemon starts");
+    let listen = Listen::Tcp(daemon.local_addr().expect("tcp bound").to_string());
+
+    let req = test_request();
+    let mut probe = Client::connect(&listen).expect("probe connects");
+    let baseline = probe.submit(&req).expect("baseline job").digest;
+    drop(probe);
+
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..12)
+        .map(|w| {
+            let listen = listen.clone();
+            let req = req.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&listen).expect("stream connect");
+                client
+                    .submit_streamed(&req, 1 + (w % 5) as u32)
+                    .unwrap_or_else(|e| panic!("stream {w} was not admitted in turn: {e}"))
+                    .digest
+            })
+        })
+        .collect();
+    for t in workers {
+        assert_eq!(t.join().expect("stream worker panicked"), baseline);
+    }
+    // Well under MAX_STALL_WAIT: admission turns over at completion rate,
+    // it never waits out the stall timeout.
+    assert!(
+        t0.elapsed() < Duration::from_secs(8),
+        "12 streams over a 2-frame budget took {:?}: admission is starving",
+        t0.elapsed()
+    );
+    drain(&daemon);
+}
+
+#[test]
+fn stop_mid_stream_joins_cleanly() {
+    // A daemon stopped while streams are mid-flight must still join:
+    // the drain waits for dispatched pool work, then force-closes.
+    let daemon = Daemon::start(DaemonConfig {
+        listen: Listen::Tcp("127.0.0.1:0".into()),
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = daemon.local_addr().expect("tcp bound").to_string();
+    let req = test_request();
+
+    // Park several half-finished streams on the reactor.
+    let mut hung = Vec::new();
+    for _ in 0..8 {
+        let mut s = TcpStream::connect(&addr).expect("raw connect");
+        let open = StreamOpen {
+            tenant: "soak".into(),
+            spec: req.spec.clone(),
+            width: req.frame.width,
+            height: req.frame.height,
+            want_frame: false,
+        };
+        write_frame(&mut s, MsgKind::StreamOpen, &open.encode()).unwrap();
+        let width = req.frame.width as usize;
+        let chunk = RowChunk {
+            seq: 0,
+            first_row: 0,
+            rows: 2,
+            pixels: req.frame.pixels[..2 * width].to_vec(),
+        };
+        write_frame(&mut s, MsgKind::RowChunk, &chunk.encode()).unwrap();
+        s.flush().unwrap();
+        hung.push(s); // keep the socket open: the stream stays live
+    }
+    std::thread::sleep(Duration::from_millis(100));
+
+    let t0 = Instant::now();
+    let mut daemon = daemon;
+    daemon.stop();
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "stop() took {:?}: the drain never converged",
+        t0.elapsed()
+    );
+    assert_eq!(
+        daemon.inflight_jobs(),
+        0,
+        "admission holds survived the shutdown drain"
+    );
+    drop(hung);
+}

@@ -61,6 +61,35 @@ fn replay(client: &mut Client, golden: &[GoldenDigest], hot_path: HotPath) -> us
     replayed
 }
 
+/// Same corpus, but every job rides the protocol-v2 row-streaming mode,
+/// with the chunk granularity varied per case so read-boundary effects
+/// get covered too. Both the digest *and* the stats digest must match
+/// the blessed goldens: streaming is transport, never a second execution
+/// semantics.
+fn replay_streamed(client: &mut Client, golden: &[GoldenDigest], hot_path: HotPath) -> usize {
+    let chunkings: [u32; 4] = [1, 3, 8, 1024];
+    let mut replayed = 0;
+    for (i, g) in golden.iter().enumerate() {
+        let Some(req) = request_for(&g.spec, hot_path) else {
+            continue;
+        };
+        let resp = client
+            .submit_streamed(&req, chunkings[i % chunkings.len()])
+            .unwrap_or_else(|e| panic!("case {} failed streamed: {e}", g.spec.id()));
+        assert_eq!(
+            resp.digest,
+            g.digest,
+            "case {} ({:?}) streamed: digest {:016x} != golden {:016x}",
+            g.spec.id(),
+            hot_path,
+            resp.digest,
+            g.digest
+        );
+        replayed += 1;
+    }
+    replayed
+}
+
 #[test]
 fn daemon_round_trip_reproduces_the_golden_corpus() {
     let dir = default_vectors_dir();
@@ -102,4 +131,91 @@ fn daemon_round_trip_reproduces_the_golden_corpus() {
         let n = replay(&mut client, &integral, hp);
         assert_eq!(n, integral.len(), "integral corpus must replay fully");
     }
+}
+
+#[test]
+fn streamed_round_trip_reproduces_the_golden_corpus() {
+    let dir = default_vectors_dir();
+    let window = golden_window_digests(&dir).expect("vectors readable");
+    assert!(
+        !window.is_empty(),
+        "blessed corpus missing — the golden digests are the test input"
+    );
+
+    let daemon = Daemon::start(DaemonConfig {
+        listen: Listen::Tcp("127.0.0.1:0".into()),
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts");
+    let listen = Listen::Tcp(daemon.local_addr().expect("tcp bound").to_string());
+    let mut client = Client::connect(&listen).expect("client connects");
+
+    // Every blessed window case rides the row-streaming mode on the
+    // production hot path (live streaming for plain window jobs, the
+    // buffered fallback for memory-unit/sharded cases — both must land
+    // on the goldens), and the scalar oracle replays the lossless
+    // subset, mirroring the whole-frame split above.
+    let full = replay_streamed(&mut client, &window, HotPath::Sliced);
+    assert!(
+        full > 500,
+        "expected the full window grid streamed, got {full} cells"
+    );
+    let scalar_subset: Vec<GoldenDigest> = window
+        .iter()
+        .filter(|g| g.spec.threshold == 0 && g.spec.policy.is_none())
+        .cloned()
+        .collect();
+    let scalar = replay_streamed(&mut client, &scalar_subset, HotPath::Scalar);
+    assert!(
+        scalar > 50,
+        "expected the lossless subset streamed, got {scalar} cells"
+    );
+
+    // The integral workload streams through the buffered path.
+    let integral = golden_integral_digests(&dir).expect("vectors readable");
+    let n = replay_streamed(&mut client, &integral, HotPath::Sliced);
+    assert_eq!(n, integral.len(), "integral corpus must stream fully");
+}
+
+#[test]
+fn v1_whole_frame_jobs_still_work_against_the_reactor() {
+    use std::io::{Read, Write};
+    use sw_serve::wire::write_frame_versioned;
+    use sw_serve::{FrameAssembler, MsgKind, MIN_VERSION};
+
+    let dir = default_vectors_dir();
+    let window = golden_window_digests(&dir).expect("vectors readable");
+    let golden = window
+        .iter()
+        .find_map(|g| request_for(&g.spec, HotPath::Sliced).map(|req| (req, g.digest)))
+        .expect("at least one servable golden case");
+
+    let daemon = Daemon::start(DaemonConfig {
+        listen: Listen::Tcp("127.0.0.1:0".into()),
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = daemon.local_addr().expect("tcp bound").to_string();
+
+    // Speak strict v1 on a raw socket: the daemon must execute the job
+    // and answer in the same dialect — a v1 client never sees a v2 byte.
+    let mut s = std::net::TcpStream::connect(&addr).expect("raw connect");
+    let (req, want_digest) = golden;
+    write_frame_versioned(&mut s, MsgKind::Job, &req.encode(), MIN_VERSION).expect("v1 frame");
+    let mut asm = FrameAssembler::new();
+    let mut buf = [0u8; 4096];
+    let reply = loop {
+        let n = s.read(&mut buf).expect("daemon reply");
+        assert!(n > 0, "daemon hung up on a v1 job");
+        asm.push(&buf[..n]);
+        if let Some(frame) = asm.next_frame().expect("well-framed reply") {
+            break frame;
+        }
+    };
+    let (kind, version, payload) = reply;
+    assert_eq!(kind, MsgKind::JobOk);
+    assert_eq!(version, MIN_VERSION, "the reply must echo the v1 dialect");
+    let resp = sw_serve::JobResponse::decode(&payload).expect("v1 response decodes");
+    assert_eq!(resp.digest, want_digest, "v1 job must land on the golden");
+    let _ = s.flush();
 }

@@ -8,9 +8,12 @@ use sw_core::codec::LineCodecKind;
 use sw_core::config::ThresholdPolicy;
 use sw_core::integral::Workload;
 use sw_core::memory_unit::OverflowPolicy;
-use sw_serve::api::{FramePayload, JobKernel};
-use sw_serve::wire::{decode_frame_body, write_frame, ByteReader, MsgKind};
-use sw_serve::{JobError, JobRequest, JobResponse, JobSpec, WireError, MAGIC, VERSION};
+use sw_serve::api::{FramePayload, JobKernel, RowAck, RowChunk, StreamOpen};
+use sw_serve::wire::{decode_frame_body, write_frame, write_frame_versioned, ByteReader, MsgKind};
+use sw_serve::{
+    FrameAssembler, JobError, JobRequest, JobResponse, JobSpec, WireError, MAGIC, MIN_VERSION,
+    VERSION,
+};
 
 /// Deterministically expand one seed into a full (valid) job spec.
 fn spec_from_seed(seed: u64) -> JobSpec {
@@ -81,6 +84,70 @@ fn response_from_seed(seed: u64) -> JobResponse {
     }
 }
 
+fn stream_open_from_seed(seed: u64) -> StreamOpen {
+    StreamOpen {
+        tenant: format!("tenant-{}", seed % 89),
+        spec: spec_from_seed(seed),
+        width: 1 + (seed >> 3 & 0x3f) as u32,
+        height: 1 + (seed >> 9 & 0x3f) as u32,
+        want_frame: seed >> 15 & 1 == 1,
+    }
+}
+
+fn row_chunk_from_seed(seed: u64) -> RowChunk {
+    let rows = 1 + (seed >> 5 & 0x7) as u32;
+    let width = 1 + (seed >> 11 & 0x1f) as usize;
+    let mut state = seed | 1;
+    RowChunk {
+        seq: (seed % 10_000) as u32,
+        first_row: (seed >> 17 & 0xffff) as u32,
+        rows,
+        pixels: (0..rows as usize * width)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect(),
+    }
+}
+
+/// One plausible streamed-job conversation, with v1 whole-frame traffic
+/// interleaved, as `(kind, version, payload)` triples — the exact shape
+/// [`FrameAssembler::next_frame`] yields.
+fn streamed_conversation(seed: u64) -> Vec<(MsgKind, u16, Vec<u8>)> {
+    let mut convo = vec![
+        (MsgKind::Ping, MIN_VERSION, b"v1-probe".to_vec()),
+        (
+            MsgKind::StreamOpen,
+            VERSION,
+            stream_open_from_seed(seed).encode(),
+        ),
+    ];
+    for i in 0..(seed % 5) {
+        convo.push((
+            MsgKind::RowChunk,
+            VERSION,
+            row_chunk_from_seed(seed.wrapping_add(i)).encode(),
+        ));
+        if i % 2 == 0 {
+            let ack = RowAck {
+                seq: i as u32,
+                rows_done: i + 1,
+            };
+            convo.push((MsgKind::RowAck, VERSION, ack.encode()));
+        }
+    }
+    convo.push((
+        MsgKind::Job,
+        MIN_VERSION,
+        request_from_seed(seed, 6, 5).encode(),
+    ));
+    convo.push((MsgKind::JobDone, VERSION, response_from_seed(seed).encode()));
+    convo
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -143,11 +210,13 @@ proptest! {
         let _ = JobRequest::decode(&bytes);
     }
 
-    /// A frame header carrying any version other than ours is refused as
-    /// `VersionSkew` before the payload is looked at.
+    /// A frame header carrying any version outside the accepted
+    /// `MIN_VERSION..=VERSION` range is refused as `VersionSkew` before
+    /// the payload is looked at.
     #[test]
     fn version_skew_is_typed(seed in any::<u64>(), skew in 1u16..u16::MAX) {
         let bad_version = VERSION.wrapping_add(skew);
+        prop_assume!(!(MIN_VERSION..=VERSION).contains(&bad_version));
         let payload = request_from_seed(seed, 6, 5).encode();
         let mut framed = Vec::new();
         write_frame(&mut framed, MsgKind::Job, &payload).unwrap();
@@ -161,6 +230,122 @@ proptest! {
                 prop_assert_eq!(want, VERSION);
             }
             other => prop_assert!(false, "expected VersionSkew, got {other:?}"),
+        }
+    }
+
+    /// Streaming payloads (StreamOpen / RowChunk / RowAck) survive an
+    /// encode/decode round trip bit-for-bit.
+    #[test]
+    fn streaming_payloads_round_trip(seed in any::<u64>()) {
+        let open = stream_open_from_seed(seed);
+        prop_assert_eq!(&open, &StreamOpen::decode(&open.encode()).expect("canonical bytes decode"));
+        let chunk = row_chunk_from_seed(seed);
+        prop_assert_eq!(&chunk, &RowChunk::decode(&chunk.encode()).expect("canonical bytes decode"));
+        let ack = RowAck { seq: (seed % 90_000) as u32, rows_done: seed.rotate_left(13) };
+        prop_assert_eq!(&ack, &RowAck::decode(&ack.encode()).expect("canonical bytes decode"));
+    }
+
+    /// A whole streamed-job conversation — StreamOpen, RowChunks, acks,
+    /// JobDone, plus interleaved v1 frames — reassembles identically no
+    /// matter how the bytes are split across reads. The assembler's
+    /// output is a function of the byte stream, not of delivery
+    /// boundaries.
+    #[test]
+    fn assembler_is_split_invariant(seed in any::<u64>(), splits in proptest::collection::vec(1usize..97, 0..24)) {
+        let convo = streamed_conversation(seed);
+        let mut wire = Vec::new();
+        for (kind, version, payload) in &convo {
+            write_frame_versioned(&mut wire, *kind, payload, *version).unwrap();
+        }
+
+        // Reference: one monolithic delivery.
+        let mut reference = FrameAssembler::new();
+        reference.push(&wire);
+        let mut expect = Vec::new();
+        while let Some(frame) = reference.next_frame().expect("canonical bytes decode") {
+            expect.push(frame);
+        }
+        prop_assert_eq!(&expect, &convo);
+
+        // Same bytes, arbitrary split boundaries (degenerating to
+        // byte-at-a-time when the split list runs out).
+        let mut chopped = FrameAssembler::new();
+        let mut got = Vec::new();
+        let mut at = 0;
+        let mut split_iter = splits.iter().copied().chain(std::iter::repeat(1));
+        while at < wire.len() {
+            let n = split_iter.next().unwrap().min(wire.len() - at);
+            chopped.push(&wire[at..at + n]);
+            at += n;
+            while let Some(frame) = chopped.next_frame().expect("canonical bytes decode") {
+                got.push(frame);
+            }
+        }
+        prop_assert_eq!(got, convo);
+    }
+
+    /// Corruption anywhere in a RowChunk sequence — truncation, a bit
+    /// flip in the framing header, or interleaved garbage — either still
+    /// decodes (payload-area flip) or yields a typed error; and once the
+    /// assembler errors, it stays poisoned: later valid frames are never
+    /// delivered from an untrustworthy stream position.
+    #[test]
+    fn corrupted_chunk_streams_fail_typed_and_stay_poisoned(
+        seed in any::<u64>(),
+        bit in 0usize..256,
+        junk in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let chunk = row_chunk_from_seed(seed);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, MsgKind::RowChunk, &chunk.encode()).unwrap();
+
+        // Truncation: a proper prefix never yields the frame.
+        let cut = bit % wire.len();
+        let mut asm = FrameAssembler::new();
+        asm.push(&wire[..cut]);
+        match asm.next_frame() {
+            Ok(None) => {}                                  // still waiting
+            Err(_) => prop_assert!(asm.is_poisoned()),       // typed refusal
+            Ok(Some(_)) => prop_assert!(false, "a proper prefix must not decode"),
+        }
+
+        // A bit flip in the framing envelope (length, magic, version,
+        // kind): typed error or a re-framed partial read — never a panic,
+        // and never a silent desync that yields a *different* frame as
+        // this one.
+        let mut flipped = wire.clone();
+        let envelope_bits = 8 * (4 + MAGIC.len() + 3);
+        let b = bit % envelope_bits;
+        flipped[b / 8] ^= 1 << (b % 8);
+        let mut asm = FrameAssembler::new();
+        asm.push(&flipped);
+        match asm.next_frame() {
+            Err(_) => {
+                prop_assert!(asm.is_poisoned());
+                // Poisoned means poisoned: appending a perfectly valid
+                // frame afterwards must not resurrect the stream.
+                asm.push(&wire);
+                prop_assert!(asm.next_frame().is_err());
+            }
+            Ok(Some((kind, _, payload))) => {
+                // The flip landed somewhere survivable (e.g. turned the
+                // kind into another valid tag without breaking lengths).
+                // The bytes must still parse as *some* complete frame.
+                prop_assert!(MsgKind::ALL.contains(&kind));
+                prop_assert!(payload.len() <= flipped.len());
+            }
+            Ok(None) => {
+                // A length-field flip can promise more bytes than sent;
+                // the assembler just keeps waiting. Feeding garbage to
+                // complete the promised length must fail typed, not
+                // desync.
+                asm.push(&junk);
+                asm.push(&vec![0xA5u8; 1 << 17]);
+                // (An Ok here means the flipped length re-framed validly.)
+                if asm.next_frame().is_err() {
+                    prop_assert!(asm.is_poisoned());
+                }
+            }
         }
     }
 

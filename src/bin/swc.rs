@@ -73,9 +73,11 @@ usage:
               [--max-threshold T]
   swc client  <image.pgm> --connect tcp:HOST:PORT|unix:PATH --window N
               [job flags] [--tenant NAME] [--out FILE.pgm]
+              [--stream [--chunk-rows N]]
   swc client  --connect ADDR --ping | --metrics | --shutdown
   swc load    <image.pgm> --connect ADDR --window N [job flags]
               [--tenant NAME] [--requests N] [--concurrency K] [--verify]
+              [--stream [--chunk-rows N]]
 
 The image must be a binary PGM (P5). `swc scene` writes one of the built-in
 synthetic dataset scenes instead of reading an input.
@@ -138,10 +140,15 @@ telemetry registry including the serve.* family.
 swc client submits one frame-processing job (the same job flags as
 analyze: --window/--threshold/--policy/--codec/--hot-path/--kernel/--jobs/
 --overflow-policy/--budget-fraction/--workload) and prints the typed
-response; --out writes the processed frame back as PGM. swc load is the
-saturation harness behind experiment E28: it drives --requests jobs over
---concurrency connections and reports throughput, latency p50/p99, and
-reject/degrade counts; --verify re-executes each distinct effective
+response; --out writes the processed frame back as PGM. --stream submits
+the job in the protocol-v2 row-streaming mode: a StreamOpen header, the
+frame pipelined as RowChunk frames of --chunk-rows rows (default 8)
+under an 8-chunk ack window, and a terminal JobDone carrying the same
+response a whole-frame submission produces (byte-identical digests).
+swc load is the saturation harness behind experiments E28/E29: it
+drives --requests jobs over --concurrency connections (whole-frame, or
+row-streamed with --stream) and reports throughput, latency p50/p99,
+and reject/degrade counts; --verify re-executes each distinct effective
 threshold locally and checks the served digests byte-for-byte.
 
 swc bench runs the kernel x codec performance matrix (sequential and
@@ -1231,21 +1238,44 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
     }
 
     let mut out_path: Option<PathBuf> = None;
+    let mut stream = false;
+    let mut chunk_rows: u32 = 8;
     let net = parse_net_job(args, |flag, args, i| match flag {
         "--out" => {
             out_path = Some(PathBuf::from(next(args, i)?));
             Ok(true)
         }
+        "--stream" => {
+            stream = true;
+            Ok(true)
+        }
+        "--chunk-rows" => {
+            chunk_rows = next(args, i)?.parse().map_err(|_| "bad --chunk-rows")?;
+            Ok(true)
+        }
         _ => Ok(false),
     })?;
+    if chunk_rows == 0 {
+        return Err("--chunk-rows must be at least 1".into());
+    }
     let mut client = Client::connect(&net.connect).map_err(|e| format!("cannot connect: {e}"))?;
-    let resp = client.submit(&net.request).map_err(|e| e.to_string())?;
+    let resp = if stream {
+        client.submit_streamed(&net.request, chunk_rows)
+    } else {
+        client.submit(&net.request)
+    }
+    .map_err(|e| e.to_string())?;
     println!(
-        "job ok: workload {}  output {}x{}  digest {:016x}",
+        "job ok: workload {}  output {}x{}  digest {:016x}{}",
         resp.workload.name(),
         resp.out_width,
         resp.out_height,
-        resp.digest
+        resp.digest,
+        if stream {
+            format!("  (streamed, {chunk_rows} rows/chunk)")
+        } else {
+            String::new()
+        }
     );
     println!(
         "threshold {} ({})  escalations {}  stalls {}  overflows {}",
@@ -1279,6 +1309,8 @@ fn load_cmd(args: &[String]) -> Result<(), String> {
     let mut requests: u64 = 64;
     let mut concurrency: usize = 4;
     let mut verify = false;
+    let mut stream = false;
+    let mut chunk_rows: u32 = 8;
     let net = parse_net_job(args, |flag, args, i| match flag {
         "--requests" => {
             requests = next(args, i)?.parse().map_err(|_| "bad --requests")?;
@@ -1292,6 +1324,14 @@ fn load_cmd(args: &[String]) -> Result<(), String> {
             verify = true;
             Ok(true)
         }
+        "--stream" => {
+            stream = true;
+            Ok(true)
+        }
+        "--chunk-rows" => {
+            chunk_rows = next(args, i)?.parse().map_err(|_| "bad --chunk-rows")?;
+            Ok(true)
+        }
         _ => Ok(false),
     })?;
     if requests == 0 {
@@ -1300,12 +1340,16 @@ fn load_cmd(args: &[String]) -> Result<(), String> {
     if concurrency == 0 {
         return Err("--concurrency must be at least 1".into());
     }
+    if chunk_rows == 0 {
+        return Err("--chunk-rows must be at least 1".into());
+    }
     let report = modified_sliding_window::serve::client::load_run(
         &net.connect,
         &net.request,
         &modified_sliding_window::serve::client::LoadConfig {
             concurrency,
             requests,
+            stream_chunk_rows: stream.then_some(chunk_rows),
         },
     )
     .map_err(|e| e.to_string())?;
